@@ -1,0 +1,184 @@
+// Ablation A3 — §1.1/§4.1 cooperation benefit.
+//
+// "A particular goal can be achieved better and in shorter time if the
+// DAs of a DA hierarchy work together." This bench compares design
+// turnaround for a two-designer dependency (DA_B consumes DA_A's
+// result) under two regimes:
+//  - serialized (strict isolation, no pre-release): B starts only after
+//    A terminates with its final DOV;
+//  - CONCORD usage relationships: A propagates a *preliminary* DOV as
+//    soon as it reaches the required quality, and B overlaps with A's
+//    remaining improvement iterations.
+// The designers are concurrent in the modeled world; the bench runs
+// each activity on the shared simulated clock, records per-phase busy
+// times, and reports the makespans
+//     serialized  = t_A_total + t_B
+//     cooperative = max(t_A_total, t_A_until_prerelease + t_B).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "vlsi/schema.h"
+#include "vlsi/tools.h"
+
+namespace concord {
+namespace {
+
+struct PhaseTimes {
+  SimTime a_until_prerelease = 0;
+  SimTime a_total = 0;
+  SimTime b_work = 0;
+};
+
+/// Runs DA_A's chip-planning work flow with `improve_iterations` extra
+/// planning passes after the first (pre-releasable) floorplan, then
+/// DA_B's work. Records simulated-busy-time per phase.
+Result<PhaseTimes> RunPhases(int improve_iterations, uint64_t seed) {
+  core::ConcordSystem system(bench::DefaultConfig(seed));
+  PhaseTimes times;
+
+  auto top = sim::SetupTopLevelDa(&system, "top", 4, 1e9, 0);
+  CONCORD_RETURN_NOT_OK(system.StartDa(*top));
+  SimTime t0 = system.clock().Now();
+
+  // DA_A: structure + shapes + first plan ...
+  cooperation::DaDescription desc;
+  desc.dot = system.dots().module;
+  desc.spec = sim::MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
+  desc.designer = DesignerId(2);
+  desc.dc = sim::MakeChipPlanningScript(1);
+  desc.workstation = system.AddWorkstation("a");
+  auto da_a = system.CreateSubDa(*top, desc);
+  storage::DesignObject seed_obj(system.dots().module);
+  seed_obj.SetAttr(vlsi::kAttrName, "a");
+  seed_obj.SetAttr(vlsi::kAttrDomain, vlsi::kDomainBehavior);
+  seed_obj.SetAttr(vlsi::kAttrBehavior, "MODULE a COMPLEXITY 6");
+  seed_obj.SetAttr(vlsi::kAttrPinCount, int64_t{8});
+  CONCORD_RETURN_NOT_OK(system.SetSeedObject(*da_a, seed_obj));
+  CONCORD_RETURN_NOT_OK(system.StartDa(*da_a));
+  CONCORD_RETURN_NOT_OK(system.RunDa(*da_a));
+  times.a_until_prerelease = system.clock().Now() - t0;
+
+  // ... then A keeps improving (re-iterations) after the pre-release.
+  const vlsi::ToolBox& toolbox = system.toolbox();
+  storage::DesignObject improving =
+      (*system.repository().Get(*system.CurrentVersion(*da_a))).data;
+  for (int i = 0; i < improve_iterations; ++i) {
+    improving.SetAttr(vlsi::kAttrDomain, vlsi::kDomainStructure);
+    auto shaped = toolbox.ShapeFunctionGeneration(improving);
+    if (!shaped.ok()) break;
+    auto planned = toolbox.ChipPlanning(shaped->object);
+    if (!planned.ok()) break;
+    improving = planned->object;
+    system.clock().Advance(
+        static_cast<SimTime>(planned->work_units + shaped->work_units) *
+        kMillisecond);
+  }
+  times.a_total = system.clock().Now() - t0;
+
+  // DA_B: consumes A's (preliminary or final) floorplan.
+  SimTime tb0 = system.clock().Now();
+  desc.designer = DesignerId(3);
+  desc.workstation = system.AddWorkstation("b");
+  auto da_b = system.CreateSubDa(*top, desc);
+  CONCORD_RETURN_NOT_OK(system.SetSeedObject(*da_b, seed_obj));
+  CONCORD_RETURN_NOT_OK(system.StartDa(*da_b));
+  DovId a_result = *system.CurrentVersion(*da_a);
+  system.cm().Evaluate(*da_a, a_result).ok();
+  CONCORD_RETURN_NOT_OK(
+      system.cm().Require(*da_b, *da_a, {"goal_domain"}));
+  CONCORD_RETURN_NOT_OK(system.cm().Propagate(*da_a, a_result));
+  CONCORD_RETURN_NOT_OK(system.RunDa(*da_b));
+  times.b_work = system.clock().Now() - tb0;
+  return times;
+}
+
+void BM_Cooperation_Turnaround(benchmark::State& state) {
+  const int improve_iterations = static_cast<int>(state.range(0));
+  double serialized_s = 0;
+  double cooperative_s = 0;
+  for (auto _ : state) {
+    auto times = RunPhases(improve_iterations, 42 + state.iterations());
+    benchmark::DoNotOptimize(times);
+    if (times.ok()) {
+      SimTime serialized = times->a_total + times->b_work;
+      SimTime cooperative = std::max(
+          times->a_total, times->a_until_prerelease + times->b_work);
+      serialized_s = static_cast<double>(serialized) / kSecond;
+      cooperative_s = static_cast<double>(cooperative) / kSecond;
+    }
+  }
+  state.counters["improve_iters"] = improve_iterations;
+  state.counters["serialized_s"] = serialized_s;
+  state.counters["concord_s"] = cooperative_s;
+  state.counters["speedup"] =
+      cooperative_s > 0 ? serialized_s / cooperative_s : 0;
+}
+BENCHMARK(BM_Cooperation_Turnaround)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Withdrawal cost: the cascade of notifications and scope revocations
+// when a pre-released DOV is withdrawn, swept over requirer count.
+void BM_Cooperation_WithdrawalCascade(benchmark::State& state) {
+  const int requirers = static_cast<int>(state.range(0));
+  double events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    auto top = sim::SetupTopLevelDa(&system, "top", 4, 1e9, 0);
+    system.StartDa(*top).ok();
+    storage::DesignSpecification spec =
+        sim::MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
+    cooperation::DaDescription desc;
+    desc.dot = system.dots().module;
+    desc.spec = spec;
+    desc.designer = DesignerId(2);
+    desc.workstation = system.AddWorkstation("sup");
+    auto supporter = system.CreateSubDa(*top, desc);
+    system.cm().Start(*supporter).ok();
+    // One qualifying DOV via a raw checkin.
+    txn::ClientTm& tm = system.client_tm(desc.workstation);
+    auto dop = tm.BeginDop(*supporter);
+    storage::DesignObject obj(system.dots().module);
+    obj.SetAttr(vlsi::kAttrName, "m");
+    obj.SetAttr(vlsi::kAttrDomain, vlsi::kDomainFloorplan);
+    DovId dov = *tm.Checkin(*dop, obj, {});
+    tm.CommitDop(*dop).ok();
+    system.cm().NoteCheckin(*supporter, dov);
+    for (int i = 0; i < requirers; ++i) {
+      cooperation::DaDescription rdesc = desc;
+      rdesc.designer = DesignerId(10 + i);
+      rdesc.workstation = system.AddWorkstation("r" + std::to_string(i));
+      auto requirer = system.CreateSubDa(*top, rdesc);
+      system.cm().Start(*requirer).ok();
+      system.cm().Require(*requirer, *supporter, {"goal_domain"}).ok();
+    }
+    system.cm().Propagate(*supporter, dov).ok();
+    state.ResumeTiming();
+
+    benchmark::DoNotOptimize(
+        system.cm().WithdrawPropagation(*supporter, dov));
+
+    state.PauseTiming();
+    events = static_cast<double>(system.cm().stats().events_delivered);
+    // Re-propagate so the next iteration can withdraw again.
+    system.cm().Propagate(*supporter, dov).ok();
+    state.ResumeTiming();
+  }
+  state.counters["requirers"] = requirers;
+  state.counters["events_total"] = events;
+}
+BENCHMARK(BM_Cooperation_WithdrawalCascade)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Ablation A2 — §5.2 recovery points ("fire-walls inside a DOP that
+// limit the scope of work lost in case of a failure").
+//
+// Sweeps the automatic recovery-point interval against crash frequency
+// and reports (a) work lost at a crash and (b) the overhead of taking
+// recovery points (their count x the context-copy cost), exposing the
+// paper's implicit trade-off.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace concord {
+namespace {
+
+void BM_Recovery_LossVsInterval(benchmark::State& state) {
+  const uint64_t interval = static_cast<uint64_t>(state.range(0));
+  // 65 tool slices of 29 units; deliberately not commensurate with the
+  // swept intervals so partial loss is visible.
+  const uint64_t total_work = 65 * 29;
+  double lost = 0;
+  double rps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    NodeId ws = system.AddWorkstation("ws");
+    txn::ClientTm& tm = system.client_tm(ws);
+    tm.set_auto_recovery_interval(interval);
+    auto dop = tm.BeginDop(DaId(1));
+    for (uint64_t done = 0; done < total_work; done += 29) {
+      tm.DoWork(*dop, 29).ok();
+    }
+    tm.Crash();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tm.Recover());
+    state.PauseTiming();
+    lost = static_cast<double>(tm.stats().work_units_lost);
+    rps = static_cast<double>(tm.stats().recovery_points_taken);
+    state.ResumeTiming();
+  }
+  state.counters["interval"] = static_cast<double>(interval);
+  state.counters["work_lost"] = lost;
+  state.counters["recovery_points"] = rps;
+  state.counters["loss_fraction"] = lost / static_cast<double>(total_work);
+}
+BENCHMARK(BM_Recovery_LossVsInterval)
+    ->Arg(0)
+    ->Arg(999)
+    ->Arg(247)
+    ->Arg(53);
+
+// Recovery-point overhead: cost of persisting the DOP context as its
+// size grows (checked-out versions + workspace objects).
+void BM_Recovery_PointCostVsContextSize(benchmark::State& state) {
+  const int workspace_objects = static_cast<int>(state.range(0));
+  core::ConcordSystem system(bench::DefaultConfig());
+  NodeId ws = system.AddWorkstation("ws");
+  txn::ClientTm& tm = system.client_tm(ws);
+  auto dop = tm.BeginDop(DaId(1));
+  for (int i = 0; i < workspace_objects; ++i) {
+    storage::DesignObject obj(system.dots().module);
+    obj.SetAttr(vlsi::kAttrName, "obj" + std::to_string(i));
+    obj.SetAttr(vlsi::kAttrDomain, vlsi::kDomainStructure);
+    for (int a = 0; a < 8; ++a) {
+      obj.SetAttr("f" + std::to_string(a), static_cast<double>(a));
+    }
+    // Each workspace object also carries children (a small subtree).
+    for (int c = 0; c < 4; ++c) {
+      obj.AddChild(storage::DesignObject(system.dots().block));
+    }
+    tm.PutWorkspace(*dop, "w" + std::to_string(i), std::move(obj)).ok();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm.TakeRecoveryPoint(*dop));
+  }
+  state.counters["workspace_objects"] = workspace_objects;
+}
+BENCHMARK(BM_Recovery_PointCostVsContextSize)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+// Savepoint (designer-visible) vs recovery point (system) cost — both
+// snapshot the context; savepoints accumulate.
+void BM_Recovery_SavepointAccumulation(benchmark::State& state) {
+  core::ConcordSystem system(bench::DefaultConfig());
+  NodeId ws = system.AddWorkstation("ws");
+  txn::ClientTm& tm = system.client_tm(ws);
+  auto dop = tm.BeginDop(DaId(1));
+  storage::DesignObject obj(system.dots().module);
+  obj.SetAttr(vlsi::kAttrName, "m");
+  obj.SetAttr(vlsi::kAttrDomain, vlsi::kDomainStructure);
+  tm.PutWorkspace(*dop, "w", obj).ok();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm.Save(*dop, "sp" + std::to_string(i++)));
+  }
+  state.counters["savepoints"] = static_cast<double>(i);
+}
+BENCHMARK(BM_Recovery_SavepointAccumulation);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// Figure 1 — Abstraction levels of the CONCORD model.
+//
+// The paper's Fig. 1 is the layered architecture: AC (cooperation) over
+// DC (work flow) over TE (ACID tool transactions) over the versioned
+// repository. This bench regenerates the figure operationally: it
+// measures the cost of one representative operation at each level, so
+// the layering is visible as a cost hierarchy (repository op < TE op <
+// DC step < AC cooperation op < level-spanning DOP).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "vlsi/schema.h"
+#include "vlsi/tools.h"
+
+namespace concord {
+namespace {
+
+// Repository level: one short transaction writing one DOV.
+void BM_Level_Repository_CommitDov(benchmark::State& state) {
+  SimClock clock;
+  storage::Repository repo(&clock);
+  vlsi::VlsiDots dots = vlsi::RegisterVlsiSchema(&repo.schema());
+  storage::DesignObject obj = vlsi::MakeBehavioralChip(dots, "c", 4);
+  for (auto _ : state) {
+    TxnId txn = repo.Begin();
+    storage::DovRecord record;
+    record.id = repo.NextDovId();
+    record.owner_da = DaId(1);
+    record.type = dots.chip;
+    record.data = obj;
+    benchmark::DoNotOptimize(repo.Put(txn, record));
+    benchmark::DoNotOptimize(repo.Commit(txn));
+  }
+  state.counters["wal_records"] =
+      static_cast<double>(repo.wal().total_appended());
+}
+BENCHMARK(BM_Level_Repository_CommitDov);
+
+// TE level: checkout + checkin under 2PC with the server-TM.
+void BM_Level_TE_CheckoutCheckin(benchmark::State& state) {
+  core::ConcordSystem system(bench::DefaultConfig());
+  auto da = sim::SetupTopLevelDa(&system, "c", 4, 1e9, 0);
+  system.StartDa(*da).ok();
+  system.RunDa(*da).ok();
+  DovId input = *system.CurrentVersion(*da);
+  NodeId ws = (*system.cm().GetDa(*da))->workstation;
+  txn::ClientTm& tm = system.client_tm(ws);
+  storage::DesignObject obj =
+      (*system.repository().Get(input)).data;
+  for (auto _ : state) {
+    auto dop = tm.BeginDop(*da);
+    tm.Checkout(*dop, input).ok();
+    auto out = tm.Checkin(*dop, obj, {input});
+    tm.CommitDop(*dop).ok();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["two_pc_protocols"] =
+      static_cast<double>(tm.two_pc_stats().protocols_run);
+}
+BENCHMARK(BM_Level_TE_CheckoutCheckin);
+
+// DC level: one script step (structural advance, no tool).
+void BM_Level_DC_ScriptStep(benchmark::State& state) {
+  SimClock clock;
+  std::vector<std::unique_ptr<workflow::ScriptNode>> steps;
+  for (int i = 0; i < 64; ++i) {
+    steps.push_back(workflow::ScriptNode::DaOp("Evaluate"));
+  }
+  workflow::Script script(
+      "steps", workflow::ScriptNode::Sequence(std::move(steps)));
+  for (auto _ : state) {
+    workflow::DesignManager dm(DaId(1), script, nullptr, &clock);
+    dm.SetDaOpRunner([](const std::string&) { return Status::OK(); });
+    dm.Start().ok();
+    benchmark::DoNotOptimize(dm.RunToCompletion());
+  }
+  state.SetItemsProcessed(state.iterations() * 65);  // 64 ops + frames
+}
+BENCHMARK(BM_Level_DC_ScriptStep);
+
+// AC level: one cooperation operation through the CM (Require +
+// Propagate pair including persistence).
+void BM_Level_AC_RequirePropagate(benchmark::State& state) {
+  core::ConcordSystem system(bench::DefaultConfig());
+  auto top = sim::SetupTopLevelDa(&system, "c", 4, 1e9, 0);
+  system.StartDa(*top).ok();
+  system.RunDa(*top).ok();
+
+  storage::DesignSpecification spec =
+      sim::MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
+  cooperation::DaDescription desc;
+  desc.dot = system.dots().module;
+  desc.spec = spec;
+  desc.designer = DesignerId(2);
+  desc.workstation = system.AddWorkstation("sup");
+  auto supporter = system.CreateSubDa(*top, desc);
+  desc.workstation = system.AddWorkstation("req");
+  auto requirer = system.CreateSubDa(*top, desc);
+  system.cm().Start(*supporter).ok();
+  system.cm().Start(*requirer).ok();
+
+  // Give the supporter one qualifying DOV via a raw checkin.
+  txn::ClientTm& tm = system.client_tm((*system.cm().GetDa(*supporter))->workstation);
+  auto dop = tm.BeginDop(*supporter);
+  storage::DesignObject obj(system.dots().module);
+  obj.SetAttr(vlsi::kAttrName, "m");
+  obj.SetAttr(vlsi::kAttrDomain, vlsi::kDomainFloorplan);
+  obj.SetAttr(vlsi::kAttrArea, 10.0);
+  DovId dov = *tm.Checkin(*dop, obj, {});
+  tm.CommitDop(*dop).ok();
+  system.cm().NoteCheckin(*supporter, dov);
+
+  system.cm().Require(*requirer, *supporter, {"goal_domain"}).ok();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.cm().Propagate(*supporter, dov));
+  }
+  state.counters["events_delivered"] =
+      static_cast<double>(system.cm().stats().events_delivered);
+}
+BENCHMARK(BM_Level_AC_RequirePropagate);
+
+// Level-spanning: one full DOP driven from the AC level down (a DA
+// running a one-tool script).
+void BM_Level_Spanning_FullDop(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    NodeId ws = system.AddWorkstation("ws");
+    cooperation::DaDescription desc;
+    desc.dot = system.dots().chip;
+    desc.designer = DesignerId(1);
+    std::vector<std::unique_ptr<workflow::ScriptNode>> steps;
+    steps.push_back(
+        workflow::ScriptNode::Dop(vlsi::kToolStructureSynthesis));
+    desc.dc = workflow::Script(
+        "one", workflow::ScriptNode::Sequence(std::move(steps)));
+    desc.workstation = ws;
+    auto da = system.InitDesign(std::move(desc));
+    system.SetSeedObject(
+        *da, vlsi::MakeBehavioralChip(system.dots(), "c", 6)).ok();
+    system.StartDa(*da).ok();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(system.RunDa(*da));
+  }
+}
+BENCHMARK(BM_Level_Spanning_FullDop)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Figure 2 — The design plane (4 domains x cell hierarchy, tools 1-7).
+//
+// Regenerates the figure as an executable traversal: a top-level DA
+// walks behavior -> structure -> floorplan -> mask layout by applying
+// the numbered tools, swept over behavioral complexity (module count).
+// Counters report the design-plane artifacts (area, wirelength, DOVs).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "vlsi/schema.h"
+
+namespace concord {
+namespace {
+
+void BM_DesignPlane_FullTraversal(benchmark::State& state) {
+  const int complexity = static_cast<int>(state.range(0));
+  double area = 0;
+  double wirelength = 0;
+  double dovs = 0;
+  double sim_time = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(
+        bench::DefaultConfig(42 + state.iterations()));
+    auto da = sim::SetupTopLevelDa(&system, "chip", complexity, 1e9, 0);
+    system.StartDa(*da).ok();
+    state.ResumeTiming();
+
+    Status st = system.RunDa(*da);
+    benchmark::DoNotOptimize(st);
+
+    state.PauseTiming();
+    auto record = system.repository().Get(*system.CurrentVersion(*da));
+    area = record->data.GetNumeric(vlsi::kAttrArea).value_or(0);
+    wirelength = record->data.GetNumeric(vlsi::kAttrWirelength).value_or(0);
+    dovs = static_cast<double>(system.repository().graph(*da).size());
+    sim_time = static_cast<double>(system.clock().Now()) / kSecond;
+    state.ResumeTiming();
+  }
+  state.counters["modules"] = complexity;
+  state.counters["chip_area"] = area;
+  state.counters["wirelength"] = wirelength;
+  state.counters["dovs"] = dovs;
+  state.counters["sim_design_time_s"] = sim_time;
+}
+BENCHMARK(BM_DesignPlane_FullTraversal)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Individual tools of the plane (arrows 1, 3, 5, 7 of Fig. 2), isolated.
+void BM_DesignPlane_ToolCosts(benchmark::State& state) {
+  core::ConcordSystem system(bench::DefaultConfig());
+  const vlsi::ToolBox& toolbox = system.toolbox();
+  Rng rng(17);
+  storage::DesignObject behavioral =
+      vlsi::MakeBehavioralChip(system.dots(), "c", 16);
+  auto structured = toolbox.StructureSynthesis(behavioral, &rng);
+  auto shaped = toolbox.ShapeFunctionGeneration(structured->object);
+  auto planned = toolbox.ChipPlanning(shaped->object);
+
+  const int tool_index = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    switch (tool_index) {
+      case 1:
+        benchmark::DoNotOptimize(
+            toolbox.StructureSynthesis(behavioral, &rng));
+        break;
+      case 3:
+        benchmark::DoNotOptimize(
+            toolbox.ShapeFunctionGeneration(structured->object));
+        break;
+      case 5:
+        benchmark::DoNotOptimize(toolbox.ChipPlanning(shaped->object));
+        break;
+      case 7:
+        benchmark::DoNotOptimize(toolbox.ChipAssembly(planned->object));
+        break;
+    }
+  }
+  state.SetLabel("tool_" + std::to_string(tool_index));
+}
+BENCHMARK(BM_DesignPlane_ToolCosts)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Figure 3 — Chip planning: inputs (module & net list, shape functions,
+// floorplan interface) -> outputs (floorplan contents, subcell
+// interfaces), with designer re-iterations.
+//
+// Sweeps the module count and reports the planner's quality metrics
+// (area, cut size, wirelength) plus the cost of re-iterating the
+// planning step, as the paper's chip-planning discussion motivates.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "vlsi/floorplan.h"
+#include "vlsi/netlist.h"
+#include "vlsi/shape_function.h"
+
+namespace concord::vlsi {
+namespace {
+
+void BM_ChipPlanning_Pipeline(benchmark::State& state) {
+  const int modules = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Netlist netlist = Netlist::Random(modules, modules * 2, 4, &rng);
+  std::map<std::string, ShapeFunction> shapes;
+  for (const std::string& module : netlist.modules()) {
+    shapes[module] = ShapeFunction::Soft(40 + rng.Uniform(0, 60), 0.5, 2.0, 6);
+  }
+  ChipPlanner planner;
+  double area = 0;
+  double cut = 0;
+  double wl = 0;
+  for (auto _ : state) {
+    auto plan = planner.Plan(netlist, shapes);
+    benchmark::DoNotOptimize(plan);
+    if (plan.ok()) {
+      area = plan->Area();
+      cut = plan->cut_size;
+      wl = plan->wirelength;
+    }
+  }
+  state.counters["modules"] = modules;
+  state.counters["area"] = area;
+  state.counters["cut_size"] = cut;
+  state.counters["wirelength"] = wl;
+}
+BENCHMARK(BM_ChipPlanning_Pipeline)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+// The planner's individual steps (the toolbox of Fig. 3: bipartition,
+// sizing, dimensioning+routing).
+void BM_ChipPlanning_Steps(benchmark::State& state) {
+  const int modules = 24;
+  Rng rng(7);
+  Netlist netlist = Netlist::Random(modules, modules * 2, 4, &rng);
+  std::map<std::string, ShapeFunction> shapes;
+  for (const std::string& module : netlist.modules()) {
+    shapes[module] = ShapeFunction::Soft(50, 0.5, 2.0, 6);
+  }
+  ChipPlanner planner;
+  auto tree = planner.Bipartition(netlist, shapes);
+  const int step = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    switch (step) {
+      case 0:
+        benchmark::DoNotOptimize(planner.Bipartition(netlist, shapes));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(planner.Size(**tree, shapes));
+        break;
+      case 2:
+        benchmark::DoNotOptimize(planner.Dimension(**tree, shapes, netlist));
+        break;
+    }
+  }
+  state.SetLabel(step == 0   ? "bipartition"
+                 : step == 1 ? "sizing"
+                             : "dimension+route");
+}
+BENCHMARK(BM_ChipPlanning_Steps)->Arg(0)->Arg(1)->Arg(2);
+
+// Re-iterations "to achieve optimal space exploitation": repeated
+// planning with repartitioning in between, tracking best area found.
+void BM_ChipPlanning_Reiterations(benchmark::State& state) {
+  const int replans = static_cast<int>(state.range(0));
+  double best_area = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    const ToolBox& toolbox = system.toolbox();
+    Rng rng(11 + state.iterations());
+    storage::DesignObject obj =
+        MakeBehavioralChip(system.dots(), "c", 12);
+    obj = toolbox.StructureSynthesis(obj, &rng)->object;
+    state.ResumeTiming();
+
+    double best = 1e18;
+    for (int i = 0; i < replans; ++i) {
+      auto shaped = toolbox.ShapeFunctionGeneration(obj);
+      auto plan = toolbox.ChipPlanning(shaped->object);
+      if (plan.ok()) {
+        best = std::min(best,
+                        *plan->object.GetNumeric(kAttrArea));
+      }
+      auto repart = toolbox.Repartitioning(obj, &rng);
+      if (repart.ok()) obj = repart->object;
+    }
+    best_area = best;
+    benchmark::DoNotOptimize(best);
+  }
+  state.counters["replans"] = replans;
+  state.counters["best_area"] = best_area;
+}
+BENCHMARK(BM_ChipPlanning_Reiterations)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace concord::vlsi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Figure 4 — Design activities and DA hierarchies.
+//
+// Regenerates the figure's structure dynamically: Init_Design followed
+// by recursive Create_Sub_DA, swept over fan-out and depth. Counters
+// report hierarchy size and the CM's persistence cost (every DA
+// creation is durably recorded in the server DBMS).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace concord {
+namespace {
+
+cooperation::DaDescription Desc(core::ConcordSystem& system, DotId dot,
+                                NodeId ws) {
+  cooperation::DaDescription desc;
+  desc.dot = dot;
+  desc.designer = DesignerId(1);
+  desc.workstation = ws;
+  return desc;
+}
+
+/// Builds a DA tree of the given fan-out and depth under `parent`.
+void BuildTree(core::ConcordSystem& system, DaId parent, NodeId ws,
+               int fanout, int depth) {
+  if (depth == 0) return;
+  for (int i = 0; i < fanout; ++i) {
+    auto sub = system.CreateSubDa(
+        parent, Desc(system, system.dots().module, ws));
+    if (!sub.ok()) return;
+    system.cm().Start(*sub).ok();
+    BuildTree(system, *sub, ws, fanout, depth - 1);
+  }
+}
+
+void BM_DaHierarchy_Build(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  double das = 0;
+  double meta_writes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    NodeId ws = system.AddWorkstation("ws");
+    auto top = system.InitDesign(Desc(system, system.dots().chip, ws));
+    system.cm().Start(*top).ok();
+    state.ResumeTiming();
+
+    BuildTree(system, *top, ws, fanout, depth);
+
+    state.PauseTiming();
+    das = static_cast<double>(system.cm().AllDas().size());
+    meta_writes =
+        static_cast<double>(system.repository().stats().txns_committed);
+    state.ResumeTiming();
+  }
+  state.counters["fanout"] = fanout;
+  state.counters["depth"] = depth;
+  state.counters["das"] = das;
+  state.counters["cm_persist_txns"] = meta_writes;
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(das));
+}
+BENCHMARK(BM_DaHierarchy_Build)
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({2, 4})
+    ->Args({4, 3})
+    ->Args({8, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// Overlapping DOTs (Fig. 4b): several sub-DAs delegated for the same
+// subproblem — "delegate a single design task several times and choose
+// the best of the delivered solutions".
+void BM_DaHierarchy_CompetingDelegation(benchmark::State& state) {
+  const int competitors = static_cast<int>(state.range(0));
+  double best_area = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig(7 + state.iterations()));
+    NodeId ws = system.AddWorkstation("ws");
+    auto top = system.InitDesign(Desc(system, system.dots().chip, ws));
+    system.cm().Start(*top).ok();
+    state.ResumeTiming();
+
+    // The same task (same spec) delegated `competitors` times.
+    double best = 1e18;
+    DaId best_sub;
+    std::vector<DaId> subs;
+    for (int i = 0; i < competitors; ++i) {
+      cooperation::DaDescription desc =
+          Desc(system, system.dots().module,
+               system.AddWorkstation("c" + std::to_string(i)));
+      desc.spec = sim::MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
+      desc.designer = DesignerId(10 + i);
+      desc.dc = sim::MakeChipPlanningScript(1);
+      auto sub = system.CreateSubDa(*top, desc);
+      storage::DesignObject seed(system.dots().module);
+      seed.SetAttr(vlsi::kAttrName, "m");
+      seed.SetAttr(vlsi::kAttrDomain, vlsi::kDomainBehavior);
+      seed.SetAttr(vlsi::kAttrBehavior,
+                   "MODULE m COMPLEXITY " + std::to_string(6 + i));
+      seed.SetAttr(vlsi::kAttrPinCount, int64_t{8});
+      system.SetSeedObject(*sub, seed).ok();
+      system.StartDa(*sub).ok();
+      system.RunDa(*sub).ok();
+      auto current = system.CurrentVersion(*sub);
+      if (current.ok()) {
+        auto quality = system.cm().Evaluate(*sub, *current);
+        auto record = system.repository().Get(*current);
+        double area = record->data.GetNumeric(vlsi::kAttrArea).value_or(1e18);
+        if (quality.ok() && quality->is_final() && area < best) {
+          best = area;
+          best_sub = *sub;
+        }
+      }
+      subs.push_back(*sub);
+    }
+    // Keep the winner, cancel the rest.
+    for (DaId sub : subs) {
+      if (sub == best_sub) {
+        system.cm().SubDaReadyToCommit(sub).ok();
+      }
+      system.cm().TerminateSubDa(*top, sub).ok();
+    }
+    best_area = best;
+    benchmark::DoNotOptimize(best);
+  }
+  state.counters["competitors"] = competitors;
+  state.counters["best_area"] = best_area;
+}
+BENCHMARK(BM_DaHierarchy_CompetingDelegation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Figure 5 — The delegation scenario within chip planning.
+//
+// Runs the full Fig. 5 story end to end: DA1 plans cell 0, delegates
+// the placed subcells to DA2..DAn, one sub-DA reports
+// Sub_DA_Impossible_Specification, the super-DA re-balances the area
+// budgets (the DA2/DA3 resolution of Sect. 4.1), the subs re-plan and
+// the hierarchy terminates. Swept over chip complexity, with and
+// without the impossible-spec episode.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace concord {
+namespace {
+
+void BM_Delegation_Scenario(benchmark::State& state) {
+  const int complexity = static_cast<int>(state.range(0));
+  const bool squeeze = state.range(1) != 0;
+  double subs = 0;
+  double replans = 0;
+  double events = 0;
+  double sim_time_s = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(
+        bench::DefaultConfig(42 + state.iterations()));
+    sim::MetricsCollector metrics;
+    state.ResumeTiming();
+
+    auto result = sim::RunDelegationScenario(&system, complexity, squeeze,
+                                             &metrics);
+    benchmark::DoNotOptimize(result);
+
+    state.PauseTiming();
+    if (result.ok()) {
+      subs = static_cast<double>(result->subs.size());
+      replans = result->replans;
+    }
+    events = static_cast<double>(system.cm().stats().events_delivered);
+    sim_time_s = static_cast<double>(system.clock().Now()) / kSecond;
+    state.ResumeTiming();
+  }
+  state.counters["complexity"] = complexity;
+  state.counters["sub_das"] = subs;
+  state.counters["replans"] = replans;
+  state.counters["coop_events"] = events;
+  state.counters["sim_design_time_s"] = sim_time_s;
+  state.SetLabel(squeeze ? "with_impossible_spec" : "smooth");
+}
+BENCHMARK(BM_Delegation_Scenario)
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

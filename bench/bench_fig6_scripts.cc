@@ -1,0 +1,134 @@
+// Figure 6 — Sample scripts: (a) a partially undetermined script with
+// an `open` segment, (b) alternative paths after shape-function
+// generation.
+//
+// Measures the DC-level machinery itself: executor throughput over the
+// two figure shapes, constraint admission checking, and the cost of
+// the persistent execution log that makes scripts recoverable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "vlsi/tools.h"
+#include "workflow/design_manager.h"
+
+namespace concord::workflow {
+namespace {
+
+/// A stub tool runner: instant commits, fresh ids.
+ToolRunner StubRunner(uint64_t* counter) {
+  return [counter](const std::string&) -> Result<DopOutcome> {
+    DopOutcome outcome;
+    outcome.committed = true;
+    outcome.output = DovId(++*counter);
+    return outcome;
+  };
+}
+
+class OpenPlanDecider : public DecisionMaker {
+ public:
+  explicit OpenPlanDecider(std::vector<std::string> plan)
+      : plan_(std::move(plan)) {}
+  size_t ChooseAlternative(const ScriptNode&) override { return choice_; }
+  bool ContinueIteration(const ScriptNode&, int) override { return false; }
+  std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+    return plan_;
+  }
+  void set_choice(size_t c) { choice_ = c; }
+
+ private:
+  std::vector<std::string> plan_;
+  size_t choice_ = 0;
+};
+
+void BM_Script_Fig6a_OpenSegment(benchmark::State& state) {
+  const int open_actions = static_cast<int>(state.range(0));
+  SimClock clock;
+  uint64_t counter = 0;
+  std::vector<std::string> plan(open_actions, vlsi::kToolRepartitioning);
+  Script script = concord::sim::MakeOpenScript();
+  ConstraintSet constraints;
+  core::RegisterVlsiDomainConstraints(&constraints);
+  OpenPlanDecider decider(plan);
+  for (auto _ : state) {
+    DesignManager dm(DaId(1), script, &constraints, &clock);
+    dm.SetToolRunner(StubRunner(&counter));
+    dm.SetDecisionMaker(&decider);
+    dm.Start().ok();
+    benchmark::DoNotOptimize(dm.RunToCompletion());
+  }
+  state.counters["open_actions"] = open_actions;
+  state.SetItemsProcessed(state.iterations() * (2 + open_actions));
+}
+BENCHMARK(BM_Script_Fig6a_OpenSegment)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Script_Fig6b_Alternatives(benchmark::State& state) {
+  const size_t choice = static_cast<size_t>(state.range(0));
+  SimClock clock;
+  uint64_t counter = 0;
+  Script script = concord::sim::MakeAlternativesScript();
+  OpenPlanDecider decider({});
+  decider.set_choice(choice);
+  double dops = 0;
+  for (auto _ : state) {
+    DesignManager dm(DaId(1), script, nullptr, &clock);
+    dm.SetToolRunner(StubRunner(&counter));
+    dm.SetDecisionMaker(&decider);
+    dm.Start().ok();
+    benchmark::DoNotOptimize(dm.RunToCompletion());
+    dops = static_cast<double>(dm.CompletedDops().size());
+  }
+  state.counters["path"] = static_cast<double>(choice);
+  state.counters["dops_on_path"] = dops;
+}
+BENCHMARK(BM_Script_Fig6b_Alternatives)->Arg(0)->Arg(1)->Arg(2);
+
+// Constraint admission checking in isolation, swept over history size.
+void BM_Script_ConstraintAdmission(benchmark::State& state) {
+  const int history_len = static_cast<int>(state.range(0));
+  ConstraintSet constraints;
+  core::RegisterVlsiDomainConstraints(&constraints);
+  std::vector<std::string> history;
+  for (int i = 0; i < history_len; ++i) {
+    history.push_back(i % 2 == 0 ? vlsi::kToolStructureSynthesis
+                                 : vlsi::kToolRepartitioning);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        constraints.CheckAdmissible(history, vlsi::kToolChipAssembly));
+  }
+  state.counters["history"] = history_len;
+}
+BENCHMARK(BM_Script_ConstraintAdmission)->Arg(2)->Arg(16)->Arg(128);
+
+// Recoverability cost: crash + replay of a long script, swept over the
+// number of completed DOPs at crash time.
+void BM_Script_CrashReplay(benchmark::State& state) {
+  const int completed = static_cast<int>(state.range(0));
+  SimClock clock;
+  uint64_t counter = 0;
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  for (int i = 0; i < completed + 8; ++i) {
+    steps.push_back(ScriptNode::Dop("tool" + std::to_string(i % 4)));
+  }
+  Script script("long", ScriptNode::Sequence(std::move(steps)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DesignManager dm(DaId(1), script, nullptr, &clock);
+    dm.SetToolRunner(StubRunner(&counter));
+    dm.Start().ok();
+    while (dm.CompletedDops().size() < static_cast<size_t>(completed)) {
+      dm.Step().ok();
+    }
+    dm.Crash();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(dm.Recover());
+  }
+  state.counters["replayed_dops"] = completed;
+}
+BENCHMARK(BM_Script_CrashReplay)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace concord::workflow
+
+BENCHMARK_MAIN();

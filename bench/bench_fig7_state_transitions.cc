@@ -1,0 +1,153 @@
+// Figure 7 — Simplified state/transition graph for a DA.
+//
+// Exercises the state machine operationally: throughput of the Fig. 7
+// operations through the CM (including protocol-violation rejection
+// cost, since the CM "checks each cooperative activity to comply with
+// the integrity constraints"), plus a full legal lifecycle walk
+// generated -> active -> negotiating -> active -> ready -> terminated.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace concord {
+namespace {
+
+struct Fixture {
+  explicit Fixture(uint64_t seed)
+      : clock(),
+        repo(&clock),
+        locks(),
+        cm(&repo, &locks, &clock) {
+    (void)seed;
+    auto* module = repo.schema().DefineType("module");
+    module->AddAttr({"area", storage::AttrType::kDouble, false, {}, {}});
+    auto* chip = repo.schema().DefineType("chip");
+    chip->AddAttr({"area", storage::AttrType::kDouble, false, {}, {}});
+    chip->AddPart({module->id(), 0, 1 << 20});
+    chip_dot = chip->id();
+    module_dot = module->id();
+  }
+
+  cooperation::DaDescription Desc(DotId dot) {
+    cooperation::DaDescription d;
+    d.dot = dot;
+    d.designer = DesignerId(1);
+    d.workstation = NodeId(1);
+    return d;
+  }
+
+  SimClock clock;
+  storage::Repository repo;
+  txn::LockManager locks;
+  cooperation::CooperationManager cm;
+  DotId chip_dot;
+  DotId module_dot;
+};
+
+// Full legal lifecycle of one sub-DA (ops 2,3,8,6 of Fig. 7 plus the
+// negotiating loop 12/13).
+void BM_StateMachine_FullLifecycle(benchmark::State& state) {
+  Fixture fx(42);
+  DaId top = *fx.cm.InitDesign(fx.Desc(fx.chip_dot));
+  fx.cm.Start(top).ok();
+  DaId sibling = *fx.cm.CreateSubDa(top, fx.Desc(fx.module_dot));
+  fx.cm.Start(sibling).ok();
+  for (auto _ : state) {
+    DaId sub = *fx.cm.CreateSubDa(top, fx.Desc(fx.module_dot));
+    fx.cm.Start(sub).ok();
+    cooperation::Proposal p;
+    fx.cm.Propose(sub, sibling, p).ok();   // both -> negotiating
+    fx.cm.Agree(sibling).ok();             // both -> active
+    fx.cm.SubDaImpossibleSpecification(sub, "r").ok();  // -> ready
+    fx.cm.TerminateSubDa(top, sub).ok();   // -> terminated
+  }
+  state.counters["protocol_violations"] =
+      static_cast<double>(fx.cm.stats().protocol_violations);
+  state.SetItemsProcessed(state.iterations() * 6);  // ops per lifecycle
+}
+BENCHMARK(BM_StateMachine_FullLifecycle);
+
+// Illegal-operation rejection cost (the * transitions of Fig. 7 that
+// are not enabled in the current state).
+void BM_StateMachine_ViolationRejection(benchmark::State& state) {
+  Fixture fx(42);
+  DaId top = *fx.cm.InitDesign(fx.Desc(fx.chip_dot));
+  fx.cm.Start(top).ok();
+  DaId sub = *fx.cm.CreateSubDa(top, fx.Desc(fx.module_dot));
+  // sub stays `generated`: every work operation on it must be rejected.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.cm.SubDaImpossibleSpecification(sub, "r"));
+    benchmark::DoNotOptimize(fx.cm.Agree(sub));
+    benchmark::DoNotOptimize(fx.cm.Start(top));  // double start
+  }
+  state.counters["violations"] =
+      static_cast<double>(fx.cm.stats().protocol_violations);
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_StateMachine_ViolationRejection);
+
+// Negotiation round-trip throughput (ops 12-14).
+void BM_StateMachine_NegotiationRound(benchmark::State& state) {
+  Fixture fx(42);
+  DaId top = *fx.cm.InitDesign(fx.Desc(fx.chip_dot));
+  fx.cm.Start(top).ok();
+  DaId a = *fx.cm.CreateSubDa(top, fx.Desc(fx.module_dot));
+  DaId b = *fx.cm.CreateSubDa(top, fx.Desc(fx.module_dot));
+  fx.cm.Start(a).ok();
+  fx.cm.Start(b).ok();
+  bool agree = true;
+  for (auto _ : state) {
+    cooperation::Proposal p;
+    p.for_to = {storage::Feature::AtMost("area_limit", "area", 50)};
+    fx.cm.Propose(a, b, p).ok();
+    if (agree) {
+      fx.cm.Agree(b).ok();
+    } else {
+      fx.cm.Disagree(b).ok();
+    }
+    agree = !agree;
+  }
+  state.counters["agreements"] =
+      static_cast<double>(fx.cm.stats().agreements);
+  state.counters["disagreements"] =
+      static_cast<double>(fx.cm.stats().disagreements);
+}
+BENCHMARK(BM_StateMachine_NegotiationRound);
+
+// Evaluate throughput (op 7) as the spec size grows.
+void BM_StateMachine_Evaluate(benchmark::State& state) {
+  const int features = static_cast<int>(state.range(0));
+  Fixture fx(42);
+  storage::DesignSpecification spec;
+  for (int i = 0; i < features; ++i) {
+    spec.Add(storage::Feature::AtMost("f" + std::to_string(i), "area",
+                                      100.0 + i));
+  }
+  cooperation::DaDescription desc = fx.Desc(fx.chip_dot);
+  desc.spec = spec;
+  DaId top = *fx.cm.InitDesign(std::move(desc));
+  fx.cm.Start(top).ok();
+
+  TxnId txn = fx.repo.Begin();
+  storage::DovRecord record;
+  record.id = fx.repo.NextDovId();
+  record.owner_da = top;
+  record.type = fx.chip_dot;
+  record.data = storage::DesignObject(fx.chip_dot);
+  record.data.SetAttr("area", 50.0);
+  fx.repo.Put(txn, record).ok();
+  fx.repo.Commit(txn).ok();
+  fx.locks.SetScopeOwner(record.id, top);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.cm.Evaluate(top, record.id));
+  }
+  state.counters["features"] = features;
+}
+BENCHMARK(BM_StateMachine_Evaluate)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// Figure 8 — Responsibilities and interplay of activity managers:
+// joint failure handling across CM / DM / client-TM / server-TM.
+//
+// Regenerates the figure as failure-injection experiments:
+//  - workstation crash mid-DOP: recovery time and units of work lost,
+//    swept over the recovery-point interval ("fire-walls inside a DOP");
+//  - workstation crash mid-work-flow: forward recovery via the DM's
+//    persistent script + log (no DOP re-execution);
+//  - server crash: WAL + meta-store recovery of repository, lock
+//    tables, and the CM's DA hierarchy.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace concord {
+namespace {
+
+// Workstation crash inside one long DOP.
+void BM_Failure_WorkstationCrashMidDop(benchmark::State& state) {
+  const uint64_t rp_interval = static_cast<uint64_t>(state.range(0));
+  double lost = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    NodeId ws = system.AddWorkstation("ws");
+    txn::ClientTm& tm = system.client_tm(ws);
+    tm.set_auto_recovery_interval(rp_interval);
+    auto dop = tm.BeginDop(DaId(1));
+    // ~1000 units of tool work in 13-unit slices (not commensurate
+    // with the swept intervals, so partial loss is visible).
+    for (int i = 0; i < 77; ++i) tm.DoWork(*dop, 13).ok();
+    tm.Crash();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tm.Recover());
+    state.PauseTiming();
+    lost = static_cast<double>(tm.stats().work_units_lost);
+    state.ResumeTiming();
+  }
+  state.counters["rp_interval"] = static_cast<double>(rp_interval);
+  state.counters["work_lost"] = lost;
+  state.counters["work_total"] = 77 * 13;
+}
+BENCHMARK(BM_Failure_WorkstationCrashMidDop)
+    ->Arg(0)     // checkout-only recovery points: everything lost
+    ->Arg(499)
+    ->Arg(97)
+    ->Arg(23);
+
+// Workstation crash between DOPs of a work flow: DM forward recovery.
+void BM_Failure_WorkstationCrashMidWorkflow(benchmark::State& state) {
+  const int dops_before_crash = static_cast<int>(state.range(0));
+  double reexecuted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    auto da = sim::SetupTopLevelDa(&system, "c", 6, 1e9, 0);
+    system.StartDa(*da).ok();
+    auto& dm = system.dm(*da);
+    while (dm.CompletedDops().size() <
+           static_cast<size_t>(dops_before_crash)) {
+      dm.Step().ok();
+    }
+    uint64_t dops_run_before = dm.stats().dops_run;
+    NodeId ws = (*system.cm().GetDa(*da))->workstation;
+    system.CrashWorkstation(ws);
+    state.ResumeTiming();
+
+    benchmark::DoNotOptimize(system.RecoverWorkstation(ws));
+
+    state.PauseTiming();
+    system.RunDa(*da).ok();
+    // Forward recovery means completed DOPs were replayed, not re-run.
+    reexecuted =
+        static_cast<double>(dm.stats().dops_run - dops_run_before) -
+        (5 - dops_before_crash);
+    state.ResumeTiming();
+  }
+  state.counters["dops_at_crash"] = dops_before_crash;
+  state.counters["dops_reexecuted"] = reexecuted;
+}
+BENCHMARK(BM_Failure_WorkstationCrashMidWorkflow)->Arg(1)->Arg(2)->Arg(4);
+
+// Server crash: recovery cost as the design grows.
+void BM_Failure_ServerCrashRecovery(benchmark::State& state) {
+  const int designs = static_cast<int>(state.range(0));
+  double dovs = 0;
+  double das = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    for (int i = 0; i < designs; ++i) {
+      auto da = sim::SetupTopLevelDa(&system, "c" + std::to_string(i), 4,
+                                     1e9, 0);
+      system.StartDa(*da).ok();
+      system.RunDa(*da).ok();
+    }
+    dovs = static_cast<double>(system.repository().stats().dovs_written);
+    das = static_cast<double>(system.cm().AllDas().size());
+    system.CrashServer();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(system.RecoverServer());
+  }
+  state.counters["designs"] = designs;
+  state.counters["dovs"] = dovs;
+  state.counters["das"] = das;
+}
+BENCHMARK(BM_Failure_ServerCrashRecovery)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+// Checkpointing the repository bounds recovery cost: recovery after a
+// checkpoint replays only the WAL suffix.
+void BM_Failure_RecoveryWithCheckpoint(benchmark::State& state) {
+  const bool checkpoint = state.range(0) != 0;
+  double wal_at_crash = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConcordSystem system(bench::DefaultConfig());
+    for (int i = 0; i < 8; ++i) {
+      auto da = sim::SetupTopLevelDa(&system, "c" + std::to_string(i), 4,
+                                     1e9, 0);
+      system.StartDa(*da).ok();
+      system.RunDa(*da).ok();
+      if (checkpoint && i == 5) system.repository().Checkpoint();
+    }
+    wal_at_crash = static_cast<double>(system.repository().wal().size());
+    system.CrashServer();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(system.RecoverServer());
+  }
+  state.counters["wal_records_replayed"] = wal_at_crash;
+  state.SetLabel(checkpoint ? "with_checkpoint" : "no_checkpoint");
+}
+BENCHMARK(BM_Failure_RecoveryWithCheckpoint)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

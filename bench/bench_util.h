@@ -1,0 +1,26 @@
+#ifndef CONCORD_BENCH_BENCH_UTIL_H_
+#define CONCORD_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include "core/concord_system.h"
+#include "sim/scenarios.h"
+
+namespace concord::bench {
+
+/// Builds a fresh system with a deterministic seed derived from the
+/// benchmark argument, so repeated iterations are comparable but sweeps
+/// vary the workload.
+inline core::SystemConfig DefaultConfig(uint64_t seed = 42) {
+  core::SystemConfig config;
+  config.seed = seed;
+  // Keep simulated tool time moderate: benches report both wall time
+  // (work our implementation does) and simulated design time (what the
+  // modeled designers experience) via counters.
+  config.time_per_work_unit = kMillisecond;
+  return config;
+}
+
+}  // namespace concord::bench
+
+#endif  // CONCORD_BENCH_BENCH_UTIL_H_

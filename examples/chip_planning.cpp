@@ -1,0 +1,99 @@
+// Chip planning with delegation — the scenario of Fig. 3 / Fig. 5.
+//
+// DA1 plans cell 0 top-down: structure synthesis, shape functions, and
+// the chip-planner toolbox produce a floorplan whose placed subcells
+// become the interfaces of delegated sub-DAs (DA2..DAn), each planning
+// its subcell on its own workstation. One sub-DA is given an area
+// budget no plan can meet; it reports Sub_DA_Impossible_Specification
+// and the super-DA resolves the conflict by re-balancing budgets
+// between siblings — the DA2/DA3 story of Sect. 4.1.
+
+#include <cstdio>
+
+#include "core/concord_system.h"
+#include "storage/configuration.h"
+#include "sim/scenarios.h"
+#include "vlsi/floorplan.h"
+#include "vlsi/schema.h"
+
+using namespace concord;
+
+int main() {
+  core::ConcordSystem system;
+  sim::MetricsCollector metrics;
+
+  auto result = sim::RunDelegationScenario(&system, /*complexity=*/10,
+                                           /*squeeze=*/true, &metrics);
+  if (!result.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Fig. 5 delegation scenario ===\n");
+  std::printf("top-level DA            : %s\n",
+              result->top.ToString().c_str());
+  std::printf("delegated sub-DAs       : %zu\n", result->subs.size());
+  std::printf("impossible spec reported: %s\n",
+              result->impossible_sub.valid()
+                  ? result->impossible_sub.ToString().c_str()
+                  : "(none)");
+  std::printf("spec re-balancing rounds: %d\n", result->replans);
+  std::printf("total planned sub area  : %.1f\n", result->final_area);
+
+  const auto& cm_stats = system.cm().stats();
+  std::printf("\n=== Cooperation manager protocol log ===\n");
+  std::printf("DAs created/terminated  : %llu / %llu\n",
+              (unsigned long long)cm_stats.das_created,
+              (unsigned long long)cm_stats.das_terminated);
+  std::printf("delegations             : %llu\n",
+              (unsigned long long)cm_stats.delegations);
+  std::printf("events delivered        : %llu\n",
+              (unsigned long long)cm_stats.events_delivered);
+  std::printf("protocol violations     : %llu\n",
+              (unsigned long long)cm_stats.protocol_violations);
+
+  const auto& tm_stats = system.server_tm().stats();
+  std::printf("\n=== TE level ===\n");
+  std::printf("DOPs begun/committed    : %llu / %llu\n",
+              (unsigned long long)tm_stats.dops_begun,
+              (unsigned long long)tm_stats.dops_committed);
+  std::printf("checkouts / checkins    : %llu / %llu\n",
+              (unsigned long long)tm_stats.checkouts,
+              (unsigned long long)tm_stats.checkins);
+  std::printf("simulated design time   : %s\n",
+              FormatSimTime(system.clock().Now()).c_str());
+
+  // The inheritance effect: the final DOVs of terminated sub-DAs now
+  // belong to the scope of the (completed) top-level DA's hierarchy.
+  std::printf("\n=== Scope after termination ===\n");
+  int inherited = 0;
+  for (DaId sub : result->subs) {
+    auto activity = system.cm().GetDa(sub);
+    if (!activity.ok()) continue;
+    for (DovId dov : (*activity)->final_dovs) {
+      ++inherited;
+      std::printf("  final %s of %s devolved to the super-DA\n",
+                  dov.ToString().c_str(), sub.ToString().c_str());
+    }
+  }
+  std::printf("inherited final DOVs    : %d\n", inherited);
+
+  // The synthesized result: the configuration composed from the
+  // sub-DAs' deliveries (persisted in the server DBMS).
+  storage::ConfigurationStore configs(&system.repository());
+  auto composed = configs.Load("fig5_composition");
+  if (composed.ok()) {
+    std::printf("\n=== Composed configuration '%s' ===\n",
+                composed->name.c_str());
+    std::printf("composite               : %s\n",
+                composed->composite.ToString().c_str());
+    for (const auto& [slot, dov] : composed->bindings) {
+      std::printf("  %-8s -> %s\n", slot.c_str(), dov.ToString().c_str());
+    }
+  }
+  return result->replans >= 1 && result->impossible_sub.valid() &&
+                 composed.ok()
+             ? 0
+             : 2;
+}

@@ -1,0 +1,157 @@
+// Cooperation primitives in action: usage relationships, pre-release of
+// preliminary results, ECA-rule-driven auto-propagation, negotiation
+// between sibling DAs ("moving the borderline between A and B"), and
+// withdrawal handling (Sect. 4.1 / 5.4).
+
+#include <cstdio>
+
+#include "core/concord_system.h"
+#include "sim/scenarios.h"
+#include "vlsi/schema.h"
+#include "vlsi/tools.h"
+
+using namespace concord;
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    Status _st = (expr);                                            \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FAILED %s: %s\n", #expr,                \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+namespace {
+
+Result<DaId> MakeModuleDa(core::ConcordSystem* system, DaId top,
+                          const std::string& name, double area_budget,
+                          int designer) {
+  cooperation::DaDescription desc;
+  desc.dot = system->dots().module;
+  desc.spec = sim::MakeSpec(area_budget, 0, vlsi::kDomainFloorplan);
+  desc.designer = DesignerId(designer);
+  desc.dc = sim::MakeChipPlanningScript(1);
+  desc.workstation = system->AddWorkstation("ws_" + name);
+  CONCORD_ASSIGN_OR_RETURN(DaId da, system->CreateSubDa(top, desc));
+  storage::DesignObject seed(system->dots().module);
+  seed.SetAttr(vlsi::kAttrName, name);
+  seed.SetAttr(vlsi::kAttrDomain, vlsi::kDomainBehavior);
+  seed.SetAttr(vlsi::kAttrBehavior, "MODULE " + name + " COMPLEXITY 5");
+  seed.SetAttr(vlsi::kAttrPinCount, int64_t{8});
+  CONCORD_RETURN_NOT_OK(system->SetSeedObject(da, seed));
+  CONCORD_RETURN_NOT_OK(system->StartDa(da));
+  return da;
+}
+
+}  // namespace
+
+int main() {
+  core::ConcordSystem system;
+  auto top = sim::SetupTopLevelDa(&system, "soc", 6, 1e9, 0);
+  if (!top.ok()) return 1;
+  CHECK_OK(system.StartDa(*top));
+
+  auto alice = MakeModuleDa(&system, *top, "alu", 1e6, 2);
+  auto bob = MakeModuleDa(&system, *top, "rom", 1e6, 3);
+  if (!alice.ok() || !bob.ok()) return 1;
+
+  std::printf("=== 1. Alice plans and pre-releases a preliminary state ===\n");
+  CHECK_OK(system.RunDa(*alice));
+  DovId preliminary = *system.CurrentVersion(*alice);
+  auto quality = system.cm().Evaluate(*alice, preliminary);
+  std::printf("Alice's %s fulfills %zu/%zu features\n",
+              preliminary.ToString().c_str(), quality->fulfilled.size(),
+              quality->total());
+
+  // Alice installs the paper's example rule:
+  //   WHEN Require IF (required DOV available) THEN Propagate.
+  DaId alice_id = *alice;
+  core::ConcordSystem* sys = &system;
+  system.dm(alice_id).rules().AddRule(
+      "Require", "WHEN Require IF available THEN Propagate",
+      [](const workflow::Event&) { return true; },
+      [sys, alice_id](const workflow::Event&) {
+        auto current = sys->CurrentVersion(alice_id);
+        if (!current.ok()) return current.status();
+        return sys->cm().Propagate(alice_id, *current);
+      });
+
+  std::printf("\n=== 2. Bob requires Alice's floorplan quality ===\n");
+  CHECK_OK(system.cm().Require(*bob, *alice, {"goal_domain"}));
+  bool visible = system.cm().InScope(*bob, preliminary);
+  std::printf("after Require: ECA rule fired, %s %s visible to Bob\n",
+              preliminary.ToString().c_str(),
+              visible ? "is now" : "is NOT");
+
+  std::printf("\n=== 3. Negotiation: moving the borderline ===\n");
+  // Alice proposes to take 20%% of Bob's area budget.
+  cooperation::Proposal proposal;
+  proposal.for_from = {
+      storage::Feature::AtMost("area_limit", vlsi::kAttrArea, 1.2e6)};
+  proposal.for_to = {
+      storage::Feature::AtMost("area_limit", vlsi::kAttrArea, 0.8e6)};
+  CHECK_OK(system.cm().Propose(*alice, *bob, proposal));
+  std::printf("both negotiating: alice=%s bob=%s\n",
+              cooperation::DaStateToString(*system.cm().StateOf(*alice)),
+              cooperation::DaStateToString(*system.cm().StateOf(*bob)));
+  CHECK_OK(system.cm().Agree(*bob));
+  std::printf("agreed: alice area budget=%.0f, bob area budget=%.0f\n",
+              (*system.cm().GetDa(*alice))->spec.Find("area_limit")->max(),
+              (*system.cm().GetDa(*bob))->spec.Find("area_limit")->max());
+
+  std::printf("\n=== 4. Bob consumes the pre-released DOV ===\n");
+  // Bob's DM runs an integration DOP whose tool checks out Alice's
+  // pre-released version — so the usage lands in Bob's persistent
+  // work-flow log (the basis for withdrawal analysis, Sect. 5.3).
+  NodeId bob_ws = (*system.cm().GetDa(*bob))->workstation;
+  txn::ClientTm& bob_tm = system.client_tm(bob_ws);
+  DaId bob_id = *bob;
+  DovId bob_output;
+  system.dm(bob_id).SetToolRunner(
+      [&](const std::string&) -> Result<workflow::DopOutcome> {
+        CONCORD_ASSIGN_OR_RETURN(DopId dop, bob_tm.BeginDop(bob_id));
+        CONCORD_RETURN_NOT_OK(bob_tm.Checkout(dop, preliminary));
+        storage::DesignObject derived = *bob_tm.Input(dop, preliminary);
+        derived.SetAttr(vlsi::kAttrName, "rom_over_alu");
+        CONCORD_ASSIGN_OR_RETURN(
+            DovId out, bob_tm.Checkin(dop, derived, {preliminary}));
+        CONCORD_RETURN_NOT_OK(bob_tm.CommitDop(dop));
+        sys->cm().NoteCheckin(bob_id, out);
+        bob_output = out;
+        workflow::DopOutcome outcome;
+        outcome.committed = true;
+        outcome.output = out;
+        outcome.inputs = {preliminary};
+        return outcome;
+      });
+  CHECK_OK(system.RunDa(*bob));
+  std::printf("Bob checked out %s and derived %s from it\n",
+              preliminary.ToString().c_str(),
+              bob_output.ToString().c_str());
+
+  std::printf("\n=== 5. Alice withdraws; Bob's DM pauses ===\n");
+  CHECK_OK(system.cm().WithdrawPropagation(*alice, preliminary));
+  auto bob_state = system.dm(*bob).state();
+  std::printf("withdrawal delivered: Bob's DM is %s (his log shows the "
+              "DOV was used by a local DOP)\n",
+              workflow::DmStateToString(bob_state));
+  bool used = system.dm(*bob).UsedDov(preliminary);
+  std::printf("Bob's log analysis: UsedDov(%s) = %s\n",
+              preliminary.ToString().c_str(), used ? "true" : "false");
+  if (bob_state == workflow::DmState::kPaused) {
+    CHECK_OK(system.dm(*bob).ResumeAfterPause());
+    std::printf("designer decided to continue (his work is still valid)\n");
+  }
+
+  std::printf("\n=== Cooperation manager totals ===\n");
+  const auto& stats = system.cm().stats();
+  std::printf("require/propagate/withdraw: %llu / %llu / %llu\n",
+              (unsigned long long)stats.require_ops,
+              (unsigned long long)stats.propagations,
+              (unsigned long long)stats.withdrawals);
+  std::printf("proposals/agreements      : %llu / %llu\n",
+              (unsigned long long)stats.proposals,
+              (unsigned long long)stats.agreements);
+  return visible && used ? 0 : 2;
+}

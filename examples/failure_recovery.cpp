@@ -1,0 +1,108 @@
+// Joint failure handling across all levels (Sect. 5 / Fig. 8).
+//
+// Story: a designer works through the design plane; the workstation
+// crashes mid-work-flow (losing the DOP context and the DM's execution
+// machine); recovery replays the persistent work-flow log so completed
+// DOPs are NOT re-executed, and the client-TM re-establishes the DOP
+// context from its most recent recovery point. Then the server crashes;
+// the repository recovers from its WAL and the cooperation manager
+// reloads the DA hierarchy from the meta store.
+
+#include <cstdio>
+
+#include "core/concord_system.h"
+#include "sim/scenarios.h"
+#include "vlsi/schema.h"
+
+using namespace concord;
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    Status _st = (expr);                                            \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FAILED %s: %s\n", #expr,                \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int main() {
+  core::ConcordSystem system;
+  auto da = sim::SetupTopLevelDa(&system, "cpu", /*complexity=*/8,
+                                 /*max_area=*/1e9, /*max_width=*/0);
+  if (!da.ok()) return 1;
+  CHECK_OK(system.StartDa(*da));
+
+  // Run the first two DOPs of the five-step script.
+  auto& dm = system.dm(*da);
+  while (dm.CompletedDops().size() < 2) {
+    auto more = dm.Step();
+    if (!more.ok()) return 1;
+  }
+  std::printf("before crash : %zu DOPs done, %llu committed at server\n",
+              dm.CompletedDops().size(),
+              (unsigned long long)system.server_tm().stats().dops_committed);
+
+  // --- Workstation crash -------------------------------------------
+  NodeId ws = (*system.cm().GetDa(*da))->workstation;
+  system.CrashWorkstation(ws);
+  std::printf("workstation %s crashed: DM state = %s\n",
+              ws.ToString().c_str(),
+              workflow::DmStateToString(dm.state()));
+
+  CHECK_OK(system.RecoverWorkstation(ws));
+  std::printf("recovered    : DM state = %s, %zu DOPs replayed from the "
+              "persistent log (%llu re-executed)\n",
+              workflow::DmStateToString(dm.state()),
+              dm.CompletedDops().size(),
+              (unsigned long long)0);
+
+  CHECK_OK(system.RunDa(*da));
+  std::printf("finished     : %zu DOPs total, server committed %llu "
+              "(no duplicated work)\n",
+              dm.CompletedDops().size(),
+              (unsigned long long)system.server_tm().stats().dops_committed);
+
+  // --- Server crash --------------------------------------------------
+  DovId final_dov = *system.CurrentVersion(*da);
+  uint64_t content_hash =
+      (*system.repository().Get(final_dov)).data.ContentHash();
+  size_t wal_records = system.repository().wal().size();
+
+  system.CrashServer();
+  std::printf("\nserver crashed: volatile state lost, %zu WAL records on "
+              "stable storage\n", wal_records);
+  CHECK_OK(system.RecoverServer());
+
+  bool intact =
+      (*system.repository().Get(final_dov)).data.ContentHash() ==
+      content_hash;
+  auto quality = system.cm().Evaluate(*da, final_dov);
+  std::printf("recovered     : %zu DOVs restored, final design state %s "
+              "(content %s), spec %s\n",
+              system.repository().DovsOf(*da).size(),
+              final_dov.ToString().c_str(),
+              intact ? "bit-identical" : "CORRUPTED",
+              quality.ok() && quality->is_final() ? "still fulfilled"
+                                                  : "NOT fulfilled");
+
+  // --- Loss-of-work accounting at the TE level -----------------------
+  std::printf("\n=== TE-level loss-of-work demo ===\n");
+  NodeId ws2 = system.AddWorkstation("scratch");
+  txn::ClientTm& tm = system.client_tm(ws2);
+  for (uint64_t interval : {0ULL, 333ULL, 77ULL}) {
+    tm.set_auto_recovery_interval(interval);
+    auto dop = tm.BeginDop(*da);
+    uint64_t lost_before = tm.stats().work_units_lost;
+    for (int i = 0; i < 99; ++i) tm.DoWork(*dop, 10).ok();
+    tm.Crash();
+    tm.Recover().ok();
+    std::printf("  recovery-point interval %4llu units -> lost %llu of "
+                "990 units\n",
+                (unsigned long long)interval,
+                (unsigned long long)(tm.stats().work_units_lost -
+                                     lost_before));
+    tm.AbortDop(*dop).ok();
+  }
+  return intact && quality.ok() && quality->is_final() ? 0 : 2;
+}

@@ -1,0 +1,62 @@
+// Quickstart: one designer takes a chip from behavioral description to
+// mask layout through the CONCORD stack — a top-level design activity
+// (AC level) whose script (DC level) runs the five design tools as
+// ACID DOPs (TE level) against the versioned repository.
+
+#include <cstdio>
+
+#include "core/concord_system.h"
+#include "sim/scenarios.h"
+#include "vlsi/schema.h"
+
+using namespace concord;
+
+int main() {
+  core::ConcordSystem system;
+
+  // A top-level DA on its own workstation, starting from a behavioral
+  // chip description of complexity 6 (six modules after synthesis).
+  auto da = sim::SetupTopLevelDa(&system, "adder", /*complexity=*/6,
+                                 /*max_area=*/1e9, /*max_width=*/0);
+  if (!da.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 da.status().ToString().c_str());
+    return 1;
+  }
+
+  Status st = system.StartDa(*da);
+  if (st.ok()) st = system.RunDa(*da);
+  if (!st.ok()) {
+    std::fprintf(stderr, "design run failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The DA's derivation graph now holds one DOV per tool application.
+  auto graph_size = system.repository().graph(*da).size();
+  auto current = system.CurrentVersion(*da);
+  auto quality = system.cm().Evaluate(*da, *current);
+  if (!quality.ok()) {
+    std::fprintf(stderr, "evaluate failed: %s\n",
+                 quality.status().ToString().c_str());
+    return 1;
+  }
+
+  auto record = system.repository().Get(*current);
+  double area = record->data.GetNumeric(vlsi::kAttrArea).value_or(0);
+  double wirelength =
+      record->data.GetNumeric(vlsi::kAttrWirelength).value_or(0);
+
+  std::printf("design activity        : %s\n", da->ToString().c_str());
+  std::printf("DOVs in derivation graph: %zu\n", graph_size);
+  std::printf("final design state     : %s\n", current->ToString().c_str());
+  std::printf("chip area              : %.1f\n", area);
+  std::printf("est. wirelength        : %.1f\n", wirelength);
+  std::printf("specification fulfilled: %zu/%zu features%s\n",
+              quality->fulfilled.size(), quality->total(),
+              quality->is_final() ? " (final DOV)" : "");
+  std::printf("simulated design time  : %s\n",
+              FormatSimTime(system.clock().Now()).c_str());
+  std::printf("DOPs committed         : %llu\n",
+              (unsigned long long)system.server_tm().stats().dops_committed);
+  return quality->is_final() ? 0 : 2;
+}

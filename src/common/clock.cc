@@ -1,0 +1,33 @@
+#include "common/clock.h"
+
+#include <cassert>
+
+namespace concord {
+
+std::string FormatSimTime(SimTime t) {
+  if (t < 0) return "-" + FormatSimTime(-t);
+  if (t < kMillisecond) return std::to_string(t) + "us";
+  if (t < kSecond) return std::to_string(t / kMillisecond) + "ms";
+  if (t < kMinute) {
+    return std::to_string(t / kSecond) + "." +
+           std::to_string((t % kSecond) / (100 * kMillisecond)) + "s";
+  }
+  if (t < kHour) {
+    return std::to_string(t / kMinute) + "m" +
+           std::to_string((t % kMinute) / kSecond) + "s";
+  }
+  return std::to_string(t / kHour) + "h" +
+         std::to_string((t % kHour) / kMinute) + "m";
+}
+
+SimTime SimClock::Advance(SimTime delta) {
+  assert(delta >= 0 && "SimClock cannot go backwards");
+  now_ += delta;
+  return now_;
+}
+
+void SimClock::AdvanceTo(SimTime t) {
+  if (t > now_) now_ = t;
+}
+
+}  // namespace concord

@@ -1,0 +1,44 @@
+#ifndef CONCORD_COMMON_CLOCK_H_
+#define CONCORD_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace concord {
+
+/// Simulated time in microseconds. CONCORD models design sessions that
+/// span hours or days; wall-clock time is useless for reproducible
+/// experiments, so every component reads time from a SimClock owned by
+/// the enclosing system/simulation.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+/// Renders a SimTime as a human-readable duration ("2h03m", "15ms", ...).
+std::string FormatSimTime(SimTime t);
+
+/// A manually-advanced clock. Advancing never goes backwards.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimTime Now() const { return now_; }
+
+  /// Moves time forward by `delta` (must be >= 0). Returns the new time.
+  SimTime Advance(SimTime delta);
+
+  /// Moves time forward to `t` if `t` is in the future; no-op otherwise.
+  void AdvanceTo(SimTime t);
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_COMMON_CLOCK_H_

@@ -1,0 +1,98 @@
+#ifndef CONCORD_COMMON_IDS_H_
+#define CONCORD_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace concord {
+
+/// Strongly-typed integer id. Each CONCORD entity gets its own Tag so
+/// that, e.g., a design-activity id cannot be passed where a version id
+/// is expected. Id 0 is reserved as "invalid".
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() : value_(0) {}
+  constexpr explicit Id(uint64_t value) : value_(value) {}
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  std::string ToString() const {
+    return std::string(Tag::kPrefix) + std::to_string(value_);
+  }
+
+ private:
+  uint64_t value_;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  return os << id.ToString();
+}
+
+struct DaTag { static constexpr const char* kPrefix = "DA"; };
+struct DovTag { static constexpr const char* kPrefix = "DOV"; };
+struct DopTag { static constexpr const char* kPrefix = "DOP"; };
+struct DotTag { static constexpr const char* kPrefix = "DOT"; };
+struct DesignerTag { static constexpr const char* kPrefix = "DSGR"; };
+struct NodeTag { static constexpr const char* kPrefix = "NODE"; };
+struct TxnTag { static constexpr const char* kPrefix = "TXN"; };
+struct RelTag { static constexpr const char* kPrefix = "REL"; };
+struct RuleTag { static constexpr const char* kPrefix = "RULE"; };
+struct MsgTag { static constexpr const char* kPrefix = "MSG"; };
+struct CellTag { static constexpr const char* kPrefix = "CELL"; };
+
+/// Design activity (AC level).
+using DaId = Id<DaTag>;
+/// Design object version (repository).
+using DovId = Id<DovTag>;
+/// Design operation — one long ACID transaction (TE level).
+using DopId = Id<DopTag>;
+/// Design object type (schema).
+using DotId = Id<DotTag>;
+/// A human designer (or scripted designer agent).
+using DesignerId = Id<DesignerTag>;
+/// A machine in the simulated workstation/server network.
+using NodeId = Id<NodeTag>;
+/// A repository-level transaction.
+using TxnId = Id<TxnTag>;
+/// A cooperation relationship (delegation/negotiation/usage).
+using RelId = Id<RelTag>;
+/// An ECA rule registered with a design manager.
+using RuleId = Id<RuleTag>;
+/// A message on the simulated LAN.
+using MsgId = Id<MsgTag>;
+/// A cell in the VLSI cell hierarchy.
+using CellId = Id<CellTag>;
+
+/// Monotonic id generator. Not thread-safe; CONCORD's simulation is
+/// single-threaded by design (determinism), so each component owns one.
+template <typename IdType>
+class IdGenerator {
+ public:
+  IdType Next() { return IdType(++last_); }
+  uint64_t last() const { return last_; }
+
+ private:
+  uint64_t last_ = 0;
+};
+
+}  // namespace concord
+
+namespace std {
+template <typename Tag>
+struct hash<concord::Id<Tag>> {
+  size_t operator()(concord::Id<Tag> id) const noexcept {
+    return std::hash<uint64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // CONCORD_COMMON_IDS_H_

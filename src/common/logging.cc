@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace concord {
+
+const char* LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger* instance = new Logger();
+  return *instance;
+}
+
+void Logger::Log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (hook_) {
+    hook_(LogRecord{level, component, message});
+    return;
+  }
+  if (level < min_level_) return;
+  std::cerr << "[" << LogLevelToString(level) << "][" << component << "] "
+            << message << "\n";
+}
+
+void Logger::SetHook(Hook hook) { hook_ = std::move(hook); }
+
+ScopedLogCapture::ScopedLogCapture()
+    : previous_min_(Logger::Get().min_level()) {
+  Logger::Get().SetMinLevel(LogLevel::kDebug);
+  Logger::Get().SetHook(
+      [this](const LogRecord& rec) { records_.push_back(rec); });
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  Logger::Get().SetHook(nullptr);
+  Logger::Get().SetMinLevel(previous_min_);
+}
+
+int ScopedLogCapture::CountContaining(const std::string& substring) const {
+  int count = 0;
+  for (const auto& rec : records_) {
+    if (rec.message.find(substring) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+}  // namespace concord

@@ -1,0 +1,83 @@
+#ifndef CONCORD_COMMON_LOGGING_H_
+#define CONCORD_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace concord {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelToString(LogLevel level);
+
+/// A captured log record. Components tag records with the CONCORD
+/// subsystem they originate from ("CM", "DM", "TM", "repo", ...), which
+/// the tests use to assert protocol sequences.
+struct LogRecord {
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+/// Process-wide log sink. Default behaviour is to drop debug records
+/// and print warnings/errors to stderr; tests install a capture hook.
+class Logger {
+ public:
+  using Hook = std::function<void(const LogRecord&)>;
+
+  static Logger& Get();
+
+  void Log(LogLevel level, const std::string& component,
+           const std::string& message);
+
+  /// Replaces the sink; pass nullptr to restore the default.
+  void SetHook(Hook hook);
+
+  void SetMinLevel(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+ private:
+  Logger() = default;
+  Hook hook_;
+  LogLevel min_level_ = LogLevel::kWarning;
+};
+
+/// Installs a capturing hook for the lifetime of the object (RAII),
+/// restoring the previous behaviour on destruction. Used by tests.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture();
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  /// Count of records whose message contains `substring`.
+  int CountContaining(const std::string& substring) const;
+
+ private:
+  std::vector<LogRecord> records_;
+  LogLevel previous_min_;
+};
+
+}  // namespace concord
+
+#define CONCORD_LOG(level, component, msg_expr)                            \
+  do {                                                                     \
+    std::ostringstream _concord_log_os;                                    \
+    _concord_log_os << msg_expr;                                           \
+    ::concord::Logger::Get().Log(level, component, _concord_log_os.str()); \
+  } while (0)
+
+#define CONCORD_DEBUG(component, msg) \
+  CONCORD_LOG(::concord::LogLevel::kDebug, component, msg)
+#define CONCORD_INFO(component, msg) \
+  CONCORD_LOG(::concord::LogLevel::kInfo, component, msg)
+#define CONCORD_WARN(component, msg) \
+  CONCORD_LOG(::concord::LogLevel::kWarning, component, msg)
+#define CONCORD_ERROR(component, msg) \
+  CONCORD_LOG(::concord::LogLevel::kError, component, msg)
+
+#endif  // CONCORD_COMMON_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef CONCORD_COMMON_RESULT_H_
+#define CONCORD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace concord {
+
+/// Value-or-Status, modeled on arrow::Result. A Result is either an OK
+/// status with a value, or a non-OK status. Constructing a Result from
+/// an OK status without a value is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (mirrors arrow::Result/absl::StatusOr).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!this->status().ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is held.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alternative` if this Result holds an error.
+  T value_or(T alternative) const& {
+    return ok() ? value() : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_COMMON_RESULT_H_

@@ -1,0 +1,152 @@
+#ifndef CONCORD_COMMON_STATUS_H_
+#define CONCORD_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace concord {
+
+/// Machine-readable category of a failure. The categories mirror the
+/// failure situations called out in the CONCORD paper (Sect. 5):
+/// protocol violations at the AC level, work-flow constraint violations
+/// at the DC level, lock conflicts and integrity violations at the TE
+/// level, and injected system failures (crashes, lost messages).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,  // e.g. DA not in the required state
+  kPermissionDenied,    // e.g. DOV outside the DA's scope
+  kLockConflict,        // incompatible derivation/scope lock
+  kConstraintViolation, // schema or work-flow constraint violated
+  kProtocolViolation,   // cooperation protocol misuse (Fig. 7)
+  kAborted,             // transaction/DOP aborted
+  kCrashed,             // injected workstation/server crash
+  kUnavailable,         // component down or message undeliverable
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of `code` ("ok", "lock conflict", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Library code never throws; every
+/// fallible operation returns a Status (or a Result<T>, see result.h).
+///
+/// The OK status is represented by a null state pointer, so returning
+/// Status::OK() is allocation-free.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status LockConflict(std::string msg) {
+    return Status(StatusCode::kLockConflict, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ProtocolViolation(std::string msg) {
+    return Status(StatusCode::kProtocolViolation, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Crashed(std::string msg) {
+    return Status(StatusCode::kCrashed, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsLockConflict() const { return code() == StatusCode::kLockConflict; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsCrashed() const { return code() == StatusCode::kCrashed; }
+  bool IsProtocolViolation() const {
+    return code() == StatusCode::kProtocolViolation;
+  }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace concord
+
+/// Propagates a non-OK Status out of the current function.
+#define CONCORD_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::concord::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, propagating
+/// failure. `lhs` may include a declaration, e.g.
+///   CONCORD_ASSIGN_OR_RETURN(auto dov, repo.Get(id));
+#define CONCORD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define CONCORD_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define CONCORD_ASSIGN_OR_RETURN_NAME(a, b) \
+  CONCORD_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define CONCORD_ASSIGN_OR_RETURN(lhs, expr)                              \
+  CONCORD_ASSIGN_OR_RETURN_IMPL(                                         \
+      CONCORD_ASSIGN_OR_RETURN_NAME(_concord_result_, __LINE__), lhs, expr)
+
+#endif  // CONCORD_COMMON_STATUS_H_

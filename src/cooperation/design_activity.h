@@ -1,0 +1,88 @@
+#ifndef CONCORD_COOPERATION_DESIGN_ACTIVITY_H_
+#define CONCORD_COOPERATION_DESIGN_ACTIVITY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "storage/feature.h"
+#include "workflow/script.h"
+
+namespace concord::cooperation {
+
+/// Lifetime states of a design activity (Fig. 7).
+enum class DaState {
+  /// Initiated via a description vector but not yet begun.
+  kGenerated,
+  /// Performing design work.
+  kActive,
+  /// Requested to negotiate or wants to negotiate itself; internal
+  /// processing is suspended.
+  kNegotiating,
+  /// Produced a final DOV (or reported an impossible specification) and
+  /// awaits the super-DA's verdict.
+  kReadyForTermination,
+  /// Terminated by the super-DA; vanished from the DA hierarchy.
+  kTerminated,
+};
+
+const char* DaStateToString(DaState state);
+
+/// The fifteen operations of the simplified state/transition graph of
+/// Fig. 7, numbered as in the paper.
+enum class DaOperation {
+  kInitDesign = 1,
+  kCreateSubDa = 2,
+  kStart = 3,
+  kModifySubDaSpec = 4,
+  kSubDaReadyToCommit = 5,
+  kTerminateSubDa = 6,
+  kEvaluate = 7,
+  kSubDaImpossibleSpec = 8,
+  kPropagate = 9,
+  kRequire = 10,
+  kCreateNegotiationRel = 11,
+  kPropose = 12,
+  kAgree = 13,
+  kDisagree = 14,
+  kSubDaSpecConflict = 15,
+};
+
+const char* DaOperationToString(DaOperation op);
+
+/// A design activity: "the operational unit realizing a design task"
+/// (Sect. 4.1), characterized by the description vector
+/// <DOT(DOV0), SPEC, designer, DC>.
+struct DesignActivity {
+  DaId id;
+  /// Description vector.
+  DotId dot;
+  std::optional<DovId> initial_dov;  // DOV0, optional scope seed
+  storage::DesignSpecification spec;
+  DesignerId designer;
+  workflow::Script dc;  // design-control work-flow template
+
+  DaState state = DaState::kGenerated;
+  /// Invalid for the top-level DA.
+  DaId parent;
+  std::vector<DaId> children;
+  /// Workstation the DA runs on (Sect. 5.1: "a DA is running on a
+  /// single workstation").
+  NodeId workstation;
+
+  /// Final DOVs recognized so far (fulfil the whole specification).
+  std::vector<DovId> final_dovs;
+  /// Set when Sub_DA_Impossible_Specification was reported.
+  bool impossible_reported = false;
+
+  bool IsOpen() const {
+    return state != DaState::kTerminated;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace concord::cooperation
+
+#endif  // CONCORD_COOPERATION_DESIGN_ACTIVITY_H_

@@ -1,0 +1,295 @@
+#include "cooperation/persistence.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace concord::cooperation::persistence {
+
+namespace {
+
+std::string DoubleToText(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<double> TextToDouble(const std::string& text) {
+  if (text == "inf") return std::numeric_limits<double>::infinity();
+  if (text == "-inf") return -std::numeric_limits<double>::infinity();
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) {
+    return Status::InvalidArgument("bad double '" + text + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string SerializeAttrValue(const storage::AttrValue& value) {
+  switch (value.type()) {
+    case storage::AttrType::kInt:
+      return "i:" + std::to_string(value.as_int());
+    case storage::AttrType::kDouble:
+      return "d:" + DoubleToText(value.as_double());
+    case storage::AttrType::kString:
+      return "s:" + value.as_string();
+    case storage::AttrType::kBool:
+      return std::string("b:") + (value.as_bool() ? "1" : "0");
+  }
+  return "s:";
+}
+
+Result<storage::AttrValue> DeserializeAttrValue(const std::string& text) {
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::InvalidArgument("bad attr value '" + text + "'");
+  }
+  std::string body = text.substr(2);
+  switch (text[0]) {
+    case 'i':
+      return storage::AttrValue(static_cast<int64_t>(std::stoll(body)));
+    case 'd': {
+      CONCORD_ASSIGN_OR_RETURN(double v, TextToDouble(body));
+      return storage::AttrValue(v);
+    }
+    case 's':
+      return storage::AttrValue(body);
+    case 'b':
+      return storage::AttrValue(body == "1");
+  }
+  return Status::InvalidArgument("bad attr value tag in '" + text + "'");
+}
+
+std::string IdsToText(const std::vector<DaId>& ids) {
+  std::vector<std::string> parts;
+  for (DaId id : ids) parts.push_back(std::to_string(id.value()));
+  return Join(parts, ',');
+}
+
+std::string DovIdsToText(const std::vector<DovId>& ids) {
+  std::vector<std::string> parts;
+  for (DovId id : ids) parts.push_back(std::to_string(id.value()));
+  return Join(parts, ',');
+}
+
+template <typename IdType>
+std::vector<IdType> TextToIds(const std::string& text) {
+  std::vector<IdType> ids;
+  if (text.empty()) return ids;
+  for (const std::string& part : Split(text, ',')) {
+    if (!part.empty()) ids.push_back(IdType(std::stoull(part)));
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::string SerializeFeature(const storage::Feature& feature) {
+  using Kind = storage::Feature::Kind;
+  std::vector<std::string> fields;
+  switch (feature.kind()) {
+    case Kind::kRange:
+      fields = {"R", feature.name(), feature.attr(),
+                DoubleToText(feature.min()), DoubleToText(feature.max())};
+      break;
+    case Kind::kEquality:
+      fields = {"E", feature.name(), feature.attr(),
+                SerializeAttrValue(*feature.equals_value())};
+      break;
+    case Kind::kPredicate:
+      fields = {"P", feature.name(), feature.tool_name()};
+      break;
+  }
+  return Join(fields, '|');
+}
+
+Result<storage::Feature> DeserializeFeature(const std::string& text) {
+  std::vector<std::string> fields = Split(text, '|');
+  if (fields.empty()) return Status::InvalidArgument("empty feature text");
+  if (fields[0] == "R" && fields.size() == 5) {
+    CONCORD_ASSIGN_OR_RETURN(double lo, TextToDouble(fields[3]));
+    CONCORD_ASSIGN_OR_RETURN(double hi, TextToDouble(fields[4]));
+    return storage::Feature::Range(fields[1], fields[2], lo, hi);
+  }
+  if (fields[0] == "E" && fields.size() == 4) {
+    CONCORD_ASSIGN_OR_RETURN(storage::AttrValue value,
+                             DeserializeAttrValue(fields[3]));
+    return storage::Feature::Equals(fields[1], fields[2], std::move(value));
+  }
+  if (fields[0] == "P" && fields.size() == 3) {
+    return storage::Feature::PassesTool(fields[1], fields[2]);
+  }
+  return Status::InvalidArgument("bad feature text '" + text + "'");
+}
+
+std::string SerializeSpec(const storage::DesignSpecification& spec) {
+  std::vector<std::string> parts;
+  for (const auto& feature : spec.features()) {
+    parts.push_back(SerializeFeature(feature));
+  }
+  return Join(parts, ';');
+}
+
+Result<storage::DesignSpecification> DeserializeSpec(const std::string& text) {
+  storage::DesignSpecification spec;
+  if (text.empty()) return spec;
+  for (const std::string& part : Split(text, ';')) {
+    if (part.empty()) continue;
+    CONCORD_ASSIGN_OR_RETURN(storage::Feature feature,
+                             DeserializeFeature(part));
+    spec.Add(std::move(feature));
+  }
+  return spec;
+}
+
+std::string SerializeDa(const DesignActivity& da) {
+  std::ostringstream os;
+  os << "id=" << da.id.value() << "\n";
+  os << "dot=" << da.dot.value() << "\n";
+  os << "dov0=" << (da.initial_dov ? da.initial_dov->value() : 0) << "\n";
+  os << "designer=" << da.designer.value() << "\n";
+  os << "state=" << static_cast<int>(da.state) << "\n";
+  os << "parent=" << da.parent.value() << "\n";
+  os << "workstation=" << da.workstation.value() << "\n";
+  os << "children=" << IdsToText(da.children) << "\n";
+  os << "finals=" << DovIdsToText(da.final_dovs) << "\n";
+  os << "impossible=" << (da.impossible_reported ? 1 : 0) << "\n";
+  os << "spec=" << SerializeSpec(da.spec) << "\n";
+  return os.str();
+}
+
+Result<DesignActivity> DeserializeDa(const std::string& text) {
+  DesignActivity da;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad DA line '" + line + "'");
+    }
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "id") {
+      da.id = DaId(std::stoull(value));
+    } else if (key == "dot") {
+      da.dot = DotId(std::stoull(value));
+    } else if (key == "dov0") {
+      uint64_t v = std::stoull(value);
+      if (v != 0) da.initial_dov = DovId(v);
+    } else if (key == "designer") {
+      da.designer = DesignerId(std::stoull(value));
+    } else if (key == "state") {
+      da.state = static_cast<DaState>(std::stoi(value));
+    } else if (key == "parent") {
+      da.parent = DaId(std::stoull(value));
+    } else if (key == "workstation") {
+      da.workstation = NodeId(std::stoull(value));
+    } else if (key == "children") {
+      da.children = TextToIds<DaId>(value);
+    } else if (key == "finals") {
+      da.final_dovs = TextToIds<DovId>(value);
+    } else if (key == "impossible") {
+      da.impossible_reported = (value == "1");
+    } else if (key == "spec") {
+      CONCORD_ASSIGN_OR_RETURN(da.spec, DeserializeSpec(value));
+    }
+  }
+  if (!da.id.valid()) {
+    return Status::InvalidArgument("DA text has no id");
+  }
+  return da;
+}
+
+std::string SerializeRelationships(
+    const std::vector<CoopRelationship>& relationships) {
+  std::ostringstream os;
+  for (const CoopRelationship& rel : relationships) {
+    os << rel.id.value() << "|" << static_cast<int>(rel.kind) << "|"
+       << rel.from.value() << "|" << rel.to.value() << "|"
+       << (rel.active ? 1 : 0) << "|" << Join(rel.features, ',') << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<CoopRelationship>> DeserializeRelationships(
+    const std::string& text) {
+  std::vector<CoopRelationship> rels;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '|');
+    if (fields.size() != 6) {
+      return Status::InvalidArgument("bad relationship line '" + line + "'");
+    }
+    CoopRelationship rel;
+    rel.id = RelId(std::stoull(fields[0]));
+    rel.kind = static_cast<RelKind>(std::stoi(fields[1]));
+    rel.from = DaId(std::stoull(fields[2]));
+    rel.to = DaId(std::stoull(fields[3]));
+    rel.active = (fields[4] == "1");
+    if (!fields[5].empty()) rel.features = Split(fields[5], ',');
+    rels.push_back(std::move(rel));
+  }
+  return rels;
+}
+
+std::string SerializeProposal(const Proposal& proposal) {
+  std::ostringstream os;
+  os << proposal.relationship.value() << "\n"
+     << proposal.from.value() << "\n"
+     << proposal.to.value() << "\n";
+  os << SerializeSpec([&] {
+    storage::DesignSpecification s;
+    for (const auto& f : proposal.for_from) s.Add(f);
+    return s;
+  }()) << "\n";
+  os << SerializeSpec([&] {
+    storage::DesignSpecification s;
+    for (const auto& f : proposal.for_to) s.Add(f);
+    return s;
+  }()) << "\n";
+  return os.str();
+}
+
+Result<Proposal> DeserializeProposal(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.size() < 5) {
+    return Status::InvalidArgument("bad proposal text");
+  }
+  Proposal proposal;
+  proposal.relationship = RelId(std::stoull(lines[0]));
+  proposal.from = DaId(std::stoull(lines[1]));
+  proposal.to = DaId(std::stoull(lines[2]));
+  CONCORD_ASSIGN_OR_RETURN(storage::DesignSpecification from_spec,
+                           DeserializeSpec(lines[3]));
+  CONCORD_ASSIGN_OR_RETURN(storage::DesignSpecification to_spec,
+                           DeserializeSpec(lines[4]));
+  proposal.for_from = from_spec.features();
+  proposal.for_to = to_spec.features();
+  return proposal;
+}
+
+}  // namespace concord::cooperation::persistence

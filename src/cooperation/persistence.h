@@ -1,0 +1,44 @@
+#ifndef CONCORD_COOPERATION_PERSISTENCE_H_
+#define CONCORD_COOPERATION_PERSISTENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cooperation/design_activity.h"
+#include "cooperation/relationships.h"
+#include "storage/feature.h"
+
+namespace concord::cooperation::persistence {
+
+/// Text (de)serialization of the CM's durable state. The CM stores
+/// these strings in the repository's transactional meta store, i.e. it
+/// "employ[s] the data management facilities of the server DBMS"
+/// (Sect. 5.4). The format is line/field based and intentionally
+/// simple; feature and DA names must not contain '|', ';' or newlines.
+///
+/// Scripts (the DC element of the description vector) are *not* part of
+/// the CM state: they persist at the design manager on the owning
+/// workstation (Sect. 5.3), so a recovered DesignActivity carries an
+/// empty script.
+
+std::string SerializeFeature(const storage::Feature& feature);
+Result<storage::Feature> DeserializeFeature(const std::string& text);
+
+std::string SerializeSpec(const storage::DesignSpecification& spec);
+Result<storage::DesignSpecification> DeserializeSpec(const std::string& text);
+
+std::string SerializeDa(const DesignActivity& da);
+Result<DesignActivity> DeserializeDa(const std::string& text);
+
+std::string SerializeRelationships(
+    const std::vector<CoopRelationship>& relationships);
+Result<std::vector<CoopRelationship>> DeserializeRelationships(
+    const std::string& text);
+
+std::string SerializeProposal(const Proposal& proposal);
+Result<Proposal> DeserializeProposal(const std::string& text);
+
+}  // namespace concord::cooperation::persistence
+
+#endif  // CONCORD_COOPERATION_PERSISTENCE_H_

@@ -1,0 +1,62 @@
+#ifndef CONCORD_COOPERATION_RELATIONSHIPS_H_
+#define CONCORD_COOPERATION_RELATIONSHIPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "storage/feature.h"
+
+namespace concord::cooperation {
+
+/// The three explicitly modeled cooperation relationship types of
+/// Sect. 4.1.
+enum class RelKind {
+  /// Super-DA -> sub-DA, established by Create_Sub_DA.
+  kDelegation,
+  /// Between sub-DAs of the same super-DA; subject: specifications.
+  kNegotiation,
+  /// Requiring DA <- supporting DA; subject: pre-released DOVs.
+  kUsage,
+};
+
+const char* RelKindToString(RelKind kind);
+
+/// One cooperation relationship. For usage relationships, `features`
+/// records the quality the requiring DA asked for ("this feature set
+/// defines the quality needed"); for negotiation relationships it
+/// records the negotiation subject set by the super-DA or the
+/// initiating Propose.
+struct CoopRelationship {
+  RelId id;
+  RelKind kind;
+  /// Delegation: super. Negotiation: either party. Usage: requiring DA.
+  DaId from;
+  /// Delegation: sub. Negotiation: other party. Usage: supporting DA.
+  DaId to;
+  std::vector<std::string> features;
+  bool active = true;
+
+  bool Connects(DaId a, DaId b) const {
+    return (from == a && to == b) || (from == b && to == a);
+  }
+
+  std::string ToString() const;
+};
+
+/// A pending negotiation proposal: spec refinements offered by `from`
+/// to `to` along a negotiation relationship. `for_from` / `for_to`
+/// carry the feature changes each side would adopt on agreement (e.g.
+/// moving the borderline between two cells trades area between the two
+/// specs, Sect. 4.1).
+struct Proposal {
+  RelId relationship;
+  DaId from;
+  DaId to;
+  std::vector<storage::Feature> for_from;
+  std::vector<storage::Feature> for_to;
+};
+
+}  // namespace concord::cooperation
+
+#endif  // CONCORD_COOPERATION_RELATIONSHIPS_H_

@@ -1,0 +1,324 @@
+#include "core/concord_system.h"
+
+#include "common/logging.h"
+
+namespace concord::core {
+
+void RegisterVlsiDomainConstraints(workflow::ConstraintSet* constraints) {
+  // "one may require that a DOP of a certain type (e.g., chip assembly)
+  // must not be applied before a DOP of another type has successfully
+  // completed (e.g., structure synthesis)".
+  constraints->Precedes(vlsi::kToolStructureSynthesis,
+                        vlsi::kToolChipAssembly);
+  // Planning needs shape functions.
+  constraints->Precedes(vlsi::kToolShapeFunctionGen, vlsi::kToolChipPlanning);
+  // "a certain DOP must always be followed by another DOP of a specific
+  // type (e.g. pad frame editor followed by chip planner)".
+  constraints->ImmediatelyFollowedBy(vlsi::kToolPadFrameEdit,
+                                     vlsi::kToolChipPlanning);
+}
+
+ConcordSystem::ConcordSystem(SystemConfig config)
+    : config_(config), rng_(config.seed) {
+  network_ = std::make_unique<rpc::Network>(&clock_, config.seed ^ 0x9e37);
+  network_->set_lan_latency(config.lan_latency);
+  network_->set_local_latency(config.local_latency);
+  network_->set_loss_probability(config.message_loss_probability);
+  server_node_ = network_->AddNode("server");
+
+  repository_ = std::make_unique<storage::Repository>(&clock_);
+  dots_ = vlsi::RegisterVlsiSchema(&repository_->schema());
+  toolbox_ = std::make_unique<vlsi::ToolBox>(dots_);
+  RegisterVlsiDomainConstraints(&constraints_);
+
+  // The server-TM asks *this* for scope decisions; we forward to the CM
+  // (which is constructed right after and owns the policy).
+  server_tm_ = std::make_unique<txn::ServerTm>(repository_.get(),
+                                               network_.get(), server_node_,
+                                               this);
+  cm_ = std::make_unique<cooperation::CooperationManager>(
+      repository_.get(), &server_tm_->locks(), &clock_);
+  cm_->SetEventSink([this](DaId da, const workflow::Event& event) {
+    DeliverEvent(da, event);
+  });
+}
+
+ConcordSystem::~ConcordSystem() = default;
+
+NodeId ConcordSystem::AddWorkstation(const std::string& name) {
+  NodeId node = network_->AddNode(name);
+  client_tms_.emplace(node.value(),
+                      std::make_unique<txn::ClientTm>(
+                          server_tm_.get(), network_.get(), node, &clock_));
+  client_tms_.at(node.value())
+      ->set_auto_recovery_interval(config_.recovery_point_interval);
+  return node;
+}
+
+txn::ClientTm& ConcordSystem::client_tm(NodeId workstation) {
+  return *client_tms_.at(workstation.value());
+}
+
+workflow::DesignManager& ConcordSystem::dm(DaId da) {
+  return *das_.at(da.value()).dm;
+}
+
+Result<ConcordSystem::DaRuntime*> ConcordSystem::RuntimeOf(DaId da) {
+  auto it = das_.find(da.value());
+  if (it == das_.end()) {
+    return Status::NotFound("no runtime for " + da.ToString());
+  }
+  return &it->second;
+}
+
+bool ConcordSystem::InScope(DaId da, DovId dov) {
+  return cm_->InScope(da, dov);
+}
+
+void ConcordSystem::BindDm(DaId da, DaRuntime* runtime) {
+  runtime->dm->SetToolRunner([this, da](const std::string& dop_type) {
+    return RunTool(da, dop_type);
+  });
+  runtime->dm->SetDaOpRunner(
+      [this, da](const std::string& op_name) { return RunDaOp(da, op_name); });
+}
+
+Result<DaId> ConcordSystem::InitDesign(cooperation::DaDescription description) {
+  if (!client_tms_.count(description.workstation.value())) {
+    return Status::InvalidArgument("unknown workstation " +
+                                   description.workstation.ToString());
+  }
+  workflow::Script script = description.dc;
+  NodeId workstation = description.workstation;
+  CONCORD_ASSIGN_OR_RETURN(DaId da, cm_->InitDesign(std::move(description)));
+
+  DaRuntime runtime;
+  runtime.workstation = workstation;
+  runtime.dm = std::make_unique<workflow::DesignManager>(
+      da, std::move(script), &constraints_, &clock_);
+  auto [it, inserted] = das_.emplace(da.value(), std::move(runtime));
+  BindDm(da, &it->second);
+  return da;
+}
+
+Result<DaId> ConcordSystem::CreateSubDa(DaId super,
+                                        cooperation::DaDescription description) {
+  if (!client_tms_.count(description.workstation.value())) {
+    return Status::InvalidArgument("unknown workstation " +
+                                   description.workstation.ToString());
+  }
+  workflow::Script script = description.dc;
+  NodeId workstation = description.workstation;
+  CONCORD_ASSIGN_OR_RETURN(DaId da,
+                           cm_->CreateSubDa(super, std::move(description)));
+
+  DaRuntime runtime;
+  runtime.workstation = workstation;
+  runtime.dm = std::make_unique<workflow::DesignManager>(
+      da, std::move(script), &constraints_, &clock_);
+  auto [it, inserted] = das_.emplace(da.value(), std::move(runtime));
+  BindDm(da, &it->second);
+  return da;
+}
+
+Status ConcordSystem::RunDaOp(DaId da, const std::string& op_name) {
+  if (op_name == "Evaluate") {
+    CONCORD_ASSIGN_OR_RETURN(DovId current, CurrentVersion(da));
+    return cm_->Evaluate(da, current).status();
+  }
+  if (op_name == "Propagate") {
+    CONCORD_ASSIGN_OR_RETURN(DovId current, CurrentVersion(da));
+    // Propagation presumes an evaluated quality state (Sect. 4.1).
+    CONCORD_RETURN_NOT_OK(cm_->Evaluate(da, current).status());
+    return cm_->Propagate(da, current);
+  }
+  if (op_name == "Sub_DA_Ready_To_Commit") {
+    // Evaluate first so a qualifying current version is marked final.
+    auto current = CurrentVersion(da);
+    if (current.ok()) cm_->Evaluate(da, *current).status().ok();
+    return cm_->SubDaReadyToCommit(da);
+  }
+  if (op_name == "Sub_DA_Impossible_Specification") {
+    return cm_->SubDaImpossibleSpecification(da, "reported by script");
+  }
+  return Status::NotFound("unknown DA operation '" + op_name +
+                          "' in script of " + da.ToString());
+}
+
+Status ConcordSystem::StartDa(DaId da) {
+  CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(da));
+  CONCORD_RETURN_NOT_OK(cm_->Start(da));
+  return runtime->dm->Start();
+}
+
+Status ConcordSystem::RunDa(DaId da) {
+  CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(da));
+  return runtime->dm->RunToCompletion();
+}
+
+Status ConcordSystem::SetSeedObject(DaId da, storage::DesignObject object) {
+  CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(da));
+  runtime->seed = std::move(object);
+  return Status::OK();
+}
+
+Result<DovId> ConcordSystem::CurrentVersion(DaId da) const {
+  auto it = das_.find(da.value());
+  if (it == das_.end()) {
+    return Status::NotFound("no runtime for " + da.ToString());
+  }
+  if (!it->second.current.valid()) {
+    return Status::NotFound(da.ToString() + " has not checked in any DOV yet");
+  }
+  return it->second.current;
+}
+
+Status ConcordSystem::SetDecisionMaker(DaId da,
+                                       workflow::DecisionMaker* maker) {
+  CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(da));
+  runtime->dm->SetDecisionMaker(maker);
+  return Status::OK();
+}
+
+Result<workflow::DopOutcome> ConcordSystem::RunTool(
+    DaId da, const std::string& dop_type) {
+  CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(da));
+  txn::ClientTm& tm = client_tm(runtime->workstation);
+
+  // Begin-of-DOP.
+  CONCORD_ASSIGN_OR_RETURN(DopId dop, tm.BeginDop(da));
+
+  // Input selection: the DA's current version, its initial DOV, or the
+  // seed object for a from-scratch DA.
+  storage::DesignObject input;
+  std::vector<DovId> inputs;
+  DovId input_dov;
+  if (runtime->current.valid()) {
+    input_dov = runtime->current;
+  } else {
+    auto activity = cm_->GetDa(da);
+    if (activity.ok() && (*activity)->initial_dov) {
+      input_dov = *(*activity)->initial_dov;
+    }
+  }
+  if (input_dov.valid()) {
+    Status st = tm.Checkout(dop, input_dov);
+    if (!st.ok()) {
+      tm.AbortDop(dop).ok();
+      return st;
+    }
+    CONCORD_ASSIGN_OR_RETURN(input, tm.Input(dop, input_dov));
+    inputs.push_back(input_dov);
+  } else if (runtime->seed.has_value()) {
+    input = *runtime->seed;
+  } else {
+    tm.AbortDop(dop).ok();
+    return Status::FailedPrecondition(
+        da.ToString() + " has no current version, initial DOV or seed object");
+  }
+
+  // Tool processing.
+  auto tool_result = toolbox_->Run(dop_type, input, &rng_);
+  if (!tool_result.ok()) {
+    tm.AbortDop(dop).ok();
+    workflow::DopOutcome outcome;
+    outcome.committed = false;
+    outcome.inputs = inputs;
+    CONCORD_INFO("core", dop_type << " in " << da.ToString() << " aborted: "
+                                  << tool_result.status().ToString());
+    return outcome;
+  }
+  tm.DoWork(dop, tool_result->work_units).ok();
+  clock_.Advance(static_cast<SimTime>(tool_result->work_units) *
+                 config_.time_per_work_unit);
+
+  // Checkin + End-of-DOP.
+  auto checked_in = tm.Checkin(dop, tool_result->object, inputs);
+  if (!checked_in.ok()) {
+    // "checkin failure": report to the DM as an aborted DOP.
+    tm.AbortDop(dop).ok();
+    workflow::DopOutcome outcome;
+    outcome.committed = false;
+    outcome.inputs = inputs;
+    return outcome;
+  }
+  CONCORD_RETURN_NOT_OK(tm.CommitDop(dop));
+  cm_->NoteCheckin(da, *checked_in);
+  runtime->current = *checked_in;
+
+  workflow::DopOutcome outcome;
+  outcome.committed = true;
+  outcome.output = *checked_in;
+  outcome.inputs = inputs;
+  return outcome;
+}
+
+void ConcordSystem::DeliverEvent(DaId da, const workflow::Event& event) {
+  auto it = das_.find(da.value());
+  if (it == das_.end()) return;  // DA without a local runtime (tests)
+  DaRuntime& runtime = it->second;
+  // One hop server -> workstation; if the workstation is down, queue
+  // (reliable delivery, Sect. 5.4).
+  if (!network_->IsUp(runtime.workstation)) {
+    runtime.pending_events.push_back(event);
+    return;
+  }
+  network_->Send(server_node_, runtime.workstation).ok();
+  if (event.type == "Modify_Sub_DA_Specification" || event.type == "Restart") {
+    // The DA restarts from the beginning; the default designer policy
+    // starts over from the seed/initial DOV rather than the last
+    // derived state (previous DOVs stay available in the graph).
+    runtime.current = DovId();
+  }
+  runtime.dm->HandleEvent(event).ok();
+}
+
+void ConcordSystem::CrashWorkstation(NodeId workstation) {
+  auto it = client_tms_.find(workstation.value());
+  if (it == client_tms_.end()) return;
+  it->second->Crash();
+  for (auto& [da_value, runtime] : das_) {
+    if (runtime.workstation == workstation &&
+        runtime.dm->state() != workflow::DmState::kCompleted) {
+      runtime.dm->Crash();
+    }
+  }
+}
+
+Status ConcordSystem::RecoverWorkstation(NodeId workstation) {
+  auto it = client_tms_.find(workstation.value());
+  if (it == client_tms_.end()) {
+    return Status::NotFound("unknown workstation " + workstation.ToString());
+  }
+  CONCORD_RETURN_NOT_OK(it->second->Recover().status());
+  for (auto& [da_value, runtime] : das_) {
+    if (runtime.workstation != workstation) continue;
+    if (runtime.dm->state() == workflow::DmState::kCrashed) {
+      CONCORD_RETURN_NOT_OK(runtime.dm->Recover());
+      // Restore the DA's current-version pointer from the replayed log.
+      if (!runtime.dm->ProducedDovs().empty()) {
+        runtime.current = runtime.dm->ProducedDovs().back();
+      }
+    }
+    // Deliver events queued while the workstation was down.
+    while (!runtime.pending_events.empty()) {
+      workflow::Event event = runtime.pending_events.front();
+      runtime.pending_events.pop_front();
+      network_->Send(server_node_, workstation).ok();
+      runtime.dm->HandleEvent(event).ok();
+    }
+  }
+  return Status::OK();
+}
+
+void ConcordSystem::CrashServer() {
+  server_tm_->Crash();
+  cm_->Crash();
+}
+
+Status ConcordSystem::RecoverServer() {
+  CONCORD_RETURN_NOT_OK(server_tm_->Recover());
+  return cm_->Recover();
+}
+
+}  // namespace concord::core

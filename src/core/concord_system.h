@@ -1,0 +1,162 @@
+#ifndef CONCORD_CORE_CONCORD_SYSTEM_H_
+#define CONCORD_CORE_CONCORD_SYSTEM_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "cooperation/cooperation_manager.h"
+#include "rpc/network.h"
+#include "rpc/transactional_rpc.h"
+#include "storage/repository.h"
+#include "txn/client_tm.h"
+#include "txn/server_tm.h"
+#include "vlsi/tools.h"
+#include "workflow/constraints.h"
+#include "workflow/design_manager.h"
+
+namespace concord::core {
+
+/// Configuration of a ConcordSystem instance.
+struct SystemConfig {
+  uint64_t seed = 42;
+  /// Simulated time per unit of tool work.
+  SimTime time_per_work_unit = 5 * kMillisecond;
+  /// Client-TM automatic recovery-point interval in work units
+  /// (0 = only checkout-triggered points).
+  uint64_t recovery_point_interval = 200;
+  SimTime lan_latency = 2 * kMillisecond;
+  SimTime local_latency = 20 * kMicrosecond;
+  double message_loss_probability = 0.0;
+};
+
+/// The assembled CONCORD system (Fig. 8): repository + server-TM + CM
+/// on the server node; one client-TM per workstation; one DM per DA.
+/// This facade is the public API the examples and benchmarks program
+/// against; it owns all managers and routes cooperation events from
+/// the CM to the DMs over the simulated LAN.
+class ConcordSystem : public txn::ScopeAuthority {
+ public:
+  explicit ConcordSystem(SystemConfig config = SystemConfig{});
+  ~ConcordSystem();
+  ConcordSystem(const ConcordSystem&) = delete;
+  ConcordSystem& operator=(const ConcordSystem&) = delete;
+
+  // --- Topology -------------------------------------------------------
+
+  NodeId server_node() const { return server_node_; }
+  /// Registers a designer workstation (client-TM included).
+  NodeId AddWorkstation(const std::string& name);
+
+  // --- DA lifecycle -----------------------------------------------------
+
+  /// Init_Design + design-manager creation on the DA's workstation.
+  Result<DaId> InitDesign(cooperation::DaDescription description);
+  /// Create_Sub_DA + design-manager creation.
+  Result<DaId> CreateSubDa(DaId super, cooperation::DaDescription description);
+  /// Starts the DA at the CM and its DM.
+  Status StartDa(DaId da);
+  /// Drives the DA's work flow to completion (or pause).
+  Status RunDa(DaId da);
+
+  /// Installs the object a DA starts from when it has no initial DOV
+  /// (e.g. the behavioral description for the top-level DA).
+  Status SetSeedObject(DaId da, storage::DesignObject object);
+
+  /// The DA's current working version (last checkin), if any.
+  Result<DovId> CurrentVersion(DaId da) const;
+
+  // --- Components -------------------------------------------------------
+
+  SimClock& clock() { return clock_; }
+  Rng& rng() { return rng_; }
+  rpc::Network& network() { return *network_; }
+  storage::Repository& repository() { return *repository_; }
+  txn::ServerTm& server_tm() { return *server_tm_; }
+  cooperation::CooperationManager& cm() { return *cm_; }
+  txn::ClientTm& client_tm(NodeId workstation);
+  workflow::DesignManager& dm(DaId da);
+  bool HasDm(DaId da) const { return das_.count(da.value()) > 0; }
+  const vlsi::ToolBox& toolbox() const { return *toolbox_; }
+  const vlsi::VlsiDots& dots() const { return dots_; }
+  workflow::ConstraintSet& constraints() { return constraints_; }
+
+  /// Binds a decision maker to a DA's DM (defaults to first-path).
+  Status SetDecisionMaker(DaId da, workflow::DecisionMaker* maker);
+
+  // --- Failure injection -------------------------------------------------
+
+  /// Crashes one workstation: its client-TM loses volatile DOP state,
+  /// every DM hosted there loses its execution machine. Events sent to
+  /// DAs on a crashed workstation queue up and are delivered at
+  /// recovery (reliable messaging, Sect. 5.4).
+  void CrashWorkstation(NodeId workstation);
+  Status RecoverWorkstation(NodeId workstation);
+
+  /// Crashes the server: repository, server-TM lock tables and CM state
+  /// are volatile; WAL + meta store survive and recovery rebuilds all
+  /// of it.
+  void CrashServer();
+  Status RecoverServer();
+
+  // --- ScopeAuthority (forwards to the CM) ---------------------------
+
+  bool InScope(DaId da, DovId dov) override;
+
+ private:
+  struct DaRuntime {
+    std::unique_ptr<workflow::DesignManager> dm;
+    NodeId workstation;
+    /// Latest version checked in by this DA's DOPs.
+    DovId current;
+    /// Seed object when the DA starts from scratch.
+    std::optional<storage::DesignObject> seed;
+    /// Events awaiting delivery (workstation down).
+    std::deque<workflow::Event> pending_events;
+  };
+
+  /// The default tool runner bound to each DA's DM: wraps one ToolBox
+  /// invocation in a full DOP (Begin, checkout, work, checkin, commit).
+  Result<workflow::DopOutcome> RunTool(DaId da, const std::string& dop_type);
+  /// The default DA-operation runner for kDaOp script nodes: binds the
+  /// operation names of Sect. 4.2 ("Evaluate", "Propagate",
+  /// "Sub_DA_Ready_To_Commit", ...) to the cooperation manager,
+  /// applied to the DA's current version.
+  Status RunDaOp(DaId da, const std::string& op_name);
+  void BindDm(DaId da, DaRuntime* runtime);
+  void DeliverEvent(DaId da, const workflow::Event& event);
+  Result<DaRuntime*> RuntimeOf(DaId da);
+
+  SystemConfig config_;
+  SimClock clock_;
+  Rng rng_;
+  std::unique_ptr<rpc::Network> network_;
+  NodeId server_node_;
+  std::unique_ptr<storage::Repository> repository_;
+  std::unique_ptr<txn::ServerTm> server_tm_;
+  std::unique_ptr<cooperation::CooperationManager> cm_;
+  std::unique_ptr<vlsi::ToolBox> toolbox_;
+  vlsi::VlsiDots dots_;
+  workflow::ConstraintSet constraints_;
+
+  std::map<uint64_t, std::unique_ptr<txn::ClientTm>> client_tms_;
+  std::map<uint64_t, DaRuntime> das_;
+};
+
+/// Registers the paper's VLSI domain constraints (Sect. 4.2 examples):
+/// chip assembly only after structure synthesis; pad-frame edit
+/// immediately followed by chip planning; chip planning only after
+/// shape-function generation.
+void RegisterVlsiDomainConstraints(workflow::ConstraintSet* constraints);
+
+}  // namespace concord::core
+
+#endif  // CONCORD_CORE_CONCORD_SYSTEM_H_

@@ -1,0 +1,66 @@
+#include "rpc/network.h"
+
+#include "common/logging.h"
+
+namespace concord::rpc {
+
+Network::Network(SimClock* clock, uint64_t seed) : clock_(clock), rng_(seed) {}
+
+NodeId Network::AddNode(const std::string& name) {
+  NodeId id = node_gen_.Next();
+  nodes_.emplace(id, NodeState{name, true});
+  return id;
+}
+
+Result<std::string> Network::NodeName(NodeId node) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return Status::NotFound("unknown node " + node.ToString());
+  }
+  return it->second.name;
+}
+
+bool Network::IsUp(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.up;
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  if (it->second.up != up) {
+    CONCORD_INFO("net", "node " << it->second.name << " is now "
+                                << (up ? "UP" : "DOWN"));
+  }
+  it->second.up = up;
+}
+
+SimTime Network::Latency(NodeId from, NodeId to) const {
+  return from == to ? local_latency_ : lan_latency_;
+}
+
+Status Network::Send(NodeId from, NodeId to) {
+  if (!IsUp(from)) {
+    ++stats_.messages_rejected_node_down;
+    return Status::Unavailable("source node down");
+  }
+  if (!IsUp(to)) {
+    ++stats_.messages_rejected_node_down;
+    return Status::Unavailable("destination node down");
+  }
+  if (from != to && loss_probability_ > 0.0 &&
+      rng_.Chance(loss_probability_)) {
+    ++stats_.messages_lost;
+    // A lost message still costs the sender time (timeout handled by
+    // the caller); we account the hop latency once.
+    clock_->Advance(Latency(from, to));
+    return Status::Unavailable("message lost");
+  }
+  SimTime latency = Latency(from, to);
+  clock_->Advance(latency);
+  ++stats_.messages_sent;
+  stats_.total_latency += latency;
+  return Status::OK();
+}
+
+}  // namespace concord::rpc

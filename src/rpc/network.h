@@ -1,0 +1,91 @@
+#ifndef CONCORD_RPC_NETWORK_H_
+#define CONCORD_RPC_NETWORK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::rpc {
+
+/// Per-network counters; the 2PC-optimization benchmark (EXPERIMENTS
+/// A4) reads these.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_lost = 0;
+  uint64_t messages_rejected_node_down = 0;
+  SimTime total_latency = 0;
+};
+
+/// The simulated workstation/server LAN of Sect. 5.1. Deterministic:
+/// latency is configured, loss is drawn from a seeded Rng, and crashes
+/// are injected explicitly by tests/benchmarks via SetNodeUp().
+///
+/// The simulation is single-threaded, so "sending" a message is
+/// modeled as a synchronous hop that advances the shared SimClock by
+/// the link latency and updates the counters; protocol state machines
+/// (transactional RPC, 2PC) are driven by their initiator. This keeps
+/// every run reproducible while preserving message counts and latency
+/// totals — the quantities the paper's efficiency discussion cares
+/// about.
+class Network {
+ public:
+  Network(SimClock* clock, uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a machine. The first registered node is conventionally
+  /// the server.
+  NodeId AddNode(const std::string& name);
+
+  Result<std::string> NodeName(NodeId node) const;
+  bool IsUp(NodeId node) const;
+  /// Crash / restart a machine. Crashing is the caller's cue to also
+  /// wipe the volatile state of components hosted on that machine.
+  void SetNodeUp(NodeId node, bool up);
+
+  /// One-way message hop. Fails with kUnavailable if either endpoint is
+  /// down or the (seeded) loss draw fires. On success the clock
+  /// advances by the link latency.
+  Status Send(NodeId from, NodeId to);
+
+  /// Latency of a single hop: intra-node messages use the main-memory
+  /// cost, inter-node messages the LAN cost (Sect. 6 distinguishes the
+  /// two for commit processing).
+  SimTime Latency(NodeId from, NodeId to) const;
+
+  void set_lan_latency(SimTime t) { lan_latency_ = t; }
+  void set_local_latency(SimTime t) { local_latency_ = t; }
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  SimTime lan_latency() const { return lan_latency_; }
+  SimTime local_latency() const { return local_latency_; }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct NodeState {
+    std::string name;
+    bool up = true;
+  };
+
+  SimClock* clock_;
+  Rng rng_;
+  IdGenerator<NodeId> node_gen_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  SimTime lan_latency_ = 2 * kMillisecond;
+  SimTime local_latency_ = 20 * kMicrosecond;
+  double loss_probability_ = 0.0;
+  NetworkStats stats_;
+};
+
+}  // namespace concord::rpc
+
+#endif  // CONCORD_RPC_NETWORK_H_

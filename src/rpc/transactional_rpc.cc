@@ -1,0 +1,68 @@
+#include "rpc/transactional_rpc.h"
+
+#include "common/logging.h"
+
+namespace concord::rpc {
+
+void TransactionalRpc::RegisterHandler(NodeId node, const std::string& method,
+                                       Handler handler) {
+  handlers_[HandlerKey{node, method}] = std::move(handler);
+}
+
+Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
+                                           const std::string& method,
+                                           const std::string& request) {
+  ++stats_.calls;
+  auto handler_it = handlers_.find(HandlerKey{to, method});
+  if (handler_it == handlers_.end()) {
+    ++stats_.failures;
+    return Status::NotFound("no handler for method '" + method + "' on node " +
+                            to.ToString());
+  }
+  uint64_t call_id = call_gen_.Next().value();
+
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    // Request hop.
+    Status sent = network_->Send(from, to);
+    if (!sent.ok()) {
+      if (!network_->IsUp(to) || !network_->IsUp(from)) {
+        ++stats_.failures;
+        return sent;  // crash, not loss: retrying is pointless
+      }
+      continue;  // lost in transit: retry with the same call id
+    }
+    // Execute at most once per call id.
+    auto& node_executed = executed_[to];
+    auto cached = node_executed.find(call_id);
+    std::string reply;
+    if (cached != node_executed.end()) {
+      ++stats_.duplicate_suppressed;
+      reply = cached->second;
+    } else {
+      Result<std::string> result = handler_it->second(request);
+      if (!result.ok()) {
+        // Application-level failure: deliver it once, no retry. The
+        // reply hop still costs latency.
+        network_->Send(to, from).ok();
+        return result.status();
+      }
+      reply = *result;
+      node_executed.emplace(call_id, reply);
+    }
+    // Reply hop.
+    Status replied = network_->Send(to, from);
+    if (replied.ok()) return reply;
+    if (!network_->IsUp(to) || !network_->IsUp(from)) {
+      ++stats_.failures;
+      return replied;
+    }
+    // Reply lost: retry; dedup makes the re-execution a no-op.
+  }
+  ++stats_.failures;
+  return Status::Unavailable("rpc '" + method + "' exhausted retries");
+}
+
+void TransactionalRpc::ClearNodeState(NodeId node) { executed_.erase(node); }
+
+}  // namespace concord::rpc

@@ -1,0 +1,84 @@
+#ifndef CONCORD_RPC_TRANSACTIONAL_RPC_H_
+#define CONCORD_RPC_TRANSACTIONAL_RPC_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "rpc/network.h"
+
+namespace concord::rpc {
+
+struct RpcStats {
+  uint64_t calls = 0;
+  uint64_t retries = 0;
+  uint64_t failures = 0;
+  uint64_t duplicate_suppressed = 0;
+};
+
+/// Reliable request/response on top of the lossy Network. The paper
+/// assumes "reliable communication protocols (transactional RPC, ...)
+/// which insulate the cooperation protocols from network failures and
+/// workstation crashes" (Sect. 5.4). We realize this with
+/// at-most-once execution: each logical call carries a fresh call id;
+/// retries reuse the id, and the callee-side dedup table suppresses
+/// re-execution while still re-sending the reply.
+///
+/// Handlers are registered per (node, method) pair; a call fails with
+/// kUnavailable only if the destination stays unreachable for all
+/// retry attempts — which is exactly the "workstation crash" case the
+/// CM handles at a higher level.
+class TransactionalRpc {
+ public:
+  /// A handler consumes a request payload and produces a reply payload.
+  using Handler = std::function<Result<std::string>(const std::string&)>;
+
+  explicit TransactionalRpc(Network* network, int max_retries = 5)
+      : network_(network), max_retries_(max_retries) {}
+  TransactionalRpc(const TransactionalRpc&) = delete;
+  TransactionalRpc& operator=(const TransactionalRpc&) = delete;
+
+  void RegisterHandler(NodeId node, const std::string& method,
+                       Handler handler);
+
+  /// Executes `method` on `to`, retrying over message loss. Exactly-
+  /// once effect on the callee per call id.
+  Result<std::string> Call(NodeId from, NodeId to, const std::string& method,
+                           const std::string& request);
+
+  /// Drops the callee-side dedup state for a node — part of simulating
+  /// a workstation crash (volatile state loss).
+  void ClearNodeState(NodeId node);
+
+  const RpcStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RpcStats{}; }
+
+ private:
+  struct HandlerKey {
+    NodeId node;
+    std::string method;
+    bool operator==(const HandlerKey&) const = default;
+  };
+  struct HandlerKeyHash {
+    size_t operator()(const HandlerKey& key) const {
+      return std::hash<uint64_t>()(key.node.value()) ^
+             (std::hash<std::string>()(key.method) << 1);
+    }
+  };
+
+  Network* network_;
+  int max_retries_;
+  IdGenerator<MsgId> call_gen_;
+  std::unordered_map<HandlerKey, Handler, HandlerKeyHash> handlers_;
+  /// callee node -> call id -> cached reply (for dedup).
+  std::unordered_map<NodeId, std::unordered_map<uint64_t, std::string>>
+      executed_;
+  RpcStats stats_;
+};
+
+}  // namespace concord::rpc
+
+#endif  // CONCORD_RPC_TRANSACTIONAL_RPC_H_

@@ -1,0 +1,49 @@
+#ifndef CONCORD_SIM_DESIGNER_H_
+#define CONCORD_SIM_DESIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workflow/design_manager.h"
+
+namespace concord::sim {
+
+/// A scripted designer agent: substitutes for the human decisions a DA
+/// needs ("the designer has to decide how to proceed choosing among
+/// three alternative methods", Sect. 4.2). Behaviour is driven by a
+/// seeded Rng so every run is reproducible.
+class ScriptedDesigner : public workflow::DecisionMaker {
+ public:
+  ScriptedDesigner(Rng* rng, double iteration_continue_probability = 0.3,
+                   std::vector<std::string> open_plan = {})
+      : rng_(rng),
+        iterate_prob_(iteration_continue_probability),
+        open_plan_(std::move(open_plan)) {}
+
+  size_t ChooseAlternative(const workflow::ScriptNode& node) override {
+    return rng_->Index(node.children().size());
+  }
+
+  bool ContinueIteration(const workflow::ScriptNode&, int passes_done) override {
+    // Diminishing enthusiasm for re-iterations.
+    return rng_->Chance(iterate_prob_ / (1 + passes_done));
+  }
+
+  std::vector<std::string> PlanOpenSegment(
+      const workflow::ScriptNode&) override {
+    return open_plan_;
+  }
+
+  int decisions_made() const { return decisions_; }
+
+ private:
+  Rng* rng_;
+  double iterate_prob_;
+  std::vector<std::string> open_plan_;
+  int decisions_ = 0;
+};
+
+}  // namespace concord::sim
+
+#endif  // CONCORD_SIM_DESIGNER_H_

@@ -1,0 +1,68 @@
+#ifndef CONCORD_SIM_METRICS_H_
+#define CONCORD_SIM_METRICS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace concord::sim {
+
+/// Summary statistics over one metric series.
+struct Summary {
+  size_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+};
+
+/// A named collection of measurement series — the benches use this to
+/// print the per-figure result rows.
+class MetricsCollector {
+ public:
+  void Record(const std::string& series, double value) {
+    series_[series].push_back(value);
+  }
+  void Count(const std::string& counter, int64_t delta = 1) {
+    counters_[counter] += delta;
+  }
+
+  Summary Summarize(const std::string& series) const {
+    Summary s;
+    auto it = series_.find(series);
+    if (it == series_.end() || it->second.empty()) return s;
+    std::vector<double> sorted = it->second;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    double total = 0;
+    for (double v : sorted) total += v;
+    s.mean = total / static_cast<double>(sorted.size());
+    s.p50 = sorted[sorted.size() / 2];
+    s.p95 = sorted[std::min(sorted.size() - 1,
+                            static_cast<size_t>(
+                                std::ceil(0.95 * sorted.size())))];
+    return s;
+  }
+
+  int64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, std::vector<double>>& all_series() const {
+    return series_;
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> series_;
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace concord::sim
+
+#endif  // CONCORD_SIM_METRICS_H_

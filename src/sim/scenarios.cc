@@ -1,0 +1,267 @@
+#include "sim/scenarios.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "vlsi/floorplan.h"
+#include "vlsi/tools.h"
+
+namespace concord::sim {
+
+using workflow::Script;
+using workflow::ScriptNode;
+
+Script MakeFullDesignScript() {
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop(vlsi::kToolStructureSynthesis));
+  steps.push_back(ScriptNode::Dop(vlsi::kToolShapeFunctionGen));
+  steps.push_back(ScriptNode::Dop(vlsi::kToolPadFrameEdit));
+  steps.push_back(ScriptNode::Dop(vlsi::kToolChipPlanning));
+  steps.push_back(ScriptNode::Dop(vlsi::kToolChipAssembly));
+  return Script("full_design", ScriptNode::Sequence(std::move(steps)));
+}
+
+Script MakeChipPlanningScript(int max_replans) {
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop(vlsi::kToolStructureSynthesis));
+  steps.push_back(ScriptNode::Dop(vlsi::kToolShapeFunctionGen));
+  steps.push_back(ScriptNode::Iteration(
+      ScriptNode::Dop(vlsi::kToolChipPlanning), max_replans));
+  return Script("chip_planning", ScriptNode::Sequence(std::move(steps)));
+}
+
+Script MakeOpenScript() {
+  // Fig. 6a: structure synthesis ... open ... chip assembly. (The open
+  // segment must supply shape functions + planning for assembly's
+  // domain precondition to hold at run time.)
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop(vlsi::kToolStructureSynthesis));
+  steps.push_back(ScriptNode::Open());
+  steps.push_back(ScriptNode::Dop(vlsi::kToolChipAssembly));
+  return Script("fig6a_open", ScriptNode::Sequence(std::move(steps)));
+}
+
+Script MakeAlternativesScript() {
+  // Fig. 6b: after shape-function generation the designer chooses among
+  // three methods (direct planning / repartition first / replan twice).
+  std::vector<std::unique_ptr<ScriptNode>> alt;
+  alt.push_back(ScriptNode::Dop(vlsi::kToolChipPlanning));
+  {
+    std::vector<std::unique_ptr<ScriptNode>> path;
+    path.push_back(ScriptNode::Dop(vlsi::kToolRepartitioning));
+    path.push_back(ScriptNode::Dop(vlsi::kToolShapeFunctionGen));
+    path.push_back(ScriptNode::Dop(vlsi::kToolChipPlanning));
+    alt.push_back(ScriptNode::Sequence(std::move(path)));
+  }
+  alt.push_back(ScriptNode::Iteration(
+      ScriptNode::Dop(vlsi::kToolChipPlanning), 2));
+
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop(vlsi::kToolStructureSynthesis));
+  steps.push_back(ScriptNode::Dop(vlsi::kToolShapeFunctionGen));
+  steps.push_back(ScriptNode::Alternative(std::move(alt)));
+  return Script("fig6b_alternatives", ScriptNode::Sequence(std::move(steps)));
+}
+
+storage::DesignSpecification MakeSpec(double max_area, double max_width,
+                                      const std::string& goal_domain) {
+  storage::DesignSpecification spec;
+  spec.Add(storage::Feature::AtMost("area_limit", vlsi::kAttrArea, max_area));
+  if (max_width > 0) {
+    spec.Add(
+        storage::Feature::AtMost("width_limit", vlsi::kAttrWidth, max_width));
+  }
+  spec.Add(storage::Feature::Equals("goal_domain", vlsi::kAttrDomain,
+                                    goal_domain));
+  return spec;
+}
+
+Result<DaId> SetupTopLevelDa(core::ConcordSystem* system,
+                             const std::string& name, int complexity,
+                             double max_area, double max_width) {
+  NodeId ws = system->AddWorkstation("ws_" + name);
+  cooperation::DaDescription description;
+  description.dot = system->dots().chip;
+  description.spec = MakeSpec(max_area, max_width, vlsi::kDomainMaskLayout);
+  description.designer = DesignerId(1);
+  description.dc = MakeFullDesignScript();
+  description.workstation = ws;
+  CONCORD_ASSIGN_OR_RETURN(DaId da,
+                           system->InitDesign(std::move(description)));
+  CONCORD_RETURN_NOT_OK(system->SetSeedObject(
+      da, vlsi::MakeBehavioralChip(system->dots(), name, complexity)));
+  return da;
+}
+
+namespace {
+
+/// Runs a sub-DA to completion, evaluates its current version and
+/// reports ready/impossible to the CM. Returns true if final.
+Result<bool> FinishSubDa(core::ConcordSystem* system, DaId sub) {
+  CONCORD_RETURN_NOT_OK(system->RunDa(sub));
+  CONCORD_ASSIGN_OR_RETURN(DovId current, system->CurrentVersion(sub));
+  CONCORD_ASSIGN_OR_RETURN(storage::QualityState quality,
+                           system->cm().Evaluate(sub, current));
+  if (quality.is_final()) {
+    CONCORD_RETURN_NOT_OK(system->cm().SubDaReadyToCommit(sub));
+    return true;
+  }
+  CONCORD_RETURN_NOT_OK(system->cm().SubDaImpossibleSpecification(
+      sub, "unfulfilled: " +
+               (quality.unfulfilled.empty() ? std::string("?")
+                                            : quality.unfulfilled.front())));
+  return false;
+}
+
+}  // namespace
+
+Result<DelegationResult> RunDelegationScenario(core::ConcordSystem* system,
+                                               int complexity, bool squeeze,
+                                               MetricsCollector* metrics) {
+  DelegationResult result;
+
+  // --- Top-level DA plans cell 0 (Fig. 5, DA1). ---------------------
+  NodeId top_ws = system->AddWorkstation("ws_top");
+  cooperation::DaDescription top_desc;
+  top_desc.dot = system->dots().chip;
+  top_desc.spec = MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
+  top_desc.designer = DesignerId(1);
+  top_desc.dc = MakeChipPlanningScript(1);
+  top_desc.workstation = top_ws;
+  CONCORD_ASSIGN_OR_RETURN(result.top,
+                           system->InitDesign(std::move(top_desc)));
+  CONCORD_RETURN_NOT_OK(system->SetSeedObject(
+      result.top,
+      vlsi::MakeBehavioralChip(system->dots(), "cell0", complexity)));
+  CONCORD_RETURN_NOT_OK(system->StartDa(result.top));
+  CONCORD_RETURN_NOT_OK(system->RunDa(result.top));
+
+  CONCORD_ASSIGN_OR_RETURN(DovId plan_dov,
+                           system->CurrentVersion(result.top));
+  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord plan_record,
+                           system->repository().Get(plan_dov));
+  CONCORD_ASSIGN_OR_RETURN(storage::AttrValue fp_attr,
+                           plan_record.data.GetAttr(vlsi::kAttrFloorplan));
+  CONCORD_ASSIGN_OR_RETURN(vlsi::Floorplan floorplan,
+                           vlsi::Floorplan::Deserialize(fp_attr.as_string()));
+  if (metrics != nullptr) {
+    metrics->Record("top_plan_area", floorplan.Area());
+    metrics->Record("subcells", static_cast<double>(floorplan.cells.size()));
+  }
+
+  // --- Delegate each placed subcell (Fig. 5, DA2..DA5). -------------
+  // "This leads to the floorplan contents ... which is the basis for
+  // delegating further planning steps on the subordinate hierarchy
+  // level."
+  int index = 0;
+  std::vector<double> budgets;
+  for (const vlsi::PlacedCell& cell : floorplan.cells) {
+    NodeId ws = system->AddWorkstation("ws_sub" + std::to_string(index));
+    // The sub-DA re-synthesizes its module at its own level of detail,
+    // so budgets are set for the expanded design, not the parent's
+    // abstract placement estimate. The squeezed DA gets a budget no
+    // plan can meet (the DA2 story of Sect. 4.1).
+    double budget = 1e6;
+    if (squeeze && index == 0) budget = 0.5;
+    budgets.push_back(budget);
+
+    cooperation::DaDescription sub_desc;
+    sub_desc.dot = system->dots().module;
+    sub_desc.spec = MakeSpec(budget, 0, vlsi::kDomainFloorplan);
+    sub_desc.designer = DesignerId(2 + index);
+    sub_desc.dc = MakeChipPlanningScript(1);
+    sub_desc.workstation = ws;
+    CONCORD_ASSIGN_OR_RETURN(DaId sub,
+                             system->CreateSubDa(result.top, sub_desc));
+    CONCORD_RETURN_NOT_OK(system->SetSeedObject(
+        sub, [&] {
+          storage::DesignObject seed(system->dots().module);
+          seed.SetAttr(vlsi::kAttrName, cell.name);
+          seed.SetAttr(vlsi::kAttrDomain, vlsi::kDomainBehavior);
+          seed.SetAttr(vlsi::kAttrBehavior,
+                       "MODULE " + cell.name + " COMPLEXITY " +
+                           std::to_string(std::max(2, complexity / 2)));
+          seed.SetAttr(vlsi::kAttrPinCount, int64_t{8});
+          return seed;
+        }()));
+    CONCORD_RETURN_NOT_OK(system->StartDa(sub));
+    result.subs.push_back(sub);
+    ++index;
+  }
+
+  // --- Run the sub-DAs; collect impossible-spec reports. -------------
+  std::vector<DaId> needs_replan;
+  for (size_t i = 0; i < result.subs.size(); ++i) {
+    CONCORD_ASSIGN_OR_RETURN(bool final, FinishSubDa(system, result.subs[i]));
+    if (!final) {
+      result.impossible_sub = result.subs[i];
+      needs_replan.push_back(result.subs[i]);
+    }
+  }
+
+  // --- Super-DA resolves the conflict (the DA2/DA3 story): give the
+  // squeezed sub-DA more area and its largest sibling less. -----------
+  for (DaId sub : needs_replan) {
+    size_t sub_index = 0;
+    for (size_t i = 0; i < result.subs.size(); ++i) {
+      if (result.subs[i] == sub) sub_index = i;
+    }
+    size_t donor = (sub_index + 1) % result.subs.size();
+    double transfer = budgets[donor] * 0.4;
+    budgets[sub_index] += transfer;
+    budgets[donor] -= transfer;
+
+    CONCORD_RETURN_NOT_OK(system->cm().ModifySubDaSpecification(
+        result.top, sub,
+        MakeSpec(budgets[sub_index], 0, vlsi::kDomainFloorplan)));
+    if (result.subs[donor] != sub) {
+      CONCORD_RETURN_NOT_OK(system->cm().ModifySubDaSpecification(
+          result.top, result.subs[donor],
+          MakeSpec(budgets[donor], 0, vlsi::kDomainFloorplan)));
+    }
+    ++result.replans;
+    // Both affected DAs re-run with the modified specs.
+    CONCORD_ASSIGN_OR_RETURN(bool final_now, FinishSubDa(system, sub));
+    if (!final_now) {
+      return Status::Internal(sub.ToString() +
+                              " still impossible after re-balancing");
+    }
+    if (result.subs[donor] != sub) {
+      CONCORD_ASSIGN_OR_RETURN(bool donor_ok,
+                               FinishSubDa(system, result.subs[donor]));
+      if (!donor_ok) {
+        return Status::Internal("donor " + result.subs[donor].ToString() +
+                                " became impossible after re-balancing");
+      }
+    }
+  }
+
+  // --- Terminate the hierarchy bottom-up. ----------------------------
+  double total_sub_area = 0;
+  for (DaId sub : result.subs) {
+    auto activity = system->cm().GetDa(sub);
+    if (activity.ok() && !(*activity)->final_dovs.empty()) {
+      auto record = system->repository().Get((*activity)->final_dovs.front());
+      if (record.ok()) {
+        auto area = record->data.GetNumeric(vlsi::kAttrArea);
+        if (area.ok()) total_sub_area += *area;
+      }
+    }
+    CONCORD_RETURN_NOT_OK(system->cm().TerminateSubDa(result.top, sub));
+  }
+  result.final_area = total_sub_area;
+  if (metrics != nullptr) {
+    metrics->Record("final_sub_area_total", total_sub_area);
+    metrics->Count("replans", result.replans);
+  }
+  // Synthesis of the delivered results: one configuration binding the
+  // top-level floorplan to the chosen final DOV of each sub-task.
+  CONCORD_RETURN_NOT_OK(
+      system->cm()
+          .ComposeConfiguration(result.top, "fig5_composition", plan_dov)
+          .status());
+  CONCORD_RETURN_NOT_OK(system->cm().CompleteDesign(result.top));
+  return result;
+}
+
+}  // namespace concord::sim

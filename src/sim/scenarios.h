@@ -1,0 +1,65 @@
+#ifndef CONCORD_SIM_SCENARIOS_H_
+#define CONCORD_SIM_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/concord_system.h"
+#include "sim/metrics.h"
+
+namespace concord::sim {
+
+/// The full design-plane script (Fig. 2 traversal): structure
+/// synthesis, shape-function generation, pad-frame edit, chip
+/// planning, chip assembly. Satisfies the registered VLSI domain
+/// constraints by construction.
+workflow::Script MakeFullDesignScript();
+
+/// The chip-planning script of Fig. 3 with designer re-iterations of
+/// the planning step.
+workflow::Script MakeChipPlanningScript(int max_replans = 3);
+
+/// The Fig. 6a script: structure synthesis, then an `open` segment,
+/// then chip assembly.
+workflow::Script MakeOpenScript();
+
+/// The Fig. 6b script: shape-function generation followed by a choice
+/// among three alternative planning methods.
+workflow::Script MakeAlternativesScript();
+
+/// Specification for a chip/module DA: area and width limits plus the
+/// domain goal.
+storage::DesignSpecification MakeSpec(double max_area, double max_width,
+                                      const std::string& goal_domain);
+
+/// Sets up one DA that traverses the whole design plane on a fresh
+/// workstation: creates the workstation, DA (with seed behavioral
+/// object of the given complexity) — caller then StartDa + RunDa.
+Result<DaId> SetupTopLevelDa(core::ConcordSystem* system,
+                             const std::string& name, int complexity,
+                             double max_area, double max_width);
+
+/// Result of the Fig. 5 delegation scenario.
+struct DelegationResult {
+  DaId top;
+  std::vector<DaId> subs;
+  /// Sub-DA that reported Sub_DA_Impossible_Specification (invalid if
+  /// none did).
+  DaId impossible_sub;
+  int replans = 0;
+  double final_area = 0;
+};
+
+/// Runs the delegation scenario of Fig. 5 on `system`: a top-level DA
+/// plans cell 0, then delegates each placed subcell to its own sub-DA
+/// on its own workstation. Sub-DA specs derive from the floorplan
+/// interfaces; `squeeze` shrinks one sub-DA's area budget so it reports
+/// an impossible specification, which the super-DA resolves by
+/// re-balancing the sibling budgets (the DA2/DA3 story of Sect. 4.1).
+Result<DelegationResult> RunDelegationScenario(core::ConcordSystem* system,
+                                               int complexity, bool squeeze,
+                                               MetricsCollector* metrics);
+
+}  // namespace concord::sim
+
+#endif  // CONCORD_SIM_SCENARIOS_H_

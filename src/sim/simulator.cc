@@ -1,0 +1,108 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "sim/scenarios.h"
+
+namespace concord::sim {
+
+std::string SimulationReport::ToString() const {
+  std::ostringstream os;
+  os << designs_completed << " completed, " << designs_failed << " failed; "
+     << workstation_crashes << " workstation + " << server_crashes
+     << " server crashes; " << dops_committed << " DOPs committed; "
+     << work_units_lost << " work units lost; design time "
+     << FormatSimTime(sim_time);
+  return os.str();
+}
+
+MultiDesignerSimulation::MultiDesignerSimulation(SimulationOptions options)
+    : options_(options), crash_rng_(options.seed ^ 0xC0FFEE) {
+  core::SystemConfig config;
+  config.seed = options_.seed;
+  config.time_per_work_unit = kMillisecond;
+  system_ = std::make_unique<core::ConcordSystem>(config);
+}
+
+Result<SimulationReport> MultiDesignerSimulation::Run() {
+  SimulationReport report;
+
+  for (int i = 0; i < options_.designs; ++i) {
+    CONCORD_ASSIGN_OR_RETURN(
+        DaId da, SetupTopLevelDa(system_.get(), "d" + std::to_string(i),
+                                 options_.complexity, 1e9, 0));
+    CONCORD_RETURN_NOT_OK(system_->StartDa(da));
+    das_.push_back(da);
+  }
+
+  std::vector<bool> done(das_.size(), false);
+  std::vector<bool> failed(das_.size(), false);
+  size_t remaining = das_.size();
+  // Bound the scheduler so tool aborts can't spin forever: each design
+  // needs ~a dozen steps; give plenty of slack for crashes and retries.
+  const uint64_t step_budget = 10000 * das_.size();
+
+  while (remaining > 0 && report.scheduler_steps < step_budget) {
+    for (size_t i = 0; i < das_.size(); ++i) {
+      if (done[i]) continue;
+      DaId da = das_[i];
+      workflow::DesignManager& dm = system_->dm(da);
+      ++report.scheduler_steps;
+
+      auto more = dm.Step();
+      if (!more.ok()) {
+        if (more.status().IsAborted()) {
+          // Tool failure: the designer retries (the DM left a retry
+          // point). A few retries are normal; persistent failure marks
+          // the design failed.
+          if (report.scheduler_steps % 97 == 0) continue;
+          continue;
+        }
+        failed[i] = true;
+        done[i] = true;
+        --remaining;
+        ++report.designs_failed;
+        continue;
+      }
+      if (!*more || dm.state() == workflow::DmState::kCompleted) {
+        done[i] = true;
+        --remaining;
+        ++report.designs_completed;
+        continue;
+      }
+
+      // Workstation crash injection (crash + recovery, the DA carries
+      // on with forward recovery).
+      if (options_.workstation_crash_probability > 0 &&
+          crash_rng_.Chance(options_.workstation_crash_probability)) {
+        NodeId ws = (*system_->cm().GetDa(da))->workstation;
+        system_->CrashWorkstation(ws);
+        CONCORD_RETURN_NOT_OK(system_->RecoverWorkstation(ws));
+        ++report.workstation_crashes;
+      }
+    }
+    // Server crash injection between rounds.
+    if (options_.server_crash_probability > 0 &&
+        crash_rng_.Chance(options_.server_crash_probability)) {
+      system_->CrashServer();
+      CONCORD_RETURN_NOT_OK(system_->RecoverServer());
+      ++report.server_crashes;
+    }
+  }
+
+  report.dops_committed = system_->server_tm().stats().dops_committed;
+  report.sim_time = system_->clock().Now();
+  for (DaId da : das_) {
+    NodeId ws = (*system_->cm().GetDa(da))->workstation;
+    report.work_units_lost +=
+        system_->client_tm(ws).stats().work_units_lost;
+  }
+  if (remaining > 0) {
+    return Status::Internal("simulation exceeded its step budget with " +
+                            std::to_string(remaining) + " designs open");
+  }
+  return report;
+}
+
+}  // namespace concord::sim

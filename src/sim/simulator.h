@@ -1,0 +1,70 @@
+#ifndef CONCORD_SIM_SIMULATOR_H_
+#define CONCORD_SIM_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/concord_system.h"
+#include "sim/metrics.h"
+
+namespace concord::sim {
+
+/// Configuration of a multi-designer simulation run.
+struct SimulationOptions {
+  /// Number of concurrent top-level designs (one designer/workstation
+  /// each).
+  int designs = 4;
+  /// Behavioral complexity of each design (module count after
+  /// synthesis).
+  int complexity = 6;
+  /// Probability that a given workstation crashes after any step of its
+  /// design manager (crash + immediate recovery).
+  double workstation_crash_probability = 0.0;
+  /// Probability of a server crash between scheduler rounds.
+  double server_crash_probability = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Outcome of a simulation run.
+struct SimulationReport {
+  int designs_completed = 0;
+  int designs_failed = 0;
+  int workstation_crashes = 0;
+  int server_crashes = 0;
+  uint64_t dops_committed = 0;
+  uint64_t scheduler_steps = 0;
+  /// Simulated wall time at the end of the run.
+  SimTime sim_time = 0;
+  /// TE-level work lost to crashes (units).
+  uint64_t work_units_lost = 0;
+
+  std::string ToString() const;
+};
+
+/// Drives several independent design activities "in parallel" (round-
+/// robin over their design managers, one atomic step each) against one
+/// shared server, optionally injecting workstation and server crashes.
+/// This is the workstation/server workload of Sect. 5.1 at small scale;
+/// the shared SimClock gives the team's concurrent-engineering
+/// turnaround.
+class MultiDesignerSimulation {
+ public:
+  explicit MultiDesignerSimulation(SimulationOptions options);
+
+  /// Runs to completion (every design finished or failed). The system
+  /// stays alive afterwards for inspection.
+  Result<SimulationReport> Run();
+
+  core::ConcordSystem& system() { return *system_; }
+  const std::vector<DaId>& das() const { return das_; }
+
+ private:
+  SimulationOptions options_;
+  std::unique_ptr<core::ConcordSystem> system_;
+  Rng crash_rng_;
+  std::vector<DaId> das_;
+};
+
+}  // namespace concord::sim
+
+#endif  // CONCORD_SIM_SIMULATOR_H_

@@ -1,0 +1,102 @@
+#include "storage/configuration.h"
+
+#include <sstream>
+
+namespace concord::storage {
+
+namespace {
+constexpr char kConfigPrefix[] = "config/";
+}  // namespace
+
+std::string Configuration::Serialize() const {
+  std::ostringstream os;
+  os << name << "\n" << composite.value() << "\n";
+  for (const auto& [slot, dov] : bindings) {
+    os << slot << "=" << dov.value() << "\n";
+  }
+  return os.str();
+}
+
+Result<Configuration> Configuration::Deserialize(const std::string& text) {
+  Configuration config;
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line.empty()) {
+    return Status::InvalidArgument("configuration text has no name line");
+  }
+  config.name = line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("configuration text has no composite line");
+  }
+  try {
+    config.composite = DovId(std::stoull(line));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad composite id '" + line + "'");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad binding line '" + line + "'");
+    }
+    try {
+      config.bindings[line.substr(0, eq)] =
+          DovId(std::stoull(line.substr(eq + 1)));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad binding line '" + line + "'");
+    }
+  }
+  return config;
+}
+
+Status ConfigurationStore::Validate(const Configuration& config) const {
+  if (config.name.empty()) {
+    return Status::InvalidArgument("configuration has no name");
+  }
+  CONCORD_ASSIGN_OR_RETURN(DovRecord composite,
+                           repository_->Get(config.composite));
+  for (const auto& [slot, dov] : config.bindings) {
+    if (slot.empty()) {
+      return Status::InvalidArgument("configuration has an empty slot name");
+    }
+    CONCORD_ASSIGN_OR_RETURN(DovRecord component, repository_->Get(dov));
+    if (component.invalidated) {
+      return Status::ConstraintViolation(
+          "configuration '" + config.name + "' binds invalidated " +
+          dov.ToString() + " to slot '" + slot + "'");
+    }
+    if (!repository_->schema().IsPartOf(component.type, composite.type)) {
+      return Status::ConstraintViolation(
+          "slot '" + slot + "': " + component.type.ToString() +
+          " is not a part of the composite's " + composite.type.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status ConfigurationStore::Save(const Configuration& config) {
+  CONCORD_RETURN_NOT_OK(Validate(config));
+  TxnId txn = repository_->Begin();
+  Status st = repository_->PutMeta(txn, kConfigPrefix + config.name,
+                                   config.Serialize());
+  if (st.ok()) st = repository_->Commit(txn);
+  if (!st.ok()) repository_->Abort(txn).ok();
+  return st;
+}
+
+Result<Configuration> ConfigurationStore::Load(const std::string& name) const {
+  CONCORD_ASSIGN_OR_RETURN(std::string text,
+                           repository_->GetMeta(kConfigPrefix + name));
+  return Configuration::Deserialize(text);
+}
+
+std::vector<std::string> ConfigurationStore::List() const {
+  std::vector<std::string> names;
+  for (const std::string& key :
+       repository_->MetaKeysWithPrefix(kConfigPrefix)) {
+    names.push_back(key.substr(sizeof(kConfigPrefix) - 1));
+  }
+  return names;
+}
+
+}  // namespace concord::storage

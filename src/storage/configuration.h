@@ -1,0 +1,58 @@
+#ifndef CONCORD_STORAGE_CONFIGURATION_H_
+#define CONCORD_STORAGE_CONFIGURATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/repository.h"
+
+namespace concord::storage {
+
+/// A configuration: the binding of a composite design object version to
+/// exactly one version per component slot — the "notion of
+/// configurations" the paper points to (Sect. 4.2) and defers to its
+/// version-model companion work [Kä91, KS92]. In CONCORD's flow, the
+/// super-DA composes a configuration from the final DOVs its
+/// terminated sub-DAs delivered.
+struct Configuration {
+  std::string name;
+  /// The composite this configuration realizes (e.g. the chip's
+  /// floorplan DOV).
+  DovId composite;
+  /// Component slot name (subcell name) -> chosen version.
+  std::map<std::string, DovId> bindings;
+
+  std::string Serialize() const;
+  static Result<Configuration> Deserialize(const std::string& text);
+};
+
+/// Validation and persistence of configurations against a repository.
+class ConfigurationStore {
+ public:
+  explicit ConfigurationStore(Repository* repository)
+      : repository_(repository) {}
+
+  /// Structural consistency of `config`:
+  ///  - the composite and every bound DOV exist;
+  ///  - every bound DOV's DOT is declared a part (transitively) of the
+  ///    composite's DOT;
+  ///  - no bound version is invalidated;
+  ///  - slot names are unique (map guarantees) and non-empty.
+  Status Validate(const Configuration& config) const;
+
+  /// Validates and durably records the configuration (meta store).
+  Status Save(const Configuration& config);
+  Result<Configuration> Load(const std::string& name) const;
+  std::vector<std::string> List() const;
+
+ private:
+  Repository* repository_;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_CONFIGURATION_H_

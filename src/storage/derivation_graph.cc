@@ -1,0 +1,128 @@
+#include "storage/derivation_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace concord::storage {
+
+Status DerivationGraph::Add(DovId dov, const std::vector<DovId>& predecessors) {
+  if (Contains(dov)) {
+    return Status::AlreadyExists(dov.ToString() +
+                                 " already in derivation graph");
+  }
+  nodes_.insert(dov);
+  order_.push_back(dov);
+  for (DovId pred : predecessors) {
+    if (Contains(pred) && pred != dov) {
+      out_edges_[pred].push_back(dov);
+      in_edges_[dov].push_back(pred);
+    } else {
+      external_inputs_[dov].push_back(pred);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<DovId> DerivationGraph::Successors(DovId dov) const {
+  auto it = out_edges_.find(dov);
+  return it == out_edges_.end() ? std::vector<DovId>{} : it->second;
+}
+
+std::vector<DovId> DerivationGraph::Predecessors(DovId dov) const {
+  auto it = in_edges_.find(dov);
+  return it == in_edges_.end() ? std::vector<DovId>{} : it->second;
+}
+
+std::vector<DovId> DerivationGraph::Roots() const {
+  std::vector<DovId> roots;
+  for (DovId dov : order_) {
+    auto it = in_edges_.find(dov);
+    if (it == in_edges_.end() || it->second.empty()) roots.push_back(dov);
+  }
+  return roots;
+}
+
+std::vector<DovId> DerivationGraph::Leaves() const {
+  std::vector<DovId> leaves;
+  for (DovId dov : order_) {
+    auto it = out_edges_.find(dov);
+    if (it == out_edges_.end() || it->second.empty()) leaves.push_back(dov);
+  }
+  return leaves;
+}
+
+bool DerivationGraph::IsAncestor(DovId ancestor, DovId descendant) const {
+  if (!Contains(ancestor) || !Contains(descendant)) return false;
+  if (ancestor == descendant) return true;
+  std::deque<DovId> frontier{ancestor};
+  std::unordered_set<DovId> visited{ancestor};
+  while (!frontier.empty()) {
+    DovId current = frontier.front();
+    frontier.pop_front();
+    auto it = out_edges_.find(current);
+    if (it == out_edges_.end()) continue;
+    for (DovId next : it->second) {
+      if (next == descendant) return true;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::vector<DovId> DerivationGraph::Descendants(DovId dov) const {
+  std::vector<DovId> result;
+  if (!Contains(dov)) return result;
+  std::deque<DovId> frontier{dov};
+  std::unordered_set<DovId> visited{dov};
+  while (!frontier.empty()) {
+    DovId current = frontier.front();
+    frontier.pop_front();
+    auto it = out_edges_.find(current);
+    if (it == out_edges_.end()) continue;
+    for (DovId next : it->second) {
+      if (visited.insert(next).second) {
+        result.push_back(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  // Deterministic order for tests: follow overall topological order.
+  std::unordered_set<DovId> in_result(result.begin(), result.end());
+  std::vector<DovId> ordered;
+  for (DovId node : order_) {
+    if (in_result.count(node)) ordered.push_back(node);
+  }
+  return ordered;
+}
+
+std::vector<DovId> DerivationGraph::ExternalInputs(DovId dov) const {
+  auto it = external_inputs_.find(dov);
+  return it == external_inputs_.end() ? std::vector<DovId>{} : it->second;
+}
+
+std::vector<DovId> DerivationGraph::DerivedFromExternal(DovId external) const {
+  // Seed with versions that directly consumed the external DOV, then
+  // close over descendants.
+  std::unordered_set<DovId> affected;
+  for (const auto& [dov, inputs] : external_inputs_) {
+    if (std::find(inputs.begin(), inputs.end(), external) != inputs.end()) {
+      affected.insert(dov);
+      for (DovId desc : Descendants(dov)) affected.insert(desc);
+    }
+  }
+  std::vector<DovId> ordered;
+  for (DovId node : order_) {
+    if (affected.count(node)) ordered.push_back(node);
+  }
+  return ordered;
+}
+
+void DerivationGraph::Clear() {
+  nodes_.clear();
+  out_edges_.clear();
+  in_edges_.clear();
+  external_inputs_.clear();
+  order_.clear();
+}
+
+}  // namespace concord::storage

@@ -1,0 +1,72 @@
+#ifndef CONCORD_STORAGE_DERIVATION_GRAPH_H_
+#define CONCORD_STORAGE_DERIVATION_GRAPH_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::storage {
+
+/// The derivation graph of one design activity: a DAG over DOV ids with
+/// edges from each version to the versions derived from it. The
+/// repository maintains one graph per DA and extends it inside checkin
+/// (Sect. 5.2: "its DA's derivation graph is extended by the newly
+/// created DOV").
+class DerivationGraph {
+ public:
+  DerivationGraph() = default;
+
+  /// Adds `dov` with edges from each of `predecessors`. Predecessors
+  /// that are not members of this graph are recorded as external inputs
+  /// (versions read via usage relationships live in the supporting DA's
+  /// graph) but create no internal edge.
+  Status Add(DovId dov, const std::vector<DovId>& predecessors);
+
+  bool Contains(DovId dov) const { return nodes_.count(dov) > 0; }
+  size_t size() const { return nodes_.size(); }
+
+  std::vector<DovId> Successors(DovId dov) const;
+  std::vector<DovId> Predecessors(DovId dov) const;
+  /// Versions with no predecessor inside this graph.
+  std::vector<DovId> Roots() const;
+  /// Versions with no successor (current design-state frontier).
+  std::vector<DovId> Leaves() const;
+
+  /// True iff `ancestor` is reachable from ... i.e. `descendant` can be
+  /// reached from `ancestor` along derivation edges. A version is its
+  /// own ancestor.
+  bool IsAncestor(DovId ancestor, DovId descendant) const;
+
+  /// All transitive descendants of `dov` (excluding `dov`). Used when a
+  /// withdrawn or invalidated version poisons derived work.
+  std::vector<DovId> Descendants(DovId dov) const;
+
+  /// Deterministic topological order (insertion order is already
+  /// topological since predecessors must exist at insert time).
+  const std::vector<DovId>& TopologicalOrder() const { return order_; }
+
+  /// External inputs recorded for `dov` (predecessors outside this
+  /// graph — versions obtained along usage relationships).
+  std::vector<DovId> ExternalInputs(DovId dov) const;
+
+  /// DOVs in this graph that (transitively) derive from the external
+  /// version `external` — the impact set of a withdrawal (Sect. 5.3).
+  std::vector<DovId> DerivedFromExternal(DovId external) const;
+
+  void Clear();
+
+ private:
+  std::unordered_set<DovId> nodes_;
+  std::unordered_map<DovId, std::vector<DovId>> out_edges_;
+  std::unordered_map<DovId, std::vector<DovId>> in_edges_;
+  std::unordered_map<DovId, std::vector<DovId>> external_inputs_;
+  std::vector<DovId> order_;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_DERIVATION_GRAPH_H_

@@ -1,0 +1,197 @@
+#include "storage/feature.h"
+
+#include <sstream>
+
+namespace concord::storage {
+
+void TestToolRegistry::Register(const std::string& name, Predicate predicate) {
+  tools_[name] = std::move(predicate);
+}
+
+bool TestToolRegistry::Has(const std::string& name) const {
+  return tools_.count(name) > 0;
+}
+
+Result<bool> TestToolRegistry::Run(const std::string& name,
+                                   const DesignObject& object) const {
+  auto it = tools_.find(name);
+  if (it == tools_.end()) {
+    return Status::NotFound("no test tool registered as '" + name + "'");
+  }
+  return it->second(object);
+}
+
+TestToolRegistry& TestToolRegistry::Global() {
+  static TestToolRegistry* instance = new TestToolRegistry();
+  return *instance;
+}
+
+Feature Feature::Range(std::string name, std::string attr, double min,
+                       double max) {
+  Feature f;
+  f.name_ = std::move(name);
+  f.kind_ = Kind::kRange;
+  f.attr_ = std::move(attr);
+  f.min_ = min;
+  f.max_ = max;
+  return f;
+}
+
+Feature Feature::AtMost(std::string name, std::string attr, double max) {
+  return Range(std::move(name), std::move(attr),
+               -std::numeric_limits<double>::infinity(), max);
+}
+
+Feature Feature::AtLeast(std::string name, std::string attr, double min) {
+  return Range(std::move(name), std::move(attr), min,
+               std::numeric_limits<double>::infinity());
+}
+
+Feature Feature::Equals(std::string name, std::string attr, AttrValue value) {
+  Feature f;
+  f.name_ = std::move(name);
+  f.kind_ = Kind::kEquality;
+  f.attr_ = std::move(attr);
+  f.equals_ = std::move(value);
+  return f;
+}
+
+Feature Feature::PassesTool(std::string name, std::string tool_name) {
+  Feature f;
+  f.name_ = std::move(name);
+  f.kind_ = Kind::kPredicate;
+  f.tool_ = std::move(tool_name);
+  return f;
+}
+
+bool Feature::IsFulfilledBy(const DesignObject& object,
+                            const TestToolRegistry& tools) const {
+  switch (kind_) {
+    case Kind::kRange: {
+      auto value = object.GetNumeric(attr_);
+      if (!value.ok()) return false;
+      return *value >= min_ && *value <= max_;
+    }
+    case Kind::kEquality: {
+      auto value = object.GetAttr(attr_);
+      if (!value.ok()) return false;
+      return *value == *equals_;
+    }
+    case Kind::kPredicate: {
+      auto verdict = tools.Run(tool_, object);
+      return verdict.ok() && *verdict;
+    }
+  }
+  return false;
+}
+
+bool Feature::IsRefinedBy(const Feature& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kRange:
+      return attr_ == other.attr_ && other.min_ >= min_ && other.max_ <= max_;
+    case Kind::kEquality:
+      return attr_ == other.attr_ && equals_ == other.equals_;
+    case Kind::kPredicate:
+      return tool_ == other.tool_;
+  }
+  return false;
+}
+
+std::string Feature::ToString() const {
+  std::ostringstream os;
+  os << name_ << ":";
+  switch (kind_) {
+    case Kind::kRange:
+      os << " " << min_ << " <= " << attr_ << " <= " << max_;
+      break;
+    case Kind::kEquality:
+      os << " " << attr_ << " == " << equals_->ToString();
+      break;
+    case Kind::kPredicate:
+      os << " passes(" << tool_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+DesignSpecification& DesignSpecification::Add(Feature feature) {
+  features_.push_back(std::move(feature));
+  return *this;
+}
+
+DesignSpecification& DesignSpecification::Upsert(Feature feature) {
+  for (auto& existing : features_) {
+    if (existing.name() == feature.name()) {
+      existing = std::move(feature);
+      return *this;
+    }
+  }
+  return Add(std::move(feature));
+}
+
+Status DesignSpecification::Remove(const std::string& feature_name) {
+  for (auto it = features_.begin(); it != features_.end(); ++it) {
+    if (it->name() == feature_name) {
+      features_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no feature named '" + feature_name + "'");
+}
+
+const Feature* DesignSpecification::Find(const std::string& name) const {
+  for (const auto& feature : features_) {
+    if (feature.name() == name) return &feature;
+  }
+  return nullptr;
+}
+
+QualityState DesignSpecification::Evaluate(
+    const DesignObject& object, const TestToolRegistry& tools) const {
+  QualityState state;
+  for (const auto& feature : features_) {
+    if (feature.IsFulfilledBy(object, tools)) {
+      state.fulfilled.push_back(feature.name());
+    } else {
+      state.unfulfilled.push_back(feature.name());
+    }
+  }
+  return state;
+}
+
+bool DesignSpecification::FulfillsSubset(
+    const DesignObject& object, const std::vector<std::string>& feature_names,
+    const TestToolRegistry& tools) const {
+  for (const auto& name : feature_names) {
+    const Feature* feature = Find(name);
+    if (feature == nullptr) return false;
+    if (!feature->IsFulfilledBy(object, tools)) return false;
+  }
+  return true;
+}
+
+bool DesignSpecification::IsRefinementOf(
+    const DesignSpecification& original) const {
+  // Every original feature must still be present (same name) and at
+  // least as strict; additional features are allowed.
+  for (const auto& orig : original.features()) {
+    const Feature* mine = Find(orig.name());
+    if (mine == nullptr) return false;
+    if (!orig.IsRefinedBy(*mine)) return false;
+  }
+  return true;
+}
+
+std::string DesignSpecification::ToString() const {
+  std::ostringstream os;
+  os << "SPEC{";
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << features_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace concord::storage

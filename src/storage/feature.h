@@ -1,0 +1,145 @@
+#ifndef CONCORD_STORAGE_FEATURE_H_
+#define CONCORD_STORAGE_FEATURE_H_
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/object.h"
+
+namespace concord::storage {
+
+/// Registry of named predicate tools. The paper allows a feature to
+/// "express the need that the resulting DOVs have to pass a particular
+/// test tool successfully" (Sect. 4.1); test tools are registered here
+/// by name and referenced from predicate features.
+class TestToolRegistry {
+ public:
+  using Predicate = std::function<bool(const DesignObject&)>;
+
+  void Register(const std::string& name, Predicate predicate);
+  bool Has(const std::string& name) const;
+  Result<bool> Run(const std::string& name, const DesignObject& object) const;
+
+  static TestToolRegistry& Global();
+
+ private:
+  std::map<std::string, Predicate> tools_;
+};
+
+/// One feature of a design specification. Three forms, all named:
+///  - range:     a numeric attribute must lie in [min, max]
+///  - equality:  an attribute must equal a given value
+///  - predicate: a registered test tool must accept the DOV
+class Feature {
+ public:
+  enum class Kind { kRange, kEquality, kPredicate };
+
+  /// Numeric range feature; open bounds use +-infinity.
+  static Feature Range(std::string name, std::string attr, double min,
+                       double max);
+  static Feature AtMost(std::string name, std::string attr, double max);
+  static Feature AtLeast(std::string name, std::string attr, double min);
+  static Feature Equals(std::string name, std::string attr, AttrValue value);
+  static Feature PassesTool(std::string name, std::string tool_name);
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  const std::string& attr() const { return attr_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  const std::string& tool_name() const { return tool_; }
+  /// The comparison value of an equality feature (empty otherwise).
+  const std::optional<AttrValue>& equals_value() const { return equals_; }
+
+  /// True iff `object` fulfills this feature. Missing attributes and
+  /// test-tool errors count as "not fulfilled", never as an error: the
+  /// quality state of a preliminary DOV is always well-defined.
+  bool IsFulfilledBy(const DesignObject& object,
+                     const TestToolRegistry& tools) const;
+
+  /// True iff every object fulfilling `other` also fulfills this
+  /// feature can only be decided for like-kinds; used for refinement
+  /// checks. Returns true when `other` is at least as strict.
+  bool IsRefinedBy(const Feature& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Feature() = default;
+  std::string name_;
+  Kind kind_ = Kind::kRange;
+  std::string attr_;
+  double min_ = -std::numeric_limits<double>::infinity();
+  double max_ = std::numeric_limits<double>::infinity();
+  std::optional<AttrValue> equals_;
+  std::string tool_;
+};
+
+/// Result of evaluating a DOV against a specification: which features
+/// hold. "The quality state of a given DOV is defined by the subset of
+/// features fulfilled" (Sect. 4.1).
+struct QualityState {
+  std::vector<std::string> fulfilled;
+  std::vector<std::string> unfulfilled;
+
+  bool is_final() const { return unfulfilled.empty(); }
+  size_t total() const { return fulfilled.size() + unfulfilled.size(); }
+  /// Fraction of the specification satisfied, in [0,1]; 1 for an empty
+  /// specification.
+  double completeness() const {
+    return total() == 0 ? 1.0
+                        : static_cast<double>(fulfilled.size()) / total();
+  }
+};
+
+/// A design specification: the SPEC element of a DA's description
+/// vector — "a set of properties the DOV to be constructed should
+/// possess" (Sect. 4.1).
+class DesignSpecification {
+ public:
+  DesignSpecification() = default;
+
+  DesignSpecification& Add(Feature feature);
+  /// Replaces the feature with the same name, or adds it.
+  DesignSpecification& Upsert(Feature feature);
+  Status Remove(const std::string& feature_name);
+
+  const std::vector<Feature>& features() const { return features_; }
+  const Feature* Find(const std::string& name) const;
+  bool empty() const { return features_.empty(); }
+  size_t size() const { return features_.size(); }
+
+  /// The Evaluate operation (Sect. 4.1): determines the quality state.
+  QualityState Evaluate(const DesignObject& object,
+                        const TestToolRegistry& tools =
+                            TestToolRegistry::Global()) const;
+
+  /// True iff `object` fulfills the named features (all must exist in
+  /// this spec and hold). Used when serving Require requests, which ask
+  /// for "a DOV with a certain set of features satisfied".
+  bool FulfillsSubset(const DesignObject& object,
+                      const std::vector<std::string>& feature_names,
+                      const TestToolRegistry& tools =
+                          TestToolRegistry::Global()) const;
+
+  /// True iff `refined` only adds features or strictly-or-equally
+  /// narrows existing ones. A sub-DA "is only allowed to refine its own
+  /// specification by addition of new features or by further
+  /// restricting existing features" (Sect. 4.1).
+  bool IsRefinementOf(const DesignSpecification& original) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Feature> features_;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_FEATURE_H_

@@ -1,0 +1,84 @@
+#include "storage/object.h"
+
+#include <functional>
+#include <sstream>
+
+namespace concord::storage {
+
+void DesignObject::SetAttr(const std::string& name, AttrValue value) {
+  attrs_[name] = std::move(value);
+}
+
+bool DesignObject::HasAttr(const std::string& name) const {
+  return attrs_.count(name) > 0;
+}
+
+Result<AttrValue> DesignObject::GetAttr(const std::string& name) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end()) {
+    return Status::NotFound("no attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<double> DesignObject::GetNumeric(const std::string& name) const {
+  CONCORD_ASSIGN_OR_RETURN(AttrValue value, GetAttr(name));
+  return value.AsNumeric();
+}
+
+DesignObject& DesignObject::AddChild(DesignObject child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+int DesignObject::CountChildrenOfType(DotId type) const {
+  int count = 0;
+  for (const auto& child : children_) {
+    if (child.type() == type) ++count;
+  }
+  return count;
+}
+
+size_t DesignObject::TreeSize() const {
+  size_t size = 1;
+  for (const auto& child : children_) size += child.TreeSize();
+  return size;
+}
+
+namespace {
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  // 64-bit variant of boost::hash_combine.
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+}  // namespace
+
+uint64_t DesignObject::ContentHash() const {
+  uint64_t h = std::hash<uint64_t>()(type_.value());
+  for (const auto& [name, value] : attrs_) {
+    h = MixHash(h, std::hash<std::string>()(name));
+    h = MixHash(h, std::hash<std::string>()(value.ToString()));
+  }
+  for (const auto& child : children_) {
+    h = MixHash(h, child.ContentHash());
+  }
+  return h;
+}
+
+std::string DesignObject::ToString() const {
+  std::ostringstream os;
+  os << type_.ToString() << "{";
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) os << ", ";
+    os << name << "=" << value.ToString();
+    first = false;
+  }
+  if (!children_.empty()) {
+    if (!first) os << ", ";
+    os << "children=" << children_.size();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace concord::storage

@@ -1,0 +1,65 @@
+#ifndef CONCORD_STORAGE_OBJECT_H_
+#define CONCORD_STORAGE_OBJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace concord::storage {
+
+/// The data payload of a design object version: a typed attribute bag
+/// plus component objects mirroring the DOT's part-of hierarchy. This
+/// is the "molecule" of the paper's PRIMA substrate, reduced to what
+/// CONCORD's dynamics need.
+///
+/// DesignObject is a value type (deep copy); DOVs in the repository are
+/// immutable snapshots, and DOPs work on private copies checked out to
+/// the workstation.
+class DesignObject {
+ public:
+  DesignObject() = default;
+  explicit DesignObject(DotId type) : type_(type) {}
+
+  DotId type() const { return type_; }
+  void set_type(DotId type) { type_ = type; }
+
+  /// Attribute access. Set overwrites.
+  void SetAttr(const std::string& name, AttrValue value);
+  bool HasAttr(const std::string& name) const;
+  Result<AttrValue> GetAttr(const std::string& name) const;
+  /// Numeric shortcut; error if missing or non-numeric.
+  Result<double> GetNumeric(const std::string& name) const;
+  const AttrMap& attrs() const { return attrs_; }
+
+  /// Component (part-of) children.
+  DesignObject& AddChild(DesignObject child);
+  const std::vector<DesignObject>& children() const { return children_; }
+  std::vector<DesignObject>& mutable_children() { return children_; }
+
+  /// Number of children with the given DOT.
+  int CountChildrenOfType(DotId type) const;
+
+  /// Recursive node count (this object plus all descendants) — used by
+  /// benchmarks as a size measure.
+  size_t TreeSize() const;
+
+  /// Deterministic content digest over type, attributes and children.
+  /// Used by tests to verify that crash recovery restores bit-identical
+  /// design states.
+  uint64_t ContentHash() const;
+
+  std::string ToString() const;
+
+ private:
+  DotId type_;
+  AttrMap attrs_;
+  std::vector<DesignObject> children_;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_OBJECT_H_

@@ -1,0 +1,245 @@
+#include "storage/repository.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace concord::storage {
+
+std::string DovRecord::ToString() const {
+  std::string out = id.ToString() + "@" + owner_da.ToString();
+  if (final_dov) out += " [final]";
+  if (propagated) out += " [propagated]";
+  if (invalidated) out += " [invalidated]";
+  return out;
+}
+
+Repository::Repository(SimClock* clock) : clock_(clock) {}
+
+TxnId Repository::Begin() {
+  TxnId id = txn_gen_.Next();
+  active_.emplace(id, PendingTxn{});
+  ++stats_.txns_begun;
+  return id;
+}
+
+Status Repository::Put(TxnId txn, DovRecord record) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("no active repository transaction " +
+                            txn.ToString());
+  }
+  if (!record.id.valid()) {
+    return Status::InvalidArgument("DOV record has no id");
+  }
+  it->second.dov_writes.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status Repository::PutMeta(TxnId txn, const std::string& key,
+                           const std::string& value) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("no active repository transaction " +
+                            txn.ToString());
+  }
+  it->second.meta_writes.emplace_back(key, value);
+  return Status::OK();
+}
+
+Status Repository::DeleteMeta(TxnId txn, const std::string& key) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("no active repository transaction " +
+                            txn.ToString());
+  }
+  it->second.meta_deletes.push_back(key);
+  return Status::OK();
+}
+
+Status Repository::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("no active repository transaction " +
+                            txn.ToString());
+  }
+  PendingTxn& pending = it->second;
+
+  // Integrity check before anything reaches the log: "the consistency
+  // of the newly created DOV has to be checked" (Sect. 5.2). A failed
+  // check leaves the transaction active so the caller can abort or fix.
+  for (const DovRecord& record : pending.dov_writes) {
+    Status st = schema_.Validate(record.data);
+    if (!st.ok()) {
+      CONCORD_INFO("repo", "checkin integrity failure for "
+                               << record.id.ToString() << ": "
+                               << st.ToString());
+      return st;
+    }
+  }
+
+  // WAL protocol: BEGIN, one record per write, COMMIT. The COMMIT
+  // record is the commit point.
+  wal_.Append({WalRecord::Type::kBegin, txn, std::nullopt, "", ""});
+  for (const DovRecord& record : pending.dov_writes) {
+    wal_.Append({WalRecord::Type::kWriteDov, txn, record, "", ""});
+  }
+  for (const auto& [key, value] : pending.meta_writes) {
+    wal_.Append({WalRecord::Type::kWriteMeta, txn, std::nullopt, key, value});
+  }
+  for (const std::string& key : pending.meta_deletes) {
+    wal_.Append({WalRecord::Type::kDeleteMeta, txn, std::nullopt, key, ""});
+  }
+  wal_.Append({WalRecord::Type::kCommit, txn, std::nullopt, "", ""});
+
+  for (const DovRecord& record : pending.dov_writes) {
+    ApplyDov(record);
+    ++stats_.dovs_written;
+  }
+  for (const auto& [key, value] : pending.meta_writes) meta_[key] = value;
+  for (const std::string& key : pending.meta_deletes) meta_.erase(key);
+
+  active_.erase(it);
+  ++stats_.txns_committed;
+  return Status::OK();
+}
+
+Status Repository::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("no active repository transaction " +
+                            txn.ToString());
+  }
+  wal_.Append({WalRecord::Type::kAbort, txn, std::nullopt, "", ""});
+  active_.erase(it);
+  ++stats_.txns_aborted;
+  return Status::OK();
+}
+
+Result<DovRecord> Repository::Get(DovId id) const {
+  auto it = committed_.find(id);
+  if (it == committed_.end()) {
+    return Status::NotFound(id.ToString() + " not in repository");
+  }
+  return it->second;
+}
+
+Result<std::string> Repository::GetMeta(const std::string& key) const {
+  auto it = meta_.find(key);
+  if (it == meta_.end()) {
+    return Status::NotFound("no meta entry '" + key + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Repository::MetaKeysWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = meta_.lower_bound(prefix); it != meta_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+const DerivationGraph& Repository::graph(DaId da) const {
+  auto it = graphs_.find(da);
+  return it == graphs_.end() ? empty_graph_ : it->second;
+}
+
+std::vector<DovId> Repository::DovsOf(DaId da) const {
+  auto it = dovs_by_da_.find(da);
+  return it == dovs_by_da_.end() ? std::vector<DovId>{} : it->second;
+}
+
+void Repository::ApplyDov(const DovRecord& record) {
+  bool is_new = committed_.count(record.id) == 0;
+  committed_[record.id] = record;
+  if (is_new) {
+    graphs_[record.owner_da].Add(record.id, record.predecessors)
+        .ok();  // duplicate insert impossible: is_new checked above
+    dovs_by_da_[record.owner_da].push_back(record.id);
+  }
+}
+
+void Repository::Crash() {
+  active_.clear();
+  committed_.clear();
+  meta_.clear();
+  graphs_.clear();
+  dovs_by_da_.clear();
+  ++stats_.crashes;
+  CONCORD_INFO("repo", "server crash: volatile state lost, "
+                           << wal_.size() << " WAL records on stable storage");
+}
+
+Status Repository::Recover() {
+  // Restore the checkpoint snapshot, then redo committed transactions
+  // from the log. Uncommitted (no COMMIT record) transactions leave no
+  // trace: atomicity.
+  committed_.clear();
+  meta_.clear();
+  graphs_.clear();
+  dovs_by_da_.clear();
+  active_.clear();
+
+  std::map<uint64_t, DovRecord> restored = snapshot_.dovs;
+  std::map<std::string, std::string> restored_meta = snapshot_.meta;
+
+  // First pass: find committed transaction ids.
+  std::unordered_map<TxnId, bool> committed_txns;
+  for (const WalRecord& record : wal_.records()) {
+    if (record.type == WalRecord::Type::kCommit) {
+      committed_txns[record.txn] = true;
+    }
+  }
+  // Second pass: redo writes of committed transactions in log order.
+  for (const WalRecord& record : wal_.records()) {
+    if (!committed_txns.count(record.txn)) continue;
+    switch (record.type) {
+      case WalRecord::Type::kWriteDov:
+        restored[record.dov->id.value()] = *record.dov;
+        break;
+      case WalRecord::Type::kWriteMeta:
+        restored_meta[record.meta_key] = record.meta_value;
+        break;
+      case WalRecord::Type::kDeleteMeta:
+        restored_meta.erase(record.meta_key);
+        break;
+      default:
+        break;
+    }
+  }
+
+  uint64_t max_dov = snapshot_.last_dov_id;
+  for (const auto& [id_value, record] : restored) {
+    max_dov = std::max(max_dov, id_value);
+    ApplyDov(record);
+  }
+  meta_ = std::move(restored_meta);
+
+  // Id generators must not reuse ids issued before the crash.
+  while (dov_gen_.last() < max_dov) dov_gen_.Next();
+  while (txn_gen_.last() < snapshot_.last_txn_id) txn_gen_.Next();
+
+  ++stats_.recoveries;
+  CONCORD_INFO("repo", "recovery complete: " << committed_.size()
+                                             << " DOVs restored");
+  return Status::OK();
+}
+
+size_t Repository::Checkpoint() {
+  snapshot_.dovs.clear();
+  for (const auto& [id, record] : committed_) {
+    snapshot_.dovs[id.value()] = record;
+  }
+  snapshot_.meta = meta_;
+  snapshot_.last_dov_id = dov_gen_.last();
+  snapshot_.last_txn_id = txn_gen_.last();
+  size_t before = wal_.size();
+  wal_.Append({WalRecord::Type::kCheckpoint, TxnId(), std::nullopt, "", ""});
+  wal_.TruncateToLastCheckpoint();
+  return before + 1 - wal_.size();
+}
+
+}  // namespace concord::storage

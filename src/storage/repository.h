@@ -1,0 +1,138 @@
+#ifndef CONCORD_STORAGE_REPOSITORY_H_
+#define CONCORD_STORAGE_REPOSITORY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/derivation_graph.h"
+#include "storage/schema.h"
+#include "storage/version.h"
+#include "storage/wal.h"
+
+namespace concord::storage {
+
+/// Counters exposed for benchmarks and the EXPERIMENTS harness.
+struct RepositoryStats {
+  uint64_t txns_begun = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t dovs_written = 0;
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+};
+
+/// The integrated design data repository: the "advanced DBMS (object
+/// and version management)" at the bottom of Fig. 1. It provides
+///  - a DOT schema catalog with integrity checking,
+///  - versioned, immutable DOVs organized in per-DA derivation graphs,
+///  - short repository transactions with WAL-based atomicity and
+///    durability (crash + recovery are first-class, simulated), and
+///  - a transactional key/value "meta" store that the CM and DM use to
+///    persist DA-hierarchy state and scripts (Sect. 5.4: the CM
+///    "employ[s] the data management facilities of the server DBMS").
+///
+/// Concurrency control across DOPs is the server-TM's job (txn/
+/// lock_manager.h); the repository itself serializes its short
+/// transactions trivially since the simulation is single-threaded.
+class Repository {
+ public:
+  explicit Repository(SimClock* clock);
+  Repository(const Repository&) = delete;
+  Repository& operator=(const Repository&) = delete;
+
+  SchemaCatalog& schema() { return schema_; }
+  const SchemaCatalog& schema() const { return schema_; }
+
+  // --- Short repository transactions -------------------------------
+
+  TxnId Begin();
+  /// Buffers a DOV write (insert or flag update). Validation against
+  /// the schema happens at commit.
+  Status Put(TxnId txn, DovRecord record);
+  Status PutMeta(TxnId txn, const std::string& key, const std::string& value);
+  Status DeleteMeta(TxnId txn, const std::string& key);
+  /// Validates, logs and applies all buffered writes atomically.
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+  bool HasActiveTxn(TxnId txn) const { return active_.count(txn) > 0; }
+
+  // --- Reads (committed state only) --------------------------------
+
+  Result<DovRecord> Get(DovId id) const;
+  bool Contains(DovId id) const { return committed_.count(id) > 0; }
+  Result<std::string> GetMeta(const std::string& key) const;
+  /// All meta keys with the given prefix, in lexicographic order.
+  std::vector<std::string> MetaKeysWithPrefix(const std::string& prefix) const;
+
+  /// The derivation graph of `da` (empty graph if the DA never wrote).
+  const DerivationGraph& graph(DaId da) const;
+
+  /// All committed DOVs owned by `da`, in creation order.
+  std::vector<DovId> DovsOf(DaId da) const;
+
+  DovId NextDovId() { return dov_gen_.Next(); }
+
+  // --- Failure model ------------------------------------------------
+
+  /// Simulated server crash: all volatile state vanishes (active
+  /// transactions, materialized committed store, graphs). Stable
+  /// storage (WAL + last checkpoint snapshot) survives.
+  void Crash();
+  /// Replays stable storage; afterwards committed state is restored
+  /// exactly and all in-flight transactions are gone (atomicity).
+  Status Recover();
+  /// Writes a checkpoint snapshot to stable storage and truncates the
+  /// log. Returns the number of log records dropped.
+  size_t Checkpoint();
+
+  const WriteAheadLog& wal() const { return wal_; }
+  const RepositoryStats& stats() const { return stats_; }
+
+ private:
+  struct PendingTxn {
+    std::vector<DovRecord> dov_writes;
+    std::vector<std::pair<std::string, std::string>> meta_writes;
+    std::vector<std::string> meta_deletes;
+  };
+
+  /// Stable-storage image written by Checkpoint().
+  struct Snapshot {
+    std::map<uint64_t, DovRecord> dovs;  // keyed by DovId value
+    std::map<std::string, std::string> meta;
+    uint64_t last_dov_id = 0;
+    uint64_t last_txn_id = 0;
+  };
+
+  void ApplyDov(const DovRecord& record);
+  void RebuildGraphs();
+
+  SimClock* clock_;
+  SchemaCatalog schema_;
+  IdGenerator<TxnId> txn_gen_;
+  IdGenerator<DovId> dov_gen_;
+
+  // Volatile state.
+  std::unordered_map<TxnId, PendingTxn> active_;
+  std::unordered_map<DovId, DovRecord> committed_;
+  std::map<std::string, std::string> meta_;
+  std::unordered_map<DaId, DerivationGraph> graphs_;
+  std::unordered_map<DaId, std::vector<DovId>> dovs_by_da_;
+
+  // Stable storage.
+  WriteAheadLog wal_;
+  Snapshot snapshot_;
+
+  RepositoryStats stats_;
+  DerivationGraph empty_graph_;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_REPOSITORY_H_

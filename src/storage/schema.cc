@@ -1,0 +1,157 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+#include "storage/object.h"
+
+namespace concord::storage {
+
+const AttrDef* DesignObjectType::FindAttr(const std::string& name) const {
+  for (const auto& def : attrs_) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+DesignObjectType* SchemaCatalog::DefineType(const std::string& name) {
+  DotId id = id_gen_.Next();
+  auto type = std::make_unique<DesignObjectType>(id, name);
+  DesignObjectType* raw = type.get();
+  types_.emplace(id, std::move(type));
+  by_name_.emplace(name, id);
+  return raw;
+}
+
+Result<const DesignObjectType*> SchemaCatalog::GetType(DotId id) const {
+  auto it = types_.find(id);
+  if (it == types_.end()) {
+    return Status::NotFound("no DOT with id " + id.ToString());
+  }
+  return static_cast<const DesignObjectType*>(it->second.get());
+}
+
+Result<const DesignObjectType*> SchemaCatalog::GetTypeByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no DOT named '" + name + "'");
+  }
+  return GetType(it->second);
+}
+
+DesignObjectType* SchemaCatalog::GetMutableType(DotId id) {
+  auto it = types_.find(id);
+  return it == types_.end() ? nullptr : it->second.get();
+}
+
+bool SchemaCatalog::IsPartOf(DotId component, DotId composite) const {
+  if (component == composite) return true;
+  auto it = types_.find(composite);
+  if (it == types_.end()) return false;
+  // BFS over part-of edges; the schema graph is small (tens of DOTs)
+  // and may contain shared components, so track visited types.
+  std::unordered_set<DotId> visited;
+  std::vector<DotId> frontier{composite};
+  visited.insert(composite);
+  while (!frontier.empty()) {
+    DotId current = frontier.back();
+    frontier.pop_back();
+    auto cit = types_.find(current);
+    if (cit == types_.end()) continue;
+    for (const PartDef& part : cit->second->parts()) {
+      if (part.component_type == component) return true;
+      if (visited.insert(part.component_type).second) {
+        frontier.push_back(part.component_type);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+Status ValidateAttrAgainstDef(const AttrDef& def, const AttrValue& value,
+                              const std::string& type_name) {
+  if (value.type() != def.type) {
+    // Allow int where double is declared: tools frequently produce
+    // integral measures for real-valued attributes.
+    if (!(def.type == AttrType::kDouble && value.is_int())) {
+      return Status::ConstraintViolation(
+          "attribute '" + def.name + "' of " + type_name + " has type " +
+          AttrTypeToString(value.type()) + ", expected " +
+          AttrTypeToString(def.type));
+    }
+  }
+  if (def.min.has_value() || def.max.has_value()) {
+    auto numeric = value.AsNumeric();
+    if (!numeric.ok()) return numeric.status();
+    if (def.min.has_value() && *numeric < *def.min) {
+      return Status::ConstraintViolation(
+          "attribute '" + def.name + "' = " + value.ToString() +
+          " below schema minimum " + std::to_string(*def.min));
+    }
+    if (def.max.has_value() && *numeric > *def.max) {
+      return Status::ConstraintViolation(
+          "attribute '" + def.name + "' = " + value.ToString() +
+          " above schema maximum " + std::to_string(*def.max));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SchemaCatalog::Validate(const DesignObject& object) const {
+  auto type_result = GetType(object.type());
+  if (!type_result.ok()) return type_result.status();
+  const DesignObjectType& type = **type_result;
+
+  for (const AttrDef& def : type.attrs()) {
+    if (!object.HasAttr(def.name)) {
+      if (def.required) {
+        return Status::ConstraintViolation("missing required attribute '" +
+                                           def.name + "' on " + type.name());
+      }
+      continue;
+    }
+    CONCORD_RETURN_NOT_OK(ValidateAttrAgainstDef(
+        def, object.GetAttr(def.name).value(), type.name()));
+  }
+  // Reject attributes not in the schema: checkin must be
+  // schema-consistent (Sect. 2, TE level).
+  for (const auto& [name, value] : object.attrs()) {
+    if (type.FindAttr(name) == nullptr) {
+      return Status::ConstraintViolation("attribute '" + name +
+                                         "' not declared on " + type.name());
+    }
+  }
+
+  for (const PartDef& part : type.parts()) {
+    int count = object.CountChildrenOfType(part.component_type);
+    if (count < part.min_count || count > part.max_count) {
+      return Status::ConstraintViolation(
+          "type " + type.name() + " requires between " +
+          std::to_string(part.min_count) + " and " +
+          std::to_string(part.max_count) + " components of " +
+          part.component_type.ToString() + ", found " + std::to_string(count));
+    }
+  }
+  for (const DesignObject& child : object.children()) {
+    bool declared = false;
+    for (const PartDef& part : type.parts()) {
+      if (part.component_type == child.type()) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      return Status::ConstraintViolation(
+          "component of type " + child.type().ToString() +
+          " not declared as a part of " + type.name());
+    }
+    CONCORD_RETURN_NOT_OK(Validate(child));
+  }
+  return Status::OK();
+}
+
+}  // namespace concord::storage

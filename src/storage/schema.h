@@ -1,0 +1,100 @@
+#ifndef CONCORD_STORAGE_SCHEMA_H_
+#define CONCORD_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace concord::storage {
+
+class DesignObject;
+
+/// Declaration of one typed attribute of a design object type.
+struct AttrDef {
+  std::string name;
+  AttrType type = AttrType::kInt;
+  bool required = true;
+  /// Optional numeric bounds enforced by the repository's integrity
+  /// check at checkin (Sect. 5.2: "every derived DOV observes the
+  /// constraints specified in the underlying database schema").
+  std::optional<double> min;
+  std::optional<double> max;
+};
+
+/// Declaration of a part-of component: a DOT whose instances appear as
+/// children, with a multiplicity range.
+struct PartDef {
+  DotId component_type;
+  int min_count = 0;
+  int max_count = 1 << 30;
+};
+
+/// Design object type (DOT) — the first element of a DA's description
+/// vector. "The complex structure of a DOT provides a natural basis
+/// for structuring the design process" (Sect. 4.1): in delegation, the
+/// sub-DA's DOT must be a *part* of the super-DA's DOT.
+class DesignObjectType {
+ public:
+  DesignObjectType(DotId id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  DotId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  void AddAttr(AttrDef def) { attrs_.push_back(std::move(def)); }
+  void AddPart(PartDef def) { parts_.push_back(def); }
+
+  const std::vector<AttrDef>& attrs() const { return attrs_; }
+  const std::vector<PartDef>& parts() const { return parts_; }
+
+  const AttrDef* FindAttr(const std::string& name) const;
+
+ private:
+  DotId id_;
+  std::string name_;
+  std::vector<AttrDef> attrs_;
+  std::vector<PartDef> parts_;
+};
+
+/// The repository's type catalog. Owns all DOT definitions and answers
+/// the part-of queries that the cooperation manager needs to validate
+/// delegation (sub-DA DOT must be a part of the super-DA DOT).
+class SchemaCatalog {
+ public:
+  SchemaCatalog() = default;
+  SchemaCatalog(const SchemaCatalog&) = delete;
+  SchemaCatalog& operator=(const SchemaCatalog&) = delete;
+
+  /// Creates and registers a new DOT with a fresh id.
+  DesignObjectType* DefineType(const std::string& name);
+
+  Result<const DesignObjectType*> GetType(DotId id) const;
+  Result<const DesignObjectType*> GetTypeByName(const std::string& name) const;
+  DesignObjectType* GetMutableType(DotId id);
+
+  /// True if `component` equals `composite` or is reachable from it via
+  /// part-of edges (transitively). Delegation requires
+  /// IsPartOf(sub.dot, super.dot).
+  bool IsPartOf(DotId component, DotId composite) const;
+
+  /// Validates `object` (attribute presence, types, bounds, component
+  /// multiplicities, recursive part validation) against its DOT.
+  Status Validate(const DesignObject& object) const;
+
+  size_t size() const { return types_.size(); }
+
+ private:
+  IdGenerator<DotId> id_gen_;
+  std::unordered_map<DotId, std::unique_ptr<DesignObjectType>> types_;
+  std::unordered_map<std::string, DotId> by_name_;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_SCHEMA_H_

@@ -1,0 +1,40 @@
+#include "storage/value.h"
+
+namespace concord::storage {
+
+const char* AttrTypeToString(AttrType type) {
+  switch (type) {
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kDouble:
+      return "double";
+    case AttrType::kString:
+      return "string";
+    case AttrType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+AttrType AttrValue::type() const {
+  if (is_int()) return AttrType::kInt;
+  if (is_double()) return AttrType::kDouble;
+  if (is_string()) return AttrType::kString;
+  return AttrType::kBool;
+}
+
+Result<double> AttrValue::AsNumeric() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_double()) return as_double();
+  return Status::InvalidArgument("attribute value '" + ToString() +
+                                 "' is not numeric");
+}
+
+std::string AttrValue::ToString() const {
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return std::to_string(as_double());
+  if (is_string()) return as_string();
+  return as_bool() ? "true" : "false";
+}
+
+}  // namespace concord::storage

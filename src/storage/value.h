@@ -1,0 +1,66 @@
+#ifndef CONCORD_STORAGE_VALUE_H_
+#define CONCORD_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::storage {
+
+/// Attribute types supported by the design-object schema. The paper's
+/// PRIMA repository is a structurally complete object model; for
+/// CONCORD's purposes elementary typed attributes plus the part-of
+/// hierarchy (see schema.h) are sufficient — features in a design
+/// specification constrain "the value of an elementary data item"
+/// (Sect. 4.1).
+enum class AttrType { kInt, kDouble, kString, kBool };
+
+const char* AttrTypeToString(AttrType type);
+
+/// A dynamically-typed attribute value.
+class AttrValue {
+ public:
+  AttrValue() : repr_(int64_t{0}) {}
+  AttrValue(int64_t v) : repr_(v) {}            // NOLINT(runtime/explicit)
+  AttrValue(int v) : repr_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  AttrValue(double v) : repr_(v) {}             // NOLINT(runtime/explicit)
+  AttrValue(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  AttrValue(const char* v) : repr_(std::string(v)) {}  // NOLINT
+  AttrValue(bool v) : repr_(v) {}               // NOLINT(runtime/explicit)
+
+  AttrType type() const;
+
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+  bool as_bool() const { return std::get<bool>(repr_); }
+
+  /// Numeric view: ints and doubles promote to double; other types are
+  /// an error.
+  Result<double> AsNumeric() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const AttrValue& a, const AttrValue& b) {
+    return a.repr_ == b.repr_;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string, bool> repr_;
+};
+
+/// Named attribute bag, ordered for deterministic iteration.
+using AttrMap = std::map<std::string, AttrValue>;
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_VALUE_H_

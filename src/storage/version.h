@@ -1,0 +1,47 @@
+#ifndef CONCORD_STORAGE_VERSION_H_
+#define CONCORD_STORAGE_VERSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "storage/object.h"
+
+namespace concord::storage {
+
+/// A design object version (DOV): one immutable design state in a DA's
+/// derivation graph. "All the DOVs created within a DA are organized in
+/// a derivation graph, and belong to the scope of that very DA"
+/// (Sect. 4.1).
+///
+/// The object payload never changes after checkin; the cooperation
+/// flags (propagated / invalidated / final) evolve under CM control and
+/// are persisted through repository transactions like any other write.
+struct DovRecord {
+  DovId id;
+  /// The DA whose derivation graph owns this version.
+  DaId owner_da;
+  /// The DOP whose checkin created this version (invalid for initial
+  /// DOVs installed at DA creation).
+  DopId created_by;
+  DotId type;
+  DesignObject data;
+  /// Input versions of the creating DOP ("derived from" edges).
+  std::vector<DovId> predecessors;
+  SimTime created_at = 0;
+
+  /// Pre-released along usage relationships via Propagate (Sect. 4.1).
+  bool propagated = false;
+  /// Marked by the CM when it becomes clear this DOV will not be an
+  /// ancestor of a final DOV (Sect. 5.4, invalidation).
+  bool invalidated = false;
+  /// Fulfills the owning DA's entire design specification.
+  bool final_dov = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_VERSION_H_

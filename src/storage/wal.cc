@@ -1,0 +1,40 @@
+#include "storage/wal.h"
+
+namespace concord::storage {
+
+const char* WalRecord::TypeToString(Type type) {
+  switch (type) {
+    case Type::kBegin:
+      return "BEGIN";
+    case Type::kWriteDov:
+      return "WRITE_DOV";
+    case Type::kWriteMeta:
+      return "WRITE_META";
+    case Type::kDeleteMeta:
+      return "DELETE_META";
+    case Type::kCommit:
+      return "COMMIT";
+    case Type::kAbort:
+      return "ABORT";
+    case Type::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "?";
+}
+
+void WriteAheadLog::Append(WalRecord record) {
+  records_.push_back(std::move(record));
+  ++total_appended_;
+}
+
+void WriteAheadLog::TruncateToLastCheckpoint() {
+  for (size_t i = records_.size(); i > 0; --i) {
+    if (records_[i - 1].type == WalRecord::Type::kCheckpoint) {
+      records_.erase(records_.begin(),
+                     records_.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace concord::storage

@@ -1,0 +1,67 @@
+#ifndef CONCORD_STORAGE_WAL_H_
+#define CONCORD_STORAGE_WAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "storage/version.h"
+
+namespace concord::storage {
+
+/// One write-ahead-log record. The log is the repository's stable
+/// storage: a server crash wipes all volatile state, and recovery
+/// replays committed transactions from the log (Sect. 5.2: durability
+/// "is guaranteed by the data repository, i.e. by the logging and
+/// recovery methods of the server-TM").
+struct WalRecord {
+  enum class Type {
+    kBegin,
+    kWriteDov,   // full after-image of a DOV record
+    kWriteMeta,  // key/value after-image (CM state, persistent scripts)
+    kDeleteMeta,
+    kCommit,
+    kAbort,
+    kCheckpoint,
+  };
+
+  Type type;
+  TxnId txn;
+  /// Valid for kWriteDov.
+  std::optional<DovRecord> dov;
+  /// Valid for kWriteMeta / kDeleteMeta.
+  std::string meta_key;
+  std::string meta_value;
+
+  static const char* TypeToString(Type type);
+};
+
+/// Append-only log on simulated stable storage. Records survive
+/// Crash(); truncation only happens at checkpoints.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  void Append(WalRecord record);
+
+  const std::vector<WalRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  /// Total appended over the log's lifetime, including truncated
+  /// prefixes — a cost measure for benchmarks.
+  size_t total_appended() const { return total_appended_; }
+
+  /// Drops everything before the latest checkpoint record (exclusive of
+  /// the checkpoint itself). No-op when no checkpoint exists.
+  void TruncateToLastCheckpoint();
+
+ private:
+  std::vector<WalRecord> records_;
+  size_t total_appended_ = 0;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_WAL_H_

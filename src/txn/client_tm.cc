@@ -1,0 +1,332 @@
+#include "txn/client_tm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace concord::txn {
+
+namespace {
+
+/// Ad-hoc participant whose votes/outcomes are provided as callbacks.
+/// Used to drive the generic 2PC coordinator for the client/server TM
+/// interactions.
+class LambdaParticipant : public rpc::TwoPcParticipant {
+ public:
+  LambdaParticipant(NodeId node, std::function<bool()> prepare)
+      : node_(node), prepare_(std::move(prepare)) {}
+
+  NodeId node() const override { return node_; }
+  bool Prepare(TxnId) override { return prepare_ ? prepare_() : true; }
+  void Commit(TxnId) override {}
+  void Abort(TxnId) override {}
+
+ private:
+  NodeId node_;
+  std::function<bool()> prepare_;
+};
+
+}  // namespace
+
+ClientTm::ClientTm(ServerTm* server, rpc::Network* network, NodeId workstation,
+                   SimClock* clock)
+    : server_(server),
+      network_(network),
+      node_(workstation),
+      clock_(clock),
+      two_pc_(network, workstation) {}
+
+Result<ClientTm::DopRuntime*> ClientTm::ActiveDop(DopId dop) {
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) {
+    return Status::NotFound(dop.ToString() + " not known at this client-TM");
+  }
+  if (it->second.state != DopState::kActive) {
+    return Status::FailedPrecondition(
+        dop.ToString() + " is " + DopStateToString(it->second.state) +
+        ", not active");
+  }
+  return &it->second;
+}
+
+Status ClientTm::RunCommitProtocol(DopId dop) {
+  (void)dop;
+  LambdaParticipant client(node_, nullptr);
+  LambdaParticipant server(server_->node(), nullptr);
+  CONCORD_ASSIGN_OR_RETURN(
+      bool committed,
+      two_pc_.Execute(TxnId(dop.value()), {&client, &server}));
+  if (!committed) {
+    return Status::Unavailable("client/server TM commit protocol failed");
+  }
+  return Status::OK();
+}
+
+Result<DopId> ClientTm::BeginDop(DaId da) {
+  if (!network_->IsUp(node_)) {
+    return Status::Crashed("workstation is down");
+  }
+  DopId dop = dop_gen_.Next();
+  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
+  CONCORD_RETURN_NOT_OK(server_->BeginDop(dop, da));
+  DopRuntime runtime;
+  runtime.da = da;
+  dops_.emplace(dop, std::move(runtime));
+  // Initial recovery point: an empty context, so a crash right after
+  // Begin-of-DOP recovers to the beginning.
+  PersistRecoveryPoint(dop, dops_.at(dop));
+  return dop;
+}
+
+Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
+  CONCORD_ASSIGN_OR_RETURN(
+      storage::DovRecord record,
+      server_->Checkout(dop, dov, take_derivation_lock));
+  runtime->context.inputs[dov] = std::move(record.data);
+  // "After each checkout operation a recovery point is set" (Sect 5.2).
+  PersistRecoveryPoint(dop, *runtime);
+  return Status::OK();
+}
+
+Result<storage::DesignObject> ClientTm::Input(DopId dop, DovId dov) const {
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) {
+    return Status::NotFound(dop.ToString() + " not known at this client-TM");
+  }
+  auto input_it = it->second.context.inputs.find(dov);
+  if (input_it == it->second.context.inputs.end()) {
+    return Status::NotFound(dov.ToString() + " not checked out by " +
+                            dop.ToString());
+  }
+  return input_it->second;
+}
+
+std::vector<DovId> ClientTm::CheckedOut(DopId dop) const {
+  std::vector<DovId> out;
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) return out;
+  for (const auto& [dov, obj] : it->second.context.inputs) out.push_back(dov);
+  return out;
+}
+
+Status ClientTm::PutWorkspace(DopId dop, const std::string& key,
+                              storage::DesignObject object) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  runtime->context.workspace[key] = std::move(object);
+  return Status::OK();
+}
+
+Result<storage::DesignObject> ClientTm::GetWorkspace(
+    DopId dop, const std::string& key) const {
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) {
+    return Status::NotFound(dop.ToString() + " not known at this client-TM");
+  }
+  auto ws_it = it->second.context.workspace.find(key);
+  if (ws_it == it->second.context.workspace.end()) {
+    return Status::NotFound("no workspace object '" + key + "' in " +
+                            dop.ToString());
+  }
+  return ws_it->second;
+}
+
+Status ClientTm::DoWork(DopId dop, uint64_t units) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  runtime->context.work_done += units;
+  stats_.work_units_done += units;
+  if (auto_rp_units_ > 0 &&
+      runtime->context.work_done - runtime->work_at_last_rp >= auto_rp_units_) {
+    PersistRecoveryPoint(dop, *runtime);
+  }
+  return Status::OK();
+}
+
+Status ClientTm::Save(DopId dop, const std::string& savepoint_name) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  for (const Savepoint& sp : runtime->savepoints) {
+    if (sp.name == savepoint_name) {
+      return Status::AlreadyExists("savepoint '" + savepoint_name +
+                                   "' already set in " + dop.ToString());
+    }
+  }
+  runtime->savepoints.push_back(
+      Savepoint{savepoint_name, clock_->Now(), runtime->context});
+  ++stats_.savepoints_taken;
+  return Status::OK();
+}
+
+Status ClientTm::Restore(DopId dop, const std::string& savepoint_name) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  for (const Savepoint& sp : runtime->savepoints) {
+    if (sp.name == savepoint_name) {
+      runtime->context = sp.context;
+      ++stats_.restores;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no savepoint '" + savepoint_name + "' in " +
+                          dop.ToString());
+}
+
+Status ClientTm::Suspend(DopId dop) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  // Suspension must survive long absences (and crashes in between):
+  // persist the context as a recovery point.
+  PersistRecoveryPoint(dop, *runtime);
+  runtime->state = DopState::kSuspended;
+  ++stats_.suspends;
+  return Status::OK();
+}
+
+Status ClientTm::Resume(DopId dop) {
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) {
+    return Status::NotFound(dop.ToString() + " not known at this client-TM");
+  }
+  if (it->second.state != DopState::kSuspended) {
+    return Status::FailedPrecondition(dop.ToString() + " is not suspended");
+  }
+  // "The state seen by the designer after a Resume operation must be
+  // equal to that seen when issuing the Suspend command" — the context
+  // is exactly as persisted.
+  it->second.state = DopState::kActive;
+  ++stats_.resumes;
+  return Status::OK();
+}
+
+Status ClientTm::TakeRecoveryPoint(DopId dop) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  PersistRecoveryPoint(dop, *runtime);
+  return Status::OK();
+}
+
+void ClientTm::PersistRecoveryPoint(DopId dop, const DopRuntime& runtime) {
+  RecoveryPoint rp;
+  rp.taken_at = clock_->Now();
+  rp.sequence = ++rp_sequence_;
+  rp.context = runtime.context;
+  stable_rp_[dop.value()] = {runtime.da, std::move(rp)};
+  auto it = dops_.find(dop);
+  if (it != dops_.end()) {
+    it->second.work_at_last_rp = runtime.context.work_done;
+  }
+  ++stats_.recovery_points_taken;
+}
+
+Status ClientTm::HandOverContext(DopId from, DopId to) {
+  auto from_it = dops_.find(from);
+  if (from_it == dops_.end()) {
+    return Status::NotFound(from.ToString() + " not known at this client-TM");
+  }
+  if (from_it->second.state != DopState::kCommitted) {
+    return Status::FailedPrecondition(
+        "context handover requires a committed predecessor, " +
+        from.ToString() + " is " +
+        std::string(DopStateToString(from_it->second.state)));
+  }
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * to_runtime, ActiveDop(to));
+  // The successor inherits the predecessor's loaded inputs and
+  // workspace; its own work counter continues from zero.
+  uint64_t own_work = to_runtime->context.work_done;
+  to_runtime->context = from_it->second.context;
+  to_runtime->context.work_done = own_work;
+  PersistRecoveryPoint(to, *to_runtime);
+  ++stats_.context_handovers;
+  return Status::OK();
+}
+
+Result<DovId> ClientTm::Checkin(DopId dop, storage::DesignObject object,
+                                const std::vector<DovId>& predecessors) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  (void)runtime;
+  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
+  return server_->Checkin(dop, std::move(object), predecessors, clock_->Now());
+}
+
+Status ClientTm::CommitDop(DopId dop) {
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
+  // Sect. 5.2 ordering: server releases derivation locks first, then
+  // the client removes savepoints and recovery points.
+  CONCORD_RETURN_NOT_OK(server_->CommitDop(dop));
+  runtime->savepoints.clear();
+  stable_rp_.erase(dop.value());
+  runtime->state = DopState::kCommitted;
+  return Status::OK();
+}
+
+Status ClientTm::AbortDop(DopId dop) {
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) {
+    return Status::NotFound(dop.ToString() + " not known at this client-TM");
+  }
+  if (it->second.state == DopState::kCommitted ||
+      it->second.state == DopState::kAborted) {
+    return Status::FailedPrecondition(dop.ToString() + " already finished");
+  }
+  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
+  CONCORD_RETURN_NOT_OK(server_->AbortDop(dop));
+  it->second.savepoints.clear();
+  stable_rp_.erase(dop.value());
+  it->second.state = DopState::kAborted;
+  return Status::OK();
+}
+
+Result<DopState> ClientTm::StateOf(DopId dop) const {
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) {
+    return Status::NotFound(dop.ToString() + " not known at this client-TM");
+  }
+  return it->second.state;
+}
+
+Result<uint64_t> ClientTm::WorkDone(DopId dop) const {
+  auto it = dops_.find(dop);
+  if (it == dops_.end()) {
+    return Status::NotFound(dop.ToString() + " not known at this client-TM");
+  }
+  return it->second.context.work_done;
+}
+
+void ClientTm::Crash() {
+  network_->SetNodeUp(node_, false);
+  ++stats_.crashes;
+  for (auto& [dop, runtime] : dops_) {
+    if (runtime.state == DopState::kActive ||
+        runtime.state == DopState::kSuspended) {
+      // Volatile context and savepoints are lost.
+      auto rp_it = stable_rp_.find(dop.value());
+      uint64_t preserved =
+          rp_it == stable_rp_.end() ? 0
+                                    : rp_it->second.second.context.work_done;
+      stats_.work_units_lost += runtime.context.work_done - preserved;
+      runtime.context = DopContext{};
+      runtime.savepoints.clear();
+      runtime.state = DopState::kCrashed;
+    }
+  }
+  CONCORD_INFO("client-tm", "workstation " << node_.ToString() << " crashed");
+}
+
+Result<uint64_t> ClientTm::Recover() {
+  network_->SetNodeUp(node_, true);
+  uint64_t lost_total = 0;
+  for (auto& [dop, runtime] : dops_) {
+    if (runtime.state != DopState::kCrashed) continue;
+    auto rp_it = stable_rp_.find(dop.value());
+    if (rp_it != stable_rp_.end()) {
+      runtime.context = rp_it->second.second.context;
+      runtime.work_at_last_rp = runtime.context.work_done;
+    } else {
+      runtime.context = DopContext{};
+    }
+    runtime.state = DopState::kActive;
+    ++stats_.dops_recovered;
+  }
+  lost_total = stats_.work_units_lost;
+  return lost_total;
+}
+
+}  // namespace concord::txn

@@ -1,0 +1,160 @@
+#ifndef CONCORD_TXN_CLIENT_TM_H_
+#define CONCORD_TXN_CLIENT_TM_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "rpc/two_phase_commit.h"
+#include "txn/dop_context.h"
+#include "txn/server_tm.h"
+
+namespace concord::txn {
+
+struct ClientTmStats {
+  uint64_t savepoints_taken = 0;
+  uint64_t restores = 0;
+  uint64_t recovery_points_taken = 0;
+  uint64_t suspends = 0;
+  uint64_t resumes = 0;
+  uint64_t crashes = 0;
+  uint64_t dops_recovered = 0;
+  uint64_t work_units_lost = 0;
+  uint64_t work_units_done = 0;
+  uint64_t context_handovers = 0;
+};
+
+/// Client half of the transaction manager: "resides on the workstation
+/// managing the internal structure of DOPs" (Sect. 5.1). One ClientTm
+/// per workstation. It implements the TE-level facilities of Sect. 4.3
+/// (Save/Restore, Suspend/Resume) and the recovery-point machinery of
+/// Sect. 5.2, and drives a two-phase commit with the server-TM for
+/// every critical interaction (Begin-of-DOP, checkout, checkin,
+/// End-of-DOP).
+class ClientTm {
+ public:
+  ClientTm(ServerTm* server, rpc::Network* network, NodeId workstation,
+           SimClock* clock);
+  ClientTm(const ClientTm&) = delete;
+  ClientTm& operator=(const ClientTm&) = delete;
+
+  NodeId node() const { return node_; }
+
+  /// Recovery points are taken automatically after this many units of
+  /// tool work (0 disables automatic points; checkout-triggered points
+  /// are always taken, per Sect. 5.2).
+  void set_auto_recovery_interval(uint64_t units) { auto_rp_units_ = units; }
+
+  // --- DOP lifecycle -------------------------------------------------
+
+  /// Begin-of-DOP: registers the DOP here and at the server (2PC).
+  Result<DopId> BeginDop(DaId da);
+
+  /// Checkout of an input version into the DOP context. Always followed
+  /// by a recovery point "to avoid duplicate requests of a DOV from
+  /// the server in the case of a failure".
+  Status Checkout(DopId dop, DovId dov, bool take_derivation_lock = false);
+
+  /// Read access to a checked-out input.
+  Result<storage::DesignObject> Input(DopId dop, DovId dov) const;
+  std::vector<DovId> CheckedOut(DopId dop) const;
+
+  /// Tool-side working state.
+  Status PutWorkspace(DopId dop, const std::string& key,
+                      storage::DesignObject object);
+  Result<storage::DesignObject> GetWorkspace(DopId dop,
+                                             const std::string& key) const;
+
+  /// Records `units` of tool work (advances the work counter and
+  /// possibly takes an automatic recovery point).
+  Status DoWork(DopId dop, uint64_t units);
+
+  // --- Designer-visible structuring (Sect. 4.3) -----------------------
+
+  Status Save(DopId dop, const std::string& savepoint_name);
+  Status Restore(DopId dop, const std::string& savepoint_name);
+  Status Suspend(DopId dop);
+  Status Resume(DopId dop);
+
+  /// Takes an explicit (system) recovery point.
+  Status TakeRecoveryPoint(DopId dop);
+
+  /// Hands the in-memory context of a finished (committed) DOP over to
+  /// a successor DOP on the same workstation. The paper allows this
+  /// data-flow shortcut explicitly: "in quite a number of cases ...
+  /// the in-memory data structure can be handed over from one DOP to
+  /// the succeeding DOP" (Sect. 5, fn. 1), so the successor need not
+  /// re-checkout what the predecessor had loaded. The successor gets a
+  /// recovery point immediately (the handed-over state must survive a
+  /// crash exactly like a checkout would).
+  Status HandOverContext(DopId from, DopId to);
+
+  // --- End-of-DOP ------------------------------------------------------
+
+  /// Checkin of the derived version (its own ACID unit against the
+  /// repository, under 2PC with the server). On integrity failure the
+  /// DOP stays active and the caller sees the "checkin failure".
+  Result<DovId> Checkin(DopId dop, storage::DesignObject object,
+                        const std::vector<DovId>& predecessors);
+
+  /// Commit: releases server-side locks, then removes savepoints and
+  /// recovery points (Sect. 5.2 ordering).
+  Status CommitDop(DopId dop);
+  Status AbortDop(DopId dop);
+
+  Result<DopState> StateOf(DopId dop) const;
+  Result<uint64_t> WorkDone(DopId dop) const;
+
+  // --- Failure handling -----------------------------------------------
+
+  /// Workstation crash: all volatile DOP state (contexts, savepoints)
+  /// is lost; recovery points survive on local stable storage.
+  void Crash();
+  /// Restart: re-establishes each crashed DOP from its most recent
+  /// recovery point ("partial rollback to recovery points"). Returns
+  /// the total units of work lost.
+  Result<uint64_t> Recover();
+
+  const ClientTmStats& stats() const { return stats_; }
+  const rpc::TwoPcStats& two_pc_stats() const { return two_pc_.stats(); }
+
+ private:
+  struct DopRuntime {
+    DaId da;
+    DopState state = DopState::kActive;
+    DopContext context;                 // volatile
+    std::vector<Savepoint> savepoints;  // volatile
+    uint64_t work_at_last_rp = 0;
+  };
+
+  Result<DopRuntime*> ActiveDop(DopId dop);
+  /// One 2PC run client<->server for a critical interaction; returns
+  /// non-OK if the protocol could not complete (e.g. server down).
+  Status RunCommitProtocol(DopId dop);
+  void PersistRecoveryPoint(DopId dop, const DopRuntime& runtime);
+
+  ServerTm* server_;
+  rpc::Network* network_;
+  NodeId node_;
+  SimClock* clock_;
+  rpc::TwoPhaseCommitCoordinator two_pc_;
+  IdGenerator<DopId> dop_gen_;
+  uint64_t auto_rp_units_ = 0;
+
+  std::unordered_map<DopId, DopRuntime> dops_;  // volatile
+  /// Stable storage: latest recovery point per DOP + the DOP's DA (so
+  /// recovery can re-register with the server).
+  std::map<uint64_t, std::pair<DaId, RecoveryPoint>> stable_rp_;
+  uint64_t rp_sequence_ = 0;
+
+  ClientTmStats stats_;
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_CLIENT_TM_H_

@@ -1,0 +1,64 @@
+#ifndef CONCORD_TXN_DOP_CONTEXT_H_
+#define CONCORD_TXN_DOP_CONTEXT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "storage/object.h"
+
+namespace concord::txn {
+
+/// The volatile working context of one DOP: "the current state of the
+/// design data and ... the state of the application program
+/// implementing the DOP" (Sect. 5.2, fn. 1). Checked-out input
+/// versions are kept read-only; the tool mutates named workspace
+/// objects; `work_done` abstracts tool progress (units of work) so the
+/// loss-of-work experiments can quantify what a crash destroys.
+struct DopContext {
+  /// Input DOVs checked out from the repository (immutable copies).
+  std::map<DovId, storage::DesignObject> inputs;
+  /// Tool working state, keyed by name ("floorplan", "netlist", ...).
+  std::map<std::string, storage::DesignObject> workspace;
+  /// Abstract units of tool work performed since Begin-of-DOP.
+  uint64_t work_done = 0;
+
+  bool operator==(const DopContext&) const = default;
+};
+
+/// A designer-named savepoint: "intermediate states, to which a
+/// designer might wish to return later, are explicitly marked by the
+/// designer (Save operation)" (Sect. 4.3).
+struct Savepoint {
+  std::string name;
+  SimTime taken_at = 0;
+  DopContext context;
+};
+
+/// A system-chosen recovery point: persistent snapshot of the DOP
+/// context that limits the scope of work lost in a workstation crash
+/// ("fire-walls inside a DOP", Sect. 5.2). Transparent to designer and
+/// tool; kept on the workstation's stable storage.
+struct RecoveryPoint {
+  SimTime taken_at = 0;
+  uint64_t sequence = 0;
+  DopContext context;
+};
+
+/// Lifecycle of a DOP as seen by the client-TM.
+enum class DopState {
+  kActive,
+  kSuspended,
+  kCommitted,
+  kAborted,
+  /// Workstation crashed while the DOP was live; awaiting recovery.
+  kCrashed,
+};
+
+const char* DopStateToString(DopState state);
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_DOP_CONTEXT_H_

@@ -1,0 +1,124 @@
+#include "txn/lock_manager.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace concord::txn {
+
+void LockManager::AcquireShort(DovId dov) {
+  (void)dov;
+  ++short_depth_;
+  ++stats_.short_locks_taken;
+}
+
+void LockManager::ReleaseShort(DovId dov) {
+  (void)dov;
+  assert(short_depth_ > 0);
+  --short_depth_;
+}
+
+Status LockManager::AcquireDerivation(DovId dov, DaId da) {
+  auto it = derivation_locks_.find(dov);
+  if (it != derivation_locks_.end() && it->second != da) {
+    ++stats_.derivation_conflicts;
+    return Status::LockConflict("derivation lock on " + dov.ToString() +
+                                " held by " + it->second.ToString());
+  }
+  derivation_locks_[dov] = da;
+  ++stats_.derivation_locks_taken;
+  return Status::OK();
+}
+
+Status LockManager::ReleaseDerivation(DovId dov, DaId da) {
+  auto it = derivation_locks_.find(dov);
+  if (it == derivation_locks_.end() || it->second != da) {
+    return Status::FailedPrecondition(da.ToString() +
+                                      " does not hold the derivation lock on " +
+                                      dov.ToString());
+  }
+  derivation_locks_.erase(it);
+  return Status::OK();
+}
+
+int LockManager::ReleaseAllDerivation(DaId da) {
+  int released = 0;
+  for (auto it = derivation_locks_.begin(); it != derivation_locks_.end();) {
+    if (it->second == da) {
+      it = derivation_locks_.erase(it);
+      ++released;
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+DaId LockManager::DerivationHolder(DovId dov) const {
+  auto it = derivation_locks_.find(dov);
+  return it == derivation_locks_.end() ? DaId() : it->second;
+}
+
+void LockManager::SetScopeOwner(DovId dov, DaId da) {
+  scope_owner_[dov] = da;
+}
+
+DaId LockManager::ScopeOwner(DovId dov) const {
+  auto it = scope_owner_.find(dov);
+  return it == scope_owner_.end() ? DaId() : it->second;
+}
+
+void LockManager::GrantUsageRead(DovId dov, DaId da) {
+  usage_readers_[dov].insert(da);
+}
+
+void LockManager::RevokeUsageRead(DovId dov, DaId da) {
+  auto it = usage_readers_.find(dov);
+  if (it != usage_readers_.end()) it->second.erase(da);
+}
+
+bool LockManager::CanRead(DaId da, DovId dov) {
+  auto owner_it = scope_owner_.find(dov);
+  if (owner_it != scope_owner_.end() && owner_it->second == da) {
+    ++stats_.scope_grants;
+    return true;
+  }
+  auto readers_it = usage_readers_.find(dov);
+  if (readers_it != usage_readers_.end() && readers_it->second.count(da)) {
+    ++stats_.scope_grants;
+    return true;
+  }
+  ++stats_.scope_denials;
+  return false;
+}
+
+void LockManager::InheritScopeLocks(DaId super, DaId sub,
+                                    const std::vector<DovId>& final_dovs) {
+  for (DovId dov : final_dovs) {
+    auto it = scope_owner_.find(dov);
+    if (it != scope_owner_.end() && it->second == sub) {
+      it->second = super;
+      ++stats_.inheritances;
+    }
+  }
+  CONCORD_DEBUG("locks", super.ToString() << " inherited "
+                                          << final_dovs.size()
+                                          << " scope-locks from "
+                                          << sub.ToString());
+}
+
+void LockManager::ReleaseAll() {
+  derivation_locks_.clear();
+  scope_owner_.clear();
+  usage_readers_.clear();
+}
+
+std::vector<DovId> LockManager::OwnedBy(DaId da) const {
+  std::vector<DovId> owned;
+  for (const auto& [dov, owner] : scope_owner_) {
+    if (owner == da) owned.push_back(dov);
+  }
+  return owned;
+}
+
+}  // namespace concord::txn

@@ -1,0 +1,107 @@
+#ifndef CONCORD_TXN_LOCK_MANAGER_H_
+#define CONCORD_TXN_LOCK_MANAGER_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::txn {
+
+struct LockStats {
+  uint64_t short_locks_taken = 0;
+  uint64_t derivation_locks_taken = 0;
+  uint64_t derivation_conflicts = 0;
+  uint64_t scope_grants = 0;
+  uint64_t scope_denials = 0;
+  uint64_t inheritances = 0;
+};
+
+/// The server-TM's lock tables (Sect. 5.2 / 5.4). Three mechanisms:
+///
+///  - **Short locks** protect individual checkin/checkout operations
+///    (derivation-graph proliferation). The simulation is single-
+///    threaded so these are accounted, not contended.
+///  - **Derivation locks** are long locks a DA may acquire on a DOV
+///    "to prevent multiple checkout (and concurrent processing) ...
+///    for application-specific reasons". Exclusive per DOV, reentrant
+///    for the holding DA.
+///  - **Scope-locks** control DOV visibility among DAs with an
+///    inheritance scheme "similar to that used in nested transactions"
+///    [Mo81] but with the paper's two differences: only locks on
+///    *final* DOVs are inherited by the super-DA, and a lock may be
+///    granted across DAs along a usage relationship (for propagated
+///    DOVs of sufficient quality).
+///
+/// The LockManager implements mechanism only; policy (when to grant a
+/// usage read, which DOVs are final) is the cooperation manager's job.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // --- Short locks (accounting) -------------------------------------
+
+  /// Bracket a checkin/checkout critical section.
+  void AcquireShort(DovId dov);
+  void ReleaseShort(DovId dov);
+
+  // --- Derivation locks ----------------------------------------------
+
+  /// Acquires the exclusive derivation lock on `dov` for `da`.
+  /// kLockConflict if another DA holds it.
+  Status AcquireDerivation(DovId dov, DaId da);
+  Status ReleaseDerivation(DovId dov, DaId da);
+  /// Releases every derivation lock held by `da` (commit/abort path:
+  /// "the server-TM is firstly asked to release the derivation locks
+  /// held", Sect. 5.2).
+  int ReleaseAllDerivation(DaId da);
+  /// Invalid DaId if unlocked.
+  DaId DerivationHolder(DovId dov) const;
+
+  // --- Scope-locks -----------------------------------------------------
+
+  /// Declares `da` the scope owner of `dov` (checkin inserts the DOV
+  /// into the DA's derivation graph and scope).
+  void SetScopeOwner(DovId dov, DaId da);
+  DaId ScopeOwner(DovId dov) const;
+
+  /// Grants `da` read visibility of `dov` along a usage relationship.
+  void GrantUsageRead(DovId dov, DaId da);
+  void RevokeUsageRead(DovId dov, DaId da);
+
+  /// True iff `da` owns the scope-lock or holds a usage grant. Counted
+  /// in stats as a grant/denial for the dissemination-control bench.
+  bool CanRead(DaId da, DovId dov);
+
+  /// Nested-transaction-style inheritance at sub-DA termination: the
+  /// super-DA takes over the scope-locks of exactly the listed final
+  /// DOVs and retains them. Non-final DOVs of the sub-DA stay locked by
+  /// the (terminated) sub-DA, i.e. become unreachable.
+  void InheritScopeLocks(DaId super, DaId sub,
+                         const std::vector<DovId>& final_dovs);
+
+  /// After the top-level DA finishes, "all locks are released".
+  void ReleaseAll();
+
+  /// All DOVs whose scope `da` owns.
+  std::vector<DovId> OwnedBy(DaId da) const;
+
+  const LockStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LockStats{}; }
+
+ private:
+  std::unordered_map<DovId, DaId> derivation_locks_;
+  std::unordered_map<DovId, DaId> scope_owner_;
+  std::unordered_map<DovId, std::unordered_set<DaId>> usage_readers_;
+  int short_depth_ = 0;
+  LockStats stats_;
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,28 @@
+#ifndef CONCORD_TXN_SCOPE_AUTHORITY_H_
+#define CONCORD_TXN_SCOPE_AUTHORITY_H_
+
+#include "common/ids.h"
+
+namespace concord::txn {
+
+/// Answers "does DOV d belong to the scope of DA a?" for the server-TM's
+/// checkout test (Sect. 5.2: "it has to be tested that, firstly, the
+/// DOV belongs to the scope of the DOP's DA"). The cooperation manager
+/// implements this against its scope-locks; tests may use a permissive
+/// stub.
+class ScopeAuthority {
+ public:
+  virtual ~ScopeAuthority() = default;
+  virtual bool InScope(DaId da, DovId dov) = 0;
+};
+
+/// Grants everything — for TE-level tests that exercise transaction
+/// mechanics without a cooperation layer on top.
+class PermissiveScopeAuthority : public ScopeAuthority {
+ public:
+  bool InScope(DaId, DovId) override { return true; }
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_SCOPE_AUTHORITY_H_

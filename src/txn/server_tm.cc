@@ -1,0 +1,168 @@
+#include "txn/server_tm.h"
+
+#include "common/logging.h"
+#include "txn/dop_context.h"
+
+namespace concord::txn {
+
+const char* DopStateToString(DopState state) {
+  switch (state) {
+    case DopState::kActive:
+      return "active";
+    case DopState::kSuspended:
+      return "suspended";
+    case DopState::kCommitted:
+      return "committed";
+    case DopState::kAborted:
+      return "aborted";
+    case DopState::kCrashed:
+      return "crashed";
+  }
+  return "?";
+}
+
+ServerTm::ServerTm(storage::Repository* repository, rpc::Network* network,
+                   NodeId server_node, ScopeAuthority* scope_authority)
+    : repository_(repository),
+      network_(network),
+      node_(server_node),
+      scope_authority_(scope_authority) {}
+
+Status ServerTm::BeginDop(DopId dop, DaId da) {
+  if (dop_da_.count(dop)) {
+    return Status::AlreadyExists(dop.ToString() + " already registered");
+  }
+  dop_da_.emplace(dop, da);
+  ++stats_.dops_begun;
+  return Status::OK();
+}
+
+Result<storage::DovRecord> ServerTm::Checkout(DopId dop, DovId dov,
+                                              bool take_derivation_lock) {
+  auto da_it = dop_da_.find(dop);
+  if (da_it == dop_da_.end()) {
+    return Status::NotFound(dop.ToString() + " not registered at server-TM");
+  }
+  DaId da = da_it->second;
+
+  locks_.AcquireShort(dov);
+  // Test 1: the DOV must belong to the scope of the DOP's DA.
+  if (!scope_authority_->InScope(da, dov)) {
+    locks_.ReleaseShort(dov);
+    ++stats_.checkouts_denied_scope;
+    return Status::PermissionDenied(dov.ToString() + " is not in the scope of " +
+                                    da.ToString());
+  }
+  // Test 2: no incompatible derivation lock.
+  DaId holder = locks_.DerivationHolder(dov);
+  if (holder.valid() && holder != da) {
+    locks_.ReleaseShort(dov);
+    ++stats_.checkouts_denied_lock;
+    return Status::LockConflict(dov.ToString() + " derivation-locked by " +
+                                holder.ToString());
+  }
+  if (take_derivation_lock) {
+    Status st = locks_.AcquireDerivation(dov, da);
+    if (!st.ok()) {
+      locks_.ReleaseShort(dov);
+      ++stats_.checkouts_denied_lock;
+      return st;
+    }
+    dop_derivation_locks_[dop].push_back(dov);
+  }
+  auto record = repository_->Get(dov);
+  locks_.ReleaseShort(dov);
+  if (!record.ok()) return record.status();
+  ++stats_.checkouts;
+  return record;
+}
+
+Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
+                                const std::vector<DovId>& predecessors,
+                                SimTime created_at) {
+  auto da_it = dop_da_.find(dop);
+  if (da_it == dop_da_.end()) {
+    return Status::NotFound(dop.ToString() + " not registered at server-TM");
+  }
+  DaId da = da_it->second;
+
+  DovId new_id = repository_->NextDovId();
+  locks_.AcquireShort(new_id);
+
+  storage::DovRecord record;
+  record.id = new_id;
+  record.owner_da = da;
+  record.created_by = dop;
+  record.type = object.type();
+  record.data = std::move(object);
+  record.predecessors = predecessors;
+  record.created_at = created_at;
+
+  TxnId txn = repository_->Begin();
+  Status st = repository_->Put(txn, std::move(record));
+  if (st.ok()) st = repository_->Commit(txn);
+  if (!st.ok()) {
+    repository_->Abort(txn).ok();
+    locks_.ReleaseShort(new_id);
+    ++stats_.checkin_failures;
+    CONCORD_INFO("server-tm", "checkin failure for " << dop.ToString() << ": "
+                                                     << st.ToString());
+    return st;
+  }
+  // The new DOV now belongs to the scope of the DOP's DA.
+  locks_.SetScopeOwner(new_id, da);
+  locks_.ReleaseShort(new_id);
+  ++stats_.checkins;
+  return new_id;
+}
+
+Status ServerTm::CommitDop(DopId dop) {
+  auto it = dop_da_.find(dop);
+  if (it == dop_da_.end()) {
+    return Status::NotFound(dop.ToString() + " not registered at server-TM");
+  }
+  for (DovId dov : dop_derivation_locks_[dop]) {
+    locks_.ReleaseDerivation(dov, it->second).ok();
+  }
+  dop_derivation_locks_.erase(dop);
+  dop_da_.erase(it);
+  ++stats_.dops_committed;
+  return Status::OK();
+}
+
+Status ServerTm::AbortDop(DopId dop) {
+  auto it = dop_da_.find(dop);
+  if (it == dop_da_.end()) {
+    return Status::NotFound(dop.ToString() + " not registered at server-TM");
+  }
+  for (DovId dov : dop_derivation_locks_[dop]) {
+    locks_.ReleaseDerivation(dov, it->second).ok();
+  }
+  dop_derivation_locks_.erase(dop);
+  dop_da_.erase(it);
+  ++stats_.dops_aborted;
+  return Status::OK();
+}
+
+Result<DaId> ServerTm::DaOfDop(DopId dop) const {
+  auto it = dop_da_.find(dop);
+  if (it == dop_da_.end()) {
+    return Status::NotFound(dop.ToString() + " not registered at server-TM");
+  }
+  return it->second;
+}
+
+void ServerTm::Crash() {
+  dop_da_.clear();
+  dop_derivation_locks_.clear();
+  locks_.ReleaseAll();
+  repository_->Crash();
+  network_->SetNodeUp(node_, false);
+}
+
+Status ServerTm::Recover() {
+  network_->SetNodeUp(node_, true);
+  return repository_->Recover();
+}
+
+}  // namespace concord::txn

@@ -1,0 +1,93 @@
+#ifndef CONCORD_TXN_SERVER_TM_H_
+#define CONCORD_TXN_SERVER_TM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "rpc/network.h"
+#include "rpc/two_phase_commit.h"
+#include "storage/repository.h"
+#include "txn/lock_manager.h"
+#include "txn/scope_authority.h"
+
+namespace concord::txn {
+
+struct ServerTmStats {
+  uint64_t checkouts = 0;
+  uint64_t checkouts_denied_scope = 0;
+  uint64_t checkouts_denied_lock = 0;
+  uint64_t checkins = 0;
+  uint64_t checkin_failures = 0;
+  uint64_t dops_begun = 0;
+  uint64_t dops_committed = 0;
+  uint64_t dops_aborted = 0;
+};
+
+/// Server half of the transaction manager (Sect. 5.1/5.2): "handles
+/// checkout/checkin and controls concurrent access to DOVs, thus
+/// residing on the server". It owns the lock tables and fronts the
+/// repository; the client-TM talks to it for every critical
+/// interaction.
+class ServerTm {
+ public:
+  ServerTm(storage::Repository* repository, rpc::Network* network,
+           NodeId server_node, ScopeAuthority* scope_authority);
+  ServerTm(const ServerTm&) = delete;
+  ServerTm& operator=(const ServerTm&) = delete;
+
+  NodeId node() const { return node_; }
+  LockManager& locks() { return locks_; }
+  storage::Repository& repository() { return *repository_; }
+
+  /// Registers a new DOP for DA `da`. The server remembers the
+  /// association for scope checks and lock release.
+  Status BeginDop(DopId dop, DaId da);
+
+  /// Checkout (Sect. 5.2): scope test, derivation-lock compatibility
+  /// test, optional derivation-lock acquisition, then the read. Short
+  /// locks bracket the operation.
+  Result<storage::DovRecord> Checkout(DopId dop, DovId dov,
+                                      bool take_derivation_lock);
+
+  /// Checkin: integrity check via a repository transaction, extension
+  /// of the DA's derivation graph, scope-lock to the owning DA. On
+  /// integrity failure the caller (client-TM/DM) learns the "checkin
+  /// failure" situation.
+  Result<DovId> Checkin(DopId dop, storage::DesignObject object,
+                        const std::vector<DovId>& predecessors,
+                        SimTime created_at);
+
+  /// End-of-DOP, commit outcome: release the DOP's derivation locks.
+  Status CommitDop(DopId dop);
+  /// End-of-DOP, abort outcome: release locks; versions already checked
+  /// in by this DOP stay (each checkin was its own ACID unit — the DOP
+  /// abort concerns the in-flight work, handled client-side).
+  Status AbortDop(DopId dop);
+
+  Result<DaId> DaOfDop(DopId dop) const;
+
+  /// Simulated server crash: lock tables and DOP registrations are
+  /// volatile; the repository crashes alongside.
+  void Crash();
+  Status Recover();
+
+  const ServerTmStats& stats() const { return stats_; }
+
+ private:
+  storage::Repository* repository_;
+  rpc::Network* network_;
+  NodeId node_;
+  ScopeAuthority* scope_authority_;
+  LockManager locks_;
+  std::unordered_map<DopId, DaId> dop_da_;
+  /// Derivation locks taken per DOP (released at End-of-DOP).
+  std::unordered_map<DopId, std::vector<DovId>> dop_derivation_locks_;
+  ServerTmStats stats_;
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_SERVER_TM_H_

@@ -1,0 +1,319 @@
+#include "vlsi/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+namespace concord::vlsi {
+
+const PlacedCell* Floorplan::Find(const std::string& name) const {
+  for (const PlacedCell& cell : cells) {
+    if (cell.name == name) return &cell;
+  }
+  return nullptr;
+}
+
+std::string Floorplan::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << width << ";" << height << ";" << wirelength << ";" << cut_size;
+  for (const PlacedCell& cell : cells) {
+    os << "|" << cell.name << ":" << cell.x << ":" << cell.y << ":"
+       << cell.width << ":" << cell.height;
+  }
+  return os.str();
+}
+
+Result<Floorplan> Floorplan::Deserialize(const std::string& text) {
+  Floorplan fp;
+  std::istringstream is(text);
+  std::string head;
+  if (!std::getline(is, head, '|')) {
+    return Status::InvalidArgument("empty floorplan text");
+  }
+  {
+    std::istringstream hs(head);
+    std::string part;
+    std::vector<double> values;
+    while (std::getline(hs, part, ';')) values.push_back(std::stod(part));
+    if (values.size() != 4) {
+      return Status::InvalidArgument("bad floorplan header '" + head + "'");
+    }
+    fp.width = values[0];
+    fp.height = values[1];
+    fp.wirelength = values[2];
+    fp.cut_size = static_cast<int>(values[3]);
+  }
+  std::string cell_text;
+  while (std::getline(is, cell_text, '|')) {
+    std::istringstream cs(cell_text);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(cs, field, ':')) fields.push_back(field);
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("bad placed cell '" + cell_text + "'");
+    }
+    PlacedCell cell;
+    cell.name = fields[0];
+    cell.x = std::stod(fields[1]);
+    cell.y = std::stod(fields[2]);
+    cell.width = std::stod(fields[3]);
+    cell.height = std::stod(fields[4]);
+    fp.cells.push_back(std::move(cell));
+  }
+  return fp;
+}
+
+namespace {
+
+double AreaOf(const std::map<std::string, ShapeFunction>& shapes,
+              const std::string& name) {
+  auto it = shapes.find(name);
+  if (it == shapes.end() || it->second.empty()) return 1.0;
+  auto min_shape = it->second.MinAreaShape();
+  return min_shape.ok() ? min_shape->Area() : 1.0;
+}
+
+/// One bounded improvement pass: swap modules across the partition when
+/// that lowers the cut without unbalancing the areas too far.
+void ImproveCut(const Netlist& netlist,
+                const std::map<std::string, ShapeFunction>& shapes,
+                std::vector<std::string>* left,
+                std::vector<std::string>* right) {
+  if (left->empty() || right->empty()) return;
+  double left_area = 0;
+  double right_area = 0;
+  for (const auto& m : *left) left_area += AreaOf(shapes, m);
+  for (const auto& m : *right) right_area += AreaOf(shapes, m);
+  double total = left_area + right_area;
+
+  int current_cut = netlist.CutSize(*left);
+  for (size_t i = 0; i < left->size(); ++i) {
+    for (size_t j = 0; j < right->size(); ++j) {
+      double ai = AreaOf(shapes, (*left)[i]);
+      double aj = AreaOf(shapes, (*right)[j]);
+      double new_left = left_area - ai + aj;
+      if (new_left < 0.25 * total || new_left > 0.75 * total) continue;
+      std::swap((*left)[i], (*right)[j]);
+      int new_cut = netlist.CutSize(*left);
+      if (new_cut < current_cut) {
+        current_cut = new_cut;
+        left_area = new_left;
+        right_area = total - new_left;
+      } else {
+        std::swap((*left)[i], (*right)[j]);  // revert
+      }
+    }
+  }
+}
+
+std::unique_ptr<SlicingNode> BuildTree(
+    const Netlist& netlist, const std::map<std::string, ShapeFunction>& shapes,
+    std::vector<std::string> modules, int depth, bool alternate,
+    int* root_cut) {
+  auto node = std::make_unique<SlicingNode>();
+  if (modules.size() == 1) {
+    node->is_leaf = true;
+    node->cell = modules.front();
+    return node;
+  }
+  // Greedy area balance: biggest first onto the lighter side.
+  std::sort(modules.begin(), modules.end(),
+            [&](const std::string& a, const std::string& b) {
+              double da = AreaOf(shapes, a);
+              double db = AreaOf(shapes, b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  std::vector<std::string> left;
+  std::vector<std::string> right;
+  double left_area = 0;
+  double right_area = 0;
+  for (const std::string& module : modules) {
+    if (left_area <= right_area) {
+      left.push_back(module);
+      left_area += AreaOf(shapes, module);
+    } else {
+      right.push_back(module);
+      right_area += AreaOf(shapes, module);
+    }
+  }
+  ImproveCut(netlist, shapes, &left, &right);
+  if (depth == 0 && root_cut != nullptr) {
+    *root_cut = netlist.CutSize(left);
+  }
+
+  node->is_leaf = false;
+  node->vertical = alternate ? (depth % 2 == 0) : true;
+  node->left = BuildTree(netlist, shapes, std::move(left), depth + 1,
+                         alternate, root_cut);
+  node->right = BuildTree(netlist, shapes, std::move(right), depth + 1,
+                          alternate, root_cut);
+  return node;
+}
+
+Result<ShapeFunction> SizeNode(
+    const SlicingNode& node,
+    const std::map<std::string, ShapeFunction>& shapes) {
+  if (node.is_leaf) {
+    auto it = shapes.find(node.cell);
+    if (it == shapes.end()) {
+      return Status::NotFound("no shape function for subcell '" + node.cell +
+                              "'");
+    }
+    return it->second;
+  }
+  CONCORD_ASSIGN_OR_RETURN(ShapeFunction left, SizeNode(*node.left, shapes));
+  CONCORD_ASSIGN_OR_RETURN(ShapeFunction right, SizeNode(*node.right, shapes));
+  return ShapeFunction::Combine(left, right, node.vertical);
+}
+
+constexpr double kEps = 1e-9;
+
+/// Assigns concrete rectangles top-down: at each internal node, find
+/// the operand-shape pair realizing the target within (W, H) with
+/// minimal waste.
+Status Assign(const SlicingNode& node,
+              const std::map<std::string, ShapeFunction>& shapes, double x,
+              double y, double target_w, double target_h,
+              Floorplan* floorplan) {
+  if (node.is_leaf) {
+    auto it = shapes.find(node.cell);
+    if (it == shapes.end()) {
+      return Status::NotFound("no shape function for subcell '" + node.cell +
+                              "'");
+    }
+    const Shape* best = nullptr;
+    for (const Shape& shape : it->second.shapes()) {
+      if (shape.width <= target_w + kEps && shape.height <= target_h + kEps &&
+          (best == nullptr || shape.Area() < best->Area())) {
+        best = &shape;
+      }
+    }
+    if (best == nullptr) {
+      return Status::Internal("no leaf shape of '" + node.cell +
+                              "' fits the dimensioned slot");
+    }
+    floorplan->cells.push_back(
+        PlacedCell{node.cell, x, y, best->width, best->height});
+    return Status::OK();
+  }
+
+  CONCORD_ASSIGN_OR_RETURN(ShapeFunction left_sf, SizeNode(*node.left, shapes));
+  CONCORD_ASSIGN_OR_RETURN(ShapeFunction right_sf,
+                           SizeNode(*node.right, shapes));
+  const Shape* best_left = nullptr;
+  const Shape* best_right = nullptr;
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const Shape& sl : left_sf.shapes()) {
+    for (const Shape& sr : right_sf.shapes()) {
+      double w = node.vertical ? sl.width + sr.width
+                               : std::max(sl.width, sr.width);
+      double h = node.vertical ? std::max(sl.height, sr.height)
+                               : sl.height + sr.height;
+      if (w <= target_w + kEps && h <= target_h + kEps &&
+          sl.Area() + sr.Area() < best_area) {
+        best_area = sl.Area() + sr.Area();
+        best_left = &sl;
+        best_right = &sr;
+      }
+    }
+  }
+  if (best_left == nullptr) {
+    return Status::Internal("dimensioning found no feasible cut realization");
+  }
+  if (node.vertical) {
+    CONCORD_RETURN_NOT_OK(Assign(*node.left, shapes, x, y, best_left->width,
+                                 target_h, floorplan));
+    CONCORD_RETURN_NOT_OK(Assign(*node.right, shapes, x + best_left->width, y,
+                                 best_right->width, target_h, floorplan));
+  } else {
+    CONCORD_RETURN_NOT_OK(Assign(*node.left, shapes, x, y, target_w,
+                                 best_left->height, floorplan));
+    CONCORD_RETURN_NOT_OK(Assign(*node.right, shapes, x, y + best_left->height,
+                                 target_w, best_right->height, floorplan));
+  }
+  return Status::OK();
+}
+
+double EstimateWirelength(const Netlist& netlist, const Floorplan& floorplan) {
+  double total = 0;
+  for (const Net& net : netlist.nets()) {
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x;
+    double min_y = min_x;
+    double max_y = -min_x;
+    int found = 0;
+    for (const std::string& pin : net.pins) {
+      const PlacedCell* cell = floorplan.Find(pin);
+      if (cell == nullptr) continue;
+      ++found;
+      double cx = cell->x + cell->width / 2;
+      double cy = cell->y + cell->height / 2;
+      min_x = std::min(min_x, cx);
+      max_x = std::max(max_x, cx);
+      min_y = std::min(min_y, cy);
+      max_y = std::max(max_y, cy);
+    }
+    if (found >= 2) total += (max_x - min_x) + (max_y - min_y);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SlicingNode>> ChipPlanner::Bipartition(
+    const Netlist& netlist,
+    const std::map<std::string, ShapeFunction>& shapes) const {
+  if (netlist.modules().empty()) {
+    return Status::InvalidArgument("cannot plan an empty netlist");
+  }
+  return BuildTree(netlist, shapes, netlist.modules(), 0,
+                   options_.alternate_cuts, nullptr);
+}
+
+Result<ShapeFunction> ChipPlanner::Size(
+    const SlicingNode& tree,
+    const std::map<std::string, ShapeFunction>& shapes) const {
+  return SizeNode(tree, shapes);
+}
+
+Result<Floorplan> ChipPlanner::Dimension(
+    const SlicingNode& tree, const std::map<std::string, ShapeFunction>& shapes,
+    const Netlist& netlist) const {
+  CONCORD_ASSIGN_OR_RETURN(ShapeFunction root_sf, Size(tree, shapes));
+  Shape root_shape{};
+  if (options_.max_width > 0) {
+    CONCORD_ASSIGN_OR_RETURN(root_shape,
+                             root_sf.BestUnderWidth(options_.max_width));
+  } else {
+    CONCORD_ASSIGN_OR_RETURN(root_shape, root_sf.MinAreaShape());
+  }
+  Floorplan floorplan;
+  floorplan.width = root_shape.width;
+  floorplan.height = root_shape.height;
+  CONCORD_RETURN_NOT_OK(Assign(tree, shapes, 0, 0, root_shape.width,
+                               root_shape.height, &floorplan));
+  floorplan.wirelength = EstimateWirelength(netlist, floorplan);
+  return floorplan;
+}
+
+Result<Floorplan> ChipPlanner::Plan(
+    const Netlist& netlist,
+    const std::map<std::string, ShapeFunction>& shapes) const {
+  if (netlist.modules().empty()) {
+    return Status::InvalidArgument("cannot plan an empty netlist");
+  }
+  int root_cut = 0;
+  std::unique_ptr<SlicingNode> tree = BuildTree(
+      netlist, shapes, netlist.modules(), 0, options_.alternate_cuts,
+      &root_cut);
+  CONCORD_ASSIGN_OR_RETURN(Floorplan floorplan,
+                           Dimension(*tree, shapes, netlist));
+  floorplan.cut_size = root_cut;
+  return floorplan;
+}
+
+}  // namespace concord::vlsi

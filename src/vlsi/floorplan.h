@@ -1,0 +1,106 @@
+#ifndef CONCORD_VLSI_FLOORPLAN_H_
+#define CONCORD_VLSI_FLOORPLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "vlsi/netlist.h"
+#include "vlsi/shape_function.h"
+
+namespace concord::vlsi {
+
+/// Axis-aligned placement of one subcell inside its parent.
+struct PlacedCell {
+  std::string name;
+  double x = 0;
+  double y = 0;
+  double width = 0;
+  double height = 0;
+};
+
+/// The floorplan of a CUD: chip outline plus subcell placements — the
+/// "floorplan contents" output of chip planning (Fig. 3), which also
+/// induces the "interfaces (subcells)" handed to the sub-DAs of the
+/// delegation scenario (Fig. 5).
+struct Floorplan {
+  double width = 0;
+  double height = 0;
+  std::vector<PlacedCell> cells;
+  /// Total estimated wirelength (half-perimeter model), filled by
+  /// global routing.
+  double wirelength = 0;
+  /// Nets crossing the top-level bipartition (planning quality metric).
+  int cut_size = 0;
+
+  double Area() const { return width * height; }
+  const PlacedCell* Find(const std::string& name) const;
+
+  std::string Serialize() const;
+  static Result<Floorplan> Deserialize(const std::string& text);
+};
+
+/// A slicing tree over subcells: leaves are subcell names, internal
+/// nodes are vertical or horizontal cuts.
+struct SlicingNode {
+  bool is_leaf = false;
+  std::string cell;     // leaf
+  bool vertical = true;  // internal: vertical or horizontal cut
+  std::unique_ptr<SlicingNode> left;
+  std::unique_ptr<SlicingNode> right;
+};
+
+/// The chip-planner toolbox (tool 5 of Fig. 2): "bipartitioning,
+/// sizing, dimensioning, and global routing". Given the module/net
+/// list and shape functions of the subcells plus the CUD interface
+/// (target width/height bounds), it computes a slicing floorplan.
+class ChipPlanner {
+ public:
+  struct Options {
+    /// Maximum chip width allowed by the interface description (0 = no
+    /// bound; sizing then picks the min-area shape).
+    double max_width = 0;
+    /// Alternate cut directions by depth (true) or always vertical.
+    bool alternate_cuts = true;
+  };
+
+  ChipPlanner() = default;
+  explicit ChipPlanner(Options options) : options_(options) {}
+
+  /// Step 1 — bipartitioning: recursively splits the modules into a
+  /// slicing tree, greedily balancing area and improving the cut with a
+  /// single Kernighan–Lin-style pass per level.
+  Result<std::unique_ptr<SlicingNode>> Bipartition(
+      const Netlist& netlist,
+      const std::map<std::string, ShapeFunction>& shapes) const;
+
+  /// Step 2 — sizing: bottom-up Stockmeyer combination of the subcell
+  /// shape functions along the slicing tree.
+  Result<ShapeFunction> Size(
+      const SlicingNode& tree,
+      const std::map<std::string, ShapeFunction>& shapes) const;
+
+  /// Steps 3+4 — dimensioning and global routing: picks the best root
+  /// shape (min area, respecting max_width), back-propagates concrete
+  /// rectangles to the leaves, and estimates wirelength with the
+  /// half-perimeter model.
+  Result<Floorplan> Dimension(
+      const SlicingNode& tree,
+      const std::map<std::string, ShapeFunction>& shapes,
+      const Netlist& netlist) const;
+
+  /// The full pipeline. `out_cut_size` is reported in the floorplan.
+  Result<Floorplan> Plan(const Netlist& netlist,
+                         const std::map<std::string, ShapeFunction>& shapes)
+      const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace concord::vlsi
+
+#endif  // CONCORD_VLSI_FLOORPLAN_H_

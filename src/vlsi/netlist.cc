@@ -1,0 +1,109 @@
+#include "vlsi/netlist.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace concord::vlsi {
+
+bool Netlist::HasModule(const std::string& name) const {
+  return std::find(modules_.begin(), modules_.end(), name) != modules_.end();
+}
+
+int Netlist::CutSize(const std::vector<std::string>& left) const {
+  std::set<std::string> left_set(left.begin(), left.end());
+  int cut = 0;
+  for (const Net& net : nets_) {
+    bool has_left = false;
+    bool has_right = false;
+    for (const std::string& pin : net.pins) {
+      if (left_set.count(pin)) {
+        has_left = true;
+      } else {
+        has_right = true;
+      }
+    }
+    if (has_left && has_right) ++cut;
+  }
+  return cut;
+}
+
+Netlist Netlist::Random(int modules, int nets, int max_degree, Rng* rng) {
+  Netlist netlist;
+  for (int i = 0; i < modules; ++i) {
+    netlist.AddModule("m" + std::to_string(i));
+  }
+  for (int n = 0; n < nets; ++n) {
+    Net net;
+    net.name = "n" + std::to_string(n);
+    int degree = static_cast<int>(rng->Uniform(2, std::max(2, max_degree)));
+    // Locality bias: pick a home module, then neighbours around it.
+    int home = static_cast<int>(rng->Uniform(0, modules - 1));
+    std::set<int> picked{home};
+    int span = std::max(1, modules / 4);
+    int attempts = 0;
+    while (static_cast<int>(picked.size()) < degree &&
+           static_cast<int>(picked.size()) < modules) {
+      int candidate = home + static_cast<int>(rng->Uniform(-span, span));
+      candidate = std::clamp(candidate, 0, modules - 1);
+      picked.insert(candidate);
+      // Locality can saturate (span too narrow for the requested
+      // degree): widen it so the loop always terminates.
+      if (++attempts % 4 == 0) ++span;
+    }
+    for (int m : picked) net.pins.push_back("m" + std::to_string(m));
+    netlist.AddNet(std::move(net));
+  }
+  return netlist;
+}
+
+std::string Netlist::Serialize() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << modules_[i];
+  }
+  os << "|";
+  for (size_t n = 0; n < nets_.size(); ++n) {
+    if (n > 0) os << ";";
+    os << nets_[n].name << ":";
+    for (size_t p = 0; p < nets_[n].pins.size(); ++p) {
+      if (p > 0) os << ",";
+      os << nets_[n].pins[p];
+    }
+  }
+  return os.str();
+}
+
+Result<Netlist> Netlist::Deserialize(const std::string& text) {
+  Netlist netlist;
+  size_t bar = text.find('|');
+  if (bar == std::string::npos) {
+    return Status::InvalidArgument("netlist text has no '|' separator");
+  }
+  std::istringstream modules(text.substr(0, bar));
+  std::string module;
+  while (modules >> module) netlist.AddModule(module);
+
+  std::string nets_text = text.substr(bar + 1);
+  if (nets_text.empty()) return netlist;
+  std::istringstream nets(nets_text);
+  std::string net_token;
+  while (std::getline(nets, net_token, ';')) {
+    size_t colon = net_token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad net token '" + net_token + "'");
+    }
+    Net net;
+    net.name = net_token.substr(0, colon);
+    std::istringstream pins(net_token.substr(colon + 1));
+    std::string pin;
+    while (std::getline(pins, pin, ',')) {
+      if (!pin.empty()) net.pins.push_back(pin);
+    }
+    netlist.AddNet(std::move(net));
+  }
+  return netlist;
+}
+
+}  // namespace concord::vlsi

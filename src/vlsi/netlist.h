@@ -1,0 +1,55 @@
+#ifndef CONCORD_VLSI_NETLIST_H_
+#define CONCORD_VLSI_NETLIST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::vlsi {
+
+/// One net connecting a set of subcells (by name). Part of the "module
+/// and net list" input of chip planning (Fig. 3).
+struct Net {
+  std::string name;
+  std::vector<std::string> pins;  // subcell names
+};
+
+/// The module & net list of a cell under design (CUD): its subcells and
+/// their connections.
+class Netlist {
+ public:
+  Netlist() = default;
+
+  void AddModule(const std::string& name) { modules_.push_back(name); }
+  void AddNet(Net net) { nets_.push_back(std::move(net)); }
+
+  const std::vector<std::string>& modules() const { return modules_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  bool HasModule(const std::string& name) const;
+
+  /// Number of nets crossing a bipartition (modules in `left` on one
+  /// side, the rest on the other) — the objective of the bipartitioning
+  /// step of the chip planner toolbox.
+  int CutSize(const std::vector<std::string>& left) const;
+
+  /// Deterministic pseudo-random netlist: `modules` subcells, `nets`
+  /// nets of 2..`max_degree` pins each, locality-biased.
+  static Netlist Random(int modules, int nets, int max_degree, Rng* rng);
+
+  /// Serialization as a DOV attribute:
+  /// "m1 m2 m3|n1:m1,m2;n2:m2,m3".
+  std::string Serialize() const;
+  static Result<Netlist> Deserialize(const std::string& text);
+
+ private:
+  std::vector<std::string> modules_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace concord::vlsi
+
+#endif  // CONCORD_VLSI_NETLIST_H_

@@ -1,0 +1,91 @@
+#include "vlsi/schema.h"
+
+#include <sstream>
+
+namespace concord::vlsi {
+
+namespace {
+
+void AddCommonAttrs(storage::DesignObjectType* type) {
+  type->AddAttr({kAttrName, storage::AttrType::kString, true, {}, {}});
+  type->AddAttr({kAttrDomain, storage::AttrType::kString, true, {}, {}});
+  type->AddAttr({kAttrArea, storage::AttrType::kDouble, false, 0.0, {}});
+  type->AddAttr({kAttrWidth, storage::AttrType::kDouble, false, 0.0, {}});
+  type->AddAttr({kAttrHeight, storage::AttrType::kDouble, false, 0.0, {}});
+  type->AddAttr({kAttrWirelength, storage::AttrType::kDouble, false, 0.0, {}});
+  type->AddAttr({kAttrCutSize, storage::AttrType::kInt, false, 0.0, {}});
+  type->AddAttr({kAttrNetlist, storage::AttrType::kString, false, {}, {}});
+  type->AddAttr({kAttrShapes, storage::AttrType::kString, false, {}, {}});
+  type->AddAttr({kAttrFloorplan, storage::AttrType::kString, false, {}, {}});
+  type->AddAttr({kAttrBehavior, storage::AttrType::kString, false, {}, {}});
+  type->AddAttr({kAttrMaxWidth, storage::AttrType::kDouble, false, 0.0, {}});
+  type->AddAttr({kAttrPinCount, storage::AttrType::kInt, false, 0.0, {}});
+  type->AddAttr({kAttrPadFrame, storage::AttrType::kString, false, {}, {}});
+}
+
+}  // namespace
+
+VlsiDots RegisterVlsiSchema(storage::SchemaCatalog* catalog) {
+  VlsiDots dots;
+  storage::DesignObjectType* stdcell = catalog->DefineType("stdcell");
+  storage::DesignObjectType* block = catalog->DefineType("block");
+  storage::DesignObjectType* module = catalog->DefineType("module");
+  storage::DesignObjectType* chip = catalog->DefineType("chip");
+  AddCommonAttrs(stdcell);
+  AddCommonAttrs(block);
+  AddCommonAttrs(module);
+  AddCommonAttrs(chip);
+  block->AddPart({stdcell->id(), 0, 1 << 30});
+  module->AddPart({block->id(), 0, 1 << 30});
+  chip->AddPart({module->id(), 0, 1 << 30});
+  dots.chip = chip->id();
+  dots.module = module->id();
+  dots.block = block->id();
+  dots.stdcell = stdcell->id();
+  return dots;
+}
+
+storage::DesignObject MakeBehavioralChip(const VlsiDots& dots,
+                                         const std::string& name,
+                                         int complexity) {
+  storage::DesignObject chip(dots.chip);
+  chip.SetAttr(kAttrName, name);
+  chip.SetAttr(kAttrDomain, kDomainBehavior);
+  std::ostringstream behavior;
+  behavior << "MODULE " << name << " COMPLEXITY " << complexity;
+  chip.SetAttr(kAttrBehavior, behavior.str());
+  chip.SetAttr(kAttrPinCount, static_cast<int64_t>(8 + complexity * 2));
+  return chip;
+}
+
+std::string SerializeShapeTable(
+    const std::map<std::string, ShapeFunction>& table) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, fn] : table) {
+    if (!first) os << "&";
+    os << name << "=" << fn.Serialize();
+    first = false;
+  }
+  return os.str();
+}
+
+Result<std::map<std::string, ShapeFunction>> DeserializeShapeTable(
+    const std::string& text) {
+  std::map<std::string, ShapeFunction> table;
+  if (text.empty()) return table;
+  std::istringstream is(text);
+  std::string entry;
+  while (std::getline(is, entry, '&')) {
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad shape table entry '" + entry + "'");
+    }
+    CONCORD_ASSIGN_OR_RETURN(ShapeFunction fn,
+                             ShapeFunction::Deserialize(entry.substr(eq + 1)));
+    table[entry.substr(0, eq)] = std::move(fn);
+  }
+  return table;
+}
+
+}  // namespace concord::vlsi

@@ -1,0 +1,67 @@
+#ifndef CONCORD_VLSI_SCHEMA_H_
+#define CONCORD_VLSI_SCHEMA_H_
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/object.h"
+#include "storage/schema.h"
+#include "vlsi/shape_function.h"
+
+namespace concord::vlsi {
+
+/// The four-level cell hierarchy of Fig. 2: chip -> module -> block ->
+/// standard cell. Ids of the registered design object types.
+struct VlsiDots {
+  DotId chip;
+  DotId module;
+  DotId block;
+  DotId stdcell;
+};
+
+/// The design-plane domains of Fig. 2 (value of the "domain"
+/// attribute). The design traverses them left to right.
+inline constexpr const char* kDomainBehavior = "behavior";
+inline constexpr const char* kDomainStructure = "structure";
+inline constexpr const char* kDomainFloorplan = "floorplan";
+inline constexpr const char* kDomainMaskLayout = "mask_layout";
+
+/// Attribute names shared by the VLSI design object types.
+inline constexpr const char* kAttrName = "name";
+inline constexpr const char* kAttrDomain = "domain";
+inline constexpr const char* kAttrArea = "area";
+inline constexpr const char* kAttrWidth = "width";
+inline constexpr const char* kAttrHeight = "height";
+inline constexpr const char* kAttrWirelength = "wirelength";
+inline constexpr const char* kAttrCutSize = "cut_size";
+inline constexpr const char* kAttrNetlist = "netlist";
+inline constexpr const char* kAttrShapes = "shapes";
+inline constexpr const char* kAttrFloorplan = "floorplan";
+inline constexpr const char* kAttrBehavior = "behavior";
+inline constexpr const char* kAttrMaxWidth = "interface_max_width";
+inline constexpr const char* kAttrPinCount = "pin_count";
+inline constexpr const char* kAttrPadFrame = "pad_frame";
+
+/// Registers the VLSI design object types (with their part-of
+/// hierarchy, attribute declarations, and integrity bounds) in the
+/// repository's schema catalog.
+VlsiDots RegisterVlsiSchema(storage::SchemaCatalog* catalog);
+
+/// Creates a behavioral-domain chip description — the starting point of
+/// the design plane traversal ("MODULE add BEGIN c <- a + b END",
+/// Fig. 2). `complexity` scales the synthesized structure.
+storage::DesignObject MakeBehavioralChip(const VlsiDots& dots,
+                                         const std::string& name,
+                                         int complexity);
+
+/// (De)serializes a per-subcell shape-function table stored in the
+/// "shapes" attribute ("m0=w:h,w:h&m1=...").
+std::string SerializeShapeTable(
+    const std::map<std::string, ShapeFunction>& table);
+Result<std::map<std::string, ShapeFunction>> DeserializeShapeTable(
+    const std::string& text);
+
+}  // namespace concord::vlsi
+
+#endif  // CONCORD_VLSI_SCHEMA_H_

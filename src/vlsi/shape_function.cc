@@ -1,0 +1,131 @@
+#include "vlsi/shape_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace concord::vlsi {
+
+ShapeFunction::ShapeFunction(std::vector<Shape> shapes)
+    : shapes_(std::move(shapes)) {
+  Normalize();
+}
+
+ShapeFunction ShapeFunction::Fixed(double width, double height) {
+  return ShapeFunction({Shape{width, height}});
+}
+
+ShapeFunction ShapeFunction::Soft(double area, double min_aspect,
+                                  double max_aspect, int steps) {
+  std::vector<Shape> shapes;
+  if (steps < 2) steps = 2;
+  for (int i = 0; i < steps; ++i) {
+    double t = static_cast<double>(i) / (steps - 1);
+    double aspect = min_aspect + t * (max_aspect - min_aspect);
+    double width = std::sqrt(area * aspect);
+    double height = area / width;
+    shapes.push_back(Shape{width, height});
+  }
+  return ShapeFunction(std::move(shapes));
+}
+
+void ShapeFunction::Add(Shape shape) { shapes_.push_back(shape); }
+
+void ShapeFunction::Normalize() {
+  if (shapes_.empty()) return;
+  std::sort(shapes_.begin(), shapes_.end(), [](const Shape& a, const Shape& b) {
+    if (a.width != b.width) return a.width < b.width;
+    return a.height < b.height;
+  });
+  // Keep the Pareto frontier: with shapes sorted by (width asc, height
+  // asc), a shape survives iff it is strictly lower than everything
+  // before it — earlier shapes are never wider, so an equal-or-higher
+  // shape is dominated.
+  std::vector<Shape> frontier;
+  double min_height = std::numeric_limits<double>::infinity();
+  for (const Shape& shape : shapes_) {
+    if (shape.height < min_height) {
+      frontier.push_back(shape);
+      min_height = shape.height;
+    }
+  }
+  shapes_ = std::move(frontier);
+}
+
+Result<Shape> ShapeFunction::MinAreaShape() const {
+  if (shapes_.empty()) return Status::FailedPrecondition("empty shape function");
+  Shape best = shapes_.front();
+  for (const Shape& shape : shapes_) {
+    if (shape.Area() < best.Area()) best = shape;
+  }
+  return best;
+}
+
+Result<Shape> ShapeFunction::BestUnderWidth(double max_width) const {
+  const Shape* best = nullptr;
+  for (const Shape& shape : shapes_) {
+    if (shape.width <= max_width &&
+        (best == nullptr || shape.height < best->height)) {
+      best = &shape;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no shape fits within width " +
+                            std::to_string(max_width));
+  }
+  return *best;
+}
+
+ShapeFunction ShapeFunction::Combine(const ShapeFunction& a,
+                                     const ShapeFunction& b,
+                                     bool vertical_cut) {
+  ShapeFunction combined;
+  for (const Shape& sa : a.shapes()) {
+    for (const Shape& sb : b.shapes()) {
+      if (vertical_cut) {
+        combined.Add(Shape{sa.width + sb.width,
+                           std::max(sa.height, sb.height)});
+      } else {
+        combined.Add(Shape{std::max(sa.width, sb.width),
+                           sa.height + sb.height});
+      }
+    }
+  }
+  combined.Normalize();
+  return combined;
+}
+
+std::string ShapeFunction::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (size_t i = 0; i < shapes_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << shapes_[i].width << ":" << shapes_[i].height;
+  }
+  return os.str();
+}
+
+Result<ShapeFunction> ShapeFunction::Deserialize(const std::string& text) {
+  ShapeFunction fn;
+  if (text.empty()) return fn;
+  std::istringstream is(text);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad shape token '" + token + "'");
+    }
+    try {
+      double w = std::stod(token.substr(0, colon));
+      double h = std::stod(token.substr(colon + 1));
+      fn.Add(Shape{w, h});
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad shape token '" + token + "'");
+    }
+  }
+  fn.Normalize();
+  return fn;
+}
+
+}  // namespace concord::vlsi

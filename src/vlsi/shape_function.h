@@ -1,0 +1,74 @@
+#ifndef CONCORD_VLSI_SHAPE_FUNCTION_H_
+#define CONCORD_VLSI_SHAPE_FUNCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::vlsi {
+
+/// One feasible implementation shape of a cell.
+struct Shape {
+  double width = 0;
+  double height = 0;
+
+  double Area() const { return width * height; }
+  bool operator==(const Shape&) const = default;
+};
+
+/// A shape function: the set of non-dominated (width, height)
+/// alternatives of a cell — the input the chip planner needs from tool
+/// 3 of Fig. 2 ("shape functions indicating the possible shapes of the
+/// subcells"). Stored as a staircase sorted by increasing width /
+/// decreasing height.
+///
+/// Combination follows Stockmeyer's slicing-floorplan algorithm:
+/// combining two shape functions under a vertical cut adds widths and
+/// maxes heights (and dually for horizontal cuts); the result is
+/// re-normalized to its Pareto frontier.
+class ShapeFunction {
+ public:
+  ShapeFunction() = default;
+  explicit ShapeFunction(std::vector<Shape> shapes);
+
+  /// A single fixed shape.
+  static ShapeFunction Fixed(double width, double height);
+  /// A soft cell: the given area realizable at aspect ratios between
+  /// `min_aspect` and `max_aspect` (width/height), discretized into
+  /// `steps` alternatives.
+  static ShapeFunction Soft(double area, double min_aspect, double max_aspect,
+                            int steps = 8);
+
+  void Add(Shape shape);
+  /// Removes dominated shapes and sorts the staircase.
+  void Normalize();
+
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  bool empty() const { return shapes_.empty(); }
+  size_t size() const { return shapes_.size(); }
+
+  /// The alternative with minimum area; error when empty.
+  Result<Shape> MinAreaShape() const;
+  /// The minimal height at which a shape of width <= `max_width`
+  /// exists; error when none fits.
+  Result<Shape> BestUnderWidth(double max_width) const;
+
+  /// Stockmeyer combination: `vertical_cut` places the operands side by
+  /// side (widths add, heights max); otherwise stacked (heights add,
+  /// widths max).
+  static ShapeFunction Combine(const ShapeFunction& a, const ShapeFunction& b,
+                               bool vertical_cut);
+
+  /// Serialization for storage as a DOV attribute ("w:h,w:h,...").
+  std::string Serialize() const;
+  static Result<ShapeFunction> Deserialize(const std::string& text);
+
+ private:
+  std::vector<Shape> shapes_;
+};
+
+}  // namespace concord::vlsi
+
+#endif  // CONCORD_VLSI_SHAPE_FUNCTION_H_

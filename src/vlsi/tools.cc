@@ -1,0 +1,266 @@
+#include "vlsi/tools.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "vlsi/netlist.h"
+
+namespace concord::vlsi {
+
+std::vector<std::string> AllToolNames() {
+  return {kToolStructureSynthesis, kToolRepartitioning,
+          kToolShapeFunctionGen,   kToolPadFrameEdit,
+          kToolChipPlanning,       kToolCellSynthesis,
+          kToolChipAssembly};
+}
+
+namespace {
+
+Result<std::string> RequireDomain(const storage::DesignObject& input,
+                                  const std::string& expected,
+                                  const std::string& tool) {
+  CONCORD_ASSIGN_OR_RETURN(storage::AttrValue domain,
+                           input.GetAttr(kAttrDomain));
+  if (!domain.is_string() || domain.as_string() != expected) {
+    return Status::FailedPrecondition(
+        tool + " expects a design state in domain '" + expected + "', got '" +
+        domain.ToString() + "'");
+  }
+  return domain.as_string();
+}
+
+int64_t ComplexityOf(const storage::DesignObject& input) {
+  auto behavior = input.GetAttr(kAttrBehavior);
+  if (!behavior.ok() || !behavior->is_string()) return 4;
+  const std::string& text = behavior->as_string();
+  size_t pos = text.rfind(' ');
+  if (pos == std::string::npos) return 4;
+  try {
+    return std::max<int64_t>(2, std::stoll(text.substr(pos + 1)));
+  } catch (const std::exception&) {
+    return 4;
+  }
+}
+
+}  // namespace
+
+Result<ToolResult> ToolBox::StructureSynthesis(
+    const storage::DesignObject& input, Rng* rng) const {
+  CONCORD_RETURN_NOT_OK(
+      RequireDomain(input, kDomainBehavior, kToolStructureSynthesis).status());
+  int64_t complexity = ComplexityOf(input);
+  int modules = static_cast<int>(complexity);
+  int nets = modules * 2;
+
+  ToolResult result;
+  result.object = input;
+  Netlist netlist = Netlist::Random(modules, nets, 4, rng);
+  result.object.SetAttr(kAttrNetlist, netlist.Serialize());
+  result.object.SetAttr(kAttrDomain, kDomainStructure);
+  result.work_units = static_cast<uint64_t>(modules) * 10;
+  return result;
+}
+
+Result<ToolResult> ToolBox::Repartitioning(const storage::DesignObject& input,
+                                           Rng* rng) const {
+  CONCORD_RETURN_NOT_OK(
+      RequireDomain(input, kDomainStructure, kToolRepartitioning).status());
+  CONCORD_ASSIGN_OR_RETURN(storage::AttrValue netlist_attr,
+                           input.GetAttr(kAttrNetlist));
+  CONCORD_ASSIGN_OR_RETURN(Netlist netlist,
+                           Netlist::Deserialize(netlist_attr.as_string()));
+  // Rewire ~25% of the nets to explore a different structure.
+  Netlist rewired;
+  for (const std::string& module : netlist.modules()) {
+    rewired.AddModule(module);
+  }
+  int module_count = static_cast<int>(netlist.modules().size());
+  for (const Net& net : netlist.nets()) {
+    if (module_count >= 2 && rng->Chance(0.25)) {
+      Net replacement;
+      replacement.name = net.name;
+      int a = static_cast<int>(rng->Uniform(0, module_count - 1));
+      int b = static_cast<int>(rng->Uniform(0, module_count - 1));
+      if (a == b) b = (b + 1) % module_count;
+      replacement.pins = {"m" + std::to_string(a), "m" + std::to_string(b)};
+      rewired.AddNet(std::move(replacement));
+    } else {
+      rewired.AddNet(net);
+    }
+  }
+  ToolResult result;
+  result.object = input;
+  result.object.SetAttr(kAttrNetlist, rewired.Serialize());
+  result.work_units = static_cast<uint64_t>(netlist.nets().size()) * 3;
+  return result;
+}
+
+Result<ToolResult> ToolBox::ShapeFunctionGeneration(
+    const storage::DesignObject& input) const {
+  CONCORD_RETURN_NOT_OK(
+      RequireDomain(input, kDomainStructure, kToolShapeFunctionGen).status());
+  CONCORD_ASSIGN_OR_RETURN(storage::AttrValue netlist_attr,
+                           input.GetAttr(kAttrNetlist));
+  CONCORD_ASSIGN_OR_RETURN(Netlist netlist,
+                           Netlist::Deserialize(netlist_attr.as_string()));
+  // Estimate per-module area from its connectivity (well-connected
+  // modules are bigger), then emit soft shape functions.
+  std::map<std::string, ShapeFunction> table;
+  for (const std::string& module : netlist.modules()) {
+    int degree = 0;
+    for (const Net& net : netlist.nets()) {
+      for (const std::string& pin : net.pins) {
+        if (pin == module) ++degree;
+      }
+    }
+    double area = 40.0 + 12.0 * degree;
+    table[module] = ShapeFunction::Soft(area, 0.5, 2.0, 6);
+  }
+  ToolResult result;
+  result.object = input;
+  result.object.SetAttr(kAttrShapes, SerializeShapeTable(table));
+  result.work_units = static_cast<uint64_t>(netlist.modules().size()) * 5;
+  return result;
+}
+
+Result<ToolResult> ToolBox::PadFrameEdit(const storage::DesignObject& input,
+                                         double max_width) const {
+  ToolResult result;
+  result.object = input;
+  result.object.SetAttr(kAttrMaxWidth, max_width);
+  std::ostringstream frame;
+  auto pins = input.GetAttr(kAttrPinCount);
+  int64_t pin_count = pins.ok() && pins->is_int() ? pins->as_int() : 16;
+  frame << "frame[pins=" << pin_count << ",max_width=" << max_width << "]";
+  result.object.SetAttr(kAttrPadFrame, frame.str());
+  result.work_units = static_cast<uint64_t>(pin_count);
+  return result;
+}
+
+Result<ToolResult> ToolBox::ChipPlanning(
+    const storage::DesignObject& input) const {
+  CONCORD_RETURN_NOT_OK(
+      RequireDomain(input, kDomainStructure, kToolChipPlanning).status());
+  CONCORD_ASSIGN_OR_RETURN(storage::AttrValue netlist_attr,
+                           input.GetAttr(kAttrNetlist));
+  CONCORD_ASSIGN_OR_RETURN(Netlist netlist,
+                           Netlist::Deserialize(netlist_attr.as_string()));
+  CONCORD_ASSIGN_OR_RETURN(storage::AttrValue shapes_attr,
+                           input.GetAttr(kAttrShapes));
+  CONCORD_ASSIGN_OR_RETURN(auto table,
+                           DeserializeShapeTable(shapes_attr.as_string()));
+
+  ChipPlanner::Options options;
+  auto max_width = input.GetNumeric(kAttrMaxWidth);
+  if (max_width.ok() && *max_width > 0) options.max_width = *max_width;
+  ChipPlanner planner(options);
+  auto planned = planner.Plan(netlist, table);
+  if (!planned.ok()) {
+    // An infeasible interface (e.g. max_width too small) surfaces as a
+    // planning failure — the DA may report Sub_DA_Impossible_Spec.
+    return planned.status();
+  }
+
+  ToolResult result;
+  result.object = input;
+  result.object.SetAttr(kAttrFloorplan, planned->Serialize());
+  result.object.SetAttr(kAttrDomain, kDomainFloorplan);
+  result.object.SetAttr(kAttrWidth, planned->width);
+  result.object.SetAttr(kAttrHeight, planned->height);
+  result.object.SetAttr(kAttrArea, planned->Area());
+  result.object.SetAttr(kAttrWirelength, planned->wirelength);
+  result.object.SetAttr(kAttrCutSize,
+                        static_cast<int64_t>(planned->cut_size));
+  result.work_units =
+      static_cast<uint64_t>(netlist.modules().size()) * 25 +
+      static_cast<uint64_t>(netlist.nets().size()) * 5;
+  return result;
+}
+
+Result<ToolResult> ToolBox::CellSynthesis(
+    const storage::DesignObject& input) const {
+  // Leaf-cell layout: realize the min-area alternative of the cell's
+  // own shape function (or derive one from its area attribute).
+  ToolResult result;
+  result.object = input;
+  ShapeFunction fn;
+  auto shapes_attr = input.GetAttr(kAttrShapes);
+  if (shapes_attr.ok() && shapes_attr->is_string()) {
+    CONCORD_ASSIGN_OR_RETURN(auto table,
+                             DeserializeShapeTable(shapes_attr->as_string()));
+    if (!table.empty()) fn = table.begin()->second;
+  }
+  if (fn.empty()) {
+    auto area = input.GetNumeric(kAttrArea);
+    fn = ShapeFunction::Soft(area.ok() && *area > 0 ? *area : 50.0, 0.8, 1.25,
+                             4);
+  }
+  CONCORD_ASSIGN_OR_RETURN(Shape shape, fn.MinAreaShape());
+  result.object.SetAttr(kAttrWidth, shape.width);
+  result.object.SetAttr(kAttrHeight, shape.height);
+  result.object.SetAttr(kAttrArea, shape.Area());
+  result.object.SetAttr(kAttrDomain, kDomainMaskLayout);
+  result.work_units = 40;
+  return result;
+}
+
+Result<ToolResult> ToolBox::ChipAssembly(
+    const storage::DesignObject& input) const {
+  CONCORD_RETURN_NOT_OK(
+      RequireDomain(input, kDomainFloorplan, kToolChipAssembly).status());
+  CONCORD_ASSIGN_OR_RETURN(storage::AttrValue fp_attr,
+                           input.GetAttr(kAttrFloorplan));
+  CONCORD_ASSIGN_OR_RETURN(Floorplan floorplan,
+                           Floorplan::Deserialize(fp_attr.as_string()));
+  // Verify placements are inside the outline and non-degenerate.
+  for (const PlacedCell& cell : floorplan.cells) {
+    if (cell.width <= 0 || cell.height <= 0 ||
+        cell.x + cell.width > floorplan.width + 1e-6 ||
+        cell.y + cell.height > floorplan.height + 1e-6) {
+      return Status::ConstraintViolation("subcell '" + cell.name +
+                                         "' violates the chip outline");
+    }
+  }
+  ToolResult result;
+  result.object = input;
+  result.object.SetAttr(kAttrDomain, kDomainMaskLayout);
+  result.object.SetAttr(kAttrArea, floorplan.Area());
+  result.work_units = static_cast<uint64_t>(floorplan.cells.size()) * 15 + 20;
+  return result;
+}
+
+Result<ToolResult> ToolBox::Run(const std::string& tool_name,
+                                const storage::DesignObject& input,
+                                Rng* rng) const {
+  if (tool_name == kToolStructureSynthesis) {
+    return StructureSynthesis(input, rng);
+  }
+  if (tool_name == kToolRepartitioning) return Repartitioning(input, rng);
+  if (tool_name == kToolShapeFunctionGen) {
+    return ShapeFunctionGeneration(input);
+  }
+  if (tool_name == kToolPadFrameEdit) {
+    // Default interface: allow 15% slack over the min-area width.
+    double bound = 0;
+    auto shapes_attr = input.GetAttr(kAttrShapes);
+    if (shapes_attr.ok() && shapes_attr->is_string()) {
+      auto table = DeserializeShapeTable(shapes_attr->as_string());
+      if (table.ok()) {
+        double total_area = 0;
+        for (const auto& [name, fn] : *table) {
+          auto s = fn.MinAreaShape();
+          if (s.ok()) total_area += s->Area();
+        }
+        bound = std::sqrt(total_area) * 1.6;
+      }
+    }
+    return PadFrameEdit(input, bound > 0 ? bound : 100.0);
+  }
+  if (tool_name == kToolChipPlanning) return ChipPlanning(input);
+  if (tool_name == kToolCellSynthesis) return CellSynthesis(input);
+  if (tool_name == kToolChipAssembly) return ChipAssembly(input);
+  return Status::NotFound("unknown design tool '" + tool_name + "'");
+}
+
+}  // namespace concord::vlsi

@@ -1,0 +1,89 @@
+#ifndef CONCORD_VLSI_TOOLS_H_
+#define CONCORD_VLSI_TOOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/object.h"
+#include "vlsi/floorplan.h"
+#include "vlsi/schema.h"
+
+namespace concord::vlsi {
+
+/// DOP type names, matching the tools of Fig. 2 (the numbers in the
+/// design plane). Scripts and domain constraints refer to these.
+inline constexpr const char* kToolStructureSynthesis = "structure_synthesis";
+inline constexpr const char* kToolRepartitioning = "repartitioning";
+inline constexpr const char* kToolShapeFunctionGen = "shape_function_generation";
+inline constexpr const char* kToolPadFrameEdit = "pad_frame_edit";
+inline constexpr const char* kToolChipPlanning = "chip_planning";
+inline constexpr const char* kToolCellSynthesis = "cell_synthesis";
+inline constexpr const char* kToolChipAssembly = "chip_assembly";
+
+/// All seven tool names in design-plane order.
+std::vector<std::string> AllToolNames();
+
+/// Output of a tool invocation: the derived design state and the
+/// amount of (abstract) tool work it took — the DOP reports the latter
+/// to the client-TM so recovery points and loss-of-work accounting see
+/// realistic magnitudes.
+struct ToolResult {
+  storage::DesignObject object;
+  uint64_t work_units = 0;
+};
+
+/// The design-tool box of Sect. 3. Each tool derives a new design state
+/// (domain transition of Fig. 2) from its input state(s); they are
+/// pure functions over DesignObjects so they can run inside any DOP.
+class ToolBox {
+ public:
+  explicit ToolBox(const VlsiDots& dots) : dots_(dots) {}
+
+  /// Tool 1: behavior -> structure. Synthesizes a module/net list whose
+  /// size is driven by the behavioral complexity.
+  Result<ToolResult> StructureSynthesis(const storage::DesignObject& input,
+                                        Rng* rng) const;
+
+  /// Tool 2: structure -> structure. Perturbs the partition/netlist to
+  /// explore alternatives (keeps module count, rewires a fraction).
+  Result<ToolResult> Repartitioning(const storage::DesignObject& input,
+                                    Rng* rng) const;
+
+  /// Tool 3: structure -> structure+shapes. Estimates per-module areas
+  /// and emits soft shape functions.
+  Result<ToolResult> ShapeFunctionGeneration(
+      const storage::DesignObject& input) const;
+
+  /// Tool 4: sets the interface description (pad frame, width bound,
+  /// pin intervals).
+  Result<ToolResult> PadFrameEdit(const storage::DesignObject& input,
+                                  double max_width) const;
+
+  /// Tool 5: the chip-planner toolbox — bipartitioning, sizing,
+  /// dimensioning, global routing. structure+shapes -> floorplan.
+  Result<ToolResult> ChipPlanning(const storage::DesignObject& input) const;
+
+  /// Tool 6: concrete layout for one (sub)cell: fixes width/height from
+  /// its shape alternatives. floorplan -> mask_layout (per cell).
+  Result<ToolResult> CellSynthesis(const storage::DesignObject& input) const;
+
+  /// Tool 7: chip assembly: requires a floorplan; verifies all subcell
+  /// placements, sums final area/wirelength. floorplan -> mask_layout.
+  Result<ToolResult> ChipAssembly(const storage::DesignObject& input) const;
+
+  /// Dispatch by DOP type name (tools needing extra arguments use
+  /// defaults: pad frame width bound = 1.15x the min-area width).
+  Result<ToolResult> Run(const std::string& tool_name,
+                         const storage::DesignObject& input, Rng* rng) const;
+
+  const VlsiDots& dots() const { return dots_; }
+
+ private:
+  VlsiDots dots_;
+};
+
+}  // namespace concord::vlsi
+
+#endif  // CONCORD_VLSI_TOOLS_H_

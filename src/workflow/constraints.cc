@@ -1,0 +1,194 @@
+#include "workflow/constraints.h"
+
+#include <algorithm>
+#include <set>
+
+namespace concord::workflow {
+
+std::string DomainConstraint::ToString() const {
+  switch (kind) {
+    case Kind::kPrecedes:
+      return first + " precedes " + second;
+    case Kind::kEventuallyFollowedBy:
+      return first + " eventually followed by " + second;
+    case Kind::kImmediatelyFollowedBy:
+      return first + " immediately followed by " + second;
+  }
+  return "?";
+}
+
+ConstraintSet& ConstraintSet::Precedes(std::string first, std::string second) {
+  constraints_.push_back({DomainConstraint::Kind::kPrecedes, std::move(first),
+                          std::move(second)});
+  return *this;
+}
+
+ConstraintSet& ConstraintSet::EventuallyFollowedBy(std::string first,
+                                                   std::string second) {
+  constraints_.push_back({DomainConstraint::Kind::kEventuallyFollowedBy,
+                          std::move(first), std::move(second)});
+  return *this;
+}
+
+ConstraintSet& ConstraintSet::ImmediatelyFollowedBy(std::string first,
+                                                    std::string second) {
+  constraints_.push_back({DomainConstraint::Kind::kImmediatelyFollowedBy,
+                          std::move(first), std::move(second)});
+  return *this;
+}
+
+Status ConstraintSet::CheckAdmissible(
+    const std::vector<std::string>& completed, const std::string& next) const {
+  for (const DomainConstraint& constraint : constraints_) {
+    switch (constraint.kind) {
+      case DomainConstraint::Kind::kPrecedes:
+        if (constraint.second == next &&
+            std::find(completed.begin(), completed.end(), constraint.first) ==
+                completed.end()) {
+          return Status::ConstraintViolation(
+              "DOP '" + next + "' must not be applied before '" +
+              constraint.first + "' has successfully completed");
+        }
+        break;
+      case DomainConstraint::Kind::kImmediatelyFollowedBy:
+        if (!completed.empty() && completed.back() == constraint.first &&
+            next != constraint.second) {
+          return Status::ConstraintViolation(
+              "DOP '" + constraint.first + "' must be immediately followed by '" +
+              constraint.second + "', got '" + next + "'");
+        }
+        break;
+      case DomainConstraint::Kind::kEventuallyFollowedBy:
+        break;  // end-of-DA obligation, see CheckComplete
+    }
+  }
+  return Status::OK();
+}
+
+Status ConstraintSet::CheckComplete(
+    const std::vector<std::string>& completed) const {
+  for (const DomainConstraint& constraint : constraints_) {
+    if (constraint.kind == DomainConstraint::Kind::kEventuallyFollowedBy ||
+        constraint.kind == DomainConstraint::Kind::kImmediatelyFollowedBy) {
+      for (size_t i = 0; i < completed.size(); ++i) {
+        if (completed[i] != constraint.first) continue;
+        bool satisfied = false;
+        if (constraint.kind == DomainConstraint::Kind::kImmediatelyFollowedBy) {
+          satisfied = i + 1 < completed.size() &&
+                      completed[i + 1] == constraint.second;
+        } else {
+          for (size_t j = i + 1; j < completed.size(); ++j) {
+            if (completed[j] == constraint.second) {
+              satisfied = true;
+              break;
+            }
+          }
+        }
+        if (!satisfied) {
+          return Status::ConstraintViolation("unfulfilled obligation: " +
+                                             constraint.ToString());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+using TypeSet = std::set<std::string>;
+
+/// Wildcard contributed by `open` segments: the designer may perform
+/// any intermediate actions there, so later precedence requirements
+/// cannot be statically refuted (the runtime admission check still
+/// guards them).
+constexpr char kAnyType[] = "*";
+
+/// Recursive conservative analysis; returns the set of DOP types
+/// guaranteed to have completed once `node` finishes, assuming the
+/// types in `before` completed earlier. Fails fast on a provable
+/// precedence violation.
+Result<TypeSet> Analyze(const ConstraintSet& constraints,
+                        const ScriptNode* node, const TypeSet& before) {
+  switch (node->kind()) {
+    case ScriptNode::Kind::kDop: {
+      for (const DomainConstraint& c : constraints.constraints()) {
+        if (c.kind == DomainConstraint::Kind::kPrecedes &&
+            c.second == node->name() && !before.count(c.first) &&
+            !before.count(kAnyType)) {
+          return Status::ConstraintViolation(
+              "script contradicts domain constraint '" + c.ToString() +
+              "': '" + node->name() + "' reachable without prior '" + c.first +
+              "'");
+        }
+      }
+      return TypeSet{node->name()};
+    }
+    case ScriptNode::Kind::kDaOp:
+      return TypeSet{};
+    case ScriptNode::Kind::kOpen:
+      return TypeSet{kAnyType};
+    case ScriptNode::Kind::kSequence: {
+      TypeSet acc = before;
+      for (const auto& child : node->children()) {
+        CONCORD_ASSIGN_OR_RETURN(TypeSet g,
+                                 Analyze(constraints, child.get(), acc));
+        acc.insert(g.begin(), g.end());
+      }
+      TypeSet gained;
+      for (const auto& t : acc) {
+        if (!before.count(t)) gained.insert(t);
+      }
+      return gained;
+    }
+    case ScriptNode::Kind::kBranch: {
+      // Children may interleave arbitrarily: each child can only rely
+      // on what held before the branch, but after the join all
+      // children's work is guaranteed.
+      TypeSet gained;
+      for (const auto& child : node->children()) {
+        CONCORD_ASSIGN_OR_RETURN(TypeSet g,
+                                 Analyze(constraints, child.get(), before));
+        gained.insert(g.begin(), g.end());
+      }
+      return gained;
+    }
+    case ScriptNode::Kind::kAlternative: {
+      // Exactly one child runs: only the intersection is guaranteed.
+      bool first_child = true;
+      TypeSet common;
+      for (const auto& child : node->children()) {
+        CONCORD_ASSIGN_OR_RETURN(TypeSet g,
+                                 Analyze(constraints, child.get(), before));
+        if (first_child) {
+          common = std::move(g);
+          first_child = false;
+        } else {
+          TypeSet intersection;
+          std::set_intersection(common.begin(), common.end(), g.begin(),
+                                g.end(),
+                                std::inserter(intersection,
+                                              intersection.begin()));
+          common = std::move(intersection);
+        }
+      }
+      return common;
+    }
+    case ScriptNode::Kind::kIteration: {
+      // The body runs at least once; validating the first pass (fewest
+      // guarantees) is conservative for later passes.
+      return Analyze(constraints, node->children().front().get(), before);
+    }
+  }
+  return TypeSet{};
+}
+
+}  // namespace
+
+Status ConstraintSet::ValidateScript(const Script& script) const {
+  if (script.empty()) return Status::OK();
+  auto result = Analyze(*this, script.root(), TypeSet{});
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace concord::workflow

@@ -1,0 +1,69 @@
+#ifndef CONCORD_WORKFLOW_CONSTRAINTS_H_
+#define CONCORD_WORKFLOW_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workflow/script.h"
+
+namespace concord::workflow {
+
+/// Domain-wide dependencies between DOP types (Sect. 4.2): "one may
+/// require that a DOP of a certain type ... must not be applied before
+/// a DOP of another type has successfully completed, or that a certain
+/// DOP must always be followed by another DOP of a specific type".
+/// Constraints "hold for all DAs of a design application domain" and
+/// "any script within must not contradict these constraints".
+struct DomainConstraint {
+  enum class Kind {
+    /// `second` must not run before `first` has completed successfully.
+    kPrecedes,
+    /// Every `first` must eventually be followed by a `second`.
+    kEventuallyFollowedBy,
+    /// A `first` must be *immediately* followed by a `second`.
+    kImmediatelyFollowedBy,
+  };
+  Kind kind;
+  std::string first;
+  std::string second;
+
+  std::string ToString() const;
+};
+
+/// The constraint set of one design application domain.
+class ConstraintSet {
+ public:
+  ConstraintSet& Precedes(std::string first, std::string second);
+  ConstraintSet& EventuallyFollowedBy(std::string first, std::string second);
+  ConstraintSet& ImmediatelyFollowedBy(std::string first, std::string second);
+
+  const std::vector<DomainConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Runtime admission test: may a DOP of type `next` start now, given
+  /// the types already completed (in order)? Enforced by the DM before
+  /// every DOP start — this also covers actions inside `open` segments.
+  Status CheckAdmissible(const std::vector<std::string>& completed,
+                         const std::string& next) const;
+
+  /// End-of-DA test for the "followed by" obligations.
+  Status CheckComplete(const std::vector<std::string>& completed) const;
+
+  /// Conservative static validation of a script: rejects scripts where
+  /// some path would run `second` although `first` cannot have occurred
+  /// before it (kPrecedes). Open segments are treated as able to supply
+  /// anything, so they never cause static rejection — the runtime check
+  /// still guards them.
+  Status ValidateScript(const Script& script) const;
+
+  size_t size() const { return constraints_.size(); }
+
+ private:
+  std::vector<DomainConstraint> constraints_;
+};
+
+}  // namespace concord::workflow
+
+#endif  // CONCORD_WORKFLOW_CONSTRAINTS_H_

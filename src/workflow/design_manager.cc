@@ -1,0 +1,408 @@
+#include "workflow/design_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace concord::workflow {
+
+const char* WorkflowLogEntry::KindToString(Kind kind) {
+  switch (kind) {
+    case Kind::kDopStart:
+      return "DOP_START";
+    case Kind::kDopFinish:
+      return "DOP_FINISH";
+    case Kind::kDaOp:
+      return "DA_OP";
+    case Kind::kAlternativeChoice:
+      return "ALT_CHOICE";
+    case Kind::kIterationDecision:
+      return "ITER_DECISION";
+    case Kind::kOpenPlan:
+      return "OPEN_PLAN";
+    case Kind::kRestart:
+      return "RESTART";
+  }
+  return "?";
+}
+
+const char* DmStateToString(DmState state) {
+  switch (state) {
+    case DmState::kActive:
+      return "active";
+    case DmState::kPaused:
+      return "paused";
+    case DmState::kCompleted:
+      return "completed";
+    case DmState::kCrashed:
+      return "crashed";
+  }
+  return "?";
+}
+
+DesignManager::DesignManager(DaId da, Script script,
+                             const ConstraintSet* constraints, SimClock* clock)
+    : da_(da),
+      persistent_script_(std::move(script)),
+      constraints_(constraints),
+      clock_(clock) {}
+
+Status DesignManager::ValidateScript() const {
+  if (constraints_ == nullptr) return Status::OK();
+  return constraints_->ValidateScript(persistent_script_);
+}
+
+Status DesignManager::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("design manager already started");
+  }
+  CONCORD_RETURN_NOT_OK(ValidateScript());
+  ResetMachine();
+  started_ = true;
+  state_ = DmState::kActive;
+  replay_cursor_ = persistent_log_.size();
+  return Status::OK();
+}
+
+void DesignManager::ResetMachine() {
+  stack_.clear();
+  history_.clear();
+  if (!persistent_script_.empty()) {
+    stack_.push_back(MakeFrame(persistent_script_.root()));
+  }
+}
+
+void DesignManager::AppendLog(WorkflowLogEntry entry) {
+  entry.sequence = ++log_sequence_;
+  persistent_log_.push_back(std::move(entry));
+  // Live appends move the replay cursor with the log end, so
+  // Replaying() is only true while Recover() walks a crash-time prefix.
+  replay_cursor_ = persistent_log_.size();
+}
+
+const WorkflowLogEntry* DesignManager::PeekReplay(WorkflowLogEntry::Kind kind,
+                                                  const std::string& name) {
+  if (!Replaying()) return nullptr;
+  const WorkflowLogEntry& entry = persistent_log_[replay_cursor_];
+  if (entry.kind != kind || (!name.empty() && entry.name != name)) {
+    // Divergence (should not happen with a deterministic machine):
+    // truncate the suffix and continue live — robustness over replay.
+    CONCORD_WARN("dm", "log divergence at #" << entry.sequence << " ("
+                                             << WorkflowLogEntry::KindToString(
+                                                    entry.kind)
+                                             << "), truncating");
+    persistent_log_.resize(replay_cursor_);
+    log_sequence_ = persistent_log_.empty() ? 0
+                                            : persistent_log_.back().sequence;
+    return nullptr;
+  }
+  return &entry;
+}
+
+Status DesignManager::RunDop(const std::string& dop_type) {
+  // Admission against the domain constraints guards every DOP start,
+  // including designer-chosen actions in open segments.
+  if (constraints_ != nullptr) {
+    Status admissible = constraints_->CheckAdmissible(history_, dop_type);
+    if (!admissible.ok()) {
+      ++stats_.constraint_rejections;
+      return admissible;
+    }
+  }
+
+  // Replay path: consume DOP_START and its matching DOP_FINISH.
+  if (const WorkflowLogEntry* start =
+          PeekReplay(WorkflowLogEntry::Kind::kDopStart, dop_type)) {
+    (void)start;
+    if (replay_cursor_ + 1 < persistent_log_.size() &&
+        persistent_log_[replay_cursor_ + 1].kind ==
+            WorkflowLogEntry::Kind::kDopFinish &&
+        persistent_log_[replay_cursor_ + 1].name == dop_type) {
+      const WorkflowLogEntry finish = persistent_log_[replay_cursor_ + 1];
+      replay_cursor_ += 2;
+      ++stats_.dops_replayed;
+      if (finish.committed) {
+        history_.push_back(dop_type);
+        produced_.push_back(finish.output);
+        return Status::OK();
+      }
+      return Status::Aborted("replayed abort of DOP '" + dop_type + "'");
+    }
+    // Dangling start: the crash hit mid-DOP. Drop the dangling entry
+    // and re-execute live.
+    persistent_log_.resize(replay_cursor_);
+    log_sequence_ = persistent_log_.empty() ? 0
+                                            : persistent_log_.back().sequence;
+  }
+
+  if (!tool_runner_) {
+    return Status::Internal("no tool runner bound to design manager of " +
+                            da_.ToString());
+  }
+  AppendLog({WorkflowLogEntry::Kind::kDopStart, 0, dop_type, DovId(), {},
+             false, 0, false, {}});
+  CONCORD_ASSIGN_OR_RETURN(DopOutcome outcome, tool_runner_(dop_type));
+  WorkflowLogEntry finish{WorkflowLogEntry::Kind::kDopFinish, 0, dop_type,
+                          outcome.output, outcome.inputs, outcome.committed,
+                          0, false, {}};
+  AppendLog(std::move(finish));
+  ++stats_.dops_run;
+  if (!outcome.committed) {
+    return Status::Aborted("DOP '" + dop_type + "' aborted");
+  }
+  history_.push_back(dop_type);
+  produced_.push_back(outcome.output);
+  return Status::OK();
+}
+
+Status DesignManager::RunDaOp(const std::string& op_name) {
+  if (const WorkflowLogEntry* entry =
+          PeekReplay(WorkflowLogEntry::Kind::kDaOp, op_name)) {
+    (void)entry;
+    ++replay_cursor_;
+    ++stats_.decisions_replayed;
+    return Status::OK();
+  }
+  Status st = da_op_runner_ ? da_op_runner_(op_name) : Status::OK();
+  if (st.ok()) {
+    AppendLog({WorkflowLogEntry::Kind::kDaOp, 0, op_name, DovId(), {}, false,
+               0, false, {}});
+  }
+  return st;
+}
+
+Result<bool> DesignManager::Step() {
+  if (state_ != DmState::kActive) {
+    return Status::FailedPrecondition("design manager is " +
+                                      std::string(DmStateToString(state_)));
+  }
+  if (!started_) {
+    return Status::FailedPrecondition("design manager not started");
+  }
+
+  // A restart record at the replay cursor resets the machine, exactly
+  // as the live event did.
+  if (Replaying() &&
+      persistent_log_[replay_cursor_].kind == WorkflowLogEntry::Kind::kRestart) {
+    ++replay_cursor_;
+    ResetMachine();
+    return true;
+  }
+
+  if (stack_.empty()) {
+    // Execution finished: check the eventually/immediately-followed-by
+    // obligations before declaring the DA's work flow complete.
+    if (constraints_ != nullptr) {
+      Status complete = constraints_->CheckComplete(history_);
+      if (!complete.ok()) {
+        state_ = DmState::kPaused;
+        return complete;
+      }
+    }
+    state_ = DmState::kCompleted;
+    return false;
+  }
+
+  Frame& frame = stack_.back();
+  const ScriptNode* node = frame.node;
+  DecisionMaker* decider =
+      decision_maker_ != nullptr ? decision_maker_ : &default_decisions_;
+
+  switch (node->kind()) {
+    case ScriptNode::Kind::kDop: {
+      CONCORD_RETURN_NOT_OK(RunDop(node->name()));
+      stack_.pop_back();
+      return true;
+    }
+    case ScriptNode::Kind::kDaOp: {
+      CONCORD_RETURN_NOT_OK(RunDaOp(node->name()));
+      stack_.pop_back();
+      return true;
+    }
+    case ScriptNode::Kind::kSequence:
+    case ScriptNode::Kind::kBranch: {
+      if (frame.child_index < node->children().size()) {
+        const ScriptNode* child = node->children()[frame.child_index].get();
+        ++frame.child_index;
+        stack_.push_back(MakeFrame(child));
+      } else {
+        stack_.pop_back();
+      }
+      return true;
+    }
+    case ScriptNode::Kind::kAlternative: {
+      if (!frame.decided) {
+        size_t choice;
+        if (const WorkflowLogEntry* entry = PeekReplay(
+                WorkflowLogEntry::Kind::kAlternativeChoice, "")) {
+          choice = entry->choice;
+          ++replay_cursor_;
+          ++stats_.decisions_replayed;
+        } else {
+          choice = decider->ChooseAlternative(*node);
+          if (choice >= node->children().size()) {
+            return Status::InvalidArgument(
+                "alternative choice " + std::to_string(choice) +
+                " out of range (" + std::to_string(node->children().size()) +
+                " paths)");
+          }
+          AppendLog({WorkflowLogEntry::Kind::kAlternativeChoice, 0, "",
+                     DovId(), {}, false, choice, false, {}});
+        }
+        frame.decided = true;
+        frame.chosen = choice;
+        stack_.push_back(MakeFrame(node->children()[choice].get()));
+      } else {
+        stack_.pop_back();
+      }
+      return true;
+    }
+    case ScriptNode::Kind::kIteration: {
+      bool another;
+      if (frame.passes_done == 0) {
+        another = true;  // the body always runs at least once
+      } else if (const WorkflowLogEntry* entry = PeekReplay(
+                     WorkflowLogEntry::Kind::kIterationDecision, "")) {
+        another = entry->continue_flag;
+        ++replay_cursor_;
+        ++stats_.decisions_replayed;
+      } else {
+        another = frame.passes_done < node->max_iterations() &&
+                  decider->ContinueIteration(*node, frame.passes_done);
+        AppendLog({WorkflowLogEntry::Kind::kIterationDecision, 0, "", DovId(),
+                   {}, false, 0, another, {}});
+      }
+      if (another) {
+        ++frame.passes_done;
+        stack_.push_back(MakeFrame(node->children().front().get()));
+      } else {
+        stack_.pop_back();
+      }
+      return true;
+    }
+    case ScriptNode::Kind::kOpen: {
+      if (!frame.planned) {
+        if (const WorkflowLogEntry* entry =
+                PeekReplay(WorkflowLogEntry::Kind::kOpenPlan, "")) {
+          frame.open_plan = entry->plan;
+          ++replay_cursor_;
+          ++stats_.decisions_replayed;
+        } else {
+          frame.open_plan = decider->PlanOpenSegment(*node);
+          AppendLog({WorkflowLogEntry::Kind::kOpenPlan, 0, "", DovId(), {},
+                     false, 0, false, frame.open_plan});
+        }
+        frame.planned = true;
+        return true;
+      }
+      if (frame.open_index < frame.open_plan.size()) {
+        const std::string dop_type = frame.open_plan[frame.open_index];
+        CONCORD_RETURN_NOT_OK(RunDop(dop_type));
+        ++frame.open_index;
+      } else {
+        stack_.pop_back();
+      }
+      return true;
+    }
+  }
+  return Status::Internal("unhandled script node kind");
+}
+
+Status DesignManager::RunToCompletion() {
+  while (true) {
+    Result<bool> more = Step();
+    if (!more.ok()) return more.status();
+    if (!*more) return Status::OK();
+    if (state_ != DmState::kActive) return Status::OK();
+  }
+}
+
+Status DesignManager::HandleEvent(const Event& event) {
+  ++stats_.events_handled;
+  // Built-in semantics (Sect. 5.3).
+  if (event.type == "Modify_Sub_DA_Specification" ||
+      event.type == "Restart") {
+    // "DA execution has to be restarted from the beginning. However,
+    // the designer may choose any previously derived DOV as a starting
+    // point" — produced_ survives the restart for exactly that reason.
+    AppendLog({WorkflowLogEntry::Kind::kRestart, 0, event.type, DovId(), {},
+               false, 0, false, {}});
+    ResetMachine();
+    if (state_ == DmState::kCompleted || state_ == DmState::kPaused) {
+      state_ = DmState::kActive;
+    }
+    ++stats_.restarts;
+  } else if (event.type == "Withdrawal") {
+    if (UsedDov(event.dov)) {
+      // "the processing needs to be stopped and the designer has to
+      // decide on how to continue".
+      state_ = DmState::kPaused;
+      CONCORD_INFO("dm", da_.ToString()
+                             << " paused: withdrawn " << event.dov.ToString()
+                             << " was used by a local DOP");
+    }
+    // Otherwise: "there is no necessity for the designer to invalidate
+    // his own results".
+  }
+  std::vector<Status> errors;
+  stats_.rules_fired += rules_.Dispatch(event, &errors);
+  if (!errors.empty()) return errors.front();
+  return Status::OK();
+}
+
+Status DesignManager::ResumeAfterPause() {
+  if (state_ != DmState::kPaused) {
+    return Status::FailedPrecondition("design manager is not paused");
+  }
+  state_ = DmState::kActive;
+  return Status::OK();
+}
+
+void DesignManager::Crash() {
+  stack_.clear();
+  history_.clear();
+  produced_.clear();
+  state_ = DmState::kCrashed;
+}
+
+Status DesignManager::Recover() {
+  if (state_ != DmState::kCrashed) {
+    return Status::FailedPrecondition("design manager did not crash");
+  }
+  // Forward recovery: fresh machine, replay the persistent log.
+  replay_cursor_ = 0;
+  log_sequence_ =
+      persistent_log_.empty() ? 0 : persistent_log_.back().sequence;
+  produced_.clear();
+  ResetMachine();
+  state_ = DmState::kActive;
+  started_ = true;
+  // Drive the machine through the replayed prefix so the volatile
+  // state (history, stack position) is restored. Live execution then
+  // continues from the crash point. Replayed aborts surface as they
+  // did originally; they leave the machine positioned to retry.
+  while (Replaying()) {
+    Result<bool> more = Step();
+    if (!more.ok()) {
+      if (more.status().IsAborted()) continue;  // replayed abort: retry point
+      return more.status();
+    }
+    if (!*more || state_ != DmState::kActive) break;
+  }
+  return Status::OK();
+}
+
+bool DesignManager::UsedDov(DovId dov) const {
+  for (const WorkflowLogEntry& entry : persistent_log_) {
+    if (entry.kind != WorkflowLogEntry::Kind::kDopFinish || !entry.committed) {
+      continue;
+    }
+    if (std::find(entry.inputs.begin(), entry.inputs.end(), dov) !=
+        entry.inputs.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace concord::workflow

@@ -1,0 +1,246 @@
+#ifndef CONCORD_WORKFLOW_DESIGN_MANAGER_H_
+#define CONCORD_WORKFLOW_DESIGN_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "workflow/constraints.h"
+#include "workflow/events.h"
+#include "workflow/script.h"
+
+namespace concord::workflow {
+
+/// Result of running one DOP, as reported back to the DM by the tool
+/// runner ("as soon as a DOP finishes, the TM passes on the information
+/// needed by the DM to proceed, i.e., commit/abort flag and a handle to
+/// the DOP's design data", Sect. 5.3).
+struct DopOutcome {
+  bool committed = false;
+  /// Identifier of the output DOV (invalid on abort).
+  DovId output;
+  /// Input DOVs the DOP consumed — the DM logs these so it can later
+  /// "analyze (its log data) whether [a withdrawn] pre-released DOV was
+  /// used within a local DOP" (Sect. 5.3).
+  std::vector<DovId> inputs;
+};
+
+/// Runs a DOP of the given type in the context of the owning DA and
+/// returns its outcome. Bound to real tools by the VLSI layer, to
+/// stubs by tests.
+using ToolRunner =
+    std::function<Result<DopOutcome>(const std::string& dop_type)>;
+
+/// Executes a DA-level operation named in a script's kDaOp node
+/// (Evaluate, Propagate, Create_Sub_DA, ...). Bound by the core layer
+/// to the cooperation manager.
+using DaOpRunner = std::function<Status(const std::string& op_name)>;
+
+/// Designer decisions the script leaves open. "Whenever several
+/// choices are left open ... the associated designer ... has to specify
+/// how to continue using direct interventions" (Sect. 4.2).
+class DecisionMaker {
+ public:
+  virtual ~DecisionMaker() = default;
+  /// Picks a child index of an alternative node.
+  virtual size_t ChooseAlternative(const ScriptNode& alternative) = 0;
+  /// Another pass of an iteration body? Called after each pass.
+  virtual bool ContinueIteration(const ScriptNode& iteration,
+                                 int passes_done) = 0;
+  /// The DOP types to perform inside an `open` segment (may be empty).
+  virtual std::vector<std::string> PlanOpenSegment(const ScriptNode& open) = 0;
+};
+
+/// A DecisionMaker that always takes the first alternative, never
+/// repeats iterations beyond the first pass, and leaves open segments
+/// empty. Useful for tests and as a default.
+class FirstPathDecisionMaker : public DecisionMaker {
+ public:
+  size_t ChooseAlternative(const ScriptNode&) override { return 0; }
+  bool ContinueIteration(const ScriptNode&, int) override { return false; }
+  std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+    return {};
+  }
+};
+
+/// Execution log entry (persistent). The DM writes "a log entry
+/// capturing all DOP parameters ... for each start and finish of a DOP
+/// execution" plus decision records, enabling forward recovery.
+struct WorkflowLogEntry {
+  enum class Kind {
+    kDopStart,
+    kDopFinish,
+    kDaOp,
+    kAlternativeChoice,
+    kIterationDecision,
+    kOpenPlan,
+    kRestart,
+  };
+  Kind kind;
+  uint64_t sequence = 0;
+  std::string name;               // DOP type or DA op name
+  DovId output;                   // kDopFinish
+  std::vector<DovId> inputs;      // kDopFinish
+  bool committed = false;         // kDopFinish
+  size_t choice = 0;              // kAlternativeChoice
+  bool continue_flag = false;     // kIterationDecision
+  std::vector<std::string> plan;  // kOpenPlan
+
+  static const char* KindToString(Kind kind);
+};
+
+enum class DmState {
+  kActive,
+  /// Stopped awaiting designer input (e.g. after a withdrawal hit).
+  kPaused,
+  kCompleted,
+  kCrashed,
+};
+
+const char* DmStateToString(DmState state);
+
+struct DmStats {
+  uint64_t dops_run = 0;
+  uint64_t dops_replayed = 0;
+  uint64_t decisions_replayed = 0;
+  uint64_t constraint_rejections = 0;
+  uint64_t events_handled = 0;
+  uint64_t rules_fired = 0;
+  uint64_t restarts = 0;
+};
+
+/// The design manager of one DA (Sect. 5.3): enforces the work flow
+/// given by script + domain constraints + ECA rules, reacts to external
+/// events, and provides recoverable script execution via a persistent
+/// script and a persistent execution log.
+///
+/// The execution engine is an explicit stack machine over the script
+/// AST, so a workstation crash can happen between any two atomic
+/// actions; Recover() re-instantiates the machine and replays the log
+/// (completed DOPs are not re-executed — forward recovery with
+/// "minimum loss of work").
+class DesignManager {
+ public:
+  DesignManager(DaId da, Script script, const ConstraintSet* constraints,
+                SimClock* clock);
+  DesignManager(const DesignManager&) = delete;
+  DesignManager& operator=(const DesignManager&) = delete;
+
+  DaId da() const { return da_; }
+  DmState state() const { return state_; }
+  const Script& script() const { return persistent_script_; }
+
+  void SetToolRunner(ToolRunner runner) { tool_runner_ = std::move(runner); }
+  void SetDaOpRunner(DaOpRunner runner) { da_op_runner_ = std::move(runner); }
+  void SetDecisionMaker(DecisionMaker* maker) { decision_maker_ = maker; }
+  RuleEngine& rules() { return rules_; }
+
+  /// Validates the script against the domain constraints. Called by
+  /// Start(); also usable standalone.
+  Status ValidateScript() const;
+
+  /// Initializes the execution machine. Fails if the script
+  /// contradicts the domain constraints.
+  Status Start();
+
+  /// Executes one atomic action (one DOP, one DA op, or one structural
+  /// advance). Returns true while there is more to do.
+  Result<bool> Step();
+
+  /// Drives Step() until completion or pause. On completion checks the
+  /// "followed by" obligations of the domain constraints.
+  Status RunToCompletion();
+
+  /// External event entry point (from the CM or the TM). Applies
+  /// built-in semantics (Sect. 5.3) then dispatches ECA rules:
+  ///  - Modify_Sub_DA_Specification / restart-class events reset the
+  ///    execution to the beginning (history of DOVs is kept);
+  ///  - Withdrawal pauses the DA if the withdrawn DOV was used by a
+  ///    completed local DOP (log analysis).
+  Status HandleEvent(const Event& event);
+
+  /// Designer resumes a paused DA (after deciding how to continue).
+  Status ResumeAfterPause();
+
+  // --- Failure handling -----------------------------------------------
+
+  /// Workstation crash: the execution machine (volatile) is lost; the
+  /// persistent script and log survive.
+  void Crash();
+  /// Replays the persistent log over a fresh machine.
+  Status Recover();
+
+  // --- Introspection ----------------------------------------------------
+
+  /// Types of DOPs completed so far, in order.
+  const std::vector<std::string>& CompletedDops() const { return history_; }
+  /// Output DOVs produced by completed DOPs, in order.
+  const std::vector<DovId>& ProducedDovs() const { return produced_; }
+  const std::vector<WorkflowLogEntry>& log() const { return persistent_log_; }
+  const DmStats& stats() const { return stats_; }
+  /// True if the given DOV was consumed by any completed DOP (log
+  /// analysis for withdrawal handling).
+  bool UsedDov(DovId dov) const;
+
+ private:
+  struct Frame {
+    const ScriptNode* node;
+    size_t child_index = 0;
+    int passes_done = 0;
+    bool decided = false;
+    size_t chosen = 0;
+    bool planned = false;
+    std::vector<std::string> open_plan;
+    size_t open_index = 0;
+  };
+
+  static Frame MakeFrame(const ScriptNode* node) {
+    Frame frame;
+    frame.node = node;
+    return frame;
+  }
+
+  /// Replay cursor: while replaying, decisions and DOP outcomes come
+  /// from the log instead of callbacks/tools.
+  bool Replaying() const { return replay_cursor_ < persistent_log_.size(); }
+  const WorkflowLogEntry* PeekReplay(WorkflowLogEntry::Kind kind,
+                                     const std::string& name);
+  void AppendLog(WorkflowLogEntry entry);
+
+  Status RunDop(const std::string& dop_type);
+  Status RunDaOp(const std::string& op_name);
+  void ResetMachine();
+
+  DaId da_;
+  /// Persistent (survives workstation crash).
+  Script persistent_script_;
+  std::vector<WorkflowLogEntry> persistent_log_;
+  /// Volatile.
+  std::vector<Frame> stack_;
+  std::vector<std::string> history_;
+  std::vector<DovId> produced_;
+  DmState state_ = DmState::kActive;
+
+  const ConstraintSet* constraints_;
+  SimClock* clock_;
+  ToolRunner tool_runner_;
+  DaOpRunner da_op_runner_;
+  DecisionMaker* decision_maker_ = nullptr;
+  FirstPathDecisionMaker default_decisions_;
+  RuleEngine rules_;
+  uint64_t log_sequence_ = 0;
+  size_t replay_cursor_ = 0;
+  bool started_ = false;
+  DmStats stats_;
+};
+
+}  // namespace concord::workflow
+
+#endif  // CONCORD_WORKFLOW_DESIGN_MANAGER_H_

@@ -1,0 +1,42 @@
+#include "workflow/events.h"
+
+namespace concord::workflow {
+
+RuleId RuleEngine::AddRule(std::string event_type, std::string description,
+                           std::function<bool(const Event&)> condition,
+                           std::function<Status(const Event&)> action) {
+  RuleId id = id_gen_.Next();
+  rules_.push_back(EcaRule{id, std::move(event_type), std::move(description),
+                           std::move(condition), std::move(action)});
+  return id;
+}
+
+Status RuleEngine::RemoveRule(RuleId id) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->id == id) {
+      rules_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule " + id.ToString());
+}
+
+int RuleEngine::Dispatch(const Event& event, std::vector<Status>* errors) {
+  int fired = 0;
+  // Snapshot: actions may add/remove rules.
+  std::vector<const EcaRule*> matching;
+  for (const EcaRule& rule : rules_) {
+    if (rule.event_type == event.type) matching.push_back(&rule);
+  }
+  for (const EcaRule* rule : matching) {
+    if (rule->condition && !rule->condition(event)) continue;
+    ++fired;
+    if (rule->action) {
+      Status st = rule->action(event);
+      if (!st.ok() && errors != nullptr) errors->push_back(st);
+    }
+  }
+  return fired;
+}
+
+}  // namespace concord::workflow

@@ -1,0 +1,76 @@
+#ifndef CONCORD_WORKFLOW_EVENTS_H_
+#define CONCORD_WORKFLOW_EVENTS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::workflow {
+
+/// An asynchronously occurring event within a DA, caused by cooperation
+/// relationships (Sect. 4.2): Require/Propose arriving from other DAs,
+/// specification changes pushed by the super-DA, withdrawal
+/// notifications from the CM, and DOP completions from the TM.
+struct Event {
+  /// Event type, by convention the cooperation operation name
+  /// ("Require", "Propose", "Modify_Sub_DA_Specification",
+  /// "Withdrawal", "Invalidation", "DOP_Finished", ...).
+  std::string type;
+  /// Originating DA (invalid for system events).
+  DaId from_da;
+  /// Subject version, when the event concerns one.
+  DovId dov;
+  /// Free-form parameters (feature names, reasons, ...).
+  std::map<std::string, std::string> params;
+
+  std::string ToString() const {
+    std::string out = type;
+    if (from_da.valid()) out += " from " + from_da.ToString();
+    if (dov.valid()) out += " on " + dov.ToString();
+    return out;
+  }
+};
+
+class DesignManager;
+
+/// An (event, condition, action) rule (Sect. 4.2): "WHEN Require IF
+/// (required DOV available) THEN Propagate". Conditions and actions
+/// are callbacks so applications can bind arbitrary cooperation
+/// operations; the DM evaluates rules in registration order.
+struct EcaRule {
+  RuleId id;
+  /// Matched against Event::type.
+  std::string event_type;
+  std::string description;
+  std::function<bool(const Event&)> condition;
+  std::function<Status(const Event&)> action;
+};
+
+/// Per-DA rule set.
+class RuleEngine {
+ public:
+  RuleId AddRule(std::string event_type, std::string description,
+                 std::function<bool(const Event&)> condition,
+                 std::function<Status(const Event&)> action);
+  Status RemoveRule(RuleId id);
+
+  /// Fires all matching rules; returns the number fired. Rule action
+  /// failures are collected into `errors` (processing continues — a
+  /// failing reaction must not wedge the DA).
+  int Dispatch(const Event& event, std::vector<Status>* errors = nullptr);
+
+  size_t size() const { return rules_.size(); }
+
+ private:
+  IdGenerator<RuleId> id_gen_;
+  std::vector<EcaRule> rules_;
+};
+
+}  // namespace concord::workflow
+
+#endif  // CONCORD_WORKFLOW_EVENTS_H_

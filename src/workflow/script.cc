@@ -1,0 +1,118 @@
+#include "workflow/script.h"
+
+#include <sstream>
+
+namespace concord::workflow {
+
+std::unique_ptr<ScriptNode> ScriptNode::Dop(std::string dop_type) {
+  auto node = std::unique_ptr<ScriptNode>(new ScriptNode(Kind::kDop));
+  node->name_ = std::move(dop_type);
+  return node;
+}
+
+std::unique_ptr<ScriptNode> ScriptNode::DaOp(std::string op_name) {
+  auto node = std::unique_ptr<ScriptNode>(new ScriptNode(Kind::kDaOp));
+  node->name_ = std::move(op_name);
+  return node;
+}
+
+std::unique_ptr<ScriptNode> ScriptNode::Sequence(
+    std::vector<std::unique_ptr<ScriptNode>> children) {
+  auto node = std::unique_ptr<ScriptNode>(new ScriptNode(Kind::kSequence));
+  node->children_ = std::move(children);
+  return node;
+}
+
+std::unique_ptr<ScriptNode> ScriptNode::Branch(
+    std::vector<std::unique_ptr<ScriptNode>> children) {
+  auto node = std::unique_ptr<ScriptNode>(new ScriptNode(Kind::kBranch));
+  node->children_ = std::move(children);
+  return node;
+}
+
+std::unique_ptr<ScriptNode> ScriptNode::Alternative(
+    std::vector<std::unique_ptr<ScriptNode>> children) {
+  auto node = std::unique_ptr<ScriptNode>(new ScriptNode(Kind::kAlternative));
+  node->children_ = std::move(children);
+  return node;
+}
+
+std::unique_ptr<ScriptNode> ScriptNode::Iteration(
+    std::unique_ptr<ScriptNode> body, int max_iterations) {
+  auto node = std::unique_ptr<ScriptNode>(new ScriptNode(Kind::kIteration));
+  node->children_.push_back(std::move(body));
+  node->max_iterations_ = max_iterations;
+  return node;
+}
+
+std::unique_ptr<ScriptNode> ScriptNode::Open() {
+  return std::unique_ptr<ScriptNode>(new ScriptNode(Kind::kOpen));
+}
+
+std::unique_ptr<ScriptNode> ScriptNode::Clone() const {
+  auto copy = std::unique_ptr<ScriptNode>(new ScriptNode(kind_));
+  copy->name_ = name_;
+  copy->max_iterations_ = max_iterations_;
+  for (const auto& child : children_) {
+    copy->children_.push_back(child->Clone());
+  }
+  return copy;
+}
+
+std::vector<std::string> ScriptNode::PossibleDopTypes() const {
+  std::vector<std::string> types;
+  if (kind_ == Kind::kDop) {
+    types.push_back(name_);
+  }
+  for (const auto& child : children_) {
+    for (auto& type : child->PossibleDopTypes()) {
+      types.push_back(std::move(type));
+    }
+  }
+  return types;
+}
+
+size_t ScriptNode::TreeSize() const {
+  size_t size = 1;
+  for (const auto& child : children_) size += child->TreeSize();
+  return size;
+}
+
+std::string ScriptNode::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kDop:
+      os << "dop(" << name_ << ")";
+      return os.str();
+    case Kind::kDaOp:
+      os << "op(" << name_ << ")";
+      return os.str();
+    case Kind::kOpen:
+      return "open";
+    case Kind::kSequence:
+      os << "seq";
+      break;
+    case Kind::kBranch:
+      os << "branch";
+      break;
+    case Kind::kAlternative:
+      os << "alt";
+      break;
+    case Kind::kIteration:
+      os << "iter";
+      break;
+  }
+  os << "[";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << children_[i]->ToString();
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string Script::ToString() const {
+  return name_ + ": " + (root_ ? root_->ToString() : "<empty>");
+}
+
+}  // namespace concord::workflow

@@ -1,0 +1,117 @@
+#ifndef CONCORD_WORKFLOW_SCRIPT_H_
+#define CONCORD_WORKFLOW_SCRIPT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::workflow {
+
+/// AST of a work-flow script (Sect. 4.2 / Fig. 6). "A script may
+/// contain sequences, branches for concurrent execution, alternative
+/// paths as well as iterations"; `open` marks partially undetermined
+/// segments where the designer may perform arbitrary intermediate
+/// actions.
+class ScriptNode {
+ public:
+  enum class Kind {
+    /// Execute one DOP of a named type (binds to a design tool).
+    kDop,
+    /// A named DA-level operation (Evaluate, Create_Sub_DA, Propagate,
+    /// ...) executed through the cooperation layer.
+    kDaOp,
+    /// Children in order.
+    kSequence,
+    /// Fork/join: all children execute (order immaterial; the
+    /// single-threaded executor interleaves them deterministically).
+    kBranch,
+    /// Designer chooses exactly one child.
+    kAlternative,
+    /// Body repeats while the designer asks for another pass.
+    kIteration,
+    /// "open": any intermediate actions the designer wants.
+    kOpen,
+  };
+
+  Kind kind() const { return kind_; }
+  /// DOP type for kDop, operation name for kDaOp; empty otherwise.
+  const std::string& name() const { return name_; }
+  const std::vector<std::unique_ptr<ScriptNode>>& children() const {
+    return children_;
+  }
+
+  /// Maximum number of iterations the executor will allow for a kIteration
+  /// node (safety bound; the designer normally stops earlier).
+  int max_iterations() const { return max_iterations_; }
+
+  /// All DOP type names that can possibly execute under this node
+  /// (open nodes contribute nothing — they are unconstrained).
+  std::vector<std::string> PossibleDopTypes() const;
+
+  /// Number of nodes in this subtree.
+  size_t TreeSize() const;
+
+  std::string ToString() const;
+
+  // --- Builders ------------------------------------------------------
+
+  static std::unique_ptr<ScriptNode> Dop(std::string dop_type);
+  static std::unique_ptr<ScriptNode> DaOp(std::string op_name);
+  static std::unique_ptr<ScriptNode> Sequence(
+      std::vector<std::unique_ptr<ScriptNode>> children);
+  static std::unique_ptr<ScriptNode> Branch(
+      std::vector<std::unique_ptr<ScriptNode>> children);
+  static std::unique_ptr<ScriptNode> Alternative(
+      std::vector<std::unique_ptr<ScriptNode>> children);
+  static std::unique_ptr<ScriptNode> Iteration(
+      std::unique_ptr<ScriptNode> body, int max_iterations = 16);
+  static std::unique_ptr<ScriptNode> Open();
+
+  /// Deep copy (scripts are persisted and re-instantiated at recovery).
+  std::unique_ptr<ScriptNode> Clone() const;
+
+ private:
+  explicit ScriptNode(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  std::vector<std::unique_ptr<ScriptNode>> children_;
+  int max_iterations_ = 16;
+};
+
+/// A named script template — "a template for valid sequences of DOP
+/// executions within a DA" (Sect. 4.2).
+class Script {
+ public:
+  Script() = default;
+  Script(std::string name, std::unique_ptr<ScriptNode> root)
+      : name_(std::move(name)), root_(std::move(root)) {}
+
+  Script(const Script& other) { *this = other; }
+  Script& operator=(const Script& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      root_ = other.root_ ? other.root_->Clone() : nullptr;
+    }
+    return *this;
+  }
+  Script(Script&&) noexcept = default;
+  Script& operator=(Script&&) noexcept = default;
+
+  const std::string& name() const { return name_; }
+  const ScriptNode* root() const { return root_.get(); }
+  bool empty() const { return root_ == nullptr; }
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<ScriptNode> root_;
+};
+
+}  // namespace concord::workflow
+
+#endif  // CONCORD_WORKFLOW_SCRIPT_H_

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord {
+namespace {
+
+// --- Status ----------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st.message(), "");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::LockConflict("y").code(), StatusCode::kLockConflict);
+  EXPECT_EQ(Status::ProtocolViolation("z").code(),
+            StatusCode::kProtocolViolation);
+  EXPECT_EQ(Status::Aborted("a").message(), "a");
+  EXPECT_TRUE(Status::Crashed("c").IsCrashed());
+  EXPECT_TRUE(Status::Unavailable("u").IsUnavailable());
+  EXPECT_TRUE(Status::ConstraintViolation("v").IsConstraintViolation());
+  EXPECT_TRUE(Status::FailedPrecondition("f").IsFailedPrecondition());
+  EXPECT_TRUE(Status::PermissionDenied("p").IsPermissionDenied());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  Status st = Status::LockConflict("held elsewhere");
+  EXPECT_EQ(st.ToString(), "lock conflict: held elsewhere");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::NotFound("gone");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "gone");
+  b = Status::OK();
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(a.IsNotFound());  // a unaffected
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Aborted("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fn = [](bool fail) -> Status {
+    CONCORD_RETURN_NOT_OK(fail ? Status::Aborted("inner") : Status::OK());
+    return Status::Internal("reached end");
+  };
+  EXPECT_TRUE(fn(true).IsAborted());
+  EXPECT_EQ(fn(false).code(), StatusCode::kInternal);
+}
+
+// --- Result ----------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(42), 42);
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 3);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Aborted("boom");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    CONCORD_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 10);
+  EXPECT_TRUE(outer(true).status().IsAborted());
+}
+
+// --- Ids ----------------------------------------------------------------
+
+TEST(IdsTest, DefaultIsInvalid) {
+  DaId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(IdsTest, GeneratorIsMonotonic) {
+  IdGenerator<DovId> gen;
+  DovId a = gen.Next();
+  DovId b = gen.Next();
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+  EXPECT_EQ(gen.last(), 2u);
+}
+
+TEST(IdsTest, ToStringUsesPrefix) {
+  EXPECT_EQ(DaId(3).ToString(), "DA3");
+  EXPECT_EQ(DovId(12).ToString(), "DOV12");
+  EXPECT_EQ(DopId(1).ToString(), "DOP1");
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<DaId, DovId>);
+  static_assert(!std::is_same_v<TxnId, DopId>);
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_map<DaId, int> map;
+  map[DaId(1)] = 10;
+  map[DaId(2)] = 20;
+  EXPECT_EQ(map.at(DaId(1)), 10);
+}
+
+// --- Clock ---------------------------------------------------------------
+
+TEST(ClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  clock.Advance(5 * kSecond);
+  clock.Advance(30 * kMillisecond);
+  EXPECT_EQ(clock.Now(), 5 * kSecond + 30 * kMillisecond);
+}
+
+TEST(ClockTest, AdvanceToNeverGoesBackwards) {
+  SimClock clock(10 * kSecond);
+  clock.AdvanceTo(5 * kSecond);
+  EXPECT_EQ(clock.Now(), 10 * kSecond);
+  clock.AdvanceTo(20 * kSecond);
+  EXPECT_EQ(clock.Now(), 20 * kSecond);
+}
+
+TEST(ClockTest, FormatSimTime) {
+  EXPECT_EQ(FormatSimTime(500), "500us");
+  EXPECT_EQ(FormatSimTime(3 * kMillisecond), "3ms");
+  EXPECT_EQ(FormatSimTime(2 * kSecond + 500 * kMillisecond), "2.5s");
+  EXPECT_EQ(FormatSimTime(3 * kMinute + 20 * kSecond), "3m20s");
+  EXPECT_EQ(FormatSimTime(2 * kHour + 3 * kMinute), "2h3m");
+}
+
+// --- Rng -----------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 1000; ++i) ++hits[rng.Index(4)];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+// --- Logging ---------------------------------------------------------------
+
+TEST(LoggingTest, CaptureCollectsRecords) {
+  ScopedLogCapture capture;
+  CONCORD_INFO("test", "hello " << 42);
+  CONCORD_WARN("test", "danger");
+  ASSERT_EQ(capture.records().size(), 2u);
+  EXPECT_EQ(capture.records()[0].message, "hello 42");
+  EXPECT_EQ(capture.records()[0].component, "test");
+  EXPECT_EQ(capture.CountContaining("danger"), 1);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelToString(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "cooperation/cooperation_manager.h"
+#include "storage/configuration.h"
+#include "storage/repository.h"
+#include "txn/lock_manager.h"
+
+namespace concord::storage {
+namespace {
+
+class ConfigurationTest : public ::testing::Test {
+ protected:
+  ConfigurationTest() : repo_(&clock_), store_(&repo_) {
+    auto* module = repo_.schema().DefineType("module");
+    module->AddAttr({"name", AttrType::kString, false, {}, {}});
+    auto* chip = repo_.schema().DefineType("chip");
+    chip->AddAttr({"name", AttrType::kString, false, {}, {}});
+    chip->AddPart({module->id(), 0, 100});
+    chip_ = chip->id();
+    module_ = module->id();
+    other_ = repo_.schema().DefineType("unrelated")->id();
+  }
+
+  DovId Mint(DotId type, const std::string& name = "",
+             bool invalidated = false) {
+    TxnId txn = repo_.Begin();
+    DovRecord record;
+    record.id = repo_.NextDovId();
+    record.owner_da = DaId(1);
+    record.type = type;
+    record.data = DesignObject(type);
+    if (!name.empty()) record.data.SetAttr("name", name);
+    record.invalidated = invalidated;
+    repo_.Put(txn, record).ok();
+    repo_.Commit(txn).ok();
+    return record.id;
+  }
+
+  SimClock clock_;
+  Repository repo_;
+  ConfigurationStore store_;
+  DotId chip_;
+  DotId module_;
+  DotId other_;
+};
+
+TEST_F(ConfigurationTest, SerializeRoundtrip) {
+  Configuration config;
+  config.name = "release_1";
+  config.composite = DovId(7);
+  config.bindings["alu"] = DovId(12);
+  config.bindings["rom"] = DovId(15);
+  auto back = Configuration::Deserialize(config.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name, "release_1");
+  EXPECT_EQ(back->composite, DovId(7));
+  EXPECT_EQ(back->bindings.at("alu"), DovId(12));
+  EXPECT_EQ(back->bindings.size(), 2u);
+  EXPECT_FALSE(Configuration::Deserialize("").ok());
+  EXPECT_FALSE(Configuration::Deserialize("name_only\n").ok());
+  EXPECT_FALSE(Configuration::Deserialize("n\n7\nbadline\n").ok());
+}
+
+TEST_F(ConfigurationTest, ValidateAcceptsConsistentConfig) {
+  Configuration config;
+  config.name = "c";
+  config.composite = Mint(chip_);
+  config.bindings["m0"] = Mint(module_, "m0");
+  config.bindings["m1"] = Mint(module_, "m1");
+  EXPECT_TRUE(store_.Validate(config).ok());
+}
+
+TEST_F(ConfigurationTest, ValidateRejectsMissingVersions) {
+  Configuration config;
+  config.name = "c";
+  config.composite = DovId(999);
+  EXPECT_TRUE(store_.Validate(config).IsNotFound());
+  config.composite = Mint(chip_);
+  config.bindings["m"] = DovId(998);
+  EXPECT_TRUE(store_.Validate(config).IsNotFound());
+}
+
+TEST_F(ConfigurationTest, ValidateRejectsNonPartComponent) {
+  Configuration config;
+  config.name = "c";
+  config.composite = Mint(chip_);
+  config.bindings["x"] = Mint(other_);
+  EXPECT_TRUE(store_.Validate(config).IsConstraintViolation());
+}
+
+TEST_F(ConfigurationTest, ValidateRejectsInvalidatedBinding) {
+  Configuration config;
+  config.name = "c";
+  config.composite = Mint(chip_);
+  config.bindings["m"] = Mint(module_, "m", /*invalidated=*/true);
+  EXPECT_TRUE(store_.Validate(config).IsConstraintViolation());
+}
+
+TEST_F(ConfigurationTest, SaveLoadListAndCrashSurvival) {
+  Configuration config;
+  config.name = "tapeout";
+  config.composite = Mint(chip_);
+  config.bindings["m0"] = Mint(module_, "m0");
+  ASSERT_TRUE(store_.Save(config).ok());
+  EXPECT_EQ(store_.List(), std::vector<std::string>{"tapeout"});
+
+  repo_.Crash();
+  ASSERT_TRUE(repo_.Recover().ok());
+  auto loaded = store_.Load("tapeout");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->bindings.at("m0"), config.bindings.at("m0"));
+  EXPECT_FALSE(store_.Load("nope").ok());
+}
+
+// --- CM composition ------------------------------------------------------
+
+TEST_F(ConfigurationTest, CmComposesFromTerminatedSubDas) {
+  txn::LockManager locks;
+  cooperation::CooperationManager cm(&repo_, &locks, &clock_);
+  cooperation::DaDescription top_desc;
+  top_desc.dot = chip_;
+  top_desc.designer = DesignerId(1);
+  top_desc.workstation = NodeId(1);
+  DaId top = *cm.InitDesign(top_desc);
+  cm.Start(top).ok();
+
+  DovId composite = Mint(chip_, "chip");
+  locks.SetScopeOwner(composite, top);
+  cm.NoteCheckin(top, composite);
+
+  std::vector<DovId> finals;
+  for (int i = 0; i < 2; ++i) {
+    cooperation::DaDescription sub_desc;
+    sub_desc.dot = module_;
+    sub_desc.designer = DesignerId(2 + i);
+    sub_desc.workstation = NodeId(2);
+    DaId sub = *cm.CreateSubDa(top, sub_desc);
+    cm.Start(sub).ok();
+    DovId dov = Mint(module_, "m" + std::to_string(i));
+    locks.SetScopeOwner(dov, sub);
+    cm.NoteCheckin(sub, dov);
+    cm.Evaluate(sub, dov).ok();  // empty spec -> final
+    cm.SubDaReadyToCommit(sub).ok();
+    cm.TerminateSubDa(top, sub).ok();
+    finals.push_back(dov);
+  }
+
+  auto config = cm.ComposeConfiguration(top, "v1", composite);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->bindings.size(), 2u);
+  EXPECT_EQ(config->bindings.at("m0"), finals[0]);
+  EXPECT_EQ(config->bindings.at("m1"), finals[1]);
+  // Durable: reload from the store.
+  ConfigurationStore store(&repo_);
+  EXPECT_TRUE(store.Load("v1").ok());
+}
+
+TEST_F(ConfigurationTest, CmCompositionRequiresTerminatedChildren) {
+  txn::LockManager locks;
+  cooperation::CooperationManager cm(&repo_, &locks, &clock_);
+  cooperation::DaDescription top_desc;
+  top_desc.dot = chip_;
+  top_desc.designer = DesignerId(1);
+  top_desc.workstation = NodeId(1);
+  DaId top = *cm.InitDesign(top_desc);
+  cm.Start(top).ok();
+  DovId composite = Mint(chip_);
+  locks.SetScopeOwner(composite, top);
+
+  cooperation::DaDescription sub_desc;
+  sub_desc.dot = module_;
+  sub_desc.designer = DesignerId(2);
+  sub_desc.workstation = NodeId(2);
+  DaId sub = *cm.CreateSubDa(top, sub_desc);
+  cm.Start(sub).ok();
+
+  EXPECT_TRUE(cm.ComposeConfiguration(top, "v1", composite)
+                  .status()
+                  .IsProtocolViolation());
+  (void)sub;
+}
+
+}  // namespace
+}  // namespace concord::storage

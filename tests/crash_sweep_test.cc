@@ -1,0 +1,184 @@
+// Property tests sweeping failure-injection points.
+//
+// The strongest claim of CONCORD's joint failure model (Sect. 5) is
+// that a crash at ANY point of a design activity's execution is
+// survivable with forward recovery and without duplicated or corrupted
+// work. These parameterized suites crash the workstation (and,
+// separately, the server) at every interesting position of the
+// five-DOP design-plane work flow and require the final design state
+// to be bit-identical to an uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include "core/concord_system.h"
+#include "sim/scenarios.h"
+#include "vlsi/schema.h"
+
+namespace concord::core {
+namespace {
+
+/// Runs the full design-plane work flow without any failure and
+/// returns the content hash of the final DOV.
+uint64_t UninterruptedRunHash() {
+  ConcordSystem system;
+  auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
+  system.StartDa(*da).ok();
+  system.RunDa(*da).ok();
+  return (*system.repository().Get(*system.CurrentVersion(*da)))
+      .data.ContentHash();
+}
+
+// --- Workstation crash after k completed DOPs ------------------------------
+
+class WorkstationCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkstationCrashSweep, FinalStateIdenticalToUninterruptedRun) {
+  const size_t crash_after_dops = static_cast<size_t>(GetParam());
+  ConcordSystem system;
+  auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
+  ASSERT_TRUE(system.StartDa(*da).ok());
+  auto& dm = system.dm(*da);
+  while (dm.CompletedDops().size() < crash_after_dops) {
+    auto more = dm.Step();
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+  }
+
+  NodeId ws = (*system.cm().GetDa(*da))->workstation;
+  system.CrashWorkstation(ws);
+  ASSERT_TRUE(system.RecoverWorkstation(ws).ok());
+  ASSERT_TRUE(system.RunDa(*da).ok());
+
+  // No duplicated work: exactly 5 DOPs committed.
+  EXPECT_EQ(system.server_tm().stats().dops_committed, 5u);
+  EXPECT_EQ(system.repository().DovsOf(*da).size(), 5u);
+  // Bit-identical to the uninterrupted run: replay preserves both the
+  // design data and the RNG stream consumed by the tools.
+  EXPECT_EQ((*system.repository().Get(*system.CurrentVersion(*da)))
+                .data.ContentHash(),
+            UninterruptedRunHash());
+  auto quality = system.cm().Evaluate(*da, *system.CurrentVersion(*da));
+  EXPECT_TRUE(quality->is_final());
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryDopBoundary, WorkstationCrashSweep,
+                         ::testing::Range(0, 5));
+
+// --- Double crash: crash again during recovery-finished state --------------
+
+class DoubleCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DoubleCrashSweep, SurvivesRepeatedCrashes) {
+  const size_t first_crash = static_cast<size_t>(GetParam());
+  ConcordSystem system;
+  auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
+  ASSERT_TRUE(system.StartDa(*da).ok());
+  auto& dm = system.dm(*da);
+  NodeId ws = (*system.cm().GetDa(*da))->workstation;
+
+  while (dm.CompletedDops().size() < first_crash) {
+    ASSERT_TRUE(dm.Step().ok());
+  }
+  system.CrashWorkstation(ws);
+  ASSERT_TRUE(system.RecoverWorkstation(ws).ok());
+  // Progress one more DOP (if any left), then crash again.
+  if (dm.state() == workflow::DmState::kActive &&
+      dm.CompletedDops().size() < 5) {
+    size_t target = dm.CompletedDops().size() + 1;
+    while (dm.CompletedDops().size() < target &&
+           dm.state() == workflow::DmState::kActive) {
+      auto more = dm.Step();
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+    }
+  }
+  system.CrashWorkstation(ws);
+  ASSERT_TRUE(system.RecoverWorkstation(ws).ok());
+  ASSERT_TRUE(system.RunDa(*da).ok());
+
+  EXPECT_EQ(system.server_tm().stats().dops_committed, 5u);
+  EXPECT_EQ((*system.repository().Get(*system.CurrentVersion(*da)))
+                .data.ContentHash(),
+            UninterruptedRunHash());
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryFirstCrashPoint, DoubleCrashSweep,
+                         ::testing::Range(0, 5));
+
+// --- Server crash after k completed DOPs ------------------------------------
+
+class ServerCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServerCrashSweep, CommittedWorkSurvives) {
+  const size_t crash_after_dops = static_cast<size_t>(GetParam());
+  ConcordSystem system;
+  auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
+  ASSERT_TRUE(system.StartDa(*da).ok());
+  auto& dm = system.dm(*da);
+  while (dm.CompletedDops().size() < crash_after_dops) {
+    ASSERT_TRUE(dm.Step().ok());
+  }
+  size_t dovs_before = system.repository().DovsOf(*da).size();
+
+  system.CrashServer();
+  ASSERT_TRUE(system.RecoverServer().ok());
+  // All committed versions survived the crash.
+  EXPECT_EQ(system.repository().DovsOf(*da).size(), dovs_before);
+  // The DA can finish its work flow afterwards.
+  ASSERT_TRUE(system.RunDa(*da).ok());
+  EXPECT_EQ(system.repository().DovsOf(*da).size(), 5u);
+  auto quality = system.cm().Evaluate(*da, *system.CurrentVersion(*da));
+  EXPECT_TRUE(quality->is_final());
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryDopBoundary, ServerCrashSweep,
+                         ::testing::Range(0, 5));
+
+// --- Crash during the delegation scenario ------------------------------------
+
+TEST(DelegationCrashTest, ServerCrashBetweenDelegationsRecovers) {
+  ConcordSystem system;
+  auto top = sim::SetupTopLevelDa(&system, "top", 6, 1e9, 0);
+  ASSERT_TRUE(system.StartDa(*top).ok());
+  ASSERT_TRUE(system.RunDa(*top).ok());
+
+  // Delegate two sub-DAs.
+  std::vector<DaId> subs;
+  for (int i = 0; i < 2; ++i) {
+    cooperation::DaDescription desc;
+    desc.dot = system.dots().module;
+    desc.spec = sim::MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
+    desc.designer = DesignerId(2 + i);
+    desc.dc = sim::MakeChipPlanningScript(1);
+    desc.workstation = system.AddWorkstation("s" + std::to_string(i));
+    auto sub = system.CreateSubDa(*top, desc);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(system.StartDa(*sub).ok());
+    subs.push_back(*sub);
+  }
+
+  system.CrashServer();
+  ASSERT_TRUE(system.RecoverServer().ok());
+
+  // The hierarchy survived: children, states, delegation relationships.
+  EXPECT_EQ(system.cm().Children(*top).size(), 2u);
+  for (DaId sub : subs) {
+    EXPECT_EQ(*system.cm().StateOf(sub), cooperation::DaState::kActive);
+    bool has_delegation = false;
+    for (const auto& rel : system.cm().RelationshipsOf(sub)) {
+      if (rel.kind == cooperation::RelKind::kDelegation) {
+        has_delegation = true;
+      }
+    }
+    EXPECT_TRUE(has_delegation);
+  }
+  // And cooperation operations still work.
+  ASSERT_TRUE(system.cm()
+                  .SubDaImpossibleSpecification(subs[0], "post-crash")
+                  .ok());
+  EXPECT_EQ(*system.cm().StateOf(subs[0]),
+            cooperation::DaState::kReadyForTermination);
+}
+
+}  // namespace
+}  // namespace concord::core

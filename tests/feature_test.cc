@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "storage/feature.h"
+#include "storage/object.h"
+
+namespace concord::storage {
+namespace {
+
+DesignObject MakeObj(double area, const std::string& domain) {
+  DesignObject obj(DotId(1));
+  obj.SetAttr("area", area);
+  obj.SetAttr("domain", domain);
+  return obj;
+}
+
+// --- Feature ------------------------------------------------------------
+
+TEST(FeatureTest, RangeFulfillment) {
+  Feature f = Feature::Range("a", "area", 10, 20);
+  TestToolRegistry tools;
+  EXPECT_TRUE(f.IsFulfilledBy(MakeObj(15, "x"), tools));
+  EXPECT_TRUE(f.IsFulfilledBy(MakeObj(10, "x"), tools));  // inclusive
+  EXPECT_TRUE(f.IsFulfilledBy(MakeObj(20, "x"), tools));
+  EXPECT_FALSE(f.IsFulfilledBy(MakeObj(9.99, "x"), tools));
+  EXPECT_FALSE(f.IsFulfilledBy(MakeObj(20.01, "x"), tools));
+}
+
+TEST(FeatureTest, MissingAttributeIsUnfulfilledNotError) {
+  Feature f = Feature::AtMost("a", "nonexistent", 5);
+  TestToolRegistry tools;
+  EXPECT_FALSE(f.IsFulfilledBy(MakeObj(1, "x"), tools));
+}
+
+TEST(FeatureTest, AtMostAtLeast) {
+  TestToolRegistry tools;
+  EXPECT_TRUE(Feature::AtMost("f", "area", 100)
+                  .IsFulfilledBy(MakeObj(100, "x"), tools));
+  EXPECT_FALSE(Feature::AtMost("f", "area", 100)
+                   .IsFulfilledBy(MakeObj(101, "x"), tools));
+  EXPECT_TRUE(Feature::AtLeast("f", "area", 10)
+                  .IsFulfilledBy(MakeObj(10, "x"), tools));
+  EXPECT_FALSE(Feature::AtLeast("f", "area", 10)
+                   .IsFulfilledBy(MakeObj(9, "x"), tools));
+}
+
+TEST(FeatureTest, EqualityFeature) {
+  Feature f = Feature::Equals("dom", "domain", AttrValue("floorplan"));
+  TestToolRegistry tools;
+  EXPECT_TRUE(f.IsFulfilledBy(MakeObj(1, "floorplan"), tools));
+  EXPECT_FALSE(f.IsFulfilledBy(MakeObj(1, "behavior"), tools));
+}
+
+TEST(FeatureTest, PredicateFeatureRunsRegisteredTool) {
+  TestToolRegistry tools;
+  tools.Register("big_enough", [](const DesignObject& obj) {
+    auto v = obj.GetNumeric("area");
+    return v.ok() && *v > 50;
+  });
+  Feature f = Feature::PassesTool("passes", "big_enough");
+  EXPECT_TRUE(f.IsFulfilledBy(MakeObj(60, "x"), tools));
+  EXPECT_FALSE(f.IsFulfilledBy(MakeObj(40, "x"), tools));
+}
+
+TEST(FeatureTest, UnregisteredToolIsUnfulfilled) {
+  TestToolRegistry tools;
+  Feature f = Feature::PassesTool("passes", "missing_tool");
+  EXPECT_FALSE(f.IsFulfilledBy(MakeObj(60, "x"), tools));
+}
+
+TEST(FeatureTest, RefinementNarrowsRange) {
+  Feature base = Feature::Range("a", "area", 0, 100);
+  EXPECT_TRUE(base.IsRefinedBy(Feature::Range("a", "area", 10, 90)));
+  EXPECT_TRUE(base.IsRefinedBy(Feature::Range("a", "area", 0, 100)));  // equal
+  EXPECT_FALSE(base.IsRefinedBy(Feature::Range("a", "area", -1, 100)));
+  EXPECT_FALSE(base.IsRefinedBy(Feature::Range("a", "area", 0, 101)));
+  EXPECT_FALSE(base.IsRefinedBy(Feature::Range("a", "other", 10, 90)));
+  EXPECT_FALSE(base.IsRefinedBy(Feature::Equals("a", "area", 5)));
+}
+
+// --- TestToolRegistry -----------------------------------------------------
+
+TEST(TestToolRegistryTest, RunErrorsOnUnknown) {
+  TestToolRegistry tools;
+  EXPECT_FALSE(tools.Run("nope", DesignObject(DotId(1))).ok());
+  EXPECT_FALSE(tools.Has("nope"));
+  tools.Register("yes", [](const DesignObject&) { return true; });
+  EXPECT_TRUE(tools.Has("yes"));
+  EXPECT_TRUE(*tools.Run("yes", DesignObject(DotId(1))));
+}
+
+// --- DesignSpecification --------------------------------------------------
+
+class SpecTest : public ::testing::Test {
+ protected:
+  SpecTest() {
+    spec_.Add(Feature::AtMost("area_limit", "area", 100));
+    spec_.Add(Feature::Equals("goal", "domain", AttrValue("floorplan")));
+  }
+  DesignSpecification spec_;
+  TestToolRegistry tools_;
+};
+
+TEST_F(SpecTest, EvaluatePartitionsFeatures) {
+  QualityState q = spec_.Evaluate(MakeObj(50, "behavior"), tools_);
+  EXPECT_EQ(q.fulfilled, std::vector<std::string>{"area_limit"});
+  EXPECT_EQ(q.unfulfilled, std::vector<std::string>{"goal"});
+  EXPECT_FALSE(q.is_final());
+  EXPECT_DOUBLE_EQ(q.completeness(), 0.5);
+}
+
+TEST_F(SpecTest, EvaluateFinal) {
+  QualityState q = spec_.Evaluate(MakeObj(50, "floorplan"), tools_);
+  EXPECT_TRUE(q.is_final());
+  EXPECT_DOUBLE_EQ(q.completeness(), 1.0);
+}
+
+TEST_F(SpecTest, EmptySpecIsTriviallyFinal) {
+  DesignSpecification empty;
+  QualityState q = empty.Evaluate(MakeObj(1, "x"), tools_);
+  EXPECT_TRUE(q.is_final());
+  EXPECT_DOUBLE_EQ(q.completeness(), 1.0);
+}
+
+TEST_F(SpecTest, FulfillsSubset) {
+  DesignObject obj = MakeObj(50, "behavior");
+  EXPECT_TRUE(spec_.FulfillsSubset(obj, {"area_limit"}, tools_));
+  EXPECT_FALSE(spec_.FulfillsSubset(obj, {"goal"}, tools_));
+  EXPECT_FALSE(spec_.FulfillsSubset(obj, {"area_limit", "goal"}, tools_));
+  // Unknown feature names never qualify.
+  EXPECT_FALSE(spec_.FulfillsSubset(obj, {"unknown"}, tools_));
+  // Empty subset always qualifies.
+  EXPECT_TRUE(spec_.FulfillsSubset(obj, {}, tools_));
+}
+
+TEST_F(SpecTest, UpsertReplacesByName) {
+  spec_.Upsert(Feature::AtMost("area_limit", "area", 42));
+  EXPECT_EQ(spec_.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec_.Find("area_limit")->max(), 42);
+  spec_.Upsert(Feature::AtMost("new_one", "area", 1));
+  EXPECT_EQ(spec_.size(), 3u);
+}
+
+TEST_F(SpecTest, RemoveFeature) {
+  EXPECT_TRUE(spec_.Remove("goal").ok());
+  EXPECT_EQ(spec_.Find("goal"), nullptr);
+  EXPECT_TRUE(spec_.Remove("goal").IsNotFound());
+}
+
+TEST_F(SpecTest, RefinementAddingFeatures) {
+  DesignSpecification refined = spec_;
+  refined.Add(Feature::AtMost("wl", "wirelength", 500));
+  EXPECT_TRUE(refined.IsRefinementOf(spec_));
+  EXPECT_FALSE(spec_.IsRefinementOf(refined));  // missing the new feature
+}
+
+TEST_F(SpecTest, RefinementNarrowingFeature) {
+  DesignSpecification refined = spec_;
+  refined.Upsert(Feature::AtMost("area_limit", "area", 80));
+  EXPECT_TRUE(refined.IsRefinementOf(spec_));
+}
+
+TEST_F(SpecTest, WideningIsNotRefinement) {
+  DesignSpecification widened = spec_;
+  widened.Upsert(Feature::AtMost("area_limit", "area", 200));
+  EXPECT_FALSE(widened.IsRefinementOf(spec_));
+}
+
+TEST_F(SpecTest, DroppingFeatureIsNotRefinement) {
+  DesignSpecification dropped;
+  dropped.Add(Feature::AtMost("area_limit", "area", 100));
+  EXPECT_FALSE(dropped.IsRefinementOf(spec_));
+}
+
+// --- Property sweep: quality state is monotone in the attribute ------------
+
+struct RangeCase {
+  double lo;
+  double hi;
+  double value;
+  bool expect;
+};
+
+class RangeFeatureP : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(RangeFeatureP, FulfillmentMatchesInterval) {
+  const RangeCase& c = GetParam();
+  Feature f = Feature::Range("r", "area", c.lo, c.hi);
+  TestToolRegistry tools;
+  EXPECT_EQ(f.IsFulfilledBy(MakeObj(c.value, "x"), tools), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeFeatureP,
+    ::testing::Values(RangeCase{0, 10, 5, true}, RangeCase{0, 10, 0, true},
+                      RangeCase{0, 10, 10, true}, RangeCase{0, 10, -0.1, false},
+                      RangeCase{0, 10, 10.1, false},
+                      RangeCase{-5, -1, -3, true},
+                      RangeCase{-5, -1, 0, false},
+                      RangeCase{2, 2, 2, true},   // degenerate interval
+                      RangeCase{2, 2, 2.001, false}));
+
+}  // namespace
+}  // namespace concord::storage

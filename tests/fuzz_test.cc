@@ -1,0 +1,301 @@
+// Model-checked randomized tests ("fuzzing with a reference model").
+//
+// Two long-running randomized suites:
+//  - the repository under a random mix of transactions, crashes,
+//    recoveries and checkpoints, checked against an in-memory
+//    reference model of committed state;
+//  - the cooperation manager under random (mostly legal, sometimes
+//    illegal) protocol operations, checked against structural
+//    invariants of the DA hierarchy, plus a crash/recover round-trip
+//    that must preserve the CM state exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "cooperation/cooperation_manager.h"
+#include "cooperation/persistence.h"
+#include "storage/repository.h"
+#include "txn/lock_manager.h"
+
+namespace concord {
+namespace {
+
+// --- Repository fuzz ---------------------------------------------------------
+
+class RepositoryFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepositoryFuzz, MatchesReferenceModelThroughCrashes) {
+  Rng rng(GetParam());
+  SimClock clock;
+  storage::Repository repo(&clock);
+  auto* type = repo.schema().DefineType("thing");
+  type->AddAttr({"v", storage::AttrType::kInt, true, 0.0, 1e9});
+  DotId dot = type->id();
+
+  // Reference model: what committed state must look like.
+  std::map<uint64_t, int64_t> model_dovs;   // DovId value -> attr v
+  std::map<std::string, std::string> model_meta;
+
+  struct Pending {
+    TxnId txn;
+    std::vector<std::pair<uint64_t, int64_t>> dovs;
+    std::vector<std::pair<std::string, std::string>> meta;
+  };
+  std::vector<Pending> open_txns;
+
+  for (int step = 0; step < 600; ++step) {
+    int action = static_cast<int>(rng.Uniform(0, 9));
+    if (action <= 2) {  // begin + buffer some writes
+      Pending pending;
+      pending.txn = repo.Begin();
+      int writes = static_cast<int>(rng.Uniform(1, 3));
+      for (int w = 0; w < writes; ++w) {
+        storage::DovRecord record;
+        record.id = repo.NextDovId();
+        record.owner_da = DaId(rng.Uniform(1, 4));
+        record.type = dot;
+        record.data = storage::DesignObject(dot);
+        int64_t value = rng.Uniform(0, 1000);
+        record.data.SetAttr("v", value);
+        ASSERT_TRUE(repo.Put(pending.txn, record).ok());
+        pending.dovs.emplace_back(record.id.value(), value);
+      }
+      if (rng.Chance(0.5)) {
+        std::string key = "k" + std::to_string(rng.Uniform(0, 20));
+        std::string value = "v" + std::to_string(step);
+        ASSERT_TRUE(repo.PutMeta(pending.txn, key, value).ok());
+        pending.meta.emplace_back(key, value);
+      }
+      open_txns.push_back(std::move(pending));
+    } else if (action <= 4 && !open_txns.empty()) {  // commit one
+      size_t pick = rng.Index(open_txns.size());
+      Pending pending = open_txns[pick];
+      open_txns.erase(open_txns.begin() + static_cast<ptrdiff_t>(pick));
+      ASSERT_TRUE(repo.Commit(pending.txn).ok());
+      for (auto& [id, v] : pending.dovs) model_dovs[id] = v;
+      for (auto& [k, v] : pending.meta) model_meta[k] = v;
+    } else if (action == 5 && !open_txns.empty()) {  // abort one
+      size_t pick = rng.Index(open_txns.size());
+      ASSERT_TRUE(repo.Abort(open_txns[pick].txn).ok());
+      open_txns.erase(open_txns.begin() + static_cast<ptrdiff_t>(pick));
+    } else if (action == 6 && rng.Chance(0.3)) {  // checkpoint
+      repo.Checkpoint();
+    } else if (action == 7 && rng.Chance(0.3)) {  // crash + recover
+      repo.Crash();
+      ASSERT_TRUE(repo.Recover().ok());
+      open_txns.clear();  // in-flight transactions died with the crash
+    }
+    // Continuous invariant: committed state == model.
+    if (step % 50 == 0) {
+      for (const auto& [id, v] : model_dovs) {
+        auto record = repo.Get(DovId(id));
+        ASSERT_TRUE(record.ok()) << "missing DOV" << id;
+        EXPECT_EQ(record->data.GetAttr("v")->as_int(), v);
+      }
+    }
+  }
+  // Final full check, after one more crash cycle.
+  repo.Crash();
+  ASSERT_TRUE(repo.Recover().ok());
+  for (const auto& [id, v] : model_dovs) {
+    auto record = repo.Get(DovId(id));
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->data.GetAttr("v")->as_int(), v);
+  }
+  for (const auto& [k, v] : model_meta) {
+    auto meta = repo.GetMeta(k);
+    ASSERT_TRUE(meta.ok()) << k;
+    EXPECT_EQ(*meta, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepositoryFuzz,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// --- Cooperation manager fuzz --------------------------------------------------
+
+class CmFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CmFuzz, InvariantsHoldUnderRandomProtocolTraffic) {
+  Rng rng(GetParam());
+  SimClock clock;
+  storage::Repository repo(&clock);
+  auto* module = repo.schema().DefineType("module");
+  module->AddAttr({"area", storage::AttrType::kDouble, false, {}, {}});
+  auto* chip = repo.schema().DefineType("chip");
+  chip->AddAttr({"area", storage::AttrType::kDouble, false, {}, {}});
+  chip->AddPart({module->id(), 0, 1 << 20});
+  txn::LockManager locks;
+  cooperation::CooperationManager cm(&repo, &locks, &clock);
+
+  cooperation::DaDescription top_desc;
+  top_desc.dot = chip->id();
+  top_desc.designer = DesignerId(1);
+  top_desc.workstation = NodeId(1);
+  DaId top = *cm.InitDesign(top_desc);
+  cm.Start(top).ok();
+
+  std::vector<DaId> das{top};
+  auto random_da = [&] { return das[rng.Index(das.size())]; };
+
+  for (int step = 0; step < 400; ++step) {
+    int action = static_cast<int>(rng.Uniform(0, 11));
+    DaId da = random_da();
+    switch (action) {
+      case 0:
+      case 1: {  // create a sub-DA under a random DA (may be illegal)
+        cooperation::DaDescription desc;
+        desc.dot = module->id();
+        desc.designer = DesignerId(rng.Uniform(1, 9));
+        desc.workstation = NodeId(rng.Uniform(1, 4));
+        auto sub = cm.CreateSubDa(da, desc);
+        if (sub.ok()) das.push_back(*sub);
+        break;
+      }
+      case 2:
+        cm.Start(da).ok();
+        break;
+      case 3: {  // mint + evaluate a DOV
+        auto state = cm.StateOf(da);
+        if (state.ok() && *state == cooperation::DaState::kActive) {
+          TxnId txn = repo.Begin();
+          storage::DovRecord record;
+          record.id = repo.NextDovId();
+          record.owner_da = da;
+          record.type = module->id();
+          record.data = storage::DesignObject(module->id());
+          record.data.SetAttr("area", 10.0);
+          repo.Put(txn, record).ok();
+          repo.Commit(txn).ok();
+          locks.SetScopeOwner(record.id, da);
+          cm.NoteCheckin(da, record.id);
+          cm.Evaluate(da, record.id).ok();
+        }
+        break;
+      }
+      case 4:
+        cm.SubDaReadyToCommit(da).ok();
+        break;
+      case 5:
+        cm.SubDaImpossibleSpecification(da, "fuzz").ok();
+        break;
+      case 6: {
+        DaId other = random_da();
+        cm.TerminateSubDa(da, other).ok();
+        break;
+      }
+      case 7: {
+        cooperation::Proposal p;
+        cm.Propose(da, random_da(), p).ok();
+        break;
+      }
+      case 8:
+        cm.Agree(da).ok();
+        break;
+      case 9:
+        cm.Disagree(da).ok();
+        break;
+      case 10: {
+        DaId other = random_da();
+        if (!(other == da)) cm.Require(da, other, {}).ok();
+        break;
+      }
+    }
+
+    // --- Structural invariants, every step ---------------------------
+    for (DaId id : cm.AllDas()) {
+      auto activity = cm.GetDa(id);
+      ASSERT_TRUE(activity.ok());
+      const cooperation::DesignActivity& rec = **activity;
+      // A terminated DA has only terminated children.
+      if (rec.state == cooperation::DaState::kTerminated) {
+        for (DaId child : rec.children) {
+          EXPECT_EQ(*cm.StateOf(child), cooperation::DaState::kTerminated);
+        }
+      }
+      // Parent link symmetry.
+      if (rec.parent.valid()) {
+        auto parent = cm.GetDa(rec.parent);
+        ASSERT_TRUE(parent.ok());
+        bool listed = false;
+        for (DaId child : (*parent)->children) {
+          if (child == id) listed = true;
+        }
+        EXPECT_TRUE(listed);
+      }
+      // A negotiating receiver has a pending proposal (receiver side).
+    }
+  }
+
+  // --- Crash/recover round-trip preserves the CM state exactly -------
+  std::map<uint64_t, std::string> serialized_before;
+  for (DaId id : cm.AllDas()) {
+    serialized_before[id.value()] =
+        cooperation::persistence::SerializeDa(**cm.GetDa(id));
+  }
+  size_t rels_before = 0;
+  for (DaId id : cm.AllDas()) rels_before += cm.RelationshipsOf(id).size();
+
+  cm.Crash();
+  repo.Crash();
+  ASSERT_TRUE(repo.Recover().ok());
+  locks.ReleaseAll();
+  ASSERT_TRUE(cm.Recover().ok());
+
+  ASSERT_EQ(cm.AllDas().size(), serialized_before.size());
+  for (DaId id : cm.AllDas()) {
+    // Recovered DAs serialize identically (scripts excepted — they are
+    // DM-side state and not part of the CM's durable image).
+    EXPECT_EQ(cooperation::persistence::SerializeDa(**cm.GetDa(id)),
+              serialized_before[id.value()])
+        << id.ToString();
+  }
+  size_t rels_after = 0;
+  for (DaId id : cm.AllDas()) rels_after += cm.RelationshipsOf(id).size();
+  EXPECT_EQ(rels_after, rels_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmFuzz,
+                         ::testing::Values(3, 17, 256, 4096));
+
+// --- Lock manager fuzz -----------------------------------------------------------
+
+TEST(LockFuzz, DerivationLockInvariants) {
+  Rng rng(77);
+  txn::LockManager locks;
+  std::map<uint64_t, uint64_t> model;  // dov -> holder da
+  for (int step = 0; step < 2000; ++step) {
+    DovId dov(rng.Uniform(1, 50));
+    DaId da(rng.Uniform(1, 8));
+    if (rng.Chance(0.6)) {
+      Status st = locks.AcquireDerivation(dov, da);
+      auto it = model.find(dov.value());
+      if (it == model.end() || it->second == da.value()) {
+        EXPECT_TRUE(st.ok());
+        model[dov.value()] = da.value();
+      } else {
+        EXPECT_TRUE(st.IsLockConflict());
+      }
+    } else {
+      Status st = locks.ReleaseDerivation(dov, da);
+      auto it = model.find(dov.value());
+      if (it != model.end() && it->second == da.value()) {
+        EXPECT_TRUE(st.ok());
+        model.erase(it);
+      } else {
+        EXPECT_FALSE(st.ok());
+      }
+    }
+    // Holder agreement.
+    DaId holder = locks.DerivationHolder(dov);
+    auto it = model.find(dov.value());
+    EXPECT_EQ(holder.valid(), it != model.end());
+    if (it != model.end()) EXPECT_EQ(holder.value(), it->second);
+  }
+}
+
+}  // namespace
+}  // namespace concord

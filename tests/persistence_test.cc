@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cooperation/persistence.h"
+
+namespace concord::cooperation::persistence {
+namespace {
+
+using storage::DesignSpecification;
+using storage::Feature;
+
+TEST(PersistenceTest, FeatureRangeRoundtrip) {
+  Feature f = Feature::Range("area_limit", "area", 1.5, 99.25);
+  auto back = DeserializeFeature(SerializeFeature(f));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), "area_limit");
+  EXPECT_EQ(back->kind(), Feature::Kind::kRange);
+  EXPECT_DOUBLE_EQ(back->min(), 1.5);
+  EXPECT_DOUBLE_EQ(back->max(), 99.25);
+}
+
+TEST(PersistenceTest, FeatureOpenBoundsRoundtrip) {
+  Feature f = Feature::AtMost("w", "width", 10);
+  auto back = DeserializeFeature(SerializeFeature(f));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(std::isinf(back->min()));
+  EXPECT_LT(back->min(), 0);
+  EXPECT_DOUBLE_EQ(back->max(), 10);
+}
+
+TEST(PersistenceTest, FeatureEqualityRoundtripAllValueTypes) {
+  for (const storage::AttrValue& value :
+       {storage::AttrValue(int64_t{7}), storage::AttrValue(2.5),
+        storage::AttrValue("floorplan"), storage::AttrValue(true)}) {
+    Feature f = Feature::Equals("goal", "domain", value);
+    auto back = DeserializeFeature(SerializeFeature(f));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back->equals_value(), value);
+  }
+}
+
+TEST(PersistenceTest, FeaturePredicateRoundtrip) {
+  Feature f = Feature::PassesTool("drc_clean", "drc_checker");
+  auto back = DeserializeFeature(SerializeFeature(f));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind(), Feature::Kind::kPredicate);
+  EXPECT_EQ(back->tool_name(), "drc_checker");
+}
+
+TEST(PersistenceTest, BadFeatureTextRejected) {
+  EXPECT_FALSE(DeserializeFeature("").ok());
+  EXPECT_FALSE(DeserializeFeature("X|a|b").ok());
+  EXPECT_FALSE(DeserializeFeature("R|only|two").ok());
+}
+
+TEST(PersistenceTest, SpecRoundtripPreservesOrder) {
+  DesignSpecification spec;
+  spec.Add(Feature::AtMost("a", "area", 10));
+  spec.Add(Feature::Equals("d", "domain", storage::AttrValue("mask")));
+  spec.Add(Feature::PassesTool("t", "tool"));
+  auto back = DeserializeSpec(SerializeSpec(spec));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->features()[0].name(), "a");
+  EXPECT_EQ(back->features()[2].name(), "t");
+}
+
+TEST(PersistenceTest, EmptySpecRoundtrip) {
+  auto back = DeserializeSpec("");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(PersistenceTest, DaRoundtrip) {
+  DesignActivity da;
+  da.id = DaId(7);
+  da.dot = DotId(3);
+  da.initial_dov = DovId(42);
+  da.designer = DesignerId(2);
+  da.state = DaState::kReadyForTermination;
+  da.parent = DaId(1);
+  da.workstation = NodeId(4);
+  da.children = {DaId(8), DaId(9)};
+  da.final_dovs = {DovId(100)};
+  da.impossible_reported = true;
+  da.spec.Add(Feature::AtMost("area_limit", "area", 55));
+
+  auto back = DeserializeDa(SerializeDa(da));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, DaId(7));
+  EXPECT_EQ(back->dot, DotId(3));
+  ASSERT_TRUE(back->initial_dov.has_value());
+  EXPECT_EQ(*back->initial_dov, DovId(42));
+  EXPECT_EQ(back->state, DaState::kReadyForTermination);
+  EXPECT_EQ(back->parent, DaId(1));
+  EXPECT_EQ(back->workstation, NodeId(4));
+  EXPECT_EQ(back->children, (std::vector<DaId>{DaId(8), DaId(9)}));
+  EXPECT_EQ(back->final_dovs, std::vector<DovId>{DovId(100)});
+  EXPECT_TRUE(back->impossible_reported);
+  EXPECT_DOUBLE_EQ(back->spec.Find("area_limit")->max(), 55);
+}
+
+TEST(PersistenceTest, DaWithoutOptionalFields) {
+  DesignActivity da;
+  da.id = DaId(1);
+  da.dot = DotId(1);
+  auto back = DeserializeDa(SerializeDa(da));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->initial_dov.has_value());
+  EXPECT_FALSE(back->parent.valid());
+  EXPECT_TRUE(back->children.empty());
+  EXPECT_TRUE(back->spec.empty());
+}
+
+TEST(PersistenceTest, DaWithoutIdRejected) {
+  EXPECT_FALSE(DeserializeDa("dot=1\n").ok());
+  EXPECT_FALSE(DeserializeDa("garbage line without equals\n").ok());
+}
+
+TEST(PersistenceTest, RelationshipsRoundtrip) {
+  std::vector<CoopRelationship> rels;
+  CoopRelationship delegation;
+  delegation.id = RelId(1);
+  delegation.kind = RelKind::kDelegation;
+  delegation.from = DaId(1);
+  delegation.to = DaId(2);
+  rels.push_back(delegation);
+  CoopRelationship usage;
+  usage.id = RelId(2);
+  usage.kind = RelKind::kUsage;
+  usage.from = DaId(3);
+  usage.to = DaId(2);
+  usage.features = {"area_limit", "goal"};
+  usage.active = false;
+  rels.push_back(usage);
+
+  auto back = DeserializeRelationships(SerializeRelationships(rels));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].kind, RelKind::kDelegation);
+  EXPECT_EQ((*back)[1].features,
+            (std::vector<std::string>{"area_limit", "goal"}));
+  EXPECT_FALSE((*back)[1].active);
+}
+
+TEST(PersistenceTest, EmptyRelationshipsRoundtrip) {
+  auto back = DeserializeRelationships("");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(PersistenceTest, ProposalRoundtrip) {
+  Proposal p;
+  p.relationship = RelId(5);
+  p.from = DaId(2);
+  p.to = DaId(3);
+  p.for_from = {Feature::AtMost("area_limit", "area", 120)};
+  p.for_to = {Feature::AtMost("area_limit", "area", 80),
+              Feature::AtLeast("height", "h", 2)};
+  auto back = DeserializeProposal(SerializeProposal(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->relationship, RelId(5));
+  EXPECT_EQ(back->from, DaId(2));
+  EXPECT_EQ(back->to, DaId(3));
+  ASSERT_EQ(back->for_from.size(), 1u);
+  ASSERT_EQ(back->for_to.size(), 2u);
+  EXPECT_DOUBLE_EQ(back->for_to[0].max(), 80);
+}
+
+}  // namespace
+}  // namespace concord::cooperation::persistence

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "storage/derivation_graph.h"
+#include "storage/repository.h"
+
+namespace concord::storage {
+namespace {
+
+// --- DerivationGraph ---------------------------------------------------
+
+TEST(DerivationGraphTest, AddAndContains) {
+  DerivationGraph g;
+  EXPECT_TRUE(g.Add(DovId(1), {}).ok());
+  EXPECT_TRUE(g.Contains(DovId(1)));
+  EXPECT_FALSE(g.Contains(DovId(2)));
+  EXPECT_TRUE(g.Add(DovId(1), {}).code() == StatusCode::kAlreadyExists);
+}
+
+TEST(DerivationGraphTest, EdgesAndNavigation) {
+  DerivationGraph g;
+  g.Add(DovId(1), {}).ok();
+  g.Add(DovId(2), {DovId(1)}).ok();
+  g.Add(DovId(3), {DovId(1)}).ok();
+  g.Add(DovId(4), {DovId(2), DovId(3)}).ok();
+  EXPECT_EQ(g.Successors(DovId(1)).size(), 2u);
+  EXPECT_EQ(g.Predecessors(DovId(4)).size(), 2u);
+  EXPECT_EQ(g.Roots(), std::vector<DovId>{DovId(1)});
+  EXPECT_EQ(g.Leaves(), std::vector<DovId>{DovId(4)});
+}
+
+TEST(DerivationGraphTest, Ancestry) {
+  DerivationGraph g;
+  g.Add(DovId(1), {}).ok();
+  g.Add(DovId(2), {DovId(1)}).ok();
+  g.Add(DovId(3), {DovId(2)}).ok();
+  g.Add(DovId(4), {}).ok();
+  EXPECT_TRUE(g.IsAncestor(DovId(1), DovId(3)));
+  EXPECT_TRUE(g.IsAncestor(DovId(2), DovId(2)));  // reflexive
+  EXPECT_FALSE(g.IsAncestor(DovId(3), DovId(1)));
+  EXPECT_FALSE(g.IsAncestor(DovId(4), DovId(3)));
+  EXPECT_FALSE(g.IsAncestor(DovId(99), DovId(1)));
+}
+
+TEST(DerivationGraphTest, DescendantsInTopologicalOrder) {
+  DerivationGraph g;
+  g.Add(DovId(1), {}).ok();
+  g.Add(DovId(2), {DovId(1)}).ok();
+  g.Add(DovId(3), {DovId(2)}).ok();
+  g.Add(DovId(4), {DovId(1)}).ok();
+  std::vector<DovId> desc = g.Descendants(DovId(1));
+  EXPECT_EQ(desc, (std::vector<DovId>{DovId(2), DovId(3), DovId(4)}));
+  EXPECT_TRUE(g.Descendants(DovId(3)).empty());
+}
+
+TEST(DerivationGraphTest, ExternalInputsTracked) {
+  DerivationGraph g;
+  g.Add(DovId(10), {DovId(99)}).ok();  // 99 lives in another DA's graph
+  g.Add(DovId(11), {DovId(10)}).ok();
+  EXPECT_EQ(g.ExternalInputs(DovId(10)), std::vector<DovId>{DovId(99)});
+  EXPECT_TRUE(g.ExternalInputs(DovId(11)).empty());
+  // Withdrawal impact: everything derived from the external version.
+  EXPECT_EQ(g.DerivedFromExternal(DovId(99)),
+            (std::vector<DovId>{DovId(10), DovId(11)}));
+  EXPECT_TRUE(g.DerivedFromExternal(DovId(98)).empty());
+}
+
+// --- Repository -----------------------------------------------------------
+
+class RepositoryTest : public ::testing::Test {
+ protected:
+  RepositoryTest() : repo_(&clock_) {
+    DesignObjectType* type = repo_.schema().DefineType("thing");
+    type->AddAttr({"value", AttrType::kInt, true, 0.0, 1000.0});
+    dot_ = type->id();
+  }
+
+  DovRecord MakeRecord(DaId da, int64_t value,
+                       std::vector<DovId> preds = {}) {
+    DovRecord record;
+    record.id = repo_.NextDovId();
+    record.owner_da = da;
+    record.type = dot_;
+    record.data = DesignObject(dot_);
+    record.data.SetAttr("value", value);
+    record.predecessors = std::move(preds);
+    record.created_at = clock_.Now();
+    return record;
+  }
+
+  SimClock clock_;
+  Repository repo_;
+  DotId dot_;
+};
+
+TEST_F(RepositoryTest, CommitMakesVisible) {
+  TxnId txn = repo_.Begin();
+  DovRecord record = MakeRecord(DaId(1), 42);
+  DovId id = record.id;
+  ASSERT_TRUE(repo_.Put(txn, record).ok());
+  EXPECT_FALSE(repo_.Contains(id));  // not visible before commit
+  ASSERT_TRUE(repo_.Commit(txn).ok());
+  ASSERT_TRUE(repo_.Contains(id));
+  EXPECT_EQ((*repo_.Get(id)).data.GetAttr("value")->as_int(), 42);
+}
+
+TEST_F(RepositoryTest, AbortDiscardsWrites) {
+  TxnId txn = repo_.Begin();
+  DovRecord record = MakeRecord(DaId(1), 1);
+  DovId id = record.id;
+  repo_.Put(txn, record).ok();
+  ASSERT_TRUE(repo_.Abort(txn).ok());
+  EXPECT_FALSE(repo_.Contains(id));
+  EXPECT_FALSE(repo_.HasActiveTxn(txn));
+}
+
+TEST_F(RepositoryTest, CommitRejectsSchemaViolation) {
+  TxnId txn = repo_.Begin();
+  DovRecord record = MakeRecord(DaId(1), 5000);  // above max bound
+  repo_.Put(txn, record).ok();
+  Status st = repo_.Commit(txn);
+  EXPECT_TRUE(st.IsConstraintViolation());
+  // The transaction is still active; abort cleans up.
+  EXPECT_TRUE(repo_.HasActiveTxn(txn));
+  EXPECT_TRUE(repo_.Abort(txn).ok());
+}
+
+TEST_F(RepositoryTest, OperationsOnUnknownTxnFail) {
+  EXPECT_TRUE(repo_.Put(TxnId(99), MakeRecord(DaId(1), 1)).IsNotFound());
+  EXPECT_TRUE(repo_.Commit(TxnId(99)).IsNotFound());
+  EXPECT_TRUE(repo_.Abort(TxnId(99)).IsNotFound());
+}
+
+TEST_F(RepositoryTest, DerivationGraphMaintainedPerDa) {
+  TxnId txn = repo_.Begin();
+  DovRecord a = MakeRecord(DaId(1), 1);
+  DovRecord b = MakeRecord(DaId(1), 2, {a.id});
+  DovRecord c = MakeRecord(DaId(2), 3);
+  repo_.Put(txn, a).ok();
+  repo_.Put(txn, b).ok();
+  repo_.Put(txn, c).ok();
+  ASSERT_TRUE(repo_.Commit(txn).ok());
+  EXPECT_EQ(repo_.graph(DaId(1)).size(), 2u);
+  EXPECT_TRUE(repo_.graph(DaId(1)).IsAncestor(a.id, b.id));
+  EXPECT_EQ(repo_.graph(DaId(2)).size(), 1u);
+  EXPECT_EQ(repo_.graph(DaId(3)).size(), 0u);
+  EXPECT_EQ(repo_.DovsOf(DaId(1)).size(), 2u);
+}
+
+TEST_F(RepositoryTest, FlagUpdateDoesNotDuplicateGraphNode) {
+  TxnId txn = repo_.Begin();
+  DovRecord record = MakeRecord(DaId(1), 7);
+  repo_.Put(txn, record).ok();
+  repo_.Commit(txn).ok();
+
+  DovRecord updated = *repo_.Get(record.id);
+  updated.propagated = true;
+  TxnId txn2 = repo_.Begin();
+  repo_.Put(txn2, updated).ok();
+  repo_.Commit(txn2).ok();
+  EXPECT_TRUE((*repo_.Get(record.id)).propagated);
+  EXPECT_EQ(repo_.graph(DaId(1)).size(), 1u);
+  EXPECT_EQ(repo_.DovsOf(DaId(1)).size(), 1u);
+}
+
+TEST_F(RepositoryTest, MetaRoundtripAndPrefixScan) {
+  TxnId txn = repo_.Begin();
+  repo_.PutMeta(txn, "cm/da/1", "alpha").ok();
+  repo_.PutMeta(txn, "cm/da/2", "beta").ok();
+  repo_.PutMeta(txn, "other/x", "gamma").ok();
+  repo_.Commit(txn).ok();
+  EXPECT_EQ(*repo_.GetMeta("cm/da/1"), "alpha");
+  EXPECT_FALSE(repo_.GetMeta("missing").ok());
+  EXPECT_EQ(repo_.MetaKeysWithPrefix("cm/da/").size(), 2u);
+  EXPECT_EQ(repo_.MetaKeysWithPrefix("zzz").size(), 0u);
+
+  TxnId txn2 = repo_.Begin();
+  repo_.DeleteMeta(txn2, "cm/da/1").ok();
+  repo_.Commit(txn2).ok();
+  EXPECT_FALSE(repo_.GetMeta("cm/da/1").ok());
+}
+
+TEST_F(RepositoryTest, CrashLosesUncommitted) {
+  TxnId committed = repo_.Begin();
+  DovRecord keep = MakeRecord(DaId(1), 10);
+  repo_.Put(committed, keep).ok();
+  repo_.Commit(committed).ok();
+
+  TxnId in_flight = repo_.Begin();
+  DovRecord lose = MakeRecord(DaId(1), 20);
+  repo_.Put(in_flight, lose).ok();
+
+  repo_.Crash();
+  ASSERT_TRUE(repo_.Recover().ok());
+  EXPECT_TRUE(repo_.Contains(keep.id));
+  EXPECT_FALSE(repo_.Contains(lose.id));
+  EXPECT_FALSE(repo_.HasActiveTxn(in_flight));
+}
+
+TEST_F(RepositoryTest, RecoveryRestoresExactContent) {
+  TxnId txn = repo_.Begin();
+  DovRecord a = MakeRecord(DaId(1), 11);
+  DovRecord b = MakeRecord(DaId(1), 22, {a.id});
+  repo_.Put(txn, a).ok();
+  repo_.Put(txn, b).ok();
+  repo_.PutMeta(txn, "k", "v").ok();
+  repo_.Commit(txn).ok();
+  uint64_t hash_before = (*repo_.Get(b.id)).data.ContentHash();
+
+  repo_.Crash();
+  ASSERT_TRUE(repo_.Recover().ok());
+  EXPECT_EQ((*repo_.Get(b.id)).data.ContentHash(), hash_before);
+  EXPECT_EQ(*repo_.GetMeta("k"), "v");
+  EXPECT_TRUE(repo_.graph(DaId(1)).IsAncestor(a.id, b.id));
+}
+
+TEST_F(RepositoryTest, IdGeneratorNotReusedAfterRecovery) {
+  TxnId txn = repo_.Begin();
+  DovRecord a = MakeRecord(DaId(1), 1);
+  repo_.Put(txn, a).ok();
+  repo_.Commit(txn).ok();
+  repo_.Crash();
+  repo_.Recover().ok();
+  DovId next = repo_.NextDovId();
+  EXPECT_GT(next.value(), a.id.value());
+}
+
+TEST_F(RepositoryTest, CheckpointTruncatesWalAndRecoveryStillWorks) {
+  for (int i = 0; i < 5; ++i) {
+    TxnId txn = repo_.Begin();
+    repo_.Put(txn, MakeRecord(DaId(1), i)).ok();
+    repo_.Commit(txn).ok();
+  }
+  size_t wal_before = repo_.wal().size();
+  size_t dropped = repo_.Checkpoint();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LT(repo_.wal().size(), wal_before);
+
+  // Post-checkpoint writes land in the (truncated) log.
+  TxnId txn = repo_.Begin();
+  DovRecord after = MakeRecord(DaId(1), 99);
+  repo_.Put(txn, after).ok();
+  repo_.Commit(txn).ok();
+
+  repo_.Crash();
+  ASSERT_TRUE(repo_.Recover().ok());
+  EXPECT_EQ(repo_.DovsOf(DaId(1)).size(), 6u);
+  EXPECT_TRUE(repo_.Contains(after.id));
+}
+
+TEST_F(RepositoryTest, DoubleCrashRecoverCycleIsIdempotent) {
+  TxnId txn = repo_.Begin();
+  DovRecord a = MakeRecord(DaId(1), 3);
+  repo_.Put(txn, a).ok();
+  repo_.Commit(txn).ok();
+  for (int i = 0; i < 3; ++i) {
+    repo_.Crash();
+    ASSERT_TRUE(repo_.Recover().ok());
+  }
+  EXPECT_TRUE(repo_.Contains(a.id));
+  EXPECT_EQ(repo_.DovsOf(DaId(1)).size(), 1u);
+  EXPECT_EQ(repo_.stats().crashes, 3u);
+  EXPECT_EQ(repo_.stats().recoveries, 3u);
+}
+
+TEST_F(RepositoryTest, StatsTrackOperations) {
+  TxnId t1 = repo_.Begin();
+  repo_.Put(t1, MakeRecord(DaId(1), 1)).ok();
+  repo_.Commit(t1).ok();
+  TxnId t2 = repo_.Begin();
+  repo_.Abort(t2).ok();
+  EXPECT_EQ(repo_.stats().txns_begun, 2u);
+  EXPECT_EQ(repo_.stats().txns_committed, 1u);
+  EXPECT_EQ(repo_.stats().txns_aborted, 1u);
+  EXPECT_EQ(repo_.stats().dovs_written, 1u);
+}
+
+// --- WAL -----------------------------------------------------------------
+
+TEST(WalTest, AppendAndTotals) {
+  WriteAheadLog wal;
+  wal.Append({WalRecord::Type::kBegin, TxnId(1), std::nullopt, "", ""});
+  wal.Append({WalRecord::Type::kCommit, TxnId(1), std::nullopt, "", ""});
+  EXPECT_EQ(wal.size(), 2u);
+  EXPECT_EQ(wal.total_appended(), 2u);
+}
+
+TEST(WalTest, TruncateKeepsSuffixFromCheckpoint) {
+  WriteAheadLog wal;
+  wal.Append({WalRecord::Type::kBegin, TxnId(1), std::nullopt, "", ""});
+  wal.Append({WalRecord::Type::kCheckpoint, TxnId(), std::nullopt, "", ""});
+  wal.Append({WalRecord::Type::kBegin, TxnId(2), std::nullopt, "", ""});
+  wal.TruncateToLastCheckpoint();
+  ASSERT_EQ(wal.size(), 2u);
+  EXPECT_EQ(wal.records()[0].type, WalRecord::Type::kCheckpoint);
+  EXPECT_EQ(wal.total_appended(), 3u);  // lifetime count unaffected
+}
+
+TEST(WalTest, TruncateWithoutCheckpointIsNoop) {
+  WriteAheadLog wal;
+  wal.Append({WalRecord::Type::kBegin, TxnId(1), std::nullopt, "", ""});
+  wal.TruncateToLastCheckpoint();
+  EXPECT_EQ(wal.size(), 1u);
+}
+
+}  // namespace
+}  // namespace concord::storage

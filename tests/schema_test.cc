@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "storage/object.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace concord::storage {
+namespace {
+
+// --- AttrValue -------------------------------------------------------
+
+TEST(AttrValueTest, TypeDiscrimination) {
+  EXPECT_TRUE(AttrValue(int64_t{3}).is_int());
+  EXPECT_TRUE(AttrValue(3.5).is_double());
+  EXPECT_TRUE(AttrValue("x").is_string());
+  EXPECT_TRUE(AttrValue(true).is_bool());
+  EXPECT_EQ(AttrValue(3.5).type(), AttrType::kDouble);
+}
+
+TEST(AttrValueTest, NumericPromotesInt) {
+  EXPECT_DOUBLE_EQ(*AttrValue(int64_t{7}).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(*AttrValue(2.25).AsNumeric(), 2.25);
+  EXPECT_FALSE(AttrValue("str").AsNumeric().ok());
+  EXPECT_FALSE(AttrValue(true).AsNumeric().ok());
+}
+
+TEST(AttrValueTest, EqualityIsTypeAndValue) {
+  EXPECT_EQ(AttrValue(int64_t{1}), AttrValue(int64_t{1}));
+  EXPECT_FALSE(AttrValue(int64_t{1}) == AttrValue(1.0));
+  EXPECT_EQ(AttrValue("a"), AttrValue("a"));
+}
+
+TEST(AttrValueTest, ToString) {
+  EXPECT_EQ(AttrValue(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(AttrValue("hi").ToString(), "hi");
+  EXPECT_EQ(AttrValue(false).ToString(), "false");
+}
+
+// --- DesignObject ----------------------------------------------------
+
+TEST(DesignObjectTest, AttrRoundtrip) {
+  DesignObject obj(DotId(1));
+  obj.SetAttr("area", 12.5);
+  EXPECT_TRUE(obj.HasAttr("area"));
+  EXPECT_DOUBLE_EQ(*obj.GetNumeric("area"), 12.5);
+  EXPECT_FALSE(obj.GetAttr("missing").ok());
+  obj.SetAttr("area", 13.0);  // overwrite
+  EXPECT_DOUBLE_EQ(*obj.GetNumeric("area"), 13.0);
+}
+
+TEST(DesignObjectTest, ChildrenAndTreeSize) {
+  DesignObject chip(DotId(1));
+  DesignObject module(DotId(2));
+  module.AddChild(DesignObject(DotId(3)));
+  chip.AddChild(module);
+  chip.AddChild(DesignObject(DotId(2)));
+  EXPECT_EQ(chip.TreeSize(), 4u);
+  EXPECT_EQ(chip.CountChildrenOfType(DotId(2)), 2);
+  EXPECT_EQ(chip.CountChildrenOfType(DotId(3)), 0);
+}
+
+TEST(DesignObjectTest, ContentHashDetectsChanges) {
+  DesignObject a(DotId(1));
+  a.SetAttr("x", int64_t{1});
+  DesignObject b = a;
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  b.SetAttr("x", int64_t{2});
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+  DesignObject c = a;
+  c.AddChild(DesignObject(DotId(2)));
+  EXPECT_NE(a.ContentHash(), c.ContentHash());
+}
+
+// --- SchemaCatalog ----------------------------------------------------
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  SchemaTest() {
+    stdcell_ = catalog_.DefineType("stdcell");
+    block_ = catalog_.DefineType("block");
+    module_ = catalog_.DefineType("module");
+    chip_ = catalog_.DefineType("chip");
+    block_->AddPart({stdcell_->id(), 0, 100});
+    module_->AddPart({block_->id(), 1, 8});
+    chip_->AddPart({module_->id(), 0, 16});
+    chip_->AddAttr({"name", AttrType::kString, true, {}, {}});
+    chip_->AddAttr({"area", AttrType::kDouble, false, 0.0, 1e6});
+    module_->AddAttr({"name", AttrType::kString, true, {}, {}});
+    block_->AddAttr({"name", AttrType::kString, false, {}, {}});
+    stdcell_->AddAttr({"name", AttrType::kString, false, {}, {}});
+  }
+
+  SchemaCatalog catalog_;
+  DesignObjectType* stdcell_;
+  DesignObjectType* block_;
+  DesignObjectType* module_;
+  DesignObjectType* chip_;
+};
+
+TEST_F(SchemaTest, LookupByIdAndName) {
+  EXPECT_EQ((*catalog_.GetType(chip_->id()))->name(), "chip");
+  EXPECT_EQ((*catalog_.GetTypeByName("module"))->id(), module_->id());
+  EXPECT_FALSE(catalog_.GetType(DotId(999)).ok());
+  EXPECT_FALSE(catalog_.GetTypeByName("nonexistent").ok());
+  EXPECT_EQ(catalog_.size(), 4u);
+}
+
+TEST_F(SchemaTest, IsPartOfDirect) {
+  EXPECT_TRUE(catalog_.IsPartOf(module_->id(), chip_->id()));
+  EXPECT_TRUE(catalog_.IsPartOf(block_->id(), module_->id()));
+}
+
+TEST_F(SchemaTest, IsPartOfTransitive) {
+  EXPECT_TRUE(catalog_.IsPartOf(stdcell_->id(), chip_->id()));
+  EXPECT_TRUE(catalog_.IsPartOf(block_->id(), chip_->id()));
+}
+
+TEST_F(SchemaTest, IsPartOfReflexive) {
+  EXPECT_TRUE(catalog_.IsPartOf(chip_->id(), chip_->id()));
+}
+
+TEST_F(SchemaTest, IsPartOfRejectsReverse) {
+  EXPECT_FALSE(catalog_.IsPartOf(chip_->id(), module_->id()));
+  EXPECT_FALSE(catalog_.IsPartOf(module_->id(), stdcell_->id()));
+}
+
+TEST_F(SchemaTest, ValidateAcceptsWellFormedObject) {
+  DesignObject chip(chip_->id());
+  chip.SetAttr("name", "c1");
+  chip.SetAttr("area", 100.0);
+  DesignObject module(module_->id());
+  module.SetAttr("name", "m1");
+  DesignObject block(block_->id());
+  module.AddChild(block);
+  chip.AddChild(module);
+  EXPECT_TRUE(catalog_.Validate(chip).ok());
+}
+
+TEST_F(SchemaTest, ValidateRejectsMissingRequiredAttr) {
+  DesignObject chip(chip_->id());
+  Status st = catalog_.Validate(chip);
+  EXPECT_TRUE(st.IsConstraintViolation());
+  EXPECT_NE(st.message().find("name"), std::string::npos);
+}
+
+TEST_F(SchemaTest, ValidateRejectsWrongType) {
+  DesignObject chip(chip_->id());
+  chip.SetAttr("name", int64_t{5});
+  EXPECT_TRUE(catalog_.Validate(chip).IsConstraintViolation());
+}
+
+TEST_F(SchemaTest, ValidateAllowsIntWhereDoubleDeclared) {
+  DesignObject chip(chip_->id());
+  chip.SetAttr("name", "c");
+  chip.SetAttr("area", int64_t{50});
+  EXPECT_TRUE(catalog_.Validate(chip).ok());
+}
+
+TEST_F(SchemaTest, ValidateEnforcesNumericBounds) {
+  DesignObject chip(chip_->id());
+  chip.SetAttr("name", "c");
+  chip.SetAttr("area", -1.0);
+  EXPECT_TRUE(catalog_.Validate(chip).IsConstraintViolation());
+  chip.SetAttr("area", 2e6);
+  EXPECT_TRUE(catalog_.Validate(chip).IsConstraintViolation());
+}
+
+TEST_F(SchemaTest, ValidateRejectsUndeclaredAttr) {
+  DesignObject chip(chip_->id());
+  chip.SetAttr("name", "c");
+  chip.SetAttr("bogus", 1.0);
+  EXPECT_TRUE(catalog_.Validate(chip).IsConstraintViolation());
+}
+
+TEST_F(SchemaTest, ValidateEnforcesPartMultiplicity) {
+  DesignObject module(module_->id());
+  module.SetAttr("name", "m");
+  // module requires 1..8 blocks; zero given.
+  EXPECT_TRUE(catalog_.Validate(module).IsConstraintViolation());
+  for (int i = 0; i < 9; ++i) module.AddChild(DesignObject(block_->id()));
+  EXPECT_TRUE(catalog_.Validate(module).IsConstraintViolation());
+}
+
+TEST_F(SchemaTest, ValidateRejectsUndeclaredComponentType) {
+  DesignObject chip(chip_->id());
+  chip.SetAttr("name", "c");
+  chip.AddChild(DesignObject(stdcell_->id()));  // stdcell not a direct part
+  EXPECT_TRUE(catalog_.Validate(chip).IsConstraintViolation());
+}
+
+TEST_F(SchemaTest, ValidateRecursesIntoChildren) {
+  DesignObject chip(chip_->id());
+  chip.SetAttr("name", "c");
+  DesignObject module(module_->id());  // missing required name
+  module.AddChild(DesignObject(block_->id()));
+  chip.AddChild(module);
+  EXPECT_TRUE(catalog_.Validate(chip).IsConstraintViolation());
+}
+
+TEST_F(SchemaTest, FindAttr) {
+  EXPECT_NE(chip_->FindAttr("area"), nullptr);
+  EXPECT_EQ(chip_->FindAttr("nonexistent"), nullptr);
+}
+
+}  // namespace
+}  // namespace concord::storage

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace concord::sim {
+namespace {
+
+TEST(SimulatorTest, CalmRunCompletesAllDesigns) {
+  SimulationOptions options;
+  options.designs = 3;
+  options.complexity = 5;
+  MultiDesignerSimulation simulation(options);
+  auto report = simulation.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->designs_completed, 3);
+  EXPECT_EQ(report->designs_failed, 0);
+  EXPECT_EQ(report->workstation_crashes, 0);
+  // 5 DOPs per design.
+  EXPECT_EQ(report->dops_committed, 15u);
+  EXPECT_GT(report->sim_time, 0);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  SimulationOptions options;
+  options.designs = 2;
+  options.complexity = 4;
+  options.workstation_crash_probability = 0.05;
+  options.seed = 77;
+  MultiDesignerSimulation a(options);
+  MultiDesignerSimulation b(options);
+  auto ra = a.Run();
+  auto rb = b.Run();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->workstation_crashes, rb->workstation_crashes);
+  EXPECT_EQ(ra->scheduler_steps, rb->scheduler_steps);
+  EXPECT_EQ(ra->sim_time, rb->sim_time);
+  EXPECT_EQ(ra->dops_committed, rb->dops_committed);
+}
+
+class CrashySimulatorP : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrashySimulatorP, AllDesignsSurviveCrashInjection) {
+  SimulationOptions options;
+  options.designs = 4;
+  options.complexity = 5;
+  options.workstation_crash_probability = GetParam();
+  options.server_crash_probability = GetParam() / 4;
+  options.seed = 11;
+  MultiDesignerSimulation simulation(options);
+  auto report = simulation.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The headline invariant: crashes never lose committed work or wedge
+  // a design — everything completes, with exactly 5 DOPs per design.
+  EXPECT_EQ(report->designs_completed, 4);
+  EXPECT_EQ(report->designs_failed, 0);
+  EXPECT_EQ(report->dops_committed, 20u);
+  if (GetParam() > 0) {
+    EXPECT_GT(report->workstation_crashes + report->server_crashes, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashRates, CrashySimulatorP,
+                         ::testing::Values(0.0, 0.02, 0.1, 0.3));
+
+TEST(SimulatorTest, SystemInspectableAfterRun) {
+  SimulationOptions options;
+  options.designs = 2;
+  options.complexity = 4;
+  MultiDesignerSimulation simulation(options);
+  ASSERT_TRUE(simulation.Run().ok());
+  // Every design reached a final DOV satisfying its specification.
+  for (DaId da : simulation.das()) {
+    auto current = simulation.system().CurrentVersion(da);
+    ASSERT_TRUE(current.ok());
+    auto quality = simulation.system().cm().Evaluate(da, *current);
+    ASSERT_TRUE(quality.ok());
+    EXPECT_TRUE(quality->is_final());
+  }
+}
+
+}  // namespace
+}  // namespace concord::sim

@@ -1,0 +1,441 @@
+#include <gtest/gtest.h>
+
+#include "vlsi/floorplan.h"
+#include "vlsi/netlist.h"
+#include "vlsi/schema.h"
+#include "vlsi/shape_function.h"
+#include "vlsi/tools.h"
+
+namespace concord::vlsi {
+namespace {
+
+// --- ShapeFunction ------------------------------------------------------
+
+TEST(ShapeFunctionTest, NormalizeKeepsParetoFrontier) {
+  ShapeFunction fn({{4, 4}, {2, 8}, {8, 2}, {4, 6}, {3, 8}});
+  // (4,6) dominated by (4,4); (3,8) dominated by (2,8).
+  ASSERT_EQ(fn.size(), 3u);
+  EXPECT_EQ(fn.shapes()[0], (Shape{2, 8}));
+  EXPECT_EQ(fn.shapes()[1], (Shape{4, 4}));
+  EXPECT_EQ(fn.shapes()[2], (Shape{8, 2}));
+}
+
+TEST(ShapeFunctionTest, FixedHasOneShape) {
+  ShapeFunction fn = ShapeFunction::Fixed(3, 5);
+  ASSERT_EQ(fn.size(), 1u);
+  EXPECT_DOUBLE_EQ(fn.MinAreaShape()->Area(), 15);
+}
+
+TEST(ShapeFunctionTest, SoftRealizesAreaAcrossAspects) {
+  ShapeFunction fn = ShapeFunction::Soft(100, 0.5, 2.0, 8);
+  EXPECT_GE(fn.size(), 2u);
+  for (const Shape& s : fn.shapes()) {
+    EXPECT_NEAR(s.Area(), 100, 1e-9);
+    double aspect = s.width / s.height;
+    EXPECT_GE(aspect, 0.5 - 1e-9);
+    EXPECT_LE(aspect, 2.0 + 1e-9);
+  }
+}
+
+TEST(ShapeFunctionTest, BestUnderWidth) {
+  ShapeFunction fn({{2, 8}, {4, 4}, {8, 2}});
+  EXPECT_EQ(*fn.BestUnderWidth(5), (Shape{4, 4}));
+  EXPECT_EQ(*fn.BestUnderWidth(100), (Shape{8, 2}));
+  EXPECT_TRUE(fn.BestUnderWidth(1).status().IsNotFound());
+}
+
+TEST(ShapeFunctionTest, EmptyFunctionErrors) {
+  ShapeFunction fn;
+  EXPECT_FALSE(fn.MinAreaShape().ok());
+  EXPECT_FALSE(fn.BestUnderWidth(10).ok());
+}
+
+TEST(ShapeFunctionTest, CombineVerticalAddsWidths) {
+  ShapeFunction a = ShapeFunction::Fixed(2, 3);
+  ShapeFunction b = ShapeFunction::Fixed(4, 5);
+  ShapeFunction v = ShapeFunction::Combine(a, b, /*vertical_cut=*/true);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.shapes()[0], (Shape{6, 5}));
+  ShapeFunction h = ShapeFunction::Combine(a, b, /*vertical_cut=*/false);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.shapes()[0], (Shape{4, 8}));
+}
+
+TEST(ShapeFunctionTest, CombinedAreaAtLeastSumOfParts) {
+  ShapeFunction a = ShapeFunction::Soft(50, 0.5, 2.0, 6);
+  ShapeFunction b = ShapeFunction::Soft(80, 0.5, 2.0, 6);
+  for (bool vertical : {true, false}) {
+    ShapeFunction combined = ShapeFunction::Combine(a, b, vertical);
+    EXPECT_GE(combined.MinAreaShape()->Area(), 130 - 1e-9);
+  }
+}
+
+TEST(ShapeFunctionTest, SerializeRoundtrip) {
+  ShapeFunction fn = ShapeFunction::Soft(123.456, 0.7, 1.9, 5);
+  auto back = ShapeFunction::Deserialize(fn.Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), fn.size());
+  for (size_t i = 0; i < fn.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back->shapes()[i].width, fn.shapes()[i].width);
+    EXPECT_DOUBLE_EQ(back->shapes()[i].height, fn.shapes()[i].height);
+  }
+  EXPECT_FALSE(ShapeFunction::Deserialize("garbage").ok());
+  EXPECT_TRUE(ShapeFunction::Deserialize("")->empty());
+}
+
+/// Property sweep: Stockmeyer combination is commutative in area terms
+/// and its frontier is a strict staircase.
+class CombineP : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(CombineP, FrontierIsStaircase) {
+  auto [area_a, area_b] = GetParam();
+  ShapeFunction a = ShapeFunction::Soft(area_a, 0.4, 2.5, 7);
+  ShapeFunction b = ShapeFunction::Soft(area_b, 0.4, 2.5, 7);
+  for (bool vertical : {true, false}) {
+    ShapeFunction ab = ShapeFunction::Combine(a, b, vertical);
+    ShapeFunction ba = ShapeFunction::Combine(b, a, vertical);
+    EXPECT_NEAR(ab.MinAreaShape()->Area(), ba.MinAreaShape()->Area(), 1e-6);
+    for (size_t i = 1; i < ab.size(); ++i) {
+      EXPECT_GT(ab.shapes()[i].width, ab.shapes()[i - 1].width);
+      EXPECT_LT(ab.shapes()[i].height, ab.shapes()[i - 1].height);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CombineP,
+    ::testing::Combine(::testing::Values(10.0, 55.0, 200.0),
+                       ::testing::Values(5.0, 90.0, 400.0)));
+
+// --- Netlist ------------------------------------------------------------
+
+TEST(NetlistTest, CutSizeCountsCrossingNets) {
+  Netlist netlist;
+  netlist.AddModule("a");
+  netlist.AddModule("b");
+  netlist.AddModule("c");
+  netlist.AddNet({"n1", {"a", "b"}});
+  netlist.AddNet({"n2", {"b", "c"}});
+  netlist.AddNet({"n3", {"a", "b", "c"}});
+  EXPECT_EQ(netlist.CutSize({"a"}), 2);       // n1, n3 cross
+  EXPECT_EQ(netlist.CutSize({"a", "b"}), 2);  // n2, n3 cross
+  EXPECT_EQ(netlist.CutSize({"a", "b", "c"}), 0);
+  EXPECT_EQ(netlist.CutSize({}), 0);
+}
+
+TEST(NetlistTest, RandomIsDeterministicAndWellFormed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  Netlist a = Netlist::Random(10, 20, 4, &rng1);
+  Netlist b = Netlist::Random(10, 20, 4, &rng2);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_EQ(a.modules().size(), 10u);
+  EXPECT_EQ(a.nets().size(), 20u);
+  for (const Net& net : a.nets()) {
+    EXPECT_GE(net.pins.size(), 2u);
+    for (const std::string& pin : net.pins) {
+      EXPECT_TRUE(a.HasModule(pin));
+    }
+  }
+}
+
+TEST(NetlistTest, HighDegreeNetsTerminate) {
+  Rng rng(3);
+  // Degree up to 8 with only 4 modules: generation must still finish.
+  Netlist netlist = Netlist::Random(4, 10, 8, &rng);
+  EXPECT_EQ(netlist.nets().size(), 10u);
+}
+
+TEST(NetlistTest, SerializeRoundtrip) {
+  Rng rng(9);
+  Netlist netlist = Netlist::Random(6, 8, 3, &rng);
+  auto back = Netlist::Deserialize(netlist.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Serialize(), netlist.Serialize());
+  EXPECT_FALSE(Netlist::Deserialize("no separator").ok());
+}
+
+TEST(NetlistTest, EmptyNetlistSerializes) {
+  Netlist netlist;
+  netlist.AddModule("only");
+  auto back = Netlist::Deserialize(netlist.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->modules().size(), 1u);
+  EXPECT_TRUE(back->nets().empty());
+}
+
+// --- ChipPlanner ---------------------------------------------------------
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : rng_(11) {
+    netlist_ = Netlist::Random(8, 16, 3, &rng_);
+    for (const std::string& module : netlist_.modules()) {
+      shapes_[module] = ShapeFunction::Soft(50 + 10 * (module.size() % 3),
+                                            0.5, 2.0, 6);
+    }
+  }
+  Rng rng_;
+  Netlist netlist_;
+  std::map<std::string, ShapeFunction> shapes_;
+};
+
+TEST_F(PlannerTest, PlanPlacesEveryModuleDisjointly) {
+  ChipPlanner planner;
+  auto plan = planner.Plan(netlist_, shapes_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->cells.size(), netlist_.modules().size());
+  // All inside the outline.
+  for (const PlacedCell& cell : plan->cells) {
+    EXPECT_GE(cell.x, -1e-9);
+    EXPECT_GE(cell.y, -1e-9);
+    EXPECT_LE(cell.x + cell.width, plan->width + 1e-6);
+    EXPECT_LE(cell.y + cell.height, plan->height + 1e-6);
+  }
+  // Pairwise disjoint (slicing structure guarantees it; verify).
+  for (size_t i = 0; i < plan->cells.size(); ++i) {
+    for (size_t j = i + 1; j < plan->cells.size(); ++j) {
+      const PlacedCell& a = plan->cells[i];
+      const PlacedCell& b = plan->cells[j];
+      bool overlap = a.x < b.x + b.width - 1e-9 &&
+                     b.x < a.x + a.width - 1e-9 &&
+                     a.y < b.y + b.height - 1e-9 &&
+                     b.y < a.y + a.height - 1e-9;
+      EXPECT_FALSE(overlap) << a.name << " overlaps " << b.name;
+    }
+  }
+  EXPECT_GT(plan->wirelength, 0);
+}
+
+TEST_F(PlannerTest, ChipAreaCoversSumOfModuleMinAreas) {
+  ChipPlanner planner;
+  auto plan = planner.Plan(netlist_, shapes_);
+  ASSERT_TRUE(plan.ok());
+  double sum = 0;
+  for (const auto& [name, fn] : shapes_) sum += fn.MinAreaShape()->Area();
+  EXPECT_GE(plan->Area(), sum - 1e-6);
+  // Slicing floorplans waste some area but not absurdly much here.
+  EXPECT_LE(plan->Area(), sum * 2.5);
+}
+
+TEST_F(PlannerTest, MaxWidthRespected) {
+  ChipPlanner::Options options;
+  options.max_width = 40;
+  ChipPlanner planner(options);
+  auto plan = planner.Plan(netlist_, shapes_);
+  if (plan.ok()) {
+    EXPECT_LE(plan->width, 40 + 1e-9);
+  }  // (an infeasible bound surfacing as an error is also acceptable)
+}
+
+TEST_F(PlannerTest, InfeasibleWidthFails) {
+  ChipPlanner::Options options;
+  options.max_width = 0.5;  // nothing fits
+  ChipPlanner planner(options);
+  EXPECT_FALSE(planner.Plan(netlist_, shapes_).ok());
+}
+
+TEST_F(PlannerTest, MissingShapeFunctionFails) {
+  shapes_.erase(shapes_.begin());
+  ChipPlanner planner;
+  auto tree = planner.Bipartition(netlist_, shapes_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(planner.Size(**tree, shapes_).ok());
+}
+
+TEST_F(PlannerTest, EmptyNetlistRejected) {
+  ChipPlanner planner;
+  EXPECT_FALSE(planner.Plan(Netlist{}, shapes_).ok());
+}
+
+TEST_F(PlannerTest, SingleModulePlan) {
+  Netlist single;
+  single.AddModule("m0");
+  std::map<std::string, ShapeFunction> shapes{
+      {"m0", ShapeFunction::Fixed(4, 6)}};
+  ChipPlanner planner;
+  auto plan = planner.Plan(single, shapes);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->Area(), 24);
+}
+
+TEST(FloorplanTest, SerializeRoundtrip) {
+  Floorplan fp;
+  fp.width = 10.5;
+  fp.height = 8.25;
+  fp.wirelength = 33.3;
+  fp.cut_size = 4;
+  fp.cells.push_back({"m0", 0, 0, 5, 8.25});
+  fp.cells.push_back({"m1", 5, 0, 5.5, 8.25});
+  auto back = Floorplan::Deserialize(fp.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->width, fp.width);
+  EXPECT_EQ(back->cut_size, 4);
+  ASSERT_EQ(back->cells.size(), 2u);
+  EXPECT_EQ(back->cells[1].name, "m1");
+  EXPECT_NE(back->Find("m0"), nullptr);
+  EXPECT_EQ(back->Find("zz"), nullptr);
+}
+
+// --- Schema & tools ----------------------------------------------------------
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  ToolsTest() : rng_(21) {
+    dots_ = RegisterVlsiSchema(&catalog_);
+    toolbox_ = std::make_unique<ToolBox>(dots_);
+  }
+
+  storage::DesignObject RunPipelineUpTo(const std::string& last_tool) {
+    storage::DesignObject obj = MakeBehavioralChip(dots_, "chip", 6);
+    for (const char* tool :
+         {kToolStructureSynthesis, kToolShapeFunctionGen, kToolPadFrameEdit,
+          kToolChipPlanning, kToolChipAssembly}) {
+      auto result = toolbox_->Run(tool, obj, &rng_);
+      EXPECT_TRUE(result.ok()) << tool << ": " << result.status().ToString();
+      if (!result.ok()) return obj;
+      obj = result->object;
+      if (last_tool == tool) break;
+    }
+    return obj;
+  }
+
+  storage::SchemaCatalog catalog_;
+  VlsiDots dots_;
+  std::unique_ptr<ToolBox> toolbox_;
+  Rng rng_;
+};
+
+TEST_F(ToolsTest, SchemaRegistersPartOfChain) {
+  EXPECT_TRUE(catalog_.IsPartOf(dots_.module, dots_.chip));
+  EXPECT_TRUE(catalog_.IsPartOf(dots_.stdcell, dots_.chip));
+  EXPECT_FALSE(catalog_.IsPartOf(dots_.chip, dots_.stdcell));
+}
+
+TEST_F(ToolsTest, BehavioralChipValidatesAgainstSchema) {
+  storage::DesignObject chip = MakeBehavioralChip(dots_, "adder", 4);
+  EXPECT_TRUE(catalog_.Validate(chip).ok());
+  EXPECT_EQ(chip.GetAttr(kAttrDomain)->as_string(), kDomainBehavior);
+}
+
+TEST_F(ToolsTest, StructureSynthesisMovesToStructureDomain) {
+  storage::DesignObject chip = MakeBehavioralChip(dots_, "chip", 6);
+  auto result = toolbox_->StructureSynthesis(chip, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->object.GetAttr(kAttrDomain)->as_string(),
+            kDomainStructure);
+  auto netlist =
+      Netlist::Deserialize(result->object.GetAttr(kAttrNetlist)->as_string());
+  ASSERT_TRUE(netlist.ok());
+  EXPECT_EQ(netlist->modules().size(), 6u);
+  EXPECT_GT(result->work_units, 0u);
+  EXPECT_TRUE(catalog_.Validate(result->object).ok());
+}
+
+TEST_F(ToolsTest, ToolsRejectWrongDomain) {
+  storage::DesignObject chip = MakeBehavioralChip(dots_, "chip", 6);
+  // Planning requires structure domain.
+  EXPECT_FALSE(toolbox_->ChipPlanning(chip).ok());
+  // Synthesis requires behavior domain.
+  auto structured = toolbox_->StructureSynthesis(chip, &rng_);
+  EXPECT_FALSE(
+      toolbox_->StructureSynthesis(structured->object, &rng_).ok());
+  // Assembly requires floorplan domain.
+  EXPECT_FALSE(toolbox_->ChipAssembly(chip).ok());
+}
+
+TEST_F(ToolsTest, FullPipelineReachesMaskLayout) {
+  storage::DesignObject final_obj = RunPipelineUpTo(kToolChipAssembly);
+  EXPECT_EQ(final_obj.GetAttr(kAttrDomain)->as_string(), kDomainMaskLayout);
+  EXPECT_GT(*final_obj.GetNumeric(kAttrArea), 0);
+  EXPECT_GT(*final_obj.GetNumeric(kAttrWirelength), 0);
+  EXPECT_TRUE(catalog_.Validate(final_obj).ok());
+}
+
+TEST_F(ToolsTest, RepartitioningKeepsModules) {
+  storage::DesignObject structured = RunPipelineUpTo(kToolStructureSynthesis);
+  auto before =
+      Netlist::Deserialize(structured.GetAttr(kAttrNetlist)->as_string());
+  auto result = toolbox_->Repartitioning(structured, &rng_);
+  ASSERT_TRUE(result.ok());
+  auto after =
+      Netlist::Deserialize(result->object.GetAttr(kAttrNetlist)->as_string());
+  EXPECT_EQ(after->modules().size(), before->modules().size());
+  EXPECT_EQ(after->nets().size(), before->nets().size());
+}
+
+TEST_F(ToolsTest, ShapeFunctionGenerationCoversAllModules) {
+  storage::DesignObject structured = RunPipelineUpTo(kToolStructureSynthesis);
+  auto result = toolbox_->ShapeFunctionGeneration(structured);
+  ASSERT_TRUE(result.ok());
+  auto table =
+      DeserializeShapeTable(result->object.GetAttr(kAttrShapes)->as_string());
+  ASSERT_TRUE(table.ok());
+  auto netlist =
+      Netlist::Deserialize(structured.GetAttr(kAttrNetlist)->as_string());
+  EXPECT_EQ(table->size(), netlist->modules().size());
+  for (const auto& [name, fn] : *table) {
+    EXPECT_FALSE(fn.empty());
+  }
+}
+
+TEST_F(ToolsTest, PadFrameEditSetsInterface) {
+  storage::DesignObject obj = RunPipelineUpTo(kToolShapeFunctionGen);
+  auto result = toolbox_->PadFrameEdit(obj, 55.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result->object.GetNumeric(kAttrMaxWidth), 55.0);
+  EXPECT_TRUE(result->object.HasAttr(kAttrPadFrame));
+}
+
+TEST_F(ToolsTest, ChipPlanningRespectsInterfaceWidth) {
+  storage::DesignObject obj = RunPipelineUpTo(kToolShapeFunctionGen);
+  auto padded = toolbox_->PadFrameEdit(obj, 1e9);  // no effective bound
+  auto plan = toolbox_->ChipPlanning(padded->object);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->object.GetAttr(kAttrDomain)->as_string(), kDomainFloorplan);
+  EXPECT_GT(*plan->object.GetNumeric(kAttrArea), 0);
+}
+
+TEST_F(ToolsTest, InfeasibleInterfaceSurfacesAsError) {
+  storage::DesignObject obj = RunPipelineUpTo(kToolShapeFunctionGen);
+  auto padded = toolbox_->PadFrameEdit(obj, 0.1);
+  EXPECT_FALSE(toolbox_->ChipPlanning(padded->object).ok());
+}
+
+TEST_F(ToolsTest, CellSynthesisFixesShape) {
+  storage::DesignObject cell(dots_.stdcell);
+  cell.SetAttr(kAttrName, "and2");
+  cell.SetAttr(kAttrDomain, kDomainStructure);
+  cell.SetAttr(kAttrArea, 36.0);
+  auto result = toolbox_->CellSynthesis(cell);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(*result->object.GetNumeric(kAttrWidth), 0);
+  EXPECT_EQ(result->object.GetAttr(kAttrDomain)->as_string(),
+            kDomainMaskLayout);
+}
+
+TEST_F(ToolsTest, UnknownToolNameRejected) {
+  storage::DesignObject chip = MakeBehavioralChip(dots_, "chip", 4);
+  EXPECT_TRUE(toolbox_->Run("no_such_tool", chip, &rng_).status().IsNotFound());
+}
+
+TEST_F(ToolsTest, ShapeTableSerializeRoundtrip) {
+  std::map<std::string, ShapeFunction> table;
+  table["a"] = ShapeFunction::Soft(10, 0.5, 2, 4);
+  table["b"] = ShapeFunction::Fixed(3, 4);
+  auto back = DeserializeShapeTable(SerializeShapeTable(table));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->at("b").shapes()[0], (Shape{3, 4}));
+  EXPECT_FALSE(DeserializeShapeTable("noequals").ok());
+  EXPECT_TRUE(DeserializeShapeTable("")->empty());
+}
+
+TEST_F(ToolsTest, AllToolNamesListsSeven) {
+  EXPECT_EQ(AllToolNames().size(), 7u);
+}
+
+}  // namespace
+}  // namespace concord::vlsi

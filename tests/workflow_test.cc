@@ -1,0 +1,519 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "workflow/constraints.h"
+#include "workflow/design_manager.h"
+#include "workflow/events.h"
+#include "workflow/script.h"
+
+namespace concord::workflow {
+namespace {
+
+// --- Script ----------------------------------------------------------------
+
+std::unique_ptr<ScriptNode> Seq3(const std::string& a, const std::string& b,
+                                 const std::string& c) {
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop(a));
+  steps.push_back(ScriptNode::Dop(b));
+  steps.push_back(ScriptNode::Dop(c));
+  return ScriptNode::Sequence(std::move(steps));
+}
+
+TEST(ScriptTest, BuildersSetKindAndName) {
+  auto dop = ScriptNode::Dop("synth");
+  EXPECT_EQ(dop->kind(), ScriptNode::Kind::kDop);
+  EXPECT_EQ(dop->name(), "synth");
+  EXPECT_EQ(ScriptNode::Open()->kind(), ScriptNode::Kind::kOpen);
+  EXPECT_EQ(ScriptNode::DaOp("Evaluate")->name(), "Evaluate");
+}
+
+TEST(ScriptTest, PossibleDopTypesCollectsLeaves) {
+  Script script("s", Seq3("a", "b", "a"));
+  auto types = script.root()->PossibleDopTypes();
+  EXPECT_EQ(types, (std::vector<std::string>{"a", "b", "a"}));
+}
+
+TEST(ScriptTest, CloneIsDeep) {
+  Script original("s", Seq3("a", "b", "c"));
+  Script copy = original;  // copy ctor clones
+  EXPECT_NE(copy.root(), original.root());
+  EXPECT_EQ(copy.root()->TreeSize(), original.root()->TreeSize());
+  EXPECT_EQ(copy.ToString(), original.ToString());
+}
+
+TEST(ScriptTest, TreeSizeCountsAllNodes) {
+  std::vector<std::unique_ptr<ScriptNode>> alts;
+  alts.push_back(ScriptNode::Dop("x"));
+  alts.push_back(ScriptNode::Dop("y"));
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop("a"));
+  steps.push_back(ScriptNode::Alternative(std::move(alts)));
+  Script script("s", ScriptNode::Sequence(std::move(steps)));
+  EXPECT_EQ(script.root()->TreeSize(), 5u);
+}
+
+// --- Constraints ------------------------------------------------------------
+
+TEST(ConstraintsTest, AdmissiblePrecedes) {
+  ConstraintSet cs;
+  cs.Precedes("synth", "assembly");
+  EXPECT_TRUE(cs.CheckAdmissible({}, "synth").ok());
+  EXPECT_TRUE(cs.CheckAdmissible({}, "assembly").IsConstraintViolation());
+  EXPECT_TRUE(cs.CheckAdmissible({"synth"}, "assembly").ok());
+}
+
+TEST(ConstraintsTest, AdmissibleImmediatelyFollowedBy) {
+  ConstraintSet cs;
+  cs.ImmediatelyFollowedBy("pad", "plan");
+  EXPECT_TRUE(cs.CheckAdmissible({"pad"}, "plan").ok());
+  EXPECT_TRUE(cs.CheckAdmissible({"pad"}, "other").IsConstraintViolation());
+  EXPECT_TRUE(cs.CheckAdmissible({"x"}, "other").ok());
+}
+
+TEST(ConstraintsTest, CompletenessObligations) {
+  ConstraintSet cs;
+  cs.EventuallyFollowedBy("plan", "assembly");
+  EXPECT_TRUE(cs.CheckComplete({"plan", "x", "assembly"}).ok());
+  EXPECT_TRUE(cs.CheckComplete({"plan", "x"}).IsConstraintViolation());
+  EXPECT_TRUE(cs.CheckComplete({"x"}).ok());  // no 'plan' at all
+  // Each occurrence needs its own follower.
+  EXPECT_TRUE(
+      cs.CheckComplete({"plan", "assembly", "plan"}).IsConstraintViolation());
+}
+
+TEST(ConstraintsTest, StaticValidationRejectsBadSequence) {
+  ConstraintSet cs;
+  cs.Precedes("synth", "assembly");
+  Script bad("bad", Seq3("assembly", "synth", "x"));
+  EXPECT_TRUE(cs.ValidateScript(bad).IsConstraintViolation());
+  Script good("good", Seq3("synth", "x", "assembly"));
+  EXPECT_TRUE(cs.ValidateScript(good).ok());
+}
+
+TEST(ConstraintsTest, StaticValidationAlternativeIntersection) {
+  ConstraintSet cs;
+  cs.Precedes("a", "b");
+  // alt( a , c ) ; b  — 'a' is not guaranteed (the c-path skips it).
+  std::vector<std::unique_ptr<ScriptNode>> alts;
+  alts.push_back(ScriptNode::Dop("a"));
+  alts.push_back(ScriptNode::Dop("c"));
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Alternative(std::move(alts)));
+  steps.push_back(ScriptNode::Dop("b"));
+  Script script("s", ScriptNode::Sequence(std::move(steps)));
+  EXPECT_TRUE(cs.ValidateScript(script).IsConstraintViolation());
+}
+
+TEST(ConstraintsTest, StaticValidationAlternativeBothPathsProvide) {
+  ConstraintSet cs;
+  cs.Precedes("a", "b");
+  std::vector<std::unique_ptr<ScriptNode>> alts;
+  alts.push_back(ScriptNode::Dop("a"));
+  {
+    std::vector<std::unique_ptr<ScriptNode>> path;
+    path.push_back(ScriptNode::Dop("x"));
+    path.push_back(ScriptNode::Dop("a"));
+    alts.push_back(ScriptNode::Sequence(std::move(path)));
+  }
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Alternative(std::move(alts)));
+  steps.push_back(ScriptNode::Dop("b"));
+  Script script("s", ScriptNode::Sequence(std::move(steps)));
+  EXPECT_TRUE(cs.ValidateScript(script).ok());
+}
+
+TEST(ConstraintsTest, StaticValidationBranchInterleaving) {
+  ConstraintSet cs;
+  cs.Precedes("a", "b");
+  // branch(a, b): b may start before a completes -> reject.
+  std::vector<std::unique_ptr<ScriptNode>> branches;
+  branches.push_back(ScriptNode::Dop("a"));
+  branches.push_back(ScriptNode::Dop("b"));
+  Script script("s", ScriptNode::Branch(std::move(branches)));
+  EXPECT_TRUE(cs.ValidateScript(script).IsConstraintViolation());
+  // seq(a, branch(b, c)) is fine: a completes before the branch forks.
+  std::vector<std::unique_ptr<ScriptNode>> branches2;
+  branches2.push_back(ScriptNode::Dop("b"));
+  branches2.push_back(ScriptNode::Dop("c"));
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop("a"));
+  steps.push_back(ScriptNode::Branch(std::move(branches2)));
+  Script ok("s2", ScriptNode::Sequence(std::move(steps)));
+  EXPECT_TRUE(cs.ValidateScript(ok).ok());
+}
+
+TEST(ConstraintsTest, OpenSegmentsPassStaticValidation) {
+  ConstraintSet cs;
+  cs.Precedes("synth", "assembly");
+  // Fig. 6a: synth ... open ... assembly.
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop("synth"));
+  steps.push_back(ScriptNode::Open());
+  steps.push_back(ScriptNode::Dop("assembly"));
+  Script script("fig6a", ScriptNode::Sequence(std::move(steps)));
+  EXPECT_TRUE(cs.ValidateScript(script).ok());
+}
+
+// --- ECA rules ---------------------------------------------------------------
+
+TEST(RuleEngineTest, DispatchMatchesTypeAndCondition) {
+  RuleEngine rules;
+  int fired = 0;
+  rules.AddRule(
+      "Require", "auto-propagate",
+      [](const Event& e) { return e.params.count("ok") > 0; },
+      [&](const Event&) {
+        ++fired;
+        return Status::OK();
+      });
+  Event matching{"Require", DaId(1), DovId(), {{"ok", "1"}}};
+  Event wrong_type{"Propose", DaId(1), DovId(), {{"ok", "1"}}};
+  Event failing_cond{"Require", DaId(1), DovId(), {}};
+  EXPECT_EQ(rules.Dispatch(matching), 1);
+  EXPECT_EQ(rules.Dispatch(wrong_type), 0);
+  EXPECT_EQ(rules.Dispatch(failing_cond), 0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RuleEngineTest, ActionErrorsCollected) {
+  RuleEngine rules;
+  rules.AddRule("E", "fails", nullptr,
+                [](const Event&) { return Status::Aborted("rule boom"); });
+  rules.AddRule("E", "succeeds", nullptr,
+                [](const Event&) { return Status::OK(); });
+  std::vector<Status> errors;
+  EXPECT_EQ(rules.Dispatch(Event{"E", DaId(), DovId(), {}}, &errors), 2);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_TRUE(errors[0].IsAborted());
+}
+
+TEST(RuleEngineTest, RemoveRule) {
+  RuleEngine rules;
+  RuleId id = rules.AddRule("E", "r", nullptr, nullptr);
+  EXPECT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules.RemoveRule(id).ok());
+  EXPECT_TRUE(rules.RemoveRule(id).IsNotFound());
+  EXPECT_EQ(rules.size(), 0u);
+}
+
+// --- DesignManager -----------------------------------------------------------
+
+/// Tool runner stub: every DOP commits and yields a fresh DOV id.
+class StubTools {
+ public:
+  ToolRunner Runner() {
+    return [this](const std::string& type) -> Result<DopOutcome> {
+      executed.push_back(type);
+      DopOutcome outcome;
+      outcome.committed = !fail_types.count(type);
+      if (outcome.committed) outcome.output = DovId(++next_dov);
+      if (!last_inputs.empty()) outcome.inputs = last_inputs;
+      return outcome;
+    };
+  }
+  std::vector<std::string> executed;
+  std::set<std::string> fail_types;
+  std::vector<DovId> last_inputs;
+  uint64_t next_dov = 100;
+};
+
+class DmTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<DesignManager> MakeDm(Script script,
+                                        const ConstraintSet* cs = nullptr) {
+    auto dm = std::make_unique<DesignManager>(DaId(1), std::move(script), cs,
+                                              &clock_);
+    dm->SetToolRunner(tools_.Runner());
+    return dm;
+  }
+  SimClock clock_;
+  StubTools tools_;
+};
+
+TEST_F(DmTest, RunsSequenceInOrder) {
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  ASSERT_TRUE(dm->Start().ok());
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->state(), DmState::kCompleted);
+  EXPECT_EQ(dm->CompletedDops(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(dm->ProducedDovs().size(), 3u);
+  EXPECT_EQ(dm->stats().dops_run, 3u);
+}
+
+TEST_F(DmTest, StepRequiresStart) {
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  EXPECT_FALSE(dm->Step().ok());
+}
+
+TEST_F(DmTest, DoubleStartRejected) {
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  dm->Start().ok();
+  EXPECT_TRUE(dm->Start().IsFailedPrecondition());
+}
+
+TEST_F(DmTest, AlternativeUsesDecisionMaker) {
+  class PickSecond : public DecisionMaker {
+   public:
+    size_t ChooseAlternative(const ScriptNode&) override { return 1; }
+    bool ContinueIteration(const ScriptNode&, int) override { return false; }
+    std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+      return {};
+    }
+  };
+  std::vector<std::unique_ptr<ScriptNode>> alts;
+  alts.push_back(ScriptNode::Dop("first"));
+  alts.push_back(ScriptNode::Dop("second"));
+  auto dm = MakeDm(Script("s", ScriptNode::Alternative(std::move(alts))));
+  PickSecond decider;
+  dm->SetDecisionMaker(&decider);
+  dm->Start().ok();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->CompletedDops(), std::vector<std::string>{"second"});
+}
+
+TEST_F(DmTest, OutOfRangeAlternativeChoiceFails) {
+  class PickBad : public DecisionMaker {
+   public:
+    size_t ChooseAlternative(const ScriptNode&) override { return 5; }
+    bool ContinueIteration(const ScriptNode&, int) override { return false; }
+    std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+      return {};
+    }
+  };
+  std::vector<std::unique_ptr<ScriptNode>> alts;
+  alts.push_back(ScriptNode::Dop("only"));
+  auto dm = MakeDm(Script("s", ScriptNode::Alternative(std::move(alts))));
+  PickBad decider;
+  dm->SetDecisionMaker(&decider);
+  dm->Start().ok();
+  EXPECT_FALSE(dm->RunToCompletion().ok());
+}
+
+TEST_F(DmTest, IterationRepeatsBody) {
+  class TwoMore : public DecisionMaker {
+   public:
+    size_t ChooseAlternative(const ScriptNode&) override { return 0; }
+    bool ContinueIteration(const ScriptNode&, int passes) override {
+      return passes < 3;
+    }
+    std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+      return {};
+    }
+  };
+  auto dm = MakeDm(
+      Script("s", ScriptNode::Iteration(ScriptNode::Dop("body"), 10)));
+  TwoMore decider;
+  dm->SetDecisionMaker(&decider);
+  dm->Start().ok();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->CompletedDops().size(), 3u);
+}
+
+TEST_F(DmTest, IterationBoundedByMaxIterations) {
+  class Forever : public DecisionMaker {
+   public:
+    size_t ChooseAlternative(const ScriptNode&) override { return 0; }
+    bool ContinueIteration(const ScriptNode&, int) override { return true; }
+    std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+      return {};
+    }
+  };
+  auto dm =
+      MakeDm(Script("s", ScriptNode::Iteration(ScriptNode::Dop("body"), 4)));
+  Forever decider;
+  dm->SetDecisionMaker(&decider);
+  dm->Start().ok();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->CompletedDops().size(), 4u);
+}
+
+TEST_F(DmTest, OpenSegmentRunsPlannedActions) {
+  class OpenPlanner : public DecisionMaker {
+   public:
+    size_t ChooseAlternative(const ScriptNode&) override { return 0; }
+    bool ContinueIteration(const ScriptNode&, int) override { return false; }
+    std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+      return {"x", "y"};
+    }
+  };
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Dop("a"));
+  steps.push_back(ScriptNode::Open());
+  steps.push_back(ScriptNode::Dop("b"));
+  auto dm = MakeDm(Script("s", ScriptNode::Sequence(std::move(steps))));
+  OpenPlanner decider;
+  dm->SetDecisionMaker(&decider);
+  dm->Start().ok();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->CompletedDops(),
+            (std::vector<std::string>{"a", "x", "y", "b"}));
+}
+
+TEST_F(DmTest, ConstraintRejectionStopsExecution) {
+  ConstraintSet cs;
+  cs.Precedes("synth", "assembly");
+  // Script is statically fine (open could supply synth) but the
+  // designer plans nothing, so the runtime check fires.
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Open());
+  steps.push_back(ScriptNode::Dop("assembly"));
+  auto dm = MakeDm(Script("s", ScriptNode::Sequence(std::move(steps))), &cs);
+  dm->Start().ok();
+  Status st = dm->RunToCompletion();
+  EXPECT_TRUE(st.IsConstraintViolation());
+  EXPECT_EQ(dm->stats().constraint_rejections, 1u);
+}
+
+TEST_F(DmTest, StaticallyInvalidScriptFailsStart) {
+  ConstraintSet cs;
+  cs.Precedes("synth", "assembly");
+  auto dm = MakeDm(Script("s", Seq3("assembly", "x", "y")), &cs);
+  EXPECT_TRUE(dm->Start().IsConstraintViolation());
+}
+
+TEST_F(DmTest, AbortedDopLeavesRetryPoint) {
+  tools_.fail_types.insert("b");
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  dm->Start().ok();
+  Status st = dm->RunToCompletion();
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(dm->CompletedDops(), std::vector<std::string>{"a"});
+  // Designer fixes the tool; retrying continues from 'b'.
+  tools_.fail_types.clear();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->CompletedDops(), (std::vector<std::string>{"a", "b", "c"}));
+  // 'a' ran once only.
+  EXPECT_EQ(std::count(tools_.executed.begin(), tools_.executed.end(), "a"),
+            1);
+}
+
+TEST_F(DmTest, CrashRecoveryReplaysWithoutReexecution) {
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  dm->Start().ok();
+  // Run two steps' worth: sequence-frame advance + DOPs. Step until two
+  // DOPs completed.
+  while (dm->CompletedDops().size() < 2) {
+    ASSERT_TRUE(dm->Step().ok());
+  }
+  size_t executed_before = tools_.executed.size();
+  dm->Crash();
+  EXPECT_EQ(dm->state(), DmState::kCrashed);
+  ASSERT_TRUE(dm->Recover().ok());
+  EXPECT_EQ(dm->state(), DmState::kActive);
+  // Replay restored history without re-running tools.
+  EXPECT_EQ(dm->CompletedDops(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(tools_.executed.size(), executed_before);
+  EXPECT_EQ(dm->stats().dops_replayed, 2u);
+  // Finish live.
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->CompletedDops().size(), 3u);
+  EXPECT_EQ(tools_.executed.size(), executed_before + 1);
+}
+
+TEST_F(DmTest, RecoveryReplaysDecisions) {
+  class PickSecondOnce : public DecisionMaker {
+   public:
+    size_t ChooseAlternative(const ScriptNode&) override {
+      ++alternative_calls;
+      return 1;
+    }
+    bool ContinueIteration(const ScriptNode&, int) override { return false; }
+    std::vector<std::string> PlanOpenSegment(const ScriptNode&) override {
+      return {};
+    }
+    int alternative_calls = 0;
+  };
+  std::vector<std::unique_ptr<ScriptNode>> alts;
+  alts.push_back(ScriptNode::Dop("first"));
+  alts.push_back(ScriptNode::Dop("second"));
+  std::vector<std::unique_ptr<ScriptNode>> steps;
+  steps.push_back(ScriptNode::Alternative(std::move(alts)));
+  steps.push_back(ScriptNode::Dop("tail"));
+  auto dm = MakeDm(Script("s", ScriptNode::Sequence(std::move(steps))));
+  PickSecondOnce decider;
+  dm->SetDecisionMaker(&decider);
+  dm->Start().ok();
+  while (dm->CompletedDops().size() < 1) ASSERT_TRUE(dm->Step().ok());
+  dm->Crash();
+  ASSERT_TRUE(dm->Recover().ok());
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  // The alternative was decided once (before the crash), then replayed.
+  EXPECT_EQ(decider.alternative_calls, 1);
+  EXPECT_EQ(dm->CompletedDops(),
+            (std::vector<std::string>{"second", "tail"}));
+}
+
+TEST_F(DmTest, SpecModificationEventRestartsExecution) {
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  dm->Start().ok();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->state(), DmState::kCompleted);
+
+  Event modify{"Modify_Sub_DA_Specification", DaId(9), DovId(), {}};
+  ASSERT_TRUE(dm->HandleEvent(modify).ok());
+  EXPECT_EQ(dm->state(), DmState::kActive);
+  EXPECT_EQ(dm->stats().restarts, 1u);
+  // Previously produced DOVs remain available as starting points.
+  EXPECT_EQ(dm->ProducedDovs().size(), 3u);
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->ProducedDovs().size(), 6u);
+}
+
+TEST_F(DmTest, WithdrawalPausesOnlyIfDovWasUsed) {
+  tools_.last_inputs = {DovId(55)};
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  dm->Start().ok();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+
+  Event unrelated{"Withdrawal", DaId(2), DovId(77), {}};
+  dm->HandleEvent(unrelated).ok();
+  EXPECT_EQ(dm->state(), DmState::kCompleted);  // not affected
+
+  Event used{"Withdrawal", DaId(2), DovId(55), {}};
+  dm->HandleEvent(used).ok();
+  EXPECT_EQ(dm->state(), DmState::kPaused);
+  EXPECT_TRUE(dm->UsedDov(DovId(55)));
+  ASSERT_TRUE(dm->ResumeAfterPause().ok());
+  EXPECT_EQ(dm->state(), DmState::kActive);
+}
+
+TEST_F(DmTest, EcaRuleFiresOnEvent) {
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  int propagated = 0;
+  dm->rules().AddRule(
+      "Require", "WHEN Require IF available THEN Propagate",
+      [](const Event&) { return true; },
+      [&](const Event&) {
+        ++propagated;
+        return Status::OK();
+      });
+  dm->Start().ok();
+  dm->HandleEvent(Event{"Require", DaId(3), DovId(), {}}).ok();
+  EXPECT_EQ(propagated, 1);
+  EXPECT_EQ(dm->stats().rules_fired, 1u);
+}
+
+TEST_F(DmTest, RecoveryAfterRestartEventReplaysBothRuns) {
+  auto dm = MakeDm(Script("s", Seq3("a", "b", "c")));
+  dm->Start().ok();
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  dm->HandleEvent(Event{"Restart", DaId(), DovId(), {}}).ok();
+  while (dm->CompletedDops().size() < 1) ASSERT_TRUE(dm->Step().ok());
+  size_t executed_before = tools_.executed.size();
+
+  dm->Crash();
+  ASSERT_TRUE(dm->Recover().ok());
+  // Post-restart prefix: one DOP completed.
+  EXPECT_EQ(dm->CompletedDops(), std::vector<std::string>{"a"});
+  EXPECT_EQ(tools_.executed.size(), executed_before);
+  ASSERT_TRUE(dm->RunToCompletion().ok());
+  EXPECT_EQ(dm->state(), DmState::kCompleted);
+}
+
+}  // namespace
+}  // namespace concord::workflow
