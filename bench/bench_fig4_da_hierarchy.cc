@@ -12,7 +12,7 @@
 namespace concord {
 namespace {
 
-cooperation::DaDescription Desc(core::ConcordSystem& system, DotId dot,
+cooperation::DaDescription Desc(core::ConcordSystem& /*system*/, DotId dot,
                                 NodeId ws) {
   cooperation::DaDescription desc;
   desc.dot = dot;

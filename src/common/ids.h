@@ -1,6 +1,7 @@
 #ifndef CONCORD_COMMON_IDS_H_
 #define CONCORD_COMMON_IDS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <ostream>
@@ -72,16 +73,20 @@ using MsgId = Id<MsgTag>;
 /// A cell in the VLSI cell hierarchy.
 using CellId = Id<CellTag>;
 
-/// Monotonic id generator. Not thread-safe; CONCORD's simulation is
-/// single-threaded by design (determinism), so each component owns one.
+/// Monotonic id generator. Thread-safe: ids may be drawn concurrently
+/// (e.g. parallel checkins asking the repository for fresh DOV ids);
+/// single-threaded components pay one uncontended atomic increment,
+/// which keeps deterministic runs deterministic.
 template <typename IdType>
 class IdGenerator {
  public:
-  IdType Next() { return IdType(++last_); }
-  uint64_t last() const { return last_; }
+  IdType Next() {
+    return IdType(last_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+  uint64_t last() const { return last_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t last_ = 0;
+  std::atomic<uint64_t> last_{0};
 };
 
 }  // namespace concord

@@ -6,6 +6,12 @@
 #include <string>
 #include <utility>
 
+// The codebase requires C++20 (defaulted operator==, atomic generators).
+// Fail loudly here — in the most widely included header — rather than
+// with a cryptic error deep inside some translation unit.
+static_assert(__cplusplus >= 202002L,
+              "concord requires C++20; configure with CMAKE_CXX_STANDARD=20");
+
 namespace concord {
 
 /// Machine-readable category of a failure. The categories mirror the

@@ -1,0 +1,60 @@
+#ifndef CONCORD_COMMON_SYNC_H_
+#define CONCORD_COMMON_SYNC_H_
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+namespace concord {
+
+/// A shared mutex that never starves exclusive lockers.
+///
+/// glibc's pthread rwlock (behind std::shared_mutex) prefers readers: a
+/// continuous stream of shared holders keeps an exclusive waiter out
+/// forever. The repository's failure-injection path (Crash/Recover/
+/// Checkpoint) takes the state lock exclusively while commit traffic
+/// hammers it shared, so writer starvation there means a hang.
+///
+/// New shared acquirers back off (yield) while any exclusive locker is
+/// waiting or active; the uncontended shared path stays one atomic load
+/// plus the underlying rwlock. Meets the Lockable/SharedLockable
+/// requirements used by std::unique_lock / std::shared_lock.
+class WriterPriorityMutex {
+ public:
+  WriterPriorityMutex() = default;
+  WriterPriorityMutex(const WriterPriorityMutex&) = delete;
+  WriterPriorityMutex& operator=(const WriterPriorityMutex&) = delete;
+
+  void lock_shared() {
+    for (;;) {
+      while (writers_.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+      }
+      mu_.lock_shared();
+      if (writers_.load(std::memory_order_acquire) == 0) return;
+      // An exclusive locker arrived between the check and the grab;
+      // give way so the reader-preferring rwlock can drain.
+      mu_.unlock_shared();
+    }
+  }
+
+  void unlock_shared() { mu_.unlock_shared(); }
+
+  void lock() {
+    writers_.fetch_add(1, std::memory_order_acq_rel);
+    mu_.lock();
+  }
+
+  void unlock() {
+    writers_.fetch_sub(1, std::memory_order_acq_rel);
+    mu_.unlock();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<int> writers_{0};
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_COMMON_SYNC_H_

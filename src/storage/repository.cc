@@ -17,20 +17,26 @@ std::string DovRecord::ToString() const {
 Repository::Repository(SimClock* clock) : clock_(clock) {}
 
 TxnId Repository::Begin() {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
   TxnId id = txn_gen_.Next();
-  active_.emplace(id, PendingTxn{});
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_.emplace(id, PendingTxn{});
+  }
   ++stats_.txns_begun;
   return id;
 }
 
 Status Repository::Put(TxnId txn, DovRecord record) {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  if (!record.id.valid()) {
+    return Status::InvalidArgument("DOV record has no id");
+  }
+  std::lock_guard<std::mutex> lock(active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
     return Status::NotFound("no active repository transaction " +
                             txn.ToString());
-  }
-  if (!record.id.valid()) {
-    return Status::InvalidArgument("DOV record has no id");
   }
   it->second.dov_writes.push_back(std::move(record));
   return Status::OK();
@@ -38,6 +44,8 @@ Status Repository::Put(TxnId txn, DovRecord record) {
 
 Status Repository::PutMeta(TxnId txn, const std::string& key,
                            const std::string& value) {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::lock_guard<std::mutex> lock(active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
     return Status::NotFound("no active repository transaction " +
@@ -48,6 +56,8 @@ Status Repository::PutMeta(TxnId txn, const std::string& key,
 }
 
 Status Repository::DeleteMeta(TxnId txn, const std::string& key) {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::lock_guard<std::mutex> lock(active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
     return Status::NotFound("no active repository transaction " +
@@ -57,74 +67,117 @@ Status Repository::DeleteMeta(TxnId txn, const std::string& key) {
   return Status::OK();
 }
 
+bool Repository::HasActiveTxn(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  return active_.count(txn) > 0;
+}
+
 Status Repository::Commit(TxnId txn) {
-  auto it = active_.find(txn);
-  if (it == active_.end()) {
-    return Status::NotFound("no active repository transaction " +
-                            txn.ToString());
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+
+  // Claim the pending set. The txn is owned by the committing thread,
+  // so nobody else can Put into it concurrently; on integrity failure
+  // it is re-registered so the caller can abort or fix (same observable
+  // behaviour as the single-threaded code).
+  PendingTxn pending;
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::NotFound("no active repository transaction " +
+                              txn.ToString());
+    }
+    pending = std::move(it->second);
+    active_.erase(it);
   }
-  PendingTxn& pending = it->second;
 
   // Integrity check before anything reaches the log: "the consistency
-  // of the newly created DOV has to be checked" (Sect. 5.2). A failed
-  // check leaves the transaction active so the caller can abort or fix.
+  // of the newly created DOV has to be checked" (Sect. 5.2). Runs
+  // outside every lock — validation parallelizes across committers.
   for (const DovRecord& record : pending.dov_writes) {
     Status st = schema_.Validate(record.data);
     if (!st.ok()) {
       CONCORD_INFO("repo", "checkin integrity failure for "
                                << record.id.ToString() << ": "
                                << st.ToString());
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_[txn] = std::move(pending);
       return st;
     }
   }
 
-  // WAL protocol: BEGIN, one record per write, COMMIT. The COMMIT
-  // record is the commit point.
-  wal_.Append({WalRecord::Type::kBegin, txn, std::nullopt, "", ""});
+  // WAL protocol: BEGIN, one record per write, COMMIT. The whole batch
+  // is built lock-free and published under one acquisition of the
+  // append mutex (group commit); the batch append is the commit point.
+  std::vector<WalRecord> batch;
+  batch.reserve(pending.dov_writes.size() + pending.meta_writes.size() +
+                pending.meta_deletes.size() + 2);
+  batch.push_back({WalRecord::Type::kBegin, txn, std::nullopt, "", ""});
   for (const DovRecord& record : pending.dov_writes) {
-    wal_.Append({WalRecord::Type::kWriteDov, txn, record, "", ""});
+    batch.push_back({WalRecord::Type::kWriteDov, txn, record, "", ""});
   }
   for (const auto& [key, value] : pending.meta_writes) {
-    wal_.Append({WalRecord::Type::kWriteMeta, txn, std::nullopt, key, value});
+    batch.push_back({WalRecord::Type::kWriteMeta, txn, std::nullopt, key, value});
   }
   for (const std::string& key : pending.meta_deletes) {
-    wal_.Append({WalRecord::Type::kDeleteMeta, txn, std::nullopt, key, ""});
+    batch.push_back({WalRecord::Type::kDeleteMeta, txn, std::nullopt, key, ""});
   }
-  wal_.Append({WalRecord::Type::kCommit, txn, std::nullopt, "", ""});
+  batch.push_back({WalRecord::Type::kCommit, txn, std::nullopt, "", ""});
+  wal_.AppendBatch(std::move(batch));
 
-  for (const DovRecord& record : pending.dov_writes) {
+  for (DovRecord& record : pending.dov_writes) {
     ApplyDov(record);
     ++stats_.dovs_written;
   }
-  for (const auto& [key, value] : pending.meta_writes) meta_[key] = value;
-  for (const std::string& key : pending.meta_deletes) meta_.erase(key);
+  if (!pending.meta_writes.empty() || !pending.meta_deletes.empty()) {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    for (auto& [key, value] : pending.meta_writes) {
+      meta_[key] = std::move(value);
+    }
+    for (const std::string& key : pending.meta_deletes) meta_.erase(key);
+  }
 
-  active_.erase(it);
   ++stats_.txns_committed;
   return Status::OK();
 }
 
 Status Repository::Abort(TxnId txn) {
-  auto it = active_.find(txn);
-  if (it == active_.end()) {
-    return Status::NotFound("no active repository transaction " +
-                            txn.ToString());
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::NotFound("no active repository transaction " +
+                              txn.ToString());
+    }
+    active_.erase(it);
   }
   wal_.Append({WalRecord::Type::kAbort, txn, std::nullopt, "", ""});
-  active_.erase(it);
   ++stats_.txns_aborted;
   return Status::OK();
 }
 
 Result<DovRecord> Repository::Get(DovId id) const {
-  auto it = committed_.find(id);
-  if (it == committed_.end()) {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  DovShard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.dovs.find(id);
+  if (it == shard.dovs.end()) {
     return Status::NotFound(id.ToString() + " not in repository");
   }
   return it->second;
 }
 
+bool Repository::Contains(DovId id) const {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  DovShard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.dovs.count(id) > 0;
+}
+
 Result<std::string> Repository::GetMeta(const std::string& key) const {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::lock_guard<std::mutex> lock(meta_mu_);
   auto it = meta_.find(key);
   if (it == meta_.end()) {
     return Status::NotFound("no meta entry '" + key + "'");
@@ -134,6 +187,8 @@ Result<std::string> Repository::GetMeta(const std::string& key) const {
 
 std::vector<std::string> Repository::MetaKeysWithPrefix(
     const std::string& prefix) const {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::lock_guard<std::mutex> lock(meta_mu_);
   std::vector<std::string> keys;
   for (auto it = meta_.lower_bound(prefix); it != meta_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -143,31 +198,58 @@ std::vector<std::string> Repository::MetaKeysWithPrefix(
 }
 
 const DerivationGraph& Repository::graph(DaId da) const {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::lock_guard<std::mutex> lock(graphs_mu_);
   auto it = graphs_.find(da);
   return it == graphs_.end() ? empty_graph_ : it->second;
 }
 
 std::vector<DovId> Repository::DovsOf(DaId da) const {
+  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::lock_guard<std::mutex> lock(graphs_mu_);
   auto it = dovs_by_da_.find(da);
   return it == dovs_by_da_.end() ? std::vector<DovId>{} : it->second;
 }
 
 void Repository::ApplyDov(const DovRecord& record) {
-  bool is_new = committed_.count(record.id) == 0;
-  committed_[record.id] = record;
+  bool is_new;
+  {
+    DovShard& shard = ShardFor(record.id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    is_new = shard.dovs.count(record.id) == 0;
+    shard.dovs[record.id] = record;
+  }
   if (is_new) {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
     graphs_[record.owner_da].Add(record.id, record.predecessors)
         .ok();  // duplicate insert impossible: is_new checked above
     dovs_by_da_[record.owner_da].push_back(record.id);
   }
 }
 
+void Repository::ClearVolatileLocked() {
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_.clear();
+  }
+  for (DovShard& shard : dov_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.dovs.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    meta_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    graphs_.clear();
+    dovs_by_da_.clear();
+  }
+}
+
 void Repository::Crash() {
-  active_.clear();
-  committed_.clear();
-  meta_.clear();
-  graphs_.clear();
-  dovs_by_da_.clear();
+  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  ClearVolatileLocked();
   ++stats_.crashes;
   CONCORD_INFO("repo", "server crash: volatile state lost, "
                            << wal_.size() << " WAL records on stable storage");
@@ -176,12 +258,10 @@ void Repository::Crash() {
 Status Repository::Recover() {
   // Restore the checkpoint snapshot, then redo committed transactions
   // from the log. Uncommitted (no COMMIT record) transactions leave no
-  // trace: atomicity.
-  committed_.clear();
-  meta_.clear();
-  graphs_.clear();
-  dovs_by_da_.clear();
-  active_.clear();
+  // trace: atomicity. The exclusive hold keeps new traffic out until
+  // the committed state is fully rebuilt.
+  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  ClearVolatileLocked();
 
   std::map<uint64_t, DovRecord> restored = snapshot_.dovs;
   std::map<std::string, std::string> restored_meta = snapshot_.meta;
@@ -212,28 +292,39 @@ Status Repository::Recover() {
   }
 
   uint64_t max_dov = snapshot_.last_dov_id;
+  size_t restored_count = restored.size();
   for (const auto& [id_value, record] : restored) {
     max_dov = std::max(max_dov, id_value);
     ApplyDov(record);
   }
-  meta_ = std::move(restored_meta);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    meta_ = std::move(restored_meta);
+  }
 
   // Id generators must not reuse ids issued before the crash.
   while (dov_gen_.last() < max_dov) dov_gen_.Next();
   while (txn_gen_.last() < snapshot_.last_txn_id) txn_gen_.Next();
 
   ++stats_.recoveries;
-  CONCORD_INFO("repo", "recovery complete: " << committed_.size()
-                                             << " DOVs restored");
+  CONCORD_INFO("repo",
+               "recovery complete: " << restored_count << " DOVs restored");
   return Status::OK();
 }
 
 size_t Repository::Checkpoint() {
+  std::unique_lock<WriterPriorityMutex> state(state_mu_);
   snapshot_.dovs.clear();
-  for (const auto& [id, record] : committed_) {
-    snapshot_.dovs[id.value()] = record;
+  for (DovShard& shard : dov_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, record] : shard.dovs) {
+      snapshot_.dovs[id.value()] = record;
+    }
   }
-  snapshot_.meta = meta_;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    snapshot_.meta = meta_;
+  }
   snapshot_.last_dov_id = dov_gen_.last();
   snapshot_.last_txn_id = txn_gen_.last();
   size_t before = wal_.size();

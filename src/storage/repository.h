@@ -1,8 +1,12 @@
 #ifndef CONCORD_STORAGE_REPOSITORY_H_
 #define CONCORD_STORAGE_REPOSITORY_H_
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +14,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "storage/derivation_graph.h"
 #include "storage/schema.h"
@@ -19,13 +24,15 @@
 namespace concord::storage {
 
 /// Counters exposed for benchmarks and the EXPERIMENTS harness.
+/// Fields are atomic so concurrent committers can bump them without a
+/// lock; read them at quiescence (or accept slightly stale values).
 struct RepositoryStats {
-  uint64_t txns_begun = 0;
-  uint64_t txns_committed = 0;
-  uint64_t txns_aborted = 0;
-  uint64_t dovs_written = 0;
-  uint64_t crashes = 0;
-  uint64_t recoveries = 0;
+  std::atomic<uint64_t> txns_begun{0};
+  std::atomic<uint64_t> txns_committed{0};
+  std::atomic<uint64_t> txns_aborted{0};
+  std::atomic<uint64_t> dovs_written{0};
+  std::atomic<uint64_t> crashes{0};
+  std::atomic<uint64_t> recoveries{0};
 };
 
 /// The integrated design data repository: the "advanced DBMS (object
@@ -38,11 +45,36 @@ struct RepositoryStats {
 ///    persist DA-hierarchy state and scripts (Sect. 5.4: the CM
 ///    "employ[s] the data management facilities of the server DBMS").
 ///
-/// Concurrency control across DOPs is the server-TM's job (txn/
-/// lock_manager.h); the repository itself serializes its short
-/// transactions trivially since the simulation is single-threaded.
+/// ## Threading model
+///
+/// The repository serves concurrent multi-designer traffic:
+///  - The committed DOV store is sharded into kShardCount buckets, each
+///    with its own mutex, so checkins/reads on different DOVs rarely
+///    contend.
+///  - WAL appends are grouped: a commit builds its whole record batch
+///    outside any lock and publishes it through a single acquisition of
+///    the log's append mutex (group commit — the batch is the commit
+///    point and is contiguous in the log).
+///  - active transactions, the meta store and the derivation graphs
+///    each have their own mutex; all are leaf locks (never nested).
+///  - Crash/Recover/Checkpoint take a writer (exclusive) hold on
+///    state_mu_; every other operation holds it shared, so failure
+///    injection observes no half-applied transaction.
+///
+/// Contract: a TxnId is owned by one thread between Begin and
+/// Commit/Abort, and concurrent writers updating the *same* DOV must
+/// hold its derivation lock (txn/lock_manager.h) — exactly the paper's
+/// rule for preventing concurrent processing of one version.
+/// graph() returns a reference that stays valid under concurrent
+/// checkins (node-based map), but NOT across Crash()/Recover(), which
+/// destroy all graphs — don't hold it across failure injection.
+/// Mutating the same DA's graph from two threads requires that DA's
+/// operations to be serialized, which the one-designer-per-DA model
+/// already guarantees.
 class Repository {
  public:
+  static constexpr size_t kShardCount = 16;
+
   explicit Repository(SimClock* clock);
   Repository(const Repository&) = delete;
   Repository& operator=(const Repository&) = delete;
@@ -61,17 +93,19 @@ class Repository {
   /// Validates, logs and applies all buffered writes atomically.
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
-  bool HasActiveTxn(TxnId txn) const { return active_.count(txn) > 0; }
+  bool HasActiveTxn(TxnId txn) const;
 
   // --- Reads (committed state only) --------------------------------
 
   Result<DovRecord> Get(DovId id) const;
-  bool Contains(DovId id) const { return committed_.count(id) > 0; }
+  bool Contains(DovId id) const;
   Result<std::string> GetMeta(const std::string& key) const;
   /// All meta keys with the given prefix, in lexicographic order.
   std::vector<std::string> MetaKeysWithPrefix(const std::string& prefix) const;
 
   /// The derivation graph of `da` (empty graph if the DA never wrote).
+  /// The reference survives concurrent checkins but not Crash/Recover;
+  /// see the threading-model notes above.
   const DerivationGraph& graph(DaId da) const;
 
   /// All committed DOVs owned by `da`, in creation order.
@@ -83,7 +117,8 @@ class Repository {
 
   /// Simulated server crash: all volatile state vanishes (active
   /// transactions, materialized committed store, graphs). Stable
-  /// storage (WAL + last checkpoint snapshot) survives.
+  /// storage (WAL + last checkpoint snapshot) survives. Waits for
+  /// in-flight operations; a commit is either fully durable or gone.
   void Crash();
   /// Replays stable storage; afterwards committed state is restored
   /// exactly and all in-flight transactions are gone (atomicity).
@@ -102,6 +137,12 @@ class Repository {
     std::vector<std::string> meta_deletes;
   };
 
+  /// One bucket of the sharded committed-DOV store.
+  struct DovShard {
+    mutable std::mutex mu;
+    std::unordered_map<DovId, DovRecord> dovs;
+  };
+
   /// Stable-storage image written by Checkpoint().
   struct Snapshot {
     std::map<uint64_t, DovRecord> dovs;  // keyed by DovId value
@@ -110,22 +151,39 @@ class Repository {
     uint64_t last_txn_id = 0;
   };
 
+  DovShard& ShardFor(DovId id) const {
+    return dov_shards_[id.value() % kShardCount];
+  }
+
   void ApplyDov(const DovRecord& record);
-  void RebuildGraphs();
+  /// Clears all volatile state. Caller holds state_mu_ exclusively.
+  void ClearVolatileLocked();
 
   SimClock* clock_;
   SchemaCatalog schema_;
   IdGenerator<TxnId> txn_gen_;
   IdGenerator<DovId> dov_gen_;
 
-  // Volatile state.
+  /// Shared for normal operation, exclusive for Crash/Recover/
+  /// Checkpoint. Always the outermost lock.
+  mutable WriterPriorityMutex state_mu_;
+
+  // Volatile state. Each container below is guarded by the leaf mutex
+  // named next to it; leaf mutexes are never held together.
+  mutable std::mutex active_mu_;
   std::unordered_map<TxnId, PendingTxn> active_;
-  std::unordered_map<DovId, DovRecord> committed_;
+
+  mutable std::array<DovShard, kShardCount> dov_shards_;
+
+  mutable std::mutex meta_mu_;
   std::map<std::string, std::string> meta_;
+
+  mutable std::mutex graphs_mu_;
   std::unordered_map<DaId, DerivationGraph> graphs_;
   std::unordered_map<DaId, std::vector<DovId>> dovs_by_da_;
 
-  // Stable storage.
+  // Stable storage. The WAL synchronizes its own appends; snapshot_ is
+  // only touched under an exclusive state_mu_ hold.
   WriteAheadLog wal_;
   Snapshot snapshot_;
 

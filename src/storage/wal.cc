@@ -23,11 +23,39 @@ const char* WalRecord::TypeToString(Type type) {
 }
 
 void WriteAheadLog::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lock(append_mu_);
   records_.push_back(std::move(record));
   ++total_appended_;
+  ++flushes_;
+}
+
+void WriteAheadLog::AppendBatch(std::vector<WalRecord> records) {
+  if (records.empty()) return;
+  std::lock_guard<std::mutex> lock(append_mu_);
+  records_.insert(records_.end(),
+                  std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+  total_appended_ += records.size();
+  ++flushes_;
+}
+
+size_t WriteAheadLog::size() const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  return records_.size();
+}
+
+size_t WriteAheadLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  return total_appended_;
+}
+
+size_t WriteAheadLog::flushes() const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  return flushes_;
 }
 
 void WriteAheadLog::TruncateToLastCheckpoint() {
+  std::lock_guard<std::mutex> lock(append_mu_);
   for (size_t i = records_.size(); i > 0; --i) {
     if (records_[i - 1].type == WalRecord::Type::kCheckpoint) {
       records_.erase(records_.begin(),

@@ -1,6 +1,7 @@
 #ifndef CONCORD_STORAGE_WAL_H_
 #define CONCORD_STORAGE_WAL_H_
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,14 @@ struct WalRecord {
 
 /// Append-only log on simulated stable storage. Records survive
 /// Crash(); truncation only happens at checkpoints.
+///
+/// Appends are internally synchronized so concurrent committers can
+/// share one log. A transaction's records go through AppendBatch, which
+/// takes the append mutex once and flushes the whole group as a unit —
+/// the group-commit point: records of one transaction are contiguous in
+/// the log and no torn transaction can be observed by recovery.
+/// Readers (records(), size()) are intended for recovery and for tests/
+/// benches at quiescence; they require no concurrent appender.
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
@@ -46,20 +55,30 @@ class WriteAheadLog {
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   void Append(WalRecord record);
+  /// Appends all records under a single acquisition of the append mutex
+  /// and a single flush (group commit). The batch is contiguous in the
+  /// log.
+  void AppendBatch(std::vector<WalRecord> records);
 
   const std::vector<WalRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  size_t size() const;
   /// Total appended over the log's lifetime, including truncated
   /// prefixes — a cost measure for benchmarks.
-  size_t total_appended() const { return total_appended_; }
+  size_t total_appended() const;
+  /// Number of (simulated) stable-storage flushes: one per Append, one
+  /// per AppendBatch. The batching win shows up as flushes() growing
+  /// much slower than total_appended().
+  size_t flushes() const;
 
   /// Drops everything before the latest checkpoint record (exclusive of
   /// the checkpoint itself). No-op when no checkpoint exists.
   void TruncateToLastCheckpoint();
 
  private:
+  mutable std::mutex append_mu_;
   std::vector<WalRecord> records_;
   size_t total_appended_ = 0;
+  size_t flushes_ = 0;
 };
 
 }  // namespace concord::storage

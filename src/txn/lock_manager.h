@@ -1,6 +1,7 @@
 #ifndef CONCORD_TXN_LOCK_MANAGER_H_
 #define CONCORD_TXN_LOCK_MANAGER_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -23,8 +24,7 @@ struct LockStats {
 /// The server-TM's lock tables (Sect. 5.2 / 5.4). Three mechanisms:
 ///
 ///  - **Short locks** protect individual checkin/checkout operations
-///    (derivation-graph proliferation). The simulation is single-
-///    threaded so these are accounted, not contended.
+///    (derivation-graph proliferation).
 ///  - **Derivation locks** are long locks a DA may acquire on a DOV
 ///    "to prevent multiple checkout (and concurrent processing) ...
 ///    for application-specific reasons". Exclusive per DOV, reentrant
@@ -38,6 +38,13 @@ struct LockStats {
 ///
 /// The LockManager implements mechanism only; policy (when to grant a
 /// usage read, which DOVs are final) is the cooperation manager's job.
+///
+/// Thread safety: all operations are internally synchronized by one
+/// table mutex, so DAs running on concurrent threads can race for
+/// derivation locks and exactly one wins (the others get
+/// kLockConflict). The table operations are point lookups — the
+/// critical sections are tiny and the mutex is a leaf lock. stats() is
+/// a snapshot taken under the same mutex.
 class LockManager {
  public:
   LockManager() = default;
@@ -91,10 +98,12 @@ class LockManager {
   /// All DOVs whose scope `da` owns.
   std::vector<DovId> OwnedBy(DaId da) const;
 
-  const LockStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = LockStats{}; }
+  /// Consistent snapshot of the counters.
+  LockStats stats() const;
+  void ResetStats();
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<DovId, DaId> derivation_locks_;
   std::unordered_map<DovId, DaId> scope_owner_;
   std::unordered_map<DovId, std::unordered_set<DaId>> usage_readers_;

@@ -293,7 +293,9 @@ TEST(LockFuzz, DerivationLockInvariants) {
     DaId holder = locks.DerivationHolder(dov);
     auto it = model.find(dov.value());
     EXPECT_EQ(holder.valid(), it != model.end());
-    if (it != model.end()) EXPECT_EQ(holder.value(), it->second);
+    if (it != model.end()) {
+      EXPECT_EQ(holder.value(), it->second);
+    }
   }
 }
 
