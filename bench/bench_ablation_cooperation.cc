@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/strings.h"
 #include "bench/bench_util.h"
 #include "vlsi/schema.h"
 #include "vlsi/tools.h"
@@ -152,7 +153,7 @@ void BM_Cooperation_WithdrawalCascade(benchmark::State& state) {
     for (int i = 0; i < requirers; ++i) {
       cooperation::DaDescription rdesc = desc;
       rdesc.designer = DesignerId(10 + i);
-      rdesc.workstation = system.AddWorkstation("r" + std::to_string(i));
+      rdesc.workstation = system.AddWorkstation(IndexedName("r", i));
       auto requirer = system.CreateSubDa(*top, rdesc);
       system.cm().Start(*requirer).ok();
       system.cm().Require(*requirer, *supporter, {"goal_domain"}).ok();

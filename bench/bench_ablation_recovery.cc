@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/strings.h"
 #include "bench/bench_util.h"
 
 namespace concord {
@@ -62,13 +63,13 @@ void BM_Recovery_PointCostVsContextSize(benchmark::State& state) {
     obj.SetAttr(vlsi::kAttrName, "obj" + std::to_string(i));
     obj.SetAttr(vlsi::kAttrDomain, vlsi::kDomainStructure);
     for (int a = 0; a < 8; ++a) {
-      obj.SetAttr("f" + std::to_string(a), static_cast<double>(a));
+      obj.SetAttr(IndexedName("f", a), static_cast<double>(a));
     }
     // Each workspace object also carries children (a small subtree).
     for (int c = 0; c < 4; ++c) {
       obj.AddChild(storage::DesignObject(system.dots().block));
     }
-    tm.PutWorkspace(*dop, "w" + std::to_string(i), std::move(obj)).ok();
+    tm.PutWorkspace(*dop, IndexedName("w", i), std::move(obj)).ok();
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(tm.TakeRecoveryPoint(*dop));

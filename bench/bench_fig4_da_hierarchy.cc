@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/strings.h"
 #include "bench/bench_util.h"
 
 namespace concord {
@@ -90,7 +91,7 @@ void BM_DaHierarchy_CompetingDelegation(benchmark::State& state) {
     for (int i = 0; i < competitors; ++i) {
       cooperation::DaDescription desc =
           Desc(system, system.dots().module,
-               system.AddWorkstation("c" + std::to_string(i)));
+               system.AddWorkstation(IndexedName("c", i)));
       desc.spec = sim::MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
       desc.designer = DesignerId(10 + i);
       desc.dc = sim::MakeChipPlanningScript(1);

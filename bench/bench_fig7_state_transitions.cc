@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/strings.h"
 #include "bench/bench_util.h"
 
 namespace concord {
@@ -121,7 +122,7 @@ void BM_StateMachine_Evaluate(benchmark::State& state) {
   Fixture fx(42);
   storage::DesignSpecification spec;
   for (int i = 0; i < features; ++i) {
-    spec.Add(storage::Feature::AtMost("f" + std::to_string(i), "area",
+    spec.Add(storage::Feature::AtMost(IndexedName("f", i), "area",
                                       100.0 + i));
   }
   cooperation::DaDescription desc = fx.Desc(fx.chip_dot);

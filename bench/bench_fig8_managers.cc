@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/strings.h"
 #include "bench/bench_util.h"
 
 namespace concord {
@@ -90,7 +91,7 @@ void BM_Failure_ServerCrashRecovery(benchmark::State& state) {
     state.PauseTiming();
     core::ConcordSystem system(bench::DefaultConfig());
     for (int i = 0; i < designs; ++i) {
-      auto da = sim::SetupTopLevelDa(&system, "c" + std::to_string(i), 4,
+      auto da = sim::SetupTopLevelDa(&system, IndexedName("c", i), 4,
                                      1e9, 0);
       system.StartDa(*da).ok();
       system.RunDa(*da).ok();
@@ -120,7 +121,7 @@ void BM_Failure_RecoveryWithCheckpoint(benchmark::State& state) {
     state.PauseTiming();
     core::ConcordSystem system(bench::DefaultConfig());
     for (int i = 0; i < 8; ++i) {
-      auto da = sim::SetupTopLevelDa(&system, "c" + std::to_string(i), 4,
+      auto da = sim::SetupTopLevelDa(&system, IndexedName("c", i), 4,
                                      1e9, 0);
       system.StartDa(*da).ok();
       system.RunDa(*da).ok();

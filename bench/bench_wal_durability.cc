@@ -1,0 +1,143 @@
+// Durability cost of the on-disk WAL: what one committed transaction
+// pays at each point of the fsync spectrum.
+//
+//  - per_record: every record is its own Append → one fsync per record
+//    (the naive "log everything immediately" baseline).
+//  - batched: the whole transaction goes through AppendBatch → one
+//    write(2) + one fsync per commit, regardless of transaction size.
+//  - coalesced: AppendBatch with coalesce_fsyncs — concurrent
+//    committers share fsyncs, so the fsyncs/commit counter drops below
+//    1 as threads overlap (the group-commit window).
+//
+// The headline counter is fsyncs_per_commit; wall time depends on the
+// backing filesystem (tmpfs vs. real disk) but the syscall counts do
+// not.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "storage/wal.h"
+
+namespace concord::storage {
+namespace {
+
+constexpr int kRecordsPerTxn = 4;
+
+WalRecord MakeDovWrite(TxnId txn, uint64_t dov_value) {
+  DovRecord dov;
+  dov.id = DovId(dov_value);
+  dov.owner_da = DaId(1);
+  dov.type = DotId(1);
+  dov.data = DesignObject(DotId(1));
+  dov.data.SetAttr("value", static_cast<int64_t>(dov_value));
+  dov.data.SetAttr("name",
+                   IndexedName("module-", static_cast<long long>(dov_value)));
+  return {WalRecord::Type::kWriteDov, txn, std::move(dov), "", ""};
+}
+
+std::vector<WalRecord> MakeTxnBatch(uint64_t seq) {
+  TxnId txn(seq + 1);
+  std::vector<WalRecord> batch;
+  batch.push_back({WalRecord::Type::kBegin, txn, std::nullopt, "", ""});
+  for (int i = 0; i < kRecordsPerTxn; ++i) {
+    batch.push_back(
+        MakeDovWrite(txn, seq * kRecordsPerTxn + static_cast<uint64_t>(i)));
+  }
+  batch.push_back({WalRecord::Type::kCommit, txn, std::nullopt, "", ""});
+  return batch;
+}
+
+/// Fresh file-backed WAL in a throwaway temp directory.
+struct WalEnv {
+  explicit WalEnv(bool coalesce) {
+    char tmpl[] = "/tmp/concord_bench_wal_XXXXXX";
+    const char* created = ::mkdtemp(tmpl);
+    if (created == nullptr) std::abort();
+    dir = created;
+    WalOptions options;
+    options.dir = dir;
+    options.coalesce_fsyncs = coalesce;
+    wal = std::make_unique<WriteAheadLog>();
+    if (!wal->Open(options).ok()) std::abort();
+  }
+
+  ~WalEnv() {
+    wal->Close();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  std::string dir;
+  std::unique_ptr<WriteAheadLog> wal;
+};
+
+void BM_WalPerRecordFsync(benchmark::State& state) {
+  WalEnv env(/*coalesce=*/false);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    for (WalRecord& record : MakeTxnBatch(seq++)) {
+      env.wal->Append(std::move(record));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["fsyncs_per_commit"] =
+      static_cast<double>(env.wal->flushes()) /
+      static_cast<double>(std::max<uint64_t>(1, seq));
+}
+BENCHMARK(BM_WalPerRecordFsync)->UseRealTime();
+
+void BM_WalBatchedCommit(benchmark::State& state) {
+  WalEnv env(/*coalesce=*/false);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    env.wal->AppendBatch(MakeTxnBatch(seq++));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["fsyncs_per_commit"] =
+      static_cast<double>(env.wal->flushes()) /
+      static_cast<double>(std::max<uint64_t>(1, seq));
+}
+BENCHMARK(BM_WalBatchedCommit)->UseRealTime();
+
+std::unique_ptr<WalEnv> g_env;
+
+void BM_WalCoalescedCommit(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_env = std::make_unique<WalEnv>(/*coalesce=*/true);
+  }
+  // benchmark's start barrier orders thread 0's setup before the loop.
+  uint64_t seq = static_cast<uint64_t>(state.thread_index()) * 1000000;
+  uint64_t committed = 0;
+  for (auto _ : state) {
+    g_env->wal->AppendBatch(MakeTxnBatch(seq++));
+    ++committed;
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(committed);
+  if (state.thread_index() == 0) {
+    // iterations() is per-thread; every thread runs the same count.
+    double total_commits = static_cast<double>(state.iterations()) *
+                           static_cast<double>(state.threads());
+    state.counters["fsyncs_per_commit"] =
+        static_cast<double>(g_env->wal->flushes()) /
+        std::max(1.0, total_commits);
+    g_env.reset();
+  }
+}
+BENCHMARK(BM_WalCoalescedCommit)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace concord::storage
+
+BENCHMARK_MAIN();

@@ -1,23 +1,40 @@
 #include "common/clock.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace concord {
 
 std::string FormatSimTime(SimTime t) {
-  if (t < 0) return "-" + FormatSimTime(-t);
-  if (t < kMillisecond) return std::to_string(t) + "us";
-  if (t < kSecond) return std::to_string(t / kMillisecond) + "ms";
-  if (t < kMinute) {
-    return std::to_string(t / kSecond) + "." +
-           std::to_string((t % kSecond) / (100 * kMillisecond)) + "s";
+  // Formatted into a stack buffer rather than std::string operator+ /
+  // append chains: GCC 12's Release-mode inliner flags those with a
+  // false-positive -Werror=restrict (overlapping memcpy) diagnostic.
+  const char* sign = "";
+  if (t < 0) {
+    sign = "-";
+    t = -t;
   }
-  if (t < kHour) {
-    return std::to_string(t / kMinute) + "m" +
-           std::to_string((t % kMinute) / kSecond) + "s";
+  char buf[64];
+  if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%lldus", sign,
+                  static_cast<long long>(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%lldms", sign,
+                  static_cast<long long>(t / kMillisecond));
+  } else if (t < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%lld.%llds", sign,
+                  static_cast<long long>(t / kSecond),
+                  static_cast<long long>((t % kSecond) / (100 * kMillisecond)));
+  } else if (t < kHour) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm%llds", sign,
+                  static_cast<long long>(t / kMinute),
+                  static_cast<long long>((t % kMinute) / kSecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldh%lldm", sign,
+                  static_cast<long long>(t / kHour),
+                  static_cast<long long>((t % kHour) / kMinute));
   }
-  return std::to_string(t / kHour) + "h" +
-         std::to_string((t % kHour) / kMinute) + "m";
+  return buf;
 }
 
 SimTime SimClock::Advance(SimTime delta) {

@@ -1,0 +1,90 @@
+#include "common/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace concord {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string content;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::Internal("cannot read " + path + ": " +
+                              std::strerror(err));
+    }
+    if (n == 0) break;
+    content.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return content;
+}
+
+Status WriteFully(int fd, std::string_view data) {
+  const char* p = data.data();
+  size_t size = data.size();
+  while (size > 0) {
+    ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write failed: ") +
+                              std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFileDurably(const std::string& path, std::string_view content) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create " + path + ": " +
+                            std::strerror(errno));
+  }
+  Status written = WriteFully(fd, content);
+  if (!written.ok()) {
+    ::close(fd);
+    return Status::Internal("cannot write " + path + ": " +
+                            written.message());
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("cannot fsync " + path + ": " +
+                            std::strerror(err));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("cannot fsync directory " + dir + ": " +
+                            std::strerror(err));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace concord

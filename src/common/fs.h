@@ -1,0 +1,36 @@
+#ifndef CONCORD_COMMON_FS_H_
+#define CONCORD_COMMON_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord {
+
+/// Small POSIX file helpers with the durability semantics the storage
+/// layer needs. All of them retry EINTR and report failures as Status —
+/// callers decide whether a failure is fatal (a WAL losing its promise)
+/// or recoverable (a snapshot write that can be retried later).
+
+/// Reads the entire file into a string.
+Result<std::string> ReadWholeFile(const std::string& path);
+
+/// write(2)s the whole buffer to `fd`, retrying partial writes and
+/// EINTR. Callers decide whether a failure is fatal.
+Status WriteFully(int fd, std::string_view data);
+
+/// Creates/overwrites `path` with `content` and fsyncs it before
+/// closing. The file itself is durable on success; making the *name*
+/// durable additionally requires FsyncDir on the parent directory
+/// (after a rename, for atomic installs).
+Status WriteFileDurably(const std::string& path, std::string_view content);
+
+/// fsyncs a directory, making recent entry creates/renames/unlinks in
+/// it durable.
+Status FsyncDir(const std::string& dir);
+
+}  // namespace concord
+
+#endif  // CONCORD_COMMON_FS_H_

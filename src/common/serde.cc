@@ -1,0 +1,92 @@
+#include "common/serde.h"
+
+#include <array>
+#include <cstring>
+
+namespace concord {
+
+void PutByte(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  PutFixed32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+bool ByteReader::ReadByte(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool ByteReader::ReadFixed32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(data_.data()) + pos_;
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::ReadFixed64(uint64_t* v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (remaining() < 8 || !ReadFixed32(&lo) || !ReadFixed32(&hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool ByteReader::ReadLengthPrefixed(std::string_view* s) {
+  uint32_t len = 0;
+  size_t saved = pos_;
+  if (!ReadFixed32(&len)) return false;
+  if (remaining() < len) {
+    pos_ = saved;
+    return false;
+  }
+  *s = data_.substr(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace concord

@@ -1,0 +1,51 @@
+#ifndef CONCORD_COMMON_SERDE_H_
+#define CONCORD_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace concord {
+
+/// Binary serialization primitives shared by the storage layer's
+/// on-disk formats (WAL records, checkpoint snapshots). Everything is
+/// little-endian and fixed-width: the formats are read back by the same
+/// build on the same machine class, and fixed-width keeps torn-write
+/// detection trivial (a record is valid iff its length prefix and CRC
+/// agree with the bytes on disk).
+
+void PutByte(std::string* out, uint8_t v);
+void PutFixed32(std::string* out, uint32_t v);
+void PutFixed64(std::string* out, uint64_t v);
+/// 32-bit length prefix followed by the raw bytes.
+void PutLengthPrefixed(std::string* out, std::string_view s);
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `data`. Used to
+/// detect torn tail writes in WAL segments and bit rot in snapshots.
+uint32_t Crc32(std::string_view data);
+
+/// Bounds-checked sequential reader over an encoded buffer. Every
+/// Read* returns false (leaving the output untouched) when fewer bytes
+/// remain than the field needs; decoders bail out instead of reading
+/// past the end of a corrupt buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadByte(uint8_t* v);
+  bool ReadFixed32(uint32_t* v);
+  bool ReadFixed64(uint64_t* v);
+  /// Reads a 32-bit length prefix and yields a view of that many bytes.
+  bool ReadLengthPrefixed(std::string_view* s);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_COMMON_SERDE_H_

@@ -1,0 +1,21 @@
+#ifndef CONCORD_COMMON_STRINGS_H_
+#define CONCORD_COMMON_STRINGS_H_
+
+#include <string>
+
+namespace concord {
+
+/// Builds "<prefix><n>" in place. Use this instead of the natural
+/// `"prefix" + std::to_string(n)`: that expression routes through
+/// std::operator+(const char*, std::string&&), whose inlined insert
+/// GCC 12 flags with a false-positive -Werror=restrict (overlapping
+/// memcpy) diagnostic in Release builds.
+inline std::string IndexedName(const char* prefix, long long n) {
+  std::string out(prefix);
+  out += std::to_string(n);
+  return out;
+}
+
+}  // namespace concord
+
+#endif  // CONCORD_COMMON_STRINGS_H_

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "sim/scenarios.h"
 
 namespace concord::sim {
@@ -30,7 +31,7 @@ Result<SimulationReport> MultiDesignerSimulation::Run() {
 
   for (int i = 0; i < options_.designs; ++i) {
     CONCORD_ASSIGN_OR_RETURN(
-        DaId da, SetupTopLevelDa(system_.get(), "d" + std::to_string(i),
+        DaId da, SetupTopLevelDa(system_.get(), IndexedName("d", i),
                                  options_.complexity, 1e9, 0));
     CONCORD_RETURN_NOT_OK(system_->StartDa(da));
     das_.push_back(da);

@@ -1,10 +1,22 @@
 #include "storage/repository.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 
+#include "common/fs.h"
 #include "common/logging.h"
 
 namespace concord::storage {
+
+namespace {
+
+constexpr const char* kSnapshotFile = "snapshot.bin";
+constexpr const char* kSnapshotTmpFile = "snapshot.tmp";
+
+}  // namespace
 
 std::string DovRecord::ToString() const {
   std::string out = id.ToString() + "@" + owner_da.ToString();
@@ -15,6 +27,98 @@ std::string DovRecord::ToString() const {
 }
 
 Repository::Repository(SimClock* clock) : clock_(clock) {}
+
+Repository::~Repository() { Close(); }
+
+Result<RepositorySnapshot> Repository::LoadSnapshotLocked(
+    const std::string& dir) const {
+  std::string path = dir + "/" + kSnapshotFile;
+  std::error_code ec;
+  bool have_snapshot = std::filesystem::exists(path, ec);
+  if (ec) {
+    // "Cannot tell" must not degrade to "no snapshot": replaying the
+    // log alone would silently drop everything before the log start.
+    return Status::Internal("cannot stat " + path + ": " + ec.message());
+  }
+  if (!have_snapshot) return RepositorySnapshot{};
+  CONCORD_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+  Result<RepositorySnapshot> snapshot = DecodeSnapshot(content);
+  if (!snapshot.ok()) {
+    // Fail stop rather than silently serving a partial history: the
+    // snapshot is the only copy of everything before the log start.
+    return Status::Internal("refusing to use " + path + ": " +
+                            snapshot.status().message());
+  }
+  return snapshot;
+}
+
+Status Repository::Open(const std::string& dir, WalOptions wal_options) {
+  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  if (poisoned_.load()) {
+    return Status::FailedPrecondition(
+        "repository is poisoned by an earlier failed open/recovery; "
+        "create a fresh instance");
+  }
+  if (!dir_.empty()) {
+    return Status::FailedPrecondition("repository already opened at " + dir_);
+  }
+  if (wal_.total_appended() > 0 || stats_.txns_begun.load() > 0 ||
+      dov_gen_.last() > 0 || txn_gen_.last() > 0) {
+    // Includes ids drawn via NextDovId(): an id handed out before the
+    // replay bumps the generators could collide with an id already on
+    // stable storage and silently overwrite a restored DOV.
+    return Status::FailedPrecondition(
+        "Open must precede all repository traffic");
+  }
+  // Any failure past this point poisons the repository: a caller that
+  // ignores the error must not keep committing into an in-memory log
+  // that no restart will ever see (appends then fail stop).
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    Poison();
+    return Status::Internal("cannot create repository directory " + dir +
+                            ": " + ec.message());
+  }
+
+  // A crash between snapshot-tmp write and rename leaves the tmp file
+  // behind; it was never installed, so it is dead weight.
+  std::filesystem::remove(dir + "/" + kSnapshotTmpFile, ec);
+
+  Result<RepositorySnapshot> snapshot = LoadSnapshotLocked(dir);
+  if (!snapshot.ok()) {
+    Poison();
+    return snapshot.status();
+  }
+
+  wal_options.dir = dir;
+  Status wal_status = wal_.Open(std::move(wal_options));
+  if (!wal_status.ok()) {
+    wal_.Close();
+    Poison();
+    return wal_status;
+  }
+  Result<size_t> restored = ReplayStableLocked(*snapshot);
+  if (!restored.ok()) {
+    // Leave no half-open repository behind: the id generators were
+    // never advanced past the ids on stable storage, so accepting
+    // traffic here would eventually reissue them. Closing + poisoning
+    // makes any later append fail stop; the instance must be discarded.
+    wal_.Close();
+    Poison();
+    return restored.status();
+  }
+  dir_ = dir;
+  CONCORD_INFO("repo", "opened " << dir << ": " << *restored
+                                 << " DOVs restored from snapshot + "
+                                 << wal_.size() << " log records");
+  return Status::OK();
+}
+
+void Repository::Close() {
+  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  wal_.Close();
+}
 
 TxnId Repository::Begin() {
   std::shared_lock<WriterPriorityMutex> state(state_mu_);
@@ -152,7 +256,11 @@ Status Repository::Abort(TxnId txn) {
     }
     active_.erase(it);
   }
-  wal_.Append({WalRecord::Type::kAbort, txn, std::nullopt, "", ""});
+  // Recovery ignores aborted transactions (their writes never reached
+  // the log), so the abort marker is an audit record that need not pay
+  // its own fsync.
+  wal_.Append({WalRecord::Type::kAbort, txn, std::nullopt, "", ""},
+              /*sync=*/false);
   ++stats_.txns_aborted;
   return Status::OK();
 }
@@ -255,26 +363,39 @@ void Repository::Crash() {
                            << wal_.size() << " WAL records on stable storage");
 }
 
-Status Repository::Recover() {
+Result<size_t> Repository::ReplayStableLocked(
+    const RepositorySnapshot& snapshot) {
   // Restore the checkpoint snapshot, then redo committed transactions
   // from the log. Uncommitted (no COMMIT record) transactions leave no
-  // trace: atomicity. The exclusive hold keeps new traffic out until
-  // the committed state is fully rebuilt.
-  std::unique_lock<WriterPriorityMutex> state(state_mu_);
-  ClearVolatileLocked();
+  // trace: atomicity. Replay is idempotent over after-images, so a log
+  // that still contains records from before the snapshot (crash in the
+  // checkpoint window between snapshot install and log truncation)
+  // converges to the same state.
+  std::map<uint64_t, DovRecord> restored = snapshot.dovs;
+  std::map<std::string, std::string> restored_meta = snapshot.meta;
+  const std::vector<WalRecord> log = wal_.ReadAll();
+  if (log.size() != wal_.size()) {
+    // A live segment failed to read back (I/O error, file removed
+    // out from under us): serving the readable prefix would silently
+    // drop committed transactions.
+    return Status::Internal(
+        "WAL read incomplete: got " + std::to_string(log.size()) + " of " +
+        std::to_string(wal_.size()) + " records");
+  }
 
-  std::map<uint64_t, DovRecord> restored = snapshot_.dovs;
-  std::map<std::string, std::string> restored_meta = snapshot_.meta;
-
-  // First pass: find committed transaction ids.
+  // First pass: find committed transaction ids, and the id high-water
+  // marks — no id on stable storage may ever be reissued, including
+  // txn ids that only appear in the log.
+  uint64_t max_txn = snapshot.last_txn_id;
   std::unordered_map<TxnId, bool> committed_txns;
-  for (const WalRecord& record : wal_.records()) {
+  for (const WalRecord& record : log) {
+    max_txn = std::max(max_txn, record.txn.value());
     if (record.type == WalRecord::Type::kCommit) {
       committed_txns[record.txn] = true;
     }
   }
   // Second pass: redo writes of committed transactions in log order.
-  for (const WalRecord& record : wal_.records()) {
+  for (const WalRecord& record : log) {
     if (!committed_txns.count(record.txn)) continue;
     switch (record.type) {
       case WalRecord::Type::kWriteDov:
@@ -291,7 +412,7 @@ Status Repository::Recover() {
     }
   }
 
-  uint64_t max_dov = snapshot_.last_dov_id;
+  uint64_t max_dov = snapshot.last_dov_id;
   size_t restored_count = restored.size();
   for (const auto& [id_value, record] : restored) {
     max_dov = std::max(max_dov, id_value);
@@ -302,31 +423,118 @@ Status Repository::Recover() {
     meta_ = std::move(restored_meta);
   }
 
-  // Id generators must not reuse ids issued before the crash.
   while (dov_gen_.last() < max_dov) dov_gen_.Next();
-  while (txn_gen_.last() < snapshot_.last_txn_id) txn_gen_.Next();
+  while (txn_gen_.last() < max_txn) txn_gen_.Next();
+  return restored_count;
+}
 
+void Repository::Poison() {
+  poisoned_.store(true);
+  wal_.Poison();
+}
+
+Status Repository::Recover() {
+  // The exclusive hold keeps new traffic out until the committed state
+  // is fully rebuilt.
+  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  if (poisoned_.load()) {
+    return Status::FailedPrecondition(
+        "repository is poisoned by an earlier failed open/recovery");
+  }
+  if (persistent() && wal_.closed()) {
+    return Status::FailedPrecondition("repository has been closed");
+  }
+  // Persistent mode reads the snapshot back from disk (it is not kept
+  // in memory — the committed image already lives in the shards);
+  // in-memory mode replays from the snapshot_ member.
+  RepositorySnapshot from_disk;
+  if (persistent()) {
+    Result<RepositorySnapshot> loaded = LoadSnapshotLocked(dir_);
+    if (!loaded.ok()) {
+      wal_.Close();
+      Poison();
+      return loaded.status();
+    }
+    from_disk = std::move(*loaded);
+  }
+  ClearVolatileLocked();
+  Result<size_t> replayed =
+      ReplayStableLocked(persistent() ? from_disk : snapshot_);
+  if (!replayed.ok()) {
+    // The volatile image is already cleared; a later Checkpoint would
+    // durably snapshot that emptiness and truncate the log — the one
+    // sequence that can destroy every committed DOV. Poison first.
+    wal_.Close();
+    Poison();
+    return replayed.status();
+  }
+  size_t restored_count = *replayed;
   ++stats_.recoveries;
   CONCORD_INFO("repo",
                "recovery complete: " << restored_count << " DOVs restored");
   return Status::OK();
 }
 
+Status Repository::WriteSnapshotFileLocked(
+    const RepositorySnapshot& snapshot) {
+  std::string tmp_path = dir_ + "/" + kSnapshotTmpFile;
+  std::string final_path = dir_ + "/" + kSnapshotFile;
+  CONCORD_ASSIGN_OR_RETURN(std::string encoded, EncodeSnapshot(snapshot));
+  CONCORD_RETURN_NOT_OK(WriteFileDurably(tmp_path, encoded));
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("cannot install snapshot " + final_path + ": " +
+                            std::strerror(errno));
+  }
+  return FsyncDir(dir_);
+}
+
 size_t Repository::Checkpoint() {
   std::unique_lock<WriterPriorityMutex> state(state_mu_);
-  snapshot_.dovs.clear();
+  if (poisoned_.load()) {
+    CONCORD_ERROR("repo", "checkpoint refused: repository is poisoned by "
+                          "an earlier failed open/recovery");
+    return 0;
+  }
+  if (persistent() && wal_.closed()) {
+    CONCORD_ERROR("repo", "checkpoint refused: repository has been closed");
+    return 0;
+  }
+  RepositorySnapshot snapshot;
   for (DovShard& shard : dov_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [id, record] : shard.dovs) {
-      snapshot_.dovs[id.value()] = record;
+      snapshot.dovs[id.value()] = record;
     }
   }
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
-    snapshot_.meta = meta_;
+    snapshot.meta = meta_;
   }
-  snapshot_.last_dov_id = dov_gen_.last();
-  snapshot_.last_txn_id = txn_gen_.last();
+  snapshot.last_dov_id = dov_gen_.last();
+  snapshot.last_txn_id = txn_gen_.last();
+
+  if (persistent()) {
+    // The snapshot must be durably installed before a single log record
+    // is dropped; a crash in between leaves snapshot + untruncated log,
+    // which replays to the same state (see ReplayStableLocked). The
+    // image is not retained in memory — Recover reloads it from disk —
+    // so a big repository does not pay double residency.
+    Status st = WriteSnapshotFileLocked(snapshot);
+    if (!st.ok()) {
+      CONCORD_ERROR("repo", "checkpoint skipped, snapshot write failed: "
+                                << st.ToString());
+      return 0;
+    }
+    if (checkpoint_failpoint_) {
+      checkpoint_failpoint_ = false;  // one-shot, per the docs
+      CONCORD_WARN("repo", "checkpoint failpoint: crashing before "
+                           "log truncation");
+      return 0;
+    }
+  } else {
+    snapshot_ = std::move(snapshot);
+  }
+
   size_t before = wal_.size();
   wal_.Append({WalRecord::Type::kCheckpoint, TxnId(), std::nullopt, "", ""});
   wal_.TruncateToLastCheckpoint();

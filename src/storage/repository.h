@@ -20,6 +20,7 @@
 #include "storage/schema.h"
 #include "storage/version.h"
 #include "storage/wal.h"
+#include "storage/wal_codec.h"
 
 namespace concord::storage {
 
@@ -40,7 +41,9 @@ struct RepositoryStats {
 ///  - a DOT schema catalog with integrity checking,
 ///  - versioned, immutable DOVs organized in per-DA derivation graphs,
 ///  - short repository transactions with WAL-based atomicity and
-///    durability (crash + recovery are first-class, simulated), and
+///    durability — either simulated in-memory stable storage (the
+///    default) or, after Open(dir), a real on-disk segmented log plus
+///    checkpoint snapshots that survive a process restart — and
 ///  - a transactional key/value "meta" store that the CM and DM use to
 ///    persist DA-hierarchy state and scripts (Sect. 5.4: the CM
 ///    "employ[s] the data management facilities of the server DBMS").
@@ -76,8 +79,31 @@ class Repository {
   static constexpr size_t kShardCount = 16;
 
   explicit Repository(SimClock* clock);
+  ~Repository();
   Repository(const Repository&) = delete;
   Repository& operator=(const Repository&) = delete;
+
+  // --- Persistence --------------------------------------------------
+
+  /// Attaches the repository to an on-disk directory holding the WAL
+  /// segments and the checkpoint snapshot. Must be called before any
+  /// traffic. When the directory already holds state from a previous
+  /// incarnation, the committed image is rebuilt from the snapshot plus
+  /// log replay — restart recovery. Without Open the repository runs on
+  /// simulated in-memory stable storage, exactly as before.
+  Status Open(const std::string& dir, WalOptions wal_options = {});
+  /// Flushes the log and closes the files. Safe to call twice; the
+  /// destructor calls it. In-memory repositories ignore it.
+  void Close();
+  bool persistent() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Test-only, one-shot: makes the next Checkpoint() stop after the
+  /// snapshot file is durably in place but before the log is truncated
+  /// — simulating a crash in the window between the two.
+  void SetCheckpointFailpointForTesting(bool fail_after_snapshot) {
+    checkpoint_failpoint_ = fail_after_snapshot;
+  }
 
   SchemaCatalog& schema() { return schema_; }
   const SchemaCatalog& schema() const { return schema_; }
@@ -123,8 +149,10 @@ class Repository {
   /// Replays stable storage; afterwards committed state is restored
   /// exactly and all in-flight transactions are gone (atomicity).
   Status Recover();
-  /// Writes a checkpoint snapshot to stable storage and truncates the
-  /// log. Returns the number of log records dropped.
+  /// Writes a checkpoint snapshot to stable storage (in persistent mode
+  /// an on-disk snapshot file, installed atomically via tmp + rename
+  /// before the log is touched) and truncates the log. Returns the
+  /// number of log records dropped.
   size_t Checkpoint();
 
   const WriteAheadLog& wal() const { return wal_; }
@@ -143,23 +171,35 @@ class Repository {
     std::unordered_map<DovId, DovRecord> dovs;
   };
 
-  /// Stable-storage image written by Checkpoint().
-  struct Snapshot {
-    std::map<uint64_t, DovRecord> dovs;  // keyed by DovId value
-    std::map<std::string, std::string> meta;
-    uint64_t last_dov_id = 0;
-    uint64_t last_txn_id = 0;
-  };
-
   DovShard& ShardFor(DovId id) const {
     return dov_shards_[id.value() % kShardCount];
   }
 
   void ApplyDov(const DovRecord& record);
+  /// Marks the repository unusable after a partial open/recovery (the
+  /// WAL fail-stops appends; Checkpoint and Recover refuse).
+  void Poison();
   /// Clears all volatile state. Caller holds state_mu_ exclusively.
   void ClearVolatileLocked();
+  /// Rebuilds the committed image from `snapshot` + log replay and
+  /// bumps the id generators past every id on stable storage. Fails if
+  /// the log cannot be read back completely. Caller holds state_mu_
+  /// exclusively and has cleared the volatile state.
+  Result<size_t> ReplayStableLocked(const RepositorySnapshot& snapshot);
+  /// Reads <dir>/snapshot.bin (empty snapshot if absent, error if
+  /// unreadable or corrupt). Caller holds state_mu_ exclusively.
+  Result<RepositorySnapshot> LoadSnapshotLocked(const std::string& dir) const;
+  /// Writes `snapshot` to <dir>/snapshot.bin via tmp-file + fsync +
+  /// rename + directory fsync. Caller holds state_mu_ exclusively.
+  Status WriteSnapshotFileLocked(const RepositorySnapshot& snapshot);
 
   SimClock* clock_;
+  std::string dir_;  // empty while not persistent
+  bool checkpoint_failpoint_ = false;
+  /// Set when Open or Recover failed partway: the in-memory image no
+  /// longer matches stable storage, so Checkpoint (which would durably
+  /// snapshot that wrong image and truncate the log) must refuse.
+  std::atomic<bool> poisoned_{false};
   SchemaCatalog schema_;
   IdGenerator<TxnId> txn_gen_;
   IdGenerator<DovId> dov_gen_;
@@ -183,9 +223,12 @@ class Repository {
   std::unordered_map<DaId, std::vector<DovId>> dovs_by_da_;
 
   // Stable storage. The WAL synchronizes its own appends; snapshot_ is
-  // only touched under an exclusive state_mu_ hold.
+  // only touched under an exclusive state_mu_ hold and is used by the
+  // simulated in-memory mode only — persistent mode keeps the snapshot
+  // on disk (<dir>/snapshot.bin) and reloads it during recovery rather
+  // than paying double residency for the whole committed image.
   WriteAheadLog wal_;
-  Snapshot snapshot_;
+  RepositorySnapshot snapshot_;
 
   RepositoryStats stats_;
   DerivationGraph empty_graph_;

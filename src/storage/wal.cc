@@ -1,6 +1,106 @@
 #include "storage/wal.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fs.h"
+#include "common/logging.h"
+#include "storage/wal_codec.h"
+
 namespace concord::storage {
+
+namespace {
+
+std::string SegmentName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.seg",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Parses "wal-NNNNNN.seg"; returns 0 for anything else.
+uint64_t ParseSegmentName(const std::string& name) {
+  unsigned long long seq = 0;
+  char tail = 0;
+  if (std::sscanf(name.c_str(), "wal-%20llu.se%c", &seq, &tail) == 2 &&
+      tail == 'g' && name == SegmentName(seq)) {
+    return seq;
+  }
+  return 0;
+}
+
+/// write(2) until done. A WAL that cannot write its bytes has lost the
+/// durability it promised the committer, so failure is fatal (the same
+/// policy as production WALs — PostgreSQL PANICs here).
+void WriteFullyOrDie(int fd, std::string_view data) {
+  Status written = WriteFully(fd, data);
+  if (!written.ok()) {
+    CONCORD_ERROR("wal", "WAL " << written.message());
+    std::abort();
+  }
+}
+
+/// fsync that keeps the WAL's promise or dies trying: an acknowledged
+/// commit whose fsync failed must not be reported durable (the same
+/// fail-stop policy as WriteFully; see also "fsyncgate" — retrying a
+/// failed fsync cannot recover the lost pages).
+void FsyncOrDie(int fd) {
+  if (::fsync(fd) != 0) {
+    CONCORD_ERROR("wal", "WAL fsync failed: " << std::strerror(errno));
+    std::abort();
+  }
+}
+
+/// Decodes frames from `content` until a clean end or a torn frame.
+/// Returns the byte length of the valid prefix; decoded records are
+/// appended to `out` when non-null.
+size_t ScanSegment(std::string_view content, std::vector<WalRecord>* out,
+                   size_t* record_count, bool* clean,
+                   uint64_t* last_checkpoint_at_record,
+                   bool* undecodable = nullptr) {
+  size_t pos = 0;
+  size_t records = 0;
+  *clean = true;
+  for (;;) {
+    std::string_view payload;
+    size_t before = pos;
+    FrameResult frame = ReadFramed(content, &pos, &payload);
+    if (frame == FrameResult::kEnd) break;
+    if (frame == FrameResult::kTorn) {
+      *clean = false;
+      pos = before;
+      break;
+    }
+    Result<WalRecord> record = DecodeWalRecord(payload);
+    if (!record.ok()) {
+      // The CRC verified, so these are exactly the bytes that were
+      // written and fsynced — a decode failure here is a format
+      // mismatch (newer writer, encoder bug), not a torn write.
+      if (undecodable != nullptr) *undecodable = true;
+      *clean = false;
+      pos = before;
+      break;
+    }
+    if (record->type == WalRecord::Type::kCheckpoint &&
+        last_checkpoint_at_record != nullptr) {
+      *last_checkpoint_at_record = records;
+    }
+    ++records;
+    if (out != nullptr) out->push_back(std::move(*record));
+  }
+  *record_count = records;
+  return pos;
+}
+
+}  // namespace
 
 const char* WalRecord::TypeToString(Type type) {
   switch (type) {
@@ -22,47 +122,389 @@ const char* WalRecord::TypeToString(Type type) {
   return "?";
 }
 
-void WriteAheadLog::Append(WalRecord record) {
-  std::lock_guard<std::mutex> lock(append_mu_);
-  records_.push_back(std::move(record));
-  ++total_appended_;
-  ++flushes_;
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+void WriteAheadLog::DieIfClosed() const {
+  if (closed_.load()) {
+    CONCORD_ERROR("wal", "append to a closed file-backed WAL — the record "
+                         "would silently lose durability");
+    std::abort();
+  }
+}
+
+Status WriteAheadLog::Open(WalOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("WalOptions.dir must be set for Open");
+  }
+  std::scoped_lock lock(append_mu_, sync_mu_);
+  if (closed_.load()) {
+    // Reopening would silently clear the fail-stop guarantee the
+    // earlier Close/Poison gave its caller; a fresh instance is cheap.
+    return Status::FailedPrecondition("WAL was closed or poisoned; "
+                                      "create a fresh instance");
+  }
+  if (dir_fd_.load() >= 0) {
+    return Status::FailedPrecondition("WAL is already file-backed");
+  }
+  if (!records_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot switch a WAL with in-memory records to file-backed mode");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create WAL directory " + options.dir +
+                            ": " + ec.message());
+  }
+  options_ = std::move(options);
+
+  int dir_fd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    return Status::Internal("cannot open WAL directory " + options_.dir +
+                            ": " + std::strerror(errno));
+  }
+  dir_fd_.store(dir_fd);
+
+  // One log owner per directory: a second instance appending to the
+  // same tail segment (or unlinking segments at its own checkpoints)
+  // would interleave frames and destroy acknowledged commits. Same
+  // guard as LevelDB's LOCK file; flock is per open-file-description,
+  // so this also rejects a second Repository in the same process.
+  std::string lock_path = options_.dir + "/LOCK";
+  lock_fd_ = ::open(lock_path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    return Status::Internal("cannot open " + lock_path + ": " +
+                            std::strerror(errno));
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    return Status::FailedPrecondition(
+        "WAL directory " + options_.dir +
+        " is locked by another repository instance");
+  }
+
+  // Scan existing segments in seq order. A torn frame in the last
+  // segment is the tail lost in a crash and is truncated away; a bad
+  // frame anywhere earlier is corruption of durable data and refuses
+  // the open (see the mid-log check below).
+  std::vector<Segment> found;
+  std::filesystem::directory_iterator dir_it(options_.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot scan WAL directory " + options_.dir +
+                            ": " + ec.message());
+  }
+  for (const auto& entry : dir_it) {
+    uint64_t seq = ParseSegmentName(entry.path().filename().string());
+    if (seq != 0) found.push_back({seq, entry.path().string(), 0, 0});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Segment& a, const Segment& b) { return a.seq < b.seq; });
+
+  // Live segments are always seq-contiguous (rotation increments by
+  // one, truncation removes a prefix); a hole means a segment vanished
+  // or reappeared out-of-band, and replaying across it would silently
+  // resurrect stale after-images on top of a newer snapshot.
+  for (size_t i = 1; i < found.size(); ++i) {
+    if (found[i].seq != found[i - 1].seq + 1) {
+      return Status::Internal("WAL segment sequence has a hole between " +
+                              found[i - 1].path + " and " + found[i].path);
+    }
+  }
+
+  for (size_t i = 0; i < found.size(); ++i) {
+    Segment& segment = found[i];
+    CONCORD_ASSIGN_OR_RETURN(std::string content,
+                             ReadWholeFile(segment.path));
+    bool clean = false;
+    bool undecodable = false;
+    uint64_t checkpoint_at = ~uint64_t{0};
+    size_t valid_bytes = ScanSegment(content, nullptr, &segment.records,
+                                     &clean, &checkpoint_at, &undecodable);
+    if (!clean) {
+      if (undecodable) {
+        // CRC-valid bytes that fail to parse were durably written as-is
+        // (provably not a torn write); truncating them would destroy an
+        // acknowledged commit, so refuse like any other corruption.
+        return Status::Internal("undecodable CRC-valid frame in " +
+                                segment.path +
+                                " (format mismatch, not a torn tail)");
+      }
+      if (i + 1 != found.size()) {
+        // Rotation fsyncs a segment before its successor exists, so a
+        // crash can only tear the *last* segment. A bad frame earlier
+        // in the log is corruption of durable, acknowledged data —
+        // fail loudly instead of silently dropping everything after it.
+        return Status::Internal("corrupt frame mid-log in " + segment.path +
+                                " (later segments hold durable records)");
+      }
+      // Everything from the first bad frame of the final segment is
+      // dropped, even if CRC-valid frames follow it: with coalesced
+      // fsyncs several unacknowledged batches can be in the page cache
+      // at a crash, and out-of-order writeback can persist a later
+      // batch's blocks but not an earlier one's. Frames past a hole
+      // cannot be trusted to be ordered-after it, and acknowledged
+      // (fsync-covered) bytes can never sit past a hole — so the
+      // truncation is safe, and it keeps the directory reopenable
+      // (LevelDB's tolerate-corrupted-tail-records policy).
+      CONCORD_WARN("wal", "torn tail in " << segment.path << ": keeping "
+                                          << valid_bytes << " of "
+                                          << content.size() << " bytes ("
+                                          << segment.records << " records)");
+      if (::truncate(segment.path.c_str(),
+                     static_cast<off_t>(valid_bytes)) != 0) {
+        return Status::Internal("cannot truncate torn tail of " +
+                                segment.path + ": " + std::strerror(errno));
+      }
+    }
+    segment.bytes = valid_bytes;
+    if (checkpoint_at != ~uint64_t{0}) checkpoint_segment_seq_ = segment.seq;
+    segments_.push_back(segment);
+    live_records_ += segment.records;
+  }
+  FsyncDirLocked();
+  total_appended_ = live_records_.load();
+
+  // Continue appending to the last surviving segment, or start fresh.
+  if (!segments_.empty()) {
+    next_segment_seq_ = segments_.back().seq + 1;
+    fd_ = ::open(segments_.back().path.c_str(),
+                 O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd_ < 0) {
+      return Status::Internal("cannot open segment for append: " +
+                              segments_.back().path + ": " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+  return OpenSegmentLocked(next_segment_seq_++);
+}
+
+void WriteAheadLog::Close() {
+  std::scoped_lock lock(append_mu_, sync_mu_);
+  if (fd_ >= 0) {
+    // Belt and braces: every batch was already fsynced at its commit.
+    if (::fsync(fd_) != 0) {
+      CONCORD_WARN("wal", "fsync on close failed: " << std::strerror(errno));
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (lock_fd_ >= 0) {
+    ::close(lock_fd_);  // releases the flock
+    lock_fd_ = -1;
+  }
+  int dir_fd = dir_fd_.exchange(-1);
+  if (dir_fd >= 0) {
+    ::close(dir_fd);
+    // Appends after Close would silently take the in-memory path and
+    // lose an "acknowledged" commit at process exit; fail stop instead.
+    closed_.store(true);
+  }
+}
+
+Status WriteAheadLog::OpenSegmentLocked(uint64_t seq) {
+  std::string path = options_.dir + "/" + SegmentName(seq);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("cannot create WAL segment " + path + ": " +
+                            std::strerror(errno));
+  }
+  segments_.push_back({seq, std::move(path), 0, 0});
+  FsyncDirLocked();
+  return Status::OK();
+}
+
+Status WriteAheadLog::RotateLocked() {
+  if (fd_ >= 0) {
+    // Everything written so far becomes durable with the closing fsync;
+    // record that so coalesced committers don't re-sync it.
+    FsyncOrDie(fd_);
+    ++flushes_;
+    durable_seq_ = write_seq_.load(std::memory_order_relaxed);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return OpenSegmentLocked(next_segment_seq_++);
+}
+
+void WriteAheadLog::FsyncDirLocked() {
+  // The dirent of a segment is as load-bearing as its bytes: commits
+  // acknowledged into a file whose name never became durable are lost
+  // on power failure. Same fail-stop policy as FsyncOrDie.
+  int dir_fd = dir_fd_.load();
+  if (dir_fd >= 0) FsyncOrDie(dir_fd);
+}
+
+void WriteAheadLog::Append(WalRecord record, bool sync) {
+  if (dir_fd_.load() < 0) {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    DieIfClosed();
+    records_.push_back(std::move(record));
+    ++total_appended_;
+    ++live_records_;
+    ++flushes_;
+    return;
+  }
+  bool is_checkpoint = record.type == WalRecord::Type::kCheckpoint;
+  std::string encoded;
+  AppendFramed(&encoded, EncodeWalRecord(record));
+  uint64_t my_seq;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    AppendBatchLocked(std::move(encoded), 1, is_checkpoint);
+    my_seq = write_seq_.load(std::memory_order_relaxed);
+  }
+  // Unsynced records ride along with the next synced batch's fsync.
+  if (sync) SyncSeq(my_seq);
 }
 
 void WriteAheadLog::AppendBatch(std::vector<WalRecord> records) {
   if (records.empty()) return;
-  std::lock_guard<std::mutex> lock(append_mu_);
-  records_.insert(records_.end(),
-                  std::make_move_iterator(records.begin()),
-                  std::make_move_iterator(records.end()));
-  total_appended_ += records.size();
-  ++flushes_;
+  if (dir_fd_.load() < 0) {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    DieIfClosed();
+    records_.insert(records_.end(),
+                    std::make_move_iterator(records.begin()),
+                    std::make_move_iterator(records.end()));
+    total_appended_ += records.size();
+    live_records_ += records.size();
+    ++flushes_;
+    return;
+  }
+  // Encode outside every lock — serialization parallelizes across
+  // committers; only the write(2) itself is serialized.
+  std::string encoded;
+  bool has_checkpoint = false;
+  for (const WalRecord& record : records) {
+    has_checkpoint |= record.type == WalRecord::Type::kCheckpoint;
+    AppendFramed(&encoded, EncodeWalRecord(record));
+  }
+  uint64_t my_seq;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    // A batch carrying a checkpoint rotates first like Append does, so
+    // checkpoint_segment_seq_ never goes stale; truncation then keeps
+    // the whole batch (the in-memory mode drops the records before the
+    // checkpoint inside the batch — the extras are replay-idempotent).
+    AppendBatchLocked(std::move(encoded), records.size(), has_checkpoint);
+    my_seq = write_seq_.load(std::memory_order_relaxed);
+  }
+  SyncSeq(my_seq);
 }
 
-size_t WriteAheadLog::size() const {
-  std::lock_guard<std::mutex> lock(append_mu_);
-  return records_.size();
-}
-
-size_t WriteAheadLog::total_appended() const {
-  std::lock_guard<std::mutex> lock(append_mu_);
-  return total_appended_;
-}
-
-size_t WriteAheadLog::flushes() const {
-  std::lock_guard<std::mutex> lock(append_mu_);
-  return flushes_;
-}
-
-void WriteAheadLog::TruncateToLastCheckpoint() {
-  std::lock_guard<std::mutex> lock(append_mu_);
-  for (size_t i = records_.size(); i > 0; --i) {
-    if (records_[i - 1].type == WalRecord::Type::kCheckpoint) {
-      records_.erase(records_.begin(),
-                     records_.begin() + static_cast<ptrdiff_t>(i - 1));
-      return;
+void WriteAheadLog::AppendBatchLocked(std::string encoded,
+                                      size_t record_count,
+                                      bool starts_checkpoint) {
+  DieIfClosed();
+  // Checkpoint records always start a fresh segment, so truncation is
+  // pure segment unlinking; size-based rotation reuses the same path.
+  bool rotate = !segments_.empty() && segments_.back().records > 0 &&
+                (starts_checkpoint ||
+                 segments_.back().bytes + encoded.size() >
+                     options_.segment_bytes);
+  if (rotate) {
+    std::lock_guard<std::mutex> sync(sync_mu_);
+    Status st = RotateLocked();
+    if (!st.ok()) {
+      CONCORD_ERROR("wal", "segment rotation failed: " << st.ToString());
+      std::abort();
     }
   }
+  if (starts_checkpoint) checkpoint_segment_seq_ = segments_.back().seq;
+  WriteFullyOrDie(fd_, encoded);
+  segments_.back().records += record_count;
+  segments_.back().bytes += encoded.size();
+  live_records_ += record_count;
+  total_appended_ += record_count;
+  write_seq_.fetch_add(1, std::memory_order_release);
+}
+
+void WriteAheadLog::SyncSeq(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  if (options_.coalesce_fsyncs && durable_seq_ >= seq) {
+    // A leader that started its fsync after our write(2) completed has
+    // already made our batch durable — the group-commit win.
+    return;
+  }
+  // Sample before fsync: every batch written before this point is
+  // covered by the fsync below.
+  uint64_t target = write_seq_.load(std::memory_order_acquire);
+  FsyncOrDie(fd_);
+  ++flushes_;
+  durable_seq_ = std::max(durable_seq_, target);
+}
+
+std::vector<WalRecord> WriteAheadLog::ReadAll() const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (dir_fd_.load() < 0) return records_;
+  std::vector<WalRecord> all;
+  all.reserve(live_records_.load());
+  for (const Segment& segment : segments_) {
+    Result<std::string> content = ReadWholeFile(segment.path);
+    if (!content.ok()) {
+      CONCORD_ERROR("wal", "ReadAll: " << content.status().ToString());
+      break;
+    }
+    bool clean = false;
+    size_t records = 0;
+    ScanSegment(*content, &all, &records, &clean, nullptr);
+    if (!clean) break;
+  }
+  return all;
+}
+
+size_t WriteAheadLog::size() const { return live_records_.load(); }
+
+size_t WriteAheadLog::total_appended() const { return total_appended_.load(); }
+
+size_t WriteAheadLog::flushes() const { return flushes_.load(); }
+
+void WriteAheadLog::TruncateToLastCheckpoint() {
+  std::scoped_lock lock(append_mu_, sync_mu_);
+  if (dir_fd_.load() < 0) {
+    for (size_t i = records_.size(); i > 0; --i) {
+      if (records_[i - 1].type == WalRecord::Type::kCheckpoint) {
+        records_.erase(records_.begin(),
+                       records_.begin() + static_cast<ptrdiff_t>(i - 1));
+        live_records_ = records_.size();
+        return;
+      }
+    }
+    return;
+  }
+  if (checkpoint_segment_seq_ == 0) return;
+  size_t kept = 0;
+  for (const Segment& segment : segments_) {
+    if (segment.seq < checkpoint_segment_seq_) {
+      // A surviving dropped segment would be a hole (or stale prefix)
+      // that the next Open refuses or mis-replays; fail stop like every
+      // other stable-storage mutation failure.
+      if (::unlink(segment.path.c_str()) != 0) {
+        CONCORD_ERROR("wal", "cannot unlink " << segment.path << ": "
+                                              << std::strerror(errno));
+        std::abort();
+      }
+    } else {
+      kept += segment.records;
+    }
+  }
+  segments_.erase(
+      std::remove_if(segments_.begin(), segments_.end(),
+                     [this](const Segment& s) {
+                       return s.seq < checkpoint_segment_seq_;
+                     }),
+      segments_.end());
+  live_records_ = kept;
+  FsyncDirLocked();
+}
+
+std::vector<std::string> WriteAheadLog::SegmentPaths() const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  std::vector<std::string> paths;
+  paths.reserve(segments_.size());
+  for (const Segment& segment : segments_) paths.push_back(segment.path);
+  return paths;
 }
 
 }  // namespace concord::storage

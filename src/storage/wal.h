@@ -1,12 +1,15 @@
 #ifndef CONCORD_STORAGE_WAL_H_
 #define CONCORD_STORAGE_WAL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/status.h"
 #include "storage/version.h"
 
 namespace concord::storage {
@@ -38,47 +41,160 @@ struct WalRecord {
   static const char* TypeToString(Type type);
 };
 
-/// Append-only log on simulated stable storage. Records survive
-/// Crash(); truncation only happens at checkpoints.
+/// Durability knobs for a file-backed log.
+struct WalOptions {
+  /// Directory holding the `wal-NNNNNN.seg` segment files. Empty means
+  /// in-memory simulated stable storage (the default, used by the
+  /// simulation benchmarks so their cost model stays syscall-free).
+  std::string dir;
+  /// When true, concurrent AppendBatch callers share fsyncs: whichever
+  /// committer reaches the sync point first syncs the file tail for
+  /// every batch written before its fsync started (a group-commit
+  /// window). Committers whose bytes were covered return without their
+  /// own fsync, so flushes()/commit drops below 1 under concurrency.
+  bool coalesce_fsyncs = false;
+  /// Rotate to a fresh segment once the current one exceeds this many
+  /// bytes (checked at batch granularity).
+  size_t segment_bytes = 64ull << 20;
+};
+
+/// Append-only log on stable storage. Two modes share one interface:
+///
+///  - In-memory (default constructor): records live in a vector;
+///    Crash() is survived because the vector is never cleared. Flushes
+///    are counted but cost nothing — the simulation cost model.
+///  - File-backed (after Open()): records are framed (length prefix +
+///    CRC32, see wal_codec.h) into segment files. AppendBatch writes
+///    the whole batch with one write(2) and one fsync, so the batch is
+///    the commit point on real disks too; reopening the directory
+///    truncates any torn tail and replays what survived.
 ///
 /// Appends are internally synchronized so concurrent committers can
 /// share one log. A transaction's records go through AppendBatch, which
-/// takes the append mutex once and flushes the whole group as a unit —
-/// the group-commit point: records of one transaction are contiguous in
-/// the log and no torn transaction can be observed by recovery.
-/// Readers (records(), size()) are intended for recovery and for tests/
-/// benches at quiescence; they require no concurrent appender.
+/// makes them contiguous in the log — no torn transaction can be
+/// observed by recovery.
+///
+/// Readers use ReadAll(), which takes the append lock (in-memory) or
+/// re-reads the segment files (file-backed); unlike the old records()
+/// accessor it is safe against concurrent appenders.
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
+  ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  void Append(WalRecord record);
-  /// Appends all records under a single acquisition of the append mutex
-  /// and a single flush (group commit). The batch is contiguous in the
-  /// log.
+  /// Switches a fresh (no records appended) log to file-backed mode.
+  /// Creates `options.dir` if needed and scans existing segments in seq
+  /// order. A bad frame in the *last* segment is treated as the crash
+  /// tail: it and everything after it is physically truncated away
+  /// (with coalesced fsyncs, several unacknowledged batches can persist
+  /// out of order at a crash, so frames past the first hole are
+  /// untrustworthy — and acknowledged bytes can never sit past one).
+  /// Provable corruption still refuses the open: a bad frame in an
+  /// earlier segment (rotation fsyncs a segment before its successor
+  /// exists), a hole in the segment sequence, or a CRC-valid frame
+  /// that no longer parses (format mismatch, not a crash artifact).
+  /// New appends continue the log.
+  Status Open(WalOptions options);
+  /// Flushes and closes the segment files. No-op in in-memory mode.
+  void Close();
+  /// Permanently rejects further appends (they fail stop). Repository
+  /// poisons the log when Open fails partway, so a caller that ignores
+  /// the error cannot keep committing into a WAL with no disk backing.
+  void Poison() { closed_.store(true); }
+  /// True once Close()d or Poison()ed; Open refuses such a log.
+  bool closed() const { return closed_.load(); }
+  bool file_backed() const { return dir_fd_.load() >= 0; }
+
+  /// `sync = false` skips the dedicated fsync (file mode only; the
+  /// record becomes durable with the next synced batch). For records
+  /// recovery never reads, e.g. aborts. In-memory mode ignores it —
+  /// the simulation cost model keeps one flush per Append.
+  void Append(WalRecord record, bool sync = true);
+  /// Appends all records as one unit (group commit): one lock
+  /// acquisition and one flush in-memory; one write(2) plus one fsync
+  /// (possibly coalesced with concurrent batches) on disk. The batch is
+  /// contiguous in the log.
   void AppendBatch(std::vector<WalRecord> records);
 
-  const std::vector<WalRecord>& records() const { return records_; }
+  /// A consistent copy of the live log (everything since the last
+  /// truncation), safe against concurrent appenders. File-backed logs
+  /// decode it back from the segment files — recovery reads exactly
+  /// what a restart would read.
+  std::vector<WalRecord> ReadAll() const;
+
   size_t size() const;
   /// Total appended over the log's lifetime, including truncated
-  /// prefixes — a cost measure for benchmarks.
+  /// prefixes — a cost measure for benchmarks. A reopened file-backed
+  /// log restarts this count at the number of records recovered.
   size_t total_appended() const;
-  /// Number of (simulated) stable-storage flushes: one per Append, one
-  /// per AppendBatch. The batching win shows up as flushes() growing
-  /// much slower than total_appended().
+  /// Number of stable-storage flushes (fsync calls in file mode). The
+  /// batching win shows up as flushes() growing much slower than
+  /// total_appended(); with coalesce_fsyncs it also grows slower than
+  /// the number of batches.
   size_t flushes() const;
 
   /// Drops everything before the latest checkpoint record (exclusive of
-  /// the checkpoint itself). No-op when no checkpoint exists.
+  /// the checkpoint itself). No-op when no checkpoint exists. In file
+  /// mode a checkpoint record always starts a fresh segment (Append
+  /// rotates first), so truncation just unlinks the older segments.
   void TruncateToLastCheckpoint();
 
+  /// Paths of the live segment files, oldest first (empty in-memory).
+  std::vector<std::string> SegmentPaths() const;
+
  private:
+  struct Segment {
+    uint64_t seq = 0;
+    std::string path;
+    size_t records = 0;
+    size_t bytes = 0;
+  };
+
+  void AppendBatchLocked(std::string encoded, size_t record_count,
+                         bool starts_checkpoint);
+  /// Aborts if a file-backed log was Close()d: a later append would
+  /// silently take the in-memory path and lose durability.
+  void DieIfClosed() const;
+  /// Writes `encoded` to fd_ and syncs per the options. Called without
+  /// append_mu_ for the sync part; see the locking notes in wal.cc.
+  void SyncSeq(uint64_t seq);
+  /// Closes the current segment (fsync + close) and opens the next one.
+  /// Caller holds append_mu_ and sync_mu_.
+  Status RotateLocked();
+  Status OpenSegmentLocked(uint64_t seq);
+  void FsyncDirLocked();
+
+  WalOptions options_;
+
+  /// Lock order: append_mu_ before sync_mu_ (rotation takes both; the
+  /// sync path takes only sync_mu_). fd_ is written only under both and
+  /// read under either, so holding one of them is enough.
   mutable std::mutex append_mu_;
+  mutable std::mutex sync_mu_;
+
+  // In-memory mode state (guarded by append_mu_).
   std::vector<WalRecord> records_;
-  size_t total_appended_ = 0;
-  size_t flushes_ = 0;
+
+  // File mode state.
+  int fd_ = -1;       // current append segment
+  int lock_fd_ = -1;  // flock'd <dir>/LOCK while this instance owns the log
+  /// For directory fsyncs; >= 0 iff file-backed. Atomic because the
+  /// mode dispatch in Append/AppendBatch reads it before locking (the
+  /// transition itself only happens before traffic, via Open).
+  std::atomic<int> dir_fd_{-1};
+  std::vector<Segment> segments_;            // guarded by append_mu_
+  uint64_t next_segment_seq_ = 1;            // guarded by append_mu_
+  uint64_t checkpoint_segment_seq_ = 0;      // guarded by append_mu_
+  std::atomic<uint64_t> write_seq_{0};       // bumped under append_mu_
+  uint64_t durable_seq_ = 0;                 // guarded by sync_mu_
+
+  std::atomic<size_t> live_records_{0};
+  std::atomic<size_t> total_appended_{0};
+  std::atomic<size_t> flushes_{0};
+  /// Set when a file-backed log is Close()d; appends then fail stop.
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace concord::storage

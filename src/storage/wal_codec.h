@@ -1,0 +1,93 @@
+#ifndef CONCORD_STORAGE_WAL_CODEC_H_
+#define CONCORD_STORAGE_WAL_CODEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/wal.h"
+
+namespace concord::storage {
+
+/// Binary on-disk encoding of the storage layer's stable structures.
+///
+/// ## Record framing
+///
+/// Every WAL record is framed as
+///
+///     [u32 payload_len][u32 crc32(payload)][payload bytes]
+///
+/// and records are written back to back. Payloads are never empty: an
+/// all-zero header (len=0, crc=0 == Crc32("")) is what a zero-filled
+/// torn tail reads back as, so readers treat len==0 as torn, never as
+/// data. Recovery walks a segment frame by frame and stops at the first
+/// frame whose length runs past the end of the file or whose CRC
+/// disagrees with the payload — that is the torn tail of a crashed
+/// write, and everything before it is intact because frames are
+/// appended with a single write(2) per commit batch.
+///
+/// ## Payloads
+///
+/// WalRecord: type byte, txn id, optional DovRecord (presence byte),
+/// length-prefixed meta key/value. DovRecord: ids, the nested
+/// DesignObject (type, attrs, children — recursively), predecessor
+/// list, creation time, cooperation flag bits. All integers are
+/// little-endian fixed-width (common/serde.h).
+///
+/// Snapshots reuse the same framing around a payload that starts with a
+/// magic/version pair, then the id-generator high-water marks, the
+/// committed DOV set and the meta store.
+
+// --- Record payloads -----------------------------------------------------
+
+std::string EncodeWalRecord(const WalRecord& record);
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
+
+std::string EncodeDovRecord(const DovRecord& record);
+Result<DovRecord> DecodeDovRecord(std::string_view payload);
+
+// --- Framing -------------------------------------------------------------
+
+/// Bytes of the [len][crc] frame header.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Upper bound on a single frame payload; a length prefix beyond this is
+/// treated as corruption rather than an allocation request.
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 30;
+
+void AppendFramed(std::string* out, std::string_view payload);
+
+enum class FrameResult {
+  kOk,    // payload extracted, *pos advanced past the frame
+  kEnd,   // clean end of buffer: *pos == buf.size()
+  kTorn,  // short header/payload or CRC mismatch at *pos
+};
+
+/// Reads the frame starting at `*pos`. On kOk, `*payload` views into
+/// `buf` and `*pos` is advanced; on kEnd/kTorn nothing is modified.
+FrameResult ReadFramed(std::string_view buf, size_t* pos,
+                       std::string_view* payload);
+
+// --- Checkpoint snapshots ------------------------------------------------
+
+/// Stable-storage image written by Repository::Checkpoint: the whole
+/// committed state at checkpoint time plus the id-generator high-water
+/// marks (so recovery never reissues a pre-crash id).
+struct RepositorySnapshot {
+  std::map<uint64_t, DovRecord> dovs;  // keyed by DovId value
+  std::map<std::string, std::string> meta;
+  uint64_t last_dov_id = 0;
+  uint64_t last_txn_id = 0;
+};
+
+/// Full snapshot-file content, including framing; DecodeSnapshot takes
+/// the full file content back. Fails when the image exceeds the
+/// single-frame format limit (checkpointing then degrades to "log only"
+/// until a streamed snapshot format exists).
+Result<std::string> EncodeSnapshot(const RepositorySnapshot& snapshot);
+Result<RepositorySnapshot> DecodeSnapshot(std::string_view file_content);
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_WAL_CODEC_H_

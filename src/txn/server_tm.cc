@@ -161,8 +161,13 @@ void ServerTm::Crash() {
 }
 
 Status ServerTm::Recover() {
+  // Rebuild the repository before advertising the node as up: with
+  // real on-disk stable storage, replay can fail (corrupt snapshot,
+  // unreadable segment), and a node whose committed state is missing
+  // must not accept traffic.
+  CONCORD_RETURN_NOT_OK(repository_->Recover());
   network_->SetNodeUp(node_, true);
-  return repository_->Recover();
+  return Status::OK();
 }
 
 }  // namespace concord::txn

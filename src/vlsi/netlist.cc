@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "common/strings.h"
+
 namespace concord::vlsi {
 
 bool Netlist::HasModule(const std::string& name) const {
@@ -31,11 +33,11 @@ int Netlist::CutSize(const std::vector<std::string>& left) const {
 Netlist Netlist::Random(int modules, int nets, int max_degree, Rng* rng) {
   Netlist netlist;
   for (int i = 0; i < modules; ++i) {
-    netlist.AddModule("m" + std::to_string(i));
+    netlist.AddModule(IndexedName("m", i));
   }
   for (int n = 0; n < nets; ++n) {
     Net net;
-    net.name = "n" + std::to_string(n);
+    net.name = IndexedName("n", n);
     int degree = static_cast<int>(rng->Uniform(2, std::max(2, max_degree)));
     // Locality bias: pick a home module, then neighbours around it.
     int home = static_cast<int>(rng->Uniform(0, modules - 1));
@@ -51,7 +53,7 @@ Netlist Netlist::Random(int modules, int nets, int max_degree, Rng* rng) {
       // degree): widen it so the loop always terminates.
       if (++attempts % 4 == 0) ++span;
     }
-    for (int m : picked) net.pins.push_back("m" + std::to_string(m));
+    for (int m : picked) net.pins.push_back(IndexedName("m", m));
     netlist.AddNet(std::move(net));
   }
   return netlist;

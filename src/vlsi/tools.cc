@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/strings.h"
 #include "vlsi/netlist.h"
 
 namespace concord::vlsi {
@@ -83,7 +84,7 @@ Result<ToolResult> ToolBox::Repartitioning(const storage::DesignObject& input,
       int a = static_cast<int>(rng->Uniform(0, module_count - 1));
       int b = static_cast<int>(rng->Uniform(0, module_count - 1));
       if (a == b) b = (b + 1) % module_count;
-      replacement.pins = {"m" + std::to_string(a), "m" + std::to_string(b)};
+      replacement.pins = {IndexedName("m", a), IndexedName("m", b)};
       rewired.AddNet(std::move(replacement));
     } else {
       rewired.AddNet(net);

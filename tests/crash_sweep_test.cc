@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "core/concord_system.h"
 #include "sim/scenarios.h"
 #include "vlsi/schema.h"
@@ -150,7 +151,7 @@ TEST(DelegationCrashTest, ServerCrashBetweenDelegationsRecovers) {
     desc.spec = sim::MakeSpec(1e9, 0, vlsi::kDomainFloorplan);
     desc.designer = DesignerId(2 + i);
     desc.dc = sim::MakeChipPlanningScript(1);
-    desc.workstation = system.AddWorkstation("s" + std::to_string(i));
+    desc.workstation = system.AddWorkstation(IndexedName("s", i));
     auto sub = system.CreateSubDa(*top, desc);
     ASSERT_TRUE(sub.ok());
     ASSERT_TRUE(system.StartDa(*sub).ok());

@@ -247,6 +247,39 @@ TEST_F(RepositoryTest, CheckpointTruncatesWalAndRecoveryStillWorks) {
   EXPECT_TRUE(repo_.Contains(after.id));
 }
 
+TEST_F(RepositoryTest, TxnSpanningCheckpointReplaysAfterTruncation) {
+  // Regression for the truncation boundary: a transaction that begins
+  // before a checkpoint and commits after it must replay after the
+  // pre-checkpoint log prefix is dropped. The WAL protocol guarantees
+  // this by construction — Begin() writes nothing, and Commit publishes
+  // the whole BEGIN..COMMIT batch at the commit point — so the spanning
+  // transaction's records all land after the checkpoint record. This
+  // test pins that property: if the protocol ever changes to log Begin
+  // eagerly, truncation would orphan the spanning transaction and this
+  // test catches it.
+  TxnId spanning = repo_.Begin();
+  ASSERT_TRUE(repo_.Put(spanning, MakeRecord(DaId(1), 7)).ok());
+
+  // Committed work the checkpoint can fold into the snapshot.
+  TxnId before = repo_.Begin();
+  DovRecord pre = MakeRecord(DaId(1), 1);
+  ASSERT_TRUE(repo_.Put(before, pre).ok());
+  ASSERT_TRUE(repo_.Commit(before).ok());
+
+  repo_.Checkpoint();
+  ASSERT_TRUE(repo_.HasActiveTxn(spanning));  // still in flight
+
+  ASSERT_TRUE(repo_.Commit(spanning).ok());
+  std::vector<WalRecord> log = repo_.wal().ReadAll();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log[0].type, WalRecord::Type::kCheckpoint);
+
+  repo_.Crash();
+  ASSERT_TRUE(repo_.Recover().ok());
+  EXPECT_TRUE(repo_.Contains(pre.id));
+  EXPECT_EQ(repo_.DovsOf(DaId(1)).size(), 2u);
+}
+
 TEST_F(RepositoryTest, DoubleCrashRecoverCycleIsIdempotent) {
   TxnId txn = repo_.Begin();
   DovRecord a = MakeRecord(DaId(1), 3);
@@ -291,7 +324,7 @@ TEST(WalTest, TruncateKeepsSuffixFromCheckpoint) {
   wal.Append({WalRecord::Type::kBegin, TxnId(2), std::nullopt, "", ""});
   wal.TruncateToLastCheckpoint();
   ASSERT_EQ(wal.size(), 2u);
-  EXPECT_EQ(wal.records()[0].type, WalRecord::Type::kCheckpoint);
+  EXPECT_EQ(wal.ReadAll()[0].type, WalRecord::Type::kCheckpoint);
   EXPECT_EQ(wal.total_appended(), 3u);  // lifetime count unaffected
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "core/concord_system.h"
 #include "sim/designer.h"
 #include "sim/scenarios.h"
@@ -218,7 +219,7 @@ TEST(SystemTest, UsageRelationshipDeliversPreliminaryResultAcrossDas) {
     auto sub = system.CreateSubDa(*top, desc);
     ASSERT_TRUE(sub.ok());
     storage::DesignObject seed(system.dots().module);
-    seed.SetAttr(vlsi::kAttrName, "m" + std::to_string(i));
+    seed.SetAttr(vlsi::kAttrName, IndexedName("m", i));
     seed.SetAttr(vlsi::kAttrDomain, vlsi::kDomainBehavior);
     seed.SetAttr(vlsi::kAttrBehavior, "MODULE m COMPLEXITY 3");
     seed.SetAttr(vlsi::kAttrPinCount, int64_t{4});
