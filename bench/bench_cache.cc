@@ -1,0 +1,141 @@
+// Workstation-side DOV-cache benchmarks: the hot read path of the
+// checkout/checkin model. A warm checkout must be served from the
+// workstation cache with zero server round-trips (the paper's own
+// motivation for handing in-memory contexts between DOPs — LAN hops
+// are the expensive part), while a cold/invalidated checkout pays the
+// full 2PC + server-TM + repository path. Counters expose cache
+// hits/misses/invalidations and the number of real ServerTm checkouts
+// so the win is visible, not just implied by ns/op.
+//
+// CI runs this binary in smoke mode (--benchmark_min_time=0.01) to
+// keep the scenarios from bit-rotting.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_tm_env.h"
+
+namespace concord {
+namespace {
+
+using bench::TmEnv;
+
+std::unique_ptr<TmEnv> g_env;
+
+void ReportCacheCounters(benchmark::State& state, TmEnv& env) {
+  uint64_t hits = 0, misses = 0, from_cache = 0, from_server = 0;
+  for (auto& client : env.clients) {
+    hits += client->cache().stats().hits;
+    misses += client->cache().stats().misses;
+    from_cache += client->stats().checkouts_from_cache;
+    from_server += client->stats().checkouts_from_server;
+  }
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["cache_misses"] = static_cast<double>(misses);
+  state.counters["server_checkouts"] =
+      static_cast<double>(env.server->stats().checkouts);
+  state.counters["hit_rate"] =
+      from_cache + from_server == 0
+          ? 0.0
+          : static_cast<double>(from_cache) /
+                static_cast<double>(from_cache + from_server);
+  state.counters["lan_messages"] =
+      static_cast<double>(env.network.stats().messages_sent);
+}
+
+/// Warm path: after the first (server) checkout, every repeated
+/// checkout of the same DOV is served from the workstation cache —
+/// ns/op here is the served-from-cache latency.
+void BM_WarmCheckout(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_env = std::make_unique<TmEnv>(state.threads());
+  }
+  const int t = state.thread_index();
+  // Begin-of-DOP happens inside the loop body's first pass: the
+  // benchmark start barrier is the only thing ordering thread 0's env
+  // setup before the other threads touch it.
+  std::optional<DopId> dop;
+  for (auto _ : state) {
+    txn::ClientTm& tm = *g_env->clients[t];
+    if (!dop) {
+      auto begun = tm.BeginDop(DaId(t + 1));
+      if (begun.ok()) dop = *begun;
+    }
+    if (!dop || !tm.Checkout(*dop, g_env->warm_dov[t]).ok()) {
+      state.SkipWithError("checkout failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    ReportCacheCounters(state, *g_env);
+    g_env.reset();
+  }
+}
+BENCHMARK(BM_WarmCheckout)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+/// Cold path for comparison: the entry is invalidated before every
+/// checkout, so each one pays 2PC + server-TM + repository — the cost
+/// the cache removes from the hot path.
+void BM_ColdCheckout(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_env = std::make_unique<TmEnv>(state.threads());
+  }
+  const int t = state.thread_index();
+  std::optional<DopId> dop;
+  for (auto _ : state) {
+    txn::ClientTm& tm = *g_env->clients[t];
+    if (!dop) {
+      auto begun = tm.BeginDop(DaId(t + 1));
+      if (begun.ok()) dop = *begun;
+    }
+    tm.cache().Invalidate(g_env->warm_dov[t]);
+    if (!dop || !tm.Checkout(*dop, g_env->warm_dov[t]).ok()) {
+      state.SkipWithError("checkout failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    ReportCacheCounters(state, *g_env);
+    g_env.reset();
+  }
+}
+BENCHMARK(BM_ColdCheckout)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+/// Invalidation push fan-out: one withdrawal reaching N subscribed
+/// workstations (each drop is one LAN hop + one cache mutation).
+void BM_InvalidationFanout(benchmark::State& state) {
+  const int workstations = static_cast<int>(state.range(0));
+  TmEnv env(workstations);
+  // Warm every cache with the same DOV so each push does real work.
+  std::vector<Result<DopId>> dops;
+  for (int t = 0; t < workstations; ++t) {
+    dops.push_back(env.clients[t]->BeginDop(DaId(t + 1)));
+  }
+  DovId shared = env.Seed(DaId(1), 99);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int t = 0; t < workstations; ++t) {
+      env.clients[t]->Checkout(*dops[t], shared).ok();
+    }
+    state.ResumeTiming();
+    rpc::InvalidationMessage message;
+    message.kind = rpc::InvalidationMessage::Kind::kWithdrawn;
+    message.dov = shared;
+    message.origin_da = DaId(1);
+    env.bus->Publish(message);
+  }
+  state.SetItemsProcessed(state.iterations() * workstations);
+  state.counters["deliveries"] =
+      static_cast<double>(env.bus->stats().deliveries);
+}
+BENCHMARK(BM_InvalidationFanout)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -15,9 +15,12 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_tm_env.h"
 #include "common/clock.h"
 #include "storage/repository.h"
 #include "txn/lock_manager.h"
@@ -165,6 +168,77 @@ void BM_ConcurrentCheckout_HotSpot(benchmark::State& state) {
   benchmark::DoNotOptimize(conflicts);
 }
 BENCHMARK(BM_ConcurrentCheckout_HotSpot)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// --- Full TM stack with the workstation DOV cache -------------------------
+
+/// Designer mix over the full client-TM/server-TM stack: each thread's
+/// DA re-reads its stable library input every iteration (warm after the
+/// first fetch) and periodically derives a new version from it
+/// (checkin + fresh checkout with a derivation lock — both forced
+/// server trips). The hit_rate / server_checkouts counters show how
+/// much of the hot read path the workstation DOV cache takes off the
+/// server at equal correctness. The stack assembly is shared with
+/// bench_cache (bench/bench_tm_env.h).
+using bench::TmEnv;
+
+std::unique_ptr<TmEnv> g_tm_env;
+
+void BM_CheckoutMix_ClientTmCache(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_tm_env = std::make_unique<TmEnv>(state.threads());
+  }
+  const int t = state.thread_index();
+  const DaId da(t + 1);
+  std::optional<DopId> dop;
+  int64_t iteration = 0;
+  for (auto _ : state) {
+    txn::ClientTm& tm = *g_tm_env->clients[t];
+    if (!dop) {
+      auto begun = tm.BeginDop(da);
+      if (begun.ok()) dop = *begun;
+    }
+    DovId input = g_tm_env->warm_dov[t];
+    // Hot path: re-read the library input (cache hit after the first).
+    if (!dop || !tm.Checkout(*dop, input).ok()) {
+      state.SkipWithError("checkout failed");
+      break;
+    }
+    // Every 16th iteration: derive a new version — checkin plus a
+    // derivation-locked checkout of it, both real server interactions.
+    if (++iteration % 16 == 0) {
+      storage::DesignObject obj(g_tm_env->dot);
+      obj.SetAttr("value", iteration % 1000000);
+      auto derived = tm.Checkin(*dop, std::move(obj), {input});
+      if (!derived.ok() ||
+          !tm.Checkout(*dop, *derived, /*take_derivation_lock=*/true).ok()) {
+        state.SkipWithError("checkin/derive failed");
+        break;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    uint64_t from_cache = 0, from_server = 0;
+    for (auto& client : g_tm_env->clients) {
+      from_cache += client->stats().checkouts_from_cache;
+      from_server += client->stats().checkouts_from_server;
+    }
+    state.counters["server_checkouts"] =
+        static_cast<double>(g_tm_env->server->stats().checkouts);
+    state.counters["cache_checkouts"] = static_cast<double>(from_cache);
+    state.counters["hit_rate"] =
+        from_cache + from_server == 0
+            ? 0.0
+            : static_cast<double>(from_cache) /
+                  static_cast<double>(from_cache + from_server);
+    g_tm_env.reset();
+  }
+}
+BENCHMARK(BM_CheckoutMix_ClientTmCache)
     ->Threads(1)
     ->Threads(4)
     ->Threads(8)

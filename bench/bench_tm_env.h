@@ -1,0 +1,71 @@
+#ifndef CONCORD_BENCH_BENCH_TM_ENV_H_
+#define CONCORD_BENCH_BENCH_TM_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "rpc/invalidation.h"
+#include "rpc/network.h"
+#include "storage/repository.h"
+#include "txn/client_tm.h"
+#include "txn/scope_authority.h"
+#include "txn/server_tm.h"
+
+namespace concord::bench {
+
+/// Shared benchmark fixture for the full TM stack: repository +
+/// server-TM + invalidation bus on the server node, and one
+/// workstation/client-TM per benchmark thread, each with a seeded warm
+/// DOV owned by DA(t+1). Used by bench_cache and the client-TM
+/// scenario in bench_concurrent_checkout — one place to update when
+/// the stack's wiring changes.
+struct TmEnv {
+  SimClock clock;
+  rpc::Network network{&clock, 42};
+  storage::Repository repo{&clock};
+  txn::PermissiveScopeAuthority scope;
+  NodeId server_node;
+  std::unique_ptr<rpc::InvalidationBus> bus;
+  std::unique_ptr<txn::ServerTm> server;
+  std::vector<std::unique_ptr<txn::ClientTm>> clients;  // one per thread
+  DotId dot;
+  std::vector<DovId> warm_dov;  // per-thread seeded input
+
+  explicit TmEnv(int threads) {
+    storage::DesignObjectType* type = repo.schema().DefineType("cell");
+    type->AddAttr({"value", storage::AttrType::kInt, true, 0.0, 1e9});
+    dot = type->id();
+    server_node = network.AddNode("server");
+    bus = std::make_unique<rpc::InvalidationBus>(&network, server_node);
+    server = std::make_unique<txn::ServerTm>(&repo, &network, server_node,
+                                             &scope, bus.get());
+    for (int t = 0; t < threads; ++t) {
+      NodeId ws = network.AddNode("ws" + std::to_string(t));
+      clients.push_back(std::make_unique<txn::ClientTm>(
+          server.get(), &network, ws, &clock, bus.get()));
+      warm_dov.push_back(Seed(DaId(t + 1), t));
+    }
+  }
+
+  /// Commits one DOV owned by `da` (as the server-TM's checkin would).
+  DovId Seed(DaId da, int64_t value) {
+    TxnId txn = repo.Begin();
+    storage::DovRecord record;
+    record.id = repo.NextDovId();
+    record.owner_da = da;
+    record.type = dot;
+    record.data = storage::DesignObject(dot);
+    record.data.SetAttr("value", value);
+    DovId id = record.id;
+    repo.Put(txn, std::move(record)).ok();
+    repo.Commit(txn).ok();
+    server->locks().SetScopeOwner(id, da);
+    return id;
+  }
+};
+
+}  // namespace concord::bench
+
+#endif  // CONCORD_BENCH_BENCH_TM_ENV_H_

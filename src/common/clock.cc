@@ -39,12 +39,15 @@ std::string FormatSimTime(SimTime t) {
 
 SimTime SimClock::Advance(SimTime delta) {
   assert(delta >= 0 && "SimClock cannot go backwards");
-  now_ += delta;
-  return now_;
+  return now_.fetch_add(delta, std::memory_order_relaxed) + delta;
 }
 
 void SimClock::AdvanceTo(SimTime t) {
-  if (t > now_) now_ = t;
+  // CAS-max: never move backwards even when racing other advancers.
+  SimTime current = now_.load(std::memory_order_relaxed);
+  while (t > current &&
+         !now_.compare_exchange_weak(current, t, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace concord

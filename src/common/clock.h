@@ -1,6 +1,7 @@
 #ifndef CONCORD_COMMON_CLOCK_H_
 #define CONCORD_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -22,12 +23,16 @@ constexpr SimTime kHour = 60 * kMinute;
 std::string FormatSimTime(SimTime t);
 
 /// A manually-advanced clock. Advancing never goes backwards.
+/// Thread-safe: concurrent designers (client-TMs on benchmark/test
+/// threads) all advance the one shared clock, so the counter is atomic.
+/// Concurrent advances interleave in some serial order — fine for a
+/// monotonic cost accumulator.
 class SimClock {
  public:
   SimClock() = default;
   explicit SimClock(SimTime start) : now_(start) {}
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Moves time forward by `delta` (must be >= 0). Returns the new time.
   SimTime Advance(SimTime delta);
@@ -36,7 +41,7 @@ class SimClock {
   void AdvanceTo(SimTime t);
 
  private:
-  SimTime now_ = 0;
+  std::atomic<SimTime> now_{0};
 };
 
 }  // namespace concord

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "crashed";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kUnknownDop:
+      return "unknown dop";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -32,6 +32,7 @@ enum class StatusCode {
   kAborted,             // transaction/DOP aborted
   kCrashed,             // injected workstation/server crash
   kUnavailable,         // component down or message undeliverable
+  kUnknownDop,          // DOP registration lost in a server crash
   kInternal,
 };
 
@@ -87,6 +88,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status UnknownDop(std::string msg) {
+    return Status(StatusCode::kUnknownDop, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -112,6 +116,7 @@ class Status {
     return code() == StatusCode::kPermissionDenied;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsUnknownDop() const { return code() == StatusCode::kUnknownDop; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

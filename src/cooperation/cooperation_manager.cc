@@ -679,6 +679,11 @@ Status CooperationManager::WithdrawPropagation(DaId da, DovId dov) {
     event.dov = dov;
     Deliver(rel.from, std::move(event));
   }
+  // Push the revocation to the workstation DOV caches: the grants just
+  // died, so no cache may keep serving this version locally.
+  if (withdrawal_sink_) {
+    withdrawal_sink_(da, dov, /*invalidated=*/false, DovId());
+  }
   return Status::OK();
 }
 
@@ -730,6 +735,12 @@ Status CooperationManager::InvalidateAndReplace(DaId da, DovId dov,
     event.dov = dov;
     event.params["replacement"] = std::to_string(replacement.value());
     Deliver(rel.from, std::move(event));
+  }
+  // Push to the workstation DOV caches before the replacement is
+  // propagated, so no cache window exists where the dead version is
+  // still served while the replacement already circulates.
+  if (withdrawal_sink_) {
+    withdrawal_sink_(da, dov, /*invalidated=*/true, replacement);
   }
   return Propagate(da, replacement);
 }

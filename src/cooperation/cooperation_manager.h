@@ -66,11 +66,22 @@ struct DaDescription {
 class CooperationManager : public txn::ScopeAuthority {
  public:
   using EventSink = std::function<void(DaId, const workflow::Event&)>;
+  /// Fired after a propagation is revoked — WithdrawPropagation
+  /// (`invalidated` false) or InvalidateAndReplace (`invalidated` true,
+  /// `replacement` set). The embedding system fans this out to the
+  /// workstation DOV caches over the invalidation bus so no
+  /// workstation keeps serving the withdrawn version locally.
+  using WithdrawalSink =
+      std::function<void(DaId da, DovId dov, bool invalidated,
+                         DovId replacement)>;
 
   CooperationManager(storage::Repository* repository,
                      txn::LockManager* locks, SimClock* clock);
 
   void SetEventSink(EventSink sink) { event_sink_ = std::move(sink); }
+  void SetWithdrawalSink(WithdrawalSink sink) {
+    withdrawal_sink_ = std::move(sink);
+  }
 
   // --- Hierarchy operations (Fig. 7, ops 1-6, 8) ---------------------
 
@@ -235,6 +246,7 @@ class CooperationManager : public txn::ScopeAuthority {
   txn::LockManager* locks_;
   SimClock* clock_;
   EventSink event_sink_;
+  WithdrawalSink withdrawal_sink_;
 
   IdGenerator<DaId> da_gen_;
   IdGenerator<RelId> rel_gen_;

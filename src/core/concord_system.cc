@@ -25,6 +25,8 @@ ConcordSystem::ConcordSystem(SystemConfig config)
   network_->set_local_latency(config.local_latency);
   network_->set_loss_probability(config.message_loss_probability);
   server_node_ = network_->AddNode("server");
+  invalidation_bus_ =
+      std::make_unique<rpc::InvalidationBus>(network_.get(), server_node_);
 
   repository_ = std::make_unique<storage::Repository>(&clock_);
   dots_ = vlsi::RegisterVlsiSchema(&repository_->schema());
@@ -35,12 +37,24 @@ ConcordSystem::ConcordSystem(SystemConfig config)
   // (which is constructed right after and owns the policy).
   server_tm_ = std::make_unique<txn::ServerTm>(repository_.get(),
                                                network_.get(), server_node_,
-                                               this);
+                                               this, invalidation_bus_.get());
   cm_ = std::make_unique<cooperation::CooperationManager>(
       repository_.get(), &server_tm_->locks(), &clock_);
   cm_->SetEventSink([this](DaId da, const workflow::Event& event) {
     DeliverEvent(da, event);
   });
+  // CM withdrawal/invalidation -> push to every workstation DOV cache.
+  cm_->SetWithdrawalSink(
+      [this](DaId da, DovId dov, bool invalidated, DovId replacement) {
+        rpc::InvalidationMessage message;
+        message.kind = invalidated
+                           ? rpc::InvalidationMessage::Kind::kInvalidated
+                           : rpc::InvalidationMessage::Kind::kWithdrawn;
+        message.dov = dov;
+        message.origin_da = da;
+        message.replacement = replacement;
+        invalidation_bus_->Publish(message);
+      });
 }
 
 ConcordSystem::~ConcordSystem() = default;
@@ -49,7 +63,8 @@ NodeId ConcordSystem::AddWorkstation(const std::string& name) {
   NodeId node = network_->AddNode(name);
   client_tms_.emplace(node.value(),
                       std::make_unique<txn::ClientTm>(
-                          server_tm_.get(), network_.get(), node, &clock_));
+                          server_tm_.get(), network_.get(), node, &clock_,
+                          invalidation_bus_.get()));
   client_tms_.at(node.value())
       ->set_auto_recovery_interval(config_.recovery_point_interval);
   return node;

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "cooperation/cooperation_manager.h"
+#include "rpc/invalidation.h"
 #include "rpc/network.h"
 #include "rpc/transactional_rpc.h"
 #include "storage/repository.h"
@@ -79,6 +80,7 @@ class ConcordSystem : public txn::ScopeAuthority {
   SimClock& clock() { return clock_; }
   Rng& rng() { return rng_; }
   rpc::Network& network() { return *network_; }
+  rpc::InvalidationBus& invalidation_bus() { return *invalidation_bus_; }
   storage::Repository& repository() { return *repository_; }
   txn::ServerTm& server_tm() { return *server_tm_; }
   cooperation::CooperationManager& cm() { return *cm_; }
@@ -140,6 +142,10 @@ class ConcordSystem : public txn::ScopeAuthority {
   Rng rng_;
   std::unique_ptr<rpc::Network> network_;
   NodeId server_node_;
+  /// Server->workstation push channel for DOV-cache invalidations.
+  /// Must outlive the client-TMs (they unsubscribe in their dtors), so
+  /// it is declared before client_tms_.
+  std::unique_ptr<rpc::InvalidationBus> invalidation_bus_;
   std::unique_ptr<storage::Repository> repository_;
   std::unique_ptr<txn::ServerTm> server_tm_;
   std::unique_ptr<cooperation::CooperationManager> cm_;

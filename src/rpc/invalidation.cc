@@ -1,0 +1,104 @@
+#include "rpc/invalidation.h"
+
+#include "common/logging.h"
+
+namespace concord::rpc {
+
+std::string InvalidationMessage::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kWithdrawn:
+      out = "WITHDRAW ";
+      break;
+    case Kind::kInvalidated:
+      out = "INVALIDATE ";
+      break;
+    case Kind::kDerivationLocked:
+      out = "DERIVATION_LOCK ";
+      break;
+  }
+  out += dov.ToString() + " from " + origin_da.ToString();
+  if (replacement.valid()) out += " -> " + replacement.ToString();
+  return out;
+}
+
+void InvalidationBus::Subscribe(NodeId node, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[node.value()] = std::move(handler);
+}
+
+void InvalidationBus::Unsubscribe(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(node.value());
+  pending_.erase(node.value());
+}
+
+bool InvalidationBus::TransmitLocked(NodeId node) {
+  // The channel is reliable (retransmit-until-ack): a workstation that
+  // silently missed a withdrawal would serve the withdrawn version
+  // from its cache forever, so an in-transit loss on an up-up link is
+  // retried — each attempt is a real hop with real cost. Only a down
+  // endpoint (or an exhausted retry budget) defers to the queue.
+  for (int attempt = 0; attempt < kMaxTransmitAttempts; ++attempt) {
+    if (network_->Send(server_, node).ok()) return true;
+    if (!network_->IsUp(node) || !network_->IsUp(server_)) return false;
+    ++stats_.retransmissions;
+  }
+  return false;
+}
+
+void InvalidationBus::Publish(const InvalidationMessage& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.published;
+  for (auto& [node_value, handler] : handlers_) {
+    NodeId node(node_value);
+    // One push hop server -> workstation (retransmitted through loss).
+    // An undeliverable message (node down) is queued; the workstation
+    // flushes the queue during recovery, before it resumes checkouts.
+    if (TransmitLocked(node)) {
+      ++stats_.deliveries;
+      handler(message);
+    } else {
+      ++stats_.queued_node_down;
+      pending_[node_value].push_back(message);
+    }
+  }
+}
+
+void InvalidationBus::FlushPending(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto queue_it = pending_.find(node.value());
+  if (queue_it == pending_.end()) return;
+  auto handler_it = handlers_.find(node.value());
+  if (handler_it == handlers_.end()) {
+    pending_.erase(queue_it);
+    return;
+  }
+  while (!queue_it->second.empty()) {
+    InvalidationMessage message = queue_it->second.front();
+    queue_it->second.pop_front();
+    // Redelivery pays real hops too; if the node went down again the
+    // message goes back to the front of the queue.
+    if (!TransmitLocked(node)) {
+      queue_it->second.push_front(std::move(message));
+      return;
+    }
+    ++stats_.deliveries;
+    ++stats_.redelivered;
+    handler_it->second(message);
+  }
+  pending_.erase(queue_it);
+}
+
+size_t InvalidationBus::PendingFor(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(node.value());
+  return it == pending_.end() ? 0 : it->second.size();
+}
+
+InvalidationBusStats InvalidationBus::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace concord::rpc

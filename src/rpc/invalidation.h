@@ -1,0 +1,126 @@
+#ifndef CONCORD_RPC_INVALIDATION_H_
+#define CONCORD_RPC_INVALIDATION_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/ids.h"
+#include "rpc/network.h"
+
+namespace concord::rpc {
+
+/// Server-pushed cache-invalidation message. When the cooperation
+/// manager withdraws a propagated DOV or invalidates it (Sect. 5.4),
+/// every workstation that may hold the version in its DOV cache must
+/// stop serving it — the DOV's *content* is immutable, but its
+/// *visibility* just changed, and a workstation acting on a withdrawn
+/// version would violate exactly the guarantee the CM's dissemination
+/// control exists to give.
+struct InvalidationMessage {
+  enum class Kind {
+    /// Propagation withdrawn (spec change, DA cancellation). The DOV
+    /// may be re-propagated later.
+    kWithdrawn,
+    /// Invalidated for good: it will never be the ancestor of a final
+    /// DOV. `replacement` carries the substitute the CM propagates.
+    kInvalidated,
+    /// A DA acquired the derivation lock (Sect. 5.2): other DAs'
+    /// checkouts must now fail the compatibility test, so cached
+    /// copies elsewhere may no longer short-circuit it. `origin_da` is
+    /// the lock holder.
+    kDerivationLocked,
+  };
+
+  Kind kind = Kind::kWithdrawn;
+  DovId dov;
+  /// The DA whose propagation was withdrawn/invalidated.
+  DaId origin_da;
+  /// Valid for kInvalidated.
+  DovId replacement;
+
+  std::string ToString() const;
+};
+
+struct InvalidationBusStats {
+  uint64_t published = 0;
+  uint64_t deliveries = 0;
+  /// Messages queued because the subscriber's node was down.
+  uint64_t queued_node_down = 0;
+  /// Queued messages redelivered after the node came back.
+  uint64_t redelivered = 0;
+  /// Extra transmission attempts after in-transit loss (both endpoints
+  /// up): the cost of the reliable channel under a lossy LAN.
+  uint64_t retransmissions = 0;
+};
+
+/// Server-side fan-out channel for InvalidationMessages. Workstations
+/// subscribe a handler under their NodeId; Publish sends one message
+/// per subscriber over the simulated LAN (one server->workstation hop,
+/// so the push cost shows up in the network counters like every other
+/// protocol message).
+///
+/// Delivery to a down node is *queued*, not dropped: the paper's
+/// reliable-messaging rule (Sect. 5.4) applies to invalidations with
+/// full force, because a workstation that silently missed a withdrawal
+/// would serve the withdrawn version from its cache forever. The queue
+/// drains through FlushPending(), which the client-TM calls during
+/// workstation recovery before it accepts new traffic.
+///
+/// Thread-safe: Publish can race subscriber registration and the
+/// recovery-time flush (the coherence tests drive exactly that).
+/// Handlers are invoked on the publishing thread while the bus mutex is
+/// held, so they must be cheap, must not publish recursively, and must
+/// only touch state that is itself thread-safe (the DOV cache is).
+class InvalidationBus {
+ public:
+  using Handler = std::function<void(const InvalidationMessage&)>;
+
+  InvalidationBus(Network* network, NodeId server_node)
+      : network_(network), server_(server_node) {}
+  InvalidationBus(const InvalidationBus&) = delete;
+  InvalidationBus& operator=(const InvalidationBus&) = delete;
+
+  /// Registers (or replaces) the handler for `node`.
+  void Subscribe(NodeId node, Handler handler);
+  void Unsubscribe(NodeId node);
+
+  /// Pushes `message` to every subscriber: one network hop each; down
+  /// nodes get the message queued for FlushPending.
+  void Publish(const InvalidationMessage& message);
+
+  /// Redelivers messages queued while `node` was down (in order).
+  /// Called by the client-TM at workstation recovery.
+  void FlushPending(NodeId node);
+
+  /// Queued (undelivered) messages for `node`.
+  size_t PendingFor(NodeId node) const;
+
+  InvalidationBusStats stats() const;
+
+ private:
+  /// One reliable transmission server -> node: retries in-transit
+  /// losses (both endpoints up) up to kMaxTransmitAttempts, paying one
+  /// network hop per attempt. False when the node (or server) is down
+  /// or the retry budget is exhausted — the caller queues then.
+  /// Caller holds mu_.
+  bool TransmitLocked(NodeId node);
+
+  /// Retransmit budget per message. A message undeliverable this many
+  /// times in a row on an up-up link is treated like a down node and
+  /// queued (only reachable with pathological loss probabilities).
+  static constexpr int kMaxTransmitAttempts = 16;
+
+  Network* network_;
+  NodeId server_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Handler> handlers_;  // keyed by NodeId value
+  std::map<uint64_t, std::deque<InvalidationMessage>> pending_;
+  InvalidationBusStats stats_;
+};
+
+}  // namespace concord::rpc
+
+#endif  // CONCORD_RPC_INVALIDATION_H_

@@ -7,32 +7,35 @@ namespace concord::rpc {
 Network::Network(SimClock* clock, uint64_t seed) : clock_(clock), rng_(seed) {}
 
 NodeId Network::AddNode(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   NodeId id = node_gen_.Next();
-  nodes_.emplace(id, NodeState{name, true});
+  if (id.value() > kMaxNodes) {
+    CONCORD_ERROR("net", "node limit " << kMaxNodes << " exceeded");
+    std::abort();
+  }
+  names_.emplace(id, name);
+  up_[id.value() - 1].store(true, std::memory_order_relaxed);
   return id;
 }
 
 Result<std::string> Network::NodeName(NodeId node) const {
-  auto it = nodes_.find(node);
-  if (it == nodes_.end()) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = names_.find(node);
+  if (it == names_.end()) {
     return Status::NotFound("unknown node " + node.ToString());
   }
-  return it->second.name;
-}
-
-bool Network::IsUp(NodeId node) const {
-  auto it = nodes_.find(node);
-  return it != nodes_.end() && it->second.up;
+  return it->second;
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {
-  auto it = nodes_.find(node);
-  if (it == nodes_.end()) return;
-  if (it->second.up != up) {
-    CONCORD_INFO("net", "node " << it->second.name << " is now "
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = names_.find(node);
+  if (it == names_.end()) return;
+  if (up_[node.value() - 1].load(std::memory_order_relaxed) != up) {
+    CONCORD_INFO("net", "node " << it->second << " is now "
                                 << (up ? "UP" : "DOWN"));
   }
-  it->second.up = up;
+  up_[node.value() - 1].store(up, std::memory_order_relaxed);
 }
 
 SimTime Network::Latency(NodeId from, NodeId to) const {
@@ -40,6 +43,7 @@ SimTime Network::Latency(NodeId from, NodeId to) const {
 }
 
 Status Network::Send(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!IsUp(from)) {
     ++stats_.messages_rejected_node_down;
     return Status::Unavailable("source node down");

@@ -1,6 +1,9 @@
 #ifndef CONCORD_RPC_NETWORK_H_
 #define CONCORD_RPC_NETWORK_H_
 
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,15 +29,24 @@ struct NetworkStats {
 /// latency is configured, loss is drawn from a seeded Rng, and crashes
 /// are injected explicitly by tests/benchmarks via SetNodeUp().
 ///
-/// The simulation is single-threaded, so "sending" a message is
-/// modeled as a synchronous hop that advances the shared SimClock by
-/// the link latency and updates the counters; protocol state machines
-/// (transactional RPC, 2PC) are driven by their initiator. This keeps
-/// every run reproducible while preserving message counts and latency
-/// totals — the quantities the paper's efficiency discussion cares
-/// about.
+/// "Sending" a message is modeled as a synchronous hop that advances
+/// the shared SimClock by the link latency and updates the counters;
+/// protocol state machines (transactional RPC, 2PC) are driven by
+/// their initiator. This preserves message counts and latency totals —
+/// the quantities the paper's efficiency discussion cares about.
+///
+/// Thread-safe: concurrent designer threads (one client-TM each) and
+/// the server's invalidation push all share this one LAN, so the node
+/// table, counters and the loss Rng sit behind one mutex. Single-
+/// threaded runs stay deterministic; multi-threaded runs keep exact
+/// counts but interleave loss draws in thread-schedule order.
 class Network {
  public:
+  /// Upper bound on registered machines; node up/down flags live in a
+  /// fixed array of atomics so IsUp is lock-free (it sits on the
+  /// client-TM's cache-hit fast path).
+  static constexpr size_t kMaxNodes = 1024;
+
   Network(SimClock* clock, uint64_t seed);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -44,7 +56,13 @@ class Network {
   NodeId AddNode(const std::string& name);
 
   Result<std::string> NodeName(NodeId node) const;
-  bool IsUp(NodeId node) const;
+  /// Lock-free: a relaxed atomic read (single source of truth for the
+  /// node's up/down state, also consulted by cache-hit checkouts).
+  bool IsUp(NodeId node) const {
+    uint64_t value = node.value();
+    return value >= 1 && value <= node_gen_.last() &&
+           up_[value - 1].load(std::memory_order_relaxed);
+  }
   /// Crash / restart a machine. Crashing is the caller's cue to also
   /// wipe the volatile state of components hosted on that machine.
   void SetNodeUp(NodeId node, bool up);
@@ -66,20 +84,27 @@ class Network {
   SimTime lan_latency() const { return lan_latency_; }
   SimTime local_latency() const { return local_latency_; }
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
-  size_t node_count() const { return nodes_.size(); }
+  /// Consistent snapshot of the counters.
+  NetworkStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = NetworkStats{};
+  }
+  size_t node_count() const { return node_gen_.last(); }
 
  private:
-  struct NodeState {
-    std::string name;
-    bool up = true;
-  };
-
   SimClock* clock_;
+  /// Guards names_, stats_ and rng_ (the latency/loss knobs are set
+  /// before traffic starts and read unguarded; up_ is atomic).
+  mutable std::mutex mu_;
   Rng rng_;
   IdGenerator<NodeId> node_gen_;
-  std::unordered_map<NodeId, NodeState> nodes_;
+  std::unordered_map<NodeId, std::string> names_;
+  /// Indexed by NodeId value - 1; slots past node_gen_.last() unused.
+  std::array<std::atomic<bool>, kMaxNodes> up_{};
   SimTime lan_latency_ = 2 * kMillisecond;
   SimTime local_latency_ = 20 * kMicrosecond;
   double loss_probability_ = 0.0;

@@ -14,7 +14,9 @@ std::string SimulationReport::ToString() const {
      << workstation_crashes << " workstation + " << server_crashes
      << " server crashes; " << dops_committed << " DOPs committed; "
      << work_units_lost << " work units lost; design time "
-     << FormatSimTime(sim_time);
+     << FormatSimTime(sim_time) << "; checkouts " << checkouts_from_cache
+     << " cached / " << checkouts_from_server << " server ("
+     << cache_invalidations_delivered << " invalidations pushed)";
   return os.str();
 }
 
@@ -98,7 +100,13 @@ Result<SimulationReport> MultiDesignerSimulation::Run() {
     NodeId ws = (*system_->cm().GetDa(da))->workstation;
     report.work_units_lost +=
         system_->client_tm(ws).stats().work_units_lost;
+    report.checkouts_from_cache +=
+        system_->client_tm(ws).stats().checkouts_from_cache;
+    report.checkouts_from_server +=
+        system_->client_tm(ws).stats().checkouts_from_server;
   }
+  report.cache_invalidations_delivered =
+      system_->invalidation_bus().stats().deliveries;
   if (remaining > 0) {
     return Status::Internal("simulation exceeded its step budget with " +
                             std::to_string(remaining) + " designs open");

@@ -37,6 +37,12 @@ struct SimulationReport {
   SimTime sim_time = 0;
   /// TE-level work lost to crashes (units).
   uint64_t work_units_lost = 0;
+  /// Checkouts served from the workstation DOV caches vs. forwarded to
+  /// the server-TM, plus invalidation pushes delivered — the hot-read-
+  /// path split the cache layer introduces.
+  uint64_t checkouts_from_cache = 0;
+  uint64_t checkouts_from_server = 0;
+  uint64_t cache_invalidations_delivered = 0;
 
   std::string ToString() const;
 };

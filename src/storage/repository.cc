@@ -92,13 +92,17 @@ Status Repository::Open(const std::string& dir, WalOptions wal_options) {
   }
 
   wal_options.dir = dir;
-  Status wal_status = wal_.Open(std::move(wal_options));
+  // The WAL's torn-tail scan must decode every live frame anyway; it
+  // hands the decoded records straight to replay, so startup reads and
+  // decodes each segment exactly once.
+  std::vector<WalRecord> scanned;
+  Status wal_status = wal_.Open(std::move(wal_options), &scanned);
   if (!wal_status.ok()) {
     wal_.Close();
     Poison();
     return wal_status;
   }
-  Result<size_t> restored = ReplayStableLocked(*snapshot);
+  Result<size_t> restored = ReplayStableLocked(*snapshot, scanned);
   if (!restored.ok()) {
     // Leave no half-open repository behind: the id generators were
     // never advanced past the ids on stable storage, so accepting
@@ -364,7 +368,7 @@ void Repository::Crash() {
 }
 
 Result<size_t> Repository::ReplayStableLocked(
-    const RepositorySnapshot& snapshot) {
+    const RepositorySnapshot& snapshot, const std::vector<WalRecord>& log) {
   // Restore the checkpoint snapshot, then redo committed transactions
   // from the log. Uncommitted (no COMMIT record) transactions leave no
   // trace: atomicity. Replay is idempotent over after-images, so a log
@@ -373,7 +377,6 @@ Result<size_t> Repository::ReplayStableLocked(
   // converges to the same state.
   std::map<uint64_t, DovRecord> restored = snapshot.dovs;
   std::map<std::string, std::string> restored_meta = snapshot.meta;
-  const std::vector<WalRecord> log = wal_.ReadAll();
   if (log.size() != wal_.size()) {
     // A live segment failed to read back (I/O error, file removed
     // out from under us): serving the readable prefix would silently
@@ -458,8 +461,8 @@ Status Repository::Recover() {
     from_disk = std::move(*loaded);
   }
   ClearVolatileLocked();
-  Result<size_t> replayed =
-      ReplayStableLocked(persistent() ? from_disk : snapshot_);
+  Result<size_t> replayed = ReplayStableLocked(
+      persistent() ? from_disk : snapshot_, wal_.ReadAll());
   if (!replayed.ok()) {
     // The volatile image is already cleared; a later Checkpoint would
     // durably snapshot that emptiness and truncate the log — the one

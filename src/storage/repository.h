@@ -181,11 +181,15 @@ class Repository {
   void Poison();
   /// Clears all volatile state. Caller holds state_mu_ exclusively.
   void ClearVolatileLocked();
-  /// Rebuilds the committed image from `snapshot` + log replay and
-  /// bumps the id generators past every id on stable storage. Fails if
-  /// the log cannot be read back completely. Caller holds state_mu_
+  /// Rebuilds the committed image from `snapshot` + redo of `log` and
+  /// bumps the id generators past every id on stable storage. `log`
+  /// must hold every live WAL record (Open passes the records its
+  /// torn-tail scan already decoded — single-pass startup; Recover
+  /// passes a fresh ReadAll()). Fails if `log` is shorter than the
+  /// live log (a segment failed to read back). Caller holds state_mu_
   /// exclusively and has cleared the volatile state.
-  Result<size_t> ReplayStableLocked(const RepositorySnapshot& snapshot);
+  Result<size_t> ReplayStableLocked(const RepositorySnapshot& snapshot,
+                                    const std::vector<WalRecord>& log);
   /// Reads <dir>/snapshot.bin (empty snapshot if absent, error if
   /// unreadable or corrupt). Caller holds state_mu_ exclusively.
   Result<RepositorySnapshot> LoadSnapshotLocked(const std::string& dir) const;

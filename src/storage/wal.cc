@@ -132,7 +132,8 @@ void WriteAheadLog::DieIfClosed() const {
   }
 }
 
-Status WriteAheadLog::Open(WalOptions options) {
+Status WriteAheadLog::Open(WalOptions options,
+                           std::vector<WalRecord>* recovered) {
   if (options.dir.empty()) {
     return Status::InvalidArgument("WalOptions.dir must be set for Open");
   }
@@ -219,7 +220,11 @@ Status WriteAheadLog::Open(WalOptions options) {
     bool clean = false;
     bool undecodable = false;
     uint64_t checkpoint_at = ~uint64_t{0};
-    size_t valid_bytes = ScanSegment(content, nullptr, &segment.records,
+    // One decode pass serves both the torn-tail scan and (through
+    // `recovered`) the caller's replay; for a torn tail the records
+    // decoded before the tear are exactly the surviving prefix.
+    ++segment_decode_passes_;
+    size_t valid_bytes = ScanSegment(content, recovered, &segment.records,
                                      &clean, &checkpoint_at, &undecodable);
     if (!clean) {
       if (undecodable) {
@@ -448,6 +453,7 @@ std::vector<WalRecord> WriteAheadLog::ReadAll() const {
     }
     bool clean = false;
     size_t records = 0;
+    ++segment_decode_passes_;
     ScanSegment(*content, &all, &records, &clean, nullptr);
     if (!clean) break;
   }

@@ -96,7 +96,14 @@ class WriteAheadLog {
   /// exists), a hole in the segment sequence, or a CRC-valid frame
   /// that no longer parses (format mismatch, not a crash artifact).
   /// New appends continue the log.
-  Status Open(WalOptions options);
+  ///
+  /// When `recovered` is non-null, the records decoded by the scan are
+  /// appended to it in log order — the torn-tail scan and replay then
+  /// share ONE read+decode of every segment, instead of the scan
+  /// throwing its decodes away and ReadAll() paying a second full pass
+  /// (see segment_decode_passes()). On a refused open the vector's
+  /// contents are meaningless and must be discarded.
+  Status Open(WalOptions options, std::vector<WalRecord>* recovered = nullptr);
   /// Flushes and closes the segment files. No-op in in-memory mode.
   void Close();
   /// Permanently rejects further appends (they fail stop). Repository
@@ -134,6 +141,13 @@ class WriteAheadLog {
   /// total_appended(); with coalesce_fsyncs it also grows slower than
   /// the number of batches.
   size_t flushes() const;
+
+  /// How many times a segment file has been read and frame-decoded end
+  /// to end (Open's scan and each ReadAll pass). Startup cost measure:
+  /// a single-pass open of N segments contributes exactly N.
+  size_t segment_decode_passes() const {
+    return segment_decode_passes_.load();
+  }
 
   /// Drops everything before the latest checkpoint record (exclusive of
   /// the checkpoint itself). No-op when no checkpoint exists. In file
@@ -193,6 +207,9 @@ class WriteAheadLog {
   std::atomic<size_t> live_records_{0};
   std::atomic<size_t> total_appended_{0};
   std::atomic<size_t> flushes_{0};
+  /// Mutable: ReadAll() is a const read but still pays (and counts) a
+  /// decode pass per segment.
+  mutable std::atomic<size_t> segment_decode_passes_{0};
   /// Set when a file-backed log is Close()d; appends then fail stop.
   std::atomic<bool> closed_{false};
 };

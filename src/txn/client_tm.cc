@@ -29,12 +29,26 @@ class LambdaParticipant : public rpc::TwoPcParticipant {
 }  // namespace
 
 ClientTm::ClientTm(ServerTm* server, rpc::Network* network, NodeId workstation,
-                   SimClock* clock)
+                   SimClock* clock, rpc::InvalidationBus* invalidations)
     : server_(server),
       network_(network),
       node_(workstation),
       clock_(clock),
-      two_pc_(network, workstation) {}
+      invalidations_(invalidations),
+      two_pc_(network, workstation) {
+  if (invalidations_ != nullptr) {
+    // The handler runs on the publishing (server) thread and touches
+    // only the self-synchronizing cache — never the DOP tables.
+    invalidations_->Subscribe(
+        node_, [this](const rpc::InvalidationMessage& message) {
+          cache_.Invalidate(message.dov);
+        });
+  }
+}
+
+ClientTm::~ClientTm() {
+  if (invalidations_ != nullptr) invalidations_->Unsubscribe(node_);
+}
 
 Result<ClientTm::DopRuntime*> ClientTm::ActiveDop(DopId dop) {
   auto it = dops_.find(dop);
@@ -66,7 +80,10 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
   if (!network_->IsUp(node_)) {
     return Status::Crashed("workstation is down");
   }
-  DopId dop = dop_gen_.Next();
+  // DOP ids are namespaced by workstation: every client-TM draws from
+  // its own counter, and two workstations with concurrently live DOPs
+  // must not collide at the server's registration table.
+  DopId dop = DopId((node_.value() << 32) | dop_gen_.Next().value());
   CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
   CONCORD_RETURN_NOT_OK(server_->BeginDop(dop, da));
   DopRuntime runtime;
@@ -80,11 +97,38 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
 
 Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  // Cache fast path: a DOV this workstation already fetched under the
+  // same DA's visibility is served locally — no 2PC, no server hop
+  // (IsUp is a lock-free atomic read, so warm checkouts never touch
+  // the LAN mutex). Derivation-lock requests always go to the server
+  // (the lock table lives there), and a down workstation serves
+  // nothing.
+  if (!take_derivation_lock && network_->IsUp(node_)) {
+    auto cached = cache_.Lookup(dov, runtime->da);
+    if (cached.ok()) {
+      ++stats_.checkouts_from_cache;
+      runtime->context.inputs[dov] = std::move(cached->data);
+      // "After each checkout operation a recovery point is set"
+      // (Sect. 5.2) — cached checkouts included: a crash right after
+      // must not re-request the DOV from the server.
+      PersistRecoveryPoint(dop, *runtime);
+      return Status::OK();
+    }
+  }
+  // Sample the invalidation counter BEFORE the round-trip: if a
+  // withdrawal races the checkout, the stale reply must not be cached
+  // (InsertIfCurrent refuses it).
+  uint64_t inv_seq = cache_.InvalidationSeq(dov);
   CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
   CONCORD_ASSIGN_OR_RETURN(
       storage::DovRecord record,
       server_->Checkout(dop, dov, take_derivation_lock));
-  runtime->context.inputs[dov] = std::move(record.data);
+  ++stats_.checkouts_from_server;
+  runtime->context.inputs[dov] = record.data;
+  // The server just ran the visibility tests for this DA: the answer is
+  // authoritative and (re-)arms the cache — unless an invalidation
+  // push overtook it.
+  cache_.InsertIfCurrent(dov, std::move(record), runtime->da, inv_seq);
   // "After each checkout operation a recovery point is set" (Sect 5.2).
   PersistRecoveryPoint(dop, *runtime);
   return Status::OK();
@@ -232,6 +276,13 @@ Status ClientTm::HandOverContext(DopId from, DopId to) {
   uint64_t own_work = to_runtime->context.work_done;
   to_runtime->context = from_it->second.context;
   to_runtime->context.work_done = own_work;
+  // The handed-over inputs are the paper's one-shot in-memory shortcut;
+  // the DOV cache is deliberately NOT touched here. A same-DA successor
+  // needs no help — every live handed-over entry was inserted under
+  // that DA at the predecessor's checkout, so its re-checkouts already
+  // hit. Widening validation beyond what a server checkout proved
+  // would let a handover re-validate a DOV whose grant was withdrawn
+  // and re-armed by a different DA in between.
   PersistRecoveryPoint(to, *to_runtime);
   ++stats_.context_handovers;
   return Status::OK();
@@ -292,6 +343,9 @@ Result<uint64_t> ClientTm::WorkDone(DopId dop) const {
 
 void ClientTm::Crash() {
   network_->SetNodeUp(node_, false);
+  // The DOV cache is volatile workstation memory: gone, tombstones
+  // included (outage-time invalidations are redelivered at recovery).
+  cache_.Clear();
   ++stats_.crashes;
   for (auto& [dop, runtime] : dops_) {
     if (runtime.state == DopState::kActive ||
@@ -312,6 +366,14 @@ void ClientTm::Crash() {
 
 Result<uint64_t> ClientTm::Recover() {
   network_->SetNodeUp(node_, true);
+  // Drain invalidations the server queued while this workstation was
+  // down, BEFORE any DOP resumes: the cache restarts cold, and the
+  // redelivered messages plant tombstones so a recovered context's
+  // handover cannot re-validate a version withdrawn during the outage.
+  // A recovery point itself never re-warms the cache — its inputs were
+  // validated at checkout time, and that proof does not survive an
+  // outage the workstation could not observe.
+  if (invalidations_ != nullptr) invalidations_->FlushPending(node_);
   uint64_t lost_total = 0;
   for (auto& [dop, runtime] : dops_) {
     if (runtime.state != DopState::kCrashed) continue;

@@ -10,8 +10,10 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "rpc/invalidation.h"
 #include "rpc/two_phase_commit.h"
 #include "txn/dop_context.h"
+#include "txn/dov_cache.h"
 #include "txn/server_tm.h"
 
 namespace concord::txn {
@@ -27,6 +29,10 @@ struct ClientTmStats {
   uint64_t work_units_lost = 0;
   uint64_t work_units_done = 0;
   uint64_t context_handovers = 0;
+  /// Checkouts served from the workstation DOV cache (no server
+  /// round-trip) vs. forwarded to the server-TM.
+  uint64_t checkouts_from_cache = 0;
+  uint64_t checkouts_from_server = 0;
 };
 
 /// Client half of the transaction manager: "resides on the workstation
@@ -36,10 +42,22 @@ struct ClientTmStats {
 /// Sect. 5.2, and drives a two-phase commit with the server-TM for
 /// every critical interaction (Begin-of-DOP, checkout, checkin,
 /// End-of-DOP).
+///
+/// It also owns the workstation's DOV cache: a Checkout whose DOV is
+/// cached and validated for the DOP's DA is served locally with no
+/// server round-trip (DOVs are immutable, so the bytes are always
+/// right; validation covers visibility). Misses run the full 2PC +
+/// server checkout as before and re-arm the cache. When an
+/// InvalidationBus is wired up, server-pushed withdrawals/invalidations
+/// drop cache entries, so a withdrawn version is never served locally;
+/// without a bus the cache still works but relies on crashes/evictions
+/// only — embedders that use the cooperation manager's withdrawal
+/// machinery must connect the bus.
 class ClientTm {
  public:
   ClientTm(ServerTm* server, rpc::Network* network, NodeId workstation,
-           SimClock* clock);
+           SimClock* clock, rpc::InvalidationBus* invalidations = nullptr);
+  ~ClientTm();
   ClientTm(const ClientTm&) = delete;
   ClientTm& operator=(const ClientTm&) = delete;
 
@@ -122,6 +140,8 @@ class ClientTm {
 
   const ClientTmStats& stats() const { return stats_; }
   const rpc::TwoPcStats& two_pc_stats() const { return two_pc_.stats(); }
+  DovCache& cache() { return cache_; }
+  const DovCache& cache() const { return cache_; }
 
  private:
   struct DopRuntime {
@@ -142,9 +162,15 @@ class ClientTm {
   rpc::Network* network_;
   NodeId node_;
   SimClock* clock_;
+  rpc::InvalidationBus* invalidations_;
   rpc::TwoPhaseCommitCoordinator two_pc_;
   IdGenerator<DopId> dop_gen_;
   uint64_t auto_rp_units_ = 0;
+
+  /// Workstation DOV cache (volatile: dropped at Crash()). The
+  /// invalidation-bus handler mutates it from the server's thread; the
+  /// cache synchronizes itself.
+  DovCache cache_;
 
   std::unordered_map<DopId, DopRuntime> dops_;  // volatile
   /// Stable storage: latest recovery point per DOP + the DOP's DA (so

@@ -1,0 +1,129 @@
+#include "txn/dov_cache.h"
+
+#include <utility>
+
+namespace concord::txn {
+
+void DovCache::TouchLocked(Entry& entry, DovId dov) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(dov);
+  entry.lru_pos = lru_.begin();
+}
+
+Result<storage::DovRecord> DovCache::Lookup(DovId dov, DaId da) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(dov);
+  if (it == entries_.end()) {
+    if (invalidation_seq_.count(dov)) ++stats_.tombstone_refusals;
+    ++stats_.misses;
+    return Status::NotFound(dov.ToString() + " not cached");
+  }
+  if (!it->second.validated_das.count(da)) {
+    // Cached bytes, but no proof the server would let *this* DA see
+    // them — visibility is per-DA, so this is a miss, not a hit.
+    ++stats_.misses;
+    return Status::NotFound(dov.ToString() + " cached but not validated for " +
+                            da.ToString());
+  }
+  TouchLocked(it->second, dov);
+  ++stats_.hits;
+  return it->second.record;
+}
+
+void DovCache::InsertLocked(DovId dov, storage::DovRecord record, DaId da) {
+  auto it = entries_.find(dov);
+  if (it != entries_.end()) {
+    it->second.record = std::move(record);
+    it->second.validated_das.insert(da);
+    TouchLocked(it->second, dov);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    DovId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(dov);
+  Entry entry;
+  entry.record = std::move(record);
+  entry.validated_das.insert(da);
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(dov, std::move(entry));
+  ++stats_.insertions;
+}
+
+void DovCache::Insert(DovId dov, storage::DovRecord record, DaId da) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(dov, std::move(record), da);
+}
+
+uint64_t DovCache::InvalidationSeq(DovId dov) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = invalidation_seq_.find(dov);
+  uint64_t seq = it == invalidation_seq_.end() ? 0 : it->second;
+  return (seq_epoch_ << 32) | seq;
+}
+
+bool DovCache::InsertIfCurrent(DovId dov, storage::DovRecord record, DaId da,
+                               uint64_t expected_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto seq_it = invalidation_seq_.find(dov);
+  uint64_t seq = (seq_epoch_ << 32) |
+                 (seq_it == invalidation_seq_.end() ? 0 : seq_it->second);
+  if (seq != expected_seq) {
+    // An invalidation arrived while the server round-trip was in
+    // flight: the reply predates the revocation, so caching it would
+    // serve a withdrawn version. Refuse; the entry stays dropped.
+    ++stats_.stale_inserts_refused;
+    return false;
+  }
+  InsertLocked(dov, std::move(record), da);
+  return true;
+}
+
+bool DovCache::Invalidate(DovId dov) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (invalidation_seq_.size() >= kMaxTrackedInvalidations &&
+      !invalidation_seq_.count(dov)) {
+    // Tombstone cap reached: reset the map and bump the epoch so every
+    // outstanding pre-reset sample refuses its insert (conservative)
+    // while memory stays bounded.
+    invalidation_seq_.clear();
+    ++seq_epoch_;
+  }
+  ++invalidation_seq_[dov];
+  ++stats_.invalidations;
+  auto it = entries_.find(dov);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
+}
+
+void DovCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  invalidation_seq_.clear();
+  // Outstanding samples from before the wipe must not alias to "never
+  // invalidated" afterwards.
+  ++seq_epoch_;
+}
+
+bool DovCache::Contains(DovId dov) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(dov) > 0;
+}
+
+bool DovCache::IsTombstoned(DovId dov) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidation_seq_.count(dov) > 0 && entries_.count(dov) == 0;
+}
+
+size_t DovCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace concord::txn

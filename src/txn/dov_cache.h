@@ -1,0 +1,145 @@
+#ifndef CONCORD_TXN_DOV_CACHE_H_
+#define CONCORD_TXN_DOV_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/version.h"
+
+namespace concord::txn {
+
+/// Counters exposed for benchmarks and the EXPERIMENTS harness.
+/// Fields are atomic (RepositoryStats-style) so the invalidation push
+/// arriving on the server's thread can bump them while the designer's
+/// thread counts hits; read them at quiescence (or accept slightly
+/// stale values).
+struct DovCacheStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> insertions{0};
+  std::atomic<uint64_t> invalidations{0};
+  std::atomic<uint64_t> evictions{0};
+  /// Lookups refused because the DOV carried an invalidation tombstone.
+  std::atomic<uint64_t> tombstone_refusals{0};
+  /// InsertIfCurrent calls refused because an invalidation raced the
+  /// server round-trip.
+  std::atomic<uint64_t> stale_inserts_refused{0};
+};
+
+/// Workstation-side cache of checked-out DOVs (one per client-TM).
+///
+/// DOVs are immutable after checkin, so a cached copy is always
+/// byte-correct; the correctness problem is *visibility*. A hit is
+/// therefore only served when the requesting DOP's DA is in the
+/// entry's validated set — the set of DAs for which a full server-side
+/// checkout (scope test + derivation-lock test, Sect. 5.2) already
+/// succeeded on this workstation. Any other DA's request is a miss and
+/// goes to the server-TM, whose answer re-arms the entry for that DA.
+///
+/// Visibility *revocations* (Propagate withdrawn, DOV invalidated)
+/// arrive as server pushes over the invalidation bus and drop the
+/// entry entirely plus leave a tombstone (an invalidation-seq entry
+/// with no live record). Only a fresh server checkout — authoritative
+/// by definition, since the server re-ran the visibility tests —
+/// re-arms the entry; nothing else widens a validated set beyond what
+/// a server checkout proved.
+///
+/// Thread-safe: the designer thread does lookups/inserts while the
+/// server's invalidation push calls Invalidate from another thread.
+class DovCache {
+ public:
+  /// Default capacity: enough for every live input of a busy
+  /// workstation while still bounding memory on long design sessions.
+  static constexpr size_t kDefaultCapacity = 256;
+
+  /// Bound on the per-DOV invalidation-seq map (tombstones). When a
+  /// long session accumulates more, the map is reset and the epoch
+  /// bumped — every in-flight InsertIfCurrent then refuses
+  /// (conservative: one extra server trip each), and memory stays
+  /// bounded.
+  static constexpr size_t kMaxTrackedInvalidations = 4096;
+
+  explicit DovCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  DovCache(const DovCache&) = delete;
+  DovCache& operator=(const DovCache&) = delete;
+
+  /// Serves `dov` if cached and validated for `da`; NotFound otherwise
+  /// (the caller then performs a real server checkout).
+  Result<storage::DovRecord> Lookup(DovId dov, DaId da);
+
+  /// Authoritative insert after a successful server checkout for `da`:
+  /// (re)caches the record, marks `da` validated, clears any tombstone,
+  /// and evicts the least-recently-used entry beyond capacity.
+  void Insert(DovId dov, storage::DovRecord record, DaId da);
+
+  /// Monotonic per-DOV invalidation counter (0 = never invalidated).
+  /// Sampled *before* a server checkout starts, it detects an
+  /// invalidation push racing the round-trip.
+  uint64_t InvalidationSeq(DovId dov) const;
+
+  /// Insert that tolerates the fundamental race between a checkout's
+  /// server round-trip and a concurrent invalidation push: the caller
+  /// sampled InvalidationSeq(dov) BEFORE contacting the server; if any
+  /// invalidation arrived since, the reply predates the revocation and
+  /// caching it would resurrect a withdrawn version — the insert is
+  /// refused (the next checkout simply pays the server trip again).
+  /// Returns true iff the record was cached.
+  bool InsertIfCurrent(DovId dov, storage::DovRecord record, DaId da,
+                       uint64_t expected_seq);
+
+  /// Invalidation push: drops the entry (if present) and tombstones the
+  /// id so only a fresh authoritative checkout can re-arm it. Returns
+  /// true if a live entry was dropped.
+  bool Invalidate(DovId dov);
+
+  /// Workstation crash: the cache is volatile — everything goes,
+  /// tombstones included (the bus redelivers outage-time invalidations
+  /// at recovery, before traffic resumes).
+  void Clear();
+
+  bool Contains(DovId dov) const;
+  bool IsTombstoned(DovId dov) const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  const DovCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    storage::DovRecord record;
+    std::unordered_set<DaId> validated_das;
+    /// Position in lru_ (most-recent at front).
+    std::list<DovId>::iterator lru_pos;
+  };
+
+  /// Caller holds mu_.
+  void TouchLocked(Entry& entry, DovId dov);
+  void InsertLocked(DovId dov, storage::DovRecord record, DaId da);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<DovId, Entry> entries_;
+  std::list<DovId> lru_;  // front = most recently used
+  /// Invalidations seen per DOV since the last Clear()/epoch reset. An
+  /// id with a seq but no live entry is a tombstone; only an
+  /// authoritative insert re-arms it. Bounded by
+  /// kMaxTrackedInvalidations via the epoch below.
+  std::unordered_map<DovId, uint64_t> invalidation_seq_;
+  /// Folded into every sampled seq (high bits), so resetting the map
+  /// invalidates all outstanding samples instead of aliasing them to
+  /// "never invalidated".
+  uint64_t seq_epoch_ = 0;
+  DovCacheStats stats_;
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_DOV_CACHE_H_

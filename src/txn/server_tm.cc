@@ -1,5 +1,7 @@
 #include "txn/server_tm.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "txn/dop_context.h"
 
@@ -22,28 +24,42 @@ const char* DopStateToString(DopState state) {
 }
 
 ServerTm::ServerTm(storage::Repository* repository, rpc::Network* network,
-                   NodeId server_node, ScopeAuthority* scope_authority)
+                   NodeId server_node, ScopeAuthority* scope_authority,
+                   rpc::InvalidationBus* invalidations)
     : repository_(repository),
       network_(network),
       node_(server_node),
-      scope_authority_(scope_authority) {}
+      scope_authority_(scope_authority),
+      invalidations_(invalidations) {}
+
+Result<DaId> ServerTm::LookupDop(DopId dop) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dop_da_.find(dop);
+  if (it != dop_da_.end()) return it->second;
+  if (lost_dops_.count(dop)) {
+    ++stats_.unknown_dop_requests;
+    return Status::UnknownDop(dop.ToString() +
+                              " was registered before a server crash; "
+                              "begin a new DOP");
+  }
+  return Status::NotFound(dop.ToString() + " not registered at server-TM");
+}
 
 Status ServerTm::BeginDop(DopId dop, DaId da) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (dop_da_.count(dop)) {
     return Status::AlreadyExists(dop.ToString() + " already registered");
   }
   dop_da_.emplace(dop, da);
+  // A fresh registration supersedes a pre-crash incarnation of the id.
+  lost_dops_.erase(dop);
   ++stats_.dops_begun;
   return Status::OK();
 }
 
 Result<storage::DovRecord> ServerTm::Checkout(DopId dop, DovId dov,
                                               bool take_derivation_lock) {
-  auto da_it = dop_da_.find(dop);
-  if (da_it == dop_da_.end()) {
-    return Status::NotFound(dop.ToString() + " not registered at server-TM");
-  }
-  DaId da = da_it->second;
+  CONCORD_ASSIGN_OR_RETURN(DaId da, LookupDop(dop));
 
   locks_.AcquireShort(dov);
   // Test 1: the DOV must belong to the scope of the DOP's DA.
@@ -68,10 +84,32 @@ Result<storage::DovRecord> ServerTm::Checkout(DopId dop, DovId dov,
       ++stats_.checkouts_denied_lock;
       return st;
     }
+    std::lock_guard<std::mutex> lock(mu_);
     dop_derivation_locks_[dop].push_back(dov);
   }
   auto record = repository_->Get(dov);
   locks_.ReleaseShort(dov);
+  if (take_derivation_lock && invalidations_ != nullptr) {
+    // Any workstation may hold this DOV in its cache from before the
+    // lock existed; a local hit there would dodge the compatibility
+    // test that just started failing. Push the lock as an invalidation
+    // so the next checkout anywhere is forced to the server. Published
+    // after the short lock is dropped (the fan-out is one LAN hop per
+    // workstation — far too slow to hold a lock across) but before
+    // this checkout returns, so by the time the holder can act on the
+    // reply no cache serves the version. The push reaches the holder's
+    // own workstation too and bumps its invalidation seq, so this
+    // checkout's own reply is refused by InsertIfCurrent —
+    // deliberately conservative: the holder's next plain re-read pays
+    // one server trip and re-arms the cache then. (Excluding the
+    // holder's node would be unsound: another DA on the same
+    // workstation could keep hitting its cached copy.)
+    rpc::InvalidationMessage message;
+    message.kind = rpc::InvalidationMessage::Kind::kDerivationLocked;
+    message.dov = dov;
+    message.origin_da = da;
+    invalidations_->Publish(message);
+  }
   if (!record.ok()) return record.status();
   ++stats_.checkouts;
   return record;
@@ -80,11 +118,7 @@ Result<storage::DovRecord> ServerTm::Checkout(DopId dop, DovId dov,
 Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
                                 const std::vector<DovId>& predecessors,
                                 SimTime created_at) {
-  auto da_it = dop_da_.find(dop);
-  if (da_it == dop_da_.end()) {
-    return Status::NotFound(dop.ToString() + " not registered at server-TM");
-  }
-  DaId da = da_it->second;
+  CONCORD_ASSIGN_OR_RETURN(DaId da, LookupDop(dop));
 
   DovId new_id = repository_->NextDovId();
   locks_.AcquireShort(new_id);
@@ -116,45 +150,57 @@ Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
   return new_id;
 }
 
-Status ServerTm::CommitDop(DopId dop) {
-  auto it = dop_da_.find(dop);
-  if (it == dop_da_.end()) {
-    return Status::NotFound(dop.ToString() + " not registered at server-TM");
+Status ServerTm::FinishDop(DopId dop, std::atomic<uint64_t>* outcome_counter) {
+  // End-of-DOP, either outcome: deregister and release the DOP's
+  // derivation locks ("the server-TM is firstly asked to release the
+  // derivation locks held", Sect. 5.2). The registration and lock list
+  // are extracted under mu_; the lock-manager calls run outside it
+  // (leaf-mutex discipline).
+  DaId da;
+  std::vector<DovId> held;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dop_da_.find(dop);
+    if (it == dop_da_.end()) {
+      if (lost_dops_.count(dop)) {
+        ++stats_.unknown_dop_requests;
+        return Status::UnknownDop(dop.ToString() +
+                                  " was registered before a server crash");
+      }
+      return Status::NotFound(dop.ToString() + " not registered at server-TM");
+    }
+    da = it->second;
+    auto locks_it = dop_derivation_locks_.find(dop);
+    if (locks_it != dop_derivation_locks_.end()) {
+      held = std::move(locks_it->second);
+      dop_derivation_locks_.erase(locks_it);
+    }
+    dop_da_.erase(it);
   }
-  for (DovId dov : dop_derivation_locks_[dop]) {
-    locks_.ReleaseDerivation(dov, it->second).ok();
+  for (DovId dov : held) {
+    locks_.ReleaseDerivation(dov, da).ok();
   }
-  dop_derivation_locks_.erase(dop);
-  dop_da_.erase(it);
-  ++stats_.dops_committed;
+  ++*outcome_counter;
   return Status::OK();
+}
+
+Status ServerTm::CommitDop(DopId dop) {
+  return FinishDop(dop, &stats_.dops_committed);
 }
 
 Status ServerTm::AbortDop(DopId dop) {
-  auto it = dop_da_.find(dop);
-  if (it == dop_da_.end()) {
-    return Status::NotFound(dop.ToString() + " not registered at server-TM");
-  }
-  for (DovId dov : dop_derivation_locks_[dop]) {
-    locks_.ReleaseDerivation(dov, it->second).ok();
-  }
-  dop_derivation_locks_.erase(dop);
-  dop_da_.erase(it);
-  ++stats_.dops_aborted;
-  return Status::OK();
+  return FinishDop(dop, &stats_.dops_aborted);
 }
 
-Result<DaId> ServerTm::DaOfDop(DopId dop) const {
-  auto it = dop_da_.find(dop);
-  if (it == dop_da_.end()) {
-    return Status::NotFound(dop.ToString() + " not registered at server-TM");
-  }
-  return it->second;
-}
+Result<DaId> ServerTm::DaOfDop(DopId dop) const { return LookupDop(dop); }
 
 void ServerTm::Crash() {
-  dop_da_.clear();
-  dop_derivation_locks_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [dop, da] : dop_da_) lost_dops_.insert(dop);
+    dop_da_.clear();
+    dop_derivation_locks_.clear();
+  }
   locks_.ReleaseAll();
   repository_->Crash();
   network_->SetNodeUp(node_, false);

@@ -1,12 +1,16 @@
 #ifndef CONCORD_TXN_SERVER_TM_H_
 #define CONCORD_TXN_SERVER_TM_H_
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "rpc/invalidation.h"
 #include "rpc/network.h"
 #include "rpc/two_phase_commit.h"
 #include "storage/repository.h"
@@ -15,15 +19,21 @@
 
 namespace concord::txn {
 
+/// Counters for the checkout/checkin traffic. Fields are atomic
+/// (RepositoryStats-style) so concurrent designers can bump them
+/// without serializing on the DOP-table mutex; read them at quiescence
+/// (or accept slightly stale values).
 struct ServerTmStats {
-  uint64_t checkouts = 0;
-  uint64_t checkouts_denied_scope = 0;
-  uint64_t checkouts_denied_lock = 0;
-  uint64_t checkins = 0;
-  uint64_t checkin_failures = 0;
-  uint64_t dops_begun = 0;
-  uint64_t dops_committed = 0;
-  uint64_t dops_aborted = 0;
+  std::atomic<uint64_t> checkouts{0};
+  std::atomic<uint64_t> checkouts_denied_scope{0};
+  std::atomic<uint64_t> checkouts_denied_lock{0};
+  std::atomic<uint64_t> checkins{0};
+  std::atomic<uint64_t> checkin_failures{0};
+  std::atomic<uint64_t> dops_begun{0};
+  std::atomic<uint64_t> dops_committed{0};
+  std::atomic<uint64_t> dops_aborted{0};
+  /// Requests naming a DOP whose registration a server crash wiped.
+  std::atomic<uint64_t> unknown_dop_requests{0};
 };
 
 /// Server half of the transaction manager (Sect. 5.1/5.2): "handles
@@ -31,10 +41,22 @@ struct ServerTmStats {
 /// residing on the server". It owns the lock tables and fronts the
 /// repository; the client-TM talks to it for every critical
 /// interaction.
+///
+/// Thread-safe: one ServerTm serves every workstation, so concurrent
+/// designer threads hit it at once. The DOP registration table and the
+/// per-DOP derivation-lock lists sit behind mu_ (a leaf mutex held only
+/// for the point lookups/updates — never across the repository read or
+/// the lock-manager calls, which synchronize themselves), and the stats
+/// are atomics.
 class ServerTm {
  public:
+  /// `invalidations` (optional) is the push channel to the workstation
+  /// DOV caches: granting a derivation lock publishes on it, so remote
+  /// cached copies cannot short-circuit the lock-compatibility test a
+  /// server checkout would now fail.
   ServerTm(storage::Repository* repository, rpc::Network* network,
-           NodeId server_node, ScopeAuthority* scope_authority);
+           NodeId server_node, ScopeAuthority* scope_authority,
+           rpc::InvalidationBus* invalidations = nullptr);
   ServerTm(const ServerTm&) = delete;
   ServerTm& operator=(const ServerTm&) = delete;
 
@@ -70,22 +92,43 @@ class ServerTm {
   Result<DaId> DaOfDop(DopId dop) const;
 
   /// Simulated server crash: lock tables and DOP registrations are
-  /// volatile; the repository crashes alongside.
+  /// volatile; the repository crashes alongside. The ids of the wiped
+  /// registrations are remembered (the server-TM's log would know which
+  /// DOPs were in flight), so a client naming one after Recover() gets
+  /// the typed kUnknownDop status instead of being indistinguishable
+  /// from a caller that never registered at all.
   void Crash();
   Status Recover();
 
   const ServerTmStats& stats() const { return stats_; }
 
  private:
+  /// DA of `dop`, or the typed failure: kUnknownDop if a crash wiped
+  /// the registration, kNotFound if it never existed. Takes mu_.
+  Result<DaId> LookupDop(DopId dop) const;
+
+  /// Shared End-of-DOP path: deregisters `dop`, releases its
+  /// derivation locks and bumps `outcome_counter` (committed/aborted).
+  Status FinishDop(DopId dop, std::atomic<uint64_t>* outcome_counter);
+
   storage::Repository* repository_;
   rpc::Network* network_;
   NodeId node_;
   ScopeAuthority* scope_authority_;
+  rpc::InvalidationBus* invalidations_;
   LockManager locks_;
+
+  /// Guards dop_da_, dop_derivation_locks_ and lost_dops_; leaf mutex,
+  /// never held across repository or lock-manager calls.
+  mutable std::mutex mu_;
   std::unordered_map<DopId, DaId> dop_da_;
   /// Derivation locks taken per DOP (released at End-of-DOP).
   std::unordered_map<DopId, std::vector<DovId>> dop_derivation_locks_;
-  ServerTmStats stats_;
+  /// Registrations wiped by Crash() and not re-registered since.
+  std::unordered_set<DopId> lost_dops_;
+
+  /// Mutable: the unknown-DOP counter is bumped from const lookups.
+  mutable ServerTmStats stats_;
 };
 
 }  // namespace concord::txn

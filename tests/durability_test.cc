@@ -261,6 +261,59 @@ TEST_F(DurabilityTest, RestartRecoversFromSnapshotPlusLog) {
   EXPECT_TRUE(reopened->Contains(before_checkpoint));
 }
 
+TEST_F(DurabilityTest, StartupReadsEachSegmentExactlyOnce) {
+  // Single-pass open: the torn-tail scan hands its decoded records
+  // straight to replay, so startup pays one read+decode per segment —
+  // not one for the scan plus one for ReadAll.
+  size_t segments = 0;
+  {
+    auto repo = MakeRepo();
+    WalOptions options;
+    options.segment_bytes = 256;  // force several segments
+    ASSERT_TRUE(repo->Open(dir_, options).ok());
+    for (int i = 0; i < 12; ++i) CommitOne(*repo, DaId(1), i);
+    segments = repo->wal().SegmentPaths().size();
+    ASSERT_GT(segments, 2u);
+    repo->Close();
+  }
+
+  auto reopened = MakeRepo();
+  ASSERT_TRUE(reopened->Open(dir_).ok());
+  EXPECT_EQ(reopened->DovsOf(DaId(1)).size(), 12u);
+  EXPECT_EQ(reopened->wal().segment_decode_passes(), segments);
+
+  // The simulated-crash path replays via ReadAll, which is a second,
+  // separately counted pass — restart is the one that must stay single.
+  reopened->Crash();
+  ASSERT_TRUE(reopened->Recover().ok());
+  EXPECT_EQ(reopened->wal().segment_decode_passes(), 2 * segments);
+  EXPECT_EQ(reopened->DovsOf(DaId(1)).size(), 12u);
+}
+
+TEST_F(DurabilityTest, SinglePassOpenStillTruncatesTornTail) {
+  DovId a;
+  {
+    auto repo = MakeRepo();
+    ASSERT_TRUE(repo->Open(dir_).ok());
+    a = CommitOne(*repo, DaId(1), 1);
+    CommitOne(*repo, DaId(1), 2, {a});
+    repo->Close();
+  }
+  // Chop the tail mid-frame: the scan must keep the valid prefix it
+  // already decoded and hand exactly that to replay.
+  std::string path = WalSegmentPath();
+  auto size = fs::file_size(path);
+  ASSERT_TRUE(fs::exists(path));
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size - 3)), 0);
+
+  auto reopened = MakeRepo();
+  ASSERT_TRUE(reopened->Open(dir_).ok());
+  EXPECT_EQ(reopened->wal().segment_decode_passes(), 1u);
+  // The first transaction survived; the torn second one is gone whole.
+  EXPECT_TRUE(reopened->Contains(a));
+  EXPECT_EQ(reopened->DovsOf(DaId(1)).size(), 1u);
+}
+
 TEST_F(DurabilityTest, UncommittedTransactionGoneAfterRestart) {
   DovId committed;
   {

@@ -276,6 +276,37 @@ TEST_F(TmTest, CommitRemovesRecoveryPointState) {
   EXPECT_EQ(*client_->StateOf(*dop), DopState::kCommitted);
 }
 
+TEST_F(TmTest, ServerCrashYieldsTypedUnknownDopStatus) {
+  DovId input = Seed(DaId(1), 5);
+  DovId other = Seed(DaId(1), 7);
+  auto dop = client_->BeginDop(DaId(1));
+  ASSERT_TRUE(client_->Checkout(*dop, input).ok());
+
+  // The crash wipes the server's registration table; the workstation
+  // does not notice and keeps using its pre-crash DOP id. Every server
+  // interaction must now answer with the *typed* unknown-DOP status so
+  // the client can distinguish "server forgot me in a crash" (recover
+  // by Begin-of-DOP) from a plain bad id.
+  server_->Crash();
+  ASSERT_TRUE(server_->Recover().ok());
+
+  auto out = client_->Checkin(*dop, MakeObj(6), {input});
+  EXPECT_TRUE(out.status().IsUnknownDop()) << out.status().ToString();
+  EXPECT_TRUE(client_->Checkout(*dop, other).IsUnknownDop());
+  EXPECT_TRUE(client_->CommitDop(*dop).IsUnknownDop());
+  EXPECT_GE(server_->stats().unknown_dop_requests, 3u);
+
+  // A never-registered id still reads as plain not-found.
+  EXPECT_TRUE(server_->DaOfDop(DopId(987654)).status().IsNotFound());
+
+  // Begin-of-DOP re-registers and the designer can finish the work.
+  auto fresh = client_->BeginDop(DaId(1));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(client_->Checkout(*fresh, input).ok());
+  EXPECT_TRUE(client_->Checkin(*fresh, MakeObj(6), {input}).ok());
+  EXPECT_TRUE(client_->CommitDop(*fresh).ok());
+}
+
 TEST_F(TmTest, BeginDopFailsWhenWorkstationDown) {
   network_.SetNodeUp(ws_, false);
   EXPECT_FALSE(client_->BeginDop(DaId(1)).ok());
