@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "rpc/two_phase_commit.h"
+#include "txn/remote_server_stub.h"
 
 namespace concord::rpc {
 namespace {
@@ -104,9 +105,10 @@ void BM_Commit_DopCycleByPlacement(benchmark::State& state) {
     // Register a client-TM on the server node.
     ws = system.server_node();
   }
-  // A client TM for the chosen placement.
-  txn::ClientTm tm(&system.server_tm(), &system.network(), ws,
-                   &system.clock());
+  // A client TM for the chosen placement, behind its own service stub
+  // (co-located stubs pay only intra-node hops, never the LAN).
+  txn::RemoteServerStub stub(&system.rpc(), ws, system.server_node());
+  txn::ClientTm tm(&stub, &system.network(), ws, &system.clock());
   storage::DesignObject obj(system.dots().module);
   obj.SetAttr(vlsi::kAttrName, "m");
   obj.SetAttr(vlsi::kAttrDomain, vlsi::kDomainStructure);

@@ -235,6 +235,10 @@ void BM_CheckoutMix_ClientTmCache(benchmark::State& state) {
             ? 0.0
             : static_cast<double>(from_cache) /
                   static_cast<double>(from_cache + from_server);
+    // Every server trip is now a countable envelope on the shared
+    // transactional-RPC channel.
+    state.counters["rpc_calls"] =
+        static_cast<double>(g_tm_env->rpc.stats().calls);
     g_tm_env.reset();
   }
 }
@@ -243,6 +247,43 @@ BENCHMARK(BM_CheckoutMix_ClientTmCache)
     ->Threads(4)
     ->Threads(8)
     ->UseRealTime();
+
+/// Server round trips per checkin with the BatchRequest envelope
+/// collapsing checkin + derivation-lock release into one trip
+/// (batching=1) vs the sequential pair (batching=0). The full DOP
+/// cycle is begin + checkin/commit, so the floor is 2 envelopes per
+/// checkin batched and 3 unbatched.
+void BM_CheckinCommit_Batching(benchmark::State& state) {
+  const bool batching = state.range(0) != 0;
+  TmEnv env(1);
+  txn::ClientTm& tm = *env.clients[0];
+  tm.set_batching(batching);
+  const DaId da(1);
+  int64_t revision = 0;
+  for (auto _ : state) {
+    auto dop = tm.BeginDop(da);
+    if (!dop.ok()) {
+      state.SkipWithError("begin failed");
+      break;
+    }
+    storage::DesignObject obj(env.dot);
+    obj.SetAttr("value", ++revision % 1000000);
+    if (!tm.CheckinCommit(*dop, std::move(obj), {env.warm_dov[0]}).ok()) {
+      state.SkipWithError("checkin/commit failed");
+      break;
+    }
+  }
+  uint64_t checkins = env.server->stats().checkins.load();
+  state.counters["round_trips_per_checkin"] =
+      checkins == 0 ? 0.0
+                    : static_cast<double>(env.rpc.stats().calls.load()) /
+                          static_cast<double>(checkins);
+  state.counters["lan_msgs"] =
+      static_cast<double>(env.network.stats().messages_sent);
+  state.SetLabel(batching ? "batched_envelope" : "sequential_envelopes");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckinCommit_Batching)->Arg(0)->Arg(1)->UseRealTime();
 
 }  // namespace
 }  // namespace concord

@@ -8,27 +8,33 @@
 #include "common/clock.h"
 #include "rpc/invalidation.h"
 #include "rpc/network.h"
+#include "rpc/transactional_rpc.h"
 #include "storage/repository.h"
 #include "txn/client_tm.h"
+#include "txn/remote_server_stub.h"
 #include "txn/scope_authority.h"
 #include "txn/server_tm.h"
 
 namespace concord::bench {
 
 /// Shared benchmark fixture for the full TM stack: repository +
-/// server-TM + invalidation bus on the server node, and one
-/// workstation/client-TM per benchmark thread, each with a seeded warm
-/// DOV owned by DA(t+1). Used by bench_cache and the client-TM
-/// scenario in bench_concurrent_checkout — one place to update when
-/// the stack's wiring changes.
+/// server-TM + invalidation bus + ServerService RPC endpoint on the
+/// server node, and one workstation/client-TM per benchmark thread
+/// (each behind its own RemoteServerStub, so every server trip is a
+/// countable TransactionalRpc call), each with a seeded warm DOV owned
+/// by DA(t+1). Used by bench_cache and the client-TM scenarios in
+/// bench_concurrent_checkout — one place to update when the stack's
+/// wiring changes.
 struct TmEnv {
   SimClock clock;
   rpc::Network network{&clock, 42};
+  rpc::TransactionalRpc rpc{&network};
   storage::Repository repo{&clock};
   txn::PermissiveScopeAuthority scope;
   NodeId server_node;
   std::unique_ptr<rpc::InvalidationBus> bus;
   std::unique_ptr<txn::ServerTm> server;
+  std::vector<std::unique_ptr<txn::RemoteServerStub>> stubs;
   std::vector<std::unique_ptr<txn::ClientTm>> clients;  // one per thread
   DotId dot;
   std::vector<DovId> warm_dov;  // per-thread seeded input
@@ -41,10 +47,13 @@ struct TmEnv {
     bus = std::make_unique<rpc::InvalidationBus>(&network, server_node);
     server = std::make_unique<txn::ServerTm>(&repo, &network, server_node,
                                              &scope, bus.get());
+    txn::RegisterServerService(server.get(), &rpc);
     for (int t = 0; t < threads; ++t) {
       NodeId ws = network.AddNode("ws" + std::to_string(t));
+      stubs.push_back(
+          std::make_unique<txn::RemoteServerStub>(&rpc, ws, server_node));
       clients.push_back(std::make_unique<txn::ClientTm>(
-          server.get(), &network, ws, &clock, bus.get()));
+          stubs.back().get(), &network, ws, &clock, bus.get()));
       warm_dov.push_back(Seed(DaId(t + 1), t));
     }
   }

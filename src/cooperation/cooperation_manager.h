@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -63,6 +64,21 @@ struct DaDescription {
 /// server-TM's checkout test. Events to DAs are delivered through an
 /// EventSink installed by the embedding system (transactional RPC in
 /// the full stack).
+///
+/// Thread-safe: every public operation takes the (recursive) manager
+/// mutex, so designer threads may run cooperation ops — Propagate,
+/// Withdraw, hierarchy changes — concurrently with each other and with
+/// the server-TM's InScope checks. The mutex is recursive because ops
+/// compose (CreateSubDa consults InScope; event delivery can re-enter
+/// via the embedding system's tool runner on the same thread). It IS
+/// held across event-sink and withdrawal-sink callbacks — sinks must
+/// not call back into a *different* thread's CM operation
+/// synchronously, and must confine themselves to thread-safe
+/// components (the invalidation bus and DOV caches are). Two
+/// exceptions to the lock-everything rule: the sink setters (install
+/// sinks before traffic starts) and GetDa, which hands out an interior
+/// pointer for driver-thread inspection — see its comment. stats()
+/// reads are unguarded snapshots — read them at quiescence.
 class CooperationManager : public txn::ScopeAuthority {
  public:
   using EventSink = std::function<void(DaId, const workflow::Event&)>;
@@ -209,13 +225,21 @@ class CooperationManager : public txn::ScopeAuthority {
 
   // --- Introspection ----------------------------------------------------
 
+  /// Pointer into the DA table. The pointer itself stays valid for the
+  /// CM's lifetime (entries are only removed by Crash()), but reading
+  /// fields through it is NOT synchronized against concurrent
+  /// mutators — it is a driver-thread/quiescent inspection accessor.
+  /// Concurrent readers must use the copying accessors below
+  /// (StateOf, Children, AllDas, RelationshipsOf, PendingProposalFor,
+  /// Depth) or InScope.
   Result<const DesignActivity*> GetDa(DaId da) const;
   Result<DaState> StateOf(DaId da) const;
   std::vector<DaId> Children(DaId da) const;
   std::vector<DaId> AllDas() const;
   /// Relationships `da` takes part in (any kind).
   std::vector<CoopRelationship> RelationshipsOf(DaId da) const;
-  const std::optional<Proposal>& PendingProposalFor(DaId da) const;
+  /// Copy of the proposal awaiting `da`'s answer (empty if none).
+  std::optional<Proposal> PendingProposalFor(DaId da) const;
   /// Depth of `da` in the hierarchy (top-level = 0).
   int Depth(DaId da) const;
 
@@ -248,12 +272,17 @@ class CooperationManager : public txn::ScopeAuthority {
   EventSink event_sink_;
   WithdrawalSink withdrawal_sink_;
 
+  /// Guards the DA table, relationships and proposals. Recursive: CM
+  /// ops nest (and event sinks may re-enter on the delivering thread).
+  /// Ordered BEFORE the repository/lock-manager mutexes — CM ops call
+  /// into both while holding it; nothing in those layers calls back.
+  mutable std::recursive_mutex mu_;
+
   IdGenerator<DaId> da_gen_;
   IdGenerator<RelId> rel_gen_;
   std::map<uint64_t, DesignActivity> das_;  // keyed by DaId value
   std::vector<CoopRelationship> relationships_;
   std::unordered_map<DaId, std::optional<Proposal>> pending_proposals_;
-  std::optional<Proposal> no_proposal_;
 
   CmStats stats_;
 };

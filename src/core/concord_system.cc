@@ -25,6 +25,7 @@ ConcordSystem::ConcordSystem(SystemConfig config)
   network_->set_local_latency(config.local_latency);
   network_->set_loss_probability(config.message_loss_probability);
   server_node_ = network_->AddNode("server");
+  rpc_ = std::make_unique<rpc::TransactionalRpc>(network_.get());
   invalidation_bus_ =
       std::make_unique<rpc::InvalidationBus>(network_.get(), server_node_);
 
@@ -38,6 +39,9 @@ ConcordSystem::ConcordSystem(SystemConfig config)
   server_tm_ = std::make_unique<txn::ServerTm>(repository_.get(),
                                                network_.get(), server_node_,
                                                this, invalidation_bus_.get());
+  // Server-side half of the ServerService protocol: every client-TM
+  // envelope lands here as a real, countable RPC.
+  txn::RegisterServerService(server_tm_.get(), rpc_.get());
   cm_ = std::make_unique<cooperation::CooperationManager>(
       repository_.get(), &server_tm_->locks(), &clock_);
   cm_->SetEventSink([this](DaId da, const workflow::Event& event) {
@@ -61,10 +65,12 @@ ConcordSystem::~ConcordSystem() = default;
 
 NodeId ConcordSystem::AddWorkstation(const std::string& name) {
   NodeId node = network_->AddNode(name);
+  stubs_.emplace(node.value(), std::make_unique<txn::RemoteServerStub>(
+                                   rpc_.get(), node, server_node_));
   client_tms_.emplace(node.value(),
                       std::make_unique<txn::ClientTm>(
-                          server_tm_.get(), network_.get(), node, &clock_,
-                          invalidation_bus_.get()));
+                          stubs_.at(node.value()).get(), network_.get(), node,
+                          &clock_, invalidation_bus_.get()));
   client_tms_.at(node.value())
       ->set_auto_recovery_interval(config_.recovery_point_interval);
   return node;
@@ -247,8 +253,10 @@ Result<workflow::DopOutcome> ConcordSystem::RunTool(
   clock_.Advance(static_cast<SimTime>(tool_result->work_units) *
                  config_.time_per_work_unit);
 
-  // Checkin + End-of-DOP.
-  auto checked_in = tm.Checkin(dop, tool_result->object, inputs);
+  // Checkin + End-of-DOP, batched into one server round trip (the
+  // server skips the commit when the checkin fails, so the sequential
+  // semantics are preserved).
+  auto checked_in = tm.CheckinCommit(dop, tool_result->object, inputs);
   if (!checked_in.ok()) {
     // "checkin failure": report to the DM as an aborted DOP.
     tm.AbortDop(dop).ok();
@@ -257,7 +265,6 @@ Result<workflow::DopOutcome> ConcordSystem::RunTool(
     outcome.inputs = inputs;
     return outcome;
   }
-  CONCORD_RETURN_NOT_OK(tm.CommitDop(dop));
   cm_->NoteCheckin(da, *checked_in);
   runtime->current = *checked_in;
 
@@ -329,6 +336,10 @@ Status ConcordSystem::RecoverWorkstation(NodeId workstation) {
 void ConcordSystem::CrashServer() {
   server_tm_->Crash();
   cm_->Crash();
+  // The RPC at-most-once dedup table is volatile server memory: a
+  // retried pre-crash envelope re-executes after recovery (and gets
+  // the typed kUnknownDop answer for its wiped registration).
+  rpc_->ClearNodeState(server_node_);
 }
 
 Status ConcordSystem::RecoverServer() {

@@ -19,6 +19,7 @@
 #include "rpc/transactional_rpc.h"
 #include "storage/repository.h"
 #include "txn/client_tm.h"
+#include "txn/remote_server_stub.h"
 #include "txn/server_tm.h"
 #include "vlsi/tools.h"
 #include "workflow/constraints.h"
@@ -80,6 +81,10 @@ class ConcordSystem : public txn::ScopeAuthority {
   SimClock& clock() { return clock_; }
   Rng& rng() { return rng_; }
   rpc::Network& network() { return *network_; }
+  /// The transactional-RPC channel every client<->server TM envelope
+  /// rides; its stats count the server round trips (and their retries
+  /// under loss) of all checkout/checkin/begin/commit/abort traffic.
+  rpc::TransactionalRpc& rpc() { return *rpc_; }
   rpc::InvalidationBus& invalidation_bus() { return *invalidation_bus_; }
   storage::Repository& repository() { return *repository_; }
   txn::ServerTm& server_tm() { return *server_tm_; }
@@ -142,6 +147,10 @@ class ConcordSystem : public txn::ScopeAuthority {
   Rng rng_;
   std::unique_ptr<rpc::Network> network_;
   NodeId server_node_;
+  /// Reliable channel for the ServerService envelopes (at-most-once
+  /// dedup lives callee-side; CrashServer wipes it like any other
+  /// volatile server memory).
+  std::unique_ptr<rpc::TransactionalRpc> rpc_;
   /// Server->workstation push channel for DOV-cache invalidations.
   /// Must outlive the client-TMs (they unsubscribe in their dtors), so
   /// it is declared before client_tms_.
@@ -153,6 +162,10 @@ class ConcordSystem : public txn::ScopeAuthority {
   vlsi::VlsiDots dots_;
   workflow::ConstraintSet constraints_;
 
+  /// Per-workstation service stubs; every client-TM talks to the
+  /// server only through its stub. Declared before client_tms_ so the
+  /// stubs outlive the TMs that hold them.
+  std::map<uint64_t, std::unique_ptr<txn::RemoteServerStub>> stubs_;
   std::map<uint64_t, std::unique_ptr<txn::ClientTm>> client_tms_;
   std::map<uint64_t, DaRuntime> das_;
 };

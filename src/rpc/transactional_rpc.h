@@ -1,7 +1,10 @@
 #ifndef CONCORD_RPC_TRANSACTIONAL_RPC_H_
 #define CONCORD_RPC_TRANSACTIONAL_RPC_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -12,11 +15,15 @@
 
 namespace concord::rpc {
 
+/// Counters for the reliable channel. Fields are atomic
+/// (ServerTmStats-style) so concurrent designer threads can bump them
+/// without serializing on the dedup-table mutex; read them at
+/// quiescence (or accept slightly stale values).
 struct RpcStats {
-  uint64_t calls = 0;
-  uint64_t retries = 0;
-  uint64_t failures = 0;
-  uint64_t duplicate_suppressed = 0;
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> duplicate_suppressed{0};
 };
 
 /// Reliable request/response on top of the lossy Network. The paper
@@ -31,6 +38,12 @@ struct RpcStats {
 /// kUnavailable only if the destination stays unreachable for all
 /// retry attempts — which is exactly the "workstation crash" case the
 /// CM handles at a higher level.
+///
+/// Thread-safe: one channel serves every workstation's client-TM, so
+/// concurrent designer threads call it at once. The handler and dedup
+/// tables sit behind mu_ (held only for the point lookups/inserts,
+/// never across a handler execution or a network hop — handlers run
+/// concurrently and synchronize themselves), and the stats are atomic.
 class TransactionalRpc {
  public:
   /// A handler consumes a request payload and produces a reply payload.
@@ -50,11 +63,12 @@ class TransactionalRpc {
                            const std::string& request);
 
   /// Drops the callee-side dedup state for a node — part of simulating
-  /// a workstation crash (volatile state loss).
+  /// a crash of that machine (the at-most-once table is volatile
+  /// memory on the callee).
   void ClearNodeState(NodeId node);
 
   const RpcStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = RpcStats{}; }
+  void ResetStats();
 
  private:
   struct HandlerKey {
@@ -72,8 +86,13 @@ class TransactionalRpc {
   Network* network_;
   int max_retries_;
   IdGenerator<MsgId> call_gen_;
+  /// Guards handlers_ and executed_; leaf mutex, never held across a
+  /// handler execution or a Network::Send.
+  mutable std::mutex mu_;
   std::unordered_map<HandlerKey, Handler, HandlerKeyHash> handlers_;
-  /// callee node -> call id -> cached reply (for dedup).
+  /// callee node -> call id -> cached reply (for dedup). Entries live
+  /// only while their call's retry loop runs (a returned Call never
+  /// re-sends its id), so the table is bounded by in-flight calls.
   std::unordered_map<NodeId, std::unordered_map<uint64_t, std::string>>
       executed_;
   RpcStats stats_;

@@ -16,7 +16,9 @@ std::string SimulationReport::ToString() const {
      << work_units_lost << " work units lost; design time "
      << FormatSimTime(sim_time) << "; checkouts " << checkouts_from_cache
      << " cached / " << checkouts_from_server << " server ("
-     << cache_invalidations_delivered << " invalidations pushed)";
+     << cache_invalidations_delivered << " invalidations pushed); "
+     << rpc_calls << " server round trips (" << rpc_retries << " retries, "
+     << batched_checkin_commits << " batched checkin+commits)";
   return os.str();
 }
 
@@ -104,9 +106,13 @@ Result<SimulationReport> MultiDesignerSimulation::Run() {
         system_->client_tm(ws).stats().checkouts_from_cache;
     report.checkouts_from_server +=
         system_->client_tm(ws).stats().checkouts_from_server;
+    report.batched_checkin_commits +=
+        system_->client_tm(ws).stats().batched_checkin_commits;
   }
   report.cache_invalidations_delivered =
       system_->invalidation_bus().stats().deliveries;
+  report.rpc_calls = system_->rpc().stats().calls;
+  report.rpc_retries = system_->rpc().stats().retries;
   if (remaining > 0) {
     return Status::Internal("simulation exceeded its step budget with " +
                             std::to_string(remaining) + " designs open");

@@ -43,6 +43,13 @@ struct SimulationReport {
   uint64_t checkouts_from_cache = 0;
   uint64_t checkouts_from_server = 0;
   uint64_t cache_invalidations_delivered = 0;
+  /// ServerService envelopes shipped over the transactional RPC (one
+  /// per critical client/server-TM interaction — batching collapses
+  /// checkin+commit pairs into one), plus the transport's retry work.
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_retries = 0;
+  /// Checkin+commit pairs that rode a single batched envelope.
+  uint64_t batched_checkin_commits = 0;
 
   std::string ToString() const;
 };

@@ -168,6 +168,21 @@ bool DecodeDovRecordFrom(ByteReader* in, DovRecord* record) {
 
 }  // namespace
 
+std::string EncodeDesignObject(const DesignObject& object) {
+  std::string out;
+  EncodeDesignObject(&out, object);
+  return out;
+}
+
+Result<DesignObject> DecodeDesignObject(std::string_view payload) {
+  ByteReader in(payload);
+  DesignObject object;
+  if (!DecodeDesignObject(&in, &object) || in.remaining() != 0) {
+    return Status::Internal("malformed design-object payload");
+  }
+  return object;
+}
+
 std::string EncodeDovRecord(const DovRecord& record) {
   std::string out;
   EncodeDovRecordTo(&out, record);

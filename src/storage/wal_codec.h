@@ -48,6 +48,12 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload);
 std::string EncodeDovRecord(const DovRecord& record);
 Result<DovRecord> DecodeDovRecord(std::string_view payload);
 
+/// Bare DesignObject payload (type, attrs, children — recursively);
+/// the same nested encoding DovRecord embeds. Also used by the
+/// txn/server_service wire envelope for checkin requests.
+std::string EncodeDesignObject(const DesignObject& object);
+Result<DesignObject> DecodeDesignObject(std::string_view payload);
+
 // --- Framing -------------------------------------------------------------
 
 /// Bytes of the [len][crc] frame header.

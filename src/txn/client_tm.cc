@@ -1,41 +1,20 @@
 #include "txn/client_tm.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace concord::txn {
 
-namespace {
-
-/// Ad-hoc participant whose votes/outcomes are provided as callbacks.
-/// Used to drive the generic 2PC coordinator for the client/server TM
-/// interactions.
-class LambdaParticipant : public rpc::TwoPcParticipant {
- public:
-  LambdaParticipant(NodeId node, std::function<bool()> prepare)
-      : node_(node), prepare_(std::move(prepare)) {}
-
-  NodeId node() const override { return node_; }
-  bool Prepare(TxnId) override { return prepare_ ? prepare_() : true; }
-  void Commit(TxnId) override {}
-  void Abort(TxnId) override {}
-
- private:
-  NodeId node_;
-  std::function<bool()> prepare_;
-};
-
-}  // namespace
-
-ClientTm::ClientTm(ServerTm* server, rpc::Network* network, NodeId workstation,
-                   SimClock* clock, rpc::InvalidationBus* invalidations)
-    : server_(server),
+ClientTm::ClientTm(ServerService* service, rpc::Network* network,
+                   NodeId workstation, SimClock* clock,
+                   rpc::InvalidationBus* invalidations)
+    : service_(service),
       network_(network),
       node_(workstation),
       clock_(clock),
-      invalidations_(invalidations),
-      two_pc_(network, workstation) {
+      invalidations_(invalidations) {
   if (invalidations_ != nullptr) {
     // The handler runs on the publishing (server) thread and touches
     // only the self-synchronizing cache — never the DOP tables.
@@ -63,17 +42,52 @@ Result<ClientTm::DopRuntime*> ClientTm::ActiveDop(DopId dop) {
   return &it->second;
 }
 
-Status ClientTm::RunCommitProtocol(DopId dop) {
-  (void)dop;
-  LambdaParticipant client(node_, nullptr);
-  LambdaParticipant server(server_->node(), nullptr);
-  CONCORD_ASSIGN_OR_RETURN(
-      bool committed,
-      two_pc_.Execute(TxnId(dop.value()), {&client, &server}));
-  if (!committed) {
-    return Status::Unavailable("client/server TM commit protocol failed");
+Result<BatchReply> ClientTm::RunCriticalInteraction(
+    TxnId txn, std::vector<ServerRequest> ops, bool independent) {
+  if (!network_->IsUp(node_)) {
+    return Status::Crashed("workstation is down");
   }
-  return Status::OK();
+  ++two_pc_stats_.protocols_run;
+  // Client-side participant leg: co-located with the coordinator, so
+  // it takes the main-memory fast path of Sect. 6 — two local hops,
+  // no LAN messages.
+  ++two_pc_stats_.local_fast_paths;
+  if (!network_->Send(node_, node_).ok() || !network_->Send(node_, node_).ok()) {
+    ++two_pc_stats_.aborted;
+    return Status::Crashed("workstation is down");
+  }
+  // Server-side legs ride the envelope: phase-1 vote first, the
+  // operations, then the phase-2 decision — one round trip for all
+  // three where the raw protocol paid two round trips plus the call.
+  BatchRequest batch;
+  batch.independent = independent;
+  batch.ops.reserve(ops.size() + 2);
+  batch.ops.emplace_back(PrepareRequest{txn});
+  for (ServerRequest& op : ops) batch.ops.push_back(std::move(op));
+  batch.ops.emplace_back(DecideRequest{txn, /*commit=*/true});
+
+  auto reply = service_->Execute(batch);
+  if (!reply.ok()) {
+    // Server unreachable (or retries exhausted): presumed abort.
+    ++two_pc_stats_.aborted;
+    return Status::Unavailable("client/server TM commit protocol failed: " +
+                               reply.status().message());
+  }
+  if (reply->ops.size() != batch.ops.size()) {
+    ++two_pc_stats_.aborted;
+    return Status::Internal("server-service reply arity mismatch");
+  }
+  const auto* vote = std::get_if<PrepareReply>(&reply->ops.front().body);
+  if (vote == nullptr || !vote->vote) {
+    ++two_pc_stats_.aborted;
+    return Status::Aborted("server-TM voted NO in the commit protocol");
+  }
+  ++two_pc_stats_.committed;
+  two_pc_stats_.messages += 2;  // the envelope's request + reply LAN hops
+  BatchReply out;
+  out.ops.assign(std::make_move_iterator(reply->ops.begin() + 1),
+                 std::make_move_iterator(reply->ops.end() - 1));
+  return out;
 }
 
 Result<DopId> ClientTm::BeginDop(DaId da) {
@@ -84,8 +98,12 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
   // its own counter, and two workstations with concurrently live DOPs
   // must not collide at the server's registration table.
   DopId dop = DopId((node_.value() << 32) | dop_gen_.Next().value());
-  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
-  CONCORD_RETURN_NOT_OK(server_->BeginDop(dop, da));
+  std::vector<ServerRequest> ops;
+  ops.emplace_back(BeginDopRequest{dop, da});
+  CONCORD_ASSIGN_OR_RETURN(
+      BatchReply reply,
+      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
+  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
   DopRuntime runtime;
   runtime.da = da;
   dops_.emplace(dop, std::move(runtime));
@@ -98,7 +116,7 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
 Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   // Cache fast path: a DOV this workstation already fetched under the
-  // same DA's visibility is served locally — no 2PC, no server hop
+  // same DA's visibility is served locally — no envelope, no server hop
   // (IsUp is a lock-free atomic read, so warm checkouts never touch
   // the LAN mutex). Derivation-lock requests always go to the server
   // (the lock table lives there), and a down workstation serves
@@ -119,10 +137,17 @@ Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
   // withdrawal races the checkout, the stale reply must not be cached
   // (InsertIfCurrent refuses it).
   uint64_t inv_seq = cache_.InvalidationSeq(dov);
-  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
+  std::vector<ServerRequest> ops;
+  ops.emplace_back(CheckoutRequest{dop, dov, take_derivation_lock});
   CONCORD_ASSIGN_OR_RETURN(
-      storage::DovRecord record,
-      server_->Checkout(dop, dov, take_derivation_lock));
+      BatchReply reply,
+      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
+  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
+  auto* body = std::get_if<CheckoutReply>(&reply.ops.front().body);
+  if (body == nullptr) {
+    return Status::Internal("checkout reply carries no DOV record");
+  }
+  storage::DovRecord record = std::move(body->record);
   ++stats_.checkouts_from_server;
   runtime->context.inputs[dov] = record.data;
   // The server just ran the visibility tests for this DA: the answer is
@@ -288,23 +313,95 @@ Status ClientTm::HandOverContext(DopId from, DopId to) {
   return Status::OK();
 }
 
+void ClientTm::CacheOwnCheckin(const DopRuntime& runtime, DopId dop, DovId dov,
+                               storage::DesignObject object,
+                               const std::vector<DovId>& predecessors,
+                               SimTime created_at) {
+  // The workstation knows every field of the record it just created —
+  // rebuilding it locally matches the server's image byte for byte
+  // (the server stores exactly the shipped object under the creating
+  // DOP/DA), so re-reading one's own checkin needs no payload refetch.
+  storage::DovRecord record;
+  record.id = dov;
+  record.owner_da = runtime.da;
+  record.created_by = dop;
+  record.type = object.type();
+  record.data = std::move(object);
+  record.predecessors = predecessors;
+  record.created_at = created_at;
+  if (cache_.InsertIfNeverInvalidated(dov, std::move(record), runtime.da)) {
+    ++stats_.checkin_cache_inserts;
+  }
+}
+
 Result<DovId> ClientTm::Checkin(DopId dop, storage::DesignObject object,
                                 const std::vector<DovId>& predecessors) {
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
-  (void)runtime;
-  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
-  return server_->Checkin(dop, std::move(object), predecessors, clock_->Now());
+  SimTime created_at = clock_->Now();
+  std::vector<ServerRequest> ops;
+  ops.emplace_back(CheckinRequest{dop, object, predecessors, created_at});
+  CONCORD_ASSIGN_OR_RETURN(
+      BatchReply reply,
+      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
+  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
+  auto* body = std::get_if<CheckinReply>(&reply.ops.front().body);
+  if (body == nullptr) {
+    return Status::Internal("checkin reply carries no DOV id");
+  }
+  CacheOwnCheckin(*runtime, dop, body->dov, std::move(object), predecessors,
+                  created_at);
+  return body->dov;
+}
+
+void ClientTm::FinishCommitted(DopId dop, DopRuntime* runtime) {
+  // Sect. 5.2 ordering: the server released derivation locks first,
+  // then the client removes savepoints and recovery points.
+  runtime->savepoints.clear();
+  stable_rp_.erase(dop.value());
+  runtime->state = DopState::kCommitted;
+}
+
+Result<DovId> ClientTm::CheckinCommit(DopId dop, storage::DesignObject object,
+                                      const std::vector<DovId>& predecessors) {
+  if (!batching_) {
+    CONCORD_ASSIGN_OR_RETURN(DovId dov,
+                             Checkin(dop, std::move(object), predecessors));
+    CONCORD_RETURN_NOT_OK(CommitDop(dop));
+    return dov;
+  }
+  CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
+  SimTime created_at = clock_->Now();
+  std::vector<ServerRequest> ops;
+  ops.emplace_back(CheckinRequest{dop, object, predecessors, created_at});
+  ops.emplace_back(CommitDopRequest{dop});
+  CONCORD_ASSIGN_OR_RETURN(
+      BatchReply reply,
+      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
+  ++stats_.batched_checkin_commits;
+  // Checkin failure: the server skipped the commit request (batch
+  // skip-after-failure), so the DOP stays active and the caller sees
+  // the typed "checkin failure" — identical to the sequential pair.
+  CONCORD_RETURN_NOT_OK(reply.ops[0].status);
+  auto* body = std::get_if<CheckinReply>(&reply.ops[0].body);
+  if (body == nullptr) {
+    return Status::Internal("checkin reply carries no DOV id");
+  }
+  CONCORD_RETURN_NOT_OK(reply.ops[1].status);
+  FinishCommitted(dop, runtime);
+  CacheOwnCheckin(*runtime, dop, body->dov, std::move(object), predecessors,
+                  created_at);
+  return body->dov;
 }
 
 Status ClientTm::CommitDop(DopId dop) {
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
-  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
-  // Sect. 5.2 ordering: server releases derivation locks first, then
-  // the client removes savepoints and recovery points.
-  CONCORD_RETURN_NOT_OK(server_->CommitDop(dop));
-  runtime->savepoints.clear();
-  stable_rp_.erase(dop.value());
-  runtime->state = DopState::kCommitted;
+  std::vector<ServerRequest> ops;
+  ops.emplace_back(CommitDopRequest{dop});
+  CONCORD_ASSIGN_OR_RETURN(
+      BatchReply reply,
+      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
+  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
+  FinishCommitted(dop, runtime);
   return Status::OK();
 }
 
@@ -317,8 +414,12 @@ Status ClientTm::AbortDop(DopId dop) {
       it->second.state == DopState::kAborted) {
     return Status::FailedPrecondition(dop.ToString() + " already finished");
   }
-  CONCORD_RETURN_NOT_OK(RunCommitProtocol(dop));
-  CONCORD_RETURN_NOT_OK(server_->AbortDop(dop));
+  std::vector<ServerRequest> ops;
+  ops.emplace_back(AbortDopRequest{dop});
+  CONCORD_ASSIGN_OR_RETURN(
+      BatchReply reply,
+      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
+  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
   it->second.savepoints.clear();
   stable_rp_.erase(dop.value());
   it->second.state = DopState::kAborted;
@@ -364,6 +465,48 @@ void ClientTm::Crash() {
   CONCORD_INFO("client-tm", "workstation " << node_.ToString() << " crashed");
 }
 
+void ClientTm::WarmCacheFromRecoveredContexts(
+    const std::vector<DopId>& recovered) {
+  // The cache restarted cold and every pre-crash validation proof is
+  // void (the workstation could not observe outage-time revocations).
+  // Instead of paying one lazy server trip per re-read, revalidate all
+  // recovered inputs with ONE BatchRequest: each entry is a real
+  // server-side checkout (scope + derivation-lock tests for the DOP's
+  // DA), so only still-visible versions re-arm the cache. Runs after
+  // FlushPending, so outage-time tombstones are already planted and
+  // InsertIfCurrent's seq test stays sound.
+  struct Expected {
+    DovId dov;
+    DaId da;
+    uint64_t seq;
+  };
+  std::vector<ServerRequest> ops;
+  std::vector<Expected> expected;
+  for (DopId dop : recovered) {
+    const DopRuntime& runtime = dops_.at(dop);
+    for (const auto& [dov, object] : runtime.context.inputs) {
+      ops.emplace_back(CheckoutRequest{dop, dov, false});
+      expected.push_back({dov, runtime.da, cache_.InvalidationSeq(dov)});
+    }
+  }
+  if (ops.empty()) return;
+  TxnId txn(recovered.front().value());
+  // Independent ops: one withdrawn/locked input must not keep the
+  // still-visible ones cold.
+  auto reply = RunCriticalInteraction(txn, std::move(ops),
+                                      /*independent=*/true);
+  if (!reply.ok()) return;  // server unreachable: restart cold (just slower)
+  for (size_t i = 0; i < reply->ops.size(); ++i) {
+    if (!reply->ops[i].status.ok()) continue;  // e.g. withdrawn during outage
+    auto* body = std::get_if<CheckoutReply>(&reply->ops[i].body);
+    if (body == nullptr) continue;
+    if (cache_.InsertIfCurrent(expected[i].dov, std::move(body->record),
+                               expected[i].da, expected[i].seq)) {
+      ++stats_.recovery_warmup_checkouts;
+    }
+  }
+}
+
 Result<uint64_t> ClientTm::Recover() {
   network_->SetNodeUp(node_, true);
   // Drain invalidations the server queued while this workstation was
@@ -375,6 +518,7 @@ Result<uint64_t> ClientTm::Recover() {
   // outage the workstation could not observe.
   if (invalidations_ != nullptr) invalidations_->FlushPending(node_);
   uint64_t lost_total = 0;
+  std::vector<DopId> recovered;
   for (auto& [dop, runtime] : dops_) {
     if (runtime.state != DopState::kCrashed) continue;
     auto rp_it = stable_rp_.find(dop.value());
@@ -385,7 +529,11 @@ Result<uint64_t> ClientTm::Recover() {
       runtime.context = DopContext{};
     }
     runtime.state = DopState::kActive;
+    recovered.push_back(dop);
     ++stats_.dops_recovered;
+  }
+  if (warm_cache_on_recovery_ && !recovered.empty()) {
+    WarmCacheFromRecoveredContexts(recovered);
   }
   lost_total = stats_.work_units_lost;
   return lost_total;

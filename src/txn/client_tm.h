@@ -11,10 +11,11 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "rpc/invalidation.h"
+#include "rpc/network.h"
 #include "rpc/two_phase_commit.h"
 #include "txn/dop_context.h"
 #include "txn/dov_cache.h"
-#include "txn/server_tm.h"
+#include "txn/server_service.h"
 
 namespace concord::txn {
 
@@ -33,6 +34,14 @@ struct ClientTmStats {
   /// round-trip) vs. forwarded to the server-TM.
   uint64_t checkouts_from_cache = 0;
   uint64_t checkouts_from_server = 0;
+  /// Checkins whose new DOV was inserted into the local cache
+  /// (validated for the creating DA), so re-reading one's own checkin
+  /// is a hit.
+  uint64_t checkin_cache_inserts = 0;
+  /// Checkin+commit pairs collapsed into one server round trip.
+  uint64_t batched_checkin_commits = 0;
+  /// Cache entries re-armed by the post-recovery revalidation batch.
+  uint64_t recovery_warmup_checkouts = 0;
 };
 
 /// Client half of the transaction manager: "resides on the workstation
@@ -43,19 +52,28 @@ struct ClientTmStats {
 /// every critical interaction (Begin-of-DOP, checkout, checkin,
 /// End-of-DOP).
 ///
+/// All server traffic goes through the typed ServerService protocol:
+/// each critical interaction is one [Prepare, ops..., Decide] envelope
+/// — the 2PC legs ride the same serialized BatchRequest as the
+/// operation, so the whole interaction is a single server round trip
+/// (retried, deduplicated and counted by the transport when the
+/// service is a RemoteServerStub). The client-TM neither includes nor
+/// stores a ServerTm.
+///
 /// It also owns the workstation's DOV cache: a Checkout whose DOV is
 /// cached and validated for the DOP's DA is served locally with no
 /// server round-trip (DOVs are immutable, so the bytes are always
-/// right; validation covers visibility). Misses run the full 2PC +
-/// server checkout as before and re-arm the cache. When an
-/// InvalidationBus is wired up, server-pushed withdrawals/invalidations
-/// drop cache entries, so a withdrawn version is never served locally;
-/// without a bus the cache still works but relies on crashes/evictions
-/// only — embedders that use the cooperation manager's withdrawal
-/// machinery must connect the bus.
+/// right; validation covers visibility). Misses run the full envelope
+/// as before and re-arm the cache; a Checkin inserts the newly created
+/// version validated for the creating DA, so re-reading one's own
+/// checkin hits. When an InvalidationBus is wired up, server-pushed
+/// withdrawals/invalidations drop cache entries, so a withdrawn
+/// version is never served locally; without a bus the cache still
+/// works but relies on crashes/evictions only — embedders that use the
+/// cooperation manager's withdrawal machinery must connect the bus.
 class ClientTm {
  public:
-  ClientTm(ServerTm* server, rpc::Network* network, NodeId workstation,
+  ClientTm(ServerService* service, rpc::Network* network, NodeId workstation,
            SimClock* clock, rpc::InvalidationBus* invalidations = nullptr);
   ~ClientTm();
   ClientTm(const ClientTm&) = delete;
@@ -67,6 +85,18 @@ class ClientTm {
   /// tool work (0 disables automatic points; checkout-triggered points
   /// are always taken, per Sect. 5.2).
   void set_auto_recovery_interval(uint64_t units) { auto_rp_units_ = units; }
+
+  /// When on (the default), CheckinCommit ships checkin + derivation-
+  /// lock release as ONE BatchRequest envelope (one server round trip);
+  /// off, it degrades to the sequential Checkin(); CommitDop() pair —
+  /// the ablation knob for the batching experiments.
+  void set_batching(bool on) { batching_ = on; }
+  bool batching() const { return batching_; }
+
+  /// When on (the default), Recover() revalidates every recovered
+  /// recovery point's inputs with one BatchRequest and re-warms the
+  /// DOV cache from the replies; off, the cache restarts cold.
+  void set_warm_cache_on_recovery(bool on) { warm_cache_on_recovery_ = on; }
 
   // --- DOP lifecycle -------------------------------------------------
 
@@ -120,6 +150,14 @@ class ClientTm {
   Result<DovId> Checkin(DopId dop, storage::DesignObject object,
                         const std::vector<DovId>& predecessors);
 
+  /// Checkin immediately followed by End-of-DOP commit. With batching
+  /// on, both ride ONE envelope: the server executes checkin and
+  /// derivation-lock release in order (a failed checkin skips the
+  /// commit, so the DOP stays active exactly as with the sequential
+  /// pair) and the workstation pays a single round trip.
+  Result<DovId> CheckinCommit(DopId dop, storage::DesignObject object,
+                              const std::vector<DovId>& predecessors);
+
   /// Commit: releases server-side locks, then removes savepoints and
   /// recovery points (Sect. 5.2 ordering).
   Status CommitDop(DopId dop);
@@ -139,7 +177,7 @@ class ClientTm {
   Result<uint64_t> Recover();
 
   const ClientTmStats& stats() const { return stats_; }
-  const rpc::TwoPcStats& two_pc_stats() const { return two_pc_.stats(); }
+  const rpc::TwoPcStats& two_pc_stats() const { return two_pc_stats_; }
   DovCache& cache() { return cache_; }
   const DovCache& cache() const { return cache_; }
 
@@ -153,19 +191,37 @@ class ClientTm {
   };
 
   Result<DopRuntime*> ActiveDop(DopId dop);
-  /// One 2PC run client<->server for a critical interaction; returns
-  /// non-OK if the protocol could not complete (e.g. server down).
-  Status RunCommitProtocol(DopId dop);
+  /// One critical interaction client<->server: wraps `ops` in a
+  /// [Prepare, ops..., Decide] envelope, ships it through the service
+  /// (one round trip) and returns the replies for `ops` after checking
+  /// the vote. Non-OK if the protocol could not complete (e.g. server
+  /// down) — individual operation outcomes ride inside the replies.
+  /// `independent` declares the ops unrelated, disabling the batch's
+  /// skip-after-failure chaining (see BatchRequest).
+  Result<BatchReply> RunCriticalInteraction(TxnId txn,
+                                            std::vector<ServerRequest> ops,
+                                            bool independent = false);
+  /// End-of-DOP commit bookkeeping shared by CommitDop/CheckinCommit.
+  void FinishCommitted(DopId dop, DopRuntime* runtime);
+  /// Inserts a freshly checked-in version into the DOV cache,
+  /// validated for the creating DA.
+  void CacheOwnCheckin(const DopRuntime& runtime, DopId dop, DovId dov,
+                       storage::DesignObject object,
+                       const std::vector<DovId>& predecessors,
+                       SimTime created_at);
+  /// One-envelope revalidation of the recovered contexts' inputs.
+  void WarmCacheFromRecoveredContexts(const std::vector<DopId>& recovered);
   void PersistRecoveryPoint(DopId dop, const DopRuntime& runtime);
 
-  ServerTm* server_;
+  ServerService* service_;
   rpc::Network* network_;
   NodeId node_;
   SimClock* clock_;
   rpc::InvalidationBus* invalidations_;
-  rpc::TwoPhaseCommitCoordinator two_pc_;
   IdGenerator<DopId> dop_gen_;
   uint64_t auto_rp_units_ = 0;
+  bool batching_ = true;
+  bool warm_cache_on_recovery_ = true;
 
   /// Workstation DOV cache (volatile: dropped at Crash()). The
   /// invalidation-bus handler mutates it from the server's thread; the
@@ -179,6 +235,9 @@ class ClientTm {
   uint64_t rp_sequence_ = 0;
 
   ClientTmStats stats_;
+  /// Per-interaction commit-protocol accounting (the protocol itself
+  /// rides the service envelope).
+  rpc::TwoPcStats two_pc_stats_;
 };
 
 }  // namespace concord::txn

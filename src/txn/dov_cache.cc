@@ -82,6 +82,17 @@ bool DovCache::InsertIfCurrent(DovId dov, storage::DovRecord record, DaId da,
   return true;
 }
 
+bool DovCache::InsertIfNeverInvalidated(DovId dov, storage::DovRecord record,
+                                        DaId da) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (invalidation_seq_.count(dov) > 0) {
+    ++stats_.stale_inserts_refused;
+    return false;
+  }
+  InsertLocked(dov, std::move(record), da);
+  return true;
+}
+
 bool DovCache::Invalidate(DovId dov) {
   std::lock_guard<std::mutex> lock(mu_);
   if (invalidation_seq_.size() >= kMaxTrackedInvalidations &&

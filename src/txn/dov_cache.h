@@ -95,6 +95,15 @@ class DovCache {
   bool InsertIfCurrent(DovId dov, storage::DovRecord record, DaId da,
                        uint64_t expected_seq);
 
+  /// Insert for a version this workstation just CREATED (checkin): no
+  /// pre-round-trip seq sample exists because the DOV id was assigned
+  /// by the server inside the round trip. Safe substitute: insert only
+  /// if no invalidation for the id has ever been seen — a fresh id has
+  /// none, and if a push (e.g. another DA's derivation lock granted
+  /// between the server commit and this insert) overtook the reply,
+  /// the insert is refused. Returns true iff the record was cached.
+  bool InsertIfNeverInvalidated(DovId dov, storage::DovRecord record, DaId da);
+
   /// Invalidation push: drops the entry (if present) and tombstones the
   /// id so only a fresh authoritative checkout can re-arm it. Returns
   /// true if a live entry was dropped.

@@ -1,0 +1,18 @@
+#include "txn/local_server_service.h"
+
+namespace concord::txn {
+
+Result<BatchReply> LocalServerService::Execute(const BatchRequest& batch) {
+  // Request hop: fails when either endpoint is down (the caller's
+  // crash-window semantics) or the rare in-transit loss fires — this
+  // transport does not retry, by design.
+  CONCORD_RETURN_NOT_OK(network_->Send(client_, server_->node()));
+  BatchReply reply = DispatchBatch(*server_, batch);
+  // Reply hop. If it fails the effects stand on the server but the
+  // client never learns the outcome — exactly the uncertainty window
+  // the retried RemoteServerStub exists to close.
+  CONCORD_RETURN_NOT_OK(network_->Send(server_->node(), client_));
+  return reply;
+}
+
+}  // namespace concord::txn

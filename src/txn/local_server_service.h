@@ -1,0 +1,37 @@
+#ifndef CONCORD_TXN_LOCAL_SERVER_SERVICE_H_
+#define CONCORD_TXN_LOCAL_SERVER_SERVICE_H_
+
+#include "rpc/network.h"
+#include "txn/server_service.h"
+#include "txn/server_tm.h"
+
+namespace concord::txn {
+
+/// In-process ServerService: the envelope is dispatched straight
+/// against the server-TM, bracketed by one request hop and one reply
+/// hop on the simulated LAN so crash detection and message/latency
+/// accounting match a real deployment's happy path. No serialization,
+/// no retries — a lost hop surfaces as kUnavailable. Unit tests and
+/// single-machine embeddings use this; everything that wants lossy,
+/// retried, countable traffic uses RemoteServerStub.
+class LocalServerService : public ServerService {
+ public:
+  LocalServerService(ServerTm* server, rpc::Network* network,
+                     NodeId client_node)
+      : server_(server), network_(network), client_(client_node) {}
+  LocalServerService(const LocalServerService&) = delete;
+  LocalServerService& operator=(const LocalServerService&) = delete;
+
+  NodeId server_node() const override { return server_->node(); }
+
+  Result<BatchReply> Execute(const BatchRequest& batch) override;
+
+ private:
+  ServerTm* server_;
+  rpc::Network* network_;
+  NodeId client_;
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_LOCAL_SERVER_SERVICE_H_

@@ -1,0 +1,29 @@
+#include "txn/remote_server_stub.h"
+
+#include <utility>
+
+namespace concord::txn {
+
+Result<BatchReply> RemoteServerStub::Execute(const BatchRequest& batch) {
+  CONCORD_ASSIGN_OR_RETURN(
+      std::string wire,
+      rpc_->Call(client_, server_, kServerServiceMethod,
+                 EncodeBatchRequest(batch)));
+  CONCORD_ASSIGN_OR_RETURN(BatchReply reply, DecodeBatchReply(wire));
+  if (reply.ops.size() != batch.ops.size()) {
+    return Status::Internal("server-service reply arity mismatch");
+  }
+  return reply;
+}
+
+void RegisterServerService(ServerTm* server, rpc::TransactionalRpc* rpc) {
+  rpc->RegisterHandler(
+      server->node(), kServerServiceMethod,
+      [server](const std::string& request) -> Result<std::string> {
+        CONCORD_ASSIGN_OR_RETURN(BatchRequest batch,
+                                 DecodeBatchRequest(request));
+        return EncodeBatchReply(DispatchBatch(*server, batch));
+      });
+}
+
+}  // namespace concord::txn

@@ -1,0 +1,50 @@
+#ifndef CONCORD_TXN_REMOTE_SERVER_STUB_H_
+#define CONCORD_TXN_REMOTE_SERVER_STUB_H_
+
+#include "rpc/transactional_rpc.h"
+#include "txn/server_service.h"
+#include "txn/server_tm.h"
+
+namespace concord::txn {
+
+/// ServerService over the wire: every envelope is serialized with the
+/// common/serde codec and shipped through rpc::TransactionalRpc, so a
+/// server trip is a real, countable, lossy, retried message —
+/// RpcStats.calls counts envelopes, retries/duplicate_suppressed show
+/// the reliable-channel work under loss, and the at-most-once dedup
+/// table guarantees a retried checkin never executes twice (the reply,
+/// statuses included, is cached and re-sent).
+///
+/// One stub per workstation (the `from` node of every call); the
+/// server-side half is RegisterServerService below. This seam is where
+/// a second server node plugs in: point another stub at another
+/// endpoint's node id.
+class RemoteServerStub : public ServerService {
+ public:
+  RemoteServerStub(rpc::TransactionalRpc* rpc, NodeId client_node,
+                   NodeId server_node)
+      : rpc_(rpc), client_(client_node), server_(server_node) {}
+  RemoteServerStub(const RemoteServerStub&) = delete;
+  RemoteServerStub& operator=(const RemoteServerStub&) = delete;
+
+  NodeId server_node() const override { return server_; }
+
+  Result<BatchReply> Execute(const BatchRequest& batch) override;
+
+ private:
+  rpc::TransactionalRpc* rpc_;
+  NodeId client_;
+  NodeId server_;
+};
+
+/// Registers the server-side half of the protocol: a handler on the
+/// server-TM's node that decodes each BatchRequest, dispatches it
+/// against the server-TM and encodes the BatchReply. Application
+/// statuses travel INSIDE the (OK) reply payload, so the RPC layer
+/// caches every executed envelope for dedup — a retry after a lost
+/// reply re-sends the recorded outcome instead of re-executing.
+void RegisterServerService(ServerTm* server, rpc::TransactionalRpc* rpc);
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_REMOTE_SERVER_STUB_H_

@@ -1,0 +1,446 @@
+#include "txn/server_service.h"
+
+#include <utility>
+
+#include "common/serde.h"
+#include "storage/wal_codec.h"
+#include "txn/server_tm.h"
+
+namespace concord::txn {
+
+namespace {
+
+// Wire tags. Stable on-the-wire values matching the ServerRequest
+// variant order — append only, never reorder.
+constexpr uint8_t kTagBeginDop = 0;
+constexpr uint8_t kTagCheckout = 1;
+constexpr uint8_t kTagCheckin = 2;
+constexpr uint8_t kTagCommitDop = 3;
+constexpr uint8_t kTagAbortDop = 4;
+constexpr uint8_t kTagDaOfDop = 5;
+constexpr uint8_t kTagPrepare = 6;
+constexpr uint8_t kTagDecide = 7;
+
+// Reply body tags, matching the ServerReply::body variant order.
+constexpr uint8_t kBodyAck = 0;
+constexpr uint8_t kBodyCheckout = 1;
+constexpr uint8_t kBodyCheckin = 2;
+constexpr uint8_t kBodyDaOfDop = 3;
+constexpr uint8_t kBodyPrepare = 4;
+
+/// Upper bound on the per-envelope request count: a corrupt count must
+/// read as a malformed payload, not as an allocation request.
+constexpr uint32_t kMaxBatchOps = 1u << 20;
+
+void EncodeStatus(std::string* out, const Status& status) {
+  PutByte(out, static_cast<uint8_t>(status.code()));
+  PutLengthPrefixed(out, status.ok() ? std::string_view() : status.message());
+}
+
+bool DecodeStatus(ByteReader* in, Status* status) {
+  uint8_t code = 0;
+  std::string_view message;
+  if (!in->ReadByte(&code) ||
+      code > static_cast<uint8_t>(StatusCode::kInternal) ||
+      !in->ReadLengthPrefixed(&message)) {
+    return false;
+  }
+  *status = code == 0 ? Status::OK()
+                      : Status(static_cast<StatusCode>(code),
+                               std::string(message));
+  return true;
+}
+
+void EncodeDovIdList(std::string* out, const std::vector<DovId>& ids) {
+  PutFixed32(out, static_cast<uint32_t>(ids.size()));
+  for (DovId id : ids) PutFixed64(out, id.value());
+}
+
+bool DecodeDovIdList(ByteReader* in, std::vector<DovId>* ids) {
+  uint32_t count = 0;
+  if (!in->ReadFixed32(&count)) return false;
+  // Never reserve from a raw wire count: each id costs 8 bytes of
+  // input, so anything beyond remaining()/8 is provably malformed and
+  // must fail in the read loop, not as a giant allocation.
+  if (count > in->remaining() / sizeof(uint64_t)) return false;
+  ids->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t value = 0;
+    if (!in->ReadFixed64(&value)) return false;
+    ids->push_back(DovId(value));
+  }
+  return true;
+}
+
+void EncodeRequest(std::string* out, const ServerRequest& op) {
+  if (const auto* begin = std::get_if<BeginDopRequest>(&op)) {
+    PutByte(out, kTagBeginDop);
+    PutFixed64(out, begin->dop.value());
+    PutFixed64(out, begin->da.value());
+  } else if (const auto* checkout = std::get_if<CheckoutRequest>(&op)) {
+    PutByte(out, kTagCheckout);
+    PutFixed64(out, checkout->dop.value());
+    PutFixed64(out, checkout->dov.value());
+    PutByte(out, checkout->take_derivation_lock ? 1 : 0);
+  } else if (const auto* checkin = std::get_if<CheckinRequest>(&op)) {
+    PutByte(out, kTagCheckin);
+    PutFixed64(out, checkin->dop.value());
+    PutLengthPrefixed(out, storage::EncodeDesignObject(checkin->object));
+    EncodeDovIdList(out, checkin->predecessors);
+    PutFixed64(out, static_cast<uint64_t>(checkin->created_at));
+  } else if (const auto* commit = std::get_if<CommitDopRequest>(&op)) {
+    PutByte(out, kTagCommitDop);
+    PutFixed64(out, commit->dop.value());
+  } else if (const auto* abort = std::get_if<AbortDopRequest>(&op)) {
+    PutByte(out, kTagAbortDop);
+    PutFixed64(out, abort->dop.value());
+  } else if (const auto* da_of = std::get_if<DaOfDopRequest>(&op)) {
+    PutByte(out, kTagDaOfDop);
+    PutFixed64(out, da_of->dop.value());
+  } else if (const auto* prepare = std::get_if<PrepareRequest>(&op)) {
+    PutByte(out, kTagPrepare);
+    PutFixed64(out, prepare->txn.value());
+  } else if (const auto* decide = std::get_if<DecideRequest>(&op)) {
+    PutByte(out, kTagDecide);
+    PutFixed64(out, decide->txn.value());
+    PutByte(out, decide->commit ? 1 : 0);
+  }
+}
+
+bool DecodeRequest(ByteReader* in, ServerRequest* op) {
+  uint8_t tag = 0;
+  if (!in->ReadByte(&tag)) return false;
+  switch (tag) {
+    case kTagBeginDop: {
+      uint64_t dop = 0;
+      uint64_t da = 0;
+      if (!in->ReadFixed64(&dop) || !in->ReadFixed64(&da)) return false;
+      *op = BeginDopRequest{DopId(dop), DaId(da)};
+      return true;
+    }
+    case kTagCheckout: {
+      uint64_t dop = 0;
+      uint64_t dov = 0;
+      uint8_t lock = 0;
+      if (!in->ReadFixed64(&dop) || !in->ReadFixed64(&dov) ||
+          !in->ReadByte(&lock)) {
+        return false;
+      }
+      *op = CheckoutRequest{DopId(dop), DovId(dov), lock != 0};
+      return true;
+    }
+    case kTagCheckin: {
+      CheckinRequest checkin;
+      uint64_t dop = 0;
+      std::string_view object_bytes;
+      uint64_t created_at = 0;
+      if (!in->ReadFixed64(&dop) || !in->ReadLengthPrefixed(&object_bytes)) {
+        return false;
+      }
+      auto object = storage::DecodeDesignObject(object_bytes);
+      if (!object.ok()) return false;
+      checkin.dop = DopId(dop);
+      checkin.object = std::move(*object);
+      if (!DecodeDovIdList(in, &checkin.predecessors) ||
+          !in->ReadFixed64(&created_at)) {
+        return false;
+      }
+      checkin.created_at = static_cast<SimTime>(created_at);
+      *op = std::move(checkin);
+      return true;
+    }
+    case kTagCommitDop: {
+      uint64_t dop = 0;
+      if (!in->ReadFixed64(&dop)) return false;
+      *op = CommitDopRequest{DopId(dop)};
+      return true;
+    }
+    case kTagAbortDop: {
+      uint64_t dop = 0;
+      if (!in->ReadFixed64(&dop)) return false;
+      *op = AbortDopRequest{DopId(dop)};
+      return true;
+    }
+    case kTagDaOfDop: {
+      uint64_t dop = 0;
+      if (!in->ReadFixed64(&dop)) return false;
+      *op = DaOfDopRequest{DopId(dop)};
+      return true;
+    }
+    case kTagPrepare: {
+      uint64_t txn = 0;
+      if (!in->ReadFixed64(&txn)) return false;
+      *op = PrepareRequest{TxnId(txn)};
+      return true;
+    }
+    case kTagDecide: {
+      uint64_t txn = 0;
+      uint8_t commit = 0;
+      if (!in->ReadFixed64(&txn) || !in->ReadByte(&commit)) return false;
+      *op = DecideRequest{TxnId(txn), commit != 0};
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void EncodeReply(std::string* out, const ServerReply& reply) {
+  EncodeStatus(out, reply.status);
+  if (const auto* checkout = std::get_if<CheckoutReply>(&reply.body)) {
+    PutByte(out, kBodyCheckout);
+    PutLengthPrefixed(out, storage::EncodeDovRecord(checkout->record));
+  } else if (const auto* checkin = std::get_if<CheckinReply>(&reply.body)) {
+    PutByte(out, kBodyCheckin);
+    PutFixed64(out, checkin->dov.value());
+  } else if (const auto* da_of = std::get_if<DaOfDopReply>(&reply.body)) {
+    PutByte(out, kBodyDaOfDop);
+    PutFixed64(out, da_of->da.value());
+  } else if (const auto* prepare = std::get_if<PrepareReply>(&reply.body)) {
+    PutByte(out, kBodyPrepare);
+    PutByte(out, prepare->vote ? 1 : 0);
+  } else {
+    PutByte(out, kBodyAck);
+  }
+}
+
+bool DecodeReply(ByteReader* in, ServerReply* reply) {
+  uint8_t tag = 0;
+  if (!DecodeStatus(in, &reply->status) || !in->ReadByte(&tag)) return false;
+  switch (tag) {
+    case kBodyAck:
+      reply->body = AckReply{};
+      return true;
+    case kBodyCheckout: {
+      std::string_view record_bytes;
+      if (!in->ReadLengthPrefixed(&record_bytes)) return false;
+      auto record = storage::DecodeDovRecord(record_bytes);
+      if (!record.ok()) return false;
+      reply->body = CheckoutReply{std::move(*record)};
+      return true;
+    }
+    case kBodyCheckin: {
+      uint64_t dov = 0;
+      if (!in->ReadFixed64(&dov)) return false;
+      reply->body = CheckinReply{DovId(dov)};
+      return true;
+    }
+    case kBodyDaOfDop: {
+      uint64_t da = 0;
+      if (!in->ReadFixed64(&da)) return false;
+      reply->body = DaOfDopReply{DaId(da)};
+      return true;
+    }
+    case kBodyPrepare: {
+      uint8_t vote = 0;
+      if (!in->ReadByte(&vote)) return false;
+      reply->body = PrepareReply{vote != 0};
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// --- Typed wrappers -------------------------------------------------------
+
+Result<ServerReply> ServerService::ExecuteOne(ServerRequest op) {
+  BatchRequest batch;
+  batch.ops.push_back(std::move(op));
+  CONCORD_ASSIGN_OR_RETURN(BatchReply reply, Execute(batch));
+  if (reply.ops.size() != 1) {
+    return Status::Internal("server-service reply arity mismatch");
+  }
+  return std::move(reply.ops.front());
+}
+
+Status ServerService::BeginDop(DopId dop, DaId da) {
+  CONCORD_ASSIGN_OR_RETURN(ServerReply reply,
+                           ExecuteOne(BeginDopRequest{dop, da}));
+  return reply.status;
+}
+
+Result<storage::DovRecord> ServerService::Checkout(DopId dop, DovId dov,
+                                                   bool take_derivation_lock) {
+  CONCORD_ASSIGN_OR_RETURN(
+      ServerReply reply,
+      ExecuteOne(CheckoutRequest{dop, dov, take_derivation_lock}));
+  CONCORD_RETURN_NOT_OK(reply.status);
+  auto* body = std::get_if<CheckoutReply>(&reply.body);
+  if (body == nullptr) {
+    return Status::Internal("checkout reply carries no DOV record");
+  }
+  return std::move(body->record);
+}
+
+Result<DovId> ServerService::Checkin(DopId dop, storage::DesignObject object,
+                                     std::vector<DovId> predecessors,
+                                     SimTime created_at) {
+  CheckinRequest request;
+  request.dop = dop;
+  request.object = std::move(object);
+  request.predecessors = std::move(predecessors);
+  request.created_at = created_at;
+  CONCORD_ASSIGN_OR_RETURN(ServerReply reply, ExecuteOne(std::move(request)));
+  CONCORD_RETURN_NOT_OK(reply.status);
+  auto* body = std::get_if<CheckinReply>(&reply.body);
+  if (body == nullptr) {
+    return Status::Internal("checkin reply carries no DOV id");
+  }
+  return body->dov;
+}
+
+Status ServerService::CommitDop(DopId dop) {
+  CONCORD_ASSIGN_OR_RETURN(ServerReply reply,
+                           ExecuteOne(CommitDopRequest{dop}));
+  return reply.status;
+}
+
+Status ServerService::AbortDop(DopId dop) {
+  CONCORD_ASSIGN_OR_RETURN(ServerReply reply, ExecuteOne(AbortDopRequest{dop}));
+  return reply.status;
+}
+
+Result<DaId> ServerService::DaOfDop(DopId dop) {
+  CONCORD_ASSIGN_OR_RETURN(ServerReply reply, ExecuteOne(DaOfDopRequest{dop}));
+  CONCORD_RETURN_NOT_OK(reply.status);
+  auto* body = std::get_if<DaOfDopReply>(&reply.body);
+  if (body == nullptr) {
+    return Status::Internal("DA-of-DOP reply carries no DA id");
+  }
+  return body->da;
+}
+
+Result<bool> ServerService::Prepare(TxnId txn) {
+  CONCORD_ASSIGN_OR_RETURN(ServerReply reply, ExecuteOne(PrepareRequest{txn}));
+  CONCORD_RETURN_NOT_OK(reply.status);
+  auto* body = std::get_if<PrepareReply>(&reply.body);
+  if (body == nullptr) {
+    return Status::Internal("prepare reply carries no vote");
+  }
+  return body->vote;
+}
+
+// --- Server-side dispatch -------------------------------------------------
+
+BatchReply DispatchBatch(ServerTm& server, const BatchRequest& batch) {
+  BatchReply out;
+  out.ops.reserve(batch.ops.size());
+  bool failed = false;
+  for (const ServerRequest& op : batch.ops) {
+    ServerReply reply;
+    if (std::holds_alternative<PrepareRequest>(op)) {
+      // Reachability IS the vote: the server-TM holds no prepared
+      // state (every repository write inside the envelope is its own
+      // ACID unit), so an envelope that arrived can always commit.
+      reply.body = PrepareReply{true};
+    } else if (std::holds_alternative<DecideRequest>(op)) {
+      reply.body = AckReply{};
+    } else if (failed && !batch.independent) {
+      reply.status = Status::Aborted(
+          "skipped: an earlier request in the batch failed");
+    } else if (const auto* begin = std::get_if<BeginDopRequest>(&op)) {
+      reply.status = server.BeginDop(begin->dop, begin->da);
+    } else if (const auto* checkout = std::get_if<CheckoutRequest>(&op)) {
+      auto record = server.Checkout(checkout->dop, checkout->dov,
+                                    checkout->take_derivation_lock);
+      if (record.ok()) {
+        reply.body = CheckoutReply{std::move(*record)};
+      } else {
+        reply.status = record.status();
+      }
+    } else if (const auto* checkin = std::get_if<CheckinRequest>(&op)) {
+      auto dov = server.Checkin(checkin->dop, checkin->object,
+                                checkin->predecessors, checkin->created_at);
+      if (dov.ok()) {
+        reply.body = CheckinReply{*dov};
+      } else {
+        reply.status = dov.status();
+      }
+    } else if (const auto* commit = std::get_if<CommitDopRequest>(&op)) {
+      reply.status = server.CommitDop(commit->dop);
+    } else if (const auto* abort = std::get_if<AbortDopRequest>(&op)) {
+      reply.status = server.AbortDop(abort->dop);
+    } else if (const auto* da_of = std::get_if<DaOfDopRequest>(&op)) {
+      auto da = server.DaOfDop(da_of->dop);
+      if (da.ok()) {
+        reply.body = DaOfDopReply{*da};
+      } else {
+        reply.status = da.status();
+      }
+    }
+    if (!reply.status.ok()) failed = true;
+    out.ops.push_back(std::move(reply));
+  }
+  return out;
+}
+
+// --- Wire codec -----------------------------------------------------------
+
+std::string EncodeBatchRequest(const BatchRequest& batch) {
+  std::string out;
+  PutByte(&out, batch.independent ? 1 : 0);
+  PutFixed32(&out, static_cast<uint32_t>(batch.ops.size()));
+  for (const ServerRequest& op : batch.ops) EncodeRequest(&out, op);
+  return out;
+}
+
+Result<BatchRequest> DecodeBatchRequest(std::string_view payload) {
+  ByteReader in(payload);
+  uint8_t independent = 0;
+  uint32_t count = 0;
+  // Every encoded request costs at least a tag byte, so a count beyond
+  // the remaining bytes is provably corrupt — reject before reserving.
+  if (!in.ReadByte(&independent) || !in.ReadFixed32(&count) ||
+      count > kMaxBatchOps || count > in.remaining()) {
+    return Status::InvalidArgument("malformed batch-request header");
+  }
+  BatchRequest batch;
+  batch.independent = independent != 0;
+  batch.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ServerRequest op;
+    if (!DecodeRequest(&in, &op)) {
+      return Status::InvalidArgument("malformed batch-request payload");
+    }
+    batch.ops.push_back(std::move(op));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("batch request has trailing bytes");
+  }
+  return batch;
+}
+
+std::string EncodeBatchReply(const BatchReply& reply) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(reply.ops.size()));
+  for (const ServerReply& op : reply.ops) EncodeReply(&out, op);
+  return out;
+}
+
+Result<BatchReply> DecodeBatchReply(std::string_view payload) {
+  ByteReader in(payload);
+  uint32_t count = 0;
+  // A reply costs at least the status byte + message length prefix.
+  if (!in.ReadFixed32(&count) || count > kMaxBatchOps ||
+      count > in.remaining()) {
+    return Status::InvalidArgument("malformed batch-reply header");
+  }
+  BatchReply reply;
+  reply.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ServerReply op;
+    if (!DecodeReply(&in, &op)) {
+      return Status::InvalidArgument("malformed batch-reply payload");
+    }
+    reply.ops.push_back(std::move(op));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("batch reply has trailing bytes");
+  }
+  return reply;
+}
+
+}  // namespace concord::txn

@@ -14,9 +14,11 @@
 #include "cooperation/cooperation_manager.h"
 #include "rpc/invalidation.h"
 #include "rpc/network.h"
+#include "rpc/transactional_rpc.h"
 #include "storage/repository.h"
 #include "txn/client_tm.h"
 #include "txn/dov_cache.h"
+#include "txn/remote_server_stub.h"
 #include "txn/server_tm.h"
 
 namespace concord::txn {
@@ -89,7 +91,8 @@ TEST(DovCacheTest, ClearDropsEntriesAndTombstones) {
 // --- Full-stack fixture ---------------------------------------------------
 
 /// Manual assembly of the server stack (repository + server-TM + CM +
-/// invalidation bus) with two workstations, mirroring ConcordSystem's
+/// invalidation bus + ServerService RPC endpoint) with two
+/// workstations behind RemoteServerStubs, mirroring ConcordSystem's
 /// wiring but with direct access to every component.
 class CacheCoherenceTest : public ::testing::Test {
  protected:
@@ -131,9 +134,12 @@ class CacheCoherenceTest : public ::testing::Test {
           message.replacement = replacement;
           bus_->Publish(message);
         });
-    client1_ = std::make_unique<ClientTm>(server_.get(), &network_, ws1_,
+    RegisterServerService(server_.get(), &rpc_);
+    stub1_ = std::make_unique<RemoteServerStub>(&rpc_, ws1_, server_node_);
+    stub2_ = std::make_unique<RemoteServerStub>(&rpc_, ws2_, server_node_);
+    client1_ = std::make_unique<ClientTm>(stub1_.get(), &network_, ws1_,
                                           &clock_, bus_.get());
-    client2_ = std::make_unique<ClientTm>(server_.get(), &network_, ws2_,
+    client2_ = std::make_unique<ClientTm>(stub2_.get(), &network_, ws2_,
                                           &clock_, bus_.get());
 
     DesignSpecification supporter_spec;
@@ -189,6 +195,7 @@ class CacheCoherenceTest : public ::testing::Test {
 
   SimClock clock_;
   rpc::Network network_;
+  rpc::TransactionalRpc rpc_{&network_};
   storage::Repository repo_;
   ForwardingScope scope_;
   NodeId server_node_, ws1_, ws2_;
@@ -196,6 +203,8 @@ class CacheCoherenceTest : public ::testing::Test {
   std::unique_ptr<rpc::InvalidationBus> bus_;
   std::unique_ptr<ServerTm> server_;
   std::unique_ptr<cooperation::CooperationManager> cm_;
+  std::unique_ptr<RemoteServerStub> stub1_;
+  std::unique_ptr<RemoteServerStub> stub2_;
   std::unique_ptr<ClientTm> client1_;
   std::unique_ptr<ClientTm> client2_;
   DaId top_, supporter_, requirer_;
@@ -303,14 +312,42 @@ TEST_F(CacheCoherenceTest, DerivationLockPushInvalidatesRemoteCaches) {
   EXPECT_TRUE(client2_->Checkout(*dop_r2, dov).ok());
 }
 
-TEST_F(CacheCoherenceTest, CacheDroppedOnWorkstationCrash) {
+TEST_F(CacheCoherenceTest, CacheDroppedOnCrashAndRewarmedByRecoveryBatch) {
   DovId dov = MintDov(supporter_, 50);
   auto dop = client1_->BeginDop(supporter_);
   ASSERT_TRUE(client1_->Checkout(*dop, dov).ok());
   ASSERT_TRUE(client1_->cache().Contains(dov));
 
   client1_->Crash();
+  // The cache is volatile workstation memory: the crash empties it.
   EXPECT_EQ(client1_->cache().size(), 0u);
+  uint64_t server_checkouts = server_->stats().checkouts;
+  uint64_t rpc_calls = rpc_.stats().calls;
+  ASSERT_TRUE(client1_->Recover().ok());
+  // Recovery revalidated the recovery point's input with one batched
+  // round trip: one RPC envelope, one authoritative server checkout,
+  // and the entry is warm again — the proof is the server's, not the
+  // stale pre-crash one.
+  EXPECT_TRUE(client1_->Input(*dop, dov).ok());
+  EXPECT_TRUE(client1_->cache().Contains(dov));
+  EXPECT_EQ(server_->stats().checkouts, server_checkouts + 1);
+  EXPECT_EQ(rpc_.stats().calls, rpc_calls + 1);
+  EXPECT_EQ(client1_->stats().recovery_warmup_checkouts, 1u);
+  // A new DOP's re-read of the same input is now a pure cache hit.
+  auto dop2 = client1_->BeginDop(supporter_);
+  server_checkouts = server_->stats().checkouts;
+  ASSERT_TRUE(client1_->Checkout(*dop2, dov).ok());
+  EXPECT_EQ(server_->stats().checkouts, server_checkouts);
+  EXPECT_GT(client1_->stats().checkouts_from_cache, 0u);
+}
+
+TEST_F(CacheCoherenceTest, RecoveryRestartsColdWithWarmupDisabled) {
+  DovId dov = MintDov(supporter_, 50);
+  client1_->set_warm_cache_on_recovery(false);
+  auto dop = client1_->BeginDop(supporter_);
+  ASSERT_TRUE(client1_->Checkout(*dop, dov).ok());
+
+  client1_->Crash();
   ASSERT_TRUE(client1_->Recover().ok());
   // The recovered context still holds the input (recovery point), but
   // the cache restarts cold: a new DOP's checkout pays the server trip.
@@ -473,6 +510,57 @@ TEST_F(CacheCoherenceTest, CheckoutRacingWithdrawalStaysCoherent) {
   EXPECT_TRUE(client2_->Checkout(*dop, dov).IsPermissionDenied());
 }
 
+TEST_F(CacheCoherenceTest, ConcurrentCmMutationStaysCoherent) {
+  // CM mutators used to be single-threaded-writer; the DA table is now
+  // mutex-guarded, so cooperation ops may run from designer threads.
+  // Several threads each build their own sub-DA world (hierarchy ops),
+  // mint versions and flap propagation toward a shared requirer, while
+  // a reader thread hammers the scope/introspection surface the
+  // server-TM uses concurrently.
+  constexpr int kMutators = 4;
+  constexpr int kRounds = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (DaId da : cm_->AllDas()) {
+        cm_->InScope(da, DovId(1));
+        cm_->StateOf(da).ok();
+        cm_->Children(da);
+        cm_->Depth(da);
+      }
+    }
+  });
+
+  std::vector<std::thread> mutators;
+  for (int i = 0; i < kMutators; ++i) {
+    mutators.emplace_back([&, i] {
+      NodeId ws = network_.AddNode("cm_ws" + std::to_string(i));
+      DaId supporter = SubDa(top_, module_, ws);
+      DaId requirer = SubDa(top_, module_, ws);
+      if (!cm_->Require(requirer, supporter, {}).ok()) ++failures;
+      for (int round = 0; round < kRounds; ++round) {
+        DovId dov = MintDov(supporter, 10.0 + i);
+        if (!cm_->Propagate(supporter, dov).ok()) ++failures;
+        if (!cm_->WithdrawPropagation(supporter, dov).ok()) ++failures;
+        if (!cm_->Evaluate(supporter, dov).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : mutators) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cm_->stats().propagations,
+            static_cast<uint64_t>(kMutators * kRounds));
+  EXPECT_EQ(cm_->stats().withdrawals,
+            static_cast<uint64_t>(kMutators * kRounds));
+  // 2 sub-DAs per mutator plus the fixture's three.
+  EXPECT_EQ(cm_->AllDas().size(), static_cast<size_t>(2 * kMutators + 3));
+}
+
 TEST_F(CacheCoherenceTest, ConcurrentMultiDesignerServerTm) {
   // One DA + workstation + client-TM per designer thread, all hammering
   // the one server-TM: registration table, derivation-lock lists and
@@ -481,14 +569,18 @@ TEST_F(CacheCoherenceTest, ConcurrentMultiDesignerServerTm) {
   constexpr int kIterations = 50;
   std::vector<DaId> das;
   std::vector<DovId> dovs;
+  std::vector<std::unique_ptr<RemoteServerStub>> stubs;  // outlive clients
   std::vector<std::unique_ptr<ClientTm>> clients;
   for (int i = 0; i < kDesigners; ++i) {
     NodeId ws = network_.AddNode("ws_t" + std::to_string(i));
     DaId da = SubDa(top_, module_, ws);
     das.push_back(da);
     dovs.push_back(MintDov(da, 10.0 + i));
-    clients.push_back(std::make_unique<ClientTm>(server_.get(), &network_,
-                                                 ws, &clock_, bus_.get()));
+    stubs.push_back(
+        std::make_unique<RemoteServerStub>(&rpc_, ws, server_node_));
+    clients.push_back(std::make_unique<ClientTm>(stubs.back().get(),
+                                                 &network_, ws, &clock_,
+                                                 bus_.get()));
   }
 
   std::atomic<int> failures{0};

@@ -8,6 +8,7 @@
 #include "rpc/network.h"
 #include "storage/repository.h"
 #include "txn/client_tm.h"
+#include "txn/local_server_service.h"
 #include "txn/lock_manager.h"
 #include "txn/server_tm.h"
 
@@ -26,7 +27,9 @@ class HandoverTest : public ::testing::Test {
     dot_ = type->id();
     server_ = std::make_unique<txn::ServerTm>(&repo_, &network_,
                                               server_node_, &scope_);
-    client_ = std::make_unique<txn::ClientTm>(server_.get(), &network_, ws_,
+    service_ = std::make_unique<txn::LocalServerService>(server_.get(),
+                                                         &network_, ws_);
+    client_ = std::make_unique<txn::ClientTm>(service_.get(), &network_, ws_,
                                               &clock_);
   }
 
@@ -44,6 +47,7 @@ class HandoverTest : public ::testing::Test {
   NodeId ws_;
   DotId dot_;
   std::unique_ptr<txn::ServerTm> server_;
+  std::unique_ptr<txn::LocalServerService> service_;
   std::unique_ptr<txn::ClientTm> client_;
 };
 

@@ -30,8 +30,17 @@ TEST(SystemTest, FullDesignPlaneTraversalReachesFinalDov) {
   // TE-level accounting: 5 committed DOPs.
   EXPECT_EQ(system.server_tm().stats().dops_committed, 5u);
   EXPECT_EQ(system.server_tm().stats().checkins, 5u);
-  // Each DOP after the first checked out its predecessor.
-  EXPECT_EQ(system.server_tm().stats().checkouts, 4u);
+  // Each DOP after the first checked out its predecessor — and every
+  // one of those reads its own workstation's previous checkin, which
+  // cache-aware checkin made a local hit: zero server checkouts.
+  EXPECT_EQ(system.server_tm().stats().checkouts, 0u);
+  NodeId ws = (*system.cm().GetDa(*da))->workstation;
+  EXPECT_EQ(system.client_tm(ws).stats().checkouts_from_cache, 4u);
+  EXPECT_EQ(system.client_tm(ws).stats().checkin_cache_inserts, 5u);
+  // All TM traffic rode the RPC envelope: 5 DOPs x (begin +
+  // batched checkin/commit) = 10 server round trips.
+  EXPECT_EQ(system.rpc().stats().calls, 10u);
+  EXPECT_EQ(system.client_tm(ws).stats().batched_checkin_commits, 5u);
   // Simulated time advanced (tools cost work).
   EXPECT_GT(system.clock().Now(), 0);
 }

@@ -3,6 +3,7 @@
 #include "rpc/network.h"
 #include "storage/repository.h"
 #include "txn/client_tm.h"
+#include "txn/local_server_service.h"
 #include "txn/lock_manager.h"
 #include "txn/server_tm.h"
 
@@ -99,7 +100,9 @@ class TmTest : public ::testing::Test {
     DesignObjectTypeSetup();
     server_ = std::make_unique<ServerTm>(&repo_, &network_, server_node_,
                                          &scope_);
-    client_ = std::make_unique<ClientTm>(server_.get(), &network_, ws_,
+    service_ = std::make_unique<LocalServerService>(server_.get(), &network_,
+                                                    ws_);
+    client_ = std::make_unique<ClientTm>(service_.get(), &network_, ws_,
                                          &clock_);
   }
 
@@ -137,6 +140,7 @@ class TmTest : public ::testing::Test {
   NodeId ws_;
   DotId dot_;
   std::unique_ptr<ServerTm> server_;
+  std::unique_ptr<LocalServerService> service_;
   std::unique_ptr<ClientTm> client_;
 };
 
@@ -335,7 +339,8 @@ TEST_F(TmTest, ScopeAuthorityDenialBlocksCheckout) {
   };
   DenyAll deny;
   ServerTm strict(&repo_, &network_, server_node_, &deny);
-  ClientTm client(&strict, &network_, ws_, &clock_);
+  LocalServerService strict_service(&strict, &network_, ws_);
+  ClientTm client(&strict_service, &network_, ws_, &clock_);
   DovId dov = Seed(DaId(1), 5);
   auto dop = client.BeginDop(DaId(1));
   EXPECT_TRUE(client.Checkout(*dop, dov).IsPermissionDenied());
