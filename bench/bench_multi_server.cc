@@ -1,0 +1,185 @@
+// Sharded server-plane benchmarks. Three questions, three scenarios:
+//
+//  1. BM_MultiServer_DesignPlane — does a multi-designer workload
+//     actually spread across N server nodes? Runs the full
+//     MultiDesignerSimulation with a 1/2/4-node plane and reports the
+//     per-node round-trip split plus the cross-shard 2PC count.
+//  2. BM_CheckinCommit_SingleShard / _CrossShard — what does a
+//     cross-shard End-of-DOP cost? The single-shard pair rides one
+//     degenerate envelope (1 round trip); spanning two shards pays the
+//     true multi-participant protocol (phase-1 envelope per node +
+//     Decide fan-out).
+//  3. BM_MultiServer_LossyCrossShard — the cross-shard protocol under
+//     30% message loss: the transport retries, the ledger keeps the
+//     outcome atomic, and the retry counters show the price.
+//
+// CI smoke-runs BM_MultiServer_DesignPlane/2 so the multi-node wiring
+// (and its counters) cannot bit-rot.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_tm_env.h"
+#include "sim/simulator.h"
+
+namespace concord {
+namespace {
+
+using bench::TmEnv;
+
+/// One full multi-designer simulation per iteration against an N-node
+/// server plane; the interesting output is the counter set.
+void BM_MultiServer_DesignPlane(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  std::vector<uint64_t> per_node;
+  uint64_t cross_shard = 0, completed = 0, round_trips = 0;
+  for (auto _ : state) {
+    sim::SimulationOptions options;
+    options.designs = 4;
+    options.complexity = 4;
+    options.server_nodes = nodes;
+    sim::MultiDesignerSimulation simulation(options);
+    auto report = simulation.Run();
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      break;
+    }
+    per_node = report->per_node_round_trips;
+    cross_shard = report->cross_shard_interactions;
+    completed = static_cast<uint64_t>(report->designs_completed);
+    round_trips = report->rpc_calls;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["designs_completed"] = static_cast<double>(completed);
+  state.counters["round_trips"] = static_cast<double>(round_trips);
+  state.counters["cross_shard_2pc"] = static_cast<double>(cross_shard);
+  for (size_t i = 0; i < per_node.size(); ++i) {
+    state.counters["node" + std::to_string(i) + "_trips"] =
+        static_cast<double>(per_node[i]);
+  }
+}
+BENCHMARK(BM_MultiServer_DesignPlane)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Baseline: checkout + checkin+commit with every op on one shard —
+/// the degenerate envelopes (1 round trip each).
+void BM_CheckinCommit_SingleShard(benchmark::State& state) {
+  TmEnv env(1, 2);
+  txn::ClientTm& tm = *env.clients[0];
+  DaId da(1);  // placed on shard 0 by Seed(); warm_dov[0] lives there too
+  uint64_t before = env.rpc.stats().calls;
+  uint64_t iterations = 0;
+  for (auto _ : state) {
+    // Force a server checkout every round (a cached hit would skip the
+    // input shard entirely and break comparability with _CrossShard).
+    tm.cache().Invalidate(env.warm_dov[0]);
+    auto dop = tm.BeginDop(da);
+    if (!dop.ok() || !tm.Checkout(*dop, env.warm_dov[0]).ok()) {
+      state.SkipWithError("setup failed");
+      break;
+    }
+    storage::DesignObject next(env.dot);
+    next.SetAttr("value", static_cast<int64_t>(iterations++));
+    if (!tm.CheckinCommit(*dop, std::move(next), {env.warm_dov[0]}).ok()) {
+      state.SkipWithError("checkin+commit failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["round_trips_per_txn"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(env.rpc.stats().calls - before) /
+                static_cast<double>(state.iterations());
+  state.counters["cross_shard_2pc"] =
+      static_cast<double>(tm.two_pc_stats().multi_node_protocols);
+}
+BENCHMARK(BM_CheckinCommit_SingleShard);
+
+/// The DOP's input lives on shard 0 but its DA is homed on shard 1:
+/// the checkout enlists shard 0, and every checkin+commit then spans
+/// both shards — phase-1 envelopes to each participant plus the Decide
+/// fan-out, all visible in round_trips_per_txn.
+void BM_CheckinCommit_CrossShard(benchmark::State& state) {
+  TmEnv env(1, 2);
+  txn::ClientTm& tm = *env.clients[0];
+  DaId da(77);
+  env.placement.Assign(da, env.shards[1].node).ok();
+  uint64_t before = env.rpc.stats().calls;
+  uint64_t iterations = 0;
+  for (auto _ : state) {
+    // Every round must re-enlist shard 0 (the input's home) so the
+    // End-of-DOP genuinely spans both shards.
+    tm.cache().Invalidate(env.warm_dov[0]);
+    auto dop = tm.BeginDop(da);
+    if (!dop.ok() || !tm.Checkout(*dop, env.warm_dov[0]).ok()) {
+      state.SkipWithError("setup failed");
+      break;
+    }
+    storage::DesignObject next(env.dot);
+    next.SetAttr("value", static_cast<int64_t>(iterations++));
+    if (!tm.CheckinCommit(*dop, std::move(next), {env.warm_dov[0]}).ok()) {
+      state.SkipWithError("cross-shard checkin+commit failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["round_trips_per_txn"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(env.rpc.stats().calls - before) /
+                static_cast<double>(state.iterations());
+  state.counters["cross_shard_2pc"] =
+      static_cast<double>(tm.two_pc_stats().multi_node_protocols);
+  state.counters["participant_envelopes"] =
+      static_cast<double>(tm.two_pc_stats().participant_envelopes);
+}
+BENCHMARK(BM_CheckinCommit_CrossShard);
+
+/// Cross-shard commit under heavy loss: the transactional RPC retries
+/// each envelope, the ledger keeps both shards atomic, and the retry
+/// counter shows what the reliability costs.
+void BM_MultiServer_LossyCrossShard(benchmark::State& state) {
+  TmEnv env(1, 2);
+  env.network.set_loss_probability(0.30);
+  txn::ClientTm& tm = *env.clients[0];
+  DaId da(77);
+  env.placement.Assign(da, env.shards[1].node).ok();
+  uint64_t committed = 0, failed = 0, iterations = 0;
+  for (auto _ : state) {
+    tm.cache().Invalidate(env.warm_dov[0]);
+    auto dop = tm.BeginDop(da);
+    if (!dop.ok()) {
+      ++failed;
+      continue;
+    }
+    if (!tm.Checkout(*dop, env.warm_dov[0]).ok()) {
+      tm.AbortDop(*dop).ok();
+      ++failed;
+      continue;
+    }
+    storage::DesignObject next(env.dot);
+    next.SetAttr("value", static_cast<int64_t>(iterations++));
+    if (tm.CheckinCommit(*dop, std::move(next), {env.warm_dov[0]}).ok()) {
+      ++committed;
+    } else {
+      tm.AbortDop(*dop).ok();
+      ++failed;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["committed"] = static_cast<double>(committed);
+  state.counters["failed"] = static_cast<double>(failed);
+  state.counters["rpc_retries"] = static_cast<double>(env.rpc.stats().retries);
+  state.counters["dup_suppressed"] =
+      static_cast<double>(env.rpc.stats().duplicate_suppressed);
+}
+BENCHMARK(BM_MultiServer_LossyCrossShard);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -11,66 +12,114 @@
 #include "rpc/transactional_rpc.h"
 #include "storage/repository.h"
 #include "txn/client_tm.h"
+#include "txn/placement.h"
 #include "txn/remote_server_stub.h"
 #include "txn/scope_authority.h"
 #include "txn/server_tm.h"
+#include "txn/shard_router.h"
 
 namespace concord::bench {
 
-/// Shared benchmark fixture for the full TM stack: repository +
-/// server-TM + invalidation bus + ServerService RPC endpoint on the
-/// server node, and one workstation/client-TM per benchmark thread
-/// (each behind its own RemoteServerStub, so every server trip is a
-/// countable TransactionalRpc call), each with a seeded warm DOV owned
-/// by DA(t+1). Used by bench_cache and the client-TM scenarios in
-/// bench_concurrent_checkout — one place to update when the stack's
-/// wiring changes.
+/// Shared benchmark fixture for the full TM stack: a server plane of
+/// one or more nodes — each with its own repository shard (DOV ids
+/// namespaced per shard), server-TM and ServerService RPC endpoint —
+/// an invalidation bus, the placement authority on the coordinator,
+/// and one workstation/client-TM per benchmark thread (each routing
+/// through per-node RemoteServerStubs, so every server trip is a
+/// countable TransactionalRpc call on the link it takes), each with a
+/// seeded warm DOV owned by DA(t+1) on shard 0. Used by bench_cache,
+/// the client-TM scenarios in bench_concurrent_checkout, and the
+/// multi-server plane scenarios in bench_multi_server — one place to
+/// update when the stack's wiring changes.
 struct TmEnv {
+  struct Shard {
+    NodeId node;
+    std::unique_ptr<storage::Repository> repo;
+    std::unique_ptr<txn::ServerTm> tm;
+  };
+
   SimClock clock;
   rpc::Network network{&clock, 42};
   rpc::TransactionalRpc rpc{&network};
-  storage::Repository repo{&clock};
   txn::PermissiveScopeAuthority scope;
-  NodeId server_node;
+  txn::PlacementMap placement;
+  std::vector<Shard> shards;
   std::unique_ptr<rpc::InvalidationBus> bus;
-  std::unique_ptr<txn::ServerTm> server;
   std::vector<std::unique_ptr<txn::RemoteServerStub>> stubs;
+  std::vector<std::unique_ptr<txn::PlacementClient>> placement_clients;
   std::vector<std::unique_ptr<txn::ClientTm>> clients;  // one per thread
   DotId dot;
-  std::vector<DovId> warm_dov;  // per-thread seeded input
+  std::vector<DovId> warm_dov;  // per-thread seeded input on shard 0
 
-  explicit TmEnv(int threads) {
-    storage::DesignObjectType* type = repo.schema().DefineType("cell");
-    type->AddAttr({"value", storage::AttrType::kInt, true, 0.0, 1e9});
-    dot = type->id();
-    server_node = network.AddNode("server");
+  // Single-server (shard 0) aliases kept for the existing benches.
+  NodeId server_node;
+  txn::ServerTm* server = nullptr;  // == shards[0].tm
+  storage::Repository& repo() { return *shards[0].repo; }
+  txn::ServerTm& server_at(size_t shard) { return *shards[shard].tm; }
+
+  explicit TmEnv(int threads, int server_nodes = 1) {
+    for (int s = 0; s < server_nodes; ++s) {
+      Shard shard;
+      shard.node =
+          network.AddNode(s == 0 ? "server" : "server" + std::to_string(s));
+      shard.repo = std::make_unique<storage::Repository>(&clock);
+      shard.repo->set_dov_id_shard(static_cast<uint32_t>(s));
+      storage::DesignObjectType* type = shard.repo->schema().DefineType("cell");
+      type->AddAttr({"value", storage::AttrType::kInt, true, 0.0, 1e9});
+      if (s == 0) dot = type->id();
+      shards.push_back(std::move(shard));
+      placement.RegisterNode(shards.back().node);
+    }
+    server_node = shards.front().node;
     bus = std::make_unique<rpc::InvalidationBus>(&network, server_node);
-    server = std::make_unique<txn::ServerTm>(&repo, &network, server_node,
-                                             &scope, bus.get());
-    txn::RegisterServerService(server.get(), &rpc);
+    for (Shard& shard : shards) {
+      shard.tm = std::make_unique<txn::ServerTm>(shard.repo.get(), &network,
+                                                 shard.node, &scope, bus.get());
+      if (server_nodes > 1) shard.tm->JoinPlane(&placement);
+      txn::RegisterServerService(shard.tm.get(), &rpc);
+    }
+    placement.SetLivenessProbe(
+        [this](NodeId node) { return network.IsUp(node); });
+    txn::RegisterPlacementService(&placement, &rpc, server_node);
+    server = shards.front().tm.get();
     for (int t = 0; t < threads; ++t) {
       NodeId ws = network.AddNode("ws" + std::to_string(t));
-      stubs.push_back(
-          std::make_unique<txn::RemoteServerStub>(&rpc, ws, server_node));
+      std::vector<std::pair<NodeId, txn::ServerService*>> routes;
+      for (Shard& shard : shards) {
+        stubs.push_back(
+            std::make_unique<txn::RemoteServerStub>(&rpc, ws, shard.node));
+        routes.emplace_back(shard.node, stubs.back().get());
+      }
+      placement_clients.push_back(
+          std::make_unique<txn::PlacementClient>(&rpc, ws, server_node));
       clients.push_back(std::make_unique<txn::ClientTm>(
-          stubs.back().get(), &network, ws, &clock, bus.get()));
+          txn::ShardRouter(std::move(routes), placement_clients.back().get()),
+          &network, ws, &clock, bus.get()));
       warm_dov.push_back(Seed(DaId(t + 1), t));
     }
   }
 
-  /// Commits one DOV owned by `da` (as the server-TM's checkin would).
-  DovId Seed(DaId da, int64_t value) {
-    TxnId txn = repo.Begin();
+  /// Commits one DOV owned by `da` on shard 0 (as that node's
+  /// server-TM checkin would) and places the DA there.
+  DovId Seed(DaId da, int64_t value) { return SeedOn(0, da, value); }
+
+  /// Commits one DOV owned by `da` on the given shard.
+  DovId SeedOn(size_t shard, DaId da, int64_t value) {
+    storage::Repository& r = *shards[shard].repo;
+    TxnId txn = r.Begin();
     storage::DovRecord record;
-    record.id = repo.NextDovId();
+    record.id = r.NextDovId();
     record.owner_da = da;
     record.type = dot;
     record.data = storage::DesignObject(dot);
     record.data.SetAttr("value", value);
     DovId id = record.id;
-    repo.Put(txn, std::move(record)).ok();
-    repo.Commit(txn).ok();
-    server->locks().SetScopeOwner(id, da);
+    r.Put(txn, std::move(record)).ok();
+    r.Commit(txn).ok();
+    shards[shard].tm->locks().SetScopeOwner(id, da);
+    if (shards.size() > 1) {
+      placement.Assign(da, shards[shard].node).ok();
+    }
     return id;
   }
 };

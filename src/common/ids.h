@@ -73,6 +73,37 @@ using MsgId = Id<MsgTag>;
 /// A cell in the VLSI cell hierarchy.
 using CellId = Id<CellTag>;
 
+/// DOV ids are namespaced by the server shard that created them: the
+/// top 16 bits carry the shard index, the low 48 bits the shard-local
+/// counter. Both sides of the wire can therefore route a DOV to its
+/// owning server node without a placement lookup — the id IS the
+/// address — and per-shard repositories never collide on ids. Shard 0
+/// (the single-server default) produces exactly the ids the
+/// un-sharded system always produced.
+inline constexpr int kDovShardShift = 48;
+inline constexpr uint64_t kDovLocalMask =
+    (uint64_t{1} << kDovShardShift) - 1;
+
+/// Shard index encoded in a DOV id (0 for single-server ids).
+inline constexpr uint32_t DovShardOf(DovId dov) {
+  return static_cast<uint32_t>(dov.value() >> kDovShardShift);
+}
+
+/// The shard-local counter part of a DOV id.
+inline constexpr uint64_t DovLocalOf(DovId dov) {
+  return dov.value() & kDovLocalMask;
+}
+
+/// Shard index of `dov` clamped to a plane of `shard_count` nodes: an
+/// out-of-range index (corrupt or future id) routes to the coordinator
+/// (shard 0), whose repository answers NotFound — the single policy
+/// every router (ShardRouter, RepositoryRouter, LockRouter, the
+/// invalidation sink) applies to unroutable ids.
+inline constexpr size_t DovShardClamped(DovId dov, size_t shard_count) {
+  uint32_t shard = DovShardOf(dov);
+  return shard < shard_count ? shard : 0;
+}
+
 /// Monotonic id generator. Thread-safe: ids may be drawn concurrently
 /// (e.g. parallel checkins asking the repository for fresh DOV ids);
 /// single-threaded components pay one uncontended atomic increment,

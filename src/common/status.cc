@@ -36,6 +36,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unknown dop";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kWrongShard:
+      return "wrong shard";
   }
   return "unknown";
 }

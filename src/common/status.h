@@ -34,6 +34,10 @@ enum class StatusCode {
   kUnavailable,         // component down or message undeliverable
   kUnknownDop,          // DOP registration lost in a server crash
   kInternal,
+  // Appended after kInternal so the wire values of the older codes
+  // never change (the ServerService codec ships these as raw bytes).
+  kWrongShard,          // request routed to a server node that does not
+                        // own the DA (stale workstation placement cache)
 };
 
 /// Returns the canonical lowercase name of `code` ("ok", "lock conflict", ...).
@@ -94,6 +98,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status WrongShard(std::string msg) {
+    return Status(StatusCode::kWrongShard, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -117,6 +124,7 @@ class Status {
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsUnknownDop() const { return code() == StatusCode::kUnknownDop; }
+  bool IsWrongShard() const { return code() == StatusCode::kWrongShard; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -102,6 +102,15 @@ CooperationManager::CooperationManager(storage::Repository* repository,
                                        SimClock* clock)
     : repository_(repository), locks_(locks), clock_(clock) {}
 
+CooperationManager::CooperationManager(storage::RepositoryRouter repository,
+                                       txn::LockRouter locks,
+                                       txn::PlacementMap* placement,
+                                       SimClock* clock)
+    : repository_(std::move(repository)),
+      locks_(std::move(locks)),
+      placement_(placement),
+      clock_(clock) {}
+
 Result<DesignActivity*> CooperationManager::GetMutableDa(DaId da) {
   auto it = das_.find(da.value());
   if (it == das_.end()) {
@@ -147,20 +156,20 @@ void CooperationManager::Deliver(DaId to, workflow::Event event) {
 }
 
 Status CooperationManager::PersistDa(const DesignActivity& da) {
-  TxnId txn = repository_->Begin();
+  TxnId txn = repository_.Begin();
   Status st =
-      repository_->PutMeta(txn, DaKey(da.id), persistence::SerializeDa(da));
-  if (st.ok()) st = repository_->Commit(txn);
-  if (!st.ok()) repository_->Abort(txn).ok();
+      repository_.PutMeta(txn, DaKey(da.id), persistence::SerializeDa(da));
+  if (st.ok()) st = repository_.Commit(txn);
+  if (!st.ok()) repository_.Abort(txn).ok();
   return st;
 }
 
 Status CooperationManager::PersistRelationships() {
-  TxnId txn = repository_->Begin();
-  Status st = repository_->PutMeta(
+  TxnId txn = repository_.Begin();
+  Status st = repository_.PutMeta(
       txn, kRelsKey, persistence::SerializeRelationships(relationships_));
-  if (st.ok()) st = repository_->Commit(txn);
-  if (!st.ok()) repository_->Abort(txn).ok();
+  if (st.ok()) st = repository_.Commit(txn);
+  if (!st.ok()) repository_.Abort(txn).ok();
   return st;
 }
 
@@ -187,9 +196,12 @@ Result<DaId> CooperationManager::InitDesign(DaDescription description) {
   da.workstation = description.workstation;
   da.state = DaState::kGenerated;
   if (da.initial_dov) {
-    locks_->GrantUsageRead(*da.initial_dov, id);
+    locks_.GrantUsageRead(*da.initial_dov, id);
   }
   das_.emplace(id.value(), std::move(da));
+  // Placement decision: a fresh top-level design goes to the least-
+  // loaded server node (its checkins will create DOVs there).
+  if (placement_ != nullptr) placement_->AssignLeastLoaded(id);
   ++stats_.das_created;
   CONCORD_RETURN_NOT_OK(PersistDa(das_.at(id.value())));
   CONCORD_INFO("cm", "Init_Design -> " << id.ToString());
@@ -203,7 +215,7 @@ Result<DaId> CooperationManager::CreateSubDa(DaId super,
   CONCORD_RETURN_NOT_OK(
       RequireState(*parent, DaState::kActive, DaOperation::kCreateSubDa));
   // "The DOT of the sub-DA has to be a 'part' of the super-DA's DOT."
-  if (!repository_->schema().IsPartOf(description.dot, parent->dot)) {
+  if (!repository_.schema().IsPartOf(description.dot, parent->dot)) {
     return ProtocolError("sub-DA DOT " + description.dot.ToString() +
                          " is not a part of super-DA DOT " +
                          parent->dot.ToString());
@@ -226,7 +238,7 @@ Result<DaId> CooperationManager::CreateSubDa(DaId super,
   da.state = DaState::kGenerated;
   da.parent = super;
   if (da.initial_dov) {
-    locks_->GrantUsageRead(*da.initial_dov, id);
+    locks_.GrantUsageRead(*da.initial_dov, id);
   }
   das_.emplace(id.value(), std::move(da));
   parent->children.push_back(id);
@@ -238,6 +250,11 @@ Result<DaId> CooperationManager::CreateSubDa(DaId super,
   rel.to = id;
   relationships_.push_back(std::move(rel));
 
+  // Placement decision at delegation: the sub-DA's work (and its
+  // future DOVs) goes to the least-loaded server node, which may well
+  // differ from the super-DA's home — this is where the plane actually
+  // spreads, since every delegation is a new independent work stream.
+  if (placement_ != nullptr) placement_->AssignLeastLoaded(id);
   ++stats_.das_created;
   ++stats_.delegations;
   CONCORD_RETURN_NOT_OK(PersistDa(das_.at(id.value())));
@@ -246,6 +263,19 @@ Result<DaId> CooperationManager::CreateSubDa(DaId super,
   CONCORD_INFO("cm", "Create_Sub_DA " << super.ToString() << " -> "
                                       << id.ToString());
   return id;
+}
+
+Status CooperationManager::MigrateDa(DaId da, NodeId to) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (placement_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no placement authority wired: single-server plane");
+  }
+  CONCORD_RETURN_NOT_OK(GetMutableDa(da).status());
+  CONCORD_ASSIGN_OR_RETURN(NodeId from, placement_->Migrate(da, to));
+  CONCORD_INFO("cm", "Migrate " << da.ToString() << ": " << from.ToString()
+                                << " -> " << to.ToString());
+  return Status::OK();
 }
 
 Status CooperationManager::Start(DaId da) {
@@ -273,8 +303,8 @@ Status CooperationManager::ModifySubDaSpecification(
   // withdrawn (Sect. 5.4). Detect affected propagations before the
   // switch.
   std::vector<DovId> to_withdraw;
-  for (DovId dov : repository_->DovsOf(sub)) {
-    auto record = repository_->Get(dov);
+  for (DovId dov : repository_.DovsOf(sub)) {
+    auto record = repository_.Get(dov);
     if (!record.ok() || !record->propagated) continue;
     // Required features of the usage relationships this DOV served.
     for (const CoopRelationship& rel : relationships_) {
@@ -346,7 +376,7 @@ Status CooperationManager::SubDaReadyToCommit(DaId sub) {
   // sub-DA as soon as the sub-DA changes its state to
   // ready-for-termination".
   for (DovId dov : child->final_dovs) {
-    locks_->GrantUsageRead(dov, child->parent);
+    locks_.GrantUsageRead(dov, child->parent);
   }
 
   workflow::Event event;
@@ -405,8 +435,8 @@ Status CooperationManager::TerminateSubDa(DaId super, DaId sub) {
   bool cancelled = child->final_dovs.empty();
   if (cancelled) {
     // Cancellation: withdraw all pre-released information (Sect. 5.4).
-    for (DovId dov : repository_->DovsOf(sub)) {
-      auto record = repository_->Get(dov);
+    for (DovId dov : repository_.DovsOf(sub)) {
+      auto record = repository_.Get(dov);
       if (record.ok() && record->propagated) {
         WithdrawPropagation(sub, dov).ok();
       }
@@ -414,17 +444,20 @@ Status CooperationManager::TerminateSubDa(DaId super, DaId sub) {
   } else {
     // "The final DOVs devolve to the scope of the super-DA": scope-lock
     // inheritance, retained by the super-DA.
-    locks_->InheritScopeLocks(super, sub, child->final_dovs);
-    TxnId txn = repository_->Begin();
+    locks_.InheritScopeLocks(super, sub, child->final_dovs);
+    TxnId txn = repository_.Begin();
     for (DovId dov : child->final_dovs) {
-      repository_->PutMeta(txn, kScopePrefix + std::to_string(dov.value()),
+      repository_.PutMeta(txn, kScopePrefix + std::to_string(dov.value()),
                            std::to_string(super.value()))
           .ok();
     }
-    repository_->Commit(txn).ok();
+    repository_.Commit(txn).ok();
   }
 
   child->state = DaState::kTerminated;
+  // A terminated DA creates no more DOVs: free its placement slot so
+  // the least-loaded policy sees the true live load.
+  if (placement_ != nullptr) placement_->Release(sub);
   ++stats_.das_terminated;
   CONCORD_RETURN_NOT_OK(PersistDa(*child));
   CONCORD_RETURN_NOT_OK(PersistDa(*parent));
@@ -453,10 +486,11 @@ Status CooperationManager::CompleteDesign(DaId top) {
     }
   }
   da->state = DaState::kTerminated;
+  if (placement_ != nullptr) placement_->Release(top);
   ++stats_.das_terminated;
   CONCORD_RETURN_NOT_OK(PersistDa(*da));
   // "After finishing the top-level DA all locks are released."
-  locks_->ReleaseAll();
+  locks_.ReleaseAll();
   CONCORD_INFO("cm", "design completed at " << top.ToString()
                                             << ", all locks released");
   return Status::OK();
@@ -483,7 +517,7 @@ Result<storage::Configuration> CooperationManager::ComposeConfiguration(
     // The best (first-marked) final DOV represents the sub-task.
     DovId chosen = child->final_dovs.front();
     CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record,
-                             repository_->Get(chosen));
+                             repository_.Get(chosen));
     std::string slot = child_id.ToString();
     auto component_name = record.data.GetAttr("name");
     if (component_name.ok() && component_name->is_string() &&
@@ -510,15 +544,15 @@ Result<storage::QualityState> CooperationManager::Evaluate(DaId da,
     return ProtocolError(dov.ToString() + " is not in the scope of " +
                          da.ToString());
   }
-  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_->Get(dov));
+  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_.Get(dov));
   storage::QualityState quality = activity->spec.Evaluate(record.data);
   if (quality.is_final() && !record.final_dov) {
     record.final_dov = true;
-    TxnId txn = repository_->Begin();
-    Status st = repository_->Put(txn, record);
-    if (st.ok()) st = repository_->Commit(txn);
+    TxnId txn = repository_.Begin();
+    Status st = repository_.Put(txn, record);
+    if (st.ok()) st = repository_.Commit(txn);
     if (!st.ok()) {
-      repository_->Abort(txn).ok();
+      repository_.Abort(txn).ok();
       return st;
     }
     if (std::find(activity->final_dovs.begin(), activity->final_dovs.end(),
@@ -587,17 +621,17 @@ Status CooperationManager::Require(DaId requirer, DaId supporter,
   Deliver(supporter, std::move(event));
 
   // Serve already-propagated qualifying DOVs immediately.
-  for (DovId dov : repository_->DovsOf(supporter)) {
-    auto record = repository_->Get(dov);
+  for (DovId dov : repository_.DovsOf(supporter)) {
+    auto record = repository_.Get(dov);
     if (!record.ok() || !record->propagated || record->invalidated) continue;
     if (sup->spec.FulfillsSubset(record->data, features)) {
-      locks_->GrantUsageRead(dov, requirer);
-      TxnId txn = repository_->Begin();
-      repository_->PutMeta(txn, kGrantPrefix + std::to_string(dov.value()) +
+      locks_.GrantUsageRead(dov, requirer);
+      TxnId txn = repository_.Begin();
+      repository_.PutMeta(txn, kGrantPrefix + std::to_string(dov.value()) +
                                      "/" + std::to_string(requirer.value()),
                            "1")
           .ok();
-      repository_->Commit(txn).ok();
+      repository_.Commit(txn).ok();
       workflow::Event served;
       served.type = "Propagate";
       served.from_da = supporter;
@@ -615,10 +649,10 @@ Status CooperationManager::Propagate(DaId da, DovId dov) {
       activity->state != DaState::kReadyForTermination) {
     return ProtocolError("Propagate requires an active DA");
   }
-  if (locks_->ScopeOwner(dov) != da) {
+  if (locks_.ScopeOwner(dov) != da) {
     return ProtocolError(dov.ToString() + " is not owned by " + da.ToString());
   }
-  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_->Get(dov));
+  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_.Get(dov));
   if (record.invalidated) {
     return ProtocolError("cannot propagate invalidated " + dov.ToString());
   }
@@ -628,11 +662,11 @@ Status CooperationManager::Propagate(DaId da, DovId dov) {
   // implicitly here to stamp quality).
   if (!record.propagated) {
     record.propagated = true;
-    TxnId txn = repository_->Begin();
-    Status st = repository_->Put(txn, record);
-    if (st.ok()) st = repository_->Commit(txn);
+    TxnId txn = repository_.Begin();
+    Status st = repository_.Put(txn, record);
+    if (st.ok()) st = repository_.Commit(txn);
     if (!st.ok()) {
-      repository_->Abort(txn).ok();
+      repository_.Abort(txn).ok();
       return st;
     }
   }
@@ -644,13 +678,13 @@ Status CooperationManager::Propagate(DaId da, DovId dov) {
   for (const CoopRelationship& rel : relationships_) {
     if (rel.kind != RelKind::kUsage || !rel.active || rel.to != da) continue;
     if (!activity->spec.FulfillsSubset(record.data, rel.features)) continue;
-    locks_->GrantUsageRead(dov, rel.from);
-    TxnId txn = repository_->Begin();
-    repository_->PutMeta(txn, kGrantPrefix + std::to_string(dov.value()) +
+    locks_.GrantUsageRead(dov, rel.from);
+    TxnId txn = repository_.Begin();
+    repository_.PutMeta(txn, kGrantPrefix + std::to_string(dov.value()) +
                                    "/" + std::to_string(rel.from.value()),
                          "1")
         .ok();
-    repository_->Commit(txn).ok();
+    repository_.Commit(txn).ok();
     workflow::Event event;
     event.type = "Propagate";
     event.from_da = da;
@@ -662,19 +696,19 @@ Status CooperationManager::Propagate(DaId da, DovId dov) {
 
 Status CooperationManager::WithdrawPropagation(DaId da, DovId dov) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_->Get(dov));
-  if (record.owner_da != da && locks_->ScopeOwner(dov) != da) {
+  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_.Get(dov));
+  if (record.owner_da != da && locks_.ScopeOwner(dov) != da) {
     return ProtocolError(dov.ToString() + " is not owned by " + da.ToString());
   }
   if (!record.propagated) {
     return Status::FailedPrecondition(dov.ToString() + " is not propagated");
   }
   record.propagated = false;
-  TxnId txn = repository_->Begin();
-  Status st = repository_->Put(txn, record);
-  if (st.ok()) st = repository_->Commit(txn);
+  TxnId txn = repository_.Begin();
+  Status st = repository_.Put(txn, record);
+  if (st.ok()) st = repository_.Commit(txn);
   if (!st.ok()) {
-    repository_->Abort(txn).ok();
+    repository_.Abort(txn).ok();
     return st;
   }
   ++stats_.withdrawals;
@@ -682,13 +716,13 @@ Status CooperationManager::WithdrawPropagation(DaId da, DovId dov) {
   // Notify every requiring DA that saw the DOV and revoke its read.
   for (const CoopRelationship& rel : relationships_) {
     if (rel.kind != RelKind::kUsage || rel.to != da) continue;
-    locks_->RevokeUsageRead(dov, rel.from);
-    TxnId grant_txn = repository_->Begin();
-    repository_->DeleteMeta(grant_txn,
+    locks_.RevokeUsageRead(dov, rel.from);
+    TxnId grant_txn = repository_.Begin();
+    repository_.DeleteMeta(grant_txn,
                             kGrantPrefix + std::to_string(dov.value()) + "/" +
                                 std::to_string(rel.from.value()))
         .ok();
-    repository_->Commit(grant_txn).ok();
+    repository_.Commit(grant_txn).ok();
     workflow::Event event;
     event.type = "Withdrawal";
     event.from_da = da;
@@ -707,12 +741,12 @@ Status CooperationManager::InvalidateAndReplace(DaId da, DovId dov,
                                                 DovId replacement) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * activity, GetMutableDa(da));
-  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_->Get(dov));
+  CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_.Get(dov));
   if (record.owner_da != da) {
     return ProtocolError(dov.ToString() + " is not owned by " + da.ToString());
   }
   CONCORD_ASSIGN_OR_RETURN(storage::DovRecord replacement_record,
-                           repository_->Get(replacement));
+                           repository_.Get(replacement));
   if (replacement_record.owner_da != da) {
     return ProtocolError("replacement must come from the scope of " +
                          da.ToString());
@@ -734,18 +768,18 @@ Status CooperationManager::InvalidateAndReplace(DaId da, DovId dov,
 
   record.invalidated = true;
   record.propagated = false;
-  TxnId txn = repository_->Begin();
-  Status st = repository_->Put(txn, record);
-  if (st.ok()) st = repository_->Commit(txn);
+  TxnId txn = repository_.Begin();
+  Status st = repository_.Put(txn, record);
+  if (st.ok()) st = repository_.Commit(txn);
   if (!st.ok()) {
-    repository_->Abort(txn).ok();
+    repository_.Abort(txn).ok();
     return st;
   }
   ++stats_.invalidations;
 
   for (const CoopRelationship& rel : relationships_) {
     if (rel.kind != RelKind::kUsage || !rel.active || rel.to != da) continue;
-    locks_->RevokeUsageRead(dov, rel.from);
+    locks_.RevokeUsageRead(dov, rel.from);
     workflow::Event event;
     event.type = "Invalidation";
     event.from_da = da;
@@ -771,13 +805,15 @@ std::vector<DovId> CooperationManager::InvalidationCandidates(
     // Without a final DOV nothing is "clear" yet.
     return candidates;
   }
-  const storage::DerivationGraph& graph = repository_->graph(da);
-  for (DovId dov : repository_->DovsOf(da)) {
-    auto record = repository_->Get(dov);
+  for (DovId dov : repository_.DovsOf(da)) {
+    auto record = repository_.Get(dov);
     if (!record.ok() || !record->propagated || record->invalidated) continue;
     bool feeds_a_final = false;
     for (DovId final_dov : (*activity)->final_dovs) {
-      if (graph.IsAncestor(dov, final_dov)) {
+      // Routed graph query: after a migration the DA's derivation
+      // chain may span shards, each holding the edges created while
+      // the DA was homed there.
+      if (repository_.IsAncestor(da, dov, final_dov)) {
         feeds_a_final = true;
         break;
       }
@@ -864,11 +900,11 @@ Status CooperationManager::Propose(DaId from, DaId to, Proposal proposal) {
   ++stats_.proposals;
   CONCORD_RETURN_NOT_OK(PersistDa(*proposer));
   CONCORD_RETURN_NOT_OK(PersistDa(*receiver));
-  TxnId txn = repository_->Begin();
-  repository_->PutMeta(txn, kProposalPrefix + std::to_string(to.value()),
+  TxnId txn = repository_.Begin();
+  repository_.PutMeta(txn, kProposalPrefix + std::to_string(to.value()),
                        persistence::SerializeProposal(proposal))
       .ok();
-  repository_->Commit(txn).ok();
+  repository_.Commit(txn).ok();
 
   workflow::Event event;
   event.type = "Propose";
@@ -905,10 +941,10 @@ Status CooperationManager::Agree(DaId da) {
   ++stats_.agreements;
   CONCORD_RETURN_NOT_OK(PersistDa(*proposer));
   CONCORD_RETURN_NOT_OK(PersistDa(*receiver));
-  TxnId txn = repository_->Begin();
-  repository_->DeleteMeta(txn, kProposalPrefix + std::to_string(da.value()))
+  TxnId txn = repository_.Begin();
+  repository_.DeleteMeta(txn, kProposalPrefix + std::to_string(da.value()))
       .ok();
-  repository_->Commit(txn).ok();
+  repository_.Commit(txn).ok();
 
   workflow::Event event;
   event.type = "Agree";
@@ -935,10 +971,10 @@ Status CooperationManager::Disagree(DaId da) {
   ++stats_.disagreements;
   CONCORD_RETURN_NOT_OK(PersistDa(*proposer));
   CONCORD_RETURN_NOT_OK(PersistDa(*receiver));
-  TxnId txn = repository_->Begin();
-  repository_->DeleteMeta(txn, kProposalPrefix + std::to_string(da.value()))
+  TxnId txn = repository_.Begin();
+  repository_.DeleteMeta(txn, kProposalPrefix + std::to_string(da.value()))
       .ok();
-  repository_->Commit(txn).ok();
+  repository_.Commit(txn).ok();
 
   workflow::Event event;
   event.type = "Disagree";
@@ -985,16 +1021,16 @@ Status CooperationManager::SubDasSpecificationConflict(DaId a, DaId b) {
 
 bool CooperationManager::InScope(DaId da, DovId dov) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  return locks_->CanRead(da, dov);
+  return locks_.CanRead(da, dov);
 }
 
 void CooperationManager::NoteCheckin(DaId da, DovId dov) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  TxnId txn = repository_->Begin();
-  repository_->PutMeta(txn, kScopePrefix + std::to_string(dov.value()),
+  TxnId txn = repository_.Begin();
+  repository_.PutMeta(txn, kScopePrefix + std::to_string(dov.value()),
                        std::to_string(da.value()))
       .ok();
-  repository_->Commit(txn).ok();
+  repository_.Commit(txn).ok();
 }
 
 // --- Introspection ---------------------------------------------------------
@@ -1056,8 +1092,8 @@ Status CooperationManager::Recover() {
   pending_proposals_.clear();
 
   uint64_t max_da = 0;
-  for (const std::string& key : repository_->MetaKeysWithPrefix(kDaPrefix)) {
-    CONCORD_ASSIGN_OR_RETURN(std::string text, repository_->GetMeta(key));
+  for (const std::string& key : repository_.MetaKeysWithPrefix(kDaPrefix)) {
+    CONCORD_ASSIGN_OR_RETURN(std::string text, repository_.GetMeta(key));
     CONCORD_ASSIGN_OR_RETURN(DesignActivity da,
                              persistence::DeserializeDa(text));
     max_da = std::max(max_da, da.id.value());
@@ -1065,7 +1101,7 @@ Status CooperationManager::Recover() {
   }
   while (da_gen_.last() < max_da) da_gen_.Next();
 
-  auto rels_text = repository_->GetMeta(kRelsKey);
+  auto rels_text = repository_.GetMeta(kRelsKey);
   uint64_t max_rel = 0;
   if (rels_text.ok()) {
     CONCORD_ASSIGN_OR_RETURN(
@@ -1077,52 +1113,65 @@ Status CooperationManager::Recover() {
   while (rel_gen_.last() < max_rel) rel_gen_.Next();
 
   for (const std::string& key :
-       repository_->MetaKeysWithPrefix(kProposalPrefix)) {
-    CONCORD_ASSIGN_OR_RETURN(std::string text, repository_->GetMeta(key));
+       repository_.MetaKeysWithPrefix(kProposalPrefix)) {
+    CONCORD_ASSIGN_OR_RETURN(std::string text, repository_.GetMeta(key));
     CONCORD_ASSIGN_OR_RETURN(Proposal proposal,
                              persistence::DeserializeProposal(text));
     pending_proposals_[proposal.to] = std::move(proposal);
   }
 
+  CONCORD_RETURN_NOT_OK(ReestablishLocksLocked());
+  CONCORD_INFO("cm", "recovered " << das_.size() << " DAs, "
+                                  << relationships_.size()
+                                  << " relationships");
+  return Status::OK();
+}
+
+Status CooperationManager::ReestablishLocks() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return ReestablishLocksLocked();
+}
+
+Status CooperationManager::ReestablishLocksLocked() {
   // Rebuild the scope-lock tables. Base ownership comes from the
   // repository's committed DOV records; inheritance overrides live in
-  // the meta store; usage grants were persisted per grant.
+  // the meta store; usage grants were persisted per grant. Every write
+  // routes to the shard owning the DOV, and re-applying an entry a
+  // surviving shard already holds is idempotent — so this serves both
+  // full-plane recovery and the one-node-recovered case.
   for (DaId da : AllDas()) {
-    for (DovId dov : repository_->DovsOf(da)) {
-      locks_->SetScopeOwner(dov, da);
+    for (DovId dov : repository_.DovsOf(da)) {
+      locks_.SetScopeOwner(dov, da);
     }
     auto activity = GetDa(da);
     if (activity.ok() && (*activity)->initial_dov) {
-      locks_->GrantUsageRead(*(*activity)->initial_dov, da);
+      locks_.GrantUsageRead(*(*activity)->initial_dov, da);
     }
   }
   for (const std::string& key :
-       repository_->MetaKeysWithPrefix(kScopePrefix)) {
-    CONCORD_ASSIGN_OR_RETURN(std::string value, repository_->GetMeta(key));
+       repository_.MetaKeysWithPrefix(kScopePrefix)) {
+    CONCORD_ASSIGN_OR_RETURN(std::string value, repository_.GetMeta(key));
     DovId dov(std::stoull(key.substr(std::string(kScopePrefix).size())));
-    locks_->SetScopeOwner(dov, DaId(std::stoull(value)));
+    locks_.SetScopeOwner(dov, DaId(std::stoull(value)));
   }
   for (const std::string& key :
-       repository_->MetaKeysWithPrefix(kGrantPrefix)) {
+       repository_.MetaKeysWithPrefix(kGrantPrefix)) {
     std::string tail = key.substr(std::string(kGrantPrefix).size());
     size_t slash = tail.find('/');
     if (slash == std::string::npos) continue;
     DovId dov(std::stoull(tail.substr(0, slash)));
     DaId da(std::stoull(tail.substr(slash + 1)));
-    locks_->GrantUsageRead(dov, da);
+    locks_.GrantUsageRead(dov, da);
   }
   // Ready-for-termination sub-DAs had granted their parents reads on
   // final DOVs.
   for (auto& [value, da] : das_) {
     if (da.state == DaState::kReadyForTermination && da.parent.valid()) {
       for (DovId dov : da.final_dovs) {
-        locks_->GrantUsageRead(dov, da.parent);
+        locks_.GrantUsageRead(dov, da.parent);
       }
     }
   }
-  CONCORD_INFO("cm", "recovered " << das_.size() << " DAs, "
-                                  << relationships_.size()
-                                  << " relationships");
   return Status::OK();
 }
 

@@ -18,7 +18,10 @@
 #include "cooperation/relationships.h"
 #include "storage/configuration.h"
 #include "storage/repository.h"
+#include "storage/repository_router.h"
 #include "txn/lock_manager.h"
+#include "txn/lock_router.h"
+#include "txn/placement.h"
 #include "txn/scope_authority.h"
 #include "workflow/events.h"
 
@@ -91,8 +94,18 @@ class CooperationManager : public txn::ScopeAuthority {
       std::function<void(DaId da, DovId dov, bool invalidated,
                          DovId replacement)>;
 
+  /// Single-server plane (the original shape): one repository, one
+  /// lock manager, no placement authority.
   CooperationManager(storage::Repository* repository,
                      txn::LockManager* locks, SimClock* clock);
+
+  /// Sharded server plane: routed storage/lock access plus the
+  /// placement authority this manager drives (Create_Sub_DA places the
+  /// delegated DA on the least-loaded shard; MigrateDa re-homes one).
+  /// `placement` may be null (no placement decisions are made then).
+  CooperationManager(storage::RepositoryRouter repository,
+                     txn::LockRouter locks, txn::PlacementMap* placement,
+                     SimClock* clock);
 
   void SetEventSink(EventSink sink) { event_sink_ = std::move(sink); }
   void SetWithdrawalSink(WithdrawalSink sink) {
@@ -133,6 +146,15 @@ class CooperationManager : public txn::ScopeAuthority {
   /// ready_for_termination with the impossible flag; the super-DA is
   /// asked to react (terminate or modify the spec).
   Status SubDaImpossibleSpecification(DaId sub, const std::string& reason);
+
+  /// Re-homes `da` onto server node `to` (placement rebalancing, or
+  /// following a delegation whose work moved). Future checkins create
+  /// their DOVs on the new shard; existing DOVs keep theirs (the id is
+  /// the address, nothing is copied). Workstation placement caches go
+  /// stale at this moment and resynchronize through the next
+  /// kWrongShard reply. No-op error when no placement authority is
+  /// wired.
+  Status MigrateDa(DaId da, NodeId to);
 
   /// Op 6, Terminate_Sub_DA: requires all of the sub-DA's own sub-DAs
   /// terminated. Final DOVs devolve to the super-DA's scope
@@ -254,6 +276,14 @@ class CooperationManager : public txn::ScopeAuthority {
   void Crash();
   Status Recover();
 
+  /// Rebuilds the scope-lock and usage-grant tables from the persisted
+  /// state without touching the in-memory DA hierarchy. Called after a
+  /// SINGLE server node of a sharded plane recovers: that node's lock
+  /// manager restarted empty while the CM (on the coordinator) kept
+  /// running, so only the lock state needs re-deriving. Idempotent
+  /// across all shards.
+  Status ReestablishLocks();
+
  private:
   Result<DesignActivity*> GetMutableDa(DaId da);
   Status RequireState(const DesignActivity& da, DaState state,
@@ -265,9 +295,16 @@ class CooperationManager : public txn::ScopeAuthority {
   Status PersistRelationships();
   /// Finds an active relationship of `kind` connecting a and b.
   CoopRelationship* FindRelationship(RelKind kind, DaId a, DaId b);
+  /// Lock-table rebuild shared by Recover and ReestablishLocks.
+  /// Caller holds mu_.
+  Status ReestablishLocksLocked();
 
-  storage::Repository* repository_;
-  txn::LockManager* locks_;
+  /// Routed storage/lock access: degenerate single-shard routers in
+  /// the classic constructor, plane-wide routing in the sharded one.
+  storage::RepositoryRouter repository_;
+  txn::LockRouter locks_;
+  /// Placement authority this manager drives (null: no placement).
+  txn::PlacementMap* placement_ = nullptr;
   SimClock* clock_;
   EventSink event_sink_;
   WithdrawalSink withdrawal_sink_;

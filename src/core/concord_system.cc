@@ -1,6 +1,7 @@
 #include "core/concord_system.h"
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace concord::core {
 
@@ -20,34 +21,69 @@ void RegisterVlsiDomainConstraints(workflow::ConstraintSet* constraints) {
 
 ConcordSystem::ConcordSystem(SystemConfig config)
     : config_(config), rng_(config.seed) {
+  if (config_.server_nodes < 1) config_.server_nodes = 1;
   network_ = std::make_unique<rpc::Network>(&clock_, config.seed ^ 0x9e37);
   network_->set_lan_latency(config.lan_latency);
   network_->set_local_latency(config.local_latency);
   network_->set_loss_probability(config.message_loss_probability);
-  server_node_ = network_->AddNode("server");
   rpc_ = std::make_unique<rpc::TransactionalRpc>(network_.get());
+
+  // The server plane: node 0 is the coordinator (CM, placement
+  // authority, meta store); every node carries a repository shard —
+  // DOV ids are namespaced by shard index — and a server-TM fronting
+  // it, registered as its own ServerService RPC endpoint.
+  const bool sharded = config_.server_nodes > 1;
+  for (int shard = 0; shard < config_.server_nodes; ++shard) {
+    ServerNode node;
+    node.node = network_->AddNode(shard == 0 ? std::string("server")
+                                             : IndexedName("server", shard));
+    node.repository = std::make_unique<storage::Repository>(&clock_);
+    node.repository->set_dov_id_shard(static_cast<uint32_t>(shard));
+    servers_.push_back(std::move(node));
+    placement_.RegisterNode(servers_.back().node);
+  }
+  server_node_ = servers_.front().node;
   invalidation_bus_ =
       std::make_unique<rpc::InvalidationBus>(network_.get(), server_node_);
 
-  repository_ = std::make_unique<storage::Repository>(&clock_);
-  dots_ = vlsi::RegisterVlsiSchema(&repository_->schema());
+  // Every shard registers the identical VLSI schema (same call order,
+  // same DOT ids), so checkin validation agrees plane-wide.
+  for (ServerNode& server : servers_) {
+    dots_ = vlsi::RegisterVlsiSchema(&server.repository->schema());
+  }
   toolbox_ = std::make_unique<vlsi::ToolBox>(dots_);
   RegisterVlsiDomainConstraints(&constraints_);
 
-  // The server-TM asks *this* for scope decisions; we forward to the CM
-  // (which is constructed right after and owns the policy).
-  server_tm_ = std::make_unique<txn::ServerTm>(repository_.get(),
-                                               network_.get(), server_node_,
-                                               this, invalidation_bus_.get());
-  // Server-side half of the ServerService protocol: every client-TM
-  // envelope lands here as a real, countable RPC.
-  txn::RegisterServerService(server_tm_.get(), rpc_.get());
+  // The server-TMs ask *this* for scope decisions; we forward to the
+  // CM (which is constructed right after and owns the policy).
+  std::vector<storage::Repository*> repos;
+  std::vector<txn::LockManager*> lock_shards;
+  for (ServerNode& server : servers_) {
+    server.tm = std::make_unique<txn::ServerTm>(server.repository.get(),
+                                                network_.get(), server.node,
+                                                this, invalidation_bus_.get());
+    if (sharded) server.tm->JoinPlane(&placement_);
+    // Server-side half of the ServerService protocol: every client-TM
+    // envelope lands here as a real, countable RPC.
+    txn::RegisterServerService(server.tm.get(), rpc_.get());
+    repos.push_back(server.repository.get());
+    lock_shards.push_back(&server.tm->locks());
+  }
+  // Workstation placement caches fetch from the coordinator, and new
+  // DAs are never homed on a node currently crashed.
+  placement_.SetLivenessProbe(
+      [this](NodeId node) { return network_->IsUp(node); });
+  txn::RegisterPlacementService(&placement_, rpc_.get(), server_node_);
+
   cm_ = std::make_unique<cooperation::CooperationManager>(
-      repository_.get(), &server_tm_->locks(), &clock_);
+      storage::RepositoryRouter(std::move(repos)),
+      txn::LockRouter(std::move(lock_shards)),
+      sharded ? &placement_ : nullptr, &clock_);
   cm_->SetEventSink([this](DaId da, const workflow::Event& event) {
     DeliverEvent(da, event);
   });
-  // CM withdrawal/invalidation -> push to every workstation DOV cache.
+  // CM withdrawal/invalidation -> push to every workstation DOV cache,
+  // published from the node that owns the withdrawn DOV.
   cm_->SetWithdrawalSink(
       [this](DaId da, DovId dov, bool invalidated, DovId replacement) {
         rpc::InvalidationMessage message;
@@ -57,6 +93,8 @@ ConcordSystem::ConcordSystem(SystemConfig config)
         message.dov = dov;
         message.origin_da = da;
         message.replacement = replacement;
+        message.origin_node =
+            servers_[DovShardClamped(dov, servers_.size())].node;
         invalidation_bus_->Publish(message);
       });
 }
@@ -65,19 +103,27 @@ ConcordSystem::~ConcordSystem() = default;
 
 NodeId ConcordSystem::AddWorkstation(const std::string& name) {
   NodeId node = network_->AddNode(name);
-  stubs_.emplace(node.value(), std::make_unique<txn::RemoteServerStub>(
-                                   rpc_.get(), node, server_node_));
-  client_tms_.emplace(node.value(),
-                      std::make_unique<txn::ClientTm>(
-                          stubs_.at(node.value()).get(), network_.get(), node,
-                          &clock_, invalidation_bus_.get()));
-  client_tms_.at(node.value())
-      ->set_auto_recovery_interval(config_.recovery_point_interval);
+  Workstation ws;
+  // One stub per server node: every server trip is a countable RPC on
+  // the link the request actually takes.
+  std::vector<std::pair<NodeId, txn::ServerService*>> routes;
+  for (ServerNode& server : servers_) {
+    ws.stubs.push_back(std::make_unique<txn::RemoteServerStub>(
+        rpc_.get(), node, server.node));
+    routes.emplace_back(server.node, ws.stubs.back().get());
+  }
+  ws.placement = std::make_unique<txn::PlacementClient>(rpc_.get(), node,
+                                                        server_node_);
+  ws.tm = std::make_unique<txn::ClientTm>(
+      txn::ShardRouter(std::move(routes), ws.placement.get()), network_.get(),
+      node, &clock_, invalidation_bus_.get());
+  ws.tm->set_auto_recovery_interval(config_.recovery_point_interval);
+  workstations_.emplace(node.value(), std::move(ws));
   return node;
 }
 
 txn::ClientTm& ConcordSystem::client_tm(NodeId workstation) {
-  return *client_tms_.at(workstation.value());
+  return *workstations_.at(workstation.value()).tm;
 }
 
 workflow::DesignManager& ConcordSystem::dm(DaId da) {
@@ -105,7 +151,7 @@ void ConcordSystem::BindDm(DaId da, DaRuntime* runtime) {
 }
 
 Result<DaId> ConcordSystem::InitDesign(cooperation::DaDescription description) {
-  if (!client_tms_.count(description.workstation.value())) {
+  if (!workstations_.count(description.workstation.value())) {
     return Status::InvalidArgument("unknown workstation " +
                                    description.workstation.ToString());
   }
@@ -124,7 +170,7 @@ Result<DaId> ConcordSystem::InitDesign(cooperation::DaDescription description) {
 
 Result<DaId> ConcordSystem::CreateSubDa(DaId super,
                                         cooperation::DaDescription description) {
-  if (!client_tms_.count(description.workstation.value())) {
+  if (!workstations_.count(description.workstation.value())) {
     return Status::InvalidArgument("unknown workstation " +
                                    description.workstation.ToString());
   }
@@ -296,9 +342,9 @@ void ConcordSystem::DeliverEvent(DaId da, const workflow::Event& event) {
 }
 
 void ConcordSystem::CrashWorkstation(NodeId workstation) {
-  auto it = client_tms_.find(workstation.value());
-  if (it == client_tms_.end()) return;
-  it->second->Crash();
+  auto it = workstations_.find(workstation.value());
+  if (it == workstations_.end()) return;
+  it->second.tm->Crash();
   for (auto& [da_value, runtime] : das_) {
     if (runtime.workstation == workstation &&
         runtime.dm->state() != workflow::DmState::kCompleted) {
@@ -308,11 +354,11 @@ void ConcordSystem::CrashWorkstation(NodeId workstation) {
 }
 
 Status ConcordSystem::RecoverWorkstation(NodeId workstation) {
-  auto it = client_tms_.find(workstation.value());
-  if (it == client_tms_.end()) {
+  auto it = workstations_.find(workstation.value());
+  if (it == workstations_.end()) {
     return Status::NotFound("unknown workstation " + workstation.ToString());
   }
-  CONCORD_RETURN_NOT_OK(it->second->Recover().status());
+  CONCORD_RETURN_NOT_OK(it->second.tm->Recover().status());
   for (auto& [da_value, runtime] : das_) {
     if (runtime.workstation != workstation) continue;
     if (runtime.dm->state() == workflow::DmState::kCrashed) {
@@ -334,17 +380,41 @@ Status ConcordSystem::RecoverWorkstation(NodeId workstation) {
 }
 
 void ConcordSystem::CrashServer() {
-  server_tm_->Crash();
-  cm_->Crash();
-  // The RPC at-most-once dedup table is volatile server memory: a
-  // retried pre-crash envelope re-executes after recovery (and gets
-  // the typed kUnknownDop answer for its wiped registration).
-  rpc_->ClearNodeState(server_node_);
+  for (size_t shard = 0; shard < servers_.size(); ++shard) {
+    CrashServerNode(shard);
+  }
 }
 
 Status ConcordSystem::RecoverServer() {
-  CONCORD_RETURN_NOT_OK(server_tm_->Recover());
+  for (ServerNode& server : servers_) {
+    CONCORD_RETURN_NOT_OK(server.tm->Recover());
+  }
+  // One full rebuild of the CM (and, through it, every shard's
+  // scope-lock tables) from the coordinator's meta store.
   return cm_->Recover();
+}
+
+void ConcordSystem::CrashServerNode(size_t shard) {
+  ServerNode& server = servers_[shard];
+  server.tm->Crash();
+  // The RPC at-most-once dedup table is volatile server memory: a
+  // retried pre-crash envelope re-executes after recovery (and gets
+  // the typed kUnknownDop answer for its wiped registration).
+  rpc_->ClearNodeState(server.node);
+  // The coordinator hosts the CM: its crash takes the cooperation
+  // state down with it. Other shards leave the CM running — their DAs
+  // elsewhere keep cooperating.
+  if (shard == 0) cm_->Crash();
+}
+
+Status ConcordSystem::RecoverServerNode(size_t shard) {
+  CONCORD_RETURN_NOT_OK(servers_[shard].tm->Recover());
+  if (shard == 0) return cm_->Recover();
+  // The CM never went down; only this node's lock tables restarted
+  // empty. Re-derive them from the persisted cooperation state (the
+  // writes route per DOV, so surviving shards just see idempotent
+  // re-applies).
+  return cm_->ReestablishLocks();
 }
 
 }  // namespace concord::core

@@ -18,9 +18,13 @@
 #include "rpc/network.h"
 #include "rpc/transactional_rpc.h"
 #include "storage/repository.h"
+#include "storage/repository_router.h"
 #include "txn/client_tm.h"
+#include "txn/lock_router.h"
+#include "txn/placement.h"
 #include "txn/remote_server_stub.h"
 #include "txn/server_tm.h"
+#include "txn/shard_router.h"
 #include "vlsi/tools.h"
 #include "workflow/constraints.h"
 #include "workflow/design_manager.h"
@@ -38,13 +42,21 @@ struct SystemConfig {
   SimTime lan_latency = 2 * kMillisecond;
   SimTime local_latency = 20 * kMicrosecond;
   double message_loss_probability = 0.0;
+  /// Server-plane width: number of server-TM nodes the DAs/DOVs shard
+  /// across. 1 (the default) is the classic single-server system; with
+  /// N >= 2 the CM places each DA on the least-loaded node, DOV ids
+  /// carry their shard, and cross-shard interactions run true
+  /// multi-participant 2PC.
+  int server_nodes = 1;
 };
 
-/// The assembled CONCORD system (Fig. 8): repository + server-TM + CM
-/// on the server node; one client-TM per workstation; one DM per DA.
-/// This facade is the public API the examples and benchmarks program
-/// against; it owns all managers and routes cooperation events from
-/// the CM to the DMs over the simulated LAN.
+/// The assembled CONCORD system (Fig. 8): a server *plane* of one or
+/// more nodes — each carrying a repository shard and a server-TM, with
+/// the CM and the placement authority on the coordinator (node 0) —
+/// one client-TM per workstation, one DM per DA. This facade is the
+/// public API the examples and benchmarks program against; it owns all
+/// managers and routes cooperation events from the CM to the DMs over
+/// the simulated LAN.
 class ConcordSystem : public txn::ScopeAuthority {
  public:
   explicit ConcordSystem(SystemConfig config = SystemConfig{});
@@ -54,7 +66,11 @@ class ConcordSystem : public txn::ScopeAuthority {
 
   // --- Topology -------------------------------------------------------
 
+  /// Coordinator node (shard 0; hosts the CM and placement authority).
   NodeId server_node() const { return server_node_; }
+  size_t server_node_count() const { return servers_.size(); }
+  /// Node id of server shard `shard`.
+  NodeId server_node_at(size_t shard) const { return servers_[shard].node; }
   /// Registers a designer workstation (client-TM included).
   NodeId AddWorkstation(const std::string& name);
 
@@ -86,8 +102,16 @@ class ConcordSystem : public txn::ScopeAuthority {
   /// under loss) of all checkout/checkin/begin/commit/abort traffic.
   rpc::TransactionalRpc& rpc() { return *rpc_; }
   rpc::InvalidationBus& invalidation_bus() { return *invalidation_bus_; }
-  storage::Repository& repository() { return *repository_; }
-  txn::ServerTm& server_tm() { return *server_tm_; }
+  /// Coordinator-shard components (the whole system when
+  /// server_nodes == 1).
+  storage::Repository& repository() { return *servers_[0].repository; }
+  txn::ServerTm& server_tm() { return *servers_[0].tm; }
+  /// Per-shard components of the server plane.
+  storage::Repository& repository_at(size_t shard) {
+    return *servers_[shard].repository;
+  }
+  txn::ServerTm& server_tm_at(size_t shard) { return *servers_[shard].tm; }
+  txn::PlacementMap& placement() { return placement_; }
   cooperation::CooperationManager& cm() { return *cm_; }
   txn::ClientTm& client_tm(NodeId workstation);
   workflow::DesignManager& dm(DaId da);
@@ -108,11 +132,19 @@ class ConcordSystem : public txn::ScopeAuthority {
   void CrashWorkstation(NodeId workstation);
   Status RecoverWorkstation(NodeId workstation);
 
-  /// Crashes the server: repository, server-TM lock tables and CM state
-  /// are volatile; WAL + meta store survive and recovery rebuilds all
-  /// of it.
+  /// Crashes the whole server plane: repositories, server-TM lock
+  /// tables and CM state are volatile; WAL + meta store survive and
+  /// recovery rebuilds all of it.
   void CrashServer();
   Status RecoverServer();
+
+  /// Crashes ONE server node of the plane; the other shards keep
+  /// serving their DAs (crashing shard 0 also takes down the CM and
+  /// the placement authority hosted there). Recovery replays the
+  /// node's repository and — for a non-coordinator node — re-derives
+  /// its lock tables from the CM's persisted state.
+  void CrashServerNode(size_t shard);
+  Status RecoverServerNode(size_t shard);
 
   // --- ScopeAuthority (forwards to the CM) ---------------------------
 
@@ -142,6 +174,22 @@ class ConcordSystem : public txn::ScopeAuthority {
   void DeliverEvent(DaId da, const workflow::Event& event);
   Result<DaRuntime*> RuntimeOf(DaId da);
 
+  /// One node of the server plane: its own repository shard (DOV ids
+  /// namespaced by shard index) fronted by its own server-TM.
+  struct ServerNode {
+    NodeId node;
+    std::unique_ptr<storage::Repository> repository;
+    std::unique_ptr<txn::ServerTm> tm;
+  };
+
+  /// One registered workstation: per-server-node stubs, the placement
+  /// cache, and the client-TM routing across them.
+  struct Workstation {
+    std::vector<std::unique_ptr<txn::RemoteServerStub>> stubs;
+    std::unique_ptr<txn::PlacementClient> placement;
+    std::unique_ptr<txn::ClientTm> tm;
+  };
+
   SystemConfig config_;
   SimClock clock_;
   Rng rng_;
@@ -153,20 +201,21 @@ class ConcordSystem : public txn::ScopeAuthority {
   std::unique_ptr<rpc::TransactionalRpc> rpc_;
   /// Server->workstation push channel for DOV-cache invalidations.
   /// Must outlive the client-TMs (they unsubscribe in their dtors), so
-  /// it is declared before client_tms_.
+  /// it is declared before workstations_.
   std::unique_ptr<rpc::InvalidationBus> invalidation_bus_;
-  std::unique_ptr<storage::Repository> repository_;
-  std::unique_ptr<txn::ServerTm> server_tm_;
+  /// The server plane, shard-index order; servers_[0] is the
+  /// coordinator (hosts the CM, placement authority and meta store).
+  std::vector<ServerNode> servers_;
+  /// DA -> server-node placement, driven by the CM.
+  txn::PlacementMap placement_;
   std::unique_ptr<cooperation::CooperationManager> cm_;
   std::unique_ptr<vlsi::ToolBox> toolbox_;
   vlsi::VlsiDots dots_;
   workflow::ConstraintSet constraints_;
 
-  /// Per-workstation service stubs; every client-TM talks to the
-  /// server only through its stub. Declared before client_tms_ so the
-  /// stubs outlive the TMs that hold them.
-  std::map<uint64_t, std::unique_ptr<txn::RemoteServerStub>> stubs_;
-  std::map<uint64_t, std::unique_ptr<txn::ClientTm>> client_tms_;
+  /// Per-workstation runtime; every client-TM talks to the plane only
+  /// through its own stubs (declared inside so they outlive the TM).
+  std::map<uint64_t, Workstation> workstations_;
   std::map<uint64_t, DaRuntime> das_;
 };
 

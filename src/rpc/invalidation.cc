@@ -33,15 +33,15 @@ void InvalidationBus::Unsubscribe(NodeId node) {
   pending_.erase(node.value());
 }
 
-bool InvalidationBus::TransmitLocked(NodeId node) {
+bool InvalidationBus::TransmitLocked(NodeId from, NodeId node) {
   // The channel is reliable (retransmit-until-ack): a workstation that
   // silently missed a withdrawal would serve the withdrawn version
   // from its cache forever, so an in-transit loss on an up-up link is
   // retried — each attempt is a real hop with real cost. Only a down
   // endpoint (or an exhausted retry budget) defers to the queue.
   for (int attempt = 0; attempt < kMaxTransmitAttempts; ++attempt) {
-    if (network_->Send(server_, node).ok()) return true;
-    if (!network_->IsUp(node) || !network_->IsUp(server_)) return false;
+    if (network_->Send(from, node).ok()) return true;
+    if (!network_->IsUp(node) || !network_->IsUp(from)) return false;
     ++stats_.retransmissions;
   }
   return false;
@@ -50,12 +50,14 @@ bool InvalidationBus::TransmitLocked(NodeId node) {
 void InvalidationBus::Publish(const InvalidationMessage& message) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.published;
+  // Sharded plane: the owning server node pays the fan-out hops.
+  NodeId from = message.origin_node.valid() ? message.origin_node : server_;
   for (auto& [node_value, handler] : handlers_) {
     NodeId node(node_value);
     // One push hop server -> workstation (retransmitted through loss).
     // An undeliverable message (node down) is queued; the workstation
     // flushes the queue during recovery, before it resumes checkouts.
-    if (TransmitLocked(node)) {
+    if (TransmitLocked(from, node)) {
       ++stats_.deliveries;
       handler(message);
     } else {
@@ -79,7 +81,14 @@ void InvalidationBus::FlushPending(NodeId node) {
     queue_it->second.pop_front();
     // Redelivery pays real hops too; if the node went down again the
     // message goes back to the front of the queue.
-    if (!TransmitLocked(node)) {
+    // Redeliver from the owning node; if that node is itself down by
+    // now, the coordinator relays (the withdrawal stands regardless of
+    // which shard's link carries it).
+    NodeId from = message.origin_node.valid() &&
+                          network_->IsUp(message.origin_node)
+                      ? message.origin_node
+                      : server_;
+    if (!TransmitLocked(from, node)) {
       queue_it->second.push_front(std::move(message));
       return;
     }

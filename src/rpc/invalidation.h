@@ -40,6 +40,11 @@ struct InvalidationMessage {
   DaId origin_da;
   /// Valid for kInvalidated.
   DovId replacement;
+  /// Server node the push originates from. In a sharded plane each
+  /// invalidation is published by the node that owns the DOV (the
+  /// grant died there), so the hop cost is charged to the right link.
+  /// Invalid (the default) falls back to the bus's coordinator node.
+  NodeId origin_node;
 
   std::string ToString() const;
 };
@@ -101,12 +106,12 @@ class InvalidationBus {
   InvalidationBusStats stats() const;
 
  private:
-  /// One reliable transmission server -> node: retries in-transit
-  /// losses (both endpoints up) up to kMaxTransmitAttempts, paying one
-  /// network hop per attempt. False when the node (or server) is down
-  /// or the retry budget is exhausted — the caller queues then.
-  /// Caller holds mu_.
-  bool TransmitLocked(NodeId node);
+  /// One reliable transmission `from` (the publishing server node) ->
+  /// node: retries in-transit losses (both endpoints up) up to
+  /// kMaxTransmitAttempts, paying one network hop per attempt. False
+  /// when the node (or the publisher) is down or the retry budget is
+  /// exhausted — the caller queues then. Caller holds mu_.
+  bool TransmitLocked(NodeId from, NodeId node);
 
   /// Retransmit budget per message. A message undeliverable this many
   /// times in a row on an up-up link is treated like a down node and

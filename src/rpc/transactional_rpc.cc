@@ -20,6 +20,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
   Handler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    ++calls_per_node_[to];
     auto handler_it = handlers_.find(HandlerKey{to, method});
     if (handler_it == handlers_.end()) {
       stats_.failures.fetch_add(1, std::memory_order_relaxed);
@@ -102,11 +103,19 @@ void TransactionalRpc::ClearNodeState(NodeId node) {
   executed_.erase(node);
 }
 
+uint64_t TransactionalRpc::CallsTo(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = calls_per_node_.find(node);
+  return it == calls_per_node_.end() ? 0 : it->second;
+}
+
 void TransactionalRpc::ResetStats() {
   stats_.calls.store(0, std::memory_order_relaxed);
   stats_.retries.store(0, std::memory_order_relaxed);
   stats_.failures.store(0, std::memory_order_relaxed);
   stats_.duplicate_suppressed.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  calls_per_node_.clear();
 }
 
 }  // namespace concord::rpc

@@ -68,6 +68,10 @@ class TransactionalRpc {
   void ClearNodeState(NodeId node);
 
   const RpcStats& stats() const { return stats_; }
+  /// Envelopes addressed to `node` (counted per logical call, like
+  /// stats().calls). The sharded server plane reads this for per-node
+  /// round-trip accounting.
+  uint64_t CallsTo(NodeId node) const;
   void ResetStats();
 
  private:
@@ -95,6 +99,9 @@ class TransactionalRpc {
   /// re-sends its id), so the table is bounded by in-flight calls.
   std::unordered_map<NodeId, std::unordered_map<uint64_t, std::string>>
       executed_;
+  /// callee node -> logical calls addressed to it (per-node share of
+  /// stats_.calls). Guarded by mu_.
+  std::unordered_map<NodeId, uint64_t> calls_per_node_;
   RpcStats stats_;
 };
 

@@ -38,6 +38,14 @@ struct TwoPcStats {
   uint64_t messages = 0;
   uint64_t read_only_skips = 0;
   uint64_t local_fast_paths = 0;
+  /// Interactions whose operations spanned more than one server node
+  /// (true multi-participant 2PC: phase-1 envelopes + Decide fan-out),
+  /// vs. the single-node degenerate case that folds both legs into one
+  /// envelope.
+  uint64_t multi_node_protocols = 0;
+  /// Participant envelopes shipped by the multi-node path (phase 1 and
+  /// phase 2 combined) — each is one server round trip.
+  uint64_t participant_envelopes = 0;
 };
 
 /// Presumed-abort two-phase commit coordinator with the two

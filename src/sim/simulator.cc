@@ -19,6 +19,15 @@ std::string SimulationReport::ToString() const {
      << cache_invalidations_delivered << " invalidations pushed); "
      << rpc_calls << " server round trips (" << rpc_retries << " retries, "
      << batched_checkin_commits << " batched checkin+commits)";
+  if (per_node_round_trips.size() > 1) {
+    os << "; per-node round trips [";
+    for (size_t i = 0; i < per_node_round_trips.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "s" << i << ": " << per_node_round_trips[i];
+    }
+    os << "] (" << cross_shard_interactions << " cross-shard, "
+       << placement_refreshes << " placement refreshes)";
+  }
   return os.str();
 }
 
@@ -27,6 +36,7 @@ MultiDesignerSimulation::MultiDesignerSimulation(SimulationOptions options)
   core::SystemConfig config;
   config.seed = options_.seed;
   config.time_per_work_unit = kMillisecond;
+  config.server_nodes = options_.server_nodes;
   system_ = std::make_unique<core::ConcordSystem>(config);
 }
 
@@ -96,10 +106,17 @@ Result<SimulationReport> MultiDesignerSimulation::Run() {
     }
   }
 
-  report.dops_committed = system_->server_tm().stats().dops_committed;
+  for (size_t shard = 0; shard < system_->server_node_count(); ++shard) {
+    report.per_node_round_trips.push_back(
+        system_->rpc().CallsTo(system_->server_node_at(shard)));
+  }
   report.sim_time = system_->clock().Now();
   for (DaId da : das_) {
     NodeId ws = (*system_->cm().GetDa(da))->workstation;
+    // Commit counting is client-side: exactly one per DOP, however
+    // many server nodes a cross-shard End-of-DOP fanned out to (each
+    // participant's ServerTm counter would count its own leg).
+    report.dops_committed += system_->client_tm(ws).stats().dops_committed;
     report.work_units_lost +=
         system_->client_tm(ws).stats().work_units_lost;
     report.checkouts_from_cache +=
@@ -108,6 +125,10 @@ Result<SimulationReport> MultiDesignerSimulation::Run() {
         system_->client_tm(ws).stats().checkouts_from_server;
     report.batched_checkin_commits +=
         system_->client_tm(ws).stats().batched_checkin_commits;
+    report.cross_shard_interactions +=
+        system_->client_tm(ws).stats().cross_shard_interactions;
+    report.placement_refreshes +=
+        system_->client_tm(ws).stats().placement_refreshes;
   }
   report.cache_invalidations_delivered =
       system_->invalidation_bus().stats().deliveries;

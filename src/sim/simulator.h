@@ -23,6 +23,10 @@ struct SimulationOptions {
   /// Probability of a server crash between scheduler rounds.
   double server_crash_probability = 0.0;
   uint64_t seed = 42;
+  /// Server-plane width (see SystemConfig::server_nodes): with N >= 2
+  /// the CM shards the designs' DAs across N server nodes and the
+  /// report carries per-node round-trip counts.
+  int server_nodes = 1;
 };
 
 /// Outcome of a simulation run.
@@ -50,6 +54,13 @@ struct SimulationReport {
   uint64_t rpc_retries = 0;
   /// Checkin+commit pairs that rode a single batched envelope.
   uint64_t batched_checkin_commits = 0;
+  /// Round trips (logical RPC calls) per server node, shard order —
+  /// the plane's load split. One entry for the single-server system.
+  std::vector<uint64_t> per_node_round_trips;
+  /// Interactions that spanned shards (true multi-participant 2PC)
+  /// and placement-cache refreshes after DA migrations.
+  uint64_t cross_shard_interactions = 0;
+  uint64_t placement_refreshes = 0;
 
   std::string ToString() const;
 };

@@ -54,18 +54,18 @@ Status ConfigurationStore::Validate(const Configuration& config) const {
     return Status::InvalidArgument("configuration has no name");
   }
   CONCORD_ASSIGN_OR_RETURN(DovRecord composite,
-                           repository_->Get(config.composite));
+                           repository_.Get(config.composite));
   for (const auto& [slot, dov] : config.bindings) {
     if (slot.empty()) {
       return Status::InvalidArgument("configuration has an empty slot name");
     }
-    CONCORD_ASSIGN_OR_RETURN(DovRecord component, repository_->Get(dov));
+    CONCORD_ASSIGN_OR_RETURN(DovRecord component, repository_.Get(dov));
     if (component.invalidated) {
       return Status::ConstraintViolation(
           "configuration '" + config.name + "' binds invalidated " +
           dov.ToString() + " to slot '" + slot + "'");
     }
-    if (!repository_->schema().IsPartOf(component.type, composite.type)) {
+    if (!repository_.schema().IsPartOf(component.type, composite.type)) {
       return Status::ConstraintViolation(
           "slot '" + slot + "': " + component.type.ToString() +
           " is not a part of the composite's " + composite.type.ToString());
@@ -76,24 +76,24 @@ Status ConfigurationStore::Validate(const Configuration& config) const {
 
 Status ConfigurationStore::Save(const Configuration& config) {
   CONCORD_RETURN_NOT_OK(Validate(config));
-  TxnId txn = repository_->Begin();
-  Status st = repository_->PutMeta(txn, kConfigPrefix + config.name,
+  TxnId txn = repository_.Begin();
+  Status st = repository_.PutMeta(txn, kConfigPrefix + config.name,
                                    config.Serialize());
-  if (st.ok()) st = repository_->Commit(txn);
-  if (!st.ok()) repository_->Abort(txn).ok();
+  if (st.ok()) st = repository_.Commit(txn);
+  if (!st.ok()) repository_.Abort(txn).ok();
   return st;
 }
 
 Result<Configuration> ConfigurationStore::Load(const std::string& name) const {
   CONCORD_ASSIGN_OR_RETURN(std::string text,
-                           repository_->GetMeta(kConfigPrefix + name));
+                           repository_.GetMeta(kConfigPrefix + name));
   return Configuration::Deserialize(text);
 }
 
 std::vector<std::string> ConfigurationStore::List() const {
   std::vector<std::string> names;
   for (const std::string& key :
-       repository_->MetaKeysWithPrefix(kConfigPrefix)) {
+       repository_.MetaKeysWithPrefix(kConfigPrefix)) {
     names.push_back(key.substr(sizeof(kConfigPrefix) - 1));
   }
   return names;

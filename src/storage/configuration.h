@@ -2,6 +2,7 @@
 #define CONCORD_STORAGE_CONFIGURATION_H_
 
 #include <map>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/repository.h"
+#include "storage/repository_router.h"
 
 namespace concord::storage {
 
@@ -35,6 +37,11 @@ class ConfigurationStore {
  public:
   explicit ConfigurationStore(Repository* repository)
       : repository_(repository) {}
+  /// Sharded plane: bound DOVs may live on any shard; reads route by
+  /// the id, the configuration record itself lands in the
+  /// coordinator's meta store.
+  explicit ConfigurationStore(RepositoryRouter repository)
+      : repository_(std::move(repository)) {}
 
   /// Structural consistency of `config`:
   ///  - the composite and every bound DOV exist;
@@ -50,7 +57,7 @@ class ConfigurationStore {
   std::vector<std::string> List() const;
 
  private:
-  Repository* repository_;
+  RepositoryRouter repository_;
 };
 
 }  // namespace concord::storage

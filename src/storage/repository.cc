@@ -418,7 +418,11 @@ Result<size_t> Repository::ReplayStableLocked(
   uint64_t max_dov = snapshot.last_dov_id;
   size_t restored_count = restored.size();
   for (const auto& [id_value, record] : restored) {
-    max_dov = std::max(max_dov, id_value);
+    // Stable storage holds full (shard-base | counter) ids; the
+    // generator tracks only the local counter, so strip the base
+    // before bumping it. All records in one repository share its
+    // shard, so the masked maximum is exactly the local high-water.
+    max_dov = std::max(max_dov, id_value & kDovLocalMask);
     ApplyDov(record);
   }
   {

@@ -137,7 +137,19 @@ class Repository {
   /// All committed DOVs owned by `da`, in creation order.
   std::vector<DovId> DovsOf(DaId da) const;
 
-  DovId NextDovId() { return dov_gen_.Next(); }
+  /// Declares which server shard this repository serves. Every DOV id
+  /// it hands out afterwards carries the shard index in its top bits
+  /// (common/ids.h), so per-shard repositories never collide on ids
+  /// and both client and server can route a DOV to its owning node
+  /// straight from the id. Must be set before traffic (and before
+  /// Open); shard 0 — the default — reproduces the un-sharded ids.
+  void set_dov_id_shard(uint32_t shard) {
+    dov_shard_base_ = static_cast<uint64_t>(shard) << kDovShardShift;
+  }
+
+  DovId NextDovId() {
+    return DovId(dov_shard_base_ | dov_gen_.Next().value());
+  }
 
   // --- Failure model ------------------------------------------------
 
@@ -206,7 +218,11 @@ class Repository {
   std::atomic<bool> poisoned_{false};
   SchemaCatalog schema_;
   IdGenerator<TxnId> txn_gen_;
+  /// Generates the shard-local counter part of DOV ids; the shard base
+  /// is OR'd in by NextDovId (and stripped again when recovery bumps
+  /// the generator past the ids found on stable storage).
   IdGenerator<DovId> dov_gen_;
+  uint64_t dov_shard_base_ = 0;
 
   /// Shared for normal operation, exclusive for Crash/Recover/
   /// Checkpoint. Always the outermost lock.

@@ -1,0 +1,132 @@
+#include "storage/repository_router.h"
+
+namespace concord::storage {
+
+RepositoryRouter::RepositoryRouter(std::vector<Repository*> shards)
+    : shards_(std::move(shards)), state_(std::make_shared<State>()) {}
+
+TxnId RepositoryRouter::Begin() {
+  // Degenerate single-shard plane: delegate ids and transactions
+  // straight to the repository, bit-identical to pre-sharding.
+  if (shards_.size() == 1) return coordinator()->Begin();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  TxnId txn(++state_->next_txn);
+  state_->txns.emplace(txn, RoutedTxn{});
+  return txn;
+}
+
+Result<TxnId> RepositoryRouter::SubTxn(TxnId txn, size_t shard_index) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->txns.find(txn);
+  if (it == state_->txns.end()) {
+    return Status::NotFound("no active router transaction " + txn.ToString());
+  }
+  auto sub_it = it->second.sub.find(shard_index);
+  if (sub_it != it->second.sub.end()) return sub_it->second;
+  TxnId sub = shards_[shard_index]->Begin();
+  it->second.sub.emplace(shard_index, sub);
+  return sub;
+}
+
+Status RepositoryRouter::Put(TxnId txn, DovRecord record) {
+  uint32_t shard = DovShardOf(record.id);
+  size_t index = shard < shards_.size() ? shard : 0;
+  if (shards_.size() == 1) return shards_[0]->Put(txn, std::move(record));
+  CONCORD_ASSIGN_OR_RETURN(TxnId sub, SubTxn(txn, index));
+  return shards_[index]->Put(sub, std::move(record));
+}
+
+Status RepositoryRouter::PutMeta(TxnId txn, const std::string& key,
+                                 const std::string& value) {
+  if (shards_.size() == 1) return coordinator()->PutMeta(txn, key, value);
+  CONCORD_ASSIGN_OR_RETURN(TxnId sub, SubTxn(txn, 0));
+  return coordinator()->PutMeta(sub, key, value);
+}
+
+Status RepositoryRouter::DeleteMeta(TxnId txn, const std::string& key) {
+  if (shards_.size() == 1) return coordinator()->DeleteMeta(txn, key);
+  CONCORD_ASSIGN_OR_RETURN(TxnId sub, SubTxn(txn, 0));
+  return coordinator()->DeleteMeta(sub, key);
+}
+
+Status RepositoryRouter::Commit(TxnId txn) {
+  if (shards_.size() == 1) return coordinator()->Commit(txn);
+  RoutedTxn routed;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto it = state_->txns.find(txn);
+    if (it == state_->txns.end()) {
+      return Status::NotFound("no active router transaction " +
+                              txn.ToString());
+    }
+    routed = it->second;
+  }
+  for (const auto& [index, sub] : routed.sub) {
+    Status st = shards_[index]->Commit(sub);
+    if (!st.ok()) {
+      // The failed sub-transaction was re-registered by its repository;
+      // the router transaction stays alive so Abort can clean up both
+      // it and any not-yet-committed siblings. Already-committed
+      // siblings stand (shard-by-shard commit, see the class comment).
+      std::lock_guard<std::mutex> lock(state_->mu);
+      auto it = state_->txns.find(txn);
+      if (it != state_->txns.end()) {
+        RoutedTxn& live = it->second;
+        for (auto sub_it = live.sub.begin(); sub_it != live.sub.end();) {
+          bool committed = !shards_[sub_it->first]->HasActiveTxn(sub_it->second);
+          bool failed_here = sub_it->first == index;
+          if (committed && !failed_here) {
+            sub_it = live.sub.erase(sub_it);
+          } else {
+            ++sub_it;
+          }
+        }
+      }
+      return st;
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->txns.erase(txn);
+  return Status::OK();
+}
+
+Status RepositoryRouter::Abort(TxnId txn) {
+  if (shards_.size() == 1) return coordinator()->Abort(txn);
+  RoutedTxn routed;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto it = state_->txns.find(txn);
+    if (it == state_->txns.end()) {
+      return Status::NotFound("no active router transaction " +
+                              txn.ToString());
+    }
+    routed = std::move(it->second);
+    state_->txns.erase(it);
+  }
+  Status first_error = Status::OK();
+  for (const auto& [index, sub] : routed.sub) {
+    Status st = shards_[index]->Abort(sub);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+std::vector<DovId> RepositoryRouter::DovsOf(DaId da) const {
+  if (shards_.size() == 1) return coordinator()->DovsOf(da);
+  std::vector<DovId> all;
+  for (Repository* shard : shards_) {
+    std::vector<DovId> part = shard->DovsOf(da);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+bool RepositoryRouter::IsAncestor(DaId da, DovId ancestor,
+                                  DovId descendant) const {
+  for (Repository* shard : shards_) {
+    if (shard->graph(da).IsAncestor(ancestor, descendant)) return true;
+  }
+  return false;
+}
+
+}  // namespace concord::storage

@@ -1,0 +1,113 @@
+#ifndef CONCORD_STORAGE_REPOSITORY_ROUTER_H_
+#define CONCORD_STORAGE_REPOSITORY_ROUTER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/repository.h"
+
+namespace concord::storage {
+
+/// Routes the cooperation manager's storage surface across the sharded
+/// server plane. DOV reads and flag updates go to the shard encoded in
+/// the DovId; the meta store (DA hierarchy, relationships, proposals,
+/// grants) lives on the coordinator (shard 0) so CM recovery has one
+/// authoritative place to reload from; and a router transaction fans
+/// out into at most one sub-transaction per shard.
+///
+/// Cross-shard router transactions commit shard by shard — each
+/// sub-commit is atomic, the set is not. That is sufficient for the
+/// CM: its transactions are single-purpose (one DOV flag update, or a
+/// batch of meta writes), so no CM transaction ever actually spans
+/// shards; the fan-out exists so the code does not have to prove that
+/// invariant at every call site. Client checkins never pass through
+/// here — cross-shard *DOP* atomicity is the transaction managers'
+/// 2PC, see txn/server_service.h.
+///
+/// Copyable by design (non-owning pointers + shared routing state).
+class RepositoryRouter {
+ public:
+  RepositoryRouter() = default;
+  explicit RepositoryRouter(Repository* single)
+      : RepositoryRouter(std::vector<Repository*>{single}) {}
+  explicit RepositoryRouter(std::vector<Repository*> shards);
+
+  size_t shard_count() const { return shards_.size(); }
+  Repository* shard(size_t index) const { return shards_[index]; }
+  /// Shard 0: hosts the meta store and the schema of record.
+  Repository* coordinator() const { return shards_.front(); }
+
+  /// Repository owning `dov` (out-of-range shard indices clamp to the
+  /// coordinator so corrupt ids fail as NotFound, not as a crash).
+  Repository& Of(DovId dov) const {
+    return *shards_[DovShardClamped(dov, shards_.size())];
+  }
+
+  /// Schema catalog of record (the coordinator's; every shard registers
+  /// an identical catalog so checkin validation agrees plane-wide).
+  SchemaCatalog& schema() const { return coordinator()->schema(); }
+
+  // --- Routed transactions -------------------------------------------
+
+  TxnId Begin();
+  Status Put(TxnId txn, DovRecord record);
+  Status PutMeta(TxnId txn, const std::string& key, const std::string& value);
+  Status DeleteMeta(TxnId txn, const std::string& key);
+  /// Commits every sub-transaction (shard order). On failure the
+  /// failed sub-transaction is re-registered by its repository and the
+  /// router transaction stays alive so Abort can clean up — the same
+  /// observable contract as Repository::Commit.
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  // --- Routed reads --------------------------------------------------
+
+  Result<DovRecord> Get(DovId id) const { return Of(id).Get(id); }
+  Result<std::string> GetMeta(const std::string& key) const {
+    return coordinator()->GetMeta(key);
+  }
+  std::vector<std::string> MetaKeysWithPrefix(const std::string& prefix) const {
+    return coordinator()->MetaKeysWithPrefix(prefix);
+  }
+
+  /// All committed DOVs owned by `da`, creation order within each
+  /// shard, shards concatenated in index order.
+  std::vector<DovId> DovsOf(DaId da) const;
+
+  /// True iff `ancestor` precedes `descendant` in `da`'s derivation
+  /// graph on any shard. (A DA's graph lives on its home shard; after
+  /// a migration the chain may span two shards, each holding the edges
+  /// created while the DA was homed there.)
+  bool IsAncestor(DaId da, DovId ancestor, DovId descendant) const;
+
+ private:
+  struct RoutedTxn {
+    /// shard index -> that shard's live sub-transaction.
+    std::unordered_map<size_t, TxnId> sub;
+  };
+
+  /// Sub-transaction of `txn` on the shard owning `dov` (opened
+  /// lazily). Meta routes pass the coordinator by using shard 0.
+  Result<TxnId> SubTxn(TxnId txn, size_t shard_index);
+
+  std::vector<Repository*> shards_;
+  /// Routing table for in-flight router transactions. Shared across
+  /// copies of the router (the CM and the system facade may hold
+  /// copies), hence the shared_ptr.
+  struct State {
+    std::mutex mu;
+    uint64_t next_txn = 0;
+    std::unordered_map<TxnId, RoutedTxn> txns;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace concord::storage
+
+#endif  // CONCORD_STORAGE_REPOSITORY_ROUTER_H_

@@ -10,7 +10,13 @@ namespace concord::txn {
 ClientTm::ClientTm(ServerService* service, rpc::Network* network,
                    NodeId workstation, SimClock* clock,
                    rpc::InvalidationBus* invalidations)
-    : service_(service),
+    : ClientTm(ShardRouter(service), network, workstation, clock,
+               invalidations) {}
+
+ClientTm::ClientTm(ShardRouter router, rpc::Network* network,
+                   NodeId workstation, SimClock* clock,
+                   rpc::InvalidationBus* invalidations)
+    : router_(std::move(router)),
       network_(network),
       node_(workstation),
       clock_(clock),
@@ -23,6 +29,18 @@ ClientTm::ClientTm(ServerService* service, rpc::Network* network,
           cache_.Invalidate(message.dov);
         });
   }
+}
+
+TxnId ClientTm::NextTxnId() {
+  // Namespaced like DOP ids: the server-side 2PC ledger keys on the
+  // transaction id, so ids must be unique per interaction AND across
+  // workstations.
+  return TxnId((node_.value() << 32) | txn_gen_.Next().value());
+}
+
+bool ClientTm::Enlisted(const DopRuntime& runtime, NodeId node) const {
+  return std::find(runtime.participants.begin(), runtime.participants.end(),
+                   node) != runtime.participants.end();
 }
 
 ClientTm::~ClientTm() {
@@ -42,11 +60,13 @@ Result<ClientTm::DopRuntime*> ClientTm::ActiveDop(DopId dop) {
   return &it->second;
 }
 
-Result<BatchReply> ClientTm::RunCriticalInteraction(
-    TxnId txn, std::vector<ServerRequest> ops, bool independent) {
+Result<BatchReply> ClientTm::RunCriticalInteraction(TxnId txn,
+                                                    std::vector<RoutedOp> ops,
+                                                    bool independent) {
   if (!network_->IsUp(node_)) {
     return Status::Crashed("workstation is down");
   }
+  if (ops.empty()) return BatchReply{};
   ++two_pc_stats_.protocols_run;
   // Client-side participant leg: co-located with the coordinator, so
   // it takes the main-memory fast path of Sect. 6 — two local hops,
@@ -56,17 +76,38 @@ Result<BatchReply> ClientTm::RunCriticalInteraction(
     ++two_pc_stats_.aborted;
     return Status::Crashed("workstation is down");
   }
-  // Server-side legs ride the envelope: phase-1 vote first, the
-  // operations, then the phase-2 decision — one round trip for all
-  // three where the raw protocol paid two round trips plus the call.
+
+  // Group the ops by destination node, preserving first-appearance
+  // order (the coordinator-side view of the participant list).
+  std::vector<NodeId> participants;
+  std::vector<std::vector<size_t>> op_indices;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    size_t p = 0;
+    while (p < participants.size() && participants[p] != ops[i].node) ++p;
+    if (p == participants.size()) {
+      participants.push_back(ops[i].node);
+      op_indices.emplace_back();
+    }
+    op_indices[p].push_back(i);
+  }
+
+  if (participants.size() > 1) {
+    return RunMultiNodeInteraction(txn, participants, op_indices, ops,
+                                   independent);
+  }
+
+  // Single-participant degenerate case: both 2PC legs ride one
+  // envelope — phase-1 vote first, the operations, then the phase-2
+  // decision — one round trip for all three where the raw protocol
+  // paid two round trips plus the call.
   BatchRequest batch;
   batch.independent = independent;
   batch.ops.reserve(ops.size() + 2);
   batch.ops.emplace_back(PrepareRequest{txn});
-  for (ServerRequest& op : ops) batch.ops.push_back(std::move(op));
+  for (RoutedOp& op : ops) batch.ops.push_back(std::move(op.op));
   batch.ops.emplace_back(DecideRequest{txn, /*commit=*/true});
 
-  auto reply = service_->Execute(batch);
+  auto reply = router_.service(participants.front())->Execute(batch);
   if (!reply.ok()) {
     // Server unreachable (or retries exhausted): presumed abort.
     ++two_pc_stats_.aborted;
@@ -90,6 +131,139 @@ Result<BatchReply> ClientTm::RunCriticalInteraction(
   return out;
 }
 
+Result<BatchReply> ClientTm::RunMultiNodeInteraction(
+    TxnId txn, const std::vector<NodeId>& participants,
+    const std::vector<std::vector<size_t>>& op_indices,
+    std::vector<RoutedOp>& ops, bool independent) {
+  BatchReply merged;
+  merged.ops.resize(ops.size());
+  for (ServerReply& reply : merged.ops) {
+    reply.status = Status::Unavailable("participant unreachable");
+  }
+
+  if (independent) {
+    // No cross-node atomicity required: each participant gets its own
+    // degenerate [Prepare, ops, Decide] envelope; an unreachable node
+    // only costs its own ops (they stay kUnavailable in the merge).
+    bool any_reached = false;
+    for (size_t p = 0; p < participants.size(); ++p) {
+      BatchRequest batch;
+      batch.independent = true;
+      batch.ops.reserve(op_indices[p].size() + 2);
+      batch.ops.emplace_back(PrepareRequest{txn});
+      for (size_t index : op_indices[p]) {
+        batch.ops.push_back(std::move(ops[index].op));
+      }
+      batch.ops.emplace_back(DecideRequest{txn, /*commit=*/true});
+      auto reply = router_.service(participants[p])->Execute(batch);
+      two_pc_stats_.messages += 2;
+      if (!reply.ok() || reply->ops.size() != batch.ops.size()) continue;
+      any_reached = true;
+      for (size_t i = 0; i < op_indices[p].size(); ++i) {
+        merged.ops[op_indices[p][i]] = std::move(reply->ops[i + 1]);
+      }
+    }
+    if (any_reached) {
+      ++two_pc_stats_.committed;
+    } else {
+      ++two_pc_stats_.aborted;
+      return Status::Unavailable("no server node reachable");
+    }
+    return merged;
+  }
+
+  // True multi-participant 2PC. Phase 1: one [Prepare, ops...]
+  // envelope per participant; state-changing operations are staged in
+  // the participant's ledger and applied only by the decision.
+  ++two_pc_stats_.multi_node_protocols;
+  std::vector<bool> acked(participants.size(), false);
+  bool all_acked = true;
+  for (size_t p = 0; p < participants.size(); ++p) {
+    BatchRequest batch;
+    batch.independent = false;
+    batch.ops.reserve(op_indices[p].size() + 1);
+    batch.ops.emplace_back(PrepareRequest{txn});
+    for (size_t index : op_indices[p]) {
+      batch.ops.push_back(std::move(ops[index].op));
+    }
+    auto reply = router_.service(participants[p])->Execute(batch);
+    ++two_pc_stats_.participant_envelopes;
+    two_pc_stats_.messages += 2;
+    if (!reply.ok() || reply->ops.size() != batch.ops.size()) {
+      all_acked = false;
+      continue;
+    }
+    const auto* vote = std::get_if<PrepareReply>(&reply->ops.front().body);
+    if (vote == nullptr || !vote->vote) {
+      all_acked = false;
+      continue;
+    }
+    acked[p] = true;
+    for (size_t i = 0; i < op_indices[p].size(); ++i) {
+      merged.ops[op_indices[p][i]] = std::move(reply->ops[i + 1]);
+    }
+  }
+
+  // Decision: commit only when every participant is prepared and — the
+  // ops form one dependent chain — every operation succeeded. (An
+  // application-level failure on node A must discard what node B
+  // staged: that is exactly the cross-shard skip-after-failure rule.)
+  bool data_ok = true;
+  for (const ServerReply& reply : merged.ops) {
+    if (!reply.status.ok()) data_ok = false;
+  }
+  bool commit = all_acked && data_ok;
+
+  // Phase 2: fan the decision out to every participant that acked
+  // phase 1 (presumed abort covers the rest). A commit decision is
+  // retried a few times per node — the transport already retries each
+  // attempt — because a participant that misses it would strand its
+  // staged effects; an abort decision is best-effort by design.
+  Status decide_failure = Status::OK();
+  for (size_t p = 0; p < participants.size(); ++p) {
+    if (!acked[p]) continue;
+    BatchRequest decide;
+    decide.ops.emplace_back(DecideRequest{txn, commit});
+    const int attempts = commit ? 3 : 1;
+    Status last = Status::OK();
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      auto reply = router_.service(participants[p])->Execute(decide);
+      ++two_pc_stats_.participant_envelopes;
+      two_pc_stats_.messages += 2;
+      if (reply.ok()) {
+        last = reply->ops.empty() ? Status::OK() : reply->ops.front().status;
+        break;
+      }
+      last = reply.status();
+    }
+    if (commit && !last.ok() && decide_failure.ok()) decide_failure = last;
+  }
+
+  if (!all_acked) {
+    ++two_pc_stats_.aborted;
+    return Status::Unavailable(
+        "cross-shard commit protocol aborted: participant unreachable in "
+        "phase 1");
+  }
+  if (commit && !decide_failure.ok()) {
+    // In-doubt window: some participant staged but never learned the
+    // commit (it is down — its volatile ledger dies with it). Surface
+    // the failure; the caller treats the interaction as failed.
+    ++two_pc_stats_.aborted;
+    return Status::Unavailable("cross-shard commit decision undeliverable: " +
+                               decide_failure.message());
+  }
+  if (commit) {
+    ++two_pc_stats_.committed;
+  } else {
+    ++two_pc_stats_.aborted;
+  }
+  // Data-failure aborts still return the merged replies: the callers
+  // surface the first failed operation's typed status, exactly like
+  // the single-node skip-after-failure path.
+  return merged;
+}
+
 Result<DopId> ClientTm::BeginDop(DaId da) {
   if (!network_->IsUp(node_)) {
     return Status::Crashed("workstation is down");
@@ -98,14 +272,18 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
   // its own counter, and two workstations with concurrently live DOPs
   // must not collide at the server's registration table.
   DopId dop = DopId((node_.value() << 32) | dop_gen_.Next().value());
-  std::vector<ServerRequest> ops;
-  ops.emplace_back(BeginDopRequest{dop, da});
+  // Registration goes to the DA's home node: that is where the DOP's
+  // checkins will land, and the shard a stale placement would
+  // otherwise misroute them to detects it there.
+  CONCORD_ASSIGN_OR_RETURN(NodeId home, router_.HomeOf(da));
+  std::vector<RoutedOp> ops;
+  ops.push_back({home, BeginDopRequest{dop, da}});
   CONCORD_ASSIGN_OR_RETURN(
-      BatchReply reply,
-      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
+      BatchReply reply, RunCriticalInteraction(NextTxnId(), std::move(ops)));
   CONCORD_RETURN_NOT_OK(reply.ops.front().status);
   DopRuntime runtime;
   runtime.da = da;
+  runtime.participants.push_back(home);
   dops_.emplace(dop, std::move(runtime));
   // Initial recovery point: an empty context, so a crash right after
   // Begin-of-DOP recovers to the beginning.
@@ -137,13 +315,25 @@ Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
   // withdrawal races the checkout, the stale reply must not be cached
   // (InsertIfCurrent refuses it).
   uint64_t inv_seq = cache_.InvalidationSeq(dov);
-  std::vector<ServerRequest> ops;
-  ops.emplace_back(CheckoutRequest{dop, dov, take_derivation_lock});
+  // Route to the node owning the DOV (the id is the address). A first
+  // touch of that node enlists the DOP there — the Begin-of-DOP
+  // piggybacks on the same envelope, so enlistment costs no extra
+  // round trip.
+  NodeId target = router_.NodeOfDov(dov);
+  bool enlist = !Enlisted(*runtime, target);
+  std::vector<RoutedOp> ops;
+  if (enlist) ops.push_back({target, BeginDopRequest{dop, runtime->da}});
+  ops.push_back({target, CheckoutRequest{dop, dov, take_derivation_lock}});
   CONCORD_ASSIGN_OR_RETURN(
-      BatchReply reply,
-      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
-  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
-  auto* body = std::get_if<CheckoutReply>(&reply.ops.front().body);
+      BatchReply reply, RunCriticalInteraction(NextTxnId(), std::move(ops)));
+  size_t checkout_index = enlist ? 1 : 0;
+  if (enlist && reply.ops.front().status.ok()) {
+    // The registration exists server-side from here on, whatever the
+    // checkout itself says — End-of-DOP must release it there.
+    runtime->participants.push_back(target);
+  }
+  CONCORD_RETURN_NOT_OK(reply.ops[checkout_index].status);
+  auto* body = std::get_if<CheckoutReply>(&reply.ops[checkout_index].body);
   if (body == nullptr) {
     return Status::Internal("checkout reply carries no DOV record");
   }
@@ -334,23 +524,90 @@ void ClientTm::CacheOwnCheckin(const DopRuntime& runtime, DopId dop, DovId dov,
   }
 }
 
+Result<DovId> ClientTm::RoutedCheckin(DopId dop, DopRuntime* runtime,
+                                      storage::DesignObject object,
+                                      const std::vector<DovId>& predecessors,
+                                      bool with_commit) {
+  SimTime created_at = clock_->Now();
+  // Two routing attempts: the home node answers kWrongShard when the
+  // DA migrated under this workstation's placement cache; the retry
+  // re-fetches the placement and lands on the new home.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    CONCORD_ASSIGN_OR_RETURN(NodeId home, router_.HomeOf(runtime->da));
+    bool enlist = !Enlisted(*runtime, home);
+    std::vector<RoutedOp> ops;
+    if (enlist) ops.push_back({home, BeginDopRequest{dop, runtime->da}});
+    ops.push_back({home, CheckinRequest{dop, object, predecessors,
+                                        created_at}});
+    if (with_commit) {
+      // End-of-DOP releases the DOP's locks and registration at EVERY
+      // participant: the home node first — on the same node the batch
+      // chain makes a failed checkin skip the commit — then the other
+      // enlisted nodes. When the set has more than one node this runs
+      // as true multi-participant 2PC: each node stages its leg, and
+      // the decision commits the checkin and all releases together or
+      // none.
+      ops.push_back({home, CommitDopRequest{dop}});
+      for (NodeId p : runtime->participants) {
+        if (p != home) ops.push_back({p, CommitDopRequest{dop}});
+      }
+    }
+    size_t checkin_index = enlist ? 1 : 0;
+    bool multi_node = false;
+    for (const RoutedOp& op : ops) {
+      if (op.node != home) multi_node = true;
+    }
+    CONCORD_ASSIGN_OR_RETURN(
+        BatchReply reply, RunCriticalInteraction(NextTxnId(), std::move(ops)));
+    if (enlist && reply.ops.front().status.ok()) {
+      // The registration exists server-side from here on, whatever the
+      // interaction's outcome (enlistment survives an abort decision).
+      runtime->participants.push_back(home);
+    }
+    const Status& checkin_status = reply.ops[checkin_index].status;
+    if (checkin_status.IsWrongShard() && attempt == 0) {
+      // The DA migrated under this workstation's cache: refresh and
+      // reroute. Nothing committed — the home's chain skipped its own
+      // commit, and a cross-shard decision was abort. The misrouted
+      // attempt deliberately counts toward NO logical-interaction
+      // stats (the retry is the same checkin+commit, not a second
+      // one).
+      router_.ForgetPlacement(runtime->da);
+      ++stats_.placement_refreshes;
+      continue;
+    }
+    // Logical-interaction accounting, once per checkin+commit however
+    // many routing attempts it took (protocol-level attempt counters
+    // live in two_pc_stats_ instead).
+    if (with_commit) ++stats_.batched_checkin_commits;
+    if (multi_node) ++stats_.cross_shard_interactions;
+    // Checkin failure: any commit legs were skipped (same node) or
+    // abort-discarded (other nodes), so the DOP stays active and the
+    // caller sees the typed "checkin failure".
+    CONCORD_RETURN_NOT_OK(checkin_status);
+    auto* body = std::get_if<CheckinReply>(&reply.ops[checkin_index].body);
+    if (body == nullptr) {
+      return Status::Internal("checkin reply carries no DOV id");
+    }
+    // Every commit leg must have succeeded; on a cross-shard abort the
+    // staged checkin was discarded with them, so the first failure is
+    // the interaction's outcome.
+    for (size_t i = checkin_index + 1; i < reply.ops.size(); ++i) {
+      CONCORD_RETURN_NOT_OK(reply.ops[i].status);
+    }
+    if (with_commit) FinishCommitted(dop, runtime);
+    CacheOwnCheckin(*runtime, dop, body->dov, std::move(object), predecessors,
+                    created_at);
+    return body->dov;
+  }
+  return Status::Internal("checkin routing did not converge");
+}
+
 Result<DovId> ClientTm::Checkin(DopId dop, storage::DesignObject object,
                                 const std::vector<DovId>& predecessors) {
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
-  SimTime created_at = clock_->Now();
-  std::vector<ServerRequest> ops;
-  ops.emplace_back(CheckinRequest{dop, object, predecessors, created_at});
-  CONCORD_ASSIGN_OR_RETURN(
-      BatchReply reply,
-      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
-  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
-  auto* body = std::get_if<CheckinReply>(&reply.ops.front().body);
-  if (body == nullptr) {
-    return Status::Internal("checkin reply carries no DOV id");
-  }
-  CacheOwnCheckin(*runtime, dop, body->dov, std::move(object), predecessors,
-                  created_at);
-  return body->dov;
+  return RoutedCheckin(dop, runtime, std::move(object), predecessors,
+                       /*with_commit=*/false);
 }
 
 void ClientTm::FinishCommitted(DopId dop, DopRuntime* runtime) {
@@ -359,6 +616,7 @@ void ClientTm::FinishCommitted(DopId dop, DopRuntime* runtime) {
   runtime->savepoints.clear();
   stable_rp_.erase(dop.value());
   runtime->state = DopState::kCommitted;
+  ++stats_.dops_committed;
 }
 
 Result<DovId> ClientTm::CheckinCommit(DopId dop, storage::DesignObject object,
@@ -370,37 +628,24 @@ Result<DovId> ClientTm::CheckinCommit(DopId dop, storage::DesignObject object,
     return dov;
   }
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
-  SimTime created_at = clock_->Now();
-  std::vector<ServerRequest> ops;
-  ops.emplace_back(CheckinRequest{dop, object, predecessors, created_at});
-  ops.emplace_back(CommitDopRequest{dop});
-  CONCORD_ASSIGN_OR_RETURN(
-      BatchReply reply,
-      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
-  ++stats_.batched_checkin_commits;
-  // Checkin failure: the server skipped the commit request (batch
-  // skip-after-failure), so the DOP stays active and the caller sees
-  // the typed "checkin failure" — identical to the sequential pair.
-  CONCORD_RETURN_NOT_OK(reply.ops[0].status);
-  auto* body = std::get_if<CheckinReply>(&reply.ops[0].body);
-  if (body == nullptr) {
-    return Status::Internal("checkin reply carries no DOV id");
-  }
-  CONCORD_RETURN_NOT_OK(reply.ops[1].status);
-  FinishCommitted(dop, runtime);
-  CacheOwnCheckin(*runtime, dop, body->dov, std::move(object), predecessors,
-                  created_at);
-  return body->dov;
+  return RoutedCheckin(dop, runtime, std::move(object), predecessors,
+                       /*with_commit=*/true);
 }
 
 Status ClientTm::CommitDop(DopId dop) {
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
-  std::vector<ServerRequest> ops;
-  ops.emplace_back(CommitDopRequest{dop});
+  // Release at every enlisted node; across shards this is the
+  // multi-participant protocol (all nodes release or none).
+  std::vector<RoutedOp> ops;
+  for (NodeId p : runtime->participants) {
+    ops.push_back({p, CommitDopRequest{dop}});
+  }
+  if (ops.size() > 1) ++stats_.cross_shard_interactions;
   CONCORD_ASSIGN_OR_RETURN(
-      BatchReply reply,
-      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
-  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
+      BatchReply reply, RunCriticalInteraction(NextTxnId(), std::move(ops)));
+  for (const ServerReply& op : reply.ops) {
+    CONCORD_RETURN_NOT_OK(op.status);
+  }
   FinishCommitted(dop, runtime);
   return Status::OK();
 }
@@ -414,12 +659,38 @@ Status ClientTm::AbortDop(DopId dop) {
       it->second.state == DopState::kAborted) {
     return Status::FailedPrecondition(dop.ToString() + " already finished");
   }
-  std::vector<ServerRequest> ops;
-  ops.emplace_back(AbortDopRequest{dop});
+  // Aborts need no cross-node atomicity — each node dropping its locks
+  // is independently correct and strictly better than keeping them —
+  // so the fan-out is independent: one node being down (its volatile
+  // registration dies with it anyway) must not stop the others from
+  // releasing.
+  std::vector<RoutedOp> ops;
+  for (NodeId p : it->second.participants) {
+    ops.push_back({p, AbortDopRequest{dop}});
+  }
   CONCORD_ASSIGN_OR_RETURN(
-      BatchReply reply,
-      RunCriticalInteraction(TxnId(dop.value()), std::move(ops)));
-  CONCORD_RETURN_NOT_OK(reply.ops.front().status);
+      BatchReply reply, RunCriticalInteraction(NextTxnId(), std::move(ops),
+                                               /*independent=*/true));
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < reply.ops.size(); ++i) {
+    const Status& st = reply.ops[i].status;
+    if (st.ok()) continue;
+    // A participant that already dropped the registration (its crash
+    // wiped it, or an earlier partial abort reached it) has nothing
+    // left to release — that is success for an abort. The same goes
+    // for a participant that is DOWN right now (kUnavailable): its
+    // registration and locks are volatile memory dying with it, which
+    // is exactly what its recovered self would answer kUnknownDop
+    // about — a down node must not strand the DOP active. Single-node
+    // planes keep the strict answer (one participant, its status is
+    // the outcome).
+    if (reply.ops.size() > 1 &&
+        (st.IsNotFound() || st.IsUnknownDop() || st.IsUnavailable())) {
+      continue;
+    }
+    if (first_error.ok()) first_error = st;
+  }
+  CONCORD_RETURN_NOT_OK(first_error);
   it->second.savepoints.clear();
   stable_rp_.erase(dop.value());
   it->second.state = DopState::kAborted;
@@ -465,6 +736,15 @@ void ClientTm::Crash() {
   CONCORD_INFO("client-tm", "workstation " << node_.ToString() << " crashed");
 }
 
+// GCC 12's -Wmaybe-uninitialized misreads the ServerRequest variant
+// move inside vector reallocation as a read of uninitialized std::map
+// internals (the CheckinRequest alternative's DesignObject holds one);
+// the variant never holds that alternative here. Confirmed false
+// positive — clang and GCC 13+ are clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 void ClientTm::WarmCacheFromRecoveredContexts(
     const std::vector<DopId>& recovered) {
   // The cache restarted cold and every pre-crash validation proof is
@@ -476,28 +756,59 @@ void ClientTm::WarmCacheFromRecoveredContexts(
   // FlushPending, so outage-time tombstones are already planted and
   // InsertIfCurrent's seq test stays sound.
   struct Expected {
-    DovId dov;
+    DovId dov;  // invalid for piggybacked enlistment ops
     DaId da;
     uint64_t seq;
+    DopId dop;      // set for enlistment ops
+    NodeId enlist;  // node the enlistment targets
   };
-  std::vector<ServerRequest> ops;
+  std::vector<RoutedOp> ops;
   std::vector<Expected> expected;
+  // Bound the vectors up front (each input costs at most a checkout
+  // plus one enlistment op) so growth never moves the envelope ops —
+  // GCC 12's -Wmaybe-uninitialized misreads the variant move inside
+  // vector reallocation as a use of uninitialized map internals.
+  size_t max_ops = 0;
   for (DopId dop : recovered) {
-    const DopRuntime& runtime = dops_.at(dop);
+    max_ops += 2 * dops_.at(dop).context.inputs.size();
+  }
+  ops.reserve(max_ops);
+  expected.reserve(max_ops);
+  for (DopId dop : recovered) {
+    DopRuntime& runtime = dops_.at(dop);
     for (const auto& [dov, object] : runtime.context.inputs) {
-      ops.emplace_back(CheckoutRequest{dop, dov, false});
-      expected.push_back({dov, runtime.da, cache_.InvalidationSeq(dov)});
+      // Route each revalidation to the node owning the DOV; inputs the
+      // DOP never fetched itself (handed-over contexts) may hit a node
+      // it is not enlisted at — piggyback the registration like a
+      // normal cross-shard checkout would.
+      NodeId target = router_.NodeOfDov(dov);
+      if (!Enlisted(runtime, target)) {
+        bool already_queued = false;
+        for (const Expected& e : expected) {
+          if (e.dop == dop && e.enlist == target) already_queued = true;
+        }
+        if (!already_queued) {
+          ops.push_back({target, BeginDopRequest{dop, runtime.da}});
+          expected.push_back({DovId(), runtime.da, 0, dop, target});
+        }
+      }
+      ops.push_back({target, CheckoutRequest{dop, dov, false}});
+      expected.push_back(
+          {dov, runtime.da, cache_.InvalidationSeq(dov), dop, NodeId()});
     }
   }
   if (ops.empty()) return;
-  TxnId txn(recovered.front().value());
-  // Independent ops: one withdrawn/locked input must not keep the
-  // still-visible ones cold.
-  auto reply = RunCriticalInteraction(txn, std::move(ops),
+  // Independent ops: one withdrawn/locked input (or one down shard)
+  // must not keep the still-visible ones cold.
+  auto reply = RunCriticalInteraction(NextTxnId(), std::move(ops),
                                       /*independent=*/true);
   if (!reply.ok()) return;  // server unreachable: restart cold (just slower)
   for (size_t i = 0; i < reply->ops.size(); ++i) {
     if (!reply->ops[i].status.ok()) continue;  // e.g. withdrawn during outage
+    if (expected[i].enlist.valid()) {
+      dops_.at(expected[i].dop).participants.push_back(expected[i].enlist);
+      continue;
+    }
     auto* body = std::get_if<CheckoutReply>(&reply->ops[i].body);
     if (body == nullptr) continue;
     if (cache_.InsertIfCurrent(expected[i].dov, std::move(body->record),
@@ -506,6 +817,9 @@ void ClientTm::WarmCacheFromRecoveredContexts(
     }
   }
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 Result<uint64_t> ClientTm::Recover() {
   network_->SetNodeUp(node_, true);

@@ -16,10 +16,16 @@
 #include "txn/dop_context.h"
 #include "txn/dov_cache.h"
 #include "txn/server_service.h"
+#include "txn/shard_router.h"
 
 namespace concord::txn {
 
 struct ClientTmStats {
+  /// DOPs this client-TM committed (exactly one per DOP, however many
+  /// server nodes the End-of-DOP fanned out to — the per-node
+  /// ServerTmStats count resolved registrations instead, so a
+  /// cross-shard DOP bumps several of those).
+  uint64_t dops_committed = 0;
   uint64_t savepoints_taken = 0;
   uint64_t restores = 0;
   uint64_t recovery_points_taken = 0;
@@ -42,6 +48,12 @@ struct ClientTmStats {
   uint64_t batched_checkin_commits = 0;
   /// Cache entries re-armed by the post-recovery revalidation batch.
   uint64_t recovery_warmup_checkouts = 0;
+  /// Placement-cache entries dropped and re-fetched after a server
+  /// answered kWrongShard (the DA migrated under this workstation).
+  uint64_t placement_refreshes = 0;
+  /// Critical interactions whose operations spanned several server
+  /// nodes (ran as true multi-participant 2PC).
+  uint64_t cross_shard_interactions = 0;
 };
 
 /// Client half of the transaction manager: "resides on the workstation
@@ -52,13 +64,17 @@ struct ClientTmStats {
 /// every critical interaction (Begin-of-DOP, checkout, checkin,
 /// End-of-DOP).
 ///
-/// All server traffic goes through the typed ServerService protocol:
-/// each critical interaction is one [Prepare, ops..., Decide] envelope
-/// — the 2PC legs ride the same serialized BatchRequest as the
-/// operation, so the whole interaction is a single server round trip
-/// (retried, deduplicated and counted by the transport when the
-/// service is a RemoteServerStub). The client-TM neither includes nor
-/// stores a ServerTm.
+/// All server traffic goes through the typed ServerService protocol,
+/// routed across the server plane by a ShardRouter: DOV-addressed
+/// requests go to the shard encoded in the DOV id, DA-addressed ones
+/// to the DA's home node (workstation placement cache, refreshed on
+/// kWrongShard). A critical interaction whose operations land on ONE
+/// node rides a single [Prepare, ops..., Decide] envelope — one server
+/// round trip, the degenerate 2PC. Operations spanning several nodes
+/// run the true multi-participant protocol: one [Prepare, ops...]
+/// phase-1 envelope per participant (effects staged in the server's
+/// 2PC ledger), then a [Decide] fan-out that commits everywhere or
+/// nowhere. The client-TM neither includes nor stores a ServerTm.
 ///
 /// It also owns the workstation's DOV cache: a Checkout whose DOV is
 /// cached and validated for the DOP's DA is served locally with no
@@ -73,7 +89,11 @@ struct ClientTmStats {
 /// cooperation manager's withdrawal machinery must connect the bus.
 class ClientTm {
  public:
+  /// Single-server plane: every envelope goes to `service`.
   ClientTm(ServerService* service, rpc::Network* network, NodeId workstation,
+           SimClock* clock, rpc::InvalidationBus* invalidations = nullptr);
+  /// Sharded plane: envelopes route through `router`.
+  ClientTm(ShardRouter router, rpc::Network* network, NodeId workstation,
            SimClock* clock, rpc::InvalidationBus* invalidations = nullptr);
   ~ClientTm();
   ClientTm(const ClientTm&) = delete;
@@ -188,19 +208,52 @@ class ClientTm {
     DopContext context;                 // volatile
     std::vector<Savepoint> savepoints;  // volatile
     uint64_t work_at_last_rp = 0;
+    /// Server nodes this DOP is registered at (home node at Begin-of-
+    /// DOP, plus every node a cross-shard checkout enlisted). End-of-
+    /// DOP fans out to exactly these participants.
+    std::vector<NodeId> participants;
+  };
+
+  /// One operation plus the server node it routes to.
+  struct RoutedOp {
+    NodeId node;
+    ServerRequest op;
   };
 
   Result<DopRuntime*> ActiveDop(DopId dop);
-  /// One critical interaction client<->server: wraps `ops` in a
-  /// [Prepare, ops..., Decide] envelope, ships it through the service
-  /// (one round trip) and returns the replies for `ops` after checking
-  /// the vote. Non-OK if the protocol could not complete (e.g. server
-  /// down) — individual operation outcomes ride inside the replies.
-  /// `independent` declares the ops unrelated, disabling the batch's
-  /// skip-after-failure chaining (see BatchRequest).
+  /// Fresh interaction (2PC transaction) id, namespaced by workstation
+  /// like DOP ids — the server's prepared-transaction ledger keys on
+  /// it, so two interactions must never share one.
+  TxnId NextTxnId();
+  bool Enlisted(const DopRuntime& runtime, NodeId node) const;
+  /// One critical interaction client<->server plane. Ops landing on a
+  /// single node ride one [Prepare, ops..., Decide] envelope (one
+  /// round trip). Ops spanning nodes run true multi-participant 2PC:
+  /// a [Prepare, ops...] envelope per participant (staged server-
+  /// side), then a [Decide] fan-out — commit only when every
+  /// participant was reachable and, for dependent chains, every
+  /// operation succeeded. Returns the replies in the original op
+  /// order; ops on an unreachable participant carry kUnavailable.
+  /// Non-OK only when the protocol could not complete at all.
+  /// `independent` declares the ops unrelated: no cross-node
+  /// atomicity, each participant gets its own degenerate envelope.
   Result<BatchReply> RunCriticalInteraction(TxnId txn,
-                                            std::vector<ServerRequest> ops,
+                                            std::vector<RoutedOp> ops,
                                             bool independent = false);
+  /// The multi-participant leg of RunCriticalInteraction.
+  Result<BatchReply> RunMultiNodeInteraction(
+      TxnId txn, const std::vector<NodeId>& participants,
+      const std::vector<std::vector<size_t>>& op_indices,
+      std::vector<RoutedOp>& ops, bool independent);
+  /// Shared checkin routing: resolves the DA's home (two attempts —
+  /// a kWrongShard reply refreshes the placement cache and reroutes),
+  /// piggybacks enlistment, and optionally appends the End-of-DOP
+  /// commit legs for every participant (the batched CheckinCommit).
+  /// On success with `with_commit` the DOP is finished client-side.
+  Result<DovId> RoutedCheckin(DopId dop, DopRuntime* runtime,
+                              storage::DesignObject object,
+                              const std::vector<DovId>& predecessors,
+                              bool with_commit);
   /// End-of-DOP commit bookkeeping shared by CommitDop/CheckinCommit.
   void FinishCommitted(DopId dop, DopRuntime* runtime);
   /// Inserts a freshly checked-in version into the DOV cache,
@@ -213,12 +266,13 @@ class ClientTm {
   void WarmCacheFromRecoveredContexts(const std::vector<DopId>& recovered);
   void PersistRecoveryPoint(DopId dop, const DopRuntime& runtime);
 
-  ServerService* service_;
+  ShardRouter router_;
   rpc::Network* network_;
   NodeId node_;
   SimClock* clock_;
   rpc::InvalidationBus* invalidations_;
   IdGenerator<DopId> dop_gen_;
+  IdGenerator<TxnId> txn_gen_;
   uint64_t auto_rp_units_ = 0;
   bool batching_ = true;
   bool warm_cache_on_recovery_ = true;

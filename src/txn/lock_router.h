@@ -1,0 +1,66 @@
+#ifndef CONCORD_TXN_LOCK_ROUTER_H_
+#define CONCORD_TXN_LOCK_ROUTER_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "txn/lock_manager.h"
+
+namespace concord::txn {
+
+/// Routes the cooperation manager's lock/scope operations across the
+/// sharded server plane. Each server node owns the lock tables for the
+/// DOVs its repository stores (a DOV's derivation lock, scope owner
+/// and usage grants live where the DOV lives), and a DOV's owning
+/// shard is encoded in its id — so every per-DOV operation is a pure
+/// local route, and only plane-wide operations (ReleaseAll) fan out.
+///
+/// The degenerate single-manager router reproduces the pre-sharding
+/// behaviour exactly. Copyable by design: it holds non-owning pointers
+/// and the CM keeps one by value.
+class LockRouter {
+ public:
+  LockRouter() = default;
+  explicit LockRouter(LockManager* single) : shards_{single} {}
+  explicit LockRouter(std::vector<LockManager*> shards)
+      : shards_(std::move(shards)) {}
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Lock manager owning `dov` (out-of-range shard indices clamp to
+  /// the coordinator, matching the repository router).
+  LockManager& Of(DovId dov) const {
+    return *shards_[DovShardClamped(dov, shards_.size())];
+  }
+
+  // The CM-facing surface: same names and signatures as LockManager,
+  // so the manager's call sites do not care whether the plane has one
+  // node or many.
+
+  void SetScopeOwner(DovId dov, DaId da) { Of(dov).SetScopeOwner(dov, da); }
+  DaId ScopeOwner(DovId dov) const { return Of(dov).ScopeOwner(dov); }
+  void GrantUsageRead(DovId dov, DaId da) { Of(dov).GrantUsageRead(dov, da); }
+  void RevokeUsageRead(DovId dov, DaId da) {
+    Of(dov).RevokeUsageRead(dov, da);
+  }
+  bool CanRead(DaId da, DovId dov) { return Of(dov).CanRead(da, dov); }
+
+  void InheritScopeLocks(DaId super, DaId sub,
+                         const std::vector<DovId>& final_dovs) {
+    // Inheritance is per-DOV: hand each final DOV to its owning shard.
+    for (DovId dov : final_dovs) {
+      Of(dov).InheritScopeLocks(super, sub, {dov});
+    }
+  }
+
+  void ReleaseAll() {
+    for (LockManager* shard : shards_) shard->ReleaseAll();
+  }
+
+ private:
+  std::vector<LockManager*> shards_;
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_LOCK_ROUTER_H_

@@ -41,7 +41,7 @@ bool DecodeStatus(ByteReader* in, Status* status) {
   uint8_t code = 0;
   std::string_view message;
   if (!in->ReadByte(&code) ||
-      code > static_cast<uint8_t>(StatusCode::kInternal) ||
+      code > static_cast<uint8_t>(StatusCode::kWrongShard) ||
       !in->ReadLengthPrefixed(&message)) {
     return false;
   }
@@ -325,18 +325,106 @@ Result<bool> ServerService::Prepare(TxnId txn) {
 
 // --- Server-side dispatch -------------------------------------------------
 
-BatchReply DispatchBatch(ServerTm& server, const BatchRequest& batch) {
+namespace {
+
+/// Phase-1 envelope execution: [Prepare, ops...] with no Decide. The
+/// transaction's state-changing operations are validated and STAGED in
+/// the server-TM's 2PC ledger instead of applied — a later [Decide]
+/// envelope (phase 2) commits or discards them — while reads and
+/// registrations execute immediately with undo records. Replies carry
+/// the prepare-time outcomes, so the coordinator has everything it
+/// needs (statuses, the new DOV id) to decide.
+BatchReply DispatchPhaseOne(ServerTm& server, const BatchRequest& batch,
+                            TxnId txn) {
   BatchReply out;
   out.ops.reserve(batch.ops.size());
   bool failed = false;
   for (const ServerRequest& op : batch.ops) {
     ServerReply reply;
     if (std::holds_alternative<PrepareRequest>(op)) {
-      // Reachability IS the vote: the server-TM holds no prepared
-      // state (every repository write inside the envelope is its own
-      // ACID unit), so an envelope that arrived can always commit.
+      // Arrival + successful staging IS the vote.
       reply.body = PrepareReply{true};
+    } else if (failed && !batch.independent) {
+      reply.status = Status::Aborted(
+          "skipped: an earlier request in the batch failed");
+    } else if (const auto* begin = std::get_if<BeginDopRequest>(&op)) {
+      reply.status = server.PrepareBeginDop(txn, begin->dop, begin->da);
+    } else if (const auto* checkout = std::get_if<CheckoutRequest>(&op)) {
+      auto record = server.PrepareCheckout(txn, checkout->dop, checkout->dov,
+                                           checkout->take_derivation_lock);
+      if (record.ok()) {
+        reply.body = CheckoutReply{std::move(*record)};
+      } else {
+        reply.status = record.status();
+      }
+    } else if (const auto* checkin = std::get_if<CheckinRequest>(&op)) {
+      auto dov = server.PrepareCheckin(txn, checkin->dop, checkin->object,
+                                       checkin->predecessors,
+                                       checkin->created_at);
+      if (dov.ok()) {
+        reply.body = CheckinReply{*dov};
+      } else {
+        reply.status = dov.status();
+      }
+    } else if (const auto* commit = std::get_if<CommitDopRequest>(&op)) {
+      reply.status =
+          server.PrepareFinish(txn, commit->dop, /*commit_outcome=*/true);
+    } else if (const auto* abort = std::get_if<AbortDopRequest>(&op)) {
+      reply.status =
+          server.PrepareFinish(txn, abort->dop, /*commit_outcome=*/false);
+    } else if (const auto* da_of = std::get_if<DaOfDopRequest>(&op)) {
+      auto da = server.DaOfDop(da_of->dop);
+      if (da.ok()) {
+        reply.body = DaOfDopReply{*da};
+      } else {
+        reply.status = da.status();
+      }
+    }
+    if (!reply.status.ok()) failed = true;
+    out.ops.push_back(std::move(reply));
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchReply DispatchBatch(ServerTm& server, const BatchRequest& batch) {
+  // Envelope shapes:
+  //  - [Prepare, ops..., Decide]: the single-participant degenerate
+  //    case — both 2PC legs ride one envelope, ops apply directly.
+  //  - [Prepare, ops...]: phase 1 of a multi-participant transaction —
+  //    state changes are staged in the ledger (DispatchPhaseOne).
+  //  - [Decide]: phase 2 — resolves the staged transaction.
+  //  - no control ops at all: plain direct execution (typed wrappers).
+  const PrepareRequest* prepare = nullptr;
+  bool has_decide = false;
+  for (const ServerRequest& op : batch.ops) {
+    if (const auto* p = std::get_if<PrepareRequest>(&op)) {
+      if (prepare == nullptr) prepare = p;
     } else if (std::holds_alternative<DecideRequest>(op)) {
+      has_decide = true;
+    }
+  }
+  if (prepare != nullptr && !has_decide) {
+    return DispatchPhaseOne(server, batch, prepare->txn);
+  }
+
+  BatchReply out;
+  out.ops.reserve(batch.ops.size());
+  bool failed = false;
+  for (const ServerRequest& op : batch.ops) {
+    ServerReply reply;
+    if (std::holds_alternative<PrepareRequest>(op)) {
+      // Reachability IS the vote: in the degenerate envelope the
+      // server-TM holds no prepared state (every repository write
+      // inside the envelope is its own ACID unit), so an envelope that
+      // arrived can always commit.
+      reply.body = PrepareReply{true};
+    } else if (const auto* decide = std::get_if<DecideRequest>(&op)) {
+      // In the degenerate envelope the ops already applied and the
+      // ledger holds nothing — Decide acknowledges trivially. As a
+      // standalone phase-2 envelope it resolves the staged txn.
+      reply.status = server.Decide(decide->txn, decide->commit);
       reply.body = AckReply{};
     } else if (failed && !batch.independent) {
       reply.status = Status::Aborted(

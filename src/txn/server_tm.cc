@@ -45,10 +45,26 @@ Result<DaId> ServerTm::LookupDop(DopId dop) const {
   return Status::NotFound(dop.ToString() + " not registered at server-TM");
 }
 
+Status ServerTm::CheckOwnsDa(DaId da) const {
+  if (placement_ == nullptr) return Status::OK();
+  NodeId home = placement_->HomeOf(da);
+  if (!home.valid() || home == node_) return Status::OK();
+  ++stats_.wrong_shard_requests;
+  return Status::WrongShard(da.ToString() + " is homed on " + home.ToString() +
+                            ", not on " + node_.ToString() +
+                            " (stale placement cache?)");
+}
+
 Status ServerTm::BeginDop(DopId dop, DaId da) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (dop_da_.count(dop)) {
-    return Status::AlreadyExists(dop.ToString() + " already registered");
+  auto it = dop_da_.find(dop);
+  if (it != dop_da_.end()) {
+    // Idempotent re-registration: participant enlistment may repeat a
+    // Begin-of-DOP whose first reply was lost after the server
+    // executed it — same (DOP, DA) pair must not wedge the retry.
+    if (it->second == da) return Status::OK();
+    return Status::AlreadyExists(dop.ToString() + " already registered for " +
+                                 it->second.ToString());
   }
   dop_da_.emplace(dop, da);
   // A fresh registration supersedes a pre-crash incarnation of the id.
@@ -89,49 +105,42 @@ Result<storage::DovRecord> ServerTm::Checkout(DopId dop, DovId dov,
   }
   auto record = repository_->Get(dov);
   locks_.ReleaseShort(dov);
-  if (take_derivation_lock && invalidations_ != nullptr) {
-    // Any workstation may hold this DOV in its cache from before the
-    // lock existed; a local hit there would dodge the compatibility
-    // test that just started failing. Push the lock as an invalidation
-    // so the next checkout anywhere is forced to the server. Published
-    // after the short lock is dropped (the fan-out is one LAN hop per
-    // workstation — far too slow to hold a lock across) but before
-    // this checkout returns, so by the time the holder can act on the
-    // reply no cache serves the version. The push reaches the holder's
-    // own workstation too and bumps its invalidation seq, so this
-    // checkout's own reply is refused by InsertIfCurrent —
-    // deliberately conservative: the holder's next plain re-read pays
-    // one server trip and re-arms the cache then. (Excluding the
-    // holder's node would be unsound: another DA on the same
-    // workstation could keep hitting its cached copy.)
-    rpc::InvalidationMessage message;
-    message.kind = rpc::InvalidationMessage::Kind::kDerivationLocked;
-    message.dov = dov;
-    message.origin_da = da;
-    invalidations_->Publish(message);
-  }
+  if (take_derivation_lock) PublishDerivationLock(dov, da);
   if (!record.ok()) return record.status();
   ++stats_.checkouts;
   return record;
 }
 
-Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
-                                const std::vector<DovId>& predecessors,
-                                SimTime created_at) {
-  CONCORD_ASSIGN_OR_RETURN(DaId da, LookupDop(dop));
+void ServerTm::PublishDerivationLock(DovId dov, DaId da) {
+  if (invalidations_ == nullptr) return;
+  // Any workstation may hold this DOV in its cache from before the
+  // lock existed; a local hit there would dodge the compatibility
+  // test that just started failing. Push the lock as an invalidation
+  // so the next checkout anywhere is forced to the server. Published
+  // after the short lock is dropped (the fan-out is one LAN hop per
+  // workstation — far too slow to hold a lock across) but before
+  // this checkout returns, so by the time the holder can act on the
+  // reply no cache serves the version. The push reaches the holder's
+  // own workstation too and bumps its invalidation seq, so this
+  // checkout's own reply is refused by InsertIfCurrent —
+  // deliberately conservative: the holder's next plain re-read pays
+  // one server trip and re-arms the cache then. (Excluding the
+  // holder's node would be unsound: another DA on the same
+  // workstation could keep hitting its cached copy.)
+  rpc::InvalidationMessage message;
+  message.kind = rpc::InvalidationMessage::Kind::kDerivationLocked;
+  message.dov = dov;
+  message.origin_da = da;
+  // This node owns the DOV and the lock: it pays the fan-out hops.
+  message.origin_node = node_;
+  invalidations_->Publish(message);
+}
 
-  DovId new_id = repository_->NextDovId();
+Status ServerTm::ApplyCheckin(storage::DovRecord record) {
+  DovId new_id = record.id;
+  DaId da = record.owner_da;
+  DopId dop = record.created_by;
   locks_.AcquireShort(new_id);
-
-  storage::DovRecord record;
-  record.id = new_id;
-  record.owner_da = da;
-  record.created_by = dop;
-  record.type = object.type();
-  record.data = std::move(object);
-  record.predecessors = predecessors;
-  record.created_at = created_at;
-
   TxnId txn = repository_->Begin();
   Status st = repository_->Put(txn, std::move(record));
   if (st.ok()) st = repository_->Commit(txn);
@@ -147,6 +156,29 @@ Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
   locks_.SetScopeOwner(new_id, da);
   locks_.ReleaseShort(new_id);
   ++stats_.checkins;
+  return Status::OK();
+}
+
+Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
+                                const std::vector<DovId>& predecessors,
+                                SimTime created_at) {
+  CONCORD_ASSIGN_OR_RETURN(DaId da, LookupDop(dop));
+  // In a sharded plane the new DOV must be created on (and id-stamped
+  // by) the DA's home node; a checkin routed here via a stale
+  // workstation placement cache is rejected with the typed status the
+  // client-TM refreshes on.
+  CONCORD_RETURN_NOT_OK(CheckOwnsDa(da));
+
+  storage::DovRecord record;
+  record.id = repository_->NextDovId();
+  record.owner_da = da;
+  record.created_by = dop;
+  record.type = object.type();
+  record.data = std::move(object);
+  record.predecessors = predecessors;
+  record.created_at = created_at;
+  DovId new_id = record.id;
+  CONCORD_RETURN_NOT_OK(ApplyCheckin(std::move(record)));
   return new_id;
 }
 
@@ -194,12 +226,131 @@ Status ServerTm::AbortDop(DopId dop) {
 
 Result<DaId> ServerTm::DaOfDop(DopId dop) const { return LookupDop(dop); }
 
+// --- Cross-shard 2PC ledger ------------------------------------------------
+
+Status ServerTm::PrepareBeginDop(TxnId txn, DopId dop, DaId da) {
+  // Registrations are enlistment, not data: they apply immediately and
+  // SURVIVE a Decide(abort), exactly like the degenerate single-node
+  // envelope (where a failed checkin skips the commit but leaves the
+  // Begin-of-DOP standing). The client records the node as a
+  // participant on the Begin reply, so both sides agree the node is
+  // enlisted whatever the transaction's outcome — End-of-DOP releases
+  // the registration either way.
+  (void)txn;
+  return BeginDop(dop, da);
+}
+
+Result<storage::DovRecord> ServerTm::PrepareCheckout(
+    TxnId txn, DopId dop, DovId dov, bool take_derivation_lock) {
+  auto record = Checkout(dop, dov, take_derivation_lock);
+  if (record.ok() && take_derivation_lock) {
+    auto da = LookupDop(dop);
+    if (da.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      prepared_[txn].acquired_locks.emplace_back(dov, *da);
+    }
+  }
+  return record;
+}
+
+Result<DovId> ServerTm::PrepareCheckin(TxnId txn, DopId dop,
+                                       storage::DesignObject object,
+                                       const std::vector<DovId>& predecessors,
+                                       SimTime created_at) {
+  CONCORD_ASSIGN_OR_RETURN(DaId da, LookupDop(dop));
+  CONCORD_RETURN_NOT_OK(CheckOwnsDa(da));
+  // Run the integrity test now — the vote must be honest — but publish
+  // nothing: the record reaches the repository only at Decide(commit).
+  // The check is deterministic (the schema is fixed at design start),
+  // so a prepared checkin cannot fail integrity at apply time.
+  Status integrity = repository_->schema().Validate(object);
+  if (!integrity.ok()) {
+    ++stats_.checkin_failures;
+    CONCORD_INFO("server-tm", "prepare-checkin integrity failure for "
+                                  << dop.ToString() << ": "
+                                  << integrity.ToString());
+    return integrity;
+  }
+  storage::DovRecord record;
+  record.id = repository_->NextDovId();
+  record.owner_da = da;
+  record.created_by = dop;
+  record.type = object.type();
+  record.data = std::move(object);
+  record.predecessors = predecessors;
+  record.created_at = created_at;
+  DovId new_id = record.id;
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_[txn].staged_checkins.push_back(std::move(record));
+  return new_id;
+}
+
+Status ServerTm::PrepareFinish(TxnId txn, DopId dop, bool commit_outcome) {
+  // Validate now so the reply carries the typed registration failure
+  // (kUnknownDop after a crash, kNotFound for a stranger) before the
+  // coordinator decides; the actual release happens at Decide(commit).
+  CONCORD_RETURN_NOT_OK(LookupDop(dop).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_[txn].staged_finishes.push_back({dop, commit_outcome});
+  return Status::OK();
+}
+
+Status ServerTm::Decide(TxnId txn, bool commit) {
+  PreparedTxn staged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prepared_.find(txn);
+    if (it == prepared_.end()) {
+      // Nothing staged: either this node's phase 1 held only immediate
+      // operations, the decision already arrived, or a crash wiped the
+      // ledger (presumed abort — the crash also wiped everything a
+      // commit would have touched). All are safe to acknowledge.
+      return Status::OK();
+    }
+    staged = std::move(it->second);
+    prepared_.erase(it);
+    ++stats_.txns_prepared;
+  }
+  if (!commit) {
+    // Presumed-abort cleanup: drop the staged effects and release the
+    // derivation locks phase-1 checkouts acquired. Registrations
+    // created by the transaction's Begin-of-DOP stay — see
+    // PrepareBeginDop — so the client's participant list and this
+    // node's table keep agreeing after an abort.
+    for (const auto& [dov, da] : staged.acquired_locks) {
+      locks_.ReleaseDerivation(dov, da).ok();
+    }
+    ++stats_.txns_decided_abort;
+    return Status::OK();
+  }
+  Status first_error = Status::OK();
+  for (storage::DovRecord& record : staged.staged_checkins) {
+    Status st = ApplyCheckin(std::move(record));
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  for (const PreparedTxn::StagedFinish& finish : staged.staged_finishes) {
+    Status st = finish.commit_outcome ? CommitDop(finish.dop)
+                                      : AbortDop(finish.dop);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  ++stats_.txns_decided_commit;
+  return first_error;
+}
+
+bool ServerTm::HasPrepared(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prepared_.count(txn) > 0;
+}
+
 void ServerTm::Crash() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [dop, da] : dop_da_) lost_dops_.insert(dop);
     dop_da_.clear();
     dop_derivation_locks_.clear();
+    // The 2PC ledger is volatile: staged transactions die undecided,
+    // which is exactly the presumed-abort outcome.
+    prepared_.clear();
   }
   locks_.ReleaseAll();
   repository_->Crash();

@@ -15,6 +15,7 @@
 #include "rpc/two_phase_commit.h"
 #include "storage/repository.h"
 #include "txn/lock_manager.h"
+#include "txn/placement.h"
 #include "txn/scope_authority.h"
 
 namespace concord::txn {
@@ -34,6 +35,14 @@ struct ServerTmStats {
   std::atomic<uint64_t> dops_aborted{0};
   /// Requests naming a DOP whose registration a server crash wiped.
   std::atomic<uint64_t> unknown_dop_requests{0};
+  /// Checkins rejected because this node does not own the DA (the
+  /// workstation routed via a stale placement cache).
+  std::atomic<uint64_t> wrong_shard_requests{0};
+  /// Cross-shard 2PC ledger activity: staged transactions that reached
+  /// a phase-2 decision, and how each was resolved.
+  std::atomic<uint64_t> txns_prepared{0};
+  std::atomic<uint64_t> txns_decided_commit{0};
+  std::atomic<uint64_t> txns_decided_abort{0};
 };
 
 /// Server half of the transaction manager (Sect. 5.1/5.2): "handles
@@ -64,6 +73,13 @@ class ServerTm {
   LockManager& locks() { return locks_; }
   storage::Repository& repository() { return *repository_; }
 
+  /// Joins this server-TM to a sharded plane: `placement` is the
+  /// plane's placement authority and this node must reject checkins
+  /// for DAs it does not own (kWrongShard — how stale workstation
+  /// placement caches are detected). Call before traffic; a null
+  /// placement (the default) keeps the single-server behaviour.
+  void JoinPlane(const PlacementMap* placement) { placement_ = placement; }
+
   /// Registers a new DOP for DA `da`. The server remembers the
   /// association for scope checks and lock release.
   Status BeginDop(DopId dop, DaId da);
@@ -91,6 +107,48 @@ class ServerTm {
 
   Result<DaId> DaOfDop(DopId dop) const;
 
+  // --- Cross-shard 2PC (prepared-transaction ledger) -----------------
+  //
+  // A critical interaction whose operations span several server nodes
+  // cannot ride one degenerate [Prepare, ops, Decide] envelope: each
+  // participant must hold its effects until the coordinator has heard
+  // every vote. DispatchBatch routes a phase-1 envelope ([Prepare,
+  // ops...] with no Decide) through these methods — reads and
+  // registrations execute immediately (with undo records), while
+  // state-changing operations are validated, answered, and *staged* —
+  // and a later [Decide] envelope applies or discards the stage. The
+  // ledger is volatile server memory: a crash wipes it, which is the
+  // presumed-abort outcome.
+
+  /// Phase-1 Begin-of-DOP (participant enlistment): executes
+  /// immediately and survives either decision — registrations are
+  /// enlistment, not data, and the client records the participant on
+  /// this reply, so both sides must agree whatever the outcome.
+  Status PrepareBeginDop(TxnId txn, DopId dop, DaId da);
+  /// Phase-1 checkout: executes immediately (reads are safe to serve
+  /// before the decision); a derivation lock acquired here is released
+  /// again by Decide(abort).
+  Result<storage::DovRecord> PrepareCheckout(TxnId txn, DopId dop, DovId dov,
+                                             bool take_derivation_lock);
+  /// Phase-1 checkin: validates (registration, placement, schema
+  /// integrity), allocates the DOV id, and stages the record. Nothing
+  /// reaches the repository until Decide(commit).
+  Result<DovId> PrepareCheckin(TxnId txn, DopId dop,
+                               storage::DesignObject object,
+                               const std::vector<DovId>& predecessors,
+                               SimTime created_at);
+  /// Phase-1 End-of-DOP: validates the registration and stages the
+  /// lock release / deregistration for Decide(commit).
+  Status PrepareFinish(TxnId txn, DopId dop, bool commit_outcome);
+  /// Phase-2: applies (commit) or discards + undoes (abort) the staged
+  /// transaction. Idempotent: a repeated decision for an already-
+  /// resolved or never-prepared transaction answers OK — with a
+  /// volatile ledger, "nothing staged here" and "already resolved" are
+  /// indistinguishable and both are safe to acknowledge.
+  Status Decide(TxnId txn, bool commit);
+  /// Test introspection: true while `txn` has staged/undoable state.
+  bool HasPrepared(TxnId txn) const;
+
   /// Simulated server crash: lock tables and DOP registrations are
   /// volatile; the repository crashes alongside. The ids of the wiped
   /// registrations are remembered (the server-TM's log would know which
@@ -107,6 +165,19 @@ class ServerTm {
   /// the registration, kNotFound if it never existed. Takes mu_.
   Result<DaId> LookupDop(DopId dop) const;
 
+  /// kWrongShard when a sharded plane's placement says `da` is homed
+  /// elsewhere; OK otherwise (including the un-sharded case).
+  Status CheckOwnsDa(DaId da) const;
+
+  /// Publishes the derivation-lock invalidation push for `dov`
+  /// acquired by `da` (see the long rationale in Checkout).
+  void PublishDerivationLock(DovId dov, DaId da);
+
+  /// Commits a fully-built, already-validated record to the repository
+  /// and hands the new DOV to the creating DA's scope — the shared
+  /// tail of Checkout-path Checkin and Decide-applied staged checkins.
+  Status ApplyCheckin(storage::DovRecord record);
+
   /// Shared End-of-DOP path: deregisters `dop`, releases its
   /// derivation locks and bumps `outcome_counter` (committed/aborted).
   Status FinishDop(DopId dop, std::atomic<uint64_t>* outcome_counter);
@@ -116,16 +187,34 @@ class ServerTm {
   NodeId node_;
   ScopeAuthority* scope_authority_;
   rpc::InvalidationBus* invalidations_;
+  const PlacementMap* placement_ = nullptr;
   LockManager locks_;
 
-  /// Guards dop_da_, dop_derivation_locks_ and lost_dops_; leaf mutex,
-  /// never held across repository or lock-manager calls.
+  /// One staged (phase-1-executed, undecided) transaction.
+  struct PreparedTxn {
+    /// Checkin records to publish at Decide(commit), in arrival order.
+    std::vector<storage::DovRecord> staged_checkins;
+    /// End-of-DOP outcomes to apply at Decide(commit).
+    struct StagedFinish {
+      DopId dop;
+      bool commit_outcome = true;
+    };
+    std::vector<StagedFinish> staged_finishes;
+    /// Derivation locks acquired by this transaction's phase-1
+    /// checkouts — released again at Decide(abort).
+    std::vector<std::pair<DovId, DaId>> acquired_locks;
+  };
+
+  /// Guards dop_da_, dop_derivation_locks_, lost_dops_ and prepared_;
+  /// leaf mutex, never held across repository or lock-manager calls.
   mutable std::mutex mu_;
   std::unordered_map<DopId, DaId> dop_da_;
   /// Derivation locks taken per DOP (released at End-of-DOP).
   std::unordered_map<DopId, std::vector<DovId>> dop_derivation_locks_;
   /// Registrations wiped by Crash() and not re-registered since.
   std::unordered_set<DopId> lost_dops_;
+  /// Cross-shard 2PC ledger (volatile: a crash is a presumed abort).
+  std::unordered_map<TxnId, PreparedTxn> prepared_;
 
   /// Mutable: the unknown-DOP counter is bumped from const lookups.
   mutable ServerTmStats stats_;
