@@ -273,7 +273,7 @@ void BM_CheckinCommit_Batching(benchmark::State& state) {
       break;
     }
   }
-  uint64_t checkins = env.server->stats().checkins.load();
+  uint64_t checkins = env.server->stats().checkins;
   state.counters["round_trips_per_checkin"] =
       checkins == 0 ? 0.0
                     : static_cast<double>(env.rpc.stats().calls.load()) /

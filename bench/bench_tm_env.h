@@ -57,7 +57,7 @@ struct TmEnv {
   storage::Repository& repo() { return *shards[0].repo; }
   txn::ServerTm& server_at(size_t shard) { return *shards[shard].tm; }
 
-  explicit TmEnv(int threads, int server_nodes = 1) {
+  explicit TmEnv(int threads, int server_nodes = 1, int partitions = 1) {
     for (int s = 0; s < server_nodes; ++s) {
       Shard shard;
       shard.node =
@@ -74,7 +74,8 @@ struct TmEnv {
     bus = std::make_unique<rpc::InvalidationBus>(&network, server_node);
     for (Shard& shard : shards) {
       shard.tm = std::make_unique<txn::ServerTm>(shard.repo.get(), &network,
-                                                 shard.node, &scope, bus.get());
+                                                 shard.node, &scope, bus.get(),
+                                                 partitions);
       if (server_nodes > 1) shard.tm->JoinPlane(&placement);
       txn::RegisterServerService(shard.tm.get(), &rpc);
     }

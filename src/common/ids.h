@@ -104,6 +104,50 @@ inline constexpr size_t DovShardClamped(DovId dov, size_t shard_count) {
   return shard < shard_count ? shard : 0;
 }
 
+// --- Server-side execution partitioning (txn/partition.h) ----------------
+//
+// Each server node runs K single-threaded executor partitions; every
+// piece of TM state is owned by exactly one of them, and an id routes
+// all operations on that state to its owner. DOV ids partition on the
+// shard-local counter (sequential per shard, so modulo-K spreads them
+// uniformly AND the repository's per-partition sub-shards agree with
+// the lock tables about who owns a DOV). DOP and TXN ids carry a
+// workstation namespace in their high bits, so they run through a
+// 64-bit finalizer first — raw modulo would be fine for the low
+// counter bits but the mix keeps the spread independent of how the
+// namespace is packed.
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+inline constexpr uint64_t IdMix64(uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v;
+}
+
+/// Executor partition owning `dov` on a node with `partitions`
+/// executors. Partition 0 (the single-executor default) owns all ids.
+inline constexpr size_t DovPartitionOf(DovId dov, size_t partitions) {
+  return partitions <= 1 ? 0
+                         : static_cast<size_t>(DovLocalOf(dov) % partitions);
+}
+
+/// Executor partition owning the registration state of `dop`.
+inline constexpr size_t DopPartitionOf(DopId dop, size_t partitions) {
+  return partitions <= 1 ? 0
+                         : static_cast<size_t>(IdMix64(dop.value()) %
+                                               partitions);
+}
+
+/// Executor partition owning the prepared-2PC ledger entry of `txn`.
+inline constexpr size_t TxnPartitionOf(TxnId txn, size_t partitions) {
+  return partitions <= 1 ? 0
+                         : static_cast<size_t>(IdMix64(txn.value()) %
+                                               partitions);
+}
+
 /// Monotonic id generator. Thread-safe: ids may be drawn concurrently
 /// (e.g. parallel checkins asking the repository for fresh DOV ids);
 /// single-threaded components pay one uncontended atomic increment,

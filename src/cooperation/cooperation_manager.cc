@@ -100,6 +100,14 @@ std::string CoopRelationship::ToString() const {
 CooperationManager::CooperationManager(storage::Repository* repository,
                                        txn::LockManager* locks,
                                        SimClock* clock)
+    : repository_(repository),
+      adapter_locks_(std::make_unique<txn::ServerLockTable>(locks)),
+      locks_(adapter_locks_.get()),
+      clock_(clock) {}
+
+CooperationManager::CooperationManager(storage::Repository* repository,
+                                       txn::ServerLockTable* locks,
+                                       SimClock* clock)
     : repository_(repository), locks_(locks), clock_(clock) {}
 
 CooperationManager::CooperationManager(storage::RepositoryRouter repository,

@@ -95,9 +95,15 @@ class CooperationManager : public txn::ScopeAuthority {
                          DovId replacement)>;
 
   /// Single-server plane (the original shape): one repository, one
-  /// lock manager, no placement authority.
+  /// lock manager, no placement authority. The manager wraps the bare
+  /// lock manager in a non-owning single-slice ServerLockTable.
   CooperationManager(storage::Repository* repository,
                      txn::LockManager* locks, SimClock* clock);
+
+  /// Single-server plane over a node's partitioned lock table (the
+  /// server-TM's `locks()`).
+  CooperationManager(storage::Repository* repository,
+                     txn::ServerLockTable* locks, SimClock* clock);
 
   /// Sharded server plane: routed storage/lock access plus the
   /// placement authority this manager drives (Create_Sub_DA places the
@@ -302,6 +308,10 @@ class CooperationManager : public txn::ScopeAuthority {
   /// Routed storage/lock access: degenerate single-shard routers in
   /// the classic constructor, plane-wide routing in the sharded one.
   storage::RepositoryRouter repository_;
+  /// Adapter for the classic LockManager* constructor: a single-slice
+  /// non-owning table the router below can point at. Null otherwise.
+  /// Declared before locks_ (initialization order).
+  std::unique_ptr<txn::ServerLockTable> adapter_locks_;
   txn::LockRouter locks_;
   /// Placement authority this manager drives (null: no placement).
   txn::PlacementMap* placement_ = nullptr;

@@ -22,6 +22,7 @@ void RegisterVlsiDomainConstraints(workflow::ConstraintSet* constraints) {
 ConcordSystem::ConcordSystem(SystemConfig config)
     : config_(config), rng_(config.seed) {
   if (config_.server_nodes < 1) config_.server_nodes = 1;
+  if (config_.partitions_per_node < 1) config_.partitions_per_node = 1;
   network_ = std::make_unique<rpc::Network>(&clock_, config.seed ^ 0x9e37);
   network_->set_lan_latency(config.lan_latency);
   network_->set_local_latency(config.local_latency);
@@ -57,11 +58,11 @@ ConcordSystem::ConcordSystem(SystemConfig config)
   // The server-TMs ask *this* for scope decisions; we forward to the
   // CM (which is constructed right after and owns the policy).
   std::vector<storage::Repository*> repos;
-  std::vector<txn::LockManager*> lock_shards;
+  std::vector<txn::ServerLockTable*> lock_shards;
   for (ServerNode& server : servers_) {
-    server.tm = std::make_unique<txn::ServerTm>(server.repository.get(),
-                                                network_.get(), server.node,
-                                                this, invalidation_bus_.get());
+    server.tm = std::make_unique<txn::ServerTm>(
+        server.repository.get(), network_.get(), server.node, this,
+        invalidation_bus_.get(), config_.partitions_per_node);
     if (sharded) server.tm->JoinPlane(&placement_);
     // Server-side half of the ServerService protocol: every client-TM
     // envelope lands here as a real, countable RPC.

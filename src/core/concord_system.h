@@ -48,6 +48,12 @@ struct SystemConfig {
   /// carry their shard, and cross-shard interactions run true
   /// multi-participant 2PC.
   int server_nodes = 1;
+  /// Executor partitions per server node (txn/partition.h): each node's
+  /// TM state — repository sub-shards, lock-table slices, the 2PC
+  /// ledger — is sliced across this many single-threaded executors.
+  /// 1 (the default) spawns no executor threads and reproduces the
+  /// classic single-executor behaviour bit-identically.
+  int partitions_per_node = 1;
 };
 
 /// The assembled CONCORD system (Fig. 8): a server *plane* of one or

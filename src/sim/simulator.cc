@@ -28,6 +28,16 @@ std::string SimulationReport::ToString() const {
     os << "] (" << cross_shard_interactions << " cross-shard, "
        << placement_refreshes << " placement refreshes)";
   }
+  if (per_partition_checkouts.size() > 1) {
+    os << "; server " << server_checkouts << " checkouts / "
+       << server_checkins << " checkins across "
+       << per_partition_checkouts.size() << " partitions [";
+    for (size_t p = 0; p < per_partition_checkouts.size(); ++p) {
+      if (p > 0) os << ", ";
+      os << "p" << p << ": " << per_partition_checkouts[p];
+    }
+    os << "] (" << cross_partition_ops << " cross-partition)";
+  }
   return os.str();
 }
 
@@ -37,6 +47,7 @@ MultiDesignerSimulation::MultiDesignerSimulation(SimulationOptions options)
   config.seed = options_.seed;
   config.time_per_work_unit = kMillisecond;
   config.server_nodes = options_.server_nodes;
+  config.partitions_per_node = options_.partitions_per_node;
   system_ = std::make_unique<core::ConcordSystem>(config);
 }
 
@@ -129,6 +140,19 @@ Result<SimulationReport> MultiDesignerSimulation::Run() {
         system_->client_tm(ws).stats().cross_shard_interactions;
     report.placement_refreshes +=
         system_->client_tm(ws).stats().placement_refreshes;
+  }
+  // Server-side totals aggregate on read: each addend is one
+  // partition's private counter slice, summed here and only here.
+  for (size_t shard = 0; shard < system_->server_node_count(); ++shard) {
+    txn::ServerTmStats node = system_->server_tm_at(shard).stats();
+    report.server_checkouts += node.checkouts;
+    report.server_checkins += node.checkins;
+    report.cross_partition_ops += node.cross_partition_ops;
+  }
+  txn::ServerTm& coordinator = system_->server_tm();
+  for (size_t p = 0; p < coordinator.partition_count(); ++p) {
+    report.per_partition_checkouts.push_back(
+        coordinator.partition_stats(p).checkouts);
   }
   report.cache_invalidations_delivered =
       system_->invalidation_bus().stats().deliveries;

@@ -27,6 +27,10 @@ struct SimulationOptions {
   /// the CM shards the designs' DAs across N server nodes and the
   /// report carries per-node round-trip counts.
   int server_nodes = 1;
+  /// Executor partitions per server node (see
+  /// SystemConfig::partitions_per_node); with K >= 2 the report carries
+  /// the coordinator's per-partition checkout split.
+  int partitions_per_node = 1;
 };
 
 /// Outcome of a simulation run.
@@ -61,6 +65,16 @@ struct SimulationReport {
   /// and placement-cache refreshes after DA migrations.
   uint64_t cross_shard_interactions = 0;
   uint64_t placement_refreshes = 0;
+  /// Server-side traffic totals, aggregated ON READ from the TMs'
+  /// per-partition counter slices (the hot path only ever bumps its
+  /// own partition's cache line).
+  uint64_t server_checkouts = 0;
+  uint64_t server_checkins = 0;
+  /// Operations whose choreography spanned executor partitions.
+  uint64_t cross_partition_ops = 0;
+  /// Coordinator node's checkout count per executor partition
+  /// (partition order; one entry for the single-executor system).
+  std::vector<uint64_t> per_partition_checkouts;
 
   std::string ToString() const;
 };

@@ -26,7 +26,35 @@ std::string DovRecord::ToString() const {
   return out;
 }
 
-Repository::Repository(SimClock* clock) : clock_(clock) {}
+Repository::Repository(SimClock* clock) : clock_(clock) {
+  state_stripes_.push_back(std::make_unique<WriterPriorityMutex>());
+  for (size_t i = 0; i < kShardCount; ++i) {
+    dov_shards_.push_back(std::make_unique<DovShard>());
+  }
+}
+
+Status Repository::SetExecutionPartitions(size_t partitions) {
+  if (partitions < 1) partitions = 1;
+  if (partitions == partitions_) return Status::OK();
+  if (wal_.total_appended() > 0 || stats_.txns_begun.load() > 0 ||
+      dov_gen_.last() > 0 || txn_gen_.last() > 0 || !dir_.empty()) {
+    // The bucket map is a function of the partition count; repartitioning
+    // a store that already holds records would strand them in buckets
+    // no lookup reaches.
+    return Status::FailedPrecondition(
+        "SetExecutionPartitions must precede all repository traffic");
+  }
+  partitions_ = partitions;
+  state_stripes_.clear();
+  dov_shards_.clear();
+  for (size_t p = 0; p < partitions_; ++p) {
+    state_stripes_.push_back(std::make_unique<WriterPriorityMutex>());
+    for (size_t i = 0; i < kShardCount; ++i) {
+      dov_shards_.push_back(std::make_unique<DovShard>());
+    }
+  }
+  return Status::OK();
+}
 
 Repository::~Repository() { Close(); }
 
@@ -53,7 +81,7 @@ Result<RepositorySnapshot> Repository::LoadSnapshotLocked(
 }
 
 Status Repository::Open(const std::string& dir, WalOptions wal_options) {
-  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  auto state = LockAllStripes();
   if (poisoned_.load()) {
     return Status::FailedPrecondition(
         "repository is poisoned by an earlier failed open/recovery; "
@@ -120,12 +148,12 @@ Status Repository::Open(const std::string& dir, WalOptions wal_options) {
 }
 
 void Repository::Close() {
-  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  auto state = LockAllStripes();
   wal_.Close();
 }
 
 TxnId Repository::Begin() {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   TxnId id = txn_gen_.Next();
   {
     std::lock_guard<std::mutex> lock(active_mu_);
@@ -136,7 +164,7 @@ TxnId Repository::Begin() {
 }
 
 Status Repository::Put(TxnId txn, DovRecord record) {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   if (!record.id.valid()) {
     return Status::InvalidArgument("DOV record has no id");
   }
@@ -152,7 +180,7 @@ Status Repository::Put(TxnId txn, DovRecord record) {
 
 Status Repository::PutMeta(TxnId txn, const std::string& key,
                            const std::string& value) {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   std::lock_guard<std::mutex> lock(active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
@@ -164,7 +192,7 @@ Status Repository::PutMeta(TxnId txn, const std::string& key,
 }
 
 Status Repository::DeleteMeta(TxnId txn, const std::string& key) {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   std::lock_guard<std::mutex> lock(active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
@@ -181,7 +209,7 @@ bool Repository::HasActiveTxn(TxnId txn) const {
 }
 
 Status Repository::Commit(TxnId txn) {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
 
   // Claim the pending set. The txn is owned by the committing thread,
   // so nobody else can Put into it concurrently; on integrity failure
@@ -250,7 +278,7 @@ Status Repository::Commit(TxnId txn) {
 }
 
 Status Repository::Abort(TxnId txn) {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   {
     std::lock_guard<std::mutex> lock(active_mu_);
     auto it = active_.find(txn);
@@ -269,8 +297,38 @@ Status Repository::Abort(TxnId txn) {
   return Status::OK();
 }
 
+Status Repository::CommitDov(DovRecord record) {
+  // One stripe shared: enough to exclude Crash/Recover/Checkpoint
+  // (they need all stripes), and it is the committing partition's own
+  // stripe, so partitions do not share a reader count on the hot path.
+  std::shared_lock<WriterPriorityMutex> state(StripeFor(record.id));
+  TxnId txn = txn_gen_.Next();
+  ++stats_.txns_begun;
+  Status integrity = schema_.Validate(record.data);
+  if (!integrity.ok()) {
+    CONCORD_INFO("repo", "checkin integrity failure for "
+                             << record.id.ToString() << ": "
+                             << integrity.ToString());
+    wal_.Append({WalRecord::Type::kAbort, txn, std::nullopt, "", ""},
+                /*sync=*/false);
+    ++stats_.txns_aborted;
+    return integrity;
+  }
+  // Same WAL protocol and group-commit point as the general path.
+  std::vector<WalRecord> batch;
+  batch.reserve(3);
+  batch.push_back({WalRecord::Type::kBegin, txn, std::nullopt, "", ""});
+  batch.push_back({WalRecord::Type::kWriteDov, txn, record, "", ""});
+  batch.push_back({WalRecord::Type::kCommit, txn, std::nullopt, "", ""});
+  wal_.AppendBatch(std::move(batch));
+  ApplyDov(record);
+  ++stats_.dovs_written;
+  ++stats_.txns_committed;
+  return Status::OK();
+}
+
 Result<DovRecord> Repository::Get(DovId id) const {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(StripeFor(id));
   DovShard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.dovs.find(id);
@@ -281,14 +339,14 @@ Result<DovRecord> Repository::Get(DovId id) const {
 }
 
 bool Repository::Contains(DovId id) const {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(StripeFor(id));
   DovShard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   return shard.dovs.count(id) > 0;
 }
 
 Result<std::string> Repository::GetMeta(const std::string& key) const {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   std::lock_guard<std::mutex> lock(meta_mu_);
   auto it = meta_.find(key);
   if (it == meta_.end()) {
@@ -299,7 +357,7 @@ Result<std::string> Repository::GetMeta(const std::string& key) const {
 
 std::vector<std::string> Repository::MetaKeysWithPrefix(
     const std::string& prefix) const {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   std::lock_guard<std::mutex> lock(meta_mu_);
   std::vector<std::string> keys;
   for (auto it = meta_.lower_bound(prefix); it != meta_.end(); ++it) {
@@ -310,14 +368,14 @@ std::vector<std::string> Repository::MetaKeysWithPrefix(
 }
 
 const DerivationGraph& Repository::graph(DaId da) const {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   std::lock_guard<std::mutex> lock(graphs_mu_);
   auto it = graphs_.find(da);
   return it == graphs_.end() ? empty_graph_ : it->second;
 }
 
 std::vector<DovId> Repository::DovsOf(DaId da) const {
-  std::shared_lock<WriterPriorityMutex> state(state_mu_);
+  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
   std::lock_guard<std::mutex> lock(graphs_mu_);
   auto it = dovs_by_da_.find(da);
   return it == dovs_by_da_.end() ? std::vector<DovId>{} : it->second;
@@ -344,9 +402,9 @@ void Repository::ClearVolatileLocked() {
     std::lock_guard<std::mutex> lock(active_mu_);
     active_.clear();
   }
-  for (DovShard& shard : dov_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.dovs.clear();
+  for (const auto& shard : dov_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->dovs.clear();
   }
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
@@ -360,7 +418,7 @@ void Repository::ClearVolatileLocked() {
 }
 
 void Repository::Crash() {
-  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  auto state = LockAllStripes();
   ClearVolatileLocked();
   ++stats_.crashes;
   CONCORD_INFO("repo", "server crash: volatile state lost, "
@@ -441,9 +499,9 @@ void Repository::Poison() {
 }
 
 Status Repository::Recover() {
-  // The exclusive hold keeps new traffic out until the committed state
-  // is fully rebuilt.
-  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  // The exclusive hold (every stripe) keeps new traffic out until the
+  // committed state is fully rebuilt.
+  auto state = LockAllStripes();
   if (poisoned_.load()) {
     return Status::FailedPrecondition(
         "repository is poisoned by an earlier failed open/recovery");
@@ -496,7 +554,7 @@ Status Repository::WriteSnapshotFileLocked(
 }
 
 size_t Repository::Checkpoint() {
-  std::unique_lock<WriterPriorityMutex> state(state_mu_);
+  auto state = LockAllStripes();
   if (poisoned_.load()) {
     CONCORD_ERROR("repo", "checkpoint refused: repository is poisoned by "
                           "an earlier failed open/recovery");
@@ -507,9 +565,9 @@ size_t Repository::Checkpoint() {
     return 0;
   }
   RepositorySnapshot snapshot;
-  for (DovShard& shard : dov_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [id, record] : shard.dovs) {
+  for (const auto& shard : dov_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, record] : shard->dovs) {
       snapshot.dovs[id.value()] = record;
     }
   }

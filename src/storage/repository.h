@@ -51,18 +51,27 @@ struct RepositoryStats {
 /// ## Threading model
 ///
 /// The repository serves concurrent multi-designer traffic:
-///  - The committed DOV store is sharded into kShardCount buckets, each
-///    with its own mutex, so checkins/reads on different DOVs rarely
-///    contend.
+///  - The committed DOV store is sharded into kShardCount buckets PER
+///    EXECUTION PARTITION (SetExecutionPartitions), each with its own
+///    mutex. A DOV's partition comes from DovPartitionOf — the same
+///    map the server-TM's executor partitions use — so with K > 1
+///    every partition works a disjoint slice of buckets and the
+///    single-record commit fast path (CommitDov) never crosses
+///    partitions. K == 1 reproduces the classic 16-bucket layout
+///    exactly.
 ///  - WAL appends are grouped: a commit builds its whole record batch
 ///    outside any lock and publishes it through a single acquisition of
 ///    the log's append mutex (group commit — the batch is the commit
 ///    point and is contiguous in the log).
 ///  - active transactions, the meta store and the derivation graphs
 ///    each have their own mutex; all are leaf locks (never nested).
-///  - Crash/Recover/Checkpoint take a writer (exclusive) hold on
-///    state_mu_; every other operation holds it shared, so failure
-///    injection observes no half-applied transaction.
+///  - The failure-injection gate (formerly one state_mu_) is STRIPED
+///    per execution partition: Crash/Recover/Checkpoint take every
+///    stripe exclusively (in index order), while normal operations
+///    hold exactly one stripe shared — DOV reads/commits their
+///    partition's stripe, everything else stripe 0. Any single shared
+///    stripe excludes the failure path, and the hot read path stops
+///    bouncing one reader-count cache line across partitions.
 ///
 /// Contract: a TxnId is owned by one thread between Begin and
 /// Commit/Abort, and concurrent writers updating the *same* DOV must
@@ -76,6 +85,7 @@ struct RepositoryStats {
 /// already guarantees.
 class Repository {
  public:
+  /// DOV-store buckets per execution partition.
   static constexpr size_t kShardCount = 16;
 
   explicit Repository(SimClock* clock);
@@ -151,6 +161,24 @@ class Repository {
     return DovId(dov_shard_base_ | dov_gen_.Next().value());
   }
 
+  /// Aligns the DOV store and the failure-injection gate with a
+  /// server-TM running `partitions` executor partitions: the bucket
+  /// array grows to partitions x kShardCount (partition-major, so each
+  /// partition owns a contiguous disjoint slice) and the state gate is
+  /// striped per partition. Must be called before any traffic (like
+  /// set_dov_id_shard); 1 — the default — is the classic layout.
+  Status SetExecutionPartitions(size_t partitions);
+  size_t execution_partitions() const { return partitions_; }
+
+  /// Single-record commit fast path for the server-TM checkin: schema
+  /// validation, the {BEGIN, WRITE, COMMIT} WAL batch and the apply,
+  /// without registering an active transaction — the hot path skips
+  /// the shared active-table mutex entirely and takes only its own
+  /// partition's stripe, bucket mutex and the WAL append lock.
+  /// Counter-compatible with Begin+Put+Commit (and Abort on integrity
+  /// failure), which remain for multi-write transactions.
+  Status CommitDov(DovRecord record);
+
   // --- Failure model ------------------------------------------------
 
   /// Simulated server crash: all volatile state vanishes (active
@@ -183,30 +211,51 @@ class Repository {
     std::unordered_map<DovId, DovRecord> dovs;
   };
 
+  /// Bucket owning `id`: partition-major, sub-bucket on the partition-
+  /// local sequence (ids of one partition are counter = partition + k*P,
+  /// so dividing by P restores a dense per-partition sequence). With
+  /// one partition this is exactly the classic id % 16 (the shard base
+  /// in the top bits is a multiple of 16).
   DovShard& ShardFor(DovId id) const {
-    return dov_shards_[id.value() % kShardCount];
+    size_t partition = DovPartitionOf(id, partitions_);
+    return *dov_shards_[partition * kShardCount +
+                        (DovLocalOf(id) / partitions_) % kShardCount];
+  }
+
+  /// Failure-injection-gate stripe owning `id`'s partition.
+  WriterPriorityMutex& StripeFor(DovId id) const {
+    return *state_stripes_[DovPartitionOf(id, partitions_)];
+  }
+
+  /// Exclusive hold on every stripe, index order (Crash/Recover/
+  /// Checkpoint/Open/Close).
+  std::vector<std::unique_lock<WriterPriorityMutex>> LockAllStripes() const {
+    std::vector<std::unique_lock<WriterPriorityMutex>> held;
+    held.reserve(state_stripes_.size());
+    for (const auto& stripe : state_stripes_) held.emplace_back(*stripe);
+    return held;
   }
 
   void ApplyDov(const DovRecord& record);
   /// Marks the repository unusable after a partial open/recovery (the
   /// WAL fail-stops appends; Checkpoint and Recover refuse).
   void Poison();
-  /// Clears all volatile state. Caller holds state_mu_ exclusively.
+  /// Clears all volatile state. Caller holds every stripe exclusively.
   void ClearVolatileLocked();
   /// Rebuilds the committed image from `snapshot` + redo of `log` and
   /// bumps the id generators past every id on stable storage. `log`
   /// must hold every live WAL record (Open passes the records its
   /// torn-tail scan already decoded — single-pass startup; Recover
   /// passes a fresh ReadAll()). Fails if `log` is shorter than the
-  /// live log (a segment failed to read back). Caller holds state_mu_
-  /// exclusively and has cleared the volatile state.
+  /// live log (a segment failed to read back). Caller holds every
+  /// stripe exclusively and has cleared the volatile state.
   Result<size_t> ReplayStableLocked(const RepositorySnapshot& snapshot,
                                     const std::vector<WalRecord>& log);
   /// Reads <dir>/snapshot.bin (empty snapshot if absent, error if
-  /// unreadable or corrupt). Caller holds state_mu_ exclusively.
+  /// unreadable or corrupt). Caller holds every stripe exclusively.
   Result<RepositorySnapshot> LoadSnapshotLocked(const std::string& dir) const;
   /// Writes `snapshot` to <dir>/snapshot.bin via tmp-file + fsync +
-  /// rename + directory fsync. Caller holds state_mu_ exclusively.
+  /// rename + directory fsync. Caller holds every stripe exclusively.
   Status WriteSnapshotFileLocked(const RepositorySnapshot& snapshot);
 
   SimClock* clock_;
@@ -224,16 +273,23 @@ class Repository {
   IdGenerator<DovId> dov_gen_;
   uint64_t dov_shard_base_ = 0;
 
-  /// Shared for normal operation, exclusive for Crash/Recover/
-  /// Checkpoint. Always the outermost lock.
-  mutable WriterPriorityMutex state_mu_;
+  /// Execution-partition count (SetExecutionPartitions); plain — set
+  /// once before traffic.
+  size_t partitions_ = 1;
+
+  /// The failure-injection gate, one stripe per execution partition.
+  /// Shared (any one stripe) for normal operation, all-exclusive for
+  /// Crash/Recover/Checkpoint. Always the outermost lock.
+  /// unique_ptr because WriterPriorityMutex is immovable.
+  mutable std::vector<std::unique_ptr<WriterPriorityMutex>> state_stripes_;
 
   // Volatile state. Each container below is guarded by the leaf mutex
   // named next to it; leaf mutexes are never held together.
   mutable std::mutex active_mu_;
   std::unordered_map<TxnId, PendingTxn> active_;
 
-  mutable std::array<DovShard, kShardCount> dov_shards_;
+  /// partitions_ x kShardCount buckets, partition-major.
+  mutable std::vector<std::unique_ptr<DovShard>> dov_shards_;
 
   mutable std::mutex meta_mu_;
   std::map<std::string, std::string> meta_;
@@ -243,7 +299,7 @@ class Repository {
   std::unordered_map<DaId, std::vector<DovId>> dovs_by_da_;
 
   // Stable storage. The WAL synchronizes its own appends; snapshot_ is
-  // only touched under an exclusive state_mu_ hold and is used by the
+  // only touched under an all-stripes exclusive hold and is used by the
   // simulated in-memory mode only — persistent mode keeps the snapshot
   // on disk (<dir>/snapshot.bin) and reloads it during recovery rather
   // than paying double residency for the whole committed image.

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/ids.h"
-#include "txn/lock_manager.h"
+#include "txn/server_lock_table.h"
 
 namespace concord::txn {
 
@@ -14,6 +14,9 @@ namespace concord::txn {
 /// and usage grants live where the DOV lives), and a DOV's owning
 /// shard is encoded in its id — so every per-DOV operation is a pure
 /// local route, and only plane-wide operations (ReleaseAll) fan out.
+/// Below the node level each table is further sliced per executor
+/// partition (txn/server_lock_table.h); this router is oblivious to
+/// that — it routes nodes, the table routes slices.
 ///
 /// The degenerate single-manager router reproduces the pre-sharding
 /// behaviour exactly. Copyable by design: it holds non-owning pointers
@@ -21,15 +24,17 @@ namespace concord::txn {
 class LockRouter {
  public:
   LockRouter() = default;
-  explicit LockRouter(LockManager* single) : shards_{single} {}
-  explicit LockRouter(std::vector<LockManager*> shards)
+  explicit LockRouter(ServerLockTable* single) : shards_{single} {}
+  explicit LockRouter(std::vector<ServerLockTable*> shards)
       : shards_(std::move(shards)) {}
 
   size_t shard_count() const { return shards_.size(); }
 
-  /// Lock manager owning `dov` (out-of-range shard indices clamp to
-  /// the coordinator, matching the repository router).
-  LockManager& Of(DovId dov) const {
+  /// Lock table owning `dov` (out-of-range shard indices clamp to
+  /// the coordinator, matching the repository router). Within the
+  /// node, the table routes on to the slice of the owning executor
+  /// partition.
+  ServerLockTable& Of(DovId dov) const {
     return *shards_[DovShardClamped(dov, shards_.size())];
   }
 
@@ -54,11 +59,11 @@ class LockRouter {
   }
 
   void ReleaseAll() {
-    for (LockManager* shard : shards_) shard->ReleaseAll();
+    for (ServerLockTable* shard : shards_) shard->ReleaseAll();
   }
 
  private:
-  std::vector<LockManager*> shards_;
+  std::vector<ServerLockTable*> shards_;
 };
 
 }  // namespace concord::txn

@@ -1,0 +1,139 @@
+#ifndef CONCORD_TXN_SERVER_LOCK_TABLE_H_
+#define CONCORD_TXN_SERVER_LOCK_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace concord::txn {
+
+/// The server-TM's lock tables, sliced across the node's executor
+/// partitions: slice p owns the derivation/scope/usage state of every
+/// DOV with DovPartitionOf(dov) == p, the same ownership map the
+/// repository's sub-shards and the TM's partition choreography use.
+///
+/// Two kinds of callers:
+///  - The TM hot path runs ON the owning executor and reaches its
+///    slice directly (Slice(p)); with K > 1 the slice mutex is
+///    uncontended there — partitions never touch each other's slices.
+///  - The control plane (cooperation manager, recovery rebuild, tests)
+///    calls the LockManager-shaped surface below from arbitrary
+///    threads; each call routes to the owning slice, whose internal
+///    mutex makes the slice safe against its executor. Control traffic
+///    is rare, so this cross-thread access costs the hot path nothing.
+///
+/// The surface mirrors LockManager's names and signatures exactly, so
+/// LockRouter and every existing call site compile unchanged; plane-
+/// wide operations (ReleaseAll, OwnedBy, stats) fan out over the
+/// slices.
+class ServerLockTable {
+ public:
+  explicit ServerLockTable(size_t partitions) {
+    if (partitions < 1) partitions = 1;
+    owned_.reserve(partitions);
+    slices_.reserve(partitions);
+    for (size_t p = 0; p < partitions; ++p) {
+      owned_.push_back(std::make_unique<LockManager>());
+      slices_.push_back(owned_.back().get());
+    }
+  }
+  /// Non-owning single-slice view over an externally-owned lock
+  /// manager — the adapter the cooperation manager's classic
+  /// (Repository*, LockManager*) constructor wraps its argument in.
+  explicit ServerLockTable(LockManager* external) : slices_{external} {}
+  ServerLockTable(const ServerLockTable&) = delete;
+  ServerLockTable& operator=(const ServerLockTable&) = delete;
+
+  size_t partition_count() const { return slices_.size(); }
+  /// Direct slice access for code already running on partition p's
+  /// executor (or introspecting a quiescent table).
+  LockManager& Slice(size_t p) { return *slices_[p]; }
+  const LockManager& Slice(size_t p) const { return *slices_[p]; }
+  /// The slice owning `dov`.
+  LockManager& Of(DovId dov) { return *slices_[DovPartitionOf(dov, slices_.size())]; }
+  const LockManager& Of(DovId dov) const {
+    return *slices_[DovPartitionOf(dov, slices_.size())];
+  }
+
+  // --- Short locks (accounting) -------------------------------------
+
+  void AcquireShort(DovId dov) { Of(dov).AcquireShort(dov); }
+  void ReleaseShort(DovId dov) { Of(dov).ReleaseShort(dov); }
+
+  // --- Derivation locks ----------------------------------------------
+
+  Status AcquireDerivation(DovId dov, DaId da) {
+    return Of(dov).AcquireDerivation(dov, da);
+  }
+  Status ReleaseDerivation(DovId dov, DaId da) {
+    return Of(dov).ReleaseDerivation(dov, da);
+  }
+  int ReleaseAllDerivation(DaId da) {
+    int released = 0;
+    for (auto& slice : slices_) released += slice->ReleaseAllDerivation(da);
+    return released;
+  }
+  DaId DerivationHolder(DovId dov) const { return Of(dov).DerivationHolder(dov); }
+
+  // --- Scope-locks -----------------------------------------------------
+
+  void SetScopeOwner(DovId dov, DaId da) { Of(dov).SetScopeOwner(dov, da); }
+  DaId ScopeOwner(DovId dov) const { return Of(dov).ScopeOwner(dov); }
+  void GrantUsageRead(DovId dov, DaId da) { Of(dov).GrantUsageRead(dov, da); }
+  void RevokeUsageRead(DovId dov, DaId da) { Of(dov).RevokeUsageRead(dov, da); }
+  bool CanRead(DaId da, DovId dov) { return Of(dov).CanRead(da, dov); }
+
+  void InheritScopeLocks(DaId super, DaId sub,
+                         const std::vector<DovId>& final_dovs) {
+    // Inheritance is per-DOV: hand each final DOV to its owning slice.
+    for (DovId dov : final_dovs) {
+      Of(dov).InheritScopeLocks(super, sub, {dov});
+    }
+  }
+
+  void ReleaseAll() {
+    for (auto& slice : slices_) slice->ReleaseAll();
+  }
+
+  std::vector<DovId> OwnedBy(DaId da) const {
+    std::vector<DovId> owned;
+    for (const auto& slice : slices_) {
+      std::vector<DovId> part = slice->OwnedBy(da);
+      owned.insert(owned.end(), part.begin(), part.end());
+    }
+    return owned;
+  }
+
+  /// Aggregated snapshot across the slices.
+  LockStats stats() const {
+    LockStats total;
+    for (const auto& slice : slices_) {
+      LockStats s = slice->stats();
+      total.short_locks_taken += s.short_locks_taken;
+      total.derivation_locks_taken += s.derivation_locks_taken;
+      total.derivation_conflicts += s.derivation_conflicts;
+      total.scope_grants += s.scope_grants;
+      total.scope_denials += s.scope_denials;
+      total.inheritances += s.inheritances;
+    }
+    return total;
+  }
+
+  void ResetStats() {
+    for (auto& slice : slices_) slice->ResetStats();
+  }
+
+ private:
+  /// Slice storage for the owning constructor; empty in adapter mode.
+  std::vector<std::unique_ptr<LockManager>> owned_;
+  /// The routing view (raw, valid either way).
+  std::vector<LockManager*> slices_;
+};
+
+}  // namespace concord::txn
+
+#endif  // CONCORD_TXN_SERVER_LOCK_TABLE_H_

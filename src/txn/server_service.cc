@@ -409,6 +409,45 @@ BatchReply DispatchBatch(ServerTm& server, const BatchRequest& batch) {
     return DispatchPhaseOne(server, batch, prepare->txn);
   }
 
+  // Pipelined independent envelope: a batch the client has marked
+  // order-free, carrying nothing but plain checkouts (the recovery
+  // warm-up shape), executes as partition wavefronts — every executor
+  // the envelope touches works its slice of the batch at once instead
+  // of the ops walking the node serially.
+  if (batch.independent && prepare == nullptr && !has_decide &&
+      batch.ops.size() > 1) {
+    bool all_checkouts = true;
+    for (const ServerRequest& op : batch.ops) {
+      if (!std::holds_alternative<CheckoutRequest>(op)) {
+        all_checkouts = false;
+        break;
+      }
+    }
+    if (all_checkouts) {
+      std::vector<ServerTm::CheckoutOp> ops;
+      ops.reserve(batch.ops.size());
+      for (const ServerRequest& op : batch.ops) {
+        const auto& checkout = std::get<CheckoutRequest>(op);
+        ops.push_back(
+            {checkout.dop, checkout.dov, checkout.take_derivation_lock});
+      }
+      std::vector<Result<storage::DovRecord>> records =
+          server.CheckoutBatch(ops);
+      BatchReply out;
+      out.ops.reserve(records.size());
+      for (Result<storage::DovRecord>& record : records) {
+        ServerReply reply;
+        if (record.ok()) {
+          reply.body = CheckoutReply{std::move(*record)};
+        } else {
+          reply.status = record.status();
+        }
+        out.ops.push_back(std::move(reply));
+      }
+      return out;
+    }
+  }
+
   BatchReply out;
   out.ops.reserve(batch.ops.size());
   bool failed = false;

@@ -25,19 +25,41 @@ const char* DopStateToString(DopState state) {
 
 ServerTm::ServerTm(storage::Repository* repository, rpc::Network* network,
                    NodeId server_node, ScopeAuthority* scope_authority,
-                   rpc::InvalidationBus* invalidations)
+                   rpc::InvalidationBus* invalidations, int partitions)
     : repository_(repository),
       network_(network),
       node_(server_node),
       scope_authority_(scope_authority),
-      invalidations_(invalidations) {}
+      invalidations_(invalidations),
+      engine_(partitions < 1 ? 1 : static_cast<size_t>(partitions)),
+      locks_(engine_.count()) {
+  parts_.reserve(engine_.count());
+  for (size_t p = 0; p < engine_.count(); ++p) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+  // Line the repository's sub-shards up with the executor partitions so
+  // every partition's DOV traffic stays on buckets it exclusively owns.
+  // A repository that already carries traffic keeps its sharding (the
+  // gate still stripes correctly — ownership is just coarser).
+  Status st = repository_->SetExecutionPartitions(engine_.count());
+  if (!st.ok()) {
+    CONCORD_INFO("server-tm",
+                 "repository keeps its sharding: " << st.ToString());
+  }
+}
 
-Result<DaId> ServerTm::LookupDop(DopId dop) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = dop_da_.find(dop);
-  if (it != dop_da_.end()) return it->second;
-  if (lost_dops_.count(dop)) {
-    ++stats_.unknown_dop_requests;
+ServerTm::~ServerTm() {
+  // Join the executors FIRST: after Stop() no task can race the
+  // destruction of parts_ and locks_ below.
+  engine_.Stop();
+}
+
+Result<DaId> ServerTm::LookupDopIn(const Partition& part, DopId dop) const {
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.dop_da.find(dop);
+  if (it != part.dop_da.end()) return it->second;
+  if (part.lost_dops.count(dop)) {
+    ++part.counters.unknown_dop_requests;
     return Status::UnknownDop(dop.ToString() +
                               " was registered before a server crash; "
                               "begin a new DOP");
@@ -45,70 +67,223 @@ Result<DaId> ServerTm::LookupDop(DopId dop) const {
   return Status::NotFound(dop.ToString() + " not registered at server-TM");
 }
 
-Status ServerTm::CheckOwnsDa(DaId da) const {
+Result<DaId> ServerTm::LookupDop(DopId dop) const {
+  size_t p = DopPart(dop);
+  const Partition& part = *parts_[p];
+  return engine_.Run(
+      p, [&]() -> Result<DaId> { return LookupDopIn(part, dop); });
+}
+
+Status ServerTm::CheckOwnsDa(const Partition& part, DaId da) const {
   if (placement_ == nullptr) return Status::OK();
   NodeId home = placement_->HomeOf(da);
   if (!home.valid() || home == node_) return Status::OK();
-  ++stats_.wrong_shard_requests;
+  ++part.counters.wrong_shard_requests;
   return Status::WrongShard(da.ToString() + " is homed on " + home.ToString() +
                             ", not on " + node_.ToString() +
                             " (stale placement cache?)");
 }
 
 Status ServerTm::BeginDop(DopId dop, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = dop_da_.find(dop);
-  if (it != dop_da_.end()) {
-    // Idempotent re-registration: participant enlistment may repeat a
-    // Begin-of-DOP whose first reply was lost after the server
-    // executed it — same (DOP, DA) pair must not wedge the retry.
-    if (it->second == da) return Status::OK();
-    return Status::AlreadyExists(dop.ToString() + " already registered for " +
-                                 it->second.ToString());
+  size_t p = DopPart(dop);
+  Partition& part = *parts_[p];
+  return engine_.Run(p, [&]() -> Status {
+    std::lock_guard<std::mutex> lock(part.mu);
+    auto it = part.dop_da.find(dop);
+    if (it != part.dop_da.end()) {
+      // Idempotent re-registration: participant enlistment may repeat a
+      // Begin-of-DOP whose first reply was lost after the server
+      // executed it — same (DOP, DA) pair must not wedge the retry.
+      if (it->second == da) return Status::OK();
+      return Status::AlreadyExists(dop.ToString() +
+                                   " already registered for " +
+                                   it->second.ToString());
+    }
+    part.dop_da.emplace(dop, da);
+    // A fresh registration supersedes a pre-crash incarnation of the id.
+    part.lost_dops.erase(dop);
+    ++part.counters.dops_begun;
+    return Status::OK();
+  });
+}
+
+ServerTm::CheckoutStep ServerTm::CheckoutStepIn(size_t pv, DovId dov, DaId da,
+                                                bool take_derivation_lock) {
+  CheckoutStep step;
+  LockManager& slice = locks_.Slice(pv);
+  Partition& part = *parts_[pv];
+  // Test 2 (test 1, the scope check, ran on the dispatcher): no
+  // incompatible derivation lock.
+  DaId holder = slice.DerivationHolder(dov);
+  if (holder.valid() && holder != da) {
+    slice.ReleaseShort(dov);
+    ++part.counters.checkouts_denied_lock;
+    step.status = Status::LockConflict(dov.ToString() +
+                                       " derivation-locked by " +
+                                       holder.ToString());
+    return step;
   }
-  dop_da_.emplace(dop, da);
-  // A fresh registration supersedes a pre-crash incarnation of the id.
-  lost_dops_.erase(dop);
-  ++stats_.dops_begun;
-  return Status::OK();
+  if (take_derivation_lock) {
+    Status st = slice.AcquireDerivation(dov, da);
+    if (!st.ok()) {
+      slice.ReleaseShort(dov);
+      ++part.counters.checkouts_denied_lock;
+      step.status = st;
+      return step;
+    }
+    step.lock_acquired = true;
+  }
+  auto record = repository_->Get(dov);
+  slice.ReleaseShort(dov);
+  if (!record.ok()) {
+    step.status = record.status();
+    return step;
+  }
+  step.status = Status::OK();
+  step.record = std::move(*record);
+  ++part.counters.checkouts;
+  return step;
+}
+
+void ServerTm::RecordHeldLock(DopId dop, DovId dov) {
+  size_t p = DopPart(dop);
+  Partition& part = *parts_[p];
+  engine_.Run(p, [&] {
+    std::lock_guard<std::mutex> lock(part.mu);
+    part.dop_derivation_locks[dop].push_back(dov);
+  });
 }
 
 Result<storage::DovRecord> ServerTm::Checkout(DopId dop, DovId dov,
                                               bool take_derivation_lock) {
   CONCORD_ASSIGN_OR_RETURN(DaId da, LookupDop(dop));
 
-  locks_.AcquireShort(dov);
+  size_t pv = DovPart(dov);
+  Partition& vpart = *parts_[pv];
+  // The short lock and the scope test run on the dispatcher: the scope
+  // authority may re-enter the cooperation manager's recursive mutex,
+  // which THIS thread may already hold (event delivery running a tool)
+  // — an executor-side callout would deadlock against it. The short
+  // lock is accounting (a depth counter), so taking it off the owning
+  // executor is safe.
+  locks_.Slice(pv).AcquireShort(dov);
   // Test 1: the DOV must belong to the scope of the DOP's DA.
   if (!scope_authority_->InScope(da, dov)) {
-    locks_.ReleaseShort(dov);
-    ++stats_.checkouts_denied_scope;
-    return Status::PermissionDenied(dov.ToString() + " is not in the scope of " +
+    locks_.Slice(pv).ReleaseShort(dov);
+    ++vpart.counters.checkouts_denied_scope;
+    return Status::PermissionDenied(dov.ToString() +
+                                    " is not in the scope of " +
                                     da.ToString());
   }
-  // Test 2: no incompatible derivation lock.
-  DaId holder = locks_.DerivationHolder(dov);
-  if (holder.valid() && holder != da) {
-    locks_.ReleaseShort(dov);
-    ++stats_.checkouts_denied_lock;
-    return Status::LockConflict(dov.ToString() + " derivation-locked by " +
-                                holder.ToString());
+  if (DopPart(dop) != pv) ++vpart.counters.cross_partition_ops;
+  CheckoutStep step = engine_.Run(
+      pv, [&] { return CheckoutStepIn(pv, dov, da, take_derivation_lock); });
+  if (step.lock_acquired) {
+    RecordHeldLock(dop, dov);
+    PublishDerivationLock(dov, da);
   }
-  if (take_derivation_lock) {
-    Status st = locks_.AcquireDerivation(dov, da);
-    if (!st.ok()) {
-      locks_.ReleaseShort(dov);
-      ++stats_.checkouts_denied_lock;
-      return st;
+  if (!step.status.ok()) return step.status;
+  return std::move(*step.record);
+}
+
+std::vector<Result<storage::DovRecord>> ServerTm::CheckoutBatch(
+    const std::vector<CheckoutOp>& ops) {
+  size_t partitions = engine_.count();
+  std::vector<Result<storage::DovRecord>> results(
+      ops.size(), Result<storage::DovRecord>(
+                      Status::Internal("batch slot not resolved")));
+  if (ops.empty()) return results;
+  ++parts_[0]->counters.pipelined_batches;
+  parts_[0]->counters.pipelined_ops += ops.size();
+
+  // Wavefront 1 — registration lookups, one task per DOP partition
+  // carrying all of its ops.
+  std::vector<DaId> das(ops.size());
+  std::vector<Status> lookups(ops.size(), Status::OK());
+  {
+    std::vector<std::vector<size_t>> by_part(partitions);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      by_part[DopPart(ops[i].dop)].push_back(i);
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    dop_derivation_locks_[dop].push_back(dov);
+    std::vector<std::future<void>> done;
+    for (size_t p = 0; p < partitions; ++p) {
+      if (by_part[p].empty()) continue;
+      const std::vector<size_t>* group = &by_part[p];
+      done.push_back(engine_.Post(p, [this, p, group, &ops, &das, &lookups] {
+        for (size_t i : *group) {
+          auto da = LookupDopIn(*parts_[p], ops[i].dop);
+          if (da.ok()) {
+            das[i] = *da;
+          } else {
+            lookups[i] = da.status();
+          }
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
   }
-  auto record = repository_->Get(dov);
-  locks_.ReleaseShort(dov);
-  if (take_derivation_lock) PublishDerivationLock(dov, da);
-  if (!record.ok()) return record.status();
-  ++stats_.checkouts;
-  return record;
+
+  // Dispatcher interlude — short locks and scope tests (the scope
+  // authority must be called from this thread; see Checkout).
+  std::vector<char> runnable(ops.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!lookups[i].ok()) {
+      results[i] = lookups[i];
+      continue;
+    }
+    DovId dov = ops[i].dov;
+    size_t pv = DovPart(dov);
+    locks_.Slice(pv).AcquireShort(dov);
+    if (!scope_authority_->InScope(das[i], dov)) {
+      locks_.Slice(pv).ReleaseShort(dov);
+      ++parts_[pv]->counters.checkouts_denied_scope;
+      results[i] = Status::PermissionDenied(
+          dov.ToString() + " is not in the scope of " + das[i].ToString());
+      continue;
+    }
+    if (DopPart(ops[i].dop) != pv) ++parts_[pv]->counters.cross_partition_ops;
+    runnable[i] = 1;
+  }
+
+  // Wavefront 2 — the lock tests and repository reads, one task per
+  // DOV partition carrying all of its ops: an envelope spanning K
+  // partitions keeps K executors busy at once.
+  std::vector<CheckoutStep> steps(ops.size());
+  {
+    std::vector<std::vector<size_t>> by_part(partitions);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (runnable[i]) by_part[DovPart(ops[i].dov)].push_back(i);
+    }
+    std::vector<std::future<void>> done;
+    for (size_t p = 0; p < partitions; ++p) {
+      if (by_part[p].empty()) continue;
+      const std::vector<size_t>* group = &by_part[p];
+      done.push_back(engine_.Post(p, [this, p, group, &ops, &das, &steps] {
+        for (size_t i : *group) {
+          steps[i] = CheckoutStepIn(p, ops[i].dov, das[i],
+                                    ops[i].take_derivation_lock);
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+
+  // Dispatcher epilogue — held-lock records, invalidation pushes, and
+  // the positional results.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!runnable[i]) continue;
+    CheckoutStep& step = steps[i];
+    if (step.lock_acquired) {
+      RecordHeldLock(ops[i].dop, ops[i].dov);
+      PublishDerivationLock(ops[i].dov, das[i]);
+    }
+    if (!step.status.ok()) {
+      results[i] = step.status;
+    } else {
+      results[i] = std::move(*step.record);
+    }
+  }
+  return results;
 }
 
 void ServerTm::PublishDerivationLock(DovId dov, DaId da) {
@@ -126,7 +301,9 @@ void ServerTm::PublishDerivationLock(DovId dov, DaId da) {
   // deliberately conservative: the holder's next plain re-read pays
   // one server trip and re-arms the cache then. (Excluding the
   // holder's node would be unsound: another DA on the same
-  // workstation could keep hitting its cached copy.)
+  // workstation could keep hitting its cached copy.) The publish runs
+  // on the dispatcher, never an executor: the bus fans out over the
+  // network and may re-enter workstation-side locks.
   rpc::InvalidationMessage message;
   message.kind = rpc::InvalidationMessage::Kind::kDerivationLocked;
   message.dov = dov;
@@ -140,23 +317,28 @@ Status ServerTm::ApplyCheckin(storage::DovRecord record) {
   DovId new_id = record.id;
   DaId da = record.owner_da;
   DopId dop = record.created_by;
-  locks_.AcquireShort(new_id);
-  TxnId txn = repository_->Begin();
-  Status st = repository_->Put(txn, std::move(record));
-  if (st.ok()) st = repository_->Commit(txn);
-  if (!st.ok()) {
-    repository_->Abort(txn).ok();
-    locks_.ReleaseShort(new_id);
-    ++stats_.checkin_failures;
-    CONCORD_INFO("server-tm", "checkin failure for " << dop.ToString() << ": "
-                                                     << st.ToString());
-    return st;
-  }
-  // The new DOV now belongs to the scope of the DOP's DA.
-  locks_.SetScopeOwner(new_id, da);
-  locks_.ReleaseShort(new_id);
-  ++stats_.checkins;
-  return Status::OK();
+  size_t pv = DovPart(new_id);
+  Partition& part = *parts_[pv];
+  return engine_.Run(pv, [&]() -> Status {
+    LockManager& slice = locks_.Slice(pv);
+    slice.AcquireShort(new_id);
+    // Single-record repository transaction on the partition's own
+    // sub-shard: begin/write/commit in one WAL batch.
+    Status st = repository_->CommitDov(std::move(record));
+    if (!st.ok()) {
+      slice.ReleaseShort(new_id);
+      ++part.counters.checkin_failures;
+      CONCORD_INFO("server-tm", "checkin failure for "
+                                    << dop.ToString() << ": "
+                                    << st.ToString());
+      return st;
+    }
+    // The new DOV now belongs to the scope of the DOP's DA.
+    slice.SetScopeOwner(new_id, da);
+    slice.ReleaseShort(new_id);
+    ++part.counters.checkins;
+    return Status::OK();
+  });
 }
 
 Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
@@ -167,7 +349,7 @@ Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
   // by) the DA's home node; a checkin routed here via a stale
   // workstation placement cache is rejected with the typed status the
   // client-TM refreshes on.
-  CONCORD_RETURN_NOT_OK(CheckOwnsDa(da));
+  CONCORD_RETURN_NOT_OK(CheckOwnsDa(*parts_[DopPart(dop)], da));
 
   storage::DovRecord record;
   record.id = repository_->NextDovId();
@@ -178,51 +360,78 @@ Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
   record.predecessors = predecessors;
   record.created_at = created_at;
   DovId new_id = record.id;
+  if (DopPart(dop) != DovPart(new_id)) {
+    ++parts_[DovPart(new_id)]->counters.cross_partition_ops;
+  }
   CONCORD_RETURN_NOT_OK(ApplyCheckin(std::move(record)));
   return new_id;
 }
 
-Status ServerTm::FinishDop(DopId dop, std::atomic<uint64_t>* outcome_counter) {
+Status ServerTm::FinishDop(DopId dop, bool committed) {
   // End-of-DOP, either outcome: deregister and release the DOP's
   // derivation locks ("the server-TM is firstly asked to release the
   // derivation locks held", Sect. 5.2). The registration and lock list
-  // are extracted under mu_; the lock-manager calls run outside it
-  // (leaf-mutex discipline).
+  // are extracted on the DOP's partition; the releases then fan out to
+  // the partitions owning the locked DOVs.
+  size_t p = DopPart(dop);
+  Partition& part = *parts_[p];
   DaId da;
   std::vector<DovId> held;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = dop_da_.find(dop);
-    if (it == dop_da_.end()) {
-      if (lost_dops_.count(dop)) {
-        ++stats_.unknown_dop_requests;
+  Status extracted = engine_.Run(p, [&]() -> Status {
+    std::lock_guard<std::mutex> lock(part.mu);
+    auto it = part.dop_da.find(dop);
+    if (it == part.dop_da.end()) {
+      if (part.lost_dops.count(dop)) {
+        ++part.counters.unknown_dop_requests;
         return Status::UnknownDop(dop.ToString() +
                                   " was registered before a server crash");
       }
-      return Status::NotFound(dop.ToString() + " not registered at server-TM");
+      return Status::NotFound(dop.ToString() +
+                              " not registered at server-TM");
     }
     da = it->second;
-    auto locks_it = dop_derivation_locks_.find(dop);
-    if (locks_it != dop_derivation_locks_.end()) {
+    auto locks_it = part.dop_derivation_locks.find(dop);
+    if (locks_it != part.dop_derivation_locks.end()) {
       held = std::move(locks_it->second);
-      dop_derivation_locks_.erase(locks_it);
+      part.dop_derivation_locks.erase(locks_it);
     }
-    dop_da_.erase(it);
+    part.dop_da.erase(it);
+    return Status::OK();
+  });
+  if (!extracted.ok()) return extracted;
+  std::vector<std::pair<DovId, DaId>> pairs;
+  pairs.reserve(held.size());
+  for (DovId dov : held) pairs.emplace_back(dov, da);
+  ReleaseDerivationLocks(pairs);
+  if (committed) {
+    ++part.counters.dops_committed;
+  } else {
+    ++part.counters.dops_aborted;
   }
-  for (DovId dov : held) {
-    locks_.ReleaseDerivation(dov, da).ok();
-  }
-  ++*outcome_counter;
   return Status::OK();
 }
 
-Status ServerTm::CommitDop(DopId dop) {
-  return FinishDop(dop, &stats_.dops_committed);
+void ServerTm::ReleaseDerivationLocks(
+    const std::vector<std::pair<DovId, DaId>>& locks) {
+  if (locks.empty()) return;
+  std::vector<std::vector<std::pair<DovId, DaId>>> by_part(engine_.count());
+  for (const auto& pair : locks) by_part[DovPart(pair.first)].push_back(pair);
+  std::vector<std::future<void>> done;
+  for (size_t p = 0; p < by_part.size(); ++p) {
+    if (by_part[p].empty()) continue;
+    const std::vector<std::pair<DovId, DaId>>* group = &by_part[p];
+    done.push_back(engine_.Post(p, [this, p, group] {
+      for (const auto& [dov, da] : *group) {
+        locks_.Slice(p).ReleaseDerivation(dov, da).ok();
+      }
+    }));
+  }
+  for (auto& f : done) f.get();
 }
 
-Status ServerTm::AbortDop(DopId dop) {
-  return FinishDop(dop, &stats_.dops_aborted);
-}
+Status ServerTm::CommitDop(DopId dop) { return FinishDop(dop, true); }
+
+Status ServerTm::AbortDop(DopId dop) { return FinishDop(dop, false); }
 
 Result<DaId> ServerTm::DaOfDop(DopId dop) const { return LookupDop(dop); }
 
@@ -246,8 +455,12 @@ Result<storage::DovRecord> ServerTm::PrepareCheckout(
   if (record.ok() && take_derivation_lock) {
     auto da = LookupDop(dop);
     if (da.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      prepared_[txn].acquired_locks.emplace_back(dov, *da);
+      size_t pt = TxnPart(txn);
+      Partition& tpart = *parts_[pt];
+      engine_.Run(pt, [&] {
+        std::lock_guard<std::mutex> lock(tpart.mu);
+        tpart.prepared[txn].acquired_locks.emplace_back(dov, *da);
+      });
     }
   }
   return record;
@@ -258,14 +471,15 @@ Result<DovId> ServerTm::PrepareCheckin(TxnId txn, DopId dop,
                                        const std::vector<DovId>& predecessors,
                                        SimTime created_at) {
   CONCORD_ASSIGN_OR_RETURN(DaId da, LookupDop(dop));
-  CONCORD_RETURN_NOT_OK(CheckOwnsDa(da));
+  Partition& dpart = *parts_[DopPart(dop)];
+  CONCORD_RETURN_NOT_OK(CheckOwnsDa(dpart, da));
   // Run the integrity test now — the vote must be honest — but publish
   // nothing: the record reaches the repository only at Decide(commit).
   // The check is deterministic (the schema is fixed at design start),
   // so a prepared checkin cannot fail integrity at apply time.
   Status integrity = repository_->schema().Validate(object);
   if (!integrity.ok()) {
-    ++stats_.checkin_failures;
+    ++dpart.counters.checkin_failures;
     CONCORD_INFO("server-tm", "prepare-checkin integrity failure for "
                                   << dop.ToString() << ": "
                                   << integrity.ToString());
@@ -280,8 +494,12 @@ Result<DovId> ServerTm::PrepareCheckin(TxnId txn, DopId dop,
   record.predecessors = predecessors;
   record.created_at = created_at;
   DovId new_id = record.id;
-  std::lock_guard<std::mutex> lock(mu_);
-  prepared_[txn].staged_checkins.push_back(std::move(record));
+  size_t pt = TxnPart(txn);
+  Partition& tpart = *parts_[pt];
+  engine_.Run(pt, [&] {
+    std::lock_guard<std::mutex> lock(tpart.mu);
+    tpart.prepared[txn].staged_checkins.push_back(std::move(record));
+  });
   return new_id;
 }
 
@@ -290,26 +508,34 @@ Status ServerTm::PrepareFinish(TxnId txn, DopId dop, bool commit_outcome) {
   // (kUnknownDop after a crash, kNotFound for a stranger) before the
   // coordinator decides; the actual release happens at Decide(commit).
   CONCORD_RETURN_NOT_OK(LookupDop(dop).status());
-  std::lock_guard<std::mutex> lock(mu_);
-  prepared_[txn].staged_finishes.push_back({dop, commit_outcome});
-  return Status::OK();
+  size_t pt = TxnPart(txn);
+  Partition& tpart = *parts_[pt];
+  return engine_.Run(pt, [&]() -> Status {
+    std::lock_guard<std::mutex> lock(tpart.mu);
+    tpart.prepared[txn].staged_finishes.push_back({dop, commit_outcome});
+    return Status::OK();
+  });
 }
 
 Status ServerTm::Decide(TxnId txn, bool commit) {
+  size_t pt = TxnPart(txn);
+  Partition& tpart = *parts_[pt];
   PreparedTxn staged;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = prepared_.find(txn);
-    if (it == prepared_.end()) {
-      // Nothing staged: either this node's phase 1 held only immediate
-      // operations, the decision already arrived, or a crash wiped the
-      // ledger (presumed abort — the crash also wiped everything a
-      // commit would have touched). All are safe to acknowledge.
-      return Status::OK();
-    }
+  bool found = engine_.Run(pt, [&]() -> bool {
+    std::lock_guard<std::mutex> lock(tpart.mu);
+    auto it = tpart.prepared.find(txn);
+    if (it == tpart.prepared.end()) return false;
     staged = std::move(it->second);
-    prepared_.erase(it);
-    ++stats_.txns_prepared;
+    tpart.prepared.erase(it);
+    ++tpart.counters.txns_prepared;
+    return true;
+  });
+  if (!found) {
+    // Nothing staged: either this node's phase 1 held only immediate
+    // operations, the decision already arrived, or a crash wiped the
+    // ledger (presumed abort — the crash also wiped everything a
+    // commit would have touched). All are safe to acknowledge.
+    return Status::OK();
   }
   if (!commit) {
     // Presumed-abort cleanup: drop the staged effects and release the
@@ -317,12 +543,12 @@ Status ServerTm::Decide(TxnId txn, bool commit) {
     // created by the transaction's Begin-of-DOP stay — see
     // PrepareBeginDop — so the client's participant list and this
     // node's table keep agreeing after an abort.
-    for (const auto& [dov, da] : staged.acquired_locks) {
-      locks_.ReleaseDerivation(dov, da).ok();
-    }
-    ++stats_.txns_decided_abort;
+    ReleaseDerivationLocks(staged.acquired_locks);
+    ++tpart.counters.txns_decided_abort;
     return Status::OK();
   }
+  // The apply choreography runs here on the dispatcher — ApplyCheckin
+  // and the finishes each route to their owning partitions.
   Status first_error = Status::OK();
   for (storage::DovRecord& record : staged.staged_checkins) {
     Status st = ApplyCheckin(std::move(record));
@@ -333,25 +559,40 @@ Status ServerTm::Decide(TxnId txn, bool commit) {
                                       : AbortDop(finish.dop);
     if (!st.ok() && first_error.ok()) first_error = st;
   }
-  ++stats_.txns_decided_commit;
+  ++tpart.counters.txns_decided_commit;
   return first_error;
 }
 
 bool ServerTm::HasPrepared(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return prepared_.count(txn) > 0;
+  // Control-plane introspection: cross-thread but slice-mutex safe.
+  const Partition& tpart = *parts_[TxnPart(txn)];
+  std::lock_guard<std::mutex> lock(tpart.mu);
+  return tpart.prepared.count(txn) > 0;
 }
 
 void ServerTm::Crash() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [dop, da] : dop_da_) lost_dops_.insert(dop);
-    dop_da_.clear();
-    dop_derivation_locks_.clear();
-    // The 2PC ledger is volatile: staged transactions die undecided,
-    // which is exactly the presumed-abort outcome.
-    prepared_.clear();
+  // One wipe task per partition, all awaited. Mailboxes are FIFO, so
+  // each executor finishes every task queued before the crash and THEN
+  // wipes — when the futures resolve, no executor is touching
+  // pre-crash registrations, lock lists, or ledger entries, and the
+  // repository/lock teardown below cannot race an in-flight step.
+  std::vector<std::future<void>> wiped;
+  wiped.reserve(parts_.size());
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    Partition* part = parts_[p].get();
+    wiped.push_back(engine_.Post(p, [part] {
+      std::lock_guard<std::mutex> lock(part->mu);
+      for (const auto& entry : part->dop_da) {
+        part->lost_dops.insert(entry.first);
+      }
+      part->dop_da.clear();
+      part->dop_derivation_locks.clear();
+      // The 2PC ledger is volatile: staged transactions die undecided,
+      // which is exactly the presumed-abort outcome.
+      part->prepared.clear();
+    }));
   }
+  for (auto& f : wiped) f.get();
   locks_.ReleaseAll();
   repository_->Crash();
   network_->SetNodeUp(node_, false);
@@ -365,6 +606,59 @@ Status ServerTm::Recover() {
   CONCORD_RETURN_NOT_OK(repository_->Recover());
   network_->SetNodeUp(node_, true);
   return Status::OK();
+}
+
+ServerTmStats ServerTm::partition_stats(size_t p) const {
+  ServerTmStats s;
+  if (p >= parts_.size()) return s;
+  const PartitionCounters& c = parts_[p]->counters;
+  s.checkouts = c.checkouts.load(std::memory_order_relaxed);
+  s.checkouts_denied_scope =
+      c.checkouts_denied_scope.load(std::memory_order_relaxed);
+  s.checkouts_denied_lock =
+      c.checkouts_denied_lock.load(std::memory_order_relaxed);
+  s.checkins = c.checkins.load(std::memory_order_relaxed);
+  s.checkin_failures = c.checkin_failures.load(std::memory_order_relaxed);
+  s.dops_begun = c.dops_begun.load(std::memory_order_relaxed);
+  s.dops_committed = c.dops_committed.load(std::memory_order_relaxed);
+  s.dops_aborted = c.dops_aborted.load(std::memory_order_relaxed);
+  s.unknown_dop_requests =
+      c.unknown_dop_requests.load(std::memory_order_relaxed);
+  s.wrong_shard_requests =
+      c.wrong_shard_requests.load(std::memory_order_relaxed);
+  s.txns_prepared = c.txns_prepared.load(std::memory_order_relaxed);
+  s.txns_decided_commit =
+      c.txns_decided_commit.load(std::memory_order_relaxed);
+  s.txns_decided_abort = c.txns_decided_abort.load(std::memory_order_relaxed);
+  s.cross_partition_ops =
+      c.cross_partition_ops.load(std::memory_order_relaxed);
+  s.pipelined_batches = c.pipelined_batches.load(std::memory_order_relaxed);
+  s.pipelined_ops = c.pipelined_ops.load(std::memory_order_relaxed);
+  return s;
+}
+
+ServerTmStats ServerTm::stats() const {
+  ServerTmStats total;
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    ServerTmStats s = partition_stats(p);
+    total.checkouts += s.checkouts;
+    total.checkouts_denied_scope += s.checkouts_denied_scope;
+    total.checkouts_denied_lock += s.checkouts_denied_lock;
+    total.checkins += s.checkins;
+    total.checkin_failures += s.checkin_failures;
+    total.dops_begun += s.dops_begun;
+    total.dops_committed += s.dops_committed;
+    total.dops_aborted += s.dops_aborted;
+    total.unknown_dop_requests += s.unknown_dop_requests;
+    total.wrong_shard_requests += s.wrong_shard_requests;
+    total.txns_prepared += s.txns_prepared;
+    total.txns_decided_commit += s.txns_decided_commit;
+    total.txns_decided_abort += s.txns_decided_abort;
+    total.cross_partition_ops += s.cross_partition_ops;
+    total.pipelined_batches += s.pipelined_batches;
+    total.pipelined_ops += s.pipelined_ops;
+  }
+  return total;
 }
 
 }  // namespace concord::txn

@@ -2,9 +2,12 @@
 #define CONCORD_TXN_SERVER_TM_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -15,34 +18,44 @@
 #include "rpc/two_phase_commit.h"
 #include "storage/repository.h"
 #include "txn/lock_manager.h"
+#include "txn/partition.h"
 #include "txn/placement.h"
 #include "txn/scope_authority.h"
+#include "txn/server_lock_table.h"
 
 namespace concord::txn {
 
-/// Counters for the checkout/checkin traffic. Fields are atomic
-/// (RepositoryStats-style) so concurrent designers can bump them
-/// without serializing on the DOP-table mutex; read them at quiescence
-/// (or accept slightly stale values).
+/// Aggregated snapshot of the checkout/checkin traffic counters.
+/// Increments land in the owning partition's padded atomic slice
+/// (one cache line per partition, never shared); stats() sums the
+/// slices on read. Read at quiescence for exact values.
 struct ServerTmStats {
-  std::atomic<uint64_t> checkouts{0};
-  std::atomic<uint64_t> checkouts_denied_scope{0};
-  std::atomic<uint64_t> checkouts_denied_lock{0};
-  std::atomic<uint64_t> checkins{0};
-  std::atomic<uint64_t> checkin_failures{0};
-  std::atomic<uint64_t> dops_begun{0};
-  std::atomic<uint64_t> dops_committed{0};
-  std::atomic<uint64_t> dops_aborted{0};
+  uint64_t checkouts = 0;
+  uint64_t checkouts_denied_scope = 0;
+  uint64_t checkouts_denied_lock = 0;
+  uint64_t checkins = 0;
+  uint64_t checkin_failures = 0;
+  uint64_t dops_begun = 0;
+  uint64_t dops_committed = 0;
+  uint64_t dops_aborted = 0;
   /// Requests naming a DOP whose registration a server crash wiped.
-  std::atomic<uint64_t> unknown_dop_requests{0};
+  uint64_t unknown_dop_requests = 0;
   /// Checkins rejected because this node does not own the DA (the
   /// workstation routed via a stale placement cache).
-  std::atomic<uint64_t> wrong_shard_requests{0};
+  uint64_t wrong_shard_requests = 0;
   /// Cross-shard 2PC ledger activity: staged transactions that reached
   /// a phase-2 decision, and how each was resolved.
-  std::atomic<uint64_t> txns_prepared{0};
-  std::atomic<uint64_t> txns_decided_commit{0};
-  std::atomic<uint64_t> txns_decided_abort{0};
+  uint64_t txns_prepared = 0;
+  uint64_t txns_decided_commit = 0;
+  uint64_t txns_decided_abort = 0;
+  /// Operations whose choreography spanned more than one partition
+  /// (e.g. a lock-taking checkout whose DOP and DOV live on different
+  /// executors) — the intra-node messaging cost of partitioning.
+  uint64_t cross_partition_ops = 0;
+  /// Independent-envelope checkout wavefronts executed by the
+  /// pipelined dispatch path, and the ops they carried.
+  uint64_t pipelined_batches = 0;
+  uint64_t pipelined_ops = 0;
 };
 
 /// Server half of the transaction manager (Sect. 5.1/5.2): "handles
@@ -51,27 +64,48 @@ struct ServerTmStats {
 /// repository; the client-TM talks to it for every critical
 /// interaction.
 ///
-/// Thread-safe: one ServerTm serves every workstation, so concurrent
-/// designer threads hit it at once. The DOP registration table and the
-/// per-DOP derivation-lock lists sit behind mu_ (a leaf mutex held only
-/// for the point lookups/updates — never across the repository read or
-/// the lock-manager calls, which synchronize themselves), and the stats
-/// are atomics.
+/// ## Partitioned execution model
+///
+/// The node's state is sliced across K single-threaded executor
+/// partitions (txn/partition.h):
+///  - DOP registrations, per-DOP derivation-lock lists and the
+///    lost-DOP set live on DopPartitionOf(dop);
+///  - lock-table slices (ServerLockTable) and the repository's
+///    sub-shards live on DovPartitionOf(dov);
+///  - the prepared-2PC ledger lives on TxnPartitionOf(txn).
+/// A public operation is a choreography run by the DISPATCHING thread
+/// (the RPC handler): it submits each state-touching step to the
+/// owning partition and waits on the completion future; steps never
+/// hop partitions themselves, so executors cannot deadlock on each
+/// other. Scope-authority callouts and invalidation publishes also
+/// stay on the dispatcher — the cooperation manager's recursive mutex
+/// may be held by that very thread (event delivery running a tool),
+/// and an executor-side callout would deadlock against it.
+///
+/// K == 1 (the default) spawns no threads and executes every step
+/// inline on the caller — bit-identical to the pre-partitioning
+/// behaviour. Each partition's maps still sit behind a slice mutex:
+/// with K == 1 concurrent designers share partition 0, and with K > 1
+/// the mutex is uncontended (only the owning executor takes it).
 class ServerTm {
  public:
   /// `invalidations` (optional) is the push channel to the workstation
   /// DOV caches: granting a derivation lock publishes on it, so remote
   /// cached copies cannot short-circuit the lock-compatibility test a
-  /// server checkout would now fail.
+  /// server checkout would now fail. `partitions` is the number of
+  /// executor partitions (1 = inline single-executor mode); the
+  /// repository is re-sharded to match (must be traffic-free).
   ServerTm(storage::Repository* repository, rpc::Network* network,
            NodeId server_node, ScopeAuthority* scope_authority,
-           rpc::InvalidationBus* invalidations = nullptr);
+           rpc::InvalidationBus* invalidations = nullptr, int partitions = 1);
+  ~ServerTm();
   ServerTm(const ServerTm&) = delete;
   ServerTm& operator=(const ServerTm&) = delete;
 
   NodeId node() const { return node_; }
-  LockManager& locks() { return locks_; }
+  ServerLockTable& locks() { return locks_; }
   storage::Repository& repository() { return *repository_; }
+  size_t partition_count() const { return engine_.count(); }
 
   /// Joins this server-TM to a sharded plane: `placement` is the
   /// plane's placement authority and this node must reject checkins
@@ -89,6 +123,20 @@ class ServerTm {
   /// locks bracket the operation.
   Result<storage::DovRecord> Checkout(DopId dop, DovId dov,
                                       bool take_derivation_lock);
+
+  /// One checkout of a pipelined independent envelope.
+  struct CheckoutOp {
+    DopId dop;
+    DovId dov;
+    bool take_derivation_lock = false;
+  };
+  /// Executes a batch of INDEPENDENT checkouts as partition wavefronts:
+  /// all DOP lookups fan out at once, scope checks run on the
+  /// dispatcher, then each partition receives ONE task carrying all of
+  /// its DOVs — so an envelope touching K partitions keeps K executors
+  /// busy instead of walking the ops serially. Results are positional.
+  std::vector<Result<storage::DovRecord>> CheckoutBatch(
+      const std::vector<CheckoutOp>& ops);
 
   /// Checkin: integrity check via a repository transaction, extension
   /// of the DA's derivation graph, scope-lock to the owning DA. On
@@ -117,8 +165,8 @@ class ServerTm {
   // registrations execute immediately (with undo records), while
   // state-changing operations are validated, answered, and *staged* —
   // and a later [Decide] envelope applies or discards the stage. The
-  // ledger is volatile server memory: a crash wipes it, which is the
-  // presumed-abort outcome.
+  // ledger is volatile server memory (sliced per txn partition): a
+  // crash wipes it, which is the presumed-abort outcome.
 
   /// Phase-1 Begin-of-DOP (participant enlistment): executes
   /// immediately and survives either decision — registrations are
@@ -149,46 +197,47 @@ class ServerTm {
   /// Test introspection: true while `txn` has staged/undoable state.
   bool HasPrepared(TxnId txn) const;
 
-  /// Simulated server crash: lock tables and DOP registrations are
-  /// volatile; the repository crashes alongside. The ids of the wiped
-  /// registrations are remembered (the server-TM's log would know which
-  /// DOPs were in flight), so a client naming one after Recover() gets
-  /// the typed kUnknownDop status instead of being indistinguishable
-  /// from a caller that never registered at all.
+  /// Simulated server crash. One wipe task is posted to EVERY
+  /// partition and all are awaited: each mailbox drains its in-flight
+  /// work first, so by the time Crash() returns no executor is
+  /// touching pre-crash state (the deterministic drain), and the wiped
+  /// registrations are remembered — a client naming one after
+  /// Recover() gets the typed kUnknownDop status. The repository
+  /// crashes alongside, then the node leaves the network.
   void Crash();
   Status Recover();
 
-  const ServerTmStats& stats() const { return stats_; }
+  /// Aggregated across all partitions.
+  ServerTmStats stats() const;
+  /// One partition's counter slice (per-partition throughput view).
+  ServerTmStats partition_stats(size_t p) const;
+  /// One partition's executor mailbox counters (contention view).
+  PartitionQueueSnapshot partition_queue_stats(size_t p) const {
+    return engine_.queue_stats(p);
+  }
 
  private:
-  /// DA of `dop`, or the typed failure: kUnknownDop if a crash wiped
-  /// the registration, kNotFound if it never existed. Takes mu_.
-  Result<DaId> LookupDop(DopId dop) const;
-
-  /// kWrongShard when a sharded plane's placement says `da` is homed
-  /// elsewhere; OK otherwise (including the un-sharded case).
-  Status CheckOwnsDa(DaId da) const;
-
-  /// Publishes the derivation-lock invalidation push for `dov`
-  /// acquired by `da` (see the long rationale in Checkout).
-  void PublishDerivationLock(DovId dov, DaId da);
-
-  /// Commits a fully-built, already-validated record to the repository
-  /// and hands the new DOV to the creating DA's scope — the shared
-  /// tail of Checkout-path Checkin and Decide-applied staged checkins.
-  Status ApplyCheckin(storage::DovRecord record);
-
-  /// Shared End-of-DOP path: deregisters `dop`, releases its
-  /// derivation locks and bumps `outcome_counter` (committed/aborted).
-  Status FinishDop(DopId dop, std::atomic<uint64_t>* outcome_counter);
-
-  storage::Repository* repository_;
-  rpc::Network* network_;
-  NodeId node_;
-  ScopeAuthority* scope_authority_;
-  rpc::InvalidationBus* invalidations_;
-  const PlacementMap* placement_ = nullptr;
-  LockManager locks_;
+  /// Per-partition padded counter slice: only the owning partition (or
+  /// the dispatcher, for rare denial/routing errors) bumps it, so hot
+  /// counters stop bouncing a shared cache line between partitions.
+  struct alignas(64) PartitionCounters {
+    std::atomic<uint64_t> checkouts{0};
+    std::atomic<uint64_t> checkouts_denied_scope{0};
+    std::atomic<uint64_t> checkouts_denied_lock{0};
+    std::atomic<uint64_t> checkins{0};
+    std::atomic<uint64_t> checkin_failures{0};
+    std::atomic<uint64_t> dops_begun{0};
+    std::atomic<uint64_t> dops_committed{0};
+    std::atomic<uint64_t> dops_aborted{0};
+    std::atomic<uint64_t> unknown_dop_requests{0};
+    std::atomic<uint64_t> wrong_shard_requests{0};
+    std::atomic<uint64_t> txns_prepared{0};
+    std::atomic<uint64_t> txns_decided_commit{0};
+    std::atomic<uint64_t> txns_decided_abort{0};
+    std::atomic<uint64_t> cross_partition_ops{0};
+    std::atomic<uint64_t> pipelined_batches{0};
+    std::atomic<uint64_t> pipelined_ops{0};
+  };
 
   /// One staged (phase-1-executed, undecided) transaction.
   struct PreparedTxn {
@@ -205,19 +254,86 @@ class ServerTm {
     std::vector<std::pair<DovId, DaId>> acquired_locks;
   };
 
-  /// Guards dop_da_, dop_derivation_locks_, lost_dops_ and prepared_;
-  /// leaf mutex, never held across repository or lock-manager calls.
-  mutable std::mutex mu_;
-  std::unordered_map<DopId, DaId> dop_da_;
-  /// Derivation locks taken per DOP (released at End-of-DOP).
-  std::unordered_map<DopId, std::vector<DovId>> dop_derivation_locks_;
-  /// Registrations wiped by Crash() and not re-registered since.
-  std::unordered_set<DopId> lost_dops_;
-  /// Cross-shard 2PC ledger (volatile: a crash is a presumed abort).
-  std::unordered_map<TxnId, PreparedTxn> prepared_;
+  /// One partition's exclusive state slice. The slice mutex is a leaf
+  /// (never held across repository or lock-manager calls); with K > 1
+  /// only the owning executor takes it, with K == 1 it is the old
+  /// single mu_.
+  struct Partition {
+    mutable std::mutex mu;
+    std::unordered_map<DopId, DaId> dop_da;
+    /// Derivation locks taken per DOP (released at End-of-DOP).
+    std::unordered_map<DopId, std::vector<DovId>> dop_derivation_locks;
+    /// Registrations wiped by Crash() and not re-registered since.
+    std::unordered_set<DopId> lost_dops;
+    /// Cross-shard 2PC ledger slice (volatile: crash = presumed abort).
+    std::unordered_map<TxnId, PreparedTxn> prepared;
+    mutable PartitionCounters counters;
+  };
 
-  /// Mutable: the unknown-DOP counter is bumped from const lookups.
-  mutable ServerTmStats stats_;
+  /// Dispatcher<->executor handoff of one per-DOV checkout step.
+  struct CheckoutStep {
+    Status status;
+    std::optional<storage::DovRecord> record;
+    bool lock_acquired = false;
+  };
+
+  size_t DopPart(DopId dop) const { return DopPartitionOf(dop, engine_.count()); }
+  size_t DovPart(DovId dov) const { return DovPartitionOf(dov, engine_.count()); }
+  size_t TxnPart(TxnId txn) const { return TxnPartitionOf(txn, engine_.count()); }
+
+  /// DA of `dop`, or the typed failure: kUnknownDop if a crash wiped
+  /// the registration, kNotFound if it never existed. Routes to the
+  /// owning partition.
+  Result<DaId> LookupDop(DopId dop) const;
+  /// The partition-resident body of LookupDop (runs on the owner).
+  Result<DaId> LookupDopIn(const Partition& part, DopId dop) const;
+
+  /// kWrongShard when a sharded plane's placement says `da` is homed
+  /// elsewhere; OK otherwise. Runs on the dispatcher (the placement
+  /// map is internally synchronized); the counter lands in `part`.
+  Status CheckOwnsDa(const Partition& part, DaId da) const;
+
+  /// The executor-resident tail of a checkout: derivation-lock
+  /// compatibility test, optional acquisition, repository read.
+  /// Expects the short lock already taken by the dispatcher prologue.
+  CheckoutStep CheckoutStepIn(size_t pv, DovId dov, DaId da,
+                              bool take_derivation_lock);
+  /// Dispatcher-side epilogue of a lock-taking checkout: records the
+  /// held lock in the DOP's partition (for release at End-of-DOP).
+  void RecordHeldLock(DopId dop, DovId dov);
+
+  /// Publishes the derivation-lock invalidation push for `dov`
+  /// acquired by `da` (see the long rationale in Checkout). Dispatcher
+  /// thread only — the bus fans out over the network.
+  void PublishDerivationLock(DovId dov, DaId da);
+
+  /// Commits a fully-built, already-validated record to the repository
+  /// and hands the new DOV to the creating DA's scope — the shared
+  /// tail of Checkout-path Checkin and Decide-applied staged checkins.
+  /// One task on the new DOV's partition.
+  Status ApplyCheckin(storage::DovRecord record);
+
+  /// Shared End-of-DOP path: deregisters `dop` on its partition, then
+  /// fans the derivation-lock releases out to the owning partitions.
+  Status FinishDop(DopId dop, bool committed);
+
+  /// Releases `locks` grouped per owning partition, one task each, and
+  /// waits for all of them.
+  void ReleaseDerivationLocks(const std::vector<std::pair<DovId, DaId>>& locks);
+
+  storage::Repository* repository_;
+  rpc::Network* network_;
+  NodeId node_;
+  ScopeAuthority* scope_authority_;
+  rpc::InvalidationBus* invalidations_;
+  const PlacementMap* placement_ = nullptr;
+
+  /// Destruction order matters: the destructor stops the engine FIRST
+  /// (joining every executor), so no task can touch parts_ or locks_
+  /// while they die.
+  mutable PartitionEngine engine_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  ServerLockTable locks_;
 };
 
 }  // namespace concord::txn

@@ -26,8 +26,8 @@ namespace {
 /// pre-seeds one warm DOV per workstation, owned by DA(w+1) on
 /// shard 0 — tests use DA ids >= 10 for their own activities.
 struct Plane : bench::TmEnv {
-  explicit Plane(int server_nodes, int workstations = 1)
-      : bench::TmEnv(workstations, server_nodes) {}
+  explicit Plane(int server_nodes, int workstations = 1, int partitions = 1)
+      : bench::TmEnv(workstations, server_nodes, partitions) {}
 
   storage::DesignObject MakeObject(int64_t value) {
     storage::DesignObject object(dot);
@@ -397,6 +397,102 @@ TEST(MultiServerPlaneTest, ConcurrentCrossShardCommits) {
   t1.join();
   EXPECT_EQ(plane.shards[0].repo->DovsOf(DaId(11)).size(), 25u);
   EXPECT_EQ(plane.shards[1].repo->DovsOf(DaId(12)).size(), 25u);
+}
+
+/// The partitioned plane under fire: every node runs 4 executor
+/// partitions, every commit is multi-participant (the DA's home on one
+/// shard, the checked-out inputs on the other), the inputs and the
+/// created DOVs span all four partitions of each node, and the LAN
+/// drops 30% of the messages — with four designer threads racing.
+/// Atomicity must hold op by op (both shards or neither), and the
+/// whole storm must be TSAN-clean.
+TEST(MultiServerPlaneTest, PartitionedCrossShardAtomicityUnder30PercentLoss) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 20;
+  Plane plane(2, /*workstations=*/kThreads, /*partitions=*/4);
+  ASSERT_EQ(plane.shards[0].tm->partition_count(), 4u);
+
+  // Four sequential seeds per shard: DovPartitionOf round-robins them
+  // over all four partitions, so a 4-input checkout fans across the
+  // whole node.
+  std::vector<DovId> inputs_on[2];
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      inputs_on[s].push_back(
+          plane.Seed(static_cast<size_t>(s), DaId(60 + s), i));
+    }
+  }
+  // Thread t's DA is homed on shard t%2 and reads the OTHER shard's
+  // seeds: every CheckinCommit is a two-participant 2PC.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(plane.placement
+                    .Assign(DaId(40 + t), plane.shards[t % 2].node)
+                    .ok());
+  }
+
+  plane.network.set_loss_probability(0.30);
+  int committed[kThreads] = {};
+  auto designer = [&](int t) {
+    ClientTm& tm = *plane.clients[t];
+    DaId da(40 + t);
+    const std::vector<DovId>& inputs = inputs_on[(t + 1) % 2];
+    for (int round = 0; round < kRounds; ++round) {
+      for (DovId input : inputs) tm.cache().Invalidate(input);
+      auto dop = tm.BeginDop(da);
+      if (!dop.ok()) continue;
+      bool checked_out = true;
+      std::vector<DovId> read;
+      for (DovId input : inputs) {
+        if (tm.Checkout(*dop, input).ok()) {
+          read.push_back(input);
+        } else {
+          checked_out = false;
+          break;
+        }
+      }
+      if (!checked_out) {
+        tm.AbortDop(*dop).ok();
+        continue;
+      }
+      auto dov = tm.CheckinCommit(*dop, plane.MakeObject(round), read);
+      if (dov.ok()) {
+        // Committed on BOTH shards: the new DOV exists on the home
+        // shard and no participant still holds the registration.
+        EXPECT_TRUE(plane.shards[t % 2].repo->Contains(*dov));
+        EXPECT_TRUE(
+            plane.shards[0].tm->DaOfDop(*dop).status().IsNotFound());
+        EXPECT_TRUE(
+            plane.shards[1].tm->DaOfDop(*dop).status().IsNotFound());
+        ++committed[t];
+      } else {
+        tm.AbortDop(*dop).ok();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(designer, t);
+  for (auto& thread : threads) thread.join();
+  plane.network.set_loss_probability(0.0);
+
+  int total_committed = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_committed += committed[t];
+    // Both shards or neither, per DA: every committed round left
+    // exactly one DOV on the home shard and none on the participant.
+    EXPECT_EQ(plane.shards[t % 2].repo->DovsOf(DaId(40 + t)).size(),
+              static_cast<size_t>(committed[t]));
+    EXPECT_EQ(plane.shards[(t + 1) % 2].repo->DovsOf(DaId(40 + t)).size(),
+              0u);
+  }
+  EXPECT_GT(total_committed, 0);
+  // The storm really exercised what it claims: a lossy link (retries),
+  // both 2PC ledgers, and choreographies spanning partitions.
+  EXPECT_GT(plane.rpc.stats().retries, 0u);
+  for (int s = 0; s < 2; ++s) {
+    ServerTmStats stats = plane.shards[s].tm->stats();
+    EXPECT_GT(stats.txns_decided_commit + stats.txns_decided_abort, 0u);
+    EXPECT_GT(stats.cross_partition_ops, 0u);
+  }
 }
 
 }  // namespace

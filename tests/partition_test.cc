@@ -1,0 +1,434 @@
+// Shared-nothing server execution: the PartitionEngine executor core,
+// the partition-routing helpers, the sliced ServerLockTable, and the
+// partitioned ServerTm choreography — functional parity with the
+// single-executor TM at K > 1, per-partition counter accumulation,
+// pipelined checkout envelopes, and the deterministic crash drain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "rpc/network.h"
+#include "storage/repository.h"
+#include "txn/partition.h"
+#include "txn/scope_authority.h"
+#include "txn/server_lock_table.h"
+#include "txn/server_service.h"
+#include "txn/server_tm.h"
+
+namespace concord::txn {
+namespace {
+
+// --- PartitionEngine ------------------------------------------------------
+
+TEST(PartitionEngineTest, InlineModeRunsOnCallerThread) {
+  PartitionEngine engine(1);
+  EXPECT_EQ(engine.count(), 1u);
+  EXPECT_FALSE(engine.threaded());
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on = engine.Run(0, [] { return std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+  // Post in inline mode executes immediately and returns a ready future.
+  auto future = engine.Post(0, [] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(PartitionEngineTest, ThreadedModeRunsOnOwningExecutor) {
+  PartitionEngine engine(4);
+  EXPECT_EQ(engine.count(), 4u);
+  EXPECT_TRUE(engine.threaded());
+  std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> executor_threads;
+  for (size_t p = 0; p < 4; ++p) {
+    std::thread::id ran_on =
+        engine.Run(p, [] { return std::this_thread::get_id(); });
+    EXPECT_NE(ran_on, caller);
+    executor_threads.insert(ran_on);
+    // Same partition -> same thread, every time.
+    EXPECT_EQ(engine.Run(p, [] { return std::this_thread::get_id(); }),
+              ran_on);
+  }
+  // Distinct partitions are distinct threads.
+  EXPECT_EQ(executor_threads.size(), 4u);
+}
+
+TEST(PartitionEngineTest, TasksOnOnePartitionRunInFifoOrder) {
+  PartitionEngine engine(2);
+  std::vector<int> order;
+  std::vector<std::future<void>> posted;
+  for (int i = 0; i < 100; ++i) {
+    // All on partition 0: the mailbox must preserve submission order.
+    posted.push_back(engine.Post(0, [&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : posted) f.get();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(PartitionEngineTest, DrainWaitsForQueuedWork) {
+  PartitionEngine engine(3);
+  std::atomic<int> done{0};
+  for (size_t p = 0; p < 3; ++p) {
+    for (int i = 0; i < 50; ++i) {
+      engine.Post(p, [&done] { ++done; });
+    }
+  }
+  engine.Drain();
+  EXPECT_EQ(done.load(), 150);
+}
+
+TEST(PartitionEngineTest, StopJoinsAndFallsBackToInline) {
+  PartitionEngine engine(4);
+  std::atomic<int> done{0};
+  for (size_t p = 0; p < 4; ++p) engine.Post(p, [&done] { ++done; });
+  engine.Stop();
+  EXPECT_EQ(done.load(), 4);  // queued work finished before the join
+  EXPECT_FALSE(engine.threaded());
+  // Post-Stop submissions run inline (the shutdown path still works).
+  EXPECT_EQ(engine.Run(2, [] { return 7; }), 7);
+}
+
+TEST(PartitionEngineTest, QueueStatsCountTasks) {
+  PartitionEngine engine(2);
+  for (int i = 0; i < 20; ++i) {
+    engine.Post(0, [] {});
+  }
+  engine.Drain();
+  PartitionQueueSnapshot snap = engine.queue_stats(0);
+  EXPECT_EQ(snap.tasks, 20u);
+  EXPECT_GE(snap.batches, 1u);
+  EXPECT_GE(snap.queue_high_water, 1u);
+  EXPECT_EQ(engine.queue_stats(1).tasks, 0u);
+}
+
+// --- Partition routing ----------------------------------------------------
+
+TEST(PartitionRoutingTest, SinglePartitionOwnsEverything) {
+  EXPECT_EQ(DovPartitionOf(DovId(123), 1), 0u);
+  EXPECT_EQ(DopPartitionOf(DopId(456), 1), 0u);
+  EXPECT_EQ(TxnPartitionOf(TxnId(789), 1), 0u);
+}
+
+TEST(PartitionRoutingTest, SequentialDovIdsSpreadUniformly) {
+  // DOV ids are sequential per shard; modulo-K must round-robin them.
+  std::vector<int> hits(4, 0);
+  for (uint64_t i = 1; i <= 400; ++i) {
+    ++hits[DovPartitionOf(DovId(i), 4)];
+  }
+  for (int h : hits) EXPECT_EQ(h, 100);
+  // Shard-namespaced ids (top 16 bits) route on the LOCAL counter, so
+  // the same local id lands on the same partition regardless of shard.
+  DovId sharded(uint64_t{3} << kDovShardShift | 42);
+  EXPECT_EQ(DovPartitionOf(sharded, 4), DovPartitionOf(DovId(42), 4));
+}
+
+TEST(PartitionRoutingTest, MixedIdsStayInRangeAndSpread) {
+  // DOP ids carry a node namespace in the high bits; the mix must keep
+  // the spread healthy anyway (no partition starved over 1k ids).
+  std::vector<int> hits(8, 0);
+  for (uint64_t node = 1; node <= 4; ++node) {
+    for (uint64_t c = 1; c <= 250; ++c) {
+      ++hits[DopPartitionOf(DopId((node << 32) | c), 8)];
+    }
+  }
+  for (int h : hits) EXPECT_GT(h, 60);
+}
+
+// --- ServerLockTable ------------------------------------------------------
+
+TEST(ServerLockTableTest, RoutesToOwningSliceAndAggregates) {
+  ServerLockTable table(4);
+  EXPECT_EQ(table.partition_count(), 4u);
+  DovId a(1), b(2);
+  ASSERT_NE(DovPartitionOf(a, 4), DovPartitionOf(b, 4));
+  ASSERT_TRUE(table.AcquireDerivation(a, DaId(1)).ok());
+  ASSERT_TRUE(table.AcquireDerivation(b, DaId(2)).ok());
+  // Each lock lives in exactly its owning slice.
+  EXPECT_EQ(table.Slice(DovPartitionOf(a, 4)).DerivationHolder(a), DaId(1));
+  EXPECT_FALSE(table.Slice(DovPartitionOf(b, 4)).DerivationHolder(a).valid());
+  EXPECT_EQ(table.DerivationHolder(b), DaId(2));
+  // Aggregated stats sum the slices.
+  EXPECT_EQ(table.stats().derivation_locks_taken, 2u);
+  // Plane-wide release fans out over all slices.
+  EXPECT_EQ(table.ReleaseAllDerivation(DaId(1)), 1);
+  EXPECT_FALSE(table.DerivationHolder(a).valid());
+}
+
+TEST(ServerLockTableTest, OwnedByConcatenatesSlices) {
+  ServerLockTable table(4);
+  for (uint64_t i = 1; i <= 8; ++i) table.SetScopeOwner(DovId(i), DaId(9));
+  EXPECT_EQ(table.OwnedBy(DaId(9)).size(), 8u);
+}
+
+// --- Partitioned ServerTm -------------------------------------------------
+
+class PartitionedTmTest : public ::testing::TestWithParam<int> {
+ protected:
+  PartitionedTmTest() : network_(&clock_, 1), repo_(&clock_) {
+    server_node_ = network_.AddNode("server");
+    auto* type = repo_.schema().DefineType("thing");
+    type->AddAttr({"value", storage::AttrType::kInt, true, 0.0, 1000.0});
+    dot_ = type->id();
+    server_ = std::make_unique<ServerTm>(&repo_, &network_, server_node_,
+                                         &scope_, nullptr, GetParam());
+  }
+
+  storage::DesignObject MakeObj(int64_t value) {
+    storage::DesignObject obj(dot_);
+    obj.SetAttr("value", value);
+    return obj;
+  }
+
+  DovId Seed(DaId da, int64_t value) {
+    TxnId txn = repo_.Begin();
+    storage::DovRecord record;
+    record.id = repo_.NextDovId();
+    record.owner_da = da;
+    record.type = dot_;
+    record.data = MakeObj(value);
+    DovId id = record.id;
+    repo_.Put(txn, std::move(record)).ok();
+    repo_.Commit(txn).ok();
+    server_->locks().SetScopeOwner(id, da);
+    return id;
+  }
+
+  SimClock clock_;
+  rpc::Network network_;
+  storage::Repository repo_;
+  PermissiveScopeAuthority scope_;
+  NodeId server_node_;
+  DotId dot_;
+  std::unique_ptr<ServerTm> server_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionedTmTest,
+                         ::testing::Values(1, 4));
+
+TEST_P(PartitionedTmTest, FullDopLifecycleAcrossPartitions) {
+  EXPECT_EQ(server_->partition_count(), static_cast<size_t>(GetParam()));
+  // Enough inputs to touch every partition.
+  std::vector<DovId> inputs;
+  for (int i = 0; i < 8; ++i) inputs.push_back(Seed(DaId(1), i));
+
+  DopId dop(7);
+  ASSERT_TRUE(server_->BeginDop(dop, DaId(1)).ok());
+  for (DovId input : inputs) {
+    auto record = server_->Checkout(dop, input, /*take_derivation_lock=*/true);
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->id, input);
+    EXPECT_EQ(server_->locks().DerivationHolder(input), DaId(1));
+  }
+  auto out = server_->Checkin(dop, MakeObj(99), inputs, clock_.Now());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(server_->locks().ScopeOwner(*out), DaId(1));
+  ASSERT_TRUE(server_->CommitDop(dop).ok());
+  // End-of-DOP released every derivation lock, whichever slice held it.
+  for (DovId input : inputs) {
+    EXPECT_FALSE(server_->locks().DerivationHolder(input).valid());
+  }
+
+  ServerTmStats stats = server_->stats();
+  EXPECT_EQ(stats.checkouts, 8u);
+  EXPECT_EQ(stats.checkins, 1u);
+  EXPECT_EQ(stats.dops_begun, 1u);
+  EXPECT_EQ(stats.dops_committed, 1u);
+}
+
+TEST_P(PartitionedTmTest, DenialsAndUnknownDopsKeepTheirTypedStatus) {
+  DovId input = Seed(DaId(1), 5);
+  DopId dop(1), other(2);
+  ASSERT_TRUE(server_->BeginDop(dop, DaId(1)).ok());
+  ASSERT_TRUE(server_->BeginDop(other, DaId(2)).ok());
+  // Derivation-lock conflict across DAs.
+  ASSERT_TRUE(server_->Checkout(dop, input, true).ok());
+  auto denied = server_->Checkout(other, input, true);
+  EXPECT_TRUE(denied.status().IsLockConflict());
+  // Unregistered DOP.
+  EXPECT_TRUE(server_->Checkout(DopId(99), input, false).status().IsNotFound());
+  ServerTmStats stats = server_->stats();
+  EXPECT_EQ(stats.checkouts_denied_lock, 1u);
+}
+
+TEST_P(PartitionedTmTest, StatsAggregateExactlyFromPartitionSlices) {
+  std::vector<DovId> inputs;
+  for (int i = 0; i < 16; ++i) inputs.push_back(Seed(DaId(1), i));
+  DopId dop(3);
+  ASSERT_TRUE(server_->BeginDop(dop, DaId(1)).ok());
+  for (DovId input : inputs) {
+    ASSERT_TRUE(server_->Checkout(dop, input, false).ok());
+  }
+  ServerTmStats total = server_->stats();
+  uint64_t checkouts_summed = 0;
+  for (size_t p = 0; p < server_->partition_count(); ++p) {
+    checkouts_summed += server_->partition_stats(p).checkouts;
+  }
+  EXPECT_EQ(total.checkouts, 16u);
+  EXPECT_EQ(checkouts_summed, total.checkouts);
+  if (GetParam() > 1) {
+    // Uniform DOV round-robin: every partition saw exactly its share,
+    // counted on its own slice.
+    for (size_t p = 0; p < server_->partition_count(); ++p) {
+      EXPECT_EQ(server_->partition_stats(p).checkouts,
+                16u / server_->partition_count());
+    }
+  }
+}
+
+TEST_P(PartitionedTmTest, CheckoutBatchIsPositionalAndCountsPipelining) {
+  std::vector<DovId> inputs;
+  for (int i = 0; i < 8; ++i) inputs.push_back(Seed(DaId(1), i));
+  DopId dop(5);
+  ASSERT_TRUE(server_->BeginDop(dop, DaId(1)).ok());
+
+  std::vector<ServerTm::CheckoutOp> ops;
+  for (DovId input : inputs) ops.push_back({dop, input, false});
+  // Slot 3: unregistered DOP; slot 5: unknown DOV. Results must stay
+  // positional around the failures.
+  ops[3].dop = DopId(99);
+  ops[5].dov = DovId(123456);
+  auto results = server_->CheckoutBatch(ops);
+  ASSERT_EQ(results.size(), ops.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 3) {
+      EXPECT_TRUE(results[i].status().IsNotFound());
+    } else if (i == 5) {
+      EXPECT_FALSE(results[i].ok());
+    } else {
+      ASSERT_TRUE(results[i].ok());
+      EXPECT_EQ(results[i]->id, inputs[i]);
+    }
+  }
+  ServerTmStats stats = server_->stats();
+  EXPECT_EQ(stats.pipelined_batches, 1u);
+  EXPECT_EQ(stats.pipelined_ops, ops.size());
+  EXPECT_EQ(stats.checkouts, 6u);
+}
+
+TEST_P(PartitionedTmTest, IndependentCheckoutEnvelopeTakesPipelinedPath) {
+  std::vector<DovId> inputs;
+  for (int i = 0; i < 6; ++i) inputs.push_back(Seed(DaId(1), i));
+  DopId dop(11);
+  ASSERT_TRUE(server_->BeginDop(dop, DaId(1)).ok());
+
+  BatchRequest batch;
+  batch.independent = true;
+  for (DovId input : inputs) {
+    batch.ops.emplace_back(CheckoutRequest{dop, input, false});
+  }
+  BatchReply reply = DispatchBatch(*server_, batch);
+  ASSERT_EQ(reply.ops.size(), inputs.size());
+  for (size_t i = 0; i < reply.ops.size(); ++i) {
+    ASSERT_TRUE(reply.ops[i].status.ok());
+    auto* body = std::get_if<CheckoutReply>(&reply.ops[i].body);
+    ASSERT_NE(body, nullptr);
+    EXPECT_EQ(body->record.id, inputs[i]);
+  }
+  EXPECT_EQ(server_->stats().pipelined_batches, 1u);
+
+  // A dependent envelope of the same ops must NOT take the pipelined
+  // path (order could matter to the client).
+  batch.independent = false;
+  DispatchBatch(*server_, batch);
+  EXPECT_EQ(server_->stats().pipelined_batches, 1u);
+}
+
+TEST_P(PartitionedTmTest, CrashWipesAllPartitionsAndRecoverRestores) {
+  DovId input = Seed(DaId(1), 5);
+  std::vector<DopId> dops;
+  for (uint64_t i = 1; i <= 8; ++i) {
+    DopId dop(i);
+    ASSERT_TRUE(server_->BeginDop(dop, DaId(1)).ok());
+    ASSERT_TRUE(server_->Checkout(dop, input, false).ok());
+    dops.push_back(dop);
+  }
+  server_->Crash();
+  ASSERT_TRUE(server_->Recover().ok());
+  // Every partition's registrations were wiped and remembered: any
+  // pre-crash DOP now answers the typed kUnknownDop, whichever
+  // partition owned it.
+  for (DopId dop : dops) {
+    EXPECT_TRUE(server_->Checkout(dop, input, false).status().IsUnknownDop());
+  }
+  EXPECT_EQ(server_->stats().unknown_dop_requests, 8u);
+}
+
+// The satellite regression: crash/recover must drain in-flight
+// partition work deterministically — no executor may touch freed or
+// wiped state after Crash() returns. Run under TSAN in CI.
+TEST(PartitionCrashDrainTest, CrashRecoverUnderConcurrentTraffic) {
+  SimClock clock;
+  rpc::Network network(&clock, 1);
+  storage::Repository repo(&clock);
+  auto* type = repo.schema().DefineType("thing");
+  type->AddAttr({"value", storage::AttrType::kInt, true, 0.0, 1000.0});
+  DotId dot = type->id();
+  PermissiveScopeAuthority scope;
+  NodeId node = network.AddNode("server");
+  ServerTm server(&repo, &network, node, &scope, nullptr, /*partitions=*/4);
+
+  std::vector<DovId> inputs;
+  for (int i = 0; i < 32; ++i) {
+    TxnId txn = repo.Begin();
+    storage::DovRecord record;
+    record.id = repo.NextDovId();
+    record.owner_da = DaId(1);
+    record.type = dot;
+    record.data = storage::DesignObject(dot);
+    record.data.SetAttr("value", static_cast<int64_t>(i));
+    DovId id = record.id;
+    repo.Put(txn, std::move(record)).ok();
+    repo.Commit(txn).ok();
+    server.locks().SetScopeOwner(id, DaId(1));
+    inputs.push_back(id);
+  }
+
+  constexpr int kDesigners = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::vector<std::thread> designers;
+  for (int t = 0; t < kDesigners; ++t) {
+    designers.emplace_back([&, t] {
+      uint64_t seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Fresh DOP ids per attempt: registrations race the crashes,
+        // and every status (OK / unknown-DOP / not-found) is legal —
+        // the invariant under test is freedom from data races and
+        // use-after-wipe, not success.
+        DopId dop(1000 + static_cast<uint64_t>(t) * 1000000 + ++seq);
+        if (server.BeginDop(dop, DaId(1)).ok()) {
+          for (int i = 0; i < 4; ++i) {
+            server.Checkout(dop, inputs[(t * 4 + i) % inputs.size()],
+                            (i % 2) == 0);
+          }
+          storage::DesignObject obj(dot);
+          obj.SetAttr("value", static_cast<int64_t>(seq % 1000));
+          server.Checkin(dop, std::move(obj), {}, 0);
+          server.CommitDop(dop).ok();
+        }
+        ++ops;
+      }
+    });
+  }
+
+  for (int round = 0; round < 5; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.Crash();
+    ASSERT_TRUE(server.Recover().ok());
+  }
+  stop.store(true);
+  for (auto& d : designers) d.join();
+  EXPECT_GT(ops.load(), 0u);
+  // The system still works after the storm.
+  DopId dop(1);
+  ASSERT_TRUE(server.BeginDop(dop, DaId(1)).ok());
+  EXPECT_TRUE(server.Checkout(dop, inputs[0], false).ok());
+}
+
+}  // namespace
+}  // namespace concord::txn

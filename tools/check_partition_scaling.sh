@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Gate for the partition-scaling bench: BENCH_partition_scaling.json
+# must show the 4-partition run carrying >= 2x less load on its
+# busiest executor than the single-partition run (the deterministic
+# parallel-capacity ratio — see bench/bench_partition_scaling.cc for
+# why the gate is not host-dependent wall clock). Uniform routing
+# yields 4.0; a routing skew that funnels the hot path onto one
+# executor drags it toward 1.0 and fails the gate. Usage:
+#   tools/check_partition_scaling.sh [path-to-json] [min-ratio]
+set -eu
+
+JSON="${1:-BENCH_partition_scaling.json}"
+MIN="${2:-2.0}"
+
+if [ ! -f "$JSON" ]; then
+  echo "check_partition_scaling: $JSON not found (run bench_partition_scaling first)" >&2
+  exit 1
+fi
+
+# The bench emits the gate key on its own line: "x4_vs_x1": <ratio>
+RATIO=$(awk -F': ' '/"x4_vs_x1"/ { gsub(/[,"]/, "", $2); print $2 }' "$JSON")
+
+if [ -z "$RATIO" ]; then
+  echo "check_partition_scaling: no x4_vs_x1 key in $JSON" >&2
+  exit 1
+fi
+
+echo "partition scaling: x4_vs_x1 = $RATIO (required >= $MIN)"
+awk -v r="$RATIO" -v m="$MIN" 'BEGIN { exit (r + 0 >= m + 0) ? 0 : 1 }' || {
+  echo "check_partition_scaling: FAIL — the 4-partition bottleneck executor carries under ${MIN}x less load than the single-partition baseline (routing skew?)" >&2
+  exit 1
+}
+echo "check_partition_scaling: OK"
