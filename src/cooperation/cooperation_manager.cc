@@ -1041,6 +1041,31 @@ void CooperationManager::NoteCheckin(DaId da, DovId dov) {
   repository_.Commit(txn).ok();
 }
 
+void CooperationManager::NoteScriptProgress(DaId da, const std::string& node,
+                                            const std::string& path,
+                                            bool started, bool failed) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ScriptProgress& progress = script_progress_[da];
+  progress.node = node;
+  progress.path = path;
+  if (started) {
+    ++progress.nodes_started;
+    ++stats_.script_nodes_started;
+  } else if (failed) {
+    ++progress.nodes_failed;
+    ++stats_.script_nodes_failed;
+  } else {
+    ++progress.nodes_completed;
+    ++stats_.script_nodes_completed;
+  }
+}
+
+ScriptProgress CooperationManager::ScriptProgressOf(DaId da) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = script_progress_.find(da);
+  return it != script_progress_.end() ? it->second : ScriptProgress{};
+}
+
 // --- Introspection ---------------------------------------------------------
 
 std::vector<DaId> CooperationManager::Children(DaId da) const {

@@ -42,6 +42,21 @@ struct CmStats {
   uint64_t invalidations = 0;
   uint64_t protocol_violations = 0;
   uint64_t events_delivered = 0;
+  uint64_t script_nodes_started = 0;
+  uint64_t script_nodes_completed = 0;
+  uint64_t script_nodes_failed = 0;
+};
+
+/// Latest script-engine progress reported for a DA: which task node of
+/// its design script last started/finished, and running totals. Lets a
+/// supervising designer (or the sim's metrics) watch a sub-DA's script
+/// advance without polling the workstation.
+struct ScriptProgress {
+  std::string node;  // task-node name (DOP type, "choose", "join", ...)
+  std::string path;  // rank path in the lowered task graph
+  uint64_t nodes_started = 0;
+  uint64_t nodes_completed = 0;
+  uint64_t nodes_failed = 0;
 };
 
 /// Parameters of Create_Sub_DA / Init_Design — the DA description
@@ -251,6 +266,15 @@ class CooperationManager : public txn::ScopeAuthority {
   /// hooks for bookkeeping/persistence).
   void NoteCheckin(DaId da, DovId dov);
 
+  /// Per-node progress feed from a DA's design-script engine (the DM's
+  /// progress sink is wired here by the embedding system). Called from
+  /// the choreographer thread of the owning workstation; safe against
+  /// concurrent CM traffic.
+  void NoteScriptProgress(DaId da, const std::string& node,
+                          const std::string& path, bool started, bool failed);
+  /// Latest reported progress for `da` (empty record if none yet).
+  ScriptProgress ScriptProgressOf(DaId da) const;
+
   // --- Introspection ----------------------------------------------------
 
   /// Pointer into the DA table. The pointer itself stays valid for the
@@ -330,6 +354,7 @@ class CooperationManager : public txn::ScopeAuthority {
   std::map<uint64_t, DesignActivity> das_;  // keyed by DaId value
   std::vector<CoopRelationship> relationships_;
   std::unordered_map<DaId, std::optional<Proposal>> pending_proposals_;
+  std::unordered_map<DaId, ScriptProgress> script_progress_;
 
   CmStats stats_;
 };

@@ -62,7 +62,8 @@ ConcordSystem::ConcordSystem(SystemConfig config)
   for (ServerNode& server : servers_) {
     server.tm = std::make_unique<txn::ServerTm>(
         server.repository.get(), network_.get(), server.node, this,
-        invalidation_bus_.get(), config_.partitions_per_node);
+        invalidation_bus_.get(), config_.partitions_per_node,
+        config_.pin_executor_cores);
     if (sharded) server.tm->JoinPlane(&placement_);
     // Server-side half of the ServerService protocol: every client-TM
     // envelope lands here as a real, countable RPC.
@@ -149,6 +150,22 @@ void ConcordSystem::BindDm(DaId da, DaRuntime* runtime) {
   });
   runtime->dm->SetDaOpRunner(
       [this, da](const std::string& op_name) { return RunDaOp(da, op_name); });
+  // Per-node script progress feeds the CM, so supervising DAs (and the
+  // sim's metrics) can watch a sub-DA's script advance.
+  runtime->dm->SetProgressSink([this, da](const workflow::TaskNode& node,
+                                          bool started, bool failed) {
+    cm_->NoteScriptProgress(da, node.name,
+                            workflow::TaskRankToString(node.rank), started,
+                            failed);
+  });
+  if (executor_pool_ != nullptr) runtime->dm->SetExecutorPool(executor_pool_);
+}
+
+void ConcordSystem::SetExecutorPool(workflow::ExecutorPool* pool) {
+  executor_pool_ = pool;
+  for (auto& [da_value, runtime] : das_) {
+    runtime.dm->SetExecutorPool(pool);
+  }
 }
 
 Result<DaId> ConcordSystem::InitDesign(cooperation::DaDescription description) {
@@ -250,16 +267,25 @@ Status ConcordSystem::SetDecisionMaker(DaId da,
 
 Result<workflow::DopOutcome> ConcordSystem::RunTool(
     DaId da, const std::string& dop_type) {
+  CONCORD_ASSIGN_OR_RETURN(ToolRun run, BeginToolRun(da, dop_type));
+  return FinishToolRun(std::move(run));
+}
+
+Result<ConcordSystem::ToolRun> ConcordSystem::BeginToolRun(
+    DaId da, const std::string& dop_type) {
+  std::lock_guard<std::mutex> lock(tool_mu_);
   CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(da));
   txn::ClientTm& tm = client_tm(runtime->workstation);
 
   // Begin-of-DOP.
   CONCORD_ASSIGN_OR_RETURN(DopId dop, tm.BeginDop(da));
+  ToolRun run;
+  run.da = da;
+  run.dop_type = dop_type;
+  run.dop = dop;
 
   // Input selection: the DA's current version, its initial DOV, or the
   // seed object for a from-scratch DA.
-  storage::DesignObject input;
-  std::vector<DovId> inputs;
   DovId input_dov;
   if (runtime->current.valid()) {
     input_dov = runtime->current;
@@ -275,25 +301,38 @@ Result<workflow::DopOutcome> ConcordSystem::RunTool(
       tm.AbortDop(dop).ok();
       return st;
     }
-    CONCORD_ASSIGN_OR_RETURN(input, tm.Input(dop, input_dov));
-    inputs.push_back(input_dov);
+    CONCORD_ASSIGN_OR_RETURN(run.input, tm.Input(dop, input_dov));
+    run.inputs.push_back(input_dov);
   } else if (runtime->seed.has_value()) {
-    input = *runtime->seed;
+    run.input = *runtime->seed;
   } else {
     tm.AbortDop(dop).ok();
     return Status::FailedPrecondition(
         da.ToString() + " has no current version, initial DOV or seed object");
   }
+  return run;
+}
 
-  // Tool processing.
-  auto tool_result = toolbox_->Run(dop_type, input, &rng_);
+Result<workflow::DopOutcome> ConcordSystem::FinishToolRun(ToolRun run) {
+  std::lock_guard<std::mutex> lock(tool_mu_);
+  CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(run.da));
+  txn::ClientTm& tm = client_tm(runtime->workstation);
+  const DopId dop = run.dop;
+  const std::vector<DovId>& inputs = run.inputs;
+
+  // Tool processing. The shared RNG keeps the single-threaded draw
+  // order bit-identical to the pre-async engine; concurrent callers
+  // serialize here at DOP granularity (the sim clock is what the
+  // makespan experiments measure, and it is advanced atomically).
+  auto tool_result = toolbox_->Run(run.dop_type, run.input, &rng_);
   if (!tool_result.ok()) {
     tm.AbortDop(dop).ok();
     workflow::DopOutcome outcome;
     outcome.committed = false;
     outcome.inputs = inputs;
-    CONCORD_INFO("core", dop_type << " in " << da.ToString() << " aborted: "
-                                  << tool_result.status().ToString());
+    CONCORD_INFO("core", run.dop_type << " in " << run.da.ToString()
+                                      << " aborted: "
+                                      << tool_result.status().ToString());
     return outcome;
   }
   tm.DoWork(dop, tool_result->work_units).ok();
@@ -312,7 +351,7 @@ Result<workflow::DopOutcome> ConcordSystem::RunTool(
     outcome.inputs = inputs;
     return outcome;
   }
-  cm_->NoteCheckin(da, *checked_in);
+  cm_->NoteCheckin(run.da, *checked_in);
   runtime->current = *checked_in;
 
   workflow::DopOutcome outcome;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,10 @@ struct SystemConfig {
   /// 1 (the default) spawns no executor threads and reproduces the
   /// classic single-executor behaviour bit-identically.
   int partitions_per_node = 1;
+  /// Pin each partition executor thread to a CPU core (Linux pthread
+  /// affinity; silent no-op on platforms without it). Off by default —
+  /// pinning helps dedicated server boxes and hurts shared ones.
+  bool pin_executor_cores = false;
 };
 
 /// The assembled CONCORD system (Fig. 8): a server *plane* of one or
@@ -88,8 +93,30 @@ class ConcordSystem : public txn::ScopeAuthority {
   Result<DaId> CreateSubDa(DaId super, cooperation::DaDescription description);
   /// Starts the DA at the CM and its DM.
   Status StartDa(DaId da);
-  /// Drives the DA's work flow to completion (or pause).
+  /// Drives the DA's work flow to completion (or pause). With an
+  /// executor pool bound (SetExecutorPool), ready DOPs of
+  /// branch-parallel scripts overlap across the pool's threads.
   Status RunDa(DaId da);
+
+  /// An open asynchronous tool run: Begin-of-DOP registered and the
+  /// input version checked out, tool processing not yet performed.
+  /// FinishToolRun completes (or aborts) it. Splitting the two halves
+  /// lets one workstation hold hundreds of DOPs open concurrently.
+  struct ToolRun {
+    DaId da;
+    std::string dop_type;
+    DopId dop;
+    storage::DesignObject input;
+    std::vector<DovId> inputs;
+  };
+  /// First half of a DOP: Begin-of-DOP + input selection/checkout.
+  Result<ToolRun> BeginToolRun(DaId da, const std::string& dop_type);
+  /// Second half: tool processing + checkin/commit (or abort).
+  Result<workflow::DopOutcome> FinishToolRun(ToolRun run);
+
+  /// Binds a shared executor pool to every DM (existing and future).
+  /// The pool must outlive this system. Passing nullptr detaches.
+  void SetExecutorPool(workflow::ExecutorPool* pool);
 
   /// Installs the object a DA starts from when it has no initial DOV
   /// (e.g. the behavioral description for the top-level DA).
@@ -218,6 +245,12 @@ class ConcordSystem : public txn::ScopeAuthority {
   std::unique_ptr<vlsi::ToolBox> toolbox_;
   vlsi::VlsiDots dots_;
   workflow::ConstraintSet constraints_;
+  /// Optional shared executor pool for DM script scheduling.
+  workflow::ExecutorPool* executor_pool_ = nullptr;
+  /// Serializes the tool-run path (runtime `current`/`seed` fields and
+  /// the shared tool RNG) against concurrent executor threads. Never
+  /// held while calling into the CM's event sinks.
+  mutable std::mutex tool_mu_;
 
   /// Per-workstation runtime; every client-TM talks to the plane only
   /// through its own stubs (declared inside so they outlive the TM).

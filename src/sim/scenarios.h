@@ -60,6 +60,23 @@ Result<DelegationResult> RunDelegationScenario(core::ConcordSystem* system,
                                                int complexity, bool squeeze,
                                                MetricsCollector* metrics);
 
+/// Result of the concurrent-DOP scenario.
+struct ConcurrentDopResult {
+  /// Highest number of DOPs simultaneously open at the workstation's
+  /// client-TM (the async-engine concurrency evidence).
+  uint64_t peak_dops_in_flight = 0;
+  uint64_t dops_committed = 0;
+};
+
+/// Async-engine scenario: ONE workstation opens `dops` tool runs on a
+/// single DA through the split BeginToolRun/FinishToolRun path — all
+/// Begin-of-DOPs (with input checkout) first, then all finishes — so
+/// `dops` DOPs are simultaneously in flight at one client-TM. Every
+/// DOP derives from the DA's seed object (sibling derivations of one
+/// version, Sect. 3's version graph fan-out).
+Result<ConcurrentDopResult> RunConcurrentDopScenario(
+    core::ConcordSystem* system, int dops, int complexity = 5);
+
 }  // namespace concord::sim
 
 #endif  // CONCORD_SIM_SCENARIOS_H_

@@ -265,6 +265,7 @@ Result<BatchReply> ClientTm::RunMultiNodeInteraction(
 }
 
 Result<DopId> ClientTm::BeginDop(DaId da) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!network_->IsUp(node_)) {
     return Status::Crashed("workstation is down");
   }
@@ -285,6 +286,10 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
   runtime.da = da;
   runtime.participants.push_back(home);
   dops_.emplace(dop, std::move(runtime));
+  ++stats_.dops_in_flight;
+  if (stats_.dops_in_flight > stats_.peak_dops_in_flight) {
+    stats_.peak_dops_in_flight = stats_.dops_in_flight;
+  }
   // Initial recovery point: an empty context, so a crash right after
   // Begin-of-DOP recovers to the beginning.
   PersistRecoveryPoint(dop, dops_.at(dop));
@@ -292,6 +297,7 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
 }
 
 Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   // Cache fast path: a DOV this workstation already fetched under the
   // same DA's visibility is served locally — no envelope, no server hop
@@ -350,6 +356,7 @@ Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
 }
 
 Result<storage::DesignObject> ClientTm::Input(DopId dop, DovId dov) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -363,6 +370,7 @@ Result<storage::DesignObject> ClientTm::Input(DopId dop, DovId dov) const {
 }
 
 std::vector<DovId> ClientTm::CheckedOut(DopId dop) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<DovId> out;
   auto it = dops_.find(dop);
   if (it == dops_.end()) return out;
@@ -372,6 +380,7 @@ std::vector<DovId> ClientTm::CheckedOut(DopId dop) const {
 
 Status ClientTm::PutWorkspace(DopId dop, const std::string& key,
                               storage::DesignObject object) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   runtime->context.workspace[key] = std::move(object);
   return Status::OK();
@@ -379,6 +388,7 @@ Status ClientTm::PutWorkspace(DopId dop, const std::string& key,
 
 Result<storage::DesignObject> ClientTm::GetWorkspace(
     DopId dop, const std::string& key) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -392,6 +402,7 @@ Result<storage::DesignObject> ClientTm::GetWorkspace(
 }
 
 Status ClientTm::DoWork(DopId dop, uint64_t units) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   runtime->context.work_done += units;
   stats_.work_units_done += units;
@@ -403,6 +414,7 @@ Status ClientTm::DoWork(DopId dop, uint64_t units) {
 }
 
 Status ClientTm::Save(DopId dop, const std::string& savepoint_name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   for (const Savepoint& sp : runtime->savepoints) {
     if (sp.name == savepoint_name) {
@@ -417,6 +429,7 @@ Status ClientTm::Save(DopId dop, const std::string& savepoint_name) {
 }
 
 Status ClientTm::Restore(DopId dop, const std::string& savepoint_name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   for (const Savepoint& sp : runtime->savepoints) {
     if (sp.name == savepoint_name) {
@@ -430,6 +443,7 @@ Status ClientTm::Restore(DopId dop, const std::string& savepoint_name) {
 }
 
 Status ClientTm::Suspend(DopId dop) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   // Suspension must survive long absences (and crashes in between):
   // persist the context as a recovery point.
@@ -440,6 +454,7 @@ Status ClientTm::Suspend(DopId dop) {
 }
 
 Status ClientTm::Resume(DopId dop) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -456,6 +471,7 @@ Status ClientTm::Resume(DopId dop) {
 }
 
 Status ClientTm::TakeRecoveryPoint(DopId dop) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   PersistRecoveryPoint(dop, *runtime);
   return Status::OK();
@@ -475,6 +491,7 @@ void ClientTm::PersistRecoveryPoint(DopId dop, const DopRuntime& runtime) {
 }
 
 Status ClientTm::HandOverContext(DopId from, DopId to) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto from_it = dops_.find(from);
   if (from_it == dops_.end()) {
     return Status::NotFound(from.ToString() + " not known at this client-TM");
@@ -605,6 +622,7 @@ Result<DovId> ClientTm::RoutedCheckin(DopId dop, DopRuntime* runtime,
 
 Result<DovId> ClientTm::Checkin(DopId dop, storage::DesignObject object,
                                 const std::vector<DovId>& predecessors) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   return RoutedCheckin(dop, runtime, std::move(object), predecessors,
                        /*with_commit=*/false);
@@ -617,10 +635,12 @@ void ClientTm::FinishCommitted(DopId dop, DopRuntime* runtime) {
   stable_rp_.erase(dop.value());
   runtime->state = DopState::kCommitted;
   ++stats_.dops_committed;
+  --stats_.dops_in_flight;
 }
 
 Result<DovId> ClientTm::CheckinCommit(DopId dop, storage::DesignObject object,
                                       const std::vector<DovId>& predecessors) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!batching_) {
     CONCORD_ASSIGN_OR_RETURN(DovId dov,
                              Checkin(dop, std::move(object), predecessors));
@@ -633,6 +653,7 @@ Result<DovId> ClientTm::CheckinCommit(DopId dop, storage::DesignObject object,
 }
 
 Status ClientTm::CommitDop(DopId dop) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   // Release at every enlisted node; across shards this is the
   // multi-participant protocol (all nodes release or none).
@@ -651,6 +672,7 @@ Status ClientTm::CommitDop(DopId dop) {
 }
 
 Status ClientTm::AbortDop(DopId dop) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -694,10 +716,12 @@ Status ClientTm::AbortDop(DopId dop) {
   it->second.savepoints.clear();
   stable_rp_.erase(dop.value());
   it->second.state = DopState::kAborted;
+  --stats_.dops_in_flight;
   return Status::OK();
 }
 
 Result<DopState> ClientTm::StateOf(DopId dop) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -706,6 +730,7 @@ Result<DopState> ClientTm::StateOf(DopId dop) const {
 }
 
 Result<uint64_t> ClientTm::WorkDone(DopId dop) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -714,6 +739,7 @@ Result<uint64_t> ClientTm::WorkDone(DopId dop) const {
 }
 
 void ClientTm::Crash() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   network_->SetNodeUp(node_, false);
   // The DOV cache is volatile workstation memory: gone, tombstones
   // included (outage-time invalidations are redelivered at recovery).
@@ -822,6 +848,7 @@ void ClientTm::WarmCacheFromRecoveredContexts(
 #endif
 
 Result<uint64_t> ClientTm::Recover() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   network_->SetNodeUp(node_, true);
   // Drain invalidations the server queued while this workstation was
   // down, BEFORE any DOP resumes: the cache restarts cold, and the

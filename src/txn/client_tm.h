@@ -2,6 +2,7 @@
 #define CONCORD_TXN_CLIENT_TM_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,12 @@ struct ClientTmStats {
   /// Critical interactions whose operations spanned several server
   /// nodes (ran as true multi-participant 2PC).
   uint64_t cross_shard_interactions = 0;
+  /// DOPs begun and not yet committed/aborted (crashed-but-recoverable
+  /// DOPs count: they are still open). With the async script engine one
+  /// workstation holds many DOPs open at once; the peak gauge is the
+  /// concurrency evidence the sim and benches report.
+  uint64_t dops_in_flight = 0;
+  uint64_t peak_dops_in_flight = 0;
 };
 
 /// Client half of the transaction manager: "resides on the workstation
@@ -87,6 +94,12 @@ struct ClientTmStats {
 /// version is never served locally; without a bus the cache still
 /// works but relies on crashes/evictions only — embedders that use the
 /// cooperation manager's withdrawal machinery must connect the bus.
+///
+/// Thread-safe: every public operation takes the (recursive) TM mutex,
+/// so script-engine executor threads may drive concurrent DOPs of the
+/// same workstation. Interactions serialize at DOP-operation
+/// granularity — the paper's client-TM is one workstation process —
+/// while tool processing between operations overlaps freely.
 class ClientTm {
  public:
   /// Single-server plane: every envelope goes to `service`.
@@ -292,6 +305,11 @@ class ClientTm {
   /// Per-interaction commit-protocol accounting (the protocol itself
   /// rides the service envelope).
   rpc::TwoPcStats two_pc_stats_;
+
+  /// Serializes public operations against each other (executor threads
+  /// drive concurrent DOPs). Recursive: operations compose (e.g.
+  /// CheckinCommit without batching runs Checkin + CommitDop).
+  mutable std::recursive_mutex mu_;
 };
 
 }  // namespace concord::txn

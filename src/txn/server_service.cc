@@ -410,37 +410,72 @@ BatchReply DispatchBatch(ServerTm& server, const BatchRequest& batch) {
   }
 
   // Pipelined independent envelope: a batch the client has marked
-  // order-free, carrying nothing but plain checkouts (the recovery
-  // warm-up shape), executes as partition wavefronts — every executor
-  // the envelope touches works its slice of the batch at once instead
-  // of the ops walking the node serially.
-  if (batch.independent && prepare == nullptr && !has_decide &&
-      batch.ops.size() > 1) {
-    bool all_checkouts = true;
-    for (const ServerRequest& op : batch.ops) {
-      if (!std::holds_alternative<CheckoutRequest>(op)) {
-        all_checkouts = false;
+  // order-free — plain checkout warm-ups, or the degenerate [Prepare,
+  // ops, Decide] shape an async DM produces when it opens and finishes
+  // many DOPs at once — executes as partition wavefronts: every
+  // executor the envelope touches works its slice of the batch at once
+  // instead of the ops walking the node serially. Checkins keep the
+  // serial path (each is its own WAL-committed ACID unit), so any
+  // envelope carrying one falls through.
+  if (batch.independent && batch.ops.size() > 1) {
+    std::vector<ServerTm::IndependentOp> core;
+    std::vector<size_t> core_slot(batch.ops.size(), SIZE_MAX);
+    bool eligible = true;
+    for (size_t i = 0; i < batch.ops.size(); ++i) {
+      const ServerRequest& op = batch.ops[i];
+      ServerTm::IndependentOp out;
+      if (std::holds_alternative<PrepareRequest>(op) ||
+          std::holds_alternative<DecideRequest>(op)) {
+        continue;  // control legs answered during reply assembly
+      } else if (const auto* begin = std::get_if<BeginDopRequest>(&op)) {
+        out.kind = ServerTm::IndependentOp::Kind::kBeginDop;
+        out.dop = begin->dop;
+        out.da = begin->da;
+      } else if (const auto* checkout = std::get_if<CheckoutRequest>(&op)) {
+        out.kind = ServerTm::IndependentOp::Kind::kCheckout;
+        out.dop = checkout->dop;
+        out.dov = checkout->dov;
+        out.take_derivation_lock = checkout->take_derivation_lock;
+      } else if (const auto* commit = std::get_if<CommitDopRequest>(&op)) {
+        out.kind = ServerTm::IndependentOp::Kind::kCommitDop;
+        out.dop = commit->dop;
+      } else if (const auto* abort = std::get_if<AbortDopRequest>(&op)) {
+        out.kind = ServerTm::IndependentOp::Kind::kAbortDop;
+        out.dop = abort->dop;
+      } else if (const auto* da_of = std::get_if<DaOfDopRequest>(&op)) {
+        out.kind = ServerTm::IndependentOp::Kind::kDaOfDop;
+        out.dop = da_of->dop;
+      } else {
+        eligible = false;
         break;
       }
+      core_slot[i] = core.size();
+      core.push_back(out);
     }
-    if (all_checkouts) {
-      std::vector<ServerTm::CheckoutOp> ops;
-      ops.reserve(batch.ops.size());
-      for (const ServerRequest& op : batch.ops) {
-        const auto& checkout = std::get<CheckoutRequest>(op);
-        ops.push_back(
-            {checkout.dop, checkout.dov, checkout.take_derivation_lock});
-      }
-      std::vector<Result<storage::DovRecord>> records =
-          server.CheckoutBatch(ops);
+    if (eligible && core.size() > 1) {
+      std::vector<ServerTm::IndependentOpResult> results =
+          server.ExecuteIndependentBatch(core);
       BatchReply out;
-      out.ops.reserve(records.size());
-      for (Result<storage::DovRecord>& record : records) {
+      out.ops.reserve(batch.ops.size());
+      for (size_t i = 0; i < batch.ops.size(); ++i) {
         ServerReply reply;
-        if (record.ok()) {
-          reply.body = CheckoutReply{std::move(*record)};
+        if (std::holds_alternative<PrepareRequest>(batch.ops[i])) {
+          // Reachability IS the vote (degenerate envelope; see below).
+          reply.body = PrepareReply{true};
+        } else if (const auto* decide =
+                       std::get_if<DecideRequest>(&batch.ops[i])) {
+          reply.status = server.Decide(decide->txn, decide->commit);
+          reply.body = AckReply{};
         } else {
-          reply.status = record.status();
+          ServerTm::IndependentOpResult& result = results[core_slot[i]];
+          reply.status = std::move(result.status);
+          if (reply.status.ok()) {
+            if (result.record.has_value()) {
+              reply.body = CheckoutReply{std::move(*result.record)};
+            } else if (std::holds_alternative<DaOfDopRequest>(batch.ops[i])) {
+              reply.body = DaOfDopReply{result.da};
+            }
+          }
         }
         out.ops.push_back(std::move(reply));
       }

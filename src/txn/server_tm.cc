@@ -25,13 +25,15 @@ const char* DopStateToString(DopState state) {
 
 ServerTm::ServerTm(storage::Repository* repository, rpc::Network* network,
                    NodeId server_node, ScopeAuthority* scope_authority,
-                   rpc::InvalidationBus* invalidations, int partitions)
+                   rpc::InvalidationBus* invalidations, int partitions,
+                   bool pin_executor_cores)
     : repository_(repository),
       network_(network),
       node_(server_node),
       scope_authority_(scope_authority),
       invalidations_(invalidations),
-      engine_(partitions < 1 ? 1 : static_cast<size_t>(partitions)),
+      engine_(partitions < 1 ? 1 : static_cast<size_t>(partitions),
+              pin_executor_cores),
       locks_(engine_.count()) {
   parts_.reserve(engine_.count());
   for (size_t p = 0; p < engine_.count(); ++p) {
@@ -84,27 +86,30 @@ Status ServerTm::CheckOwnsDa(const Partition& part, DaId da) const {
                             " (stale placement cache?)");
 }
 
+Status ServerTm::BeginDopIn(Partition& part, DopId dop, DaId da) {
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.dop_da.find(dop);
+  if (it != part.dop_da.end()) {
+    // Idempotent re-registration: participant enlistment may repeat a
+    // Begin-of-DOP whose first reply was lost after the server
+    // executed it — same (DOP, DA) pair must not wedge the retry.
+    if (it->second == da) return Status::OK();
+    return Status::AlreadyExists(dop.ToString() +
+                                 " already registered for " +
+                                 it->second.ToString());
+  }
+  part.dop_da.emplace(dop, da);
+  // A fresh registration supersedes a pre-crash incarnation of the id.
+  part.lost_dops.erase(dop);
+  ++part.counters.dops_begun;
+  return Status::OK();
+}
+
 Status ServerTm::BeginDop(DopId dop, DaId da) {
   size_t p = DopPart(dop);
   Partition& part = *parts_[p];
-  return engine_.Run(p, [&]() -> Status {
-    std::lock_guard<std::mutex> lock(part.mu);
-    auto it = part.dop_da.find(dop);
-    if (it != part.dop_da.end()) {
-      // Idempotent re-registration: participant enlistment may repeat a
-      // Begin-of-DOP whose first reply was lost after the server
-      // executed it — same (DOP, DA) pair must not wedge the retry.
-      if (it->second == da) return Status::OK();
-      return Status::AlreadyExists(dop.ToString() +
-                                   " already registered for " +
-                                   it->second.ToString());
-    }
-    part.dop_da.emplace(dop, da);
-    // A fresh registration supersedes a pre-crash incarnation of the id.
-    part.lost_dops.erase(dop);
-    ++part.counters.dops_begun;
-    return Status::OK();
-  });
+  return engine_.Run(p,
+                     [&]() -> Status { return BeginDopIn(part, dop, da); });
 }
 
 ServerTm::CheckoutStep ServerTm::CheckoutStepIn(size_t pv, DovId dov, DaId da,
@@ -286,6 +291,149 @@ std::vector<Result<storage::DovRecord>> ServerTm::CheckoutBatch(
   return results;
 }
 
+std::vector<ServerTm::IndependentOpResult> ServerTm::ExecuteIndependentBatch(
+    const std::vector<IndependentOp>& ops) {
+  using Kind = IndependentOp::Kind;
+  size_t partitions = engine_.count();
+  std::vector<IndependentOpResult> results(ops.size());
+  if (ops.empty()) return results;
+  ++parts_[0]->counters.pipelined_batches;
+  parts_[0]->counters.pipelined_ops += ops.size();
+
+  /// One wavefront: eligible op indices grouped by `part_of(i)`, ONE
+  /// task per partition running `body(i)` over its group in envelope
+  /// order.
+  auto wavefront = [&](auto part_of, auto eligible, auto body) {
+    std::vector<std::vector<size_t>> by_part(partitions);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (eligible(i)) by_part[part_of(i)].push_back(i);
+    }
+    std::vector<std::future<void>> done;
+    for (size_t p = 0; p < partitions; ++p) {
+      if (by_part[p].empty()) continue;
+      const std::vector<size_t>* group = &by_part[p];
+      done.push_back(engine_.Post(p, [group, &body] {
+        for (size_t i : *group) body(i);
+      }));
+    }
+    for (auto& f : done) f.get();
+  };
+
+  // Wavefront 0 — Begin-of-DOP registrations. They fan out BEFORE the
+  // lookups: an envelope may open a DOP and check out into it.
+  wavefront(
+      [&](size_t i) { return DopPart(ops[i].dop); },
+      [&](size_t i) { return ops[i].kind == Kind::kBeginDop; },
+      [&](size_t i) {
+        results[i].status =
+            BeginDopIn(*parts_[DopPart(ops[i].dop)], ops[i].dop, ops[i].da);
+      });
+
+  // Wavefront 1 — registration lookups for checkouts and DA-of-DOP
+  // reads, one task per DOP partition.
+  std::vector<DaId> das(ops.size());
+  std::vector<Status> lookups(ops.size(), Status::OK());
+  wavefront(
+      [&](size_t i) { return DopPart(ops[i].dop); },
+      [&](size_t i) {
+        return ops[i].kind == Kind::kCheckout || ops[i].kind == Kind::kDaOfDop;
+      },
+      [&](size_t i) {
+        auto da = LookupDopIn(*parts_[DopPart(ops[i].dop)], ops[i].dop);
+        if (ops[i].kind == Kind::kDaOfDop) {
+          if (da.ok()) results[i].da = *da;
+          results[i].status = da.status();
+        } else if (da.ok()) {
+          das[i] = *da;
+        } else {
+          lookups[i] = da.status();
+        }
+      });
+
+  // Dispatcher interlude — short locks and scope tests for the
+  // runnable checkouts (the scope authority must be called from this
+  // thread; see Checkout).
+  std::vector<char> runnable(ops.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != Kind::kCheckout) continue;
+    if (!lookups[i].ok()) {
+      results[i].status = lookups[i];
+      continue;
+    }
+    DovId dov = ops[i].dov;
+    size_t pv = DovPart(dov);
+    locks_.Slice(pv).AcquireShort(dov);
+    if (!scope_authority_->InScope(das[i], dov)) {
+      locks_.Slice(pv).ReleaseShort(dov);
+      ++parts_[pv]->counters.checkouts_denied_scope;
+      results[i].status = Status::PermissionDenied(
+          dov.ToString() + " is not in the scope of " + das[i].ToString());
+      continue;
+    }
+    if (DopPart(ops[i].dop) != pv) ++parts_[pv]->counters.cross_partition_ops;
+    runnable[i] = 1;
+  }
+
+  // Wavefront 2 — checkout lock tests and repository reads, one task
+  // per DOV partition.
+  std::vector<CheckoutStep> steps(ops.size());
+  wavefront(
+      [&](size_t i) { return DovPart(ops[i].dov); },
+      [&](size_t i) { return runnable[i] != 0; },
+      [&](size_t i) {
+        steps[i] = CheckoutStepIn(DovPart(ops[i].dov), ops[i].dov, das[i],
+                                  ops[i].take_derivation_lock);
+      });
+
+  // Dispatcher epilogue — held-lock records, invalidation pushes, and
+  // the positional checkout results. Runs BEFORE the End-of-DOP
+  // wavefront so a lock-taking checkout and its DOP's finish in one
+  // envelope release the just-recorded lock, like the serial path.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!runnable[i]) continue;
+    CheckoutStep& step = steps[i];
+    if (step.lock_acquired) {
+      RecordHeldLock(ops[i].dop, ops[i].dov);
+      PublishDerivationLock(ops[i].dov, das[i]);
+    }
+    if (step.status.ok()) {
+      results[i].record = std::move(step.record);
+    }
+    results[i].status = std::move(step.status);
+  }
+
+  // Wavefront 3 — End-of-DOP extractions, one task per DOP partition;
+  // the derivation-lock releases then fan out per DOV partition in one
+  // combined pass.
+  std::vector<std::vector<DovId>> held(ops.size());
+  wavefront(
+      [&](size_t i) { return DopPart(ops[i].dop); },
+      [&](size_t i) {
+        return ops[i].kind == Kind::kCommitDop ||
+               ops[i].kind == Kind::kAbortDop;
+      },
+      [&](size_t i) {
+        results[i].status = FinishExtractIn(*parts_[DopPart(ops[i].dop)],
+                                            ops[i].dop, &das[i], &held[i]);
+      });
+  std::vector<std::pair<DovId, DaId>> releases;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != Kind::kCommitDop && ops[i].kind != Kind::kAbortDop) {
+      continue;
+    }
+    if (!results[i].status.ok()) continue;
+    for (DovId dov : held[i]) releases.emplace_back(dov, das[i]);
+    Partition& part = *parts_[DopPart(ops[i].dop)];
+    if (ops[i].kind == Kind::kCommitDop) {
+      ++part.counters.dops_committed;
+    } else {
+      ++part.counters.dops_aborted;
+    }
+  }
+  ReleaseDerivationLocks(releases);
+  return results;
+}
+
 void ServerTm::PublishDerivationLock(DovId dov, DaId da) {
   if (invalidations_ == nullptr) return;
   // Any workstation may hold this DOV in its cache from before the
@@ -367,6 +515,28 @@ Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
   return new_id;
 }
 
+Status ServerTm::FinishExtractIn(Partition& part, DopId dop, DaId* da,
+                                 std::vector<DovId>* held) {
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.dop_da.find(dop);
+  if (it == part.dop_da.end()) {
+    if (part.lost_dops.count(dop)) {
+      ++part.counters.unknown_dop_requests;
+      return Status::UnknownDop(dop.ToString() +
+                                " was registered before a server crash");
+    }
+    return Status::NotFound(dop.ToString() + " not registered at server-TM");
+  }
+  *da = it->second;
+  auto locks_it = part.dop_derivation_locks.find(dop);
+  if (locks_it != part.dop_derivation_locks.end()) {
+    *held = std::move(locks_it->second);
+    part.dop_derivation_locks.erase(locks_it);
+  }
+  part.dop_da.erase(it);
+  return Status::OK();
+}
+
 Status ServerTm::FinishDop(DopId dop, bool committed) {
   // End-of-DOP, either outcome: deregister and release the DOP's
   // derivation locks ("the server-TM is firstly asked to release the
@@ -378,25 +548,7 @@ Status ServerTm::FinishDop(DopId dop, bool committed) {
   DaId da;
   std::vector<DovId> held;
   Status extracted = engine_.Run(p, [&]() -> Status {
-    std::lock_guard<std::mutex> lock(part.mu);
-    auto it = part.dop_da.find(dop);
-    if (it == part.dop_da.end()) {
-      if (part.lost_dops.count(dop)) {
-        ++part.counters.unknown_dop_requests;
-        return Status::UnknownDop(dop.ToString() +
-                                  " was registered before a server crash");
-      }
-      return Status::NotFound(dop.ToString() +
-                              " not registered at server-TM");
-    }
-    da = it->second;
-    auto locks_it = part.dop_derivation_locks.find(dop);
-    if (locks_it != part.dop_derivation_locks.end()) {
-      held = std::move(locks_it->second);
-      part.dop_derivation_locks.erase(locks_it);
-    }
-    part.dop_da.erase(it);
-    return Status::OK();
+    return FinishExtractIn(part, dop, &da, &held);
   });
   if (!extracted.ok()) return extracted;
   std::vector<std::pair<DovId, DaId>> pairs;

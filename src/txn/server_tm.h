@@ -95,9 +95,12 @@ class ServerTm {
   /// server checkout would now fail. `partitions` is the number of
   /// executor partitions (1 = inline single-executor mode); the
   /// repository is re-sharded to match (must be traffic-free).
+  /// `pin_executor_cores` pins each executor thread to one CPU core
+  /// (Linux; silent no-op elsewhere).
   ServerTm(storage::Repository* repository, rpc::Network* network,
            NodeId server_node, ScopeAuthority* scope_authority,
-           rpc::InvalidationBus* invalidations = nullptr, int partitions = 1);
+           rpc::InvalidationBus* invalidations = nullptr, int partitions = 1,
+           bool pin_executor_cores = false);
   ~ServerTm();
   ServerTm(const ServerTm&) = delete;
   ServerTm& operator=(const ServerTm&) = delete;
@@ -137,6 +140,41 @@ class ServerTm {
   /// busy instead of walking the ops serially. Results are positional.
   std::vector<Result<storage::DovRecord>> CheckoutBatch(
       const std::vector<CheckoutOp>& ops);
+
+  /// One operation of a pipelined MIXED-OP independent envelope — the
+  /// order-free shapes a client-TM batches when a DM opens many DOPs
+  /// at once (Begin-of-DOPs with their input checkouts, End-of-DOPs,
+  /// registration reads). Checkins stay on the serial path: each is
+  /// its own WAL-committed ACID unit.
+  struct IndependentOp {
+    enum class Kind { kBeginDop, kCheckout, kCommitDop, kAbortDop, kDaOfDop };
+    Kind kind = Kind::kCheckout;
+    DopId dop;
+    /// kBeginDop: the registering DA.
+    DaId da;
+    /// kCheckout: the requested version.
+    DovId dov;
+    bool take_derivation_lock = false;
+  };
+  /// Positional outcome of one IndependentOp.
+  struct IndependentOpResult {
+    Status status;
+    /// kCheckout, on success.
+    std::optional<storage::DovRecord> record;
+    /// kDaOfDop, on success.
+    DaId da;
+  };
+  /// Executes a mixed independent envelope as partition wavefronts:
+  /// Begin-of-DOP registrations fan out first (an envelope may open a
+  /// DOP and check out into it), then the checkout/DA-of-DOP
+  /// registration lookups, then — after the dispatcher's scope tests —
+  /// one task per DOV partition carrying all of its checkout steps,
+  /// and finally the End-of-DOP extractions with their lock-release
+  /// fan-out. Every wavefront keeps each executor the envelope touches
+  /// busy with ONE task carrying all of its ops; within a partition
+  /// ops apply in envelope order. Results are positional.
+  std::vector<IndependentOpResult> ExecuteIndependentBatch(
+      const std::vector<IndependentOp>& ops);
 
   /// Checkin: integrity check via a repository transaction, extension
   /// of the DA's derivation graph, scope-lock to the owning DA. On
@@ -312,6 +350,15 @@ class ServerTm {
   /// tail of Checkout-path Checkin and Decide-applied staged checkins.
   /// One task on the new DOV's partition.
   Status ApplyCheckin(storage::DovRecord record);
+
+  /// The partition-resident body of BeginDop (runs on the owner).
+  Status BeginDopIn(Partition& part, DopId dop, DaId da);
+
+  /// The partition-resident head of End-of-DOP: deregisters `dop` and
+  /// extracts its DA and held derivation locks for the dispatcher's
+  /// release fan-out.
+  Status FinishExtractIn(Partition& part, DopId dop, DaId* da,
+                         std::vector<DovId>* held);
 
   /// Shared End-of-DOP path: deregisters `dop` on its partition, then
   /// fans the derivation-lock releases out to the owning partitions.

@@ -40,12 +40,46 @@ const char* DmStateToString(DmState state) {
   return "?";
 }
 
+namespace {
+
+TaskRank Extend(const TaskRank& rank, uint32_t component) {
+  TaskRank extended = rank;
+  extended.push_back(component);
+  return extended;
+}
+
+}  // namespace
+
 DesignManager::DesignManager(DaId da, Script script,
                              const ConstraintSet* constraints, SimClock* clock)
     : da_(da),
       persistent_script_(std::move(script)),
+      scheduler_(clock),
       constraints_(constraints),
-      clock_(clock) {}
+      clock_(clock) {
+  scheduler_.Bind(&graph_);
+  // DM semantics are kCancelOnError: a failed DOP is a retry point,
+  // not a cancelled subtree.
+  scheduler_.set_error_policy(ErrorPolicy::kCancelOnError);
+  scheduler_.hooks().on_start = [this](const TaskNode& node) {
+    if (progress_sink_) progress_sink_(node, /*started=*/true, false);
+  };
+  scheduler_.hooks().on_complete = [this](const TaskNode& node) {
+    if (progress_sink_) progress_sink_(node, false, /*failed=*/false);
+  };
+  scheduler_.hooks().on_error = [this](const TaskNode& node, const Status&) {
+    if (progress_sink_) progress_sink_(node, false, /*failed=*/true);
+  };
+}
+
+void DesignManager::SetExecutorPool(ExecutorPool* pool) {
+  pool_ = pool;
+  scheduler_.SetPool(pool);
+}
+
+void DesignManager::SetProgressSink(ProgressSink sink) {
+  progress_sink_ = std::move(sink);
+}
 
 Status DesignManager::ValidateScript() const {
   if (constraints_ == nullptr) return Status::OK();
@@ -57,119 +91,384 @@ Status DesignManager::Start() {
     return Status::FailedPrecondition("design manager already started");
   }
   CONCORD_RETURN_NOT_OK(ValidateScript());
+  ClearReplay();
   ResetMachine();
   started_ = true;
   state_ = DmState::kActive;
-  replay_cursor_ = persistent_log_.size();
   return Status::OK();
 }
 
 void DesignManager::ResetMachine() {
-  stack_.clear();
+  graph_.Clear();
   history_.clear();
   if (!persistent_script_.empty()) {
-    stack_.push_back(MakeFrame(persistent_script_.root()));
+    LowerNode(persistent_script_.root(), TaskRank{0}, {});
   }
 }
 
-void DesignManager::AppendLog(WorkflowLogEntry entry) {
+void DesignManager::AppendLogLocked(WorkflowLogEntry entry) {
   entry.sequence = ++log_sequence_;
   persistent_log_.push_back(std::move(entry));
-  // Live appends move the replay cursor with the log end, so
-  // Replaying() is only true while Recover() walks a crash-time prefix.
-  replay_cursor_ = persistent_log_.size();
 }
 
-const WorkflowLogEntry* DesignManager::PeekReplay(WorkflowLogEntry::Kind kind,
-                                                  const std::string& name) {
-  if (!Replaying()) return nullptr;
-  const WorkflowLogEntry& entry = persistent_log_[replay_cursor_];
-  if (entry.kind != kind || (!name.empty() && entry.name != name)) {
-    // Divergence (should not happen with a deterministic machine):
-    // truncate the suffix and continue live — robustness over replay.
-    CONCORD_WARN("dm", "log divergence at #" << entry.sequence << " ("
-                                             << WorkflowLogEntry::KindToString(
-                                                    entry.kind)
-                                             << "), truncating");
-    persistent_log_.resize(replay_cursor_);
-    log_sequence_ = persistent_log_.empty() ? 0
-                                            : persistent_log_.back().sequence;
-    return nullptr;
-  }
-  return &entry;
-}
+// --- Script lowering ---------------------------------------------------
+//
+// Every script construct lowers to task nodes at lexicographic ranks:
+//   kDop/kDaOp     -> one leaf node
+//   kSequence      -> children chained at rank+[i]
+//   kBranch        -> children forked at rank+[i], join at rank+[J]
+//   kAlternative   -> decision at rank+[0]; the decision body expands
+//                     the chosen child at rank+[1] and wires its tail
+//                     to the join at rank+[J] *before* completing (so
+//                     the join can never fire early)
+//   kIteration     -> decision chain at rank+[2k] with pass bodies at
+//                     rank+[2k+1]; every decision holds an edge to the
+//                     join, released only when the final one says stop
+//   kOpen          -> plan decision at rank+[0]; planned DOPs chained
+//                     at rank+[i+1], tail wired to the join
+//
+// Ascending-rank inline execution therefore reproduces the old
+// depth-first stack machine order exactly.
 
-Status DesignManager::RunDop(const std::string& dop_type) {
-  // Admission against the domain constraints guards every DOP start,
-  // including designer-chosen actions in open segments.
-  if (constraints_ != nullptr) {
-    Status admissible = constraints_->CheckAdmissible(history_, dop_type);
-    if (!admissible.ok()) {
-      ++stats_.constraint_rejections;
-      return admissible;
+std::vector<TaskNodeId> DesignManager::LowerNode(const ScriptNode* node,
+                                                 TaskRank rank,
+                                                 std::vector<TaskNodeId> deps) {
+  switch (node->kind()) {
+    case ScriptNode::Kind::kDop: {
+      TaskNodeId id = graph_.AddNode(
+          TaskNodeKind::kDop, rank, node->name(),
+          [this, name = node->name(), path = TaskRankToString(rank)] {
+            return RunDopNode(name, path);
+          },
+          dop_timeout_);
+      for (TaskNodeId dep : deps) graph_.AddEdge(dep, id);
+      return {id};
     }
-  }
-
-  // Replay path: consume DOP_START and its matching DOP_FINISH.
-  if (const WorkflowLogEntry* start =
-          PeekReplay(WorkflowLogEntry::Kind::kDopStart, dop_type)) {
-    (void)start;
-    if (replay_cursor_ + 1 < persistent_log_.size() &&
-        persistent_log_[replay_cursor_ + 1].kind ==
-            WorkflowLogEntry::Kind::kDopFinish &&
-        persistent_log_[replay_cursor_ + 1].name == dop_type) {
-      const WorkflowLogEntry finish = persistent_log_[replay_cursor_ + 1];
-      replay_cursor_ += 2;
-      ++stats_.dops_replayed;
-      if (finish.committed) {
-        history_.push_back(dop_type);
-        produced_.push_back(finish.output);
-        return Status::OK();
+    case ScriptNode::Kind::kDaOp: {
+      TaskNodeId id = graph_.AddNode(
+          TaskNodeKind::kDaOp, rank, node->name(),
+          [this, name = node->name(), path = TaskRankToString(rank)] {
+            return RunDaOpNode(name, path);
+          });
+      for (TaskNodeId dep : deps) graph_.AddEdge(dep, id);
+      return {id};
+    }
+    case ScriptNode::Kind::kSequence: {
+      for (size_t i = 0; i < node->children().size(); ++i) {
+        deps = LowerNode(node->children()[i].get(),
+                         Extend(rank, static_cast<uint32_t>(i)),
+                         std::move(deps));
       }
-      return Status::Aborted("replayed abort of DOP '" + dop_type + "'");
+      return deps;
     }
-    // Dangling start: the crash hit mid-DOP. Drop the dangling entry
-    // and re-execute live.
-    persistent_log_.resize(replay_cursor_);
-    log_sequence_ = persistent_log_.empty() ? 0
-                                            : persistent_log_.back().sequence;
+    case ScriptNode::Kind::kBranch: {
+      std::vector<TaskNodeId> tails;
+      for (size_t i = 0; i < node->children().size(); ++i) {
+        std::vector<TaskNodeId> child_tails = LowerNode(
+            node->children()[i].get(), Extend(rank, static_cast<uint32_t>(i)),
+            deps);
+        tails.insert(tails.end(), child_tails.begin(), child_tails.end());
+      }
+      TaskNodeId join = graph_.AddNode(TaskNodeKind::kJoin,
+                                       Extend(rank, kJoinRank), "join", nullptr);
+      const std::vector<TaskNodeId>& sources = tails.empty() ? deps : tails;
+      for (TaskNodeId source : sources) graph_.AddEdge(source, join);
+      return {join};
+    }
+    case ScriptNode::Kind::kAlternative: {
+      TaskNodeId decision = graph_.AddNode(TaskNodeKind::kDecision,
+                                           Extend(rank, 0), "choose", nullptr);
+      TaskNodeId join = graph_.AddNode(TaskNodeKind::kJoin,
+                                       Extend(rank, kJoinRank), "join", nullptr);
+      for (TaskNodeId dep : deps) graph_.AddEdge(dep, decision);
+      graph_.AddEdge(decision, join);
+      graph_.node(decision).body = [this, node, rank, decision, join] {
+        return RunAlternativeNode(node, rank, decision, join);
+      };
+      return {join};
+    }
+    case ScriptNode::Kind::kIteration: {
+      TaskNodeId join = graph_.AddNode(TaskNodeKind::kJoin,
+                                       Extend(rank, kJoinRank), "join", nullptr);
+      TaskNodeId first = MakeIterationDecision(node, rank, 0, join);
+      for (TaskNodeId dep : deps) graph_.AddEdge(dep, first);
+      return {join};
+    }
+    case ScriptNode::Kind::kOpen: {
+      TaskNodeId decision = graph_.AddNode(TaskNodeKind::kDecision,
+                                           Extend(rank, 0), "plan", nullptr);
+      TaskNodeId join = graph_.AddNode(TaskNodeKind::kJoin,
+                                       Extend(rank, kJoinRank), "join", nullptr);
+      for (TaskNodeId dep : deps) graph_.AddEdge(dep, decision);
+      graph_.AddEdge(decision, join);
+      graph_.node(decision).body = [this, node, rank, decision, join] {
+        return RunOpenNode(node, rank, decision, join);
+      };
+      return {join};
+    }
+  }
+  return deps;
+}
+
+TaskNodeId DesignManager::MakeIterationDecision(const ScriptNode* node,
+                                                TaskRank rank, int pass,
+                                                TaskNodeId join) {
+  TaskNodeId decision = graph_.AddNode(
+      TaskNodeKind::kDecision, Extend(rank, static_cast<uint32_t>(2 * pass)),
+      "iterate", nullptr);
+  // Every decision in the chain holds the join until it either stops
+  // (edge released by completing with no successor) or hands over to
+  // the next decision (which takes its own edge before this one
+  // completes).
+  graph_.AddEdge(decision, join);
+  graph_.node(decision).body = [this, node, rank, pass, decision, join] {
+    return RunIterationNode(node, rank, pass, decision, join);
+  };
+  return decision;
+}
+
+// --- Node bodies -------------------------------------------------------
+
+Status DesignManager::RunDopNode(const std::string& dop_type,
+                                 const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Admission against the domain constraints guards every DOP start,
+    // including designer-chosen actions in open segments.
+    if (constraints_ != nullptr) {
+      Status admissible = constraints_->CheckAdmissible(history_, dop_type);
+      if (!admissible.ok()) {
+        ++stats_.constraint_rejections;
+        return admissible;
+      }
+    }
+    if (auto record = ConsumeReplayDop(path)) {
+      if (record->has_finish) {
+        ++stats_.dops_replayed;
+        if (record->committed) {
+          history_.push_back(dop_type);
+          produced_.push_back(record->output);
+          return Status::OK();
+        }
+        return Status::Aborted("replayed abort of DOP '" + dop_type + "'");
+      }
+      // Dangling start: the crash hit mid-DOP. Fall through and
+      // re-execute live (the old log-truncating recovery semantics).
+    }
+    if (!tool_runner_) {
+      return Status::Internal("no tool runner bound to design manager of " +
+                              da_.ToString());
+    }
+    WorkflowLogEntry start;
+    start.kind = WorkflowLogEntry::Kind::kDopStart;
+    start.name = dop_type;
+    start.path = path;
+    AppendLogLocked(std::move(start));
   }
 
-  if (!tool_runner_) {
-    return Status::Internal("no tool runner bound to design manager of " +
-                            da_.ToString());
-  }
-  AppendLog({WorkflowLogEntry::Kind::kDopStart, 0, dop_type, DovId(), {},
-             false, 0, false, {}});
-  CONCORD_ASSIGN_OR_RETURN(DopOutcome outcome, tool_runner_(dop_type));
-  WorkflowLogEntry finish{WorkflowLogEntry::Kind::kDopFinish, 0, dop_type,
-                          outcome.output, outcome.inputs, outcome.committed,
-                          0, false, {}};
-  AppendLog(std::move(finish));
+  // The tool runs with mu_ released: pooled runs overlap many DOPs,
+  // and the runner does its own (client-TM / RPC) synchronization.
+  Result<DopOutcome> outcome = tool_runner_(dop_type);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!outcome.ok()) return outcome.status();
+  WorkflowLogEntry finish;
+  finish.kind = WorkflowLogEntry::Kind::kDopFinish;
+  finish.name = dop_type;
+  finish.output = outcome->output;
+  finish.inputs = outcome->inputs;
+  finish.committed = outcome->committed;
+  finish.path = path;
+  AppendLogLocked(std::move(finish));
   ++stats_.dops_run;
-  if (!outcome.committed) {
+  if (!outcome->committed) {
     return Status::Aborted("DOP '" + dop_type + "' aborted");
   }
   history_.push_back(dop_type);
-  produced_.push_back(outcome.output);
+  produced_.push_back(outcome->output);
   return Status::OK();
 }
 
-Status DesignManager::RunDaOp(const std::string& op_name) {
-  if (const WorkflowLogEntry* entry =
-          PeekReplay(WorkflowLogEntry::Kind::kDaOp, op_name)) {
-    (void)entry;
-    ++replay_cursor_;
-    ++stats_.decisions_replayed;
-    return Status::OK();
+Status DesignManager::RunDaOpNode(const std::string& op_name,
+                                  const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ConsumeReplayDecision(WorkflowLogEntry::Kind::kDaOp, path)) {
+      ++stats_.decisions_replayed;
+      return Status::OK();
+    }
   }
   Status st = da_op_runner_ ? da_op_runner_(op_name) : Status::OK();
   if (st.ok()) {
-    AppendLog({WorkflowLogEntry::Kind::kDaOp, 0, op_name, DovId(), {}, false,
-               0, false, {}});
+    std::lock_guard<std::mutex> lock(mu_);
+    WorkflowLogEntry entry;
+    entry.kind = WorkflowLogEntry::Kind::kDaOp;
+    entry.name = op_name;
+    entry.path = path;
+    AppendLogLocked(std::move(entry));
   }
   return st;
 }
+
+Status DesignManager::RunAlternativeNode(const ScriptNode* node, TaskRank rank,
+                                         TaskNodeId self, TaskNodeId join) {
+  const std::string path = TaskRankToString(Extend(rank, 0));
+  size_t choice;
+  bool replayed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto record =
+            ConsumeReplayDecision(WorkflowLogEntry::Kind::kAlternativeChoice,
+                                  path)) {
+      choice = record->choice;
+      ++stats_.decisions_replayed;
+      replayed = true;
+    }
+  }
+  if (!replayed) {
+    choice = decider()->ChooseAlternative(*node);
+    if (choice >= node->children().size()) {
+      return Status::InvalidArgument(
+          "alternative choice " + std::to_string(choice) + " out of range (" +
+          std::to_string(node->children().size()) + " paths)");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    WorkflowLogEntry entry;
+    entry.kind = WorkflowLogEntry::Kind::kAlternativeChoice;
+    entry.choice = choice;
+    entry.path = path;
+    AppendLogLocked(std::move(entry));
+  }
+  // Expand the chosen path and hand the join over to its tail before
+  // this decision completes — the join can then only fire once the
+  // expansion has drained.
+  std::vector<TaskNodeId> tails =
+      LowerNode(node->children()[choice].get(), Extend(rank, 1), {self});
+  for (TaskNodeId tail : tails) graph_.AddEdge(tail, join);
+  return Status::OK();
+}
+
+Status DesignManager::RunIterationNode(const ScriptNode* node, TaskRank rank,
+                                       int pass, TaskNodeId self,
+                                       TaskNodeId join) {
+  bool another;
+  if (pass == 0) {
+    another = true;  // the body always runs at least once (not logged)
+  } else {
+    const std::string path =
+        TaskRankToString(Extend(rank, static_cast<uint32_t>(2 * pass)));
+    bool replayed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (auto record = ConsumeReplayDecision(
+              WorkflowLogEntry::Kind::kIterationDecision, path)) {
+        another = record->continue_flag;
+        ++stats_.decisions_replayed;
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      another = pass < node->max_iterations() &&
+                decider()->ContinueIteration(*node, pass);
+      std::lock_guard<std::mutex> lock(mu_);
+      WorkflowLogEntry entry;
+      entry.kind = WorkflowLogEntry::Kind::kIterationDecision;
+      entry.continue_flag = another;
+      entry.path = path;
+      AppendLogLocked(std::move(entry));
+    }
+  }
+  if (!another) return Status::OK();
+  // Expand this pass's body and the next decision; the next decision
+  // takes its join edge at creation, before this one completes.
+  std::vector<TaskNodeId> tails =
+      LowerNode(node->children().front().get(),
+                Extend(rank, static_cast<uint32_t>(2 * pass + 1)), {self});
+  TaskNodeId next = MakeIterationDecision(node, rank, pass + 1, join);
+  for (TaskNodeId tail : tails) graph_.AddEdge(tail, next);
+  return Status::OK();
+}
+
+Status DesignManager::RunOpenNode(const ScriptNode* node, TaskRank rank,
+                                  TaskNodeId self, TaskNodeId join) {
+  const std::string path = TaskRankToString(Extend(rank, 0));
+  std::vector<std::string> plan;
+  bool replayed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto record =
+            ConsumeReplayDecision(WorkflowLogEntry::Kind::kOpenPlan, path)) {
+      plan = std::move(record->plan);
+      ++stats_.decisions_replayed;
+      replayed = true;
+    }
+  }
+  if (!replayed) {
+    plan = decider()->PlanOpenSegment(*node);
+    std::lock_guard<std::mutex> lock(mu_);
+    WorkflowLogEntry entry;
+    entry.kind = WorkflowLogEntry::Kind::kOpenPlan;
+    entry.plan = plan;
+    entry.path = path;
+    AppendLogLocked(std::move(entry));
+  }
+  // Designer-chosen actions run sequentially (the paper's open segment
+  // is an interactive session, not a fork).
+  TaskNodeId prev = self;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    TaskRank dop_rank = Extend(rank, static_cast<uint32_t>(i + 1));
+    TaskNodeId id = graph_.AddNode(
+        TaskNodeKind::kDop, dop_rank, plan[i],
+        [this, name = plan[i], dop_path = TaskRankToString(dop_rank)] {
+          return RunDopNode(name, dop_path);
+        },
+        dop_timeout_);
+    graph_.AddEdge(prev, id);
+    prev = id;
+  }
+  if (prev != self) graph_.AddEdge(prev, join);
+  return Status::OK();
+}
+
+// --- Replay records ----------------------------------------------------
+
+std::optional<DesignManager::ReplayDop> DesignManager::ConsumeReplayDop(
+    const std::string& path) {
+  auto it = replay_dops_.find(path);
+  if (it == replay_dops_.end() || it->second.empty()) return std::nullopt;
+  ReplayDop record = it->second.front();
+  it->second.pop_front();
+  if (!record.has_finish || it->second.empty()) {
+    // A dangling start makes any later record at this path ambiguous
+    // (the old machine truncated the log suffix here) — drop them.
+    replay_dops_.erase(it);
+  }
+  return record;
+}
+
+std::optional<DesignManager::ReplayDecision>
+DesignManager::ConsumeReplayDecision(WorkflowLogEntry::Kind kind,
+                                     const std::string& path) {
+  auto it = replay_decisions_.find({static_cast<int>(kind), path});
+  if (it == replay_decisions_.end() || it->second.empty()) return std::nullopt;
+  ReplayDecision record = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) replay_decisions_.erase(it);
+  return record;
+}
+
+bool DesignManager::ReplayPending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !replay_dops_.empty() || !replay_decisions_.empty();
+}
+
+void DesignManager::ClearReplay() {
+  std::lock_guard<std::mutex> lock(mu_);
+  replay_dops_.clear();
+  replay_decisions_.clear();
+}
+
+// --- Driving -----------------------------------------------------------
 
 Result<bool> DesignManager::Step() {
   if (state_ != DmState::kActive) {
@@ -179,17 +478,7 @@ Result<bool> DesignManager::Step() {
   if (!started_) {
     return Status::FailedPrecondition("design manager not started");
   }
-
-  // A restart record at the replay cursor resets the machine, exactly
-  // as the live event did.
-  if (Replaying() &&
-      persistent_log_[replay_cursor_].kind == WorkflowLogEntry::Kind::kRestart) {
-    ++replay_cursor_;
-    ResetMachine();
-    return true;
-  }
-
-  if (stack_.empty()) {
+  if (!graph_.HasReady()) {
     // Execution finished: check the eventually/immediately-followed-by
     // obligations before declaring the DA's work flow complete.
     if (constraints_ != nullptr) {
@@ -202,113 +491,18 @@ Result<bool> DesignManager::Step() {
     state_ = DmState::kCompleted;
     return false;
   }
-
-  Frame& frame = stack_.back();
-  const ScriptNode* node = frame.node;
-  DecisionMaker* decider =
-      decision_maker_ != nullptr ? decision_maker_ : &default_decisions_;
-
-  switch (node->kind()) {
-    case ScriptNode::Kind::kDop: {
-      CONCORD_RETURN_NOT_OK(RunDop(node->name()));
-      stack_.pop_back();
-      return true;
-    }
-    case ScriptNode::Kind::kDaOp: {
-      CONCORD_RETURN_NOT_OK(RunDaOp(node->name()));
-      stack_.pop_back();
-      return true;
-    }
-    case ScriptNode::Kind::kSequence:
-    case ScriptNode::Kind::kBranch: {
-      if (frame.child_index < node->children().size()) {
-        const ScriptNode* child = node->children()[frame.child_index].get();
-        ++frame.child_index;
-        stack_.push_back(MakeFrame(child));
-      } else {
-        stack_.pop_back();
-      }
-      return true;
-    }
-    case ScriptNode::Kind::kAlternative: {
-      if (!frame.decided) {
-        size_t choice;
-        if (const WorkflowLogEntry* entry = PeekReplay(
-                WorkflowLogEntry::Kind::kAlternativeChoice, "")) {
-          choice = entry->choice;
-          ++replay_cursor_;
-          ++stats_.decisions_replayed;
-        } else {
-          choice = decider->ChooseAlternative(*node);
-          if (choice >= node->children().size()) {
-            return Status::InvalidArgument(
-                "alternative choice " + std::to_string(choice) +
-                " out of range (" + std::to_string(node->children().size()) +
-                " paths)");
-          }
-          AppendLog({WorkflowLogEntry::Kind::kAlternativeChoice, 0, "",
-                     DovId(), {}, false, choice, false, {}});
-        }
-        frame.decided = true;
-        frame.chosen = choice;
-        stack_.push_back(MakeFrame(node->children()[choice].get()));
-      } else {
-        stack_.pop_back();
-      }
-      return true;
-    }
-    case ScriptNode::Kind::kIteration: {
-      bool another;
-      if (frame.passes_done == 0) {
-        another = true;  // the body always runs at least once
-      } else if (const WorkflowLogEntry* entry = PeekReplay(
-                     WorkflowLogEntry::Kind::kIterationDecision, "")) {
-        another = entry->continue_flag;
-        ++replay_cursor_;
-        ++stats_.decisions_replayed;
-      } else {
-        another = frame.passes_done < node->max_iterations() &&
-                  decider->ContinueIteration(*node, frame.passes_done);
-        AppendLog({WorkflowLogEntry::Kind::kIterationDecision, 0, "", DovId(),
-                   {}, false, 0, another, {}});
-      }
-      if (another) {
-        ++frame.passes_done;
-        stack_.push_back(MakeFrame(node->children().front().get()));
-      } else {
-        stack_.pop_back();
-      }
-      return true;
-    }
-    case ScriptNode::Kind::kOpen: {
-      if (!frame.planned) {
-        if (const WorkflowLogEntry* entry =
-                PeekReplay(WorkflowLogEntry::Kind::kOpenPlan, "")) {
-          frame.open_plan = entry->plan;
-          ++replay_cursor_;
-          ++stats_.decisions_replayed;
-        } else {
-          frame.open_plan = decider->PlanOpenSegment(*node);
-          AppendLog({WorkflowLogEntry::Kind::kOpenPlan, 0, "", DovId(), {},
-                     false, 0, false, frame.open_plan});
-        }
-        frame.planned = true;
-        return true;
-      }
-      if (frame.open_index < frame.open_plan.size()) {
-        const std::string dop_type = frame.open_plan[frame.open_index];
-        CONCORD_RETURN_NOT_OK(RunDop(dop_type));
-        ++frame.open_index;
-      } else {
-        stack_.pop_back();
-      }
-      return true;
-    }
-  }
-  return Status::Internal("unhandled script node kind");
+  CONCORD_ASSIGN_OR_RETURN(bool ran, scheduler_.StepOne());
+  (void)ran;
+  return true;
 }
 
 Status DesignManager::RunToCompletion() {
+  // Pooled fast path: overlap ready DOPs across the executor pool.
+  // The trailing Step() loop then performs the completion check (and
+  // is the entire path in inline mode).
+  if (scheduler_.Pooled() && started_ && state_ == DmState::kActive) {
+    CONCORD_RETURN_NOT_OK(scheduler_.Run());
+  }
   while (true) {
     Result<bool> more = Step();
     if (!more.ok()) return more.status();
@@ -325,8 +519,14 @@ Status DesignManager::HandleEvent(const Event& event) {
     // "DA execution has to be restarted from the beginning. However,
     // the designer may choose any previously derived DOV as a starting
     // point" — produced_ survives the restart for exactly that reason.
-    AppendLog({WorkflowLogEntry::Kind::kRestart, 0, event.type, DovId(), {},
-               false, 0, false, {}});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      WorkflowLogEntry entry;
+      entry.kind = WorkflowLogEntry::Kind::kRestart;
+      entry.name = event.type;
+      AppendLogLocked(std::move(entry));
+    }
+    ClearReplay();
     ResetMachine();
     if (state_ == DmState::kCompleted || state_ == DmState::kPaused) {
       state_ = DmState::kActive;
@@ -359,9 +559,10 @@ Status DesignManager::ResumeAfterPause() {
 }
 
 void DesignManager::Crash() {
-  stack_.clear();
+  graph_.Clear();
   history_.clear();
   produced_.clear();
+  ClearReplay();
   state_ = DmState::kCrashed;
 }
 
@@ -369,19 +570,81 @@ Status DesignManager::Recover() {
   if (state_ != DmState::kCrashed) {
     return Status::FailedPrecondition("design manager did not crash");
   }
-  // Forward recovery: fresh machine, replay the persistent log.
-  replay_cursor_ = 0;
-  log_sequence_ =
-      persistent_log_.empty() ? 0 : persistent_log_.back().sequence;
+  // Forward recovery: partition the persistent log into epochs at the
+  // kRestart records. Prior-epoch entries belong to graph
+  // instantiations that were restarted — their DOVs and replay
+  // statistics are restored directly (history is not: a restart wiped
+  // it). Current-epoch entries become per-path replay records the
+  // re-instantiated graph consumes as its nodes execute.
   produced_.clear();
+  ClearReplay();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t current_epoch = 0;
+    for (const WorkflowLogEntry& entry : persistent_log_) {
+      if (entry.kind == WorkflowLogEntry::Kind::kRestart) ++current_epoch;
+    }
+    size_t epoch = 0;
+    for (const WorkflowLogEntry& entry : persistent_log_) {
+      switch (entry.kind) {
+        case WorkflowLogEntry::Kind::kRestart:
+          ++epoch;
+          break;
+        case WorkflowLogEntry::Kind::kDopStart: {
+          if (epoch < current_epoch) break;
+          replay_dops_[entry.path].emplace_back();
+          break;
+        }
+        case WorkflowLogEntry::Kind::kDopFinish: {
+          if (epoch < current_epoch) {
+            ++stats_.dops_replayed;
+            if (entry.committed) produced_.push_back(entry.output);
+            break;
+          }
+          // Pair with this path's newest unfinished start (appends are
+          // FIFO per path, however threads interleaved across paths).
+          auto& records = replay_dops_[entry.path];
+          auto open = std::find_if(
+              records.rbegin(), records.rend(),
+              [](const ReplayDop& record) { return !record.has_finish; });
+          if (open == records.rend()) {
+            records.emplace_back();
+            open = records.rbegin();
+          }
+          open->has_finish = true;
+          open->committed = entry.committed;
+          open->output = entry.output;
+          open->inputs = entry.inputs;
+          break;
+        }
+        case WorkflowLogEntry::Kind::kDaOp:
+        case WorkflowLogEntry::Kind::kAlternativeChoice:
+        case WorkflowLogEntry::Kind::kIterationDecision:
+        case WorkflowLogEntry::Kind::kOpenPlan: {
+          if (epoch < current_epoch) {
+            ++stats_.decisions_replayed;
+            break;
+          }
+          ReplayDecision record;
+          record.choice = entry.choice;
+          record.continue_flag = entry.continue_flag;
+          record.plan = entry.plan;
+          replay_decisions_[{static_cast<int>(entry.kind), entry.path}]
+              .push_back(std::move(record));
+          break;
+        }
+      }
+    }
+  }
   ResetMachine();
   state_ = DmState::kActive;
   started_ = true;
-  // Drive the machine through the replayed prefix so the volatile
-  // state (history, stack position) is restored. Live execution then
-  // continues from the crash point. Replayed aborts surface as they
-  // did originally; they leave the machine positioned to retry.
-  while (Replaying()) {
+  // Drive the fresh graph through the replayable prefix so the
+  // volatile state (history, node positions) is restored; live
+  // execution then continues from the crash point. Replayed aborts
+  // surface as they did originally and leave their node re-armed as a
+  // retry point.
+  while (ReplayPending()) {
     Result<bool> more = Step();
     if (!more.ok()) {
       if (more.status().IsAborted()) continue;  // replayed abort: retry point
@@ -393,6 +656,7 @@ Status DesignManager::Recover() {
 }
 
 bool DesignManager::UsedDov(DovId dov) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const WorkflowLogEntry& entry : persistent_log_) {
     if (entry.kind != WorkflowLogEntry::Kind::kDopFinish || !entry.committed) {
       continue;

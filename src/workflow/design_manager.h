@@ -3,9 +3,12 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -15,6 +18,8 @@
 #include "workflow/constraints.h"
 #include "workflow/events.h"
 #include "workflow/script.h"
+#include "workflow/script_scheduler.h"
+#include "workflow/task_graph.h"
 
 namespace concord::workflow {
 
@@ -34,7 +39,9 @@ struct DopOutcome {
 
 /// Runs a DOP of the given type in the context of the owning DA and
 /// returns its outcome. Bound to real tools by the VLSI layer, to
-/// stubs by tests.
+/// stubs by tests. With an executor pool bound to the DM, tool runners
+/// are invoked from executor threads concurrently — they must be
+/// thread-safe (the core layer's runner is).
 using ToolRunner =
     std::function<Result<DopOutcome>(const std::string& dop_type)>;
 
@@ -45,7 +52,9 @@ using DaOpRunner = std::function<Status(const std::string& op_name)>;
 
 /// Designer decisions the script leaves open. "Whenever several
 /// choices are left open ... the associated designer ... has to specify
-/// how to continue using direct interventions" (Sect. 4.2).
+/// how to continue using direct interventions" (Sect. 4.2). Decision
+/// callbacks always run on the choreographer thread (the thread
+/// driving Step()/RunToCompletion()), never on executors.
 class DecisionMaker {
  public:
   virtual ~DecisionMaker() = default;
@@ -72,7 +81,10 @@ class FirstPathDecisionMaker : public DecisionMaker {
 
 /// Execution log entry (persistent). The DM writes "a log entry
 /// capturing all DOP parameters ... for each start and finish of a DOP
-/// execution" plus decision records, enabling forward recovery.
+/// execution" plus decision records, enabling forward recovery. Each
+/// entry carries the rank path of the task node that wrote it, so
+/// recovery can re-match entries to the re-instantiated graph by
+/// position — independent of the (possibly concurrent) append order.
 struct WorkflowLogEntry {
   enum class Kind {
     kDopStart,
@@ -92,6 +104,8 @@ struct WorkflowLogEntry {
   size_t choice = 0;              // kAlternativeChoice
   bool continue_flag = false;     // kIterationDecision
   std::vector<std::string> plan;  // kOpenPlan
+  /// Rank path of the writing task node ("0.1.2"); empty for kRestart.
+  std::string path;
 
   static const char* KindToString(Kind kind);
 };
@@ -116,16 +130,32 @@ struct DmStats {
   uint64_t restarts = 0;
 };
 
+/// Per-node progress report fed to the cooperation layer: fired when a
+/// task node starts, completes, or fails. Always invoked on the
+/// choreographer thread.
+using ProgressSink =
+    std::function<void(const TaskNode& node, bool started, bool failed)>;
+
 /// The design manager of one DA (Sect. 5.3): enforces the work flow
 /// given by script + domain constraints + ECA rules, reacts to external
 /// events, and provides recoverable script execution via a persistent
 /// script and a persistent execution log.
 ///
-/// The execution engine is an explicit stack machine over the script
-/// AST, so a workstation crash can happen between any two atomic
-/// actions; Recover() re-instantiates the machine and replays the log
-/// (completed DOPs are not re-executed — forward recovery with
-/// "minimum loss of work").
+/// The execution engine lowers the script AST onto an explicit task
+/// graph (workflow/task_graph.h): DOP runs, DA-ops and decision points
+/// become nodes; sequences chain them, branches fork them, and
+/// alternatives / iterations / open segments become decision nodes that
+/// expand the graph as the designer decides. A ScriptScheduler drives
+/// the graph: without an executor pool it executes ready nodes
+/// lowest-rank-first on the calling thread — deterministically
+/// reproducing the old synchronous stack machine — and with a pool it
+/// overlaps ready DOPs across executor threads ("branches for
+/// concurrent execution", Sect. 4.2).
+///
+/// A workstation crash can happen between any two atomic actions;
+/// Recover() re-instantiates the graph from the persistent script and
+/// re-matches the persistent log to it by node path (completed DOPs are
+/// not re-executed — forward recovery with "minimum loss of work").
 class DesignManager {
  public:
   DesignManager(DaId da, Script script, const ConstraintSet* constraints,
@@ -140,22 +170,37 @@ class DesignManager {
   void SetToolRunner(ToolRunner runner) { tool_runner_ = std::move(runner); }
   void SetDaOpRunner(DaOpRunner runner) { da_op_runner_ = std::move(runner); }
   void SetDecisionMaker(DecisionMaker* maker) { decision_maker_ = maker; }
+  /// Binds a reusable executor pool: RunToCompletion() then overlaps
+  /// ready DOP/DA-op nodes across the pool's threads. Without a pool
+  /// (or with one of < 2 threads) execution stays single-threaded and
+  /// deterministic.
+  void SetExecutorPool(ExecutorPool* pool);
+  /// Per-node progress events (scheduler hooks), e.g. for the
+  /// cooperation manager's monitoring.
+  void SetProgressSink(ProgressSink sink);
+  /// Sim-time budget applied to every DOP node (0 = unlimited). An
+  /// overrunning DOP is treated like an aborted one: error surfaced,
+  /// node re-armed as a retry point.
+  void set_dop_timeout(SimTime timeout) { dop_timeout_ = timeout; }
   RuleEngine& rules() { return rules_; }
 
   /// Validates the script against the domain constraints. Called by
   /// Start(); also usable standalone.
   Status ValidateScript() const;
 
-  /// Initializes the execution machine. Fails if the script
-  /// contradicts the domain constraints.
+  /// Lowers the script into the task graph and readies execution.
+  /// Fails if the script contradicts the domain constraints.
   Status Start();
 
   /// Executes one atomic action (one DOP, one DA op, or one structural
-  /// advance). Returns true while there is more to do.
+  /// advance) — always inline, lowest-rank-first, regardless of any
+  /// bound pool. Returns true while there is more to do.
   Result<bool> Step();
 
-  /// Drives Step() until completion or pause. On completion checks the
-  /// "followed by" obligations of the domain constraints.
+  /// Drives the graph until completion or pause. With a bound executor
+  /// pool, ready DOPs overlap across its threads; otherwise this is
+  /// Step() in a loop. On completion checks the "followed by"
+  /// obligations of the domain constraints.
   Status RunToCompletion();
 
   /// External event entry point (from the CM or the TM). Applies
@@ -164,6 +209,7 @@ class DesignManager {
   ///    execution to the beginning (history of DOVs is kept);
   ///  - Withdrawal pauses the DA if the withdrawn DOV was used by a
   ///    completed local DOP (log analysis).
+  /// Must not be called while a pooled RunToCompletion() is in flight.
   Status HandleEvent(const Event& event);
 
   /// Designer resumes a paused DA (after deciding how to continue).
@@ -171,10 +217,11 @@ class DesignManager {
 
   // --- Failure handling -----------------------------------------------
 
-  /// Workstation crash: the execution machine (volatile) is lost; the
+  /// Workstation crash: the task graph (volatile) is lost; the
   /// persistent script and log survive.
   void Crash();
-  /// Replays the persistent log over a fresh machine.
+  /// Re-lowers the script and replays the persistent log over the
+  /// fresh graph, matching entries to nodes by rank path.
   Status Recover();
 
   // --- Introspection ----------------------------------------------------
@@ -185,45 +232,77 @@ class DesignManager {
   const std::vector<DovId>& ProducedDovs() const { return produced_; }
   const std::vector<WorkflowLogEntry>& log() const { return persistent_log_; }
   const DmStats& stats() const { return stats_; }
+  /// The scheduler (peak-concurrency gauge etc.).
+  const ScriptScheduler& scheduler() const { return scheduler_; }
   /// True if the given DOV was consumed by any completed DOP (log
   /// analysis for withdrawal handling).
   bool UsedDov(DovId dov) const;
 
  private:
-  struct Frame {
-    const ScriptNode* node;
-    size_t child_index = 0;
-    int passes_done = 0;
-    bool decided = false;
-    size_t chosen = 0;
-    bool planned = false;
-    std::vector<std::string> open_plan;
-    size_t open_index = 0;
+  /// Replay records rebuilt by Recover() from the current-epoch log
+  /// suffix, keyed by node path and consumed FIFO (a retried node
+  /// consumes its abort pair, then its success pair).
+  struct ReplayDop {
+    bool has_finish = false;
+    bool committed = false;
+    DovId output;
+    std::vector<DovId> inputs;
+  };
+  struct ReplayDecision {
+    size_t choice = 0;
+    bool continue_flag = false;
+    std::vector<std::string> plan;
   };
 
-  static Frame MakeFrame(const ScriptNode* node) {
-    Frame frame;
-    frame.node = node;
-    return frame;
+  DecisionMaker* decider() {
+    return decision_maker_ != nullptr ? decision_maker_ : &default_decisions_;
   }
 
-  /// Replay cursor: while replaying, decisions and DOP outcomes come
-  /// from the log instead of callbacks/tools.
-  bool Replaying() const { return replay_cursor_ < persistent_log_.size(); }
-  const WorkflowLogEntry* PeekReplay(WorkflowLogEntry::Kind kind,
-                                     const std::string& name);
-  void AppendLog(WorkflowLogEntry entry);
+  /// Caller must hold mu_.
+  void AppendLogLocked(WorkflowLogEntry entry);
 
-  Status RunDop(const std::string& dop_type);
-  Status RunDaOp(const std::string& op_name);
+  // --- Script lowering (see docs/ARCHITECTURE.md, "Async script
+  // engine") -------------------------------------------------------
+
+  /// Rebuilds the task graph from the persistent script.
   void ResetMachine();
+  /// Lowers `node` at `rank`, depending on `deps`; returns the tail
+  /// node(s) successors must wait on.
+  std::vector<TaskNodeId> LowerNode(const ScriptNode* node, TaskRank rank,
+                                    std::vector<TaskNodeId> deps);
+  /// Creates iteration decision #pass (0-based = passes completed) and
+  /// wires it to the iteration's join.
+  TaskNodeId MakeIterationDecision(const ScriptNode* node, TaskRank rank,
+                                   int pass, TaskNodeId join);
+
+  // --- Node bodies ---------------------------------------------------
+
+  Status RunDopNode(const std::string& dop_type, const std::string& path);
+  Status RunDaOpNode(const std::string& op_name, const std::string& path);
+  Status RunAlternativeNode(const ScriptNode* node, TaskRank rank,
+                            TaskNodeId self, TaskNodeId join);
+  Status RunIterationNode(const ScriptNode* node, TaskRank rank, int pass,
+                          TaskNodeId self, TaskNodeId join);
+  Status RunOpenNode(const ScriptNode* node, TaskRank rank, TaskNodeId self,
+                     TaskNodeId join);
+
+  /// Pops the next replay record for (kind, path), if any. Caller must
+  /// hold mu_ for DOP records (executor threads); decisions run on the
+  /// choreographer only but lock anyway for uniformity.
+  std::optional<ReplayDop> ConsumeReplayDop(const std::string& path);
+  std::optional<ReplayDecision> ConsumeReplayDecision(
+      WorkflowLogEntry::Kind kind, const std::string& path);
+  bool ReplayPending() const;
+  void ClearReplay();
 
   DaId da_;
   /// Persistent (survives workstation crash).
   Script persistent_script_;
   std::vector<WorkflowLogEntry> persistent_log_;
-  /// Volatile.
-  std::vector<Frame> stack_;
+  /// Volatile: the lowered task graph and its scheduler.
+  TaskGraph graph_;
+  ScriptScheduler scheduler_;
+  ExecutorPool* pool_ = nullptr;
   std::vector<std::string> history_;
   std::vector<DovId> produced_;
   DmState state_ = DmState::kActive;
@@ -234,11 +313,21 @@ class DesignManager {
   DaOpRunner da_op_runner_;
   DecisionMaker* decision_maker_ = nullptr;
   FirstPathDecisionMaker default_decisions_;
+  ProgressSink progress_sink_;
   RuleEngine rules_;
+  SimTime dop_timeout_ = 0;
   uint64_t log_sequence_ = 0;
-  size_t replay_cursor_ = 0;
   bool started_ = false;
   DmStats stats_;
+
+  /// Guards persistent_log_, history_, produced_, stats_ and the
+  /// replay records — the state node bodies touch from executor
+  /// threads during pooled runs. Tool/DA-op runners and decision
+  /// callbacks are always invoked with mu_ released.
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<ReplayDop>> replay_dops_;
+  std::map<std::pair<int, std::string>, std::deque<ReplayDecision>>
+      replay_decisions_;
 };
 
 }  // namespace concord::workflow

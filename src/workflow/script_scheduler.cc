@@ -1,0 +1,200 @@
+#include "workflow/script_scheduler.h"
+
+#include <utility>
+
+namespace concord::workflow {
+
+ExecutorPool::ExecutorPool(size_t threads) {
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { RunLoop(); });
+  }
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ExecutorPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ExecutorPool::RunLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Runs a body copy with cooperative sim-time budget accounting. Works
+/// on copies, never on TaskNode references: decision bodies expand the
+/// graph, which can reallocate the node table mid-call.
+Status RunBody(const std::function<Status()>& body, SimTime timeout,
+               const std::string& name, SimClock* clock) {
+  if (!body) return Status::OK();
+  const SimTime started = clock != nullptr ? clock->Now() : 0;
+  Status status = body();
+  if (status.ok() && timeout > 0 && clock != nullptr) {
+    const SimTime elapsed = clock->Now() - started;
+    if (elapsed > timeout) {
+      status = Status::Aborted(
+          "task '" + name + "' exceeded its time budget (" +
+          FormatSimTime(elapsed) + " > " + FormatSimTime(timeout) + ")");
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+void ScriptScheduler::RetireOk(TaskNodeId id) {
+  graph_->MarkDone(id);
+  if (hooks_.on_complete) hooks_.on_complete(graph_->node(id));
+}
+
+void ScriptScheduler::RetireError(TaskNodeId id, const Status& status,
+                                  Status* first_error) {
+  graph_->node(id).last_status = status;
+  if (policy_ == ErrorPolicy::kCancelOnError) {
+    // Retry point: the node goes back to ready so a later Run()/Step()
+    // resumes exactly here (aborted-DOP semantics).
+    graph_->MarkReadyAgain(id);
+  } else {
+    graph_->MarkFailed(id);
+  }
+  if (hooks_.on_error) hooks_.on_error(graph_->node(id), status);
+  if (first_error != nullptr && first_error->ok()) *first_error = status;
+}
+
+Result<bool> ScriptScheduler::StepOne() {
+  if (graph_ == nullptr) return Status::Internal("scheduler has no graph");
+  TaskNodeId id = graph_->MinReady();
+  if (id == kNoTaskNode) return false;
+  graph_->MarkRunning(id);
+  if (hooks_.on_start) hooks_.on_start(graph_->node(id));
+  // Copy body parameters: the body may grow the node table.
+  Status status = RunBody(graph_->node(id).body, graph_->node(id).timeout,
+                          graph_->node(id).name, clock_);
+  if (status.ok()) {
+    RetireOk(id);
+    return true;
+  }
+  Status first_error;
+  RetireError(id, status, &first_error);
+  return first_error;
+}
+
+Status ScriptScheduler::Run() {
+  if (graph_ == nullptr) return Status::Internal("scheduler has no graph");
+  if (!Pooled()) {
+    Status first_error;
+    while (true) {
+      Result<bool> more = StepOne();
+      if (!more.ok()) {
+        // kCancelOnError re-armed the node as a ready retry point —
+        // stepping on would re-run it immediately; stop here. Under
+        // kContinueOnError the node is terminal, so the independent
+        // rest of the graph keeps draining.
+        if (policy_ == ErrorPolicy::kCancelOnError) return more.status();
+        if (first_error.ok()) first_error = more.status();
+        continue;
+      }
+      if (!*more) return first_error;
+    }
+  }
+
+  // Pooled mode. All graph access stays on this thread; executors run
+  // body copies and push completions. `dispatching` goes false on the
+  // first error under kCancelOnError: in-flight bodies drain, nothing
+  // new starts, and the failed node waits as a ready retry point.
+  Status first_error;
+  bool dispatching = true;
+  size_t in_flight = 0;
+  while (true) {
+    // Dispatch every ready node we are allowed to overlap. Decisions
+    // and joins run here (they mutate the graph); DOPs and DA-ops go
+    // to the pool.
+    while (dispatching && graph_->HasReady()) {
+      TaskNodeId id = graph_->MinReady();
+      const TaskNodeKind kind = graph_->node(id).kind;
+      graph_->MarkRunning(id);
+      if (hooks_.on_start) hooks_.on_start(graph_->node(id));
+      if (kind == TaskNodeKind::kDecision || kind == TaskNodeKind::kJoin) {
+        Status status = RunBody(graph_->node(id).body, graph_->node(id).timeout,
+                                graph_->node(id).name, clock_);
+        if (status.ok()) {
+          RetireOk(id);
+        } else {
+          RetireError(id, status, &first_error);
+          if (policy_ == ErrorPolicy::kCancelOnError) dispatching = false;
+        }
+        continue;
+      }
+      ++in_flight;
+      if (in_flight > peak_concurrency_) peak_concurrency_ = in_flight;
+      // The executor gets copies of everything it needs: it must not
+      // touch the graph (the node table can move under expansion).
+      pool_->Submit([this, id, body = graph_->node(id).body,
+                     timeout = graph_->node(id).timeout,
+                     name = graph_->node(id).name] {
+        Status status = RunBody(body, timeout, name, clock_);
+        {
+          std::lock_guard<std::mutex> lock(done_mu_);
+          done_.emplace_back(id, std::move(status));
+          // Notify under the lock: the choreographer may retire this
+          // completion, return from Run(), and destroy the scheduler the
+          // moment it can re-acquire done_mu_ — notifying after unlock
+          // would touch a dead condition variable.
+          done_cv_.notify_one();
+        }
+      });
+    }
+
+    if (in_flight == 0) {
+      if (!graph_->HasReady() || !dispatching) break;
+      continue;
+    }
+
+    // Retire at least one completion (block until an executor reports).
+    std::deque<std::pair<TaskNodeId, Status>> batch;
+    {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      done_cv_.wait(lock, [this] { return !done_.empty(); });
+      batch.swap(done_);
+    }
+    for (auto& [id, status] : batch) {
+      --in_flight;
+      if (status.ok()) {
+        RetireOk(id);
+      } else {
+        RetireError(id, status, &first_error);
+        if (policy_ == ErrorPolicy::kCancelOnError) dispatching = false;
+      }
+    }
+  }
+  return first_error;
+}
+
+}  // namespace concord::workflow

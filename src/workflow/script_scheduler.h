@@ -1,0 +1,120 @@
+#ifndef CONCORD_WORKFLOW_SCRIPT_SCHEDULER_H_
+#define CONCORD_WORKFLOW_SCRIPT_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "workflow/task_graph.h"
+
+namespace concord::workflow {
+
+/// A reusable pool of executor threads for task-node bodies. One pool
+/// serves any number of design managers / scheduler runs (the paper's
+/// workstation drives many DAs; spawning threads per script run would
+/// dominate short scripts). A pool of 0 threads is valid and means
+/// "inline": schedulers bound to it run single-threaded.
+class ExecutorPool {
+ public:
+  explicit ExecutorPool(size_t threads);
+  ~ExecutorPool();
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  size_t threads() const { return threads_.size(); }
+  /// Enqueues a task; a pool of 0 threads runs it inline.
+  void Submit(std::function<void()> task);
+
+ private:
+  void RunLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Scheduler callbacks, fired on the choreographer thread (the thread
+/// calling StepOne()/Run()), never from executors: on_start before a
+/// node is dispatched, on_complete after it retires OK, on_error after
+/// it fails (with the failure status).
+struct SchedulerHooks {
+  std::function<void(const TaskNode&)> on_start;
+  std::function<void(const TaskNode&)> on_complete;
+  std::function<void(const TaskNode&, const Status&)> on_error;
+};
+
+/// Drives a TaskGraph to completion. Two modes share one code path:
+///
+///  - Inline (no pool, or a pool of < 2 threads): StepOne()/Run()
+///    execute ready nodes lowest-rank-first on the calling thread —
+///    deterministic and bit-identical to the old synchronous stack
+///    machine.
+///  - Pooled: Run() dispatches ready kDop/kDaOp bodies to the executor
+///    pool and retires them as they complete. kDecision and kJoin
+///    nodes always run on the choreographer thread, so all graph
+///    mutation (including mid-run expansion by decision bodies) is
+///    single-threaded; executors only run bodies and report back
+///    through the completion queue.
+///
+/// The scheduler does not own the graph — the design manager rebuilds
+/// the graph across restarts/recoveries and rebinds it.
+class ScriptScheduler {
+ public:
+  explicit ScriptScheduler(SimClock* clock = nullptr) : clock_(clock) {}
+
+  void Bind(TaskGraph* graph) { graph_ = graph; }
+  TaskGraph* graph() { return graph_; }
+  void SetPool(ExecutorPool* pool) { pool_ = pool; }
+  bool Pooled() const { return pool_ != nullptr && pool_->threads() > 1; }
+  void set_error_policy(ErrorPolicy policy) { policy_ = policy; }
+  ErrorPolicy error_policy() const { return policy_; }
+  SchedulerHooks& hooks() { return hooks_; }
+
+  /// Executes the lowest-ranked ready node inline. Returns true when a
+  /// node ran OK, false when nothing was ready (the graph is quiescent
+  /// — finished, or stuck on a failure), error when the node failed
+  /// (under kCancelOnError the node is re-armed as a retry point).
+  Result<bool> StepOne();
+
+  /// Drives the graph until quiescent. Pooled mode overlaps ready
+  /// nodes across executors; inline mode is repeated StepOne(). Under
+  /// kCancelOnError the first error stops dispatch (in-flight nodes
+  /// drain) and is returned; under kContinueOnError independent
+  /// subtrees keep going and the first error is reported at the end.
+  Status Run();
+
+  /// Highest number of node bodies in flight at once across all Run()
+  /// calls (1 in inline mode) — the bench's parallelism gauge.
+  size_t peak_concurrency() const { return peak_concurrency_; }
+
+ private:
+  void RetireOk(TaskNodeId id);
+  /// Applies the error policy. Returns the (possibly first) error.
+  void RetireError(TaskNodeId id, const Status& status, Status* first_error);
+
+  TaskGraph* graph_ = nullptr;
+  ExecutorPool* pool_ = nullptr;
+  SimClock* clock_ = nullptr;
+  ErrorPolicy policy_ = ErrorPolicy::kCancelOnError;
+  SchedulerHooks hooks_;
+  size_t peak_concurrency_ = 1;
+
+  /// Completion queue: executors push (node, status), the
+  /// choreographer pops. The only cross-thread state.
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::deque<std::pair<TaskNodeId, Status>> done_;
+};
+
+}  // namespace concord::workflow
+
+#endif  // CONCORD_WORKFLOW_SCRIPT_SCHEDULER_H_

@@ -1,0 +1,141 @@
+#include "workflow/task_graph.h"
+
+#include <string>
+
+namespace concord::workflow {
+
+std::string TaskRankToString(const TaskRank& rank) {
+  std::string out;
+  for (size_t i = 0; i < rank.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    if (rank[i] == kJoinRank) {
+      out.push_back('J');
+    } else {
+      out += std::to_string(rank[i]);
+    }
+  }
+  return out;
+}
+
+const char* TaskNodeKindToString(TaskNodeKind kind) {
+  switch (kind) {
+    case TaskNodeKind::kDop:
+      return "dop";
+    case TaskNodeKind::kDaOp:
+      return "da_op";
+    case TaskNodeKind::kDecision:
+      return "decision";
+    case TaskNodeKind::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+TaskNodeId TaskGraph::AddNode(TaskNodeKind kind, TaskRank rank,
+                              std::string name, std::function<Status()> body,
+                              SimTime timeout) {
+  TaskNodeId id = static_cast<TaskNodeId>(nodes_.size());
+  TaskNode node;
+  node.kind = kind;
+  node.rank = std::move(rank);
+  node.name = std::move(name);
+  node.body = std::move(body);
+  node.timeout = timeout;
+  node.state = TaskNodeState::kReady;
+  nodes_.push_back(std::move(node));
+  ready_.emplace(nodes_[id].rank, id);
+  return id;
+}
+
+void TaskGraph::AddEdge(TaskNodeId from, TaskNodeId to) {
+  TaskNode& source = nodes_[from];
+  TaskNode& target = nodes_[to];
+  source.dependents.push_back(to);
+  if (source.state == TaskNodeState::kDone) return;  // satisfied on arrival
+  ++target.unmet_deps;
+  if (target.state == TaskNodeState::kReady) {
+    // Was ready (or born ready) and just picked up a real dependency.
+    ready_.erase({target.rank, to});
+    target.state = TaskNodeState::kBlocked;
+  }
+}
+
+void TaskGraph::Clear() {
+  nodes_.clear();
+  ready_.clear();
+  running_ = 0;
+}
+
+TaskNodeId TaskGraph::MinReady() const {
+  if (ready_.empty()) return kNoTaskNode;
+  return ready_.begin()->second;
+}
+
+void TaskGraph::MarkRunning(TaskNodeId id) {
+  TaskNode& node = nodes_[id];
+  ready_.erase({node.rank, id});
+  node.state = TaskNodeState::kRunning;
+  ++running_;
+}
+
+void TaskGraph::MarkDone(TaskNodeId id) {
+  TaskNode& node = nodes_[id];
+  node.state = TaskNodeState::kDone;
+  --running_;
+  for (TaskNodeId dependent : node.dependents) {
+    TaskNode& target = nodes_[dependent];
+    if (target.state != TaskNodeState::kBlocked) continue;
+    if (--target.unmet_deps == 0) {
+      target.state = TaskNodeState::kReady;
+      ready_.emplace(target.rank, dependent);
+    }
+  }
+}
+
+void TaskGraph::MarkReadyAgain(TaskNodeId id) {
+  TaskNode& node = nodes_[id];
+  node.state = TaskNodeState::kReady;
+  --running_;
+  ready_.emplace(node.rank, id);
+}
+
+void TaskGraph::MarkFailed(TaskNodeId id) {
+  TaskNode& node = nodes_[id];
+  node.state = TaskNodeState::kFailed;
+  --running_;
+  // Cancel the transitive downstream cone: none of those nodes can
+  // ever become ready, and kContinueOnError promises a drained graph.
+  std::vector<TaskNodeId> frontier = node.dependents;
+  while (!frontier.empty()) {
+    TaskNodeId next = frontier.back();
+    frontier.pop_back();
+    TaskNode& target = nodes_[next];
+    if (target.state != TaskNodeState::kBlocked &&
+        target.state != TaskNodeState::kReady) {
+      continue;
+    }
+    if (target.state == TaskNodeState::kReady) ready_.erase({target.rank, next});
+    target.state = TaskNodeState::kCancelled;
+    for (TaskNodeId dependent : target.dependents) frontier.push_back(dependent);
+  }
+}
+
+bool TaskGraph::AllTerminal() const {
+  for (const TaskNode& node : nodes_) {
+    if (node.state != TaskNodeState::kDone &&
+        node.state != TaskNodeState::kFailed &&
+        node.state != TaskNodeState::kCancelled) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TaskGraph::AllDone() const {
+  for (const TaskNode& node : nodes_) {
+    if (node.state != TaskNodeState::kDone) return false;
+  }
+  return true;
+}
+
+}  // namespace concord::workflow

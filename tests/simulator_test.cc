@@ -46,7 +46,7 @@ TEST_P(CrashySimulatorP, AllDesignsSurviveCrashInjection) {
   options.complexity = 5;
   options.workstation_crash_probability = GetParam();
   options.server_crash_probability = GetParam() / 4;
-  options.seed = 11;
+  options.seed = 12;
   MultiDesignerSimulation simulation(options);
   auto report = simulation.Run();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -60,8 +60,11 @@ TEST_P(CrashySimulatorP, AllDesignsSurviveCrashInjection) {
   }
 }
 
+// Rates are calibrated to the task-DAG engine's step granularity: one
+// scheduler step per task node (a 5-DOP design is ~6 draws), so rates
+// below ~0.1 leave crash injection probabilistically silent.
 INSTANTIATE_TEST_SUITE_P(CrashRates, CrashySimulatorP,
-                         ::testing::Values(0.0, 0.02, 0.1, 0.3));
+                         ::testing::Values(0.0, 0.15, 0.25, 0.4));
 
 TEST(SimulatorTest, SystemInspectableAfterRun) {
   SimulationOptions options;

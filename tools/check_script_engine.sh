@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Gate for the async script engine bench: BENCH_script_engine.json must
+# show the pooled scheduler overlapping >= 4x more DOP bodies than the
+# inline (deterministic single-thread) baseline on the 16-way branch
+# script (the deterministic peak-overlap ratio — see
+# bench/bench_fig6_scripts.cc for why the gate is not host-dependent
+# wall clock). Full dispatch yields 16.0; a scheduler regression that
+# serializes branch arms drags it toward 1.0 and fails the gate. Usage:
+#   tools/check_script_engine.sh [path-to-json] [min-ratio]
+set -eu
+
+JSON="${1:-BENCH_script_engine.json}"
+MIN="${2:-4.0}"
+
+if [ ! -f "$JSON" ]; then
+  echo "check_script_engine: $JSON not found (run bench_fig6_scripts first)" >&2
+  exit 1
+fi
+
+# The bench emits the gate key on its own line: "pooled_vs_inline_peak": <ratio>
+RATIO=$(awk -F': ' '/"pooled_vs_inline_peak"/ { gsub(/[,"]/, "", $2); print $2 }' "$JSON")
+
+if [ -z "$RATIO" ]; then
+  echo "check_script_engine: no pooled_vs_inline_peak key in $JSON" >&2
+  exit 1
+fi
+
+echo "script engine: pooled_vs_inline_peak = $RATIO (required >= $MIN)"
+awk -v r="$RATIO" -v m="$MIN" 'BEGIN { exit (r + 0 >= m + 0) ? 0 : 1 }' || {
+  echo "check_script_engine: FAIL — the pooled scheduler overlaps under ${MIN}x the inline baseline's DOP bodies on a 16-way branch (dispatch serialized?)" >&2
+  exit 1
+}
+echo "check_script_engine: OK"
