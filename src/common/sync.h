@@ -2,10 +2,173 @@
 #define CONCORD_COMMON_SYNC_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <shared_mutex>
 #include <thread>
 
+// ---------------------------------------------------------------------------
+// Clang Thread-Safety-Analysis annotations.
+//
+// Under clang, `-Wthread-safety` turns the lock discipline written with
+// these macros into compile errors; under GCC (which has no equivalent
+// analysis) they expand to nothing and the wrappers below behave exactly
+// like the std primitives they delegate to. The vocabulary follows the
+// canonical mutex.h from the Clang TSA documentation, so the annotations
+// read like every other annotated codebase:
+//
+//   GUARDED_BY(mu)    on a field: only touch it while holding mu.
+//   REQUIRES(mu)      on a function: callers must already hold mu.
+//   EXCLUDES(mu)      on a function: callers must NOT hold mu (the
+//                     function acquires it itself; never put this on a
+//                     path that is re-entered under a recursive mutex).
+//   ACQUIRED_AFTER    on a mutex member: documents (and checks) the
+//                     lock-hierarchy edge; see docs/CONCURRENCY.md for
+//                     the full order.
+//   NO_THREAD_SAFETY_ANALYSIS
+//                     the escape hatch for patterns the intraprocedural
+//                     analysis cannot follow (lock arrays held in bulk,
+//                     adopt/release handoffs). Every use MUST carry a
+//                     `// SAFETY:` comment — tools/lint_ownership.py
+//                     fails the build otherwise.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define CONCORD_TSA(x) __attribute__((x))
+#else
+#define CONCORD_TSA(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+#define CAPABILITY(x) CONCORD_TSA(capability(x))
+#define SCOPED_CAPABILITY CONCORD_TSA(scoped_lockable)
+#define GUARDED_BY(x) CONCORD_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) CONCORD_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) CONCORD_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CONCORD_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) CONCORD_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) CONCORD_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) CONCORD_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) CONCORD_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) CONCORD_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) CONCORD_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) CONCORD_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) CONCORD_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) CONCORD_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) CONCORD_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) CONCORD_TSA(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) CONCORD_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS CONCORD_TSA(no_thread_safety_analysis)
+
 namespace concord {
+
+class CondVar;
+
+/// Annotated exclusive mutex: std::mutex plus the capability attribute
+/// the analysis tracks. Use with MutexLock (scoped) or lock()/unlock()
+/// in the rare manual-bracketing spots.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis (without checking at runtime) that the calling
+  /// context holds this mutex — for callbacks that are documented to be
+  /// invoked under it.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated recursive mutex. The analysis has no notion of reentrancy:
+/// it flags a DOUBLE acquisition only within one function body, so the
+/// discipline for a recursive capability is the cooperation manager's
+/// pattern — every public operation takes exactly one RecursiveMutexLock
+/// and does its work through REQUIRES(mu_) helpers; re-entrant public
+/// entry (event delivery running a tool on the same thread) is invisible
+/// to the analysis and safe at runtime by recursion.
+class CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+  /// The assertable-capability hook for re-entered contexts: a callback
+  /// that is specified to run under the manager mutex calls this instead
+  /// of re-locking, and the analysis treats the capability as held.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// RAII lock on a RecursiveMutex.
+class SCOPED_CAPABILITY RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~RecursiveMutexLock() RELEASE() { mu_->unlock(); }
+  RecursiveMutexLock(const RecursiveMutexLock&) = delete;
+  RecursiveMutexLock& operator=(const RecursiveMutexLock&) = delete;
+
+ private:
+  RecursiveMutex* mu_;
+};
+
+/// Condition variable paired with concord::Mutex. Delegates to
+/// std::condition_variable on the wrapped native mutex, so waiting costs
+/// exactly what it did before annotation.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires it. As far as the
+  /// analysis is concerned the capability is held across the call.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Predicate loop over Wait().
+  template <typename Predicate>
+  void Wait(Mutex* mu, Predicate pred) REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
 
 /// A shared mutex that never starves exclusive lockers.
 ///
@@ -18,14 +181,15 @@ namespace concord {
 /// New shared acquirers back off (yield) while any exclusive locker is
 /// waiting or active; the uncontended shared path stays one atomic load
 /// plus the underlying rwlock. Meets the Lockable/SharedLockable
-/// requirements used by std::unique_lock / std::shared_lock.
-class WriterPriorityMutex {
+/// requirements used by std::unique_lock / std::shared_lock, and carries
+/// the capability annotation so guarded fields can name it.
+class CAPABILITY("shared_mutex") WriterPriorityMutex {
  public:
   WriterPriorityMutex() = default;
   WriterPriorityMutex(const WriterPriorityMutex&) = delete;
   WriterPriorityMutex& operator=(const WriterPriorityMutex&) = delete;
 
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
     for (;;) {
       while (writers_.load(std::memory_order_acquire) != 0) {
         std::this_thread::yield();
@@ -38,14 +202,14 @@ class WriterPriorityMutex {
     }
   }
 
-  void unlock_shared() { mu_.unlock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
 
-  void lock() {
+  void lock() ACQUIRE() {
     writers_.fetch_add(1, std::memory_order_acq_rel);
     mu_.lock();
   }
 
-  void unlock() {
+  void unlock() RELEASE() {
     writers_.fetch_sub(1, std::memory_order_acq_rel);
     mu_.unlock();
   }
@@ -55,6 +219,135 @@ class WriterPriorityMutex {
   std::atomic<int> writers_{0};
 };
 
+/// RAII shared (reader) hold on a WriterPriorityMutex.
+class SCOPED_CAPABILITY SharedReadLock {
+ public:
+  explicit SharedReadLock(WriterPriorityMutex* mu) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~SharedReadLock() RELEASE_GENERIC() { mu_->unlock_shared(); }
+  SharedReadLock(const SharedReadLock&) = delete;
+  SharedReadLock& operator=(const SharedReadLock&) = delete;
+
+ private:
+  WriterPriorityMutex* mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread roles: the runtime twin of the partition-ownership discipline.
+//
+// The static rules (tools/lint_ownership.py + the annotations above)
+// say: executor-owned state is only touched by tasks running on the
+// owning executor, and a task ON an executor never submit-and-waits to
+// another partition. The TLS tag below lets the hot entry points assert
+// exactly that in debug builds — a cross-partition touch or an
+// executor-context wait aborts with a message instead of corrupting
+// state or deadlocking nondeterministically.
+//
+// The checks compile away unless CONCORD_THREAD_ASSERTS is 1 (defaulted
+// on in builds without NDEBUG; CMake's CONCORD_THREAD_ASSERTS option
+// forces it for sanitizer/death-test legs).
+// ---------------------------------------------------------------------------
+
+#ifndef CONCORD_THREAD_ASSERTS
+#ifdef NDEBUG
+#define CONCORD_THREAD_ASSERTS 0
+#else
+#define CONCORD_THREAD_ASSERTS 1
+#endif
+#endif
+
+/// What kind of thread is running. kPartitionExecutor is a
+/// PartitionEngine executor (single-threaded owner of one state slice);
+/// kPoolExecutor is a workflow ExecutorPool thread (runs task-node
+/// bodies, owns nothing); kGeneral is everything else (dispatchers,
+/// designers, tests).
+enum class ThreadRole : uint8_t {
+  kGeneral = 0,
+  kPartitionExecutor = 1,
+  kPoolExecutor = 2,
+};
+
+namespace sync_internal {
+inline thread_local ThreadRole tls_role = ThreadRole::kGeneral;
+inline thread_local int tls_partition = -1;
+}  // namespace sync_internal
+
+inline ThreadRole CurrentThreadRole() { return sync_internal::tls_role; }
+/// Partition index of the current executor thread; -1 off executors.
+inline int CurrentThreadPartition() { return sync_internal::tls_partition; }
+/// True when the thread asserts are compiled in (death tests skip
+/// themselves when not).
+constexpr bool ThreadAssertsEnabled() { return CONCORD_THREAD_ASSERTS != 0; }
+
+/// Tags the current thread for its lifetime-of-scope (executors tag
+/// their whole run loop; tests tag blocks to simulate roles).
+class ScopedThreadRole {
+ public:
+  explicit ScopedThreadRole(ThreadRole role, int partition = -1)
+      : saved_role_(sync_internal::tls_role),
+        saved_partition_(sync_internal::tls_partition) {
+    sync_internal::tls_role = role;
+    sync_internal::tls_partition = partition;
+  }
+  ~ScopedThreadRole() {
+    sync_internal::tls_role = saved_role_;
+    sync_internal::tls_partition = saved_partition_;
+  }
+  ScopedThreadRole(const ScopedThreadRole&) = delete;
+  ScopedThreadRole& operator=(const ScopedThreadRole&) = delete;
+
+ private:
+  ThreadRole saved_role_;
+  int saved_partition_;
+};
+
+namespace sync_internal {
+
+[[noreturn]] inline void DieThreadRole(const char* what, const char* file,
+                                       int line) {
+  std::fprintf(stderr,
+               "CONCORD thread-role violation: %s (thread role %d, "
+               "partition %d) at %s:%d\n",
+               what, static_cast<int>(tls_role), tls_partition, file, line);
+  std::abort();
+}
+
+inline void AssertOnPartition(int partition, const char* file, int line) {
+  if (tls_role == ThreadRole::kPartitionExecutor &&
+      tls_partition != partition) {
+    DieThreadRole("partition-owned state touched from the wrong executor",
+                  file, line);
+  }
+}
+
+inline void AssertOffExecutor(const char* file, int line) {
+  if (tls_role == ThreadRole::kPartitionExecutor) {
+    DieThreadRole(
+        "submit-and-wait (or choreography entry) from executor context",
+        file, line);
+  }
+}
+
+}  // namespace sync_internal
 }  // namespace concord
+
+#if CONCORD_THREAD_ASSERTS
+/// In a partition-resident task body: aborts when the code runs on a
+/// partition executor other than the owner `p`. (A non-executor thread
+/// passes — that is the K == 1 inline mode and quiescent test access.)
+#define CONCORD_ASSERT_ON_PARTITION(p) \
+  ::concord::sync_internal::AssertOnPartition( \
+      static_cast<int>(p), __FILE__, __LINE__)
+/// At a choreography entry point / submit-and-wait site: aborts when
+/// called from a partition executor (executors waiting on each other
+/// can cycle — the deadlock rule of txn/partition.h).
+#define CONCORD_ASSERT_OFF_EXECUTOR() \
+  ::concord::sync_internal::AssertOffExecutor(__FILE__, __LINE__)
+#else
+#define CONCORD_ASSERT_ON_PARTITION(p) ((void)0)
+#define CONCORD_ASSERT_OFF_EXECUTOR() ((void)0)
+#endif
 
 #endif  // CONCORD_COMMON_SYNC_H_

@@ -128,7 +128,7 @@ Result<DesignActivity*> CooperationManager::GetMutableDa(DaId da) {
 }
 
 Result<const DesignActivity*> CooperationManager::GetDa(DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = das_.find(da.value());
   if (it == das_.end()) {
     return Status::NotFound("no design activity " + da.ToString());
@@ -137,7 +137,7 @@ Result<const DesignActivity*> CooperationManager::GetDa(DaId da) const {
 }
 
 Result<DaState> CooperationManager::StateOf(DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(const DesignActivity* activity, GetDa(da));
   return activity->state;
 }
@@ -192,7 +192,7 @@ CoopRelationship* CooperationManager::FindRelationship(RelKind kind, DaId a,
 // --- Hierarchy -------------------------------------------------------
 
 Result<DaId> CooperationManager::InitDesign(DaDescription description) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   DaId id = da_gen_.Next();
   DesignActivity da;
   da.id = id;
@@ -218,7 +218,7 @@ Result<DaId> CooperationManager::InitDesign(DaDescription description) {
 
 Result<DaId> CooperationManager::CreateSubDa(DaId super,
                                              DaDescription description) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * parent, GetMutableDa(super));
   CONCORD_RETURN_NOT_OK(
       RequireState(*parent, DaState::kActive, DaOperation::kCreateSubDa));
@@ -274,7 +274,7 @@ Result<DaId> CooperationManager::CreateSubDa(DaId super,
 }
 
 Status CooperationManager::MigrateDa(DaId da, NodeId to) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   if (placement_ == nullptr) {
     return Status::FailedPrecondition(
         "no placement authority wired: single-server plane");
@@ -287,7 +287,7 @@ Status CooperationManager::MigrateDa(DaId da, NodeId to) {
 }
 
 Status CooperationManager::Start(DaId da) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * activity, GetMutableDa(da));
   CONCORD_RETURN_NOT_OK(
       RequireState(*activity, DaState::kGenerated, DaOperation::kStart));
@@ -297,7 +297,7 @@ Status CooperationManager::Start(DaId da) {
 
 Status CooperationManager::ModifySubDaSpecification(
     DaId super, DaId sub, storage::DesignSpecification new_spec) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * child, GetMutableDa(sub));
   if (child->parent != super) {
     return ProtocolError(sub.ToString() + " is not a sub-DA of " +
@@ -347,7 +347,7 @@ Status CooperationManager::ModifySubDaSpecification(
 
 Status CooperationManager::RefineOwnSpecification(
     DaId da, storage::DesignSpecification refined) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * activity, GetMutableDa(da));
   if (activity->state != DaState::kActive) {
     return ProtocolError("specification refinement requires an active DA");
@@ -365,7 +365,7 @@ Status CooperationManager::RefineOwnSpecification(
 }
 
 Status CooperationManager::SubDaReadyToCommit(DaId sub) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * child, GetMutableDa(sub));
   CONCORD_RETURN_NOT_OK(RequireState(*child, DaState::kActive,
                                      DaOperation::kSubDaReadyToCommit));
@@ -396,7 +396,7 @@ Status CooperationManager::SubDaReadyToCommit(DaId sub) {
 
 Status CooperationManager::SubDaImpossibleSpecification(
     DaId sub, const std::string& reason) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * child, GetMutableDa(sub));
   CONCORD_RETURN_NOT_OK(RequireState(*child, DaState::kActive,
                                      DaOperation::kSubDaImpossibleSpec));
@@ -419,7 +419,7 @@ Status CooperationManager::SubDaImpossibleSpecification(
 }
 
 Status CooperationManager::TerminateSubDa(DaId super, DaId sub) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * parent, GetMutableDa(super));
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * child, GetMutableDa(sub));
   if (child->parent != super) {
@@ -478,7 +478,7 @@ Status CooperationManager::TerminateSubDa(DaId super, DaId sub) {
 }
 
 Status CooperationManager::CompleteDesign(DaId top) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * da, GetMutableDa(top));
   if (da->parent.valid()) {
     return ProtocolError(top.ToString() + " is not the top-level DA");
@@ -506,7 +506,7 @@ Status CooperationManager::CompleteDesign(DaId top) {
 
 Result<storage::Configuration> CooperationManager::ComposeConfiguration(
     DaId super, const std::string& name, DovId composite) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(const DesignActivity* parent, GetDa(super));
   if (!InScope(super, composite)) {
     return ProtocolError("composite " + composite.ToString() +
@@ -546,7 +546,7 @@ Result<storage::Configuration> CooperationManager::ComposeConfiguration(
 
 Result<storage::QualityState> CooperationManager::Evaluate(DaId da,
                                                            DovId dov) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * activity, GetMutableDa(da));
   if (!InScope(da, dov)) {
     return ProtocolError(dov.ToString() + " is not in the scope of " +
@@ -576,7 +576,7 @@ Result<storage::QualityState> CooperationManager::Evaluate(DaId da,
 
 Status CooperationManager::Require(DaId requirer, DaId supporter,
                                    const std::vector<std::string>& features) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * req, GetMutableDa(requirer));
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * sup, GetMutableDa(supporter));
   if (req->state != DaState::kActive) {
@@ -651,7 +651,7 @@ Status CooperationManager::Require(DaId requirer, DaId supporter,
 }
 
 Status CooperationManager::Propagate(DaId da, DovId dov) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * activity, GetMutableDa(da));
   if (activity->state != DaState::kActive &&
       activity->state != DaState::kReadyForTermination) {
@@ -703,7 +703,7 @@ Status CooperationManager::Propagate(DaId da, DovId dov) {
 }
 
 Status CooperationManager::WithdrawPropagation(DaId da, DovId dov) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_.Get(dov));
   if (record.owner_da != da && locks_.ScopeOwner(dov) != da) {
     return ProtocolError(dov.ToString() + " is not owned by " + da.ToString());
@@ -747,7 +747,7 @@ Status CooperationManager::WithdrawPropagation(DaId da, DovId dov) {
 
 Status CooperationManager::InvalidateAndReplace(DaId da, DovId dov,
                                                 DovId replacement) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * activity, GetMutableDa(da));
   CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record, repository_.Get(dov));
   if (record.owner_da != da) {
@@ -806,7 +806,7 @@ Status CooperationManager::InvalidateAndReplace(DaId da, DovId dov,
 
 std::vector<DovId> CooperationManager::InvalidationCandidates(
     DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   std::vector<DovId> candidates;
   auto activity = GetDa(da);
   if (!activity.ok() || (*activity)->final_dovs.empty()) {
@@ -835,7 +835,7 @@ std::vector<DovId> CooperationManager::InvalidationCandidates(
 
 Result<RelId> CooperationManager::CreateNegotiationRelationship(
     DaId super, DaId a, DaId b, const std::vector<std::string>& subject) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(const DesignActivity* da_a, GetDa(a));
   CONCORD_ASSIGN_OR_RETURN(const DesignActivity* da_b, GetDa(b));
   // "We allow negotiation relationships between only the sub-DAs of the
@@ -862,7 +862,7 @@ Result<RelId> CooperationManager::CreateNegotiationRelationship(
 }
 
 Status CooperationManager::Propose(DaId from, DaId to, Proposal proposal) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * proposer, GetMutableDa(from));
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * receiver, GetMutableDa(to));
   if (proposer->state != DaState::kActive &&
@@ -922,7 +922,7 @@ Status CooperationManager::Propose(DaId from, DaId to, Proposal proposal) {
 }
 
 Status CooperationManager::Agree(DaId da) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * receiver, GetMutableDa(da));
   CONCORD_RETURN_NOT_OK(
       RequireState(*receiver, DaState::kNegotiating, DaOperation::kAgree));
@@ -962,7 +962,7 @@ Status CooperationManager::Agree(DaId da) {
 }
 
 Status CooperationManager::Disagree(DaId da) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * receiver, GetMutableDa(da));
   CONCORD_RETURN_NOT_OK(
       RequireState(*receiver, DaState::kNegotiating, DaOperation::kDisagree));
@@ -992,7 +992,7 @@ Status CooperationManager::Disagree(DaId da) {
 }
 
 Status CooperationManager::SubDasSpecificationConflict(DaId a, DaId b) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * da_a, GetMutableDa(a));
   CONCORD_ASSIGN_OR_RETURN(DesignActivity * da_b, GetMutableDa(b));
   if (!da_a->parent.valid() || da_a->parent != da_b->parent) {
@@ -1028,12 +1028,12 @@ Status CooperationManager::SubDasSpecificationConflict(DaId a, DaId b) {
 // --- Scope ---------------------------------------------------------------
 
 bool CooperationManager::InScope(DaId da, DovId dov) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return locks_.CanRead(da, dov);
 }
 
 void CooperationManager::NoteCheckin(DaId da, DovId dov) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   TxnId txn = repository_.Begin();
   repository_.PutMeta(txn, kScopePrefix + std::to_string(dov.value()),
                        std::to_string(da.value()))
@@ -1044,7 +1044,7 @@ void CooperationManager::NoteCheckin(DaId da, DovId dov) {
 void CooperationManager::NoteScriptProgress(DaId da, const std::string& node,
                                             const std::string& path,
                                             bool started, bool failed) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   ScriptProgress& progress = script_progress_[da];
   progress.node = node;
   progress.path = path;
@@ -1061,7 +1061,7 @@ void CooperationManager::NoteScriptProgress(DaId da, const std::string& node,
 }
 
 ScriptProgress CooperationManager::ScriptProgressOf(DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = script_progress_.find(da);
   return it != script_progress_.end() ? it->second : ScriptProgress{};
 }
@@ -1069,13 +1069,13 @@ ScriptProgress CooperationManager::ScriptProgressOf(DaId da) const {
 // --- Introspection ---------------------------------------------------------
 
 std::vector<DaId> CooperationManager::Children(DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto activity = GetDa(da);
   return activity.ok() ? (*activity)->children : std::vector<DaId>{};
 }
 
 std::vector<DaId> CooperationManager::AllDas() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   std::vector<DaId> ids;
   for (const auto& [value, da] : das_) ids.push_back(DaId(value));
   return ids;
@@ -1083,7 +1083,7 @@ std::vector<DaId> CooperationManager::AllDas() const {
 
 std::vector<CoopRelationship> CooperationManager::RelationshipsOf(
     DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   std::vector<CoopRelationship> result;
   for (const CoopRelationship& rel : relationships_) {
     if (rel.from == da || rel.to == da) result.push_back(rel);
@@ -1093,13 +1093,13 @@ std::vector<CoopRelationship> CooperationManager::RelationshipsOf(
 
 std::optional<Proposal> CooperationManager::PendingProposalFor(
     DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = pending_proposals_.find(da);
   return it == pending_proposals_.end() ? std::nullopt : it->second;
 }
 
 int CooperationManager::Depth(DaId da) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   int depth = 0;
   auto current = GetDa(da);
   while (current.ok() && (*current)->parent.valid()) {
@@ -1112,14 +1112,14 @@ int CooperationManager::Depth(DaId da) const {
 // --- Failure handling -------------------------------------------------------
 
 void CooperationManager::Crash() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   das_.clear();
   relationships_.clear();
   pending_proposals_.clear();
 }
 
 Status CooperationManager::Recover() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   das_.clear();
   relationships_.clear();
   pending_proposals_.clear();
@@ -1161,7 +1161,7 @@ Status CooperationManager::Recover() {
 }
 
 Status CooperationManager::ReestablishLocks() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return ReestablishLocksLocked();
 }
 

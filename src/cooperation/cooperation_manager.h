@@ -4,7 +4,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -14,6 +13,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "cooperation/design_activity.h"
 #include "cooperation/relationships.h"
 #include "storage/configuration.h"
@@ -95,8 +95,7 @@ struct DaDescription {
 /// components (the invalidation bus and DOV caches are). Two
 /// exceptions to the lock-everything rule: the sink setters (install
 /// sinks before traffic starts) and GetDa, which hands out an interior
-/// pointer for driver-thread inspection — see its comment. stats()
-/// reads are unguarded snapshots — read them at quiescence.
+/// pointer for driver-thread inspection — see its comment.
 class CooperationManager : public txn::ScopeAuthority {
  public:
   using EventSink = std::function<void(DaId, const workflow::Event&)>;
@@ -295,7 +294,13 @@ class CooperationManager : public txn::ScopeAuthority {
   /// Depth of `da` in the hierarchy (top-level = 0).
   int Depth(DaId da) const;
 
-  const CmStats& stats() const { return stats_; }
+  /// Snapshot under the manager mutex: concurrent designer threads
+  /// mutate the counters, so a reference into the live struct would
+  /// race them.
+  CmStats stats() const {
+    RecursiveMutexLock lock(&mu_);
+    return stats_;
+  }
 
   // --- Failure handling -------------------------------------------------
 
@@ -315,19 +320,19 @@ class CooperationManager : public txn::ScopeAuthority {
   Status ReestablishLocks();
 
  private:
-  Result<DesignActivity*> GetMutableDa(DaId da);
+  Result<DesignActivity*> GetMutableDa(DaId da) REQUIRES(mu_);
   Status RequireState(const DesignActivity& da, DaState state,
-                      DaOperation op);
-  Status ProtocolError(const std::string& message);
-  void Deliver(DaId to, workflow::Event event);
+                      DaOperation op) REQUIRES(mu_);
+  Status ProtocolError(const std::string& message) REQUIRES(mu_);
+  void Deliver(DaId to, workflow::Event event) REQUIRES(mu_);
   /// Persists one DA (and the relationship table) to the repository.
   Status PersistDa(const DesignActivity& da);
-  Status PersistRelationships();
+  Status PersistRelationships() REQUIRES(mu_);
   /// Finds an active relationship of `kind` connecting a and b.
-  CoopRelationship* FindRelationship(RelKind kind, DaId a, DaId b);
+  CoopRelationship* FindRelationship(RelKind kind, DaId a, DaId b)
+      REQUIRES(mu_);
   /// Lock-table rebuild shared by Recover and ReestablishLocks.
-  /// Caller holds mu_.
-  Status ReestablishLocksLocked();
+  Status ReestablishLocksLocked() REQUIRES(mu_);
 
   /// Routed storage/lock access: degenerate single-shard routers in
   /// the classic constructor, plane-wide routing in the sharded one.
@@ -347,16 +352,18 @@ class CooperationManager : public txn::ScopeAuthority {
   /// ops nest (and event sinks may re-enter on the delivering thread).
   /// Ordered BEFORE the repository/lock-manager mutexes — CM ops call
   /// into both while holding it; nothing in those layers calls back.
-  mutable std::recursive_mutex mu_;
+  mutable RecursiveMutex mu_;
 
-  IdGenerator<DaId> da_gen_;
-  IdGenerator<RelId> rel_gen_;
-  std::map<uint64_t, DesignActivity> das_;  // keyed by DaId value
-  std::vector<CoopRelationship> relationships_;
-  std::unordered_map<DaId, std::optional<Proposal>> pending_proposals_;
-  std::unordered_map<DaId, ScriptProgress> script_progress_;
+  IdGenerator<DaId> da_gen_ GUARDED_BY(mu_);
+  IdGenerator<RelId> rel_gen_ GUARDED_BY(mu_);
+  /// Keyed by DaId value.
+  std::map<uint64_t, DesignActivity> das_ GUARDED_BY(mu_);
+  std::vector<CoopRelationship> relationships_ GUARDED_BY(mu_);
+  std::unordered_map<DaId, std::optional<Proposal>> pending_proposals_
+      GUARDED_BY(mu_);
+  std::unordered_map<DaId, ScriptProgress> script_progress_ GUARDED_BY(mu_);
 
-  CmStats stats_;
+  CmStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace concord::cooperation

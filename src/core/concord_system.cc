@@ -273,7 +273,7 @@ Result<workflow::DopOutcome> ConcordSystem::RunTool(
 
 Result<ConcordSystem::ToolRun> ConcordSystem::BeginToolRun(
     DaId da, const std::string& dop_type) {
-  std::lock_guard<std::mutex> lock(tool_mu_);
+  MutexLock lock(&tool_mu_);
   CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(da));
   txn::ClientTm& tm = client_tm(runtime->workstation);
 
@@ -314,7 +314,7 @@ Result<ConcordSystem::ToolRun> ConcordSystem::BeginToolRun(
 }
 
 Result<workflow::DopOutcome> ConcordSystem::FinishToolRun(ToolRun run) {
-  std::lock_guard<std::mutex> lock(tool_mu_);
+  MutexLock lock(&tool_mu_);
   CONCORD_ASSIGN_OR_RETURN(DaRuntime * runtime, RuntimeOf(run.da));
   txn::ClientTm& tm = client_tm(runtime->workstation);
   const DopId dop = run.dop;

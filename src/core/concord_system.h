@@ -4,7 +4,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "cooperation/cooperation_manager.h"
 #include "rpc/invalidation.h"
 #include "rpc/network.h"
@@ -250,7 +250,7 @@ class ConcordSystem : public txn::ScopeAuthority {
   /// Serializes the tool-run path (runtime `current`/`seed` fields and
   /// the shared tool RNG) against concurrent executor threads. Never
   /// held while calling into the CM's event sinks.
-  mutable std::mutex tool_mu_;
+  mutable Mutex tool_mu_;
 
   /// Per-workstation runtime; every client-TM talks to the plane only
   /// through its own stubs (declared inside so they outlive the TM).

@@ -23,12 +23,12 @@ std::string InvalidationMessage::ToString() const {
 }
 
 void InvalidationBus::Subscribe(NodeId node, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_[node.value()] = std::move(handler);
 }
 
 void InvalidationBus::Unsubscribe(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_.erase(node.value());
   pending_.erase(node.value());
 }
@@ -48,7 +48,7 @@ bool InvalidationBus::TransmitLocked(NodeId from, NodeId node) {
 }
 
 void InvalidationBus::Publish(const InvalidationMessage& message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.published;
   // Sharded plane: the owning server node pays the fan-out hops.
   NodeId from = message.origin_node.valid() ? message.origin_node : server_;
@@ -68,7 +68,7 @@ void InvalidationBus::Publish(const InvalidationMessage& message) {
 }
 
 void InvalidationBus::FlushPending(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto queue_it = pending_.find(node.value());
   if (queue_it == pending_.end()) return;
   auto handler_it = handlers_.find(node.value());
@@ -100,13 +100,13 @@ void InvalidationBus::FlushPending(NodeId node) {
 }
 
 size_t InvalidationBus::PendingFor(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pending_.find(node.value());
   return it == pending_.end() ? 0 : it->second.size();
 }
 
 InvalidationBusStats InvalidationBus::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

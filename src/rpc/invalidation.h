@@ -4,10 +4,10 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/ids.h"
+#include "common/sync.h"
 #include "rpc/network.h"
 
 namespace concord::rpc {
@@ -110,8 +110,8 @@ class InvalidationBus {
   /// node: retries in-transit losses (both endpoints up) up to
   /// kMaxTransmitAttempts, paying one network hop per attempt. False
   /// when the node (or the publisher) is down or the retry budget is
-  /// exhausted — the caller queues then. Caller holds mu_.
-  bool TransmitLocked(NodeId from, NodeId node);
+  /// exhausted — the caller queues then.
+  bool TransmitLocked(NodeId from, NodeId node) REQUIRES(mu_);
 
   /// Retransmit budget per message. A message undeliverable this many
   /// times in a row on an up-up link is treated like a down node and
@@ -120,10 +120,13 @@ class InvalidationBus {
 
   Network* network_;
   NodeId server_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, Handler> handlers_;  // keyed by NodeId value
-  std::map<uint64_t, std::deque<InvalidationMessage>> pending_;
-  InvalidationBusStats stats_;
+  /// Held across handler invocation (documented above), so handlers
+  /// must not re-enter the bus; otherwise a leaf lock.
+  mutable Mutex mu_;
+  std::map<uint64_t, Handler> handlers_ GUARDED_BY(mu_);  // keyed by NodeId
+  std::map<uint64_t, std::deque<InvalidationMessage>> pending_
+      GUARDED_BY(mu_);
+  InvalidationBusStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace concord::rpc

@@ -7,7 +7,7 @@ namespace concord::rpc {
 Network::Network(SimClock* clock, uint64_t seed) : clock_(clock), rng_(seed) {}
 
 NodeId Network::AddNode(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   NodeId id = node_gen_.Next();
   if (id.value() > kMaxNodes) {
     CONCORD_ERROR("net", "node limit " << kMaxNodes << " exceeded");
@@ -19,7 +19,7 @@ NodeId Network::AddNode(const std::string& name) {
 }
 
 Result<std::string> Network::NodeName(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = names_.find(node);
   if (it == names_.end()) {
     return Status::NotFound("unknown node " + node.ToString());
@@ -28,7 +28,7 @@ Result<std::string> Network::NodeName(NodeId node) const {
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = names_.find(node);
   if (it == names_.end()) return;
   if (up_[node.value() - 1].load(std::memory_order_relaxed) != up) {
@@ -43,7 +43,7 @@ SimTime Network::Latency(NodeId from, NodeId to) const {
 }
 
 Status Network::Send(NodeId from, NodeId to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!IsUp(from)) {
     ++stats_.messages_rejected_node_down;
     return Status::Unavailable("source node down");

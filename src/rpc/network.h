@@ -3,7 +3,6 @@
 
 #include <array>
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace concord::rpc {
 
@@ -86,11 +86,11 @@ class Network {
 
   /// Consistent snapshot of the counters.
   NetworkStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_ = NetworkStats{};
   }
   size_t node_count() const { return node_gen_.last(); }
@@ -98,17 +98,18 @@ class Network {
  private:
   SimClock* clock_;
   /// Guards names_, stats_ and rng_ (the latency/loss knobs are set
-  /// before traffic starts and read unguarded; up_ is atomic).
-  mutable std::mutex mu_;
-  Rng rng_;
+  /// before traffic starts and read unguarded; up_ is atomic). Leaf
+  /// lock: never held across a handler or another component's call.
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
   IdGenerator<NodeId> node_gen_;
-  std::unordered_map<NodeId, std::string> names_;
+  std::unordered_map<NodeId, std::string> names_ GUARDED_BY(mu_);
   /// Indexed by NodeId value - 1; slots past node_gen_.last() unused.
   std::array<std::atomic<bool>, kMaxNodes> up_{};
   SimTime lan_latency_ = 2 * kMillisecond;
   SimTime local_latency_ = 20 * kMicrosecond;
   double loss_probability_ = 0.0;
-  NetworkStats stats_;
+  NetworkStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace concord::rpc

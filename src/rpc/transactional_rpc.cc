@@ -9,7 +9,7 @@ namespace concord::rpc {
 
 void TransactionalRpc::RegisterHandler(NodeId node, const std::string& method,
                                        Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_[HandlerKey{node, method}] = std::move(handler);
 }
 
@@ -19,7 +19,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
   stats_.calls.fetch_add(1, std::memory_order_relaxed);
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++calls_per_node_[to];
     auto handler_it = handlers_.find(HandlerKey{to, method});
     if (handler_it == handlers_.end()) {
@@ -35,7 +35,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
   // is dropped on every exit path — the table stays bounded by the
   // number of in-flight calls, not by the operation count.
   auto drop_dedup = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = executed_.find(to);
     if (it == executed_.end()) return;
     it->second.erase(call_id);
@@ -59,7 +59,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
     // threads ever race on the same id.
     std::optional<std::string> cached;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto& node_executed = executed_[to];
       auto it = node_executed.find(call_id);
       if (it != node_executed.end()) cached = it->second;
@@ -77,7 +77,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
         return result.status();
       }
       reply = std::move(result).value();
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       executed_[to].emplace(call_id, reply);
     }
     // Reply hop.
@@ -99,12 +99,12 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
 }
 
 void TransactionalRpc::ClearNodeState(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   executed_.erase(node);
 }
 
 uint64_t TransactionalRpc::CallsTo(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = calls_per_node_.find(node);
   return it == calls_per_node_.end() ? 0 : it->second;
 }
@@ -114,7 +114,7 @@ void TransactionalRpc::ResetStats() {
   stats_.retries.store(0, std::memory_order_relaxed);
   stats_.failures.store(0, std::memory_order_relaxed);
   stats_.duplicate_suppressed.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   calls_per_node_.clear();
 }
 

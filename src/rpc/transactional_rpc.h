@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "rpc/network.h"
 
 namespace concord::rpc {
@@ -92,16 +92,17 @@ class TransactionalRpc {
   IdGenerator<MsgId> call_gen_;
   /// Guards handlers_ and executed_; leaf mutex, never held across a
   /// handler execution or a Network::Send.
-  mutable std::mutex mu_;
-  std::unordered_map<HandlerKey, Handler, HandlerKeyHash> handlers_;
+  mutable Mutex mu_;
+  std::unordered_map<HandlerKey, Handler, HandlerKeyHash> handlers_
+      GUARDED_BY(mu_);
   /// callee node -> call id -> cached reply (for dedup). Entries live
   /// only while their call's retry loop runs (a returned Call never
   /// re-sends its id), so the table is bounded by in-flight calls.
   std::unordered_map<NodeId, std::unordered_map<uint64_t, std::string>>
-      executed_;
+      executed_ GUARDED_BY(mu_);
   /// callee node -> logical calls addressed to it (per-node share of
-  /// stats_.calls). Guarded by mu_.
-  std::unordered_map<NodeId, uint64_t> calls_per_node_;
+  /// stats_.calls).
+  std::unordered_map<NodeId, uint64_t> calls_per_node_ GUARDED_BY(mu_);
   RpcStats stats_;
 };
 

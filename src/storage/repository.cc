@@ -153,10 +153,10 @@ void Repository::Close() {
 }
 
 TxnId Repository::Begin() {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
+  SharedReadLock state(state_stripes_[0].get());
   TxnId id = txn_gen_.Next();
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    MutexLock lock(&active_mu_);
     active_.emplace(id, PendingTxn{});
   }
   ++stats_.txns_begun;
@@ -164,11 +164,11 @@ TxnId Repository::Begin() {
 }
 
 Status Repository::Put(TxnId txn, DovRecord record) {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
+  SharedReadLock state(state_stripes_[0].get());
   if (!record.id.valid()) {
     return Status::InvalidArgument("DOV record has no id");
   }
-  std::lock_guard<std::mutex> lock(active_mu_);
+  MutexLock lock(&active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
     return Status::NotFound("no active repository transaction " +
@@ -180,8 +180,8 @@ Status Repository::Put(TxnId txn, DovRecord record) {
 
 Status Repository::PutMeta(TxnId txn, const std::string& key,
                            const std::string& value) {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
-  std::lock_guard<std::mutex> lock(active_mu_);
+  SharedReadLock state(state_stripes_[0].get());
+  MutexLock lock(&active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
     return Status::NotFound("no active repository transaction " +
@@ -192,8 +192,8 @@ Status Repository::PutMeta(TxnId txn, const std::string& key,
 }
 
 Status Repository::DeleteMeta(TxnId txn, const std::string& key) {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
-  std::lock_guard<std::mutex> lock(active_mu_);
+  SharedReadLock state(state_stripes_[0].get());
+  MutexLock lock(&active_mu_);
   auto it = active_.find(txn);
   if (it == active_.end()) {
     return Status::NotFound("no active repository transaction " +
@@ -204,12 +204,12 @@ Status Repository::DeleteMeta(TxnId txn, const std::string& key) {
 }
 
 bool Repository::HasActiveTxn(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(active_mu_);
+  MutexLock lock(&active_mu_);
   return active_.count(txn) > 0;
 }
 
 Status Repository::Commit(TxnId txn) {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
+  SharedReadLock state(state_stripes_[0].get());
 
   // Claim the pending set. The txn is owned by the committing thread,
   // so nobody else can Put into it concurrently; on integrity failure
@@ -217,7 +217,7 @@ Status Repository::Commit(TxnId txn) {
   // behaviour as the single-threaded code).
   PendingTxn pending;
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    MutexLock lock(&active_mu_);
     auto it = active_.find(txn);
     if (it == active_.end()) {
       return Status::NotFound("no active repository transaction " +
@@ -236,7 +236,7 @@ Status Repository::Commit(TxnId txn) {
       CONCORD_INFO("repo", "checkin integrity failure for "
                                << record.id.ToString() << ": "
                                << st.ToString());
-      std::lock_guard<std::mutex> lock(active_mu_);
+      MutexLock lock(&active_mu_);
       active_[txn] = std::move(pending);
       return st;
     }
@@ -266,7 +266,7 @@ Status Repository::Commit(TxnId txn) {
     ++stats_.dovs_written;
   }
   if (!pending.meta_writes.empty() || !pending.meta_deletes.empty()) {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(&meta_mu_);
     for (auto& [key, value] : pending.meta_writes) {
       meta_[key] = std::move(value);
     }
@@ -278,9 +278,9 @@ Status Repository::Commit(TxnId txn) {
 }
 
 Status Repository::Abort(TxnId txn) {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
+  SharedReadLock state(state_stripes_[0].get());
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    MutexLock lock(&active_mu_);
     auto it = active_.find(txn);
     if (it == active_.end()) {
       return Status::NotFound("no active repository transaction " +
@@ -301,7 +301,7 @@ Status Repository::CommitDov(DovRecord record) {
   // One stripe shared: enough to exclude Crash/Recover/Checkpoint
   // (they need all stripes), and it is the committing partition's own
   // stripe, so partitions do not share a reader count on the hot path.
-  std::shared_lock<WriterPriorityMutex> state(StripeFor(record.id));
+  SharedReadLock state(&StripeFor(record.id));
   TxnId txn = txn_gen_.Next();
   ++stats_.txns_begun;
   Status integrity = schema_.Validate(record.data);
@@ -328,9 +328,9 @@ Status Repository::CommitDov(DovRecord record) {
 }
 
 Result<DovRecord> Repository::Get(DovId id) const {
-  std::shared_lock<WriterPriorityMutex> state(StripeFor(id));
+  SharedReadLock state(&StripeFor(id));
   DovShard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.dovs.find(id);
   if (it == shard.dovs.end()) {
     return Status::NotFound(id.ToString() + " not in repository");
@@ -339,15 +339,15 @@ Result<DovRecord> Repository::Get(DovId id) const {
 }
 
 bool Repository::Contains(DovId id) const {
-  std::shared_lock<WriterPriorityMutex> state(StripeFor(id));
+  SharedReadLock state(&StripeFor(id));
   DovShard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.dovs.count(id) > 0;
 }
 
 Result<std::string> Repository::GetMeta(const std::string& key) const {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  SharedReadLock state(state_stripes_[0].get());
+  MutexLock lock(&meta_mu_);
   auto it = meta_.find(key);
   if (it == meta_.end()) {
     return Status::NotFound("no meta entry '" + key + "'");
@@ -357,8 +357,8 @@ Result<std::string> Repository::GetMeta(const std::string& key) const {
 
 std::vector<std::string> Repository::MetaKeysWithPrefix(
     const std::string& prefix) const {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  SharedReadLock state(state_stripes_[0].get());
+  MutexLock lock(&meta_mu_);
   std::vector<std::string> keys;
   for (auto it = meta_.lower_bound(prefix); it != meta_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -368,15 +368,15 @@ std::vector<std::string> Repository::MetaKeysWithPrefix(
 }
 
 const DerivationGraph& Repository::graph(DaId da) const {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
-  std::lock_guard<std::mutex> lock(graphs_mu_);
+  SharedReadLock state(state_stripes_[0].get());
+  MutexLock lock(&graphs_mu_);
   auto it = graphs_.find(da);
   return it == graphs_.end() ? empty_graph_ : it->second;
 }
 
 std::vector<DovId> Repository::DovsOf(DaId da) const {
-  std::shared_lock<WriterPriorityMutex> state(*state_stripes_[0]);
-  std::lock_guard<std::mutex> lock(graphs_mu_);
+  SharedReadLock state(state_stripes_[0].get());
+  MutexLock lock(&graphs_mu_);
   auto it = dovs_by_da_.find(da);
   return it == dovs_by_da_.end() ? std::vector<DovId>{} : it->second;
 }
@@ -385,12 +385,12 @@ void Repository::ApplyDov(const DovRecord& record) {
   bool is_new;
   {
     DovShard& shard = ShardFor(record.id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     is_new = shard.dovs.count(record.id) == 0;
     shard.dovs[record.id] = record;
   }
   if (is_new) {
-    std::lock_guard<std::mutex> lock(graphs_mu_);
+    MutexLock lock(&graphs_mu_);
     graphs_[record.owner_da].Add(record.id, record.predecessors)
         .ok();  // duplicate insert impossible: is_new checked above
     dovs_by_da_[record.owner_da].push_back(record.id);
@@ -399,19 +399,19 @@ void Repository::ApplyDov(const DovRecord& record) {
 
 void Repository::ClearVolatileLocked() {
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    MutexLock lock(&active_mu_);
     active_.clear();
   }
   for (const auto& shard : dov_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->dovs.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(&meta_mu_);
     meta_.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(graphs_mu_);
+    MutexLock lock(&graphs_mu_);
     graphs_.clear();
     dovs_by_da_.clear();
   }
@@ -484,7 +484,7 @@ Result<size_t> Repository::ReplayStableLocked(
     ApplyDov(record);
   }
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(&meta_mu_);
     meta_ = std::move(restored_meta);
   }
 
@@ -566,13 +566,13 @@ size_t Repository::Checkpoint() {
   }
   RepositorySnapshot snapshot;
   for (const auto& shard : dov_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (const auto& [id, record] : shard->dovs) {
       snapshot.dovs[id.value()] = record;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(&meta_mu_);
     snapshot.meta = meta_;
   }
   snapshot.last_dov_id = dov_gen_.last();

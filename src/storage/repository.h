@@ -5,8 +5,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
+#include <mutex>  // std::unique_lock for the stripe bulk-hold
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -207,8 +206,9 @@ class Repository {
 
   /// One bucket of the sharded committed-DOV store.
   struct DovShard {
-    mutable std::mutex mu;
-    std::unordered_map<DovId, DovRecord> dovs;
+    /// Leaf lock (taken after the stripe's shared hold).
+    mutable Mutex mu;
+    std::unordered_map<DovId, DovRecord> dovs GUARDED_BY(mu);
   };
 
   /// Bucket owning `id`: partition-major, sub-bucket on the partition-
@@ -228,9 +228,11 @@ class Repository {
   }
 
   /// Exclusive hold on every stripe, index order (Crash/Recover/
-  /// Checkpoint/Open/Close).
-  std::vector<std::unique_lock<WriterPriorityMutex>> LockAllStripes() const {
-    std::vector<std::unique_lock<WriterPriorityMutex>> held;
+  /// Checkpoint/Open/Close). SAFETY: the bulk-hold needs a movable,
+  /// vector-storable lock, which the scoped wrappers cannot provide;
+  /// no field is GUARDED_BY a stripe, so the analysis loses nothing.
+  std::vector<std::unique_lock<WriterPriorityMutex>> LockAllStripes() const {  // lint:allow(raw-sync)
+    std::vector<std::unique_lock<WriterPriorityMutex>> held;  // lint:allow(raw-sync)
     held.reserve(state_stripes_.size());
     for (const auto& stripe : state_stripes_) held.emplace_back(*stripe);
     return held;
@@ -285,18 +287,19 @@ class Repository {
 
   // Volatile state. Each container below is guarded by the leaf mutex
   // named next to it; leaf mutexes are never held together.
-  mutable std::mutex active_mu_;
-  std::unordered_map<TxnId, PendingTxn> active_;
+  mutable Mutex active_mu_;
+  std::unordered_map<TxnId, PendingTxn> active_ GUARDED_BY(active_mu_);
 
   /// partitions_ x kShardCount buckets, partition-major.
   mutable std::vector<std::unique_ptr<DovShard>> dov_shards_;
 
-  mutable std::mutex meta_mu_;
-  std::map<std::string, std::string> meta_;
+  mutable Mutex meta_mu_;
+  std::map<std::string, std::string> meta_ GUARDED_BY(meta_mu_);
 
-  mutable std::mutex graphs_mu_;
-  std::unordered_map<DaId, DerivationGraph> graphs_;
-  std::unordered_map<DaId, std::vector<DovId>> dovs_by_da_;
+  mutable Mutex graphs_mu_;
+  std::unordered_map<DaId, DerivationGraph> graphs_ GUARDED_BY(graphs_mu_);
+  std::unordered_map<DaId, std::vector<DovId>> dovs_by_da_
+      GUARDED_BY(graphs_mu_);
 
   // Stable storage. The WAL synchronizes its own appends; snapshot_ is
   // only touched under an all-stripes exclusive hold and is used by the

@@ -9,14 +9,14 @@ TxnId RepositoryRouter::Begin() {
   // Degenerate single-shard plane: delegate ids and transactions
   // straight to the repository, bit-identical to pre-sharding.
   if (shards_.size() == 1) return coordinator()->Begin();
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   TxnId txn(++state_->next_txn);
   state_->txns.emplace(txn, RoutedTxn{});
   return txn;
 }
 
 Result<TxnId> RepositoryRouter::SubTxn(TxnId txn, size_t shard_index) {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   auto it = state_->txns.find(txn);
   if (it == state_->txns.end()) {
     return Status::NotFound("no active router transaction " + txn.ToString());
@@ -53,7 +53,7 @@ Status RepositoryRouter::Commit(TxnId txn) {
   if (shards_.size() == 1) return coordinator()->Commit(txn);
   RoutedTxn routed;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     auto it = state_->txns.find(txn);
     if (it == state_->txns.end()) {
       return Status::NotFound("no active router transaction " +
@@ -68,7 +68,7 @@ Status RepositoryRouter::Commit(TxnId txn) {
       // the router transaction stays alive so Abort can clean up both
       // it and any not-yet-committed siblings. Already-committed
       // siblings stand (shard-by-shard commit, see the class comment).
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(&state_->mu);
       auto it = state_->txns.find(txn);
       if (it != state_->txns.end()) {
         RoutedTxn& live = it->second;
@@ -85,7 +85,7 @@ Status RepositoryRouter::Commit(TxnId txn) {
       return st;
     }
   }
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   state_->txns.erase(txn);
   return Status::OK();
 }
@@ -94,7 +94,7 @@ Status RepositoryRouter::Abort(TxnId txn) {
   if (shards_.size() == 1) return coordinator()->Abort(txn);
   RoutedTxn routed;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     auto it = state_->txns.find(txn);
     if (it == state_->txns.end()) {
       return Status::NotFound("no active router transaction " +

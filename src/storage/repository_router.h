@@ -2,7 +2,6 @@
 #define CONCORD_STORAGE_REPOSITORY_ROUTER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/repository.h"
 
 namespace concord::storage {
@@ -101,9 +101,12 @@ class RepositoryRouter {
   /// copies of the router (the CM and the system facade may hold
   /// copies), hence the shared_ptr.
   struct State {
-    std::mutex mu;
-    uint64_t next_txn = 0;
-    std::unordered_map<TxnId, RoutedTxn> txns;
+    /// Guards the routing table. Held across a shard's Begin() in
+    /// SubTxn (so it orders BEFORE repository-internal mutexes), but
+    /// released before Commit/Abort fan-out.
+    Mutex mu;
+    uint64_t next_txn GUARDED_BY(mu) = 0;
+    std::unordered_map<TxnId, RoutedTxn> txns GUARDED_BY(mu);
   };
   std::shared_ptr<State> state_;
 };

@@ -137,7 +137,8 @@ Status WriteAheadLog::Open(WalOptions options,
   if (options.dir.empty()) {
     return Status::InvalidArgument("WalOptions.dir must be set for Open");
   }
-  std::scoped_lock lock(append_mu_, sync_mu_);
+  MutexLock lock(&append_mu_);
+  MutexLock sync_lock(&sync_mu_);
   if (closed_.load()) {
     // Reopening would silently clear the fail-stop guarantee the
     // earlier Close/Poison gave its caller; a fresh instance is cheap.
@@ -286,7 +287,8 @@ Status WriteAheadLog::Open(WalOptions options,
 }
 
 void WriteAheadLog::Close() {
-  std::scoped_lock lock(append_mu_, sync_mu_);
+  MutexLock lock(&append_mu_);
+  MutexLock sync_lock(&sync_mu_);
   if (fd_ >= 0) {
     // Belt and braces: every batch was already fsynced at its commit.
     if (::fsync(fd_) != 0) {
@@ -343,7 +345,7 @@ void WriteAheadLog::FsyncDirLocked() {
 
 void WriteAheadLog::Append(WalRecord record, bool sync) {
   if (dir_fd_.load() < 0) {
-    std::lock_guard<std::mutex> lock(append_mu_);
+    MutexLock lock(&append_mu_);
     DieIfClosed();
     records_.push_back(std::move(record));
     ++total_appended_;
@@ -356,7 +358,7 @@ void WriteAheadLog::Append(WalRecord record, bool sync) {
   AppendFramed(&encoded, EncodeWalRecord(record));
   uint64_t my_seq;
   {
-    std::lock_guard<std::mutex> lock(append_mu_);
+    MutexLock lock(&append_mu_);
     AppendBatchLocked(std::move(encoded), 1, is_checkpoint);
     my_seq = write_seq_.load(std::memory_order_relaxed);
   }
@@ -367,7 +369,7 @@ void WriteAheadLog::Append(WalRecord record, bool sync) {
 void WriteAheadLog::AppendBatch(std::vector<WalRecord> records) {
   if (records.empty()) return;
   if (dir_fd_.load() < 0) {
-    std::lock_guard<std::mutex> lock(append_mu_);
+    MutexLock lock(&append_mu_);
     DieIfClosed();
     records_.insert(records_.end(),
                     std::make_move_iterator(records.begin()),
@@ -387,7 +389,7 @@ void WriteAheadLog::AppendBatch(std::vector<WalRecord> records) {
   }
   uint64_t my_seq;
   {
-    std::lock_guard<std::mutex> lock(append_mu_);
+    MutexLock lock(&append_mu_);
     // A batch carrying a checkpoint rotates first like Append does, so
     // checkpoint_segment_seq_ never goes stale; truncation then keeps
     // the whole batch (the in-memory mode drops the records before the
@@ -409,7 +411,7 @@ void WriteAheadLog::AppendBatchLocked(std::string encoded,
                  segments_.back().bytes + encoded.size() >
                      options_.segment_bytes);
   if (rotate) {
-    std::lock_guard<std::mutex> sync(sync_mu_);
+    MutexLock sync(&sync_mu_);
     Status st = RotateLocked();
     if (!st.ok()) {
       CONCORD_ERROR("wal", "segment rotation failed: " << st.ToString());
@@ -426,7 +428,7 @@ void WriteAheadLog::AppendBatchLocked(std::string encoded,
 }
 
 void WriteAheadLog::SyncSeq(uint64_t seq) {
-  std::lock_guard<std::mutex> lock(sync_mu_);
+  MutexLock lock(&sync_mu_);
   if (options_.coalesce_fsyncs && durable_seq_ >= seq) {
     // A leader that started its fsync after our write(2) completed has
     // already made our batch durable — the group-commit win.
@@ -441,7 +443,7 @@ void WriteAheadLog::SyncSeq(uint64_t seq) {
 }
 
 std::vector<WalRecord> WriteAheadLog::ReadAll() const {
-  std::lock_guard<std::mutex> lock(append_mu_);
+  MutexLock lock(&append_mu_);
   if (dir_fd_.load() < 0) return records_;
   std::vector<WalRecord> all;
   all.reserve(live_records_.load());
@@ -467,7 +469,8 @@ size_t WriteAheadLog::total_appended() const { return total_appended_.load(); }
 size_t WriteAheadLog::flushes() const { return flushes_.load(); }
 
 void WriteAheadLog::TruncateToLastCheckpoint() {
-  std::scoped_lock lock(append_mu_, sync_mu_);
+  MutexLock lock(&append_mu_);
+  MutexLock sync_lock(&sync_mu_);
   if (dir_fd_.load() < 0) {
     for (size_t i = records_.size(); i > 0; --i) {
       if (records_[i - 1].type == WalRecord::Type::kCheckpoint) {
@@ -506,7 +509,7 @@ void WriteAheadLog::TruncateToLastCheckpoint() {
 }
 
 std::vector<std::string> WriteAheadLog::SegmentPaths() const {
-  std::lock_guard<std::mutex> lock(append_mu_);
+  MutexLock lock(&append_mu_);
   std::vector<std::string> paths;
   paths.reserve(segments_.size());
   for (const Segment& segment : segments_) paths.push_back(segment.path);

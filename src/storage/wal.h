@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/version.h"
 
 namespace concord::storage {
@@ -167,7 +167,7 @@ class WriteAheadLog {
   };
 
   void AppendBatchLocked(std::string encoded, size_t record_count,
-                         bool starts_checkpoint);
+                         bool starts_checkpoint) REQUIRES(append_mu_);
   /// Aborts if a file-backed log was Close()d: a later append would
   /// silently take the in-memory path and lose durability.
   void DieIfClosed() const;
@@ -175,21 +175,21 @@ class WriteAheadLog {
   /// append_mu_ for the sync part; see the locking notes in wal.cc.
   void SyncSeq(uint64_t seq);
   /// Closes the current segment (fsync + close) and opens the next one.
-  /// Caller holds append_mu_ and sync_mu_.
-  Status RotateLocked();
-  Status OpenSegmentLocked(uint64_t seq);
-  void FsyncDirLocked();
+  Status RotateLocked() REQUIRES(append_mu_, sync_mu_);
+  Status OpenSegmentLocked(uint64_t seq) REQUIRES(append_mu_, sync_mu_);
+  void FsyncDirLocked() REQUIRES(append_mu_);
 
   WalOptions options_;
 
   /// Lock order: append_mu_ before sync_mu_ (rotation takes both; the
   /// sync path takes only sync_mu_). fd_ is written only under both and
-  /// read under either, so holding one of them is enough.
-  mutable std::mutex append_mu_;
-  mutable std::mutex sync_mu_;
+  /// read under either — a relationship the analysis cannot express, so
+  /// fd_ stays unannotated.
+  mutable Mutex append_mu_;
+  mutable Mutex sync_mu_ ACQUIRED_AFTER(append_mu_);
 
-  // In-memory mode state (guarded by append_mu_).
-  std::vector<WalRecord> records_;
+  // In-memory mode state.
+  std::vector<WalRecord> records_ GUARDED_BY(append_mu_);
 
   // File mode state.
   int fd_ = -1;       // current append segment
@@ -198,11 +198,11 @@ class WriteAheadLog {
   /// mode dispatch in Append/AppendBatch reads it before locking (the
   /// transition itself only happens before traffic, via Open).
   std::atomic<int> dir_fd_{-1};
-  std::vector<Segment> segments_;            // guarded by append_mu_
-  uint64_t next_segment_seq_ = 1;            // guarded by append_mu_
-  uint64_t checkpoint_segment_seq_ = 0;      // guarded by append_mu_
-  std::atomic<uint64_t> write_seq_{0};       // bumped under append_mu_
-  uint64_t durable_seq_ = 0;                 // guarded by sync_mu_
+  std::vector<Segment> segments_ GUARDED_BY(append_mu_);
+  uint64_t next_segment_seq_ GUARDED_BY(append_mu_) = 1;
+  uint64_t checkpoint_segment_seq_ GUARDED_BY(append_mu_) = 0;
+  std::atomic<uint64_t> write_seq_{0};  // bumped under append_mu_
+  uint64_t durable_seq_ GUARDED_BY(sync_mu_) = 0;
 
   std::atomic<size_t> live_records_{0};
   std::atomic<size_t> total_appended_{0};

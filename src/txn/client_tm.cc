@@ -265,7 +265,7 @@ Result<BatchReply> ClientTm::RunMultiNodeInteraction(
 }
 
 Result<DopId> ClientTm::BeginDop(DaId da) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   if (!network_->IsUp(node_)) {
     return Status::Crashed("workstation is down");
   }
@@ -297,7 +297,7 @@ Result<DopId> ClientTm::BeginDop(DaId da) {
 }
 
 Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   // Cache fast path: a DOV this workstation already fetched under the
   // same DA's visibility is served locally — no envelope, no server hop
@@ -356,7 +356,7 @@ Status ClientTm::Checkout(DopId dop, DovId dov, bool take_derivation_lock) {
 }
 
 Result<storage::DesignObject> ClientTm::Input(DopId dop, DovId dov) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -370,7 +370,7 @@ Result<storage::DesignObject> ClientTm::Input(DopId dop, DovId dov) const {
 }
 
 std::vector<DovId> ClientTm::CheckedOut(DopId dop) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   std::vector<DovId> out;
   auto it = dops_.find(dop);
   if (it == dops_.end()) return out;
@@ -380,7 +380,7 @@ std::vector<DovId> ClientTm::CheckedOut(DopId dop) const {
 
 Status ClientTm::PutWorkspace(DopId dop, const std::string& key,
                               storage::DesignObject object) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   runtime->context.workspace[key] = std::move(object);
   return Status::OK();
@@ -388,7 +388,7 @@ Status ClientTm::PutWorkspace(DopId dop, const std::string& key,
 
 Result<storage::DesignObject> ClientTm::GetWorkspace(
     DopId dop, const std::string& key) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -402,7 +402,7 @@ Result<storage::DesignObject> ClientTm::GetWorkspace(
 }
 
 Status ClientTm::DoWork(DopId dop, uint64_t units) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   runtime->context.work_done += units;
   stats_.work_units_done += units;
@@ -414,7 +414,7 @@ Status ClientTm::DoWork(DopId dop, uint64_t units) {
 }
 
 Status ClientTm::Save(DopId dop, const std::string& savepoint_name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   for (const Savepoint& sp : runtime->savepoints) {
     if (sp.name == savepoint_name) {
@@ -429,7 +429,7 @@ Status ClientTm::Save(DopId dop, const std::string& savepoint_name) {
 }
 
 Status ClientTm::Restore(DopId dop, const std::string& savepoint_name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   for (const Savepoint& sp : runtime->savepoints) {
     if (sp.name == savepoint_name) {
@@ -443,7 +443,7 @@ Status ClientTm::Restore(DopId dop, const std::string& savepoint_name) {
 }
 
 Status ClientTm::Suspend(DopId dop) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   // Suspension must survive long absences (and crashes in between):
   // persist the context as a recovery point.
@@ -454,7 +454,7 @@ Status ClientTm::Suspend(DopId dop) {
 }
 
 Status ClientTm::Resume(DopId dop) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -471,7 +471,7 @@ Status ClientTm::Resume(DopId dop) {
 }
 
 Status ClientTm::TakeRecoveryPoint(DopId dop) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   PersistRecoveryPoint(dop, *runtime);
   return Status::OK();
@@ -491,7 +491,7 @@ void ClientTm::PersistRecoveryPoint(DopId dop, const DopRuntime& runtime) {
 }
 
 Status ClientTm::HandOverContext(DopId from, DopId to) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto from_it = dops_.find(from);
   if (from_it == dops_.end()) {
     return Status::NotFound(from.ToString() + " not known at this client-TM");
@@ -622,7 +622,7 @@ Result<DovId> ClientTm::RoutedCheckin(DopId dop, DopRuntime* runtime,
 
 Result<DovId> ClientTm::Checkin(DopId dop, storage::DesignObject object,
                                 const std::vector<DovId>& predecessors) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   return RoutedCheckin(dop, runtime, std::move(object), predecessors,
                        /*with_commit=*/false);
@@ -640,7 +640,7 @@ void ClientTm::FinishCommitted(DopId dop, DopRuntime* runtime) {
 
 Result<DovId> ClientTm::CheckinCommit(DopId dop, storage::DesignObject object,
                                       const std::vector<DovId>& predecessors) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   if (!batching_) {
     CONCORD_ASSIGN_OR_RETURN(DovId dov,
                              Checkin(dop, std::move(object), predecessors));
@@ -653,7 +653,7 @@ Result<DovId> ClientTm::CheckinCommit(DopId dop, storage::DesignObject object,
 }
 
 Status ClientTm::CommitDop(DopId dop) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   CONCORD_ASSIGN_OR_RETURN(DopRuntime * runtime, ActiveDop(dop));
   // Release at every enlisted node; across shards this is the
   // multi-participant protocol (all nodes release or none).
@@ -672,7 +672,7 @@ Status ClientTm::CommitDop(DopId dop) {
 }
 
 Status ClientTm::AbortDop(DopId dop) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -721,7 +721,7 @@ Status ClientTm::AbortDop(DopId dop) {
 }
 
 Result<DopState> ClientTm::StateOf(DopId dop) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -730,7 +730,7 @@ Result<DopState> ClientTm::StateOf(DopId dop) const {
 }
 
 Result<uint64_t> ClientTm::WorkDone(DopId dop) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = dops_.find(dop);
   if (it == dops_.end()) {
     return Status::NotFound(dop.ToString() + " not known at this client-TM");
@@ -739,7 +739,7 @@ Result<uint64_t> ClientTm::WorkDone(DopId dop) const {
 }
 
 void ClientTm::Crash() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   network_->SetNodeUp(node_, false);
   // The DOV cache is volatile workstation memory: gone, tombstones
   // included (outage-time invalidations are redelivered at recovery).
@@ -848,7 +848,7 @@ void ClientTm::WarmCacheFromRecoveredContexts(
 #endif
 
 Result<uint64_t> ClientTm::Recover() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   network_->SetNodeUp(node_, true);
   // Drain invalidations the server queued while this workstation was
   // down, BEFORE any DOP resumes: the cache restarts cold, and the

@@ -2,7 +2,6 @@
 #define CONCORD_TXN_CLIENT_TM_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "rpc/invalidation.h"
 #include "rpc/network.h"
 #include "rpc/two_phase_commit.h"
@@ -209,8 +209,16 @@ class ClientTm {
   /// the total units of work lost.
   Result<uint64_t> Recover();
 
-  const ClientTmStats& stats() const { return stats_; }
-  const rpc::TwoPcStats& two_pc_stats() const { return two_pc_stats_; }
+  /// Snapshot under the TM mutex: executor threads drive concurrent
+  /// DOPs, so a reference into the live struct would race the mutators.
+  ClientTmStats stats() const {
+    RecursiveMutexLock lock(&mu_);
+    return stats_;
+  }
+  rpc::TwoPcStats two_pc_stats() const {
+    RecursiveMutexLock lock(&mu_);
+    return two_pc_stats_;
+  }
   DovCache& cache() { return cache_; }
   const DovCache& cache() const { return cache_; }
 
@@ -233,11 +241,11 @@ class ClientTm {
     ServerRequest op;
   };
 
-  Result<DopRuntime*> ActiveDop(DopId dop);
+  Result<DopRuntime*> ActiveDop(DopId dop) REQUIRES(mu_);
   /// Fresh interaction (2PC transaction) id, namespaced by workstation
   /// like DOP ids — the server's prepared-transaction ledger keys on
   /// it, so two interactions must never share one.
-  TxnId NextTxnId();
+  TxnId NextTxnId() REQUIRES(mu_);
   bool Enlisted(const DopRuntime& runtime, NodeId node) const;
   /// One critical interaction client<->server plane. Ops landing on a
   /// single node ride one [Prepare, ops..., Decide] envelope (one
@@ -252,12 +260,13 @@ class ClientTm {
   /// atomicity, each participant gets its own degenerate envelope.
   Result<BatchReply> RunCriticalInteraction(TxnId txn,
                                             std::vector<RoutedOp> ops,
-                                            bool independent = false);
+                                            bool independent = false)
+      REQUIRES(mu_);
   /// The multi-participant leg of RunCriticalInteraction.
   Result<BatchReply> RunMultiNodeInteraction(
       TxnId txn, const std::vector<NodeId>& participants,
       const std::vector<std::vector<size_t>>& op_indices,
-      std::vector<RoutedOp>& ops, bool independent);
+      std::vector<RoutedOp>& ops, bool independent) REQUIRES(mu_);
   /// Shared checkin routing: resolves the DA's home (two attempts —
   /// a kWrongShard reply refreshes the placement cache and reroutes),
   /// piggybacks enlistment, and optionally appends the End-of-DOP
@@ -266,26 +275,34 @@ class ClientTm {
   Result<DovId> RoutedCheckin(DopId dop, DopRuntime* runtime,
                               storage::DesignObject object,
                               const std::vector<DovId>& predecessors,
-                              bool with_commit);
+                              bool with_commit) REQUIRES(mu_);
   /// End-of-DOP commit bookkeeping shared by CommitDop/CheckinCommit.
-  void FinishCommitted(DopId dop, DopRuntime* runtime);
+  void FinishCommitted(DopId dop, DopRuntime* runtime) REQUIRES(mu_);
   /// Inserts a freshly checked-in version into the DOV cache,
   /// validated for the creating DA.
   void CacheOwnCheckin(const DopRuntime& runtime, DopId dop, DovId dov,
                        storage::DesignObject object,
                        const std::vector<DovId>& predecessors,
-                       SimTime created_at);
+                       SimTime created_at) REQUIRES(mu_);
   /// One-envelope revalidation of the recovered contexts' inputs.
-  void WarmCacheFromRecoveredContexts(const std::vector<DopId>& recovered);
-  void PersistRecoveryPoint(DopId dop, const DopRuntime& runtime);
+  void WarmCacheFromRecoveredContexts(const std::vector<DopId>& recovered)
+      REQUIRES(mu_);
+  void PersistRecoveryPoint(DopId dop, const DopRuntime& runtime)
+      REQUIRES(mu_);
 
   ShardRouter router_;
   rpc::Network* network_;
   NodeId node_;
   SimClock* clock_;
   rpc::InvalidationBus* invalidations_;
-  IdGenerator<DopId> dop_gen_;
-  IdGenerator<TxnId> txn_gen_;
+  /// Serializes public operations against each other (executor threads
+  /// drive concurrent DOPs). Recursive: operations compose (e.g.
+  /// CheckinCommit without batching runs Checkin + CommitDop).
+  mutable RecursiveMutex mu_;
+
+  IdGenerator<DopId> dop_gen_ GUARDED_BY(mu_);
+  IdGenerator<TxnId> txn_gen_ GUARDED_BY(mu_);
+  /// Config knobs: set before traffic, unguarded by design.
   uint64_t auto_rp_units_ = 0;
   bool batching_ = true;
   bool warm_cache_on_recovery_ = true;
@@ -295,21 +312,17 @@ class ClientTm {
   /// cache synchronizes itself.
   DovCache cache_;
 
-  std::unordered_map<DopId, DopRuntime> dops_;  // volatile
+  std::unordered_map<DopId, DopRuntime> dops_ GUARDED_BY(mu_);  // volatile
   /// Stable storage: latest recovery point per DOP + the DOP's DA (so
   /// recovery can re-register with the server).
-  std::map<uint64_t, std::pair<DaId, RecoveryPoint>> stable_rp_;
-  uint64_t rp_sequence_ = 0;
+  std::map<uint64_t, std::pair<DaId, RecoveryPoint>> stable_rp_
+      GUARDED_BY(mu_);
+  uint64_t rp_sequence_ GUARDED_BY(mu_) = 0;
 
-  ClientTmStats stats_;
+  ClientTmStats stats_ GUARDED_BY(mu_);
   /// Per-interaction commit-protocol accounting (the protocol itself
   /// rides the service envelope).
-  rpc::TwoPcStats two_pc_stats_;
-
-  /// Serializes public operations against each other (executor threads
-  /// drive concurrent DOPs). Recursive: operations compose (e.g.
-  /// CheckinCommit without batching runs Checkin + CommitDop).
-  mutable std::recursive_mutex mu_;
+  rpc::TwoPcStats two_pc_stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace concord::txn

@@ -11,7 +11,7 @@ void DovCache::TouchLocked(Entry& entry, DovId dov) {
 }
 
 Result<storage::DovRecord> DovCache::Lookup(DovId dov, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(dov);
   if (it == entries_.end()) {
     if (invalidation_seq_.count(dov)) ++stats_.tombstone_refusals;
@@ -54,12 +54,12 @@ void DovCache::InsertLocked(DovId dov, storage::DovRecord record, DaId da) {
 }
 
 void DovCache::Insert(DovId dov, storage::DovRecord record, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   InsertLocked(dov, std::move(record), da);
 }
 
 uint64_t DovCache::InvalidationSeq(DovId dov) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = invalidation_seq_.find(dov);
   uint64_t seq = it == invalidation_seq_.end() ? 0 : it->second;
   return (seq_epoch_ << 32) | seq;
@@ -67,7 +67,7 @@ uint64_t DovCache::InvalidationSeq(DovId dov) const {
 
 bool DovCache::InsertIfCurrent(DovId dov, storage::DovRecord record, DaId da,
                                uint64_t expected_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto seq_it = invalidation_seq_.find(dov);
   uint64_t seq = (seq_epoch_ << 32) |
                  (seq_it == invalidation_seq_.end() ? 0 : seq_it->second);
@@ -84,7 +84,7 @@ bool DovCache::InsertIfCurrent(DovId dov, storage::DovRecord record, DaId da,
 
 bool DovCache::InsertIfNeverInvalidated(DovId dov, storage::DovRecord record,
                                         DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (invalidation_seq_.count(dov) > 0) {
     ++stats_.stale_inserts_refused;
     return false;
@@ -94,7 +94,7 @@ bool DovCache::InsertIfNeverInvalidated(DovId dov, storage::DovRecord record,
 }
 
 bool DovCache::Invalidate(DovId dov) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (invalidation_seq_.size() >= kMaxTrackedInvalidations &&
       !invalidation_seq_.count(dov)) {
     // Tombstone cap reached: reset the map and bump the epoch so every
@@ -113,7 +113,7 @@ bool DovCache::Invalidate(DovId dov) {
 }
 
 void DovCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
   lru_.clear();
   invalidation_seq_.clear();
@@ -123,17 +123,17 @@ void DovCache::Clear() {
 }
 
 bool DovCache::Contains(DovId dov) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.count(dov) > 0;
 }
 
 bool DovCache::IsTombstoned(DovId dov) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return invalidation_seq_.count(dov) > 0 && entries_.count(dov) == 0;
 }
 
 size_t DovCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/version.h"
 
 namespace concord::txn {
@@ -129,23 +129,25 @@ class DovCache {
     std::list<DovId>::iterator lru_pos;
   };
 
-  /// Caller holds mu_.
-  void TouchLocked(Entry& entry, DovId dov);
-  void InsertLocked(DovId dov, storage::DovRecord record, DaId da);
+  void TouchLocked(Entry& entry, DovId dov) REQUIRES(mu_);
+  void InsertLocked(DovId dov, storage::DovRecord record, DaId da)
+      REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<DovId, Entry> entries_;
-  std::list<DovId> lru_;  // front = most recently used
+  /// Leaf lock: the designer thread and the invalidation push serialize
+  /// on it; never held across a server call.
+  mutable Mutex mu_;
+  std::unordered_map<DovId, Entry> entries_ GUARDED_BY(mu_);
+  std::list<DovId> lru_ GUARDED_BY(mu_);  // front = most recently used
   /// Invalidations seen per DOV since the last Clear()/epoch reset. An
   /// id with a seq but no live entry is a tombstone; only an
   /// authoritative insert re-arms it. Bounded by
   /// kMaxTrackedInvalidations via the epoch below.
-  std::unordered_map<DovId, uint64_t> invalidation_seq_;
+  std::unordered_map<DovId, uint64_t> invalidation_seq_ GUARDED_BY(mu_);
   /// Folded into every sampled seq (high bits), so resetting the map
   /// invalidates all outstanding samples instead of aliasing them to
   /// "never invalidated".
-  uint64_t seq_epoch_ = 0;
+  uint64_t seq_epoch_ GUARDED_BY(mu_) = 0;
   DovCacheStats stats_;
 };
 

@@ -8,20 +8,20 @@ namespace concord::txn {
 
 void LockManager::AcquireShort(DovId dov) {
   (void)dov;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++short_depth_;
   ++stats_.short_locks_taken;
 }
 
 void LockManager::ReleaseShort(DovId dov) {
   (void)dov;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   assert(short_depth_ > 0);
   --short_depth_;
 }
 
 Status LockManager::AcquireDerivation(DovId dov, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = derivation_locks_.find(dov);
   if (it != derivation_locks_.end() && it->second != da) {
     ++stats_.derivation_conflicts;
@@ -34,7 +34,7 @@ Status LockManager::AcquireDerivation(DovId dov, DaId da) {
 }
 
 Status LockManager::ReleaseDerivation(DovId dov, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = derivation_locks_.find(dov);
   if (it == derivation_locks_.end() || it->second != da) {
     return Status::FailedPrecondition(da.ToString() +
@@ -46,7 +46,7 @@ Status LockManager::ReleaseDerivation(DovId dov, DaId da) {
 }
 
 int LockManager::ReleaseAllDerivation(DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int released = 0;
   for (auto it = derivation_locks_.begin(); it != derivation_locks_.end();) {
     if (it->second == da) {
@@ -60,35 +60,35 @@ int LockManager::ReleaseAllDerivation(DaId da) {
 }
 
 DaId LockManager::DerivationHolder(DovId dov) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = derivation_locks_.find(dov);
   return it == derivation_locks_.end() ? DaId() : it->second;
 }
 
 void LockManager::SetScopeOwner(DovId dov, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   scope_owner_[dov] = da;
 }
 
 DaId LockManager::ScopeOwner(DovId dov) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = scope_owner_.find(dov);
   return it == scope_owner_.end() ? DaId() : it->second;
 }
 
 void LockManager::GrantUsageRead(DovId dov, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   usage_readers_[dov].insert(da);
 }
 
 void LockManager::RevokeUsageRead(DovId dov, DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = usage_readers_.find(dov);
   if (it != usage_readers_.end()) it->second.erase(da);
 }
 
 bool LockManager::CanRead(DaId da, DovId dov) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto owner_it = scope_owner_.find(dov);
   if (owner_it != scope_owner_.end() && owner_it->second == da) {
     ++stats_.scope_grants;
@@ -105,7 +105,7 @@ bool LockManager::CanRead(DaId da, DovId dov) {
 
 void LockManager::InheritScopeLocks(DaId super, DaId sub,
                                     const std::vector<DovId>& final_dovs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (DovId dov : final_dovs) {
     auto it = scope_owner_.find(dov);
     if (it != scope_owner_.end() && it->second == sub) {
@@ -120,14 +120,14 @@ void LockManager::InheritScopeLocks(DaId super, DaId sub,
 }
 
 void LockManager::ReleaseAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   derivation_locks_.clear();
   scope_owner_.clear();
   usage_readers_.clear();
 }
 
 std::vector<DovId> LockManager::OwnedBy(DaId da) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<DovId> owned;
   for (const auto& [dov, owner] : scope_owner_) {
     if (owner == da) owned.push_back(dov);
@@ -136,12 +136,12 @@ std::vector<DovId> LockManager::OwnedBy(DaId da) const {
 }
 
 LockStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void LockManager::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_ = LockStats{};
 }
 

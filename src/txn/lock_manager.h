@@ -1,7 +1,6 @@
 #ifndef CONCORD_TXN_LOCK_MANAGER_H_
 #define CONCORD_TXN_LOCK_MANAGER_H_
 
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -9,6 +8,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace concord::txn {
 
@@ -103,12 +103,14 @@ class LockManager {
   void ResetStats();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<DovId, DaId> derivation_locks_;
-  std::unordered_map<DovId, DaId> scope_owner_;
-  std::unordered_map<DovId, std::unordered_set<DaId>> usage_readers_;
-  int short_depth_ = 0;
-  LockStats stats_;
+  /// Leaf lock: never held across calls into any other component.
+  mutable Mutex mu_;
+  std::unordered_map<DovId, DaId> derivation_locks_ GUARDED_BY(mu_);
+  std::unordered_map<DovId, DaId> scope_owner_ GUARDED_BY(mu_);
+  std::unordered_map<DovId, std::unordered_set<DaId>> usage_readers_
+      GUARDED_BY(mu_);
+  int short_depth_ GUARDED_BY(mu_) = 0;
+  LockStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace concord::txn

@@ -2,7 +2,6 @@
 #define CONCORD_TXN_PARTITION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #if defined(__linux__)
 #include <pthread.h>
@@ -12,11 +11,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace concord::txn {
 
@@ -72,6 +72,10 @@ class PartitionEngine {
       Executor* ex = executors_.back().get();
       ex->thread = std::thread([this, ex, p, pin_cores] {
         if (pin_cores) PinToCore(p);
+        // The executor owns partition p for its whole lifetime; the
+        // role tag is what CONCORD_ASSERT_ON_PARTITION checks against.
+        ScopedThreadRole role(ThreadRole::kPartitionExecutor,
+                              static_cast<int>(p));
         RunLoop(ex);
       });
     }
@@ -91,6 +95,9 @@ class PartitionEngine {
   template <typename F>
   std::invoke_result_t<F> Run(size_t p, F&& fn) const {
     if (!threaded()) return std::forward<F>(fn)();
+    // Deadlock rule (class comment): submit-and-wait is forbidden FROM
+    // executor context — executors waiting on each other can cycle.
+    CONCORD_ASSERT_OFF_EXECUTOR();
     return Post(p, std::forward<F>(fn)).get();
   }
 
@@ -122,9 +129,10 @@ class PartitionEngine {
   /// Barrier: returns when every mailbox is empty and every executor
   /// idle. Only meaningful when no new work is being submitted.
   void Drain() const {
+    CONCORD_ASSERT_OFF_EXECUTOR();
     for (const auto& ex : executors_) {
-      std::unique_lock<std::mutex> lock(ex->mu);
-      ex->idle_cv.wait(lock, [&] { return ex->queue.empty() && ex->idle; });
+      MutexLock lock(&ex->mu);
+      while (!(ex->queue.empty() && ex->idle)) ex->idle_cv.Wait(&ex->mu);
     }
   }
 
@@ -135,10 +143,10 @@ class PartitionEngine {
     if (executors_.empty() || stopped_) return;
     for (auto& ex : executors_) {
       {
-        std::lock_guard<std::mutex> lock(ex->mu);
+        MutexLock lock(&ex->mu);
         ex->stop = true;
       }
-      ex->cv.notify_one();
+      ex->cv.NotifyOne();
     }
     for (auto& ex : executors_) {
       if (ex->thread.joinable()) ex->thread.join();
@@ -159,12 +167,12 @@ class PartitionEngine {
 
  private:
   struct Executor {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::condition_variable idle_cv;
-    std::deque<std::function<void()>> queue;
-    bool stop = false;
-    bool idle = true;
+    Mutex mu;
+    CondVar cv;
+    CondVar idle_cv;
+    std::deque<std::function<void()>> queue GUARDED_BY(mu);
+    bool stop GUARDED_BY(mu) = false;
+    bool idle GUARDED_BY(mu) = true;
     PartitionQueueStats stats;
     std::thread thread;
   };
@@ -172,7 +180,7 @@ class PartitionEngine {
   void Enqueue(size_t p, std::function<void()> task) const {
     Executor* ex = executors_[p % executors_.size()].get();
     {
-      std::lock_guard<std::mutex> lock(ex->mu);
+      MutexLock lock(&ex->mu);
       ex->queue.push_back(std::move(task));
       uint64_t depth = ex->queue.size();
       uint64_t high = ex->stats.queue_high_water.load(std::memory_order_relaxed);
@@ -180,7 +188,7 @@ class PartitionEngine {
         ex->stats.queue_high_water.store(depth, std::memory_order_relaxed);
       }
     }
-    ex->cv.notify_one();
+    ex->cv.NotifyOne();
   }
 
   /// Best-effort CPU affinity for executor `p`, called on the executor
@@ -202,10 +210,10 @@ class PartitionEngine {
     std::deque<std::function<void()>> burst;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(ex->mu);
+        MutexLock lock(&ex->mu);
         ex->idle = true;
-        ex->idle_cv.notify_all();
-        ex->cv.wait(lock, [&] { return ex->stop || !ex->queue.empty(); });
+        ex->idle_cv.NotifyAll();
+        while (!ex->stop && ex->queue.empty()) ex->cv.Wait(&ex->mu);
         if (ex->queue.empty()) return;  // stop requested, mailbox drained
         burst.swap(ex->queue);
         ex->idle = false;

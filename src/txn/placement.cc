@@ -7,19 +7,19 @@
 namespace concord::txn {
 
 void PlacementMap::RegisterNode(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (IsRegisteredLocked(node)) return;
   nodes_.push_back(node);
   load_.emplace(node.value(), 0);
 }
 
 std::vector<NodeId> PlacementMap::nodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nodes_;
 }
 
 size_t PlacementMap::node_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nodes_.size();
 }
 
@@ -28,19 +28,19 @@ bool PlacementMap::IsRegisteredLocked(NodeId node) const {
 }
 
 NodeId PlacementMap::HomeOf(DaId da) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.lookups;
   auto it = home_.find(da);
   return it == home_.end() ? NodeId() : it->second;
 }
 
 void PlacementMap::SetLivenessProbe(std::function<bool(NodeId)> probe) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   liveness_ = std::move(probe);
 }
 
 NodeId PlacementMap::AssignLeastLoaded(DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto existing = home_.find(da);
   if (existing != home_.end()) return existing->second;
   if (nodes_.empty()) return NodeId();
@@ -68,7 +68,7 @@ NodeId PlacementMap::AssignLeastLoaded(DaId da) {
 }
 
 Status PlacementMap::Assign(DaId da, NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!IsRegisteredLocked(node)) {
     return Status::InvalidArgument(node.ToString() +
                                    " is not a registered server node");
@@ -87,7 +87,7 @@ Status PlacementMap::Assign(DaId da, NodeId node) {
 }
 
 Result<NodeId> PlacementMap::Migrate(DaId da, NodeId to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!IsRegisteredLocked(to)) {
     return Status::InvalidArgument(to.ToString() +
                                    " is not a registered server node");
@@ -106,7 +106,7 @@ Result<NodeId> PlacementMap::Migrate(DaId da, NodeId to) {
 }
 
 void PlacementMap::Release(DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = home_.find(da);
   if (it == home_.end()) return;
   --load_[it->second.value()];
@@ -114,7 +114,7 @@ void PlacementMap::Release(DaId da) {
 }
 
 PlacementStats PlacementMap::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -137,7 +137,7 @@ void RegisterPlacementService(const PlacementMap* placement,
 
 Result<NodeId> PlacementClient::HomeOf(DaId da) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.lookups;
     auto it = cache_.find(da);
     if (it != cache_.end()) {
@@ -162,20 +162,20 @@ Result<NodeId> PlacementClient::HomeOf(DaId da) {
     return Status::NotFound("placement authority knows no home for " +
                             da.ToString());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.fetches;
   cache_[da] = home;
   return home;
 }
 
 void PlacementClient::Forget(DaId da) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.invalidations;
   cache_.erase(da);
 }
 
 PlacementClientStats PlacementClient::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -2,13 +2,13 @@
 #define CONCORD_TXN_PLACEMENT_H_
 
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "rpc/transactional_rpc.h"
 
 namespace concord::txn {
@@ -77,15 +77,16 @@ class PlacementMap {
   PlacementStats stats() const;
 
  private:
-  bool IsRegisteredLocked(NodeId node) const;
+  bool IsRegisteredLocked(NodeId node) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::function<bool(NodeId)> liveness_;
-  std::vector<NodeId> nodes_;
-  std::unordered_map<DaId, NodeId> home_;
+  /// Leaf lock: never held across the liveness probe's owner or an RPC.
+  mutable Mutex mu_;
+  std::function<bool(NodeId)> liveness_ GUARDED_BY(mu_);
+  std::vector<NodeId> nodes_ GUARDED_BY(mu_);
+  std::unordered_map<DaId, NodeId> home_ GUARDED_BY(mu_);
   /// DAs currently homed per node (keyed by NodeId value).
-  std::unordered_map<uint64_t, uint64_t> load_;
-  mutable PlacementStats stats_;
+  std::unordered_map<uint64_t, uint64_t> load_ GUARDED_BY(mu_);
+  mutable PlacementStats stats_ GUARDED_BY(mu_);
 };
 
 /// RPC method the placement authority's lookup endpoint registers
@@ -135,9 +136,10 @@ class PlacementClient {
   rpc::TransactionalRpc* rpc_;
   NodeId client_;
   NodeId authority_;
-  mutable std::mutex mu_;
-  std::unordered_map<DaId, NodeId> cache_;
-  mutable PlacementClientStats stats_;
+  /// Leaf lock: released before the RPC round trip in HomeOf.
+  mutable Mutex mu_;
+  std::unordered_map<DaId, NodeId> cache_ GUARDED_BY(mu_);
+  mutable PlacementClientStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace concord::txn

@@ -57,7 +57,7 @@ ServerTm::~ServerTm() {
 }
 
 Result<DaId> ServerTm::LookupDopIn(const Partition& part, DopId dop) const {
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   auto it = part.dop_da.find(dop);
   if (it != part.dop_da.end()) return it->second;
   if (part.lost_dops.count(dop)) {
@@ -87,7 +87,7 @@ Status ServerTm::CheckOwnsDa(const Partition& part, DaId da) const {
 }
 
 Status ServerTm::BeginDopIn(Partition& part, DopId dop, DaId da) {
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   auto it = part.dop_da.find(dop);
   if (it != part.dop_da.end()) {
     // Idempotent re-registration: participant enlistment may repeat a
@@ -114,6 +114,9 @@ Status ServerTm::BeginDop(DopId dop, DaId da) {
 
 ServerTm::CheckoutStep ServerTm::CheckoutStepIn(size_t pv, DovId dov, DaId da,
                                                 bool take_derivation_lock) {
+  // Executor-resident: the lock-table slice and repository sub-shard
+  // below belong to partition pv.
+  CONCORD_ASSERT_ON_PARTITION(pv);
   CheckoutStep step;
   LockManager& slice = locks_.Slice(pv);
   Partition& part = *parts_[pv];
@@ -154,7 +157,7 @@ void ServerTm::RecordHeldLock(DopId dop, DovId dov) {
   size_t p = DopPart(dop);
   Partition& part = *parts_[p];
   engine_.Run(p, [&] {
-    std::lock_guard<std::mutex> lock(part.mu);
+    MutexLock lock(&part.mu);
     part.dop_derivation_locks[dop].push_back(dov);
   });
 }
@@ -193,6 +196,9 @@ Result<storage::DovRecord> ServerTm::Checkout(DopId dop, DovId dov,
 
 std::vector<Result<storage::DovRecord>> ServerTm::CheckoutBatch(
     const std::vector<CheckoutOp>& ops) {
+  // Choreography: posts wavefronts and waits on their futures — doing
+  // that from an executor would deadlock the mailbox.
+  CONCORD_ASSERT_OFF_EXECUTOR();
   size_t partitions = engine_.count();
   std::vector<Result<storage::DovRecord>> results(
       ops.size(), Result<storage::DovRecord>(
@@ -294,6 +300,9 @@ std::vector<Result<storage::DovRecord>> ServerTm::CheckoutBatch(
 std::vector<ServerTm::IndependentOpResult> ServerTm::ExecuteIndependentBatch(
     const std::vector<IndependentOp>& ops) {
   using Kind = IndependentOp::Kind;
+  // Choreography: posts wavefronts and waits on their futures — doing
+  // that from an executor would deadlock the mailbox.
+  CONCORD_ASSERT_OFF_EXECUTOR();
   size_t partitions = engine_.count();
   std::vector<IndependentOpResult> results(ops.size());
   if (ops.empty()) return results;
@@ -435,6 +444,9 @@ std::vector<ServerTm::IndependentOpResult> ServerTm::ExecuteIndependentBatch(
 }
 
 void ServerTm::PublishDerivationLock(DovId dov, DaId da) {
+  // Dispatcher thread only — the bus fans out over the network and may
+  // re-enter workstation-side locks (see the rationale below).
+  CONCORD_ASSERT_OFF_EXECUTOR();
   if (invalidations_ == nullptr) return;
   // Any workstation may hold this DOV in its cache from before the
   // lock existed; a local hit there would dodge the compatibility
@@ -517,7 +529,7 @@ Result<DovId> ServerTm::Checkin(DopId dop, storage::DesignObject object,
 
 Status ServerTm::FinishExtractIn(Partition& part, DopId dop, DaId* da,
                                  std::vector<DovId>* held) {
-  std::lock_guard<std::mutex> lock(part.mu);
+  MutexLock lock(&part.mu);
   auto it = part.dop_da.find(dop);
   if (it == part.dop_da.end()) {
     if (part.lost_dops.count(dop)) {
@@ -565,6 +577,7 @@ Status ServerTm::FinishDop(DopId dop, bool committed) {
 
 void ServerTm::ReleaseDerivationLocks(
     const std::vector<std::pair<DovId, DaId>>& locks) {
+  CONCORD_ASSERT_OFF_EXECUTOR();
   if (locks.empty()) return;
   std::vector<std::vector<std::pair<DovId, DaId>>> by_part(engine_.count());
   for (const auto& pair : locks) by_part[DovPart(pair.first)].push_back(pair);
@@ -610,7 +623,7 @@ Result<storage::DovRecord> ServerTm::PrepareCheckout(
       size_t pt = TxnPart(txn);
       Partition& tpart = *parts_[pt];
       engine_.Run(pt, [&] {
-        std::lock_guard<std::mutex> lock(tpart.mu);
+        MutexLock lock(&tpart.mu);
         tpart.prepared[txn].acquired_locks.emplace_back(dov, *da);
       });
     }
@@ -649,7 +662,7 @@ Result<DovId> ServerTm::PrepareCheckin(TxnId txn, DopId dop,
   size_t pt = TxnPart(txn);
   Partition& tpart = *parts_[pt];
   engine_.Run(pt, [&] {
-    std::lock_guard<std::mutex> lock(tpart.mu);
+    MutexLock lock(&tpart.mu);
     tpart.prepared[txn].staged_checkins.push_back(std::move(record));
   });
   return new_id;
@@ -663,7 +676,7 @@ Status ServerTm::PrepareFinish(TxnId txn, DopId dop, bool commit_outcome) {
   size_t pt = TxnPart(txn);
   Partition& tpart = *parts_[pt];
   return engine_.Run(pt, [&]() -> Status {
-    std::lock_guard<std::mutex> lock(tpart.mu);
+    MutexLock lock(&tpart.mu);
     tpart.prepared[txn].staged_finishes.push_back({dop, commit_outcome});
     return Status::OK();
   });
@@ -674,7 +687,7 @@ Status ServerTm::Decide(TxnId txn, bool commit) {
   Partition& tpart = *parts_[pt];
   PreparedTxn staged;
   bool found = engine_.Run(pt, [&]() -> bool {
-    std::lock_guard<std::mutex> lock(tpart.mu);
+    MutexLock lock(&tpart.mu);
     auto it = tpart.prepared.find(txn);
     if (it == tpart.prepared.end()) return false;
     staged = std::move(it->second);
@@ -718,11 +731,12 @@ Status ServerTm::Decide(TxnId txn, bool commit) {
 bool ServerTm::HasPrepared(TxnId txn) const {
   // Control-plane introspection: cross-thread but slice-mutex safe.
   const Partition& tpart = *parts_[TxnPart(txn)];
-  std::lock_guard<std::mutex> lock(tpart.mu);
+  MutexLock lock(&tpart.mu);
   return tpart.prepared.count(txn) > 0;
 }
 
 void ServerTm::Crash() {
+  CONCORD_ASSERT_OFF_EXECUTOR();
   // One wipe task per partition, all awaited. Mailboxes are FIFO, so
   // each executor finishes every task queued before the crash and THEN
   // wipes — when the futures resolve, no executor is touching
@@ -733,7 +747,7 @@ void ServerTm::Crash() {
   for (size_t p = 0; p < parts_.size(); ++p) {
     Partition* part = parts_[p].get();
     wiped.push_back(engine_.Post(p, [part] {
-      std::lock_guard<std::mutex> lock(part->mu);
+      MutexLock lock(&part->mu);
       for (const auto& entry : part->dop_da) {
         part->lost_dops.insert(entry.first);
       }

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -13,6 +12,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "rpc/invalidation.h"
 #include "rpc/network.h"
 #include "rpc/two_phase_commit.h"
@@ -297,14 +297,15 @@ class ServerTm {
   /// only the owning executor takes it, with K == 1 it is the old
   /// single mu_.
   struct Partition {
-    mutable std::mutex mu;
-    std::unordered_map<DopId, DaId> dop_da;
+    mutable Mutex mu;
+    std::unordered_map<DopId, DaId> dop_da GUARDED_BY(mu);
     /// Derivation locks taken per DOP (released at End-of-DOP).
-    std::unordered_map<DopId, std::vector<DovId>> dop_derivation_locks;
+    std::unordered_map<DopId, std::vector<DovId>> dop_derivation_locks
+        GUARDED_BY(mu);
     /// Registrations wiped by Crash() and not re-registered since.
-    std::unordered_set<DopId> lost_dops;
+    std::unordered_set<DopId> lost_dops GUARDED_BY(mu);
     /// Cross-shard 2PC ledger slice (volatile: crash = presumed abort).
-    std::unordered_map<TxnId, PreparedTxn> prepared;
+    std::unordered_map<TxnId, PreparedTxn> prepared GUARDED_BY(mu);
     mutable PartitionCounters counters;
   };
 

@@ -100,7 +100,10 @@ Status DesignManager::Start() {
 
 void DesignManager::ResetMachine() {
   graph_.Clear();
-  history_.clear();
+  {
+    MutexLock lock(&mu_);
+    history_.clear();
+  }
   if (!persistent_script_.empty()) {
     LowerNode(persistent_script_.root(), TaskRank{0}, {});
   }
@@ -232,7 +235,7 @@ TaskNodeId DesignManager::MakeIterationDecision(const ScriptNode* node,
 Status DesignManager::RunDopNode(const std::string& dop_type,
                                  const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Admission against the domain constraints guards every DOP start,
     // including designer-chosen actions in open segments.
     if (constraints_ != nullptr) {
@@ -270,7 +273,7 @@ Status DesignManager::RunDopNode(const std::string& dop_type,
   // and the runner does its own (client-TM / RPC) synchronization.
   Result<DopOutcome> outcome = tool_runner_(dop_type);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!outcome.ok()) return outcome.status();
   WorkflowLogEntry finish;
   finish.kind = WorkflowLogEntry::Kind::kDopFinish;
@@ -292,7 +295,7 @@ Status DesignManager::RunDopNode(const std::string& dop_type,
 Status DesignManager::RunDaOpNode(const std::string& op_name,
                                   const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (ConsumeReplayDecision(WorkflowLogEntry::Kind::kDaOp, path)) {
       ++stats_.decisions_replayed;
       return Status::OK();
@@ -300,7 +303,7 @@ Status DesignManager::RunDaOpNode(const std::string& op_name,
   }
   Status st = da_op_runner_ ? da_op_runner_(op_name) : Status::OK();
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     WorkflowLogEntry entry;
     entry.kind = WorkflowLogEntry::Kind::kDaOp;
     entry.name = op_name;
@@ -316,7 +319,7 @@ Status DesignManager::RunAlternativeNode(const ScriptNode* node, TaskRank rank,
   size_t choice;
   bool replayed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (auto record =
             ConsumeReplayDecision(WorkflowLogEntry::Kind::kAlternativeChoice,
                                   path)) {
@@ -332,7 +335,7 @@ Status DesignManager::RunAlternativeNode(const ScriptNode* node, TaskRank rank,
           "alternative choice " + std::to_string(choice) + " out of range (" +
           std::to_string(node->children().size()) + " paths)");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     WorkflowLogEntry entry;
     entry.kind = WorkflowLogEntry::Kind::kAlternativeChoice;
     entry.choice = choice;
@@ -359,7 +362,7 @@ Status DesignManager::RunIterationNode(const ScriptNode* node, TaskRank rank,
         TaskRankToString(Extend(rank, static_cast<uint32_t>(2 * pass)));
     bool replayed = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (auto record = ConsumeReplayDecision(
               WorkflowLogEntry::Kind::kIterationDecision, path)) {
         another = record->continue_flag;
@@ -370,7 +373,7 @@ Status DesignManager::RunIterationNode(const ScriptNode* node, TaskRank rank,
     if (!replayed) {
       another = pass < node->max_iterations() &&
                 decider()->ContinueIteration(*node, pass);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       WorkflowLogEntry entry;
       entry.kind = WorkflowLogEntry::Kind::kIterationDecision;
       entry.continue_flag = another;
@@ -395,7 +398,7 @@ Status DesignManager::RunOpenNode(const ScriptNode* node, TaskRank rank,
   std::vector<std::string> plan;
   bool replayed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (auto record =
             ConsumeReplayDecision(WorkflowLogEntry::Kind::kOpenPlan, path)) {
       plan = std::move(record->plan);
@@ -405,7 +408,7 @@ Status DesignManager::RunOpenNode(const ScriptNode* node, TaskRank rank,
   }
   if (!replayed) {
     plan = decider()->PlanOpenSegment(*node);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     WorkflowLogEntry entry;
     entry.kind = WorkflowLogEntry::Kind::kOpenPlan;
     entry.plan = plan;
@@ -458,12 +461,12 @@ DesignManager::ConsumeReplayDecision(WorkflowLogEntry::Kind kind,
 }
 
 bool DesignManager::ReplayPending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !replay_dops_.empty() || !replay_decisions_.empty();
 }
 
 void DesignManager::ClearReplay() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   replay_dops_.clear();
   replay_decisions_.clear();
 }
@@ -482,6 +485,7 @@ Result<bool> DesignManager::Step() {
     // Execution finished: check the eventually/immediately-followed-by
     // obligations before declaring the DA's work flow complete.
     if (constraints_ != nullptr) {
+      MutexLock lock(&mu_);
       Status complete = constraints_->CheckComplete(history_);
       if (!complete.ok()) {
         state_ = DmState::kPaused;
@@ -512,7 +516,10 @@ Status DesignManager::RunToCompletion() {
 }
 
 Status DesignManager::HandleEvent(const Event& event) {
-  ++stats_.events_handled;
+  {
+    MutexLock lock(&mu_);
+    ++stats_.events_handled;
+  }
   // Built-in semantics (Sect. 5.3).
   if (event.type == "Modify_Sub_DA_Specification" ||
       event.type == "Restart") {
@@ -520,7 +527,7 @@ Status DesignManager::HandleEvent(const Event& event) {
     // the designer may choose any previously derived DOV as a starting
     // point" — produced_ survives the restart for exactly that reason.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       WorkflowLogEntry entry;
       entry.kind = WorkflowLogEntry::Kind::kRestart;
       entry.name = event.type;
@@ -531,7 +538,10 @@ Status DesignManager::HandleEvent(const Event& event) {
     if (state_ == DmState::kCompleted || state_ == DmState::kPaused) {
       state_ = DmState::kActive;
     }
-    ++stats_.restarts;
+    {
+      MutexLock lock(&mu_);
+      ++stats_.restarts;
+    }
   } else if (event.type == "Withdrawal") {
     if (UsedDov(event.dov)) {
       // "the processing needs to be stopped and the designer has to
@@ -545,7 +555,13 @@ Status DesignManager::HandleEvent(const Event& event) {
     // his own results".
   }
   std::vector<Status> errors;
-  stats_.rules_fired += rules_.Dispatch(event, &errors);
+  // Dispatch with mu_ released (rule callbacks may re-enter the DM);
+  // only the counter update takes the lock.
+  uint64_t fired = rules_.Dispatch(event, &errors);
+  {
+    MutexLock lock(&mu_);
+    stats_.rules_fired += fired;
+  }
   if (!errors.empty()) return errors.front();
   return Status::OK();
 }
@@ -560,8 +576,11 @@ Status DesignManager::ResumeAfterPause() {
 
 void DesignManager::Crash() {
   graph_.Clear();
-  history_.clear();
-  produced_.clear();
+  {
+    MutexLock lock(&mu_);
+    history_.clear();
+    produced_.clear();
+  }
   ClearReplay();
   state_ = DmState::kCrashed;
 }
@@ -576,10 +595,10 @@ Status DesignManager::Recover() {
   // statistics are restored directly (history is not: a restart wiped
   // it). Current-epoch entries become per-path replay records the
   // re-instantiated graph consumes as its nodes execute.
-  produced_.clear();
   ClearReplay();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    produced_.clear();
     size_t current_epoch = 0;
     for (const WorkflowLogEntry& entry : persistent_log_) {
       if (entry.kind == WorkflowLogEntry::Kind::kRestart) ++current_epoch;
@@ -656,7 +675,7 @@ Status DesignManager::Recover() {
 }
 
 bool DesignManager::UsedDov(DovId dov) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const WorkflowLogEntry& entry : persistent_log_) {
     if (entry.kind != WorkflowLogEntry::Kind::kDopFinish || !entry.committed) {
       continue;

@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "workflow/constraints.h"
 #include "workflow/events.h"
 #include "workflow/script.h"
@@ -226,12 +226,27 @@ class DesignManager {
 
   // --- Introspection ----------------------------------------------------
 
+  /// Introspection accessors return snapshots BY VALUE under mu_:
+  /// executor threads mutate these during pooled runs, so a returned
+  /// reference would be read unguarded by the caller.
   /// Types of DOPs completed so far, in order.
-  const std::vector<std::string>& CompletedDops() const { return history_; }
+  std::vector<std::string> CompletedDops() const {
+    MutexLock lock(&mu_);
+    return history_;
+  }
   /// Output DOVs produced by completed DOPs, in order.
-  const std::vector<DovId>& ProducedDovs() const { return produced_; }
-  const std::vector<WorkflowLogEntry>& log() const { return persistent_log_; }
-  const DmStats& stats() const { return stats_; }
+  std::vector<DovId> ProducedDovs() const {
+    MutexLock lock(&mu_);
+    return produced_;
+  }
+  std::vector<WorkflowLogEntry> log() const {
+    MutexLock lock(&mu_);
+    return persistent_log_;
+  }
+  DmStats stats() const {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
   /// The scheduler (peak-concurrency gauge etc.).
   const ScriptScheduler& scheduler() const { return scheduler_; }
   /// True if the given DOV was consumed by any completed DOP (log
@@ -258,8 +273,7 @@ class DesignManager {
     return decision_maker_ != nullptr ? decision_maker_ : &default_decisions_;
   }
 
-  /// Caller must hold mu_.
-  void AppendLogLocked(WorkflowLogEntry entry);
+  void AppendLogLocked(WorkflowLogEntry entry) REQUIRES(mu_);
 
   // --- Script lowering (see docs/ARCHITECTURE.md, "Async script
   // engine") -------------------------------------------------------
@@ -286,25 +300,31 @@ class DesignManager {
   Status RunOpenNode(const ScriptNode* node, TaskRank rank, TaskNodeId self,
                      TaskNodeId join);
 
-  /// Pops the next replay record for (kind, path), if any. Caller must
-  /// hold mu_ for DOP records (executor threads); decisions run on the
-  /// choreographer only but lock anyway for uniformity.
-  std::optional<ReplayDop> ConsumeReplayDop(const std::string& path);
+  /// Pops the next replay record for (kind, path), if any. DOP records
+  /// are consumed from executor threads, decisions from the
+  /// choreographer only — but both under mu_ for uniformity.
+  std::optional<ReplayDop> ConsumeReplayDop(const std::string& path)
+      REQUIRES(mu_);
   std::optional<ReplayDecision> ConsumeReplayDecision(
-      WorkflowLogEntry::Kind kind, const std::string& path);
+      WorkflowLogEntry::Kind kind, const std::string& path) REQUIRES(mu_);
   bool ReplayPending() const;
   void ClearReplay();
 
   DaId da_;
+  /// Guards persistent_log_, history_, produced_, stats_ and the
+  /// replay records — the state node bodies touch from executor
+  /// threads during pooled runs. Tool/DA-op runners and decision
+  /// callbacks are always invoked with mu_ released.
+  mutable Mutex mu_;
   /// Persistent (survives workstation crash).
   Script persistent_script_;
-  std::vector<WorkflowLogEntry> persistent_log_;
+  std::vector<WorkflowLogEntry> persistent_log_ GUARDED_BY(mu_);
   /// Volatile: the lowered task graph and its scheduler.
   TaskGraph graph_;
   ScriptScheduler scheduler_;
   ExecutorPool* pool_ = nullptr;
-  std::vector<std::string> history_;
-  std::vector<DovId> produced_;
+  std::vector<std::string> history_ GUARDED_BY(mu_);
+  std::vector<DovId> produced_ GUARDED_BY(mu_);
   DmState state_ = DmState::kActive;
 
   const ConstraintSet* constraints_;
@@ -316,18 +336,13 @@ class DesignManager {
   ProgressSink progress_sink_;
   RuleEngine rules_;
   SimTime dop_timeout_ = 0;
-  uint64_t log_sequence_ = 0;
+  uint64_t log_sequence_ GUARDED_BY(mu_) = 0;
   bool started_ = false;
-  DmStats stats_;
+  DmStats stats_ GUARDED_BY(mu_);
 
-  /// Guards persistent_log_, history_, produced_, stats_ and the
-  /// replay records — the state node bodies touch from executor
-  /// threads during pooled runs. Tool/DA-op runners and decision
-  /// callbacks are always invoked with mu_ released.
-  mutable std::mutex mu_;
-  std::map<std::string, std::deque<ReplayDop>> replay_dops_;
+  std::map<std::string, std::deque<ReplayDop>> replay_dops_ GUARDED_BY(mu_);
   std::map<std::pair<int, std::string>, std::deque<ReplayDecision>>
-      replay_decisions_;
+      replay_decisions_ GUARDED_BY(mu_);
 };
 
 }  // namespace concord::workflow

@@ -13,10 +13,10 @@ ExecutorPool::ExecutorPool(size_t threads) {
 
 ExecutorPool::~ExecutorPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -26,18 +26,21 @@ void ExecutorPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ExecutorPool::RunLoop() {
+  // Pool threads run task-node bodies and own no partitioned state; the
+  // role tag keeps the partition asserts honest about who is who.
+  ScopedThreadRole role(ThreadRole::kPoolExecutor);
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -161,13 +164,13 @@ Status ScriptScheduler::Run() {
                      name = graph_->node(id).name] {
         Status status = RunBody(body, timeout, name, clock_);
         {
-          std::lock_guard<std::mutex> lock(done_mu_);
+          MutexLock lock(&done_mu_);
           done_.emplace_back(id, std::move(status));
           // Notify under the lock: the choreographer may retire this
           // completion, return from Run(), and destroy the scheduler the
           // moment it can re-acquire done_mu_ — notifying after unlock
           // would touch a dead condition variable.
-          done_cv_.notify_one();
+          done_cv_.NotifyOne();
         }
       });
     }
@@ -180,8 +183,8 @@ Status ScriptScheduler::Run() {
     // Retire at least one completion (block until an executor reports).
     std::deque<std::pair<TaskNodeId, Status>> batch;
     {
-      std::unique_lock<std::mutex> lock(done_mu_);
-      done_cv_.wait(lock, [this] { return !done_.empty(); });
+      MutexLock lock(&done_mu_);
+      while (done_.empty()) done_cv_.Wait(&done_mu_);
       batch.swap(done_);
     }
     for (auto& [id, status] : batch) {

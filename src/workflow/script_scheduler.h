@@ -1,17 +1,16 @@
 #ifndef CONCORD_WORKFLOW_SCRIPT_SCHEDULER_H_
 #define CONCORD_WORKFLOW_SCRIPT_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "workflow/task_graph.h"
 
 namespace concord::workflow {
@@ -35,10 +34,10 @@ class ExecutorPool {
  private:
   void RunLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 
@@ -110,9 +109,9 @@ class ScriptScheduler {
 
   /// Completion queue: executors push (node, status), the
   /// choreographer pops. The only cross-thread state.
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::deque<std::pair<TaskNodeId, Status>> done_;
+  Mutex done_mu_;
+  CondVar done_cv_;
+  std::deque<std::pair<TaskNodeId, Status>> done_ GUARDED_BY(done_mu_);
 };
 
 }  // namespace concord::workflow

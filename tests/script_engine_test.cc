@@ -198,11 +198,14 @@ TEST(SchedulerTest, PooledRunExecutesEveryBodyAndTracksPeak) {
   constexpr int kNodes = 32;
   std::atomic<int> ran{0};
   for (int i = 0; i < kNodes; ++i) {
-    graph.AddNode(TaskNodeKind::kDop, {static_cast<uint32_t>(i)},
-                  "n" + std::to_string(i), [&] {
-                    ++ran;
-                    return Status::OK();
-                  });
+    // Built via += rather than operator+: GCC 12's -Wrestrict trips a
+    // false positive on the inlined concatenation at -O2 (-Werror leg).
+    std::string name = "n";
+    name += std::to_string(i);
+    graph.AddNode(TaskNodeKind::kDop, {static_cast<uint32_t>(i)}, name, [&] {
+      ++ran;
+      return Status::OK();
+    });
   }
   ASSERT_TRUE(scheduler.Run().ok());
   EXPECT_TRUE(graph.AllDone());

@@ -1,0 +1,238 @@
+// Tests for the concurrency-discipline layer (common/sync.h):
+//
+//  - the annotated Mutex/MutexLock/CondVar wrappers behave like the
+//    std primitives they wrap,
+//  - ScopedThreadRole tags nest and restore,
+//  - the ThreadRole runtime asserts abort on the two violations the
+//    partition-ownership rules forbid (wrong-partition touch,
+//    submit-and-wait from executor context) — death tests, skipped
+//    when CONCORD_THREAD_ASSERTS is compiled out,
+//  - the stats() accessors fixed in this change return snapshots by
+//    value, never references into mutex-guarded live state.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/sync.h"
+#include "cooperation/cooperation_manager.h"
+#include "txn/client_tm.h"
+#include "txn/partition.h"
+#include "workflow/design_manager.h"
+
+namespace concord {
+namespace {
+
+// --- Annotated wrapper basics ------------------------------------------------
+
+class Counter {
+ public:
+  void Add(int n) {
+    MutexLock lock(&mu_);
+    value_ += n;
+  }
+  int value() const {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+TEST(SyncTest, MutexLockSerializesWriters) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), 4000);
+}
+
+TEST(SyncTest, CondVarWaitSeesSignaledPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread signaler([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    EXPECT_TRUE(ready);
+  }
+  signaler.join();
+}
+
+TEST(SyncTest, RecursiveMutexReenters) {
+  RecursiveMutex mu;
+  RecursiveMutexLock outer(&mu);
+  {
+    RecursiveMutexLock inner(&mu);  // must not deadlock
+  }
+}
+
+// --- ScopedThreadRole --------------------------------------------------------
+
+TEST(ThreadRoleTest, DefaultsToGeneral) {
+  EXPECT_EQ(CurrentThreadRole(), ThreadRole::kGeneral);
+  EXPECT_EQ(CurrentThreadPartition(), -1);
+}
+
+TEST(ThreadRoleTest, ScopedRoleNestsAndRestores) {
+  {
+    ScopedThreadRole outer(ThreadRole::kPartitionExecutor, 3);
+    EXPECT_EQ(CurrentThreadRole(), ThreadRole::kPartitionExecutor);
+    EXPECT_EQ(CurrentThreadPartition(), 3);
+    {
+      ScopedThreadRole inner(ThreadRole::kPoolExecutor);
+      EXPECT_EQ(CurrentThreadRole(), ThreadRole::kPoolExecutor);
+      EXPECT_EQ(CurrentThreadPartition(), -1);
+    }
+    EXPECT_EQ(CurrentThreadRole(), ThreadRole::kPartitionExecutor);
+    EXPECT_EQ(CurrentThreadPartition(), 3);
+  }
+  EXPECT_EQ(CurrentThreadRole(), ThreadRole::kGeneral);
+}
+
+TEST(ThreadRoleTest, RoleIsPerThread) {
+  ScopedThreadRole role(ThreadRole::kPartitionExecutor, 7);
+  ThreadRole seen = ThreadRole::kPartitionExecutor;
+  std::thread other([&seen] { seen = CurrentThreadRole(); });
+  other.join();
+  EXPECT_EQ(seen, ThreadRole::kGeneral);
+}
+
+// --- Assert semantics (non-fatal paths) --------------------------------------
+
+TEST(ThreadRoleTest, GeneralThreadPassesPartitionAssert) {
+  // K == 1 inline mode and quiescent test access run partition bodies
+  // on general threads — the assert must accept that.
+  CONCORD_ASSERT_ON_PARTITION(0);
+  CONCORD_ASSERT_ON_PARTITION(5);
+  CONCORD_ASSERT_OFF_EXECUTOR();
+}
+
+TEST(ThreadRoleTest, OwningExecutorPassesItsOwnPartition) {
+  ScopedThreadRole role(ThreadRole::kPartitionExecutor, 2);
+  CONCORD_ASSERT_ON_PARTITION(2);
+}
+
+TEST(ThreadRoleTest, PoolExecutorPassesBothAsserts) {
+  // Pool threads own no partition slice and may submit-and-wait.
+  ScopedThreadRole role(ThreadRole::kPoolExecutor);
+  CONCORD_ASSERT_ON_PARTITION(0);
+  CONCORD_ASSERT_OFF_EXECUTOR();
+}
+
+// --- Death tests: the violations must abort ----------------------------------
+
+using ThreadRoleDeathTest = ::testing::Test;
+
+TEST(ThreadRoleDeathTest, WrongPartitionTouchAborts) {
+  if (!ThreadAssertsEnabled()) {
+    GTEST_SKIP() << "CONCORD_THREAD_ASSERTS compiled out in this build";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ScopedThreadRole role(ThreadRole::kPartitionExecutor, 1);
+  EXPECT_DEATH(CONCORD_ASSERT_ON_PARTITION(0),
+               "partition-owned state touched from the wrong executor");
+}
+
+TEST(ThreadRoleDeathTest, SubmitAndWaitFromExecutorAborts) {
+  if (!ThreadAssertsEnabled()) {
+    GTEST_SKIP() << "CONCORD_THREAD_ASSERTS compiled out in this build";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ScopedThreadRole role(ThreadRole::kPartitionExecutor, 0);
+  EXPECT_DEATH(CONCORD_ASSERT_OFF_EXECUTOR(), "submit-and-wait");
+}
+
+TEST(ThreadRoleDeathTest, EngineRunFromExecutorTaskAborts) {
+  if (!ThreadAssertsEnabled()) {
+    GTEST_SKIP() << "CONCORD_THREAD_ASSERTS compiled out in this build";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The real deadlock shape: a task running ON partition 0 does a
+  // synchronous Run against partition 1. PartitionEngine::Run asserts
+  // off-executor before blocking, so the child must abort.
+  EXPECT_DEATH(
+      {
+        txn::PartitionEngine engine(2);
+        engine.Post(0, [&engine] { (void)engine.Run(1, [] { return 1; }); })
+            .get();
+      },
+      "submit-and-wait");
+}
+
+TEST(ThreadRoleDeathTest, EngineRunFromGeneralThreadIsFine) {
+  txn::PartitionEngine engine(2);
+  EXPECT_EQ(engine.Run(1, [] { return 41 + 1; }), 42);
+  engine.Drain();
+}
+
+// --- Stats accessors are snapshots, not references ---------------------------
+//
+// Regression guard for the const-ref races fixed alongside the
+// annotations: a `const Stats&` return handed callers a reference into
+// mutex-guarded live state, read without the mutex. By-value returns
+// make the copy under the lock instead.
+
+template <typename T>
+constexpr bool kReturnsByValue =
+    !std::is_reference_v<T> && !std::is_pointer_v<T>;
+
+static_assert(
+    kReturnsByValue<decltype(std::declval<const cooperation::CooperationManager&>()
+                                 .stats())>,
+    "CooperationManager::stats() must snapshot by value");
+static_assert(
+    kReturnsByValue<decltype(std::declval<const txn::ClientTm&>().stats())>,
+    "ClientTm::stats() must snapshot by value");
+static_assert(
+    kReturnsByValue<decltype(std::declval<const txn::ClientTm&>()
+                                 .two_pc_stats())>,
+    "ClientTm::two_pc_stats() must snapshot by value");
+static_assert(
+    kReturnsByValue<decltype(std::declval<const workflow::DesignManager&>()
+                                 .stats())>,
+    "DesignManager::stats() must snapshot by value");
+static_assert(
+    kReturnsByValue<decltype(std::declval<const workflow::DesignManager&>()
+                                 .log())>,
+    "DesignManager::log() must snapshot by value");
+
+TEST(StatsSnapshotTest, DesignManagerStatsRacesHandleEvent) {
+  // Hammer stats()/log() against HandleEvent from another thread; under
+  // the TSAN leg this is the regression test for the unguarded-ref read.
+  SimClock clock;
+  workflow::DesignManager dm(DaId(1), workflow::Script{}, nullptr, &clock);
+  std::thread mutator([&dm] {
+    for (int i = 0; i < 500; ++i) {
+      workflow::Event event;
+      event.type = "Noop";
+      (void)dm.HandleEvent(event);
+    }
+  });
+  uint64_t observed = 0;
+  for (int i = 0; i < 500; ++i) {
+    observed = std::max(observed, dm.stats().events_handled);
+    (void)dm.log();
+  }
+  mutator.join();
+  EXPECT_EQ(dm.stats().events_handled, 500u);
+  EXPECT_LE(observed, 500u);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,17 @@
+// Fixture: NO_THREAD_SAFETY_ANALYSIS opt-out without a SAFETY: comment
+// justifying it.
+// expect: safety-comment
+#include "common/sync.h"
+
+namespace fixture {
+
+class Bad {
+ public:
+  int UnsafeRead() const NO_THREAD_SAFETY_ANALYSIS { return counter_; }
+
+ private:
+  mutable concord::Mutex mu_;
+  int counter_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

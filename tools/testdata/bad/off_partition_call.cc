@@ -1,0 +1,27 @@
+// Fixture: a partition-resident helper (the *In naming convention)
+// called straight from choreography code instead of being routed to
+// its owning executor — executor-owned state touched off-partition.
+// expect: partition-in
+namespace fixture {
+
+class Engine {
+ public:
+  template <typename F>
+  auto Run(size_t p, F f);
+};
+
+class Bad {
+ public:
+  int Choreography() {
+    // BAD: LookupDopIn touches partition 0's slice but runs on the
+    // dispatching thread without going through the engine.
+    return LookupDopIn(0);
+  }
+
+ private:
+  int LookupDopIn(size_t p) { return static_cast<int>(p); }
+
+  Engine engine_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: raw standard-library synchronization members — every one of
+// these must be spelled via the annotated wrappers in common/sync.h.
+// expect: raw-sync
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Bad {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counter_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::recursive_mutex rmu_;
+  std::condition_variable cv_;
+  int counter_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: submit-and-wait from executor context. The task body handed
+// to Post() re-enters the engine and blocks on the future — an executor
+// waiting on its own mailbox deadlocks.
+// expect: submit-wait
+#include <future>
+
+namespace fixture {
+
+class Engine {
+ public:
+  template <typename F>
+  std::future<void> Post(size_t p, F f);
+  template <typename F>
+  auto Run(size_t p, F f);
+};
+
+class Bad {
+ public:
+  void Choreography() {
+    engine_.Post(0, [this] {
+      // BAD: nested submit-and-wait inside an executor task body.
+      engine_.Run(1, [] { return 1; });
+    });
+  }
+
+ private:
+  Engine engine_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture: the sanctioned concurrency idioms — annotated wrappers,
+// choreography-side dispatch, SAFETY-commented opt-outs. The linter
+// must report NOTHING here.
+#include "common/sync.h"
+
+namespace fixture {
+
+class Engine {
+ public:
+  template <typename F>
+  void Post(size_t p, F f);
+  template <typename F>
+  auto Run(size_t p, F f);
+};
+
+class Good {
+ public:
+  void Choreography() {
+    // Dispatch + wait happens on the choreography thread: fine.
+    engine_.Run(0, [this] { return StepIn(0); });
+  }
+
+  int stats() const {
+    concord::MutexLock lock(&mu_);
+    return counter_;
+  }
+
+  // SAFETY: benchmark-only fast path; the caller quiesced all
+  // executors before reading.
+  int UnsafeRead() const NO_THREAD_SAFETY_ANALYSIS { return counter_; }
+
+ private:
+  int StepIn(size_t p) {
+    concord::MutexLock lock(&mu_);
+    return ++counter_;
+  }
+
+  Engine engine_;
+  mutable concord::Mutex mu_;
+  int counter_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
