@@ -2,6 +2,7 @@
 #define CONCORD_COMMON_SYNC_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -161,6 +162,33 @@ class CondVar {
   template <typename Predicate>
   void Wait(Mutex* mu, Predicate pred) REQUIRES(mu) {
     while (!pred()) Wait(mu);
+  }
+
+  /// Timed wait: releases `mu`, waits up to `timeout_ms`, reacquires.
+  /// Returns false on timeout (spurious wakeups look like early
+  /// returns — pair with a predicate loop as usual).
+  bool WaitFor(Mutex* mu, int64_t timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    auto rc = cv_.wait_for(native, std::chrono::milliseconds(timeout_ms));
+    native.release();
+    return rc == std::cv_status::no_timeout;
+  }
+
+  /// Predicate loop with an absolute deadline carved from `timeout_ms`;
+  /// returns the predicate's value at exit (false means timed out).
+  template <typename Predicate>
+  bool WaitFor(Mutex* mu, int64_t timeout_ms, Predicate pred) REQUIRES(mu) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!pred()) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return pred();
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count();
+      WaitFor(mu, left > 0 ? left : 1);
+    }
+    return true;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,208 @@
+#include "net/address.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace concord::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Builds the sockaddr for `address`. Returns the length used.
+Result<socklen_t> FillSockaddr(const Address& address,
+                               sockaddr_storage* storage) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (address.kind == Address::Kind::kTcp) {
+    auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(address.port);
+    if (::inet_pton(AF_INET, address.host.c_str(), &sin->sin_addr) != 1) {
+      return Status::InvalidArgument("not an IPv4 address: " + address.host);
+    }
+    return static_cast<socklen_t>(sizeof(sockaddr_in));
+  }
+  auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+  if (address.path.size() + 1 > sizeof(sun->sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " +
+                                   address.path);
+  }
+  sun->sun_family = AF_UNIX;
+  std::memcpy(sun->sun_path, address.path.c_str(), address.path.size() + 1);
+  return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                address.path.size() + 1);
+}
+
+Result<int> NewSocket(const Address& address) {
+  int domain = address.kind == Address::Kind::kTcp ? AF_INET : AF_UNIX;
+  int fd = ::socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (address.kind == Address::Kind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Address Address::Tcp(std::string host, uint16_t port) {
+  Address a;
+  a.kind = Kind::kTcp;
+  a.host = std::move(host);
+  a.port = port;
+  return a;
+}
+
+Address Address::Unix(std::string path) {
+  Address a;
+  a.kind = Kind::kUnix;
+  a.path = std::move(path);
+  return a;
+}
+
+Result<Address> Address::Parse(const std::string& text) {
+  if (text.rfind("unix:", 0) == 0) {
+    std::string path = text.substr(5);
+    if (path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" + text +
+                                     "'");
+    }
+    return Unix(std::move(path));
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    std::string rest = text.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("expected tcp:HOST:PORT in '" + text +
+                                     "'");
+    }
+    std::string host = rest.substr(0, colon);
+    std::string port_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      return Status::InvalidArgument("bad port '" + port_text + "' in '" +
+                                     text + "'");
+    }
+    return Tcp(std::move(host), static_cast<uint16_t>(port));
+  }
+  return Status::InvalidArgument(
+      "address must start with tcp: or unix: — got '" + text + "'");
+}
+
+std::string Address::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Result<int> ListenOn(const Address& address, int backlog, Address* bound) {
+  if (address.kind == Address::Kind::kUnix) {
+    // A previous owner that died by SIGKILL leaves the inode behind and
+    // bind() would fail EADDRINUSE forever. Ownership of the data is
+    // guarded by the WAL LOCK file, so reclaiming the socket name here
+    // is safe — and exactly what a restarted concordd needs.
+    ::unlink(address.path.c_str());
+  }
+  CONCORD_ASSIGN_OR_RETURN(int fd, NewSocket(address));
+  sockaddr_storage storage;
+  auto len = FillSockaddr(address, &storage);
+  if (!len.ok()) {
+    CloseFd(fd);
+    return len.status();
+  }
+  if (address.kind == Address::Kind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&storage), *len) != 0) {
+    Status st = Errno("bind " + address.ToString());
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status st = Errno("listen " + address.ToString());
+    CloseFd(fd);
+    return st;
+  }
+  if (bound != nullptr) {
+    *bound = address;
+    if (address.kind == Address::Kind::kTcp && address.port == 0) {
+      sockaddr_in sin;
+      socklen_t sin_len = sizeof(sin);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &sin_len) ==
+          0) {
+        bound->port = ntohs(sin.sin_port);
+      }
+    }
+  }
+  return fd;
+}
+
+Result<int> StartConnect(const Address& address) {
+  CONCORD_ASSIGN_OR_RETURN(int fd, NewSocket(address));
+  sockaddr_storage storage;
+  auto len = FillSockaddr(address, &storage);
+  if (!len.ok()) {
+    CloseFd(fd);
+    return len.status();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), *len) != 0 &&
+      errno != EINPROGRESS) {
+    Status st = Errno("connect " + address.ToString());
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Status FinishConnect(int fd) {
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    return Status::Unavailable(std::string("connect failed: ") +
+                               std::strerror(err));
+  }
+  return Status::OK();
+}
+
+Result<int> AcceptOn(int listen_fd) {
+  int fd = ::accept4(listen_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("accept queue empty");
+    }
+    return Errno("accept");
+  }
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace concord::net

@@ -1,0 +1,61 @@
+#ifndef CONCORD_NET_ADDRESS_H_
+#define CONCORD_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::net {
+
+/// A transport endpoint: TCP ("tcp:host:port") or Unix-domain socket
+/// ("unix:/path/to.sock"). Both carry the same framed stream protocol;
+/// UDS is the one-box deployment (concordd plane + workstation drivers
+/// on a developer machine or the crash harness), TCP the multi-box one.
+struct Address {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host;    // kTcp
+  uint16_t port = 0;   // kTcp; 0 = ephemeral (resolved at bind)
+  std::string path;    // kUnix
+
+  static Address Tcp(std::string host, uint16_t port);
+  static Address Unix(std::string path);
+
+  /// Parses "tcp:HOST:PORT" or "unix:/PATH".
+  static Result<Address> Parse(const std::string& text);
+
+  std::string ToString() const;
+};
+
+// --- Socket helpers (all fds are created O_NONBLOCK | O_CLOEXEC) ---------
+
+/// Creates, binds and listens. A UDS path left behind by a SIGKILL'd
+/// previous owner is unlinked first (the WAL LOCK file, not the socket
+/// inode, is the single-owner guard). On success, for a TCP address
+/// with port 0 `bound` (when non-null) receives the address with the
+/// kernel-assigned port; otherwise a copy of `address`.
+Result<int> ListenOn(const Address& address, int backlog = 64,
+                     Address* bound = nullptr);
+
+/// Starts a nonblocking connect. Returns the fd with the connect in
+/// flight (or already established); completion is observed by polling
+/// writability and reading SO_ERROR (FinishConnect).
+Result<int> StartConnect(const Address& address);
+
+/// Resolves a poll-writable in-flight connect: OK when established,
+/// the socket error otherwise. The caller closes the fd on failure.
+Status FinishConnect(int fd);
+
+/// Accepts one pending connection (nonblocking); kUnavailable when the
+/// accept queue is empty.
+Result<int> AcceptOn(int listen_fd);
+
+Status SetNonBlocking(int fd);
+void CloseFd(int fd);
+
+}  // namespace concord::net
+
+#endif  // CONCORD_NET_ADDRESS_H_

@@ -1,0 +1,125 @@
+#include "net/connection.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/address.h"
+
+namespace concord::net {
+
+FramedConnection::FramedConnection(EventLoop* loop, int fd)
+    : loop_(loop), fd_(fd) {}
+
+FramedConnection::~FramedConnection() { Close(); }
+
+void FramedConnection::Start() {
+  loop_->RegisterFd(fd_, POLLIN, [this](short events) { HandleEvents(events); });
+}
+
+void FramedConnection::Close() {
+  if (fd_ < 0) return;
+  loop_->UnregisterFd(fd_);
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+void FramedConnection::Fail(Status reason) {
+  if (fd_ < 0) return;
+  Close();
+  if (on_closed_) {
+    // The handler may destroy this connection; detach it first and
+    // touch nothing afterwards.
+    ClosedHandler handler = std::move(on_closed_);
+    on_closed_ = nullptr;
+    handler(std::move(reason));
+  }
+}
+
+void FramedConnection::UpdateWatchedEvents() {
+  if (fd_ < 0) return;
+  short events = POLLIN;
+  if (outbound_.size() > outbound_offset_) events |= POLLOUT;
+  loop_->UpdateEvents(fd_, events);
+}
+
+void FramedConnection::HandleEvents(short events) {
+  // Read first even on POLLERR/POLLHUP: the kernel may still hold
+  // buffered bytes (including the peer's goodbye frame).
+  if (events & (POLLIN | POLLERR | POLLHUP)) {
+    HandleReadable();
+    if (fd_ < 0) return;
+  }
+  if (events & POLLOUT) {
+    HandleWritable();
+  }
+}
+
+void FramedConnection::HandleReadable() {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      for (;;) {
+        auto frame = decoder_.Next();
+        if (!frame.ok()) {
+          if (frame.status().IsUnavailable()) break;  // need more bytes
+          Fail(frame.status());
+          return;
+        }
+        if (frame->type == FrameType::kGoodbye) {
+          peer_said_goodbye_ = true;
+        }
+        if (on_frame_) on_frame_(std::move(*frame));
+        if (fd_ < 0) return;  // handler closed us
+      }
+      continue;
+    }
+    if (n == 0) {
+      Fail(peer_said_goodbye_
+               ? Status::OK()
+               : Status::Unavailable("peer closed connection"));
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    Fail(Status::Unavailable(std::string("read: ") + std::strerror(errno)));
+    return;
+  }
+}
+
+void FramedConnection::HandleWritable() {
+  while (outbound_.size() > outbound_offset_) {
+    ssize_t n = ::send(fd_, outbound_.data() + outbound_offset_,
+                       outbound_.size() - outbound_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      outbound_offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    Fail(Status::Unavailable(std::string("write: ") + std::strerror(errno)));
+    return;
+  }
+  if (outbound_offset_ == outbound_.size()) {
+    outbound_.clear();
+    outbound_offset_ = 0;
+  } else if (outbound_offset_ > 65536) {
+    outbound_.erase(0, outbound_offset_);
+    outbound_offset_ = 0;
+  }
+  UpdateWatchedEvents();
+}
+
+void FramedConnection::SendFrame(FrameType type, std::string_view payload) {
+  if (fd_ < 0) return;
+  AppendFrame(&outbound_, type, payload);
+  HandleWritable();
+}
+
+}  // namespace concord::net

@@ -1,0 +1,82 @@
+#ifndef CONCORD_NET_CONNECTION_H_
+#define CONCORD_NET_CONNECTION_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+
+namespace concord::net {
+
+/// One established stream socket carrying frames, owned by an
+/// EventLoop. Everything here runs on the loop thread: the connection
+/// registers its fd, reassembles inbound frames through a FrameDecoder,
+/// and keeps an outbound buffer so SendFrame never blocks — partial
+/// writes leave the remainder queued behind a POLLOUT watch.
+///
+/// Lifecycle: the owner constructs with an fd it already owns (accepted
+/// or connected), then Start() registers with the loop. Close() (or any
+/// read/write/framing error → on_closed) unregisters and closes the fd.
+/// on_closed is invoked at most once; after it fires the owner is
+/// expected to destroy the connection (possibly re-entrantly from the
+/// callback, which is safe — the connection touches no members after
+/// invoking it).
+class FramedConnection {
+ public:
+  using FrameHandler = std::function<void(Frame frame)>;
+  /// `reason` is OK for a clean peer close after kGoodbye, else the
+  /// read/write/framing error.
+  using ClosedHandler = std::function<void(Status reason)>;
+
+  FramedConnection(EventLoop* loop, int fd);
+  ~FramedConnection();
+  FramedConnection(const FramedConnection&) = delete;
+  FramedConnection& operator=(const FramedConnection&) = delete;
+
+  void set_on_frame(FrameHandler handler) { on_frame_ = std::move(handler); }
+  void set_on_closed(ClosedHandler handler) {
+    on_closed_ = std::move(handler);
+  }
+
+  /// Registers with the event loop. Call after the handlers are set.
+  void Start();
+
+  /// Queues one frame for transmission; flushes as much as the socket
+  /// accepts immediately.
+  void SendFrame(FrameType type, std::string_view payload);
+
+  /// Unregisters and closes the fd without invoking on_closed (the
+  /// owner already knows).
+  void Close();
+
+  bool closed() const { return fd_ < 0; }
+  int fd() const { return fd_; }
+  /// True while peer bytes are still queued locally.
+  bool has_pending_output() const { return !outbound_.empty(); }
+
+ private:
+  void HandleEvents(short events);
+  /// Reads until EAGAIN, dispatching complete frames.
+  void HandleReadable();
+  /// Flushes the outbound buffer until EAGAIN or empty.
+  void HandleWritable();
+  void UpdateWatchedEvents();
+  /// Tears down and fires on_closed exactly once.
+  void Fail(Status reason);
+
+  EventLoop* const loop_;
+  int fd_;
+  FrameDecoder decoder_;
+  std::string outbound_;
+  size_t outbound_offset_ = 0;
+  bool peer_said_goodbye_ = false;
+  FrameHandler on_frame_;
+  ClosedHandler on_closed_;
+};
+
+}  // namespace concord::net
+
+#endif  // CONCORD_NET_CONNECTION_H_

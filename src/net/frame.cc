@@ -1,0 +1,76 @@
+#include "net/frame.h"
+
+#include "common/serde.h"
+
+namespace concord::net {
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  PutFixed32(out, kFrameMagic);
+  PutByte(out, static_cast<uint8_t>(type));
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(out, Crc32(payload));
+  out->append(payload);
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (!error_.ok()) return;
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow without bound on a long-lived connection.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Result<Frame> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  std::string_view rest(buffer_.data() + consumed_,
+                        buffer_.size() - consumed_);
+  if (rest.size() < kFrameHeaderBytes) {
+    return Status::Unavailable("need more bytes for frame header");
+  }
+  ByteReader reader(rest);
+  uint32_t magic = 0;
+  uint8_t type_byte = 0;
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  reader.ReadFixed32(&magic);
+  reader.ReadByte(&type_byte);
+  reader.ReadFixed32(&len);
+  reader.ReadFixed32(&crc);
+  if (magic != kFrameMagic) {
+    error_ = Status::ProtocolViolation("bad frame magic");
+    return error_;
+  }
+  if (type_byte < static_cast<uint8_t>(FrameType::kRequest) ||
+      type_byte > static_cast<uint8_t>(FrameType::kGoodbye)) {
+    error_ = Status::ProtocolViolation("bad frame type " +
+                                       std::to_string(type_byte));
+    return error_;
+  }
+  if (len == 0) {
+    error_ = Status::ProtocolViolation("zero-length frame");
+    return error_;
+  }
+  if (len > max_payload_) {
+    error_ = Status::ProtocolViolation("oversized frame: " +
+                                       std::to_string(len) + " bytes");
+    return error_;
+  }
+  if (rest.size() < kFrameHeaderBytes + len) {
+    return Status::Unavailable("need more bytes for frame payload");
+  }
+  std::string_view payload = rest.substr(kFrameHeaderBytes, len);
+  if (Crc32(payload) != crc) {
+    error_ = Status::ProtocolViolation("frame CRC mismatch");
+    return error_;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_byte);
+  frame.payload.assign(payload.data(), payload.size());
+  consumed_ += kFrameHeaderBytes + len;
+  return frame;
+}
+
+}  // namespace concord::net

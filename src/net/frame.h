@@ -1,0 +1,87 @@
+#ifndef CONCORD_NET_FRAME_H_
+#define CONCORD_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::net {
+
+/// Stream framing for the socket transport. Every message on a
+/// connection is one frame:
+///
+///     [u32 magic "CNCD"][u8 type][u32 payload_len][u32 crc32(payload)]
+///     [payload bytes]
+///
+/// All integers little-endian (common/serde.h). The magic catches a
+/// peer speaking the wrong protocol (or a desynchronized stream) on the
+/// first header; the CRC catches payload corruption. A violated header
+/// is NOT resynchronizable — stream transports have no record
+/// boundaries to hunt for — so any framing error tears the connection
+/// down; the RPC layer's call ids + the callee dedup table make the
+/// reconnect-and-retry safe (at-most-once).
+///
+/// payload_len must be in [1, kMaxFramePayload]: zero-length frames are
+/// rejected (every protocol message has a body; an all-zero header is
+/// what half-written garbage looks like), as are lengths beyond the
+/// bound (a corrupt length must not become an allocation request).
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  /// Graceful shutdown notice: the peer is closing after this frame;
+  /// in-flight calls should be retried elsewhere/later, not failed.
+  kGoodbye = 3,
+};
+
+inline constexpr uint32_t kFrameMagic = 0x44434E43u;  // "CNCD" LE
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+/// Appends one encoded frame to `out`.
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Incremental frame reassembler: feed whatever the socket produced —
+/// any fragmentation, down to one byte at a time — and poll complete
+/// frames out. A framing violation (bad magic, bad type, zero/oversized
+/// length, CRC mismatch) puts the decoder into a permanent error state;
+/// the connection must be torn down.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw stream bytes.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame: OK with the frame, kUnavailable
+  /// while more bytes are needed, or the sticky framing error.
+  Result<Frame> Next();
+
+  bool broken() const { return !error_.ok(); }
+  const Status& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by complete frames.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  const uint32_t max_payload_;
+  std::string buffer_;
+  /// Prefix of buffer_ already handed out as frames (compacted lazily
+  /// so Feed is amortized O(bytes)).
+  size_t consumed_ = 0;
+  Status error_ = Status::OK();
+};
+
+}  // namespace concord::net
+
+#endif  // CONCORD_NET_FRAME_H_

@@ -1,0 +1,77 @@
+#include "net/wire.h"
+
+#include "common/serde.h"
+
+namespace concord::net {
+
+namespace {
+
+void EncodeStatusField(std::string* out, const Status& status) {
+  PutByte(out, static_cast<uint8_t>(status.code()));
+  PutLengthPrefixed(out, status.ok() ? std::string_view() : status.message());
+}
+
+bool DecodeStatusField(ByteReader* in, Status* status) {
+  uint8_t code = 0;
+  std::string_view message;
+  if (!in->ReadByte(&code) || !in->ReadLengthPrefixed(&message) ||
+      code > static_cast<uint8_t>(StatusCode::kWrongShard)) {
+    return false;
+  }
+  *status = code == 0 ? Status::OK()
+                      : Status(static_cast<StatusCode>(code),
+                               std::string(message));
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeRequestEnvelope(const RequestEnvelope& request) {
+  std::string out;
+  PutFixed64(&out, request.client_id);
+  PutFixed64(&out, request.call_id);
+  PutFixed64(&out, request.acked_below);
+  PutLengthPrefixed(&out, request.method);
+  PutLengthPrefixed(&out, request.payload);
+  return out;
+}
+
+Result<RequestEnvelope> DecodeRequestEnvelope(std::string_view bytes) {
+  ByteReader reader(bytes);
+  RequestEnvelope request;
+  std::string_view method;
+  std::string_view payload;
+  if (!reader.ReadFixed64(&request.client_id) ||
+      !reader.ReadFixed64(&request.call_id) ||
+      !reader.ReadFixed64(&request.acked_below) ||
+      !reader.ReadLengthPrefixed(&method) ||
+      !reader.ReadLengthPrefixed(&payload) || reader.remaining() != 0) {
+    return Status::ProtocolViolation("malformed request envelope");
+  }
+  request.method.assign(method);
+  request.payload.assign(payload);
+  return request;
+}
+
+std::string EncodeReplyEnvelope(const ReplyEnvelope& reply) {
+  std::string out;
+  PutFixed64(&out, reply.call_id);
+  EncodeStatusField(&out, reply.status);
+  PutLengthPrefixed(&out, reply.payload);
+  return out;
+}
+
+Result<ReplyEnvelope> DecodeReplyEnvelope(std::string_view bytes) {
+  ByteReader reader(bytes);
+  ReplyEnvelope reply;
+  std::string_view payload;
+  if (!reader.ReadFixed64(&reply.call_id) ||
+      !DecodeStatusField(&reader, &reply.status) ||
+      !reader.ReadLengthPrefixed(&payload) || reader.remaining() != 0) {
+    return Status::ProtocolViolation("malformed reply envelope");
+  }
+  reply.payload.assign(payload);
+  return reply;
+}
+
+}  // namespace concord::net

@@ -1,0 +1,47 @@
+#ifndef CONCORD_NET_WIRE_H_
+#define CONCORD_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace concord::net {
+
+/// RPC-level envelopes carried as frame payloads (net/frame.h). The
+/// transport is content-agnostic: `payload` is whatever the method's
+/// codec produced (for the server-TM surface, an encoded BatchRequest /
+/// BatchReply from txn/server_service.h).
+
+/// One request. `client_id` + `call_id` key the callee's at-most-once
+/// dedup table; call ids are monotonic per client, and `acked_below`
+/// tells the callee every call id below it is complete (its cached
+/// replies can be dropped — the dedup-bound mechanism).
+struct RequestEnvelope {
+  uint64_t client_id = 0;
+  uint64_t call_id = 0;
+  uint64_t acked_below = 0;
+  std::string method;
+  std::string payload;
+};
+
+/// One reply, matched to its request by call id. Application-level
+/// handler failures travel as the typed Status (`status` non-OK,
+/// payload empty) — exactly the split rpc::TransactionalRpc makes.
+struct ReplyEnvelope {
+  uint64_t call_id = 0;
+  Status status = Status::OK();
+  std::string payload;
+};
+
+std::string EncodeRequestEnvelope(const RequestEnvelope& request);
+Result<RequestEnvelope> DecodeRequestEnvelope(std::string_view bytes);
+
+std::string EncodeReplyEnvelope(const ReplyEnvelope& reply);
+Result<ReplyEnvelope> DecodeReplyEnvelope(std::string_view bytes);
+
+}  // namespace concord::net
+
+#endif  // CONCORD_NET_WIRE_H_

@@ -1,0 +1,118 @@
+#include "rpc/dedup_cache.h"
+
+#include <utility>
+
+namespace concord::rpc {
+
+std::optional<std::string> DedupCache::Lookup(uint64_t peer, uint64_t call) {
+  MutexLock lock(&mu_);
+  auto peer_it = peers_.find(peer);
+  if (peer_it == peers_.end()) return std::nullopt;
+  PeerTable& table = peer_it->second;
+  auto it = table.by_call.find(call);
+  if (it == table.by_call.end()) return std::nullopt;
+  table.lru.splice(table.lru.begin(), table.lru, it->second);
+  ++stats_.hits;
+  return it->second->reply;
+}
+
+bool DedupCache::Contains(uint64_t peer, uint64_t call) const {
+  MutexLock lock(&mu_);
+  auto peer_it = peers_.find(peer);
+  return peer_it != peers_.end() && peer_it->second.by_call.count(call) > 0;
+}
+
+void DedupCache::Insert(uint64_t peer, uint64_t call, std::string reply,
+                        bool pinned) {
+  MutexLock lock(&mu_);
+  PeerTable& table = peers_[peer];
+  auto it = table.by_call.find(call);
+  if (it != table.by_call.end()) {
+    it->second->reply = std::move(reply);
+    it->second->pinned = it->second->pinned || pinned;
+    table.lru.splice(table.lru.begin(), table.lru, it->second);
+    return;
+  }
+  table.lru.push_front(Entry{call, std::move(reply), pinned});
+  table.by_call[call] = table.lru.begin();
+  ++stats_.inserts;
+  EvictIfNeeded(table);
+}
+
+void DedupCache::Unpin(uint64_t peer, uint64_t call, bool keep) {
+  MutexLock lock(&mu_);
+  auto peer_it = peers_.find(peer);
+  if (peer_it == peers_.end()) return;
+  PeerTable& table = peer_it->second;
+  auto it = table.by_call.find(call);
+  if (it == table.by_call.end()) return;
+  if (!keep) {
+    table.lru.erase(it->second);
+    table.by_call.erase(it);
+    if (table.by_call.empty()) peers_.erase(peer_it);
+    return;
+  }
+  it->second->pinned = false;
+  EvictIfNeeded(table);
+}
+
+void DedupCache::Erase(uint64_t peer, uint64_t call) {
+  Unpin(peer, call, /*keep=*/false);
+}
+
+void DedupCache::PruneBelow(uint64_t peer, uint64_t acked_below) {
+  MutexLock lock(&mu_);
+  auto peer_it = peers_.find(peer);
+  if (peer_it == peers_.end()) return;
+  PeerTable& table = peer_it->second;
+  for (auto it = table.lru.begin(); it != table.lru.end();) {
+    if (it->call < acked_below) {
+      table.by_call.erase(it->call);
+      it = table.lru.erase(it);
+      ++stats_.pruned;
+    } else {
+      ++it;
+    }
+  }
+  if (table.by_call.empty()) peers_.erase(peer_it);
+}
+
+void DedupCache::ErasePeer(uint64_t peer) {
+  MutexLock lock(&mu_);
+  peers_.erase(peer);
+}
+
+size_t DedupCache::PeerEntries(uint64_t peer) const {
+  MutexLock lock(&mu_);
+  auto peer_it = peers_.find(peer);
+  return peer_it == peers_.end() ? 0 : peer_it->second.by_call.size();
+}
+
+DedupCacheStats DedupCache::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void DedupCache::EvictIfNeeded(PeerTable& table) {
+  while (table.by_call.size() > per_peer_capacity_) {
+    // Walk from the LRU tail past pinned (in-flight) entries; if every
+    // entry is pinned the table legitimately exceeds the bound — the
+    // bound trades memory for at-most-once strength, never correctness
+    // of live retry loops.
+    auto victim = table.lru.end();
+    bool found = false;
+    while (victim != table.lru.begin()) {
+      --victim;
+      if (!victim->pinned) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;
+    table.by_call.erase(victim->call);
+    table.lru.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace concord::rpc

@@ -33,14 +33,10 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
   // A call id lives exactly as long as its retry loop: no sender ever
   // reuses the id after Call returns, so the callee-side dedup entry
   // is dropped on every exit path — the table stays bounded by the
-  // number of in-flight calls, not by the operation count.
-  auto drop_dedup = [&] {
-    MutexLock lock(&mu_);
-    auto it = executed_.find(to);
-    if (it == executed_.end()) return;
-    it->second.erase(call_id);
-    if (it->second.empty()) executed_.erase(it);
-  };
+  // number of in-flight calls, not by the operation count. The
+  // capacity bound in dedup_ is a backstop, and in-flight entries are
+  // pinned against it (see DedupCache).
+  auto drop_dedup = [&] { dedup_.Erase(to.value(), call_id); };
 
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {
     if (attempt > 0) stats_.retries.fetch_add(1, std::memory_order_relaxed);
@@ -57,13 +53,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
     // insert are two separate critical sections; that is safe because a
     // call id is retried only by its originating thread, so no two
     // threads ever race on the same id.
-    std::optional<std::string> cached;
-    {
-      MutexLock lock(&mu_);
-      auto& node_executed = executed_[to];
-      auto it = node_executed.find(call_id);
-      if (it != node_executed.end()) cached = it->second;
-    }
+    std::optional<std::string> cached = dedup_.Lookup(to.value(), call_id);
     std::string reply;
     if (cached.has_value()) {
       stats_.duplicate_suppressed.fetch_add(1, std::memory_order_relaxed);
@@ -77,8 +67,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
         return result.status();
       }
       reply = std::move(result).value();
-      MutexLock lock(&mu_);
-      executed_[to].emplace(call_id, reply);
+      dedup_.Insert(to.value(), call_id, reply, /*pinned=*/true);
     }
     // Reply hop.
     Status replied = network_->Send(to, from);
@@ -99,8 +88,7 @@ Result<std::string> TransactionalRpc::Call(NodeId from, NodeId to,
 }
 
 void TransactionalRpc::ClearNodeState(NodeId node) {
-  MutexLock lock(&mu_);
-  executed_.erase(node);
+  dedup_.ErasePeer(node.value());
 }
 
 uint64_t TransactionalRpc::CallsTo(NodeId node) const {

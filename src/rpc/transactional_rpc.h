@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "rpc/dedup_cache.h"
 #include "rpc/network.h"
 
 namespace concord::rpc {
@@ -49,8 +50,15 @@ class TransactionalRpc {
   /// A handler consumes a request payload and produces a reply payload.
   using Handler = std::function<Result<std::string>(const std::string&)>;
 
-  explicit TransactionalRpc(Network* network, int max_retries = 5)
-      : network_(network), max_retries_(max_retries) {}
+  /// `dedup_capacity_per_peer` bounds the callee-side at-most-once
+  /// table (rpc::DedupCache). Entries of live retry loops are pinned,
+  /// so the bound only backstops leaks, never weakens at-most-once for
+  /// a call that may still be retried.
+  explicit TransactionalRpc(Network* network, int max_retries = 5,
+                            size_t dedup_capacity_per_peer = 1024)
+      : network_(network),
+        max_retries_(max_retries),
+        dedup_(dedup_capacity_per_peer) {}
   TransactionalRpc(const TransactionalRpc&) = delete;
   TransactionalRpc& operator=(const TransactionalRpc&) = delete;
 
@@ -68,6 +76,8 @@ class TransactionalRpc {
   void ClearNodeState(NodeId node);
 
   const RpcStats& stats() const { return stats_; }
+  /// The callee-side at-most-once table (bound/eviction introspection).
+  const DedupCache& dedup() const { return dedup_; }
   /// Envelopes addressed to `node` (counted per logical call, like
   /// stats().calls). The sharded server plane reads this for per-node
   /// round-trip accounting.
@@ -90,16 +100,17 @@ class TransactionalRpc {
   Network* network_;
   int max_retries_;
   IdGenerator<MsgId> call_gen_;
-  /// Guards handlers_ and executed_; leaf mutex, never held across a
-  /// handler execution or a Network::Send.
+  /// Guards handlers_ and calls_per_node_; leaf mutex, never held
+  /// across a handler execution or a Network::Send.
   mutable Mutex mu_;
   std::unordered_map<HandlerKey, Handler, HandlerKeyHash> handlers_
       GUARDED_BY(mu_);
-  /// callee node -> call id -> cached reply (for dedup). Entries live
-  /// only while their call's retry loop runs (a returned Call never
-  /// re-sends its id), so the table is bounded by in-flight calls.
-  std::unordered_map<NodeId, std::unordered_map<uint64_t, std::string>>
-      executed_ GUARDED_BY(mu_);
+  /// Callee-side at-most-once table, keyed by callee node. Entries are
+  /// inserted PINNED and erased on every Call exit path (a returned
+  /// Call never re-sends its id), so in steady state the table holds
+  /// only in-flight calls; the LRU capacity is a leak backstop. Shared
+  /// type with the socket transport (net::RpcServer).
+  DedupCache dedup_;
   /// callee node -> logical calls addressed to it (per-node share of
   /// stats_.calls).
   std::unordered_map<NodeId, uint64_t> calls_per_node_ GUARDED_BY(mu_);

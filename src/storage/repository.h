@@ -160,6 +160,17 @@ class Repository {
     return DovId(dov_shard_base_ | dov_gen_.Next().value());
   }
 
+  /// Advances the DOV id generator past `dov`'s local counter so it is
+  /// never re-issued. Recovery bumps the generator past COMMITTED ids
+  /// only; a prepared-2PC checkin staged by a previous incarnation
+  /// holds an allocated id that is not yet in the committed store, and
+  /// without this reservation a post-restart checkin could collide
+  /// with it when the staged record later applies.
+  void ReserveDovIdsThrough(DovId dov) {
+    uint64_t local = dov.value() & kDovLocalMask;
+    while (dov_gen_.last() < local) dov_gen_.Next();
+  }
+
   /// Aligns the DOV store and the failure-injection gate with a
   /// server-TM running `partitions` executor partitions: the bucket
   /// array grows to partitions x kShardCount (partition-major, so each

@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/file.h>
 #include <unistd.h>
 
@@ -172,18 +173,53 @@ Status WriteAheadLog::Open(WalOptions options,
   // would interleave frames and destroy acknowledged commits. Same
   // guard as LevelDB's LOCK file; flock is per open-file-description,
   // so this also rejects a second Repository in the same process.
+  //
+  // The file also records the holder's pid. A SIGKILL'd owner releases
+  // the flock (the kernel drops it with the fd) but leaves its pid
+  // text behind; a restarting concordd reclaims such a stale LOCK and
+  // says so, while a conflict with a live holder refuses the open and
+  // names the pid instead of a bare "is locked".
   std::string lock_path = options_.dir + "/LOCK";
-  lock_fd_ = ::open(lock_path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  lock_fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (lock_fd_ < 0) {
     return Status::Internal("cannot open " + lock_path + ": " +
                             std::strerror(errno));
   }
+  char pid_buf[32] = {0};
+  ssize_t pid_len = ::pread(lock_fd_, pid_buf, sizeof(pid_buf) - 1, 0);
+  long holder = pid_len > 0 ? std::strtol(pid_buf, nullptr, 10) : 0;
+  pid_t self = ::getpid();
   if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    std::string who = "another repository instance in this process";
+    if (holder > 0 && holder != static_cast<long>(self)) {
+      errno = 0;
+      bool holder_alive =
+          ::kill(static_cast<pid_t>(holder), 0) == 0 || errno == EPERM;
+      who = holder_alive
+                ? "live process " + std::to_string(holder)
+                : "a descriptor inherited from dead process " +
+                      std::to_string(holder);
+    }
     ::close(lock_fd_);
     lock_fd_ = -1;
-    return Status::FailedPrecondition(
-        "WAL directory " + options_.dir +
-        " is locked by another repository instance");
+    return Status::FailedPrecondition("WAL directory " + options_.dir +
+                                      " is locked by " + who);
+  }
+  if (holder > 0 && holder != static_cast<long>(self)) {
+    errno = 0;
+    if (::kill(static_cast<pid_t>(holder), 0) != 0 && errno == ESRCH) {
+      CONCORD_INFO("wal", "reclaimed stale LOCK in " << options_.dir
+                              << " left by dead pid " << holder);
+    }
+  }
+  std::string pid_text = std::to_string(self) + "\n";
+  if (::ftruncate(lock_fd_, 0) != 0 ||
+      ::pwrite(lock_fd_, pid_text.data(), pid_text.size(), 0) !=
+          static_cast<ssize_t>(pid_text.size())) {
+    // The flock itself still guards single ownership; a write failure
+    // only degrades the next opener's diagnostics.
+    CONCORD_WARN("wal", "cannot record holder pid in " << lock_path << ": "
+                            << std::strerror(errno));
   }
 
   // Scan existing segments in seq order. A torn frame in the last

@@ -383,6 +383,23 @@ BatchReply DispatchPhaseOne(ServerTm& server, const BatchRequest& batch,
     if (!reply.status.ok()) failed = true;
     out.ops.push_back(std::move(reply));
   }
+  // Durability gate on the yes-vote: the staged effects must survive a
+  // kill -9 between this reply and the coordinator's Decide, so the
+  // ledger entry is persisted BEFORE the vote leaves the server. A
+  // server that cannot persist flips its vote to no (the coordinator
+  // then aborts). Skipped when an op already failed — the coordinator
+  // cannot commit such a transaction.
+  if (!failed) {
+    Status persisted = server.PersistPrepared(txn);
+    if (!persisted.ok()) {
+      for (size_t i = 0; i < batch.ops.size(); ++i) {
+        if (std::holds_alternative<PrepareRequest>(batch.ops[i])) {
+          out.ops[i].status = persisted;
+          out.ops[i].body = PrepareReply{false};
+        }
+      }
+    }
+  }
   return out;
 }
 

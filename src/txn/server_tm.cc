@@ -1,11 +1,26 @@
 #include "txn/server_tm.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/serde.h"
+#include "storage/wal_codec.h"
 #include "txn/dop_context.h"
 
 namespace concord::txn {
+
+namespace {
+
+/// Meta-table key prefix of the durable 2PC ledger.
+constexpr const char* kPreparedMetaPrefix = "2pc/";
+
+std::string PreparedLedgerKey(TxnId txn) {
+  return kPreparedMetaPrefix + std::to_string(txn.value());
+}
+
+}  // namespace
 
 const char* DopStateToString(DopState state) {
   switch (state) {
@@ -709,6 +724,7 @@ Status ServerTm::Decide(TxnId txn, bool commit) {
     // PrepareBeginDop — so the client's participant list and this
     // node's table keep agreeing after an abort.
     ReleaseDerivationLocks(staged.acquired_locks);
+    if (staged.persisted) ErasePersistedPrepared(txn);
     ++tpart.counters.txns_decided_abort;
     return Status::OK();
   }
@@ -724,6 +740,10 @@ Status ServerTm::Decide(TxnId txn, bool commit) {
                                       : AbortDop(finish.dop);
     if (!st.ok() && first_error.ok()) first_error = st;
   }
+  // Apply-then-erase: a crash between the two re-stages the entry at
+  // restart, where already-committed checkins are recognized by id and
+  // skipped — a retried Decide is idempotent either side of the kill.
+  if (staged.persisted) ErasePersistedPrepared(txn);
   ++tpart.counters.txns_decided_commit;
   return first_error;
 }
@@ -733,6 +753,147 @@ bool ServerTm::HasPrepared(TxnId txn) const {
   const Partition& tpart = *parts_[TxnPart(txn)];
   MutexLock lock(&tpart.mu);
   return tpart.prepared.count(txn) > 0;
+}
+
+std::string ServerTm::EncodePreparedStage(const PreparedTxn& entry) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(entry.staged_checkins.size()));
+  for (const storage::DovRecord& record : entry.staged_checkins) {
+    PutLengthPrefixed(&out, storage::EncodeDovRecord(record));
+  }
+  PutFixed32(&out, static_cast<uint32_t>(entry.staged_finishes.size()));
+  for (const PreparedTxn::StagedFinish& finish : entry.staged_finishes) {
+    PutFixed64(&out, finish.dop.value());
+    PutByte(&out, finish.commit_outcome ? 1 : 0);
+  }
+  return out;
+}
+
+Result<ServerTm::PreparedTxn> ServerTm::DecodePreparedStage(
+    std::string_view payload) {
+  ByteReader reader(payload);
+  PreparedTxn entry;
+  uint32_t n_checkins = 0;
+  if (!reader.ReadFixed32(&n_checkins)) {
+    return Status::Internal("truncated 2PC ledger entry (checkin count)");
+  }
+  entry.staged_checkins.reserve(n_checkins);
+  for (uint32_t i = 0; i < n_checkins; ++i) {
+    std::string_view encoded;
+    if (!reader.ReadLengthPrefixed(&encoded)) {
+      return Status::Internal("truncated 2PC ledger entry (checkin)");
+    }
+    CONCORD_ASSIGN_OR_RETURN(storage::DovRecord record,
+                             storage::DecodeDovRecord(encoded));
+    entry.staged_checkins.push_back(std::move(record));
+  }
+  uint32_t n_finishes = 0;
+  if (!reader.ReadFixed32(&n_finishes)) {
+    return Status::Internal("truncated 2PC ledger entry (finish count)");
+  }
+  entry.staged_finishes.reserve(n_finishes);
+  for (uint32_t i = 0; i < n_finishes; ++i) {
+    uint64_t dop = 0;
+    uint8_t outcome = 0;
+    if (!reader.ReadFixed64(&dop) || !reader.ReadByte(&outcome)) {
+      return Status::Internal("truncated 2PC ledger entry (finish)");
+    }
+    entry.staged_finishes.push_back({DopId(dop), outcome != 0});
+  }
+  if (reader.remaining() != 0) {
+    return Status::Internal("trailing bytes in 2PC ledger entry");
+  }
+  return entry;
+}
+
+Status ServerTm::PersistPrepared(TxnId txn) {
+  size_t pt = TxnPart(txn);
+  Partition& tpart = *parts_[pt];
+  std::string encoded;
+  bool durable = engine_.Run(pt, [&]() -> bool {
+    MutexLock lock(&tpart.mu);
+    auto it = tpart.prepared.find(txn);
+    if (it == tpart.prepared.end()) return false;
+    if (it->second.staged_checkins.empty() &&
+        it->second.staged_finishes.empty()) {
+      return false;  // lock-only stage: nothing a crash could lose
+    }
+    encoded = EncodePreparedStage(it->second);
+    it->second.persisted = true;
+    return true;
+  });
+  if (!durable) return Status::OK();
+  TxnId meta_txn = repository_->Begin();
+  Status st = repository_->PutMeta(meta_txn, PreparedLedgerKey(txn), encoded);
+  if (st.ok()) {
+    st = repository_->Commit(meta_txn);
+  } else {
+    repository_->Abort(meta_txn);
+  }
+  if (!st.ok()) {
+    // The vote flips to no on this path; the coordinator will abort
+    // and Decide(abort)'s erase of a never-written key is harmless.
+    CONCORD_WARN("server-tm", "cannot persist 2PC stage for txn "
+                                  << txn.value() << ": " << st.ToString());
+  }
+  return st;
+}
+
+void ServerTm::ErasePersistedPrepared(TxnId txn) {
+  TxnId meta_txn = repository_->Begin();
+  Status st = repository_->DeleteMeta(meta_txn, PreparedLedgerKey(txn));
+  if (st.ok()) {
+    st = repository_->Commit(meta_txn);
+  } else {
+    repository_->Abort(meta_txn);
+  }
+  if (!st.ok()) {
+    // Worst case the entry is re-staged at the next restart and the
+    // contains-check skips its already-applied records.
+    CONCORD_WARN("server-tm", "cannot erase 2PC stage for txn "
+                                  << txn.value() << ": " << st.ToString());
+  }
+}
+
+size_t ServerTm::RestagePreparedFromStable() {
+  size_t restaged = 0;
+  for (const std::string& key :
+       repository_->MetaKeysWithPrefix(kPreparedMetaPrefix)) {
+    auto encoded = repository_->GetMeta(key);
+    if (!encoded.ok()) continue;
+    uint64_t txn_value =
+        std::strtoull(key.c_str() + std::strlen(kPreparedMetaPrefix),
+                      nullptr, 10);
+    if (txn_value == 0) continue;
+    auto decoded = DecodePreparedStage(*encoded);
+    if (!decoded.ok()) {
+      CONCORD_WARN("server-tm", "undecodable 2PC ledger entry " << key << ": "
+                                    << decoded.status().ToString());
+      continue;
+    }
+    TxnId txn(txn_value);
+    PreparedTxn entry;
+    entry.persisted = true;
+    for (storage::DovRecord& record : decoded->staged_checkins) {
+      // Reserve the id whether or not the record still needs to apply:
+      // the generator must never re-issue it.
+      repository_->ReserveDovIdsThrough(record.id);
+      if (!repository_->Contains(record.id)) {
+        entry.staged_checkins.push_back(std::move(record));
+      }
+    }
+    // decoded->staged_finishes are dropped: see the header contract.
+    size_t pt = TxnPart(txn);
+    Partition& tpart = *parts_[pt];
+    engine_.Run(pt, [&] {
+      MutexLock lock(&tpart.mu);
+      tpart.prepared[txn] = std::move(entry);
+    });
+    ++restaged;
+    CONCORD_INFO("server-tm", "re-staged prepared txn " << txn.value()
+                                  << " from stable storage");
+  }
+  return restaged;
 }
 
 void ServerTm::Crash() {
@@ -770,6 +931,9 @@ Status ServerTm::Recover() {
   // unreadable segment), and a node whose committed state is missing
   // must not accept traffic.
   CONCORD_RETURN_NOT_OK(repository_->Recover());
+  // Persisted phase-1 stages survive the crash; volatile-only stages
+  // (direct Prepare* callers) stay presumed-abort.
+  RestagePreparedFromStable();
   network_->SetNodeUp(node_, true);
   return Status::OK();
 }

@@ -235,6 +235,30 @@ class ServerTm {
   /// Test introspection: true while `txn` has staged/undoable state.
   bool HasPrepared(TxnId txn) const;
 
+  /// Makes `txn`'s staged state durable: the entry's checkins and
+  /// End-of-DOP outcomes are written to the repository's meta table
+  /// (key "2pc/<txn>") in one short repository transaction.
+  /// DispatchBatch calls this at the end of a phase-1 envelope BEFORE
+  /// the yes-vote returns — a server that cannot persist its stage
+  /// must not vote yes, or a kill -9 between the vote and the Decide
+  /// would lose a checkin the coordinator goes on to commit. No-op
+  /// when nothing durable is staged (lock-only entries stay volatile,
+  /// which also keeps direct Prepare* callers — and their
+  /// presumed-abort crash semantics — unchanged).
+  Status PersistPrepared(TxnId txn);
+
+  /// Re-stages persisted phase-1 entries from the repository's meta
+  /// table after a restart (Recover() runs it; a fresh concordd
+  /// process calls it after constructing over a recovered repository).
+  /// Staged checkins already present in the committed store (the crash
+  /// hit between apply and ledger erase) are skipped; staged
+  /// End-of-DOP outcomes are dropped — the registrations and
+  /// derivation locks they would release were volatile and died with
+  /// the previous incarnation. Every staged id is reserved against the
+  /// DOV id generator so new checkins cannot collide with a stage that
+  /// applies later. Returns the number of transactions re-staged.
+  size_t RestagePreparedFromStable();
+
   /// Simulated server crash. One wipe task is posted to EVERY
   /// partition and all are awaited: each mailbox drains its in-flight
   /// work first, so by the time Crash() returns no executor is
@@ -290,6 +314,9 @@ class ServerTm {
     /// Derivation locks acquired by this transaction's phase-1
     /// checkouts — released again at Decide(abort).
     std::vector<std::pair<DovId, DaId>> acquired_locks;
+    /// True once PersistPrepared wrote the entry to the meta table —
+    /// Decide then erases the durable copy after resolving.
+    bool persisted = false;
   };
 
   /// One partition's exclusive state slice. The slice mutex is a leaf
@@ -368,6 +395,15 @@ class ServerTm {
   /// Releases `locks` grouped per owning partition, one task each, and
   /// waits for all of them.
   void ReleaseDerivationLocks(const std::vector<std::pair<DovId, DaId>>& locks);
+
+  /// Serde for the durable 2PC ledger entry (meta-table value): the
+  /// staged checkins and finishes — the parts whose loss would break
+  /// atomicity. acquired_locks stay volatile (locks die with the
+  /// process anyway).
+  static std::string EncodePreparedStage(const PreparedTxn& entry);
+  static Result<PreparedTxn> DecodePreparedStage(std::string_view payload);
+  /// Deletes `txn`'s meta-table entry (after Decide resolved it).
+  void ErasePersistedPrepared(TxnId txn);
 
   storage::Repository* repository_;
   rpc::Network* network_;

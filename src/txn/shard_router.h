@@ -59,10 +59,35 @@ class ShardRouter {
     return nodes_[DovShardClamped(dov, nodes_.size())].first;
   }
 
-  /// Home node of `da` (placement cache, one fetch RPC on a cold
-  /// miss). Single-node planes and DAs unknown to the authority route
-  /// to the coordinator.
+  /// Pins `da`'s home to the node at `shard` without consulting any
+  /// placement authority — static topology configuration for planes
+  /// that have no placement service (a concord_client pointed at a
+  /// fixed set of concordd processes). Static homes take precedence
+  /// over the placement cache and are never forgotten by kWrongShard.
+  Status SetStaticHome(DaId da, size_t shard) {
+    if (shard >= nodes_.size()) {
+      return Status::InvalidArgument("shard index " + std::to_string(shard) +
+                                     " out of range (plane has " +
+                                     std::to_string(nodes_.size()) +
+                                     " nodes)");
+    }
+    for (auto& [known, node] : static_homes_) {
+      if (known == da) {
+        node = nodes_[shard].first;
+        return Status::OK();
+      }
+    }
+    static_homes_.emplace_back(da, nodes_[shard].first);
+    return Status::OK();
+  }
+
+  /// Home node of `da` (static pin, else placement cache with one
+  /// fetch RPC on a cold miss). Single-node planes and DAs unknown to
+  /// the authority route to the coordinator.
   Result<NodeId> HomeOf(DaId da) {
+    for (const auto& [known, node] : static_homes_) {
+      if (known == da) return node;
+    }
     if (nodes_.size() == 1 || placement_ == nullptr) return coordinator();
     auto home = placement_->HomeOf(da);
     if (home.ok()) return *home;
@@ -78,6 +103,9 @@ class ShardRouter {
  private:
   std::vector<std::pair<NodeId, ServerService*>> nodes_;
   PlacementClient* placement_ = nullptr;
+  /// Statically pinned DA homes (copyable with the router; tiny —
+  /// linear scan beats a map for the handful of DAs a client drives).
+  std::vector<std::pair<DaId, NodeId>> static_homes_;
 };
 
 }  // namespace concord::txn

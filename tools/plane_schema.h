@@ -1,0 +1,27 @@
+#ifndef CONCORD_TOOLS_PLANE_SCHEMA_H_
+#define CONCORD_TOOLS_PLANE_SCHEMA_H_
+
+#include "storage/schema.h"
+
+namespace concord::tools {
+
+/// Bounds of the "value" attribute in the plane schema below. Values
+/// above kPlaneValueMax fail the repository's checkin integrity check —
+/// concord_client's abort workload uses that to force a typed abort
+/// (a 2PC participant voting no) without any timing dependence.
+inline constexpr double kPlaneValueMax = 1e9;
+
+/// The one design-object type the concordd/concord_client plane speaks.
+/// Every process in a plane defines the same schema in the same order,
+/// so DOT ids agree across the wire without a schema service. Returns
+/// the type's id.
+inline DotId DefinePlaneSchema(storage::SchemaCatalog* schema) {
+  storage::DesignObjectType* cell = schema->DefineType("cell");
+  cell->AddAttr({"value", storage::AttrType::kInt, /*required=*/true, 0.0,
+                 kPlaneValueMax});
+  return cell->id();
+}
+
+}  // namespace concord::tools
+
+#endif  // CONCORD_TOOLS_PLANE_SCHEMA_H_
