@@ -1,0 +1,98 @@
+// Long-run chaos bench: generates a large design plane, drives mixed
+// traffic from many designer threads under the seeded failure
+// schedule, and emits BENCH_scale_chaos.json for the CI gate
+// (tools/check_scale_chaos.sh requires violations_total == 0).
+//
+// Every knob is an environment variable so the same binary serves the
+// CI short configuration (the defaults: 10^5 DOVs) and the full
+// million-DOV overnight run:
+//
+//   CONCORD_CHAOS_DOVS=1000000 CONCORD_CHAOS_OPS=20000 ./bench_scale_chaos
+//
+// CONCORD_SEED replays a failing schedule exactly (docs/SCALE.md).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/scale_harness.h"
+
+namespace concord::sim {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  uint64_t parsed = std::strtoull(env, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double EnvOr(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(env, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+int RunChaosBench() {
+  ScaleConfig config;
+  config.seed = EnvOr("CONCORD_SEED", uint64_t{42});
+  config.server_nodes = EnvOr("CONCORD_CHAOS_NODES", uint64_t{4});
+  config.partitions =
+      static_cast<int>(EnvOr("CONCORD_CHAOS_PARTITIONS", uint64_t{2}));
+  config.workstations = EnvOr("CONCORD_CHAOS_WS", uint64_t{8});
+  config.das = EnvOr("CONCORD_CHAOS_DAS", uint64_t{32});
+  config.dovs = EnvOr("CONCORD_CHAOS_DOVS", uint64_t{100000});
+  config.chain_depth = EnvOr("CONCORD_CHAOS_CHAIN_DEPTH", uint64_t{64});
+  config.ops_per_workstation = EnvOr("CONCORD_CHAOS_OPS", uint64_t{1500});
+  config.loss_probability = EnvOr("CONCORD_CHAOS_LOSS", 0.05);
+  config.crash_cycles = EnvOr("CONCORD_CHAOS_CRASH_CYCLES", uint64_t{3});
+  config.workstation_crashes =
+      EnvOr("CONCORD_CHAOS_WS_CRASHES", uint64_t{2});
+  config.migrations = EnvOr("CONCORD_CHAOS_MIGRATIONS", uint64_t{1});
+  config.checkpoints = EnvOr("CONCORD_CHAOS_CHECKPOINTS", uint64_t{4});
+  config.wal_bound = EnvOr("CONCORD_CHAOS_WAL_BOUND", uint64_t{50000});
+
+  std::printf(
+      "bench_scale_chaos: seed=%llu dovs=%zu das=%zu nodes=%zu ws=%zu "
+      "ops/ws=%zu loss=%.3f crash_cycles=%zu migrations=%zu\n",
+      static_cast<unsigned long long>(config.seed), config.dovs, config.das,
+      config.server_nodes, config.workstations, config.ops_per_workstation,
+      config.loss_probability, config.crash_cycles, config.migrations);
+
+  ScaleHarness harness(config);
+  ScaleResult result = harness.Run();
+
+  for (const Violation& violation : result.violations) {
+    std::fprintf(stderr, "VIOLATION [%s] %s\n",
+                 ViolationClassName(violation.klass),
+                 violation.detail.c_str());
+  }
+
+  std::string json = ScaleResultJson(result);
+  const char* path = "BENCH_scale_chaos.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("%s", json.c_str());
+
+  if (result.violations_total != 0) {
+    std::fprintf(stderr,
+                 "bench_scale_chaos: %zu invariant violation(s) — replay "
+                 "with CONCORD_SEED=%llu\n",
+                 result.violations_total,
+                 static_cast<unsigned long long>(result.seed));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace concord::sim
+
+int main() { return concord::sim::RunChaosBench(); }

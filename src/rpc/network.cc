@@ -52,8 +52,8 @@ Status Network::Send(NodeId from, NodeId to) {
     ++stats_.messages_rejected_node_down;
     return Status::Unavailable("destination node down");
   }
-  if (from != to && loss_probability_ > 0.0 &&
-      rng_.Chance(loss_probability_)) {
+  double loss = loss_probability_.load(std::memory_order_relaxed);
+  if (from != to && loss > 0.0 && rng_.Chance(loss)) {
     ++stats_.messages_lost;
     // A lost message still costs the sender time (timeout handled by
     // the caller); we account the hop latency once.

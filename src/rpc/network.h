@@ -79,7 +79,12 @@ class Network {
 
   void set_lan_latency(SimTime t) { lan_latency_ = t; }
   void set_local_latency(SimTime t) { local_latency_ = t; }
-  void set_loss_probability(double p) { loss_probability_ = p; }
+  /// Safe to call while traffic is in flight: the chaos harness churns
+  /// the loss rate mid-run, so the knob is atomic (relaxed — each Send
+  /// just needs some recent value, not a synchronized one).
+  void set_loss_probability(double p) {
+    loss_probability_.store(p, std::memory_order_relaxed);
+  }
 
   SimTime lan_latency() const { return lan_latency_; }
   SimTime local_latency() const { return local_latency_; }
@@ -97,9 +102,10 @@ class Network {
 
  private:
   SimClock* clock_;
-  /// Guards names_, stats_ and rng_ (the latency/loss knobs are set
-  /// before traffic starts and read unguarded; up_ is atomic). Leaf
-  /// lock: never held across a handler or another component's call.
+  /// Guards names_, stats_ and rng_ (the latency knobs are set before
+  /// traffic starts and read unguarded; loss_probability_ and up_ are
+  /// atomic). Leaf lock: never held across a handler or another
+  /// component's call.
   mutable Mutex mu_;
   Rng rng_ GUARDED_BY(mu_);
   IdGenerator<NodeId> node_gen_;
@@ -108,7 +114,7 @@ class Network {
   std::array<std::atomic<bool>, kMaxNodes> up_{};
   SimTime lan_latency_ = 2 * kMillisecond;
   SimTime local_latency_ = 20 * kMicrosecond;
-  double loss_probability_ = 0.0;
+  std::atomic<double> loss_probability_{0.0};
   NetworkStats stats_ GUARDED_BY(mu_);
 };
 

@@ -711,6 +711,16 @@ Status ServerTm::Decide(TxnId txn, bool commit) {
     return true;
   });
   if (!found) {
+    if (crash_wipe_pending_.load(std::memory_order_acquire)) {
+      // A crash wipe raced this decision: the lookup may have run after
+      // the wipe task cleared a stage that PersistPrepared made durable.
+      // Recovery will re-stage it, still waiting for this decision — but
+      // a coordinator never re-sends an acknowledged decision, so an OK
+      // here would acknowledge a commit whose effects never apply.
+      return Status::Unavailable(
+          "server crashed while the decision was in flight; retry after "
+          "recovery");
+    }
     // Nothing staged: either this node's phase 1 held only immediate
     // operations, the decision already arrived, or a crash wiped the
     // ledger (presumed abort — the crash also wiped everything a
@@ -753,6 +763,17 @@ bool ServerTm::HasPrepared(TxnId txn) const {
   const Partition& tpart = *parts_[TxnPart(txn)];
   MutexLock lock(&tpart.mu);
   return tpart.prepared.count(txn) > 0;
+}
+
+std::vector<TxnId> ServerTm::PreparedTxns() const {
+  std::vector<TxnId> staged;
+  for (const auto& part : parts_) {
+    MutexLock lock(&part->mu);
+    for (const auto& [txn, entry] : part->prepared) {
+      staged.push_back(txn);
+    }
+  }
+  return staged;
 }
 
 std::string ServerTm::EncodePreparedStage(const PreparedTxn& entry) {
@@ -898,6 +919,10 @@ size_t ServerTm::RestagePreparedFromStable() {
 
 void ServerTm::Crash() {
   CONCORD_ASSERT_OFF_EXECUTOR();
+  // Raised before the wipe tasks are posted, so any decision whose
+  // ledger lookup lands behind a wipe in some mailbox observes it (see
+  // Decide). Cleared only after Recover() has re-staged the ledger.
+  crash_wipe_pending_.store(true, std::memory_order_release);
   // One wipe task per partition, all awaited. Mailboxes are FIFO, so
   // each executor finishes every task queued before the crash and THEN
   // wipes — when the futures resolve, no executor is touching
@@ -934,6 +959,7 @@ Status ServerTm::Recover() {
   // Persisted phase-1 stages survive the crash; volatile-only stages
   // (direct Prepare* callers) stay presumed-abort.
   RestagePreparedFromStable();
+  crash_wipe_pending_.store(false, std::memory_order_release);
   network_->SetNodeUp(node_, true);
   return Status::OK();
 }

@@ -230,10 +230,21 @@ class ServerTm {
   /// transaction. Idempotent: a repeated decision for an already-
   /// resolved or never-prepared transaction answers OK — with a
   /// volatile ledger, "nothing staged here" and "already resolved" are
-  /// indistinguishable and both are safe to acknowledge.
+  /// indistinguishable and both are safe to acknowledge. EXCEPT while a
+  /// crash wipe is pending (between Crash() and the end of Recover()):
+  /// there "nothing staged" may mean the wipe beat the lookup to a
+  /// persisted stage that recovery will re-stage, so an OK would
+  /// acknowledge a commit whose effects never applied — the decision
+  /// answers kUnavailable instead and the coordinator must retry
+  /// against the recovered node.
   Status Decide(TxnId txn, bool commit);
   /// Test introspection: true while `txn` has staged/undoable state.
   bool HasPrepared(TxnId txn) const;
+  /// Control-plane introspection: every transaction with staged
+  /// phase-1 state across all partitions, without stopping traffic
+  /// (slice-mutex reads, like HasPrepared). The scale harness uses it
+  /// to measure orphaned-2PC residue at checkpoints and end-of-run.
+  std::vector<TxnId> PreparedTxns() const;
 
   /// Makes `txn`'s staged state durable: the entry's checkins and
   /// End-of-DOP outcomes are written to the repository's meta table
@@ -418,6 +429,12 @@ class ServerTm {
   mutable PartitionEngine engine_;
   std::vector<std::unique_ptr<Partition>> parts_;
   ServerLockTable locks_;
+  /// True from the start of Crash() until Recover() has re-staged the
+  /// persisted 2PC ledger. Decide's nothing-staged path consults it:
+  /// with a wipe pending, absence from the volatile ledger proves
+  /// nothing (FIFO mailboxes order an in-flight decision's lookup
+  /// after the wipe task), so acknowledging would be unsound.
+  std::atomic<bool> crash_wipe_pending_{false};
 };
 
 }  // namespace concord::txn

@@ -13,15 +13,28 @@
 #include "common/strings.h"
 #include "core/concord_system.h"
 #include "sim/scenarios.h"
+#include "tests/seed.h"
 #include "vlsi/schema.h"
 
 namespace concord::core {
 namespace {
 
+using test::ScopedSeedReporter;
+using test::TestSeed;
+
+/// Every sweep below drives its system from this seed — the suite
+/// default (42) normally, or a CONCORD_SEED override when replaying a
+/// failure (tests/seed.h).
+SystemConfig SweepConfig() {
+  SystemConfig config;
+  config.seed = TestSeed(42);
+  return config;
+}
+
 /// Runs the full design-plane work flow without any failure and
 /// returns the content hash of the final DOV.
 uint64_t UninterruptedRunHash() {
-  ConcordSystem system;
+  ConcordSystem system(SweepConfig());
   auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
   system.StartDa(*da).ok();
   system.RunDa(*da).ok();
@@ -35,7 +48,9 @@ class WorkstationCrashSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(WorkstationCrashSweep, FinalStateIdenticalToUninterruptedRun) {
   const size_t crash_after_dops = static_cast<size_t>(GetParam());
-  ConcordSystem system;
+  SystemConfig config = SweepConfig();
+  ScopedSeedReporter reporter(config.seed);
+  ConcordSystem system(config);
   auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
   ASSERT_TRUE(system.StartDa(*da).ok());
   auto& dm = system.dm(*da);
@@ -71,7 +86,9 @@ class DoubleCrashSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DoubleCrashSweep, SurvivesRepeatedCrashes) {
   const size_t first_crash = static_cast<size_t>(GetParam());
-  ConcordSystem system;
+  SystemConfig config = SweepConfig();
+  ScopedSeedReporter reporter(config.seed);
+  ConcordSystem system(config);
   auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
   ASSERT_TRUE(system.StartDa(*da).ok());
   auto& dm = system.dm(*da);
@@ -112,7 +129,9 @@ class ServerCrashSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(ServerCrashSweep, CommittedWorkSurvives) {
   const size_t crash_after_dops = static_cast<size_t>(GetParam());
-  ConcordSystem system;
+  SystemConfig config = SweepConfig();
+  ScopedSeedReporter reporter(config.seed);
+  ConcordSystem system(config);
   auto da = sim::SetupTopLevelDa(&system, "chip", 6, 1e9, 0);
   ASSERT_TRUE(system.StartDa(*da).ok());
   auto& dm = system.dm(*da);
@@ -138,7 +157,9 @@ INSTANTIATE_TEST_SUITE_P(EveryDopBoundary, ServerCrashSweep,
 // --- Crash during the delegation scenario ------------------------------------
 
 TEST(DelegationCrashTest, ServerCrashBetweenDelegationsRecovers) {
-  ConcordSystem system;
+  SystemConfig config = SweepConfig();
+  ScopedSeedReporter reporter(config.seed);
+  ConcordSystem system(config);
   auto top = sim::SetupTopLevelDa(&system, "top", 6, 1e9, 0);
   ASSERT_TRUE(system.StartDa(*top).ok());
   ASSERT_TRUE(system.RunDa(*top).ok());

@@ -18,16 +18,22 @@
 #include "cooperation/cooperation_manager.h"
 #include "cooperation/persistence.h"
 #include "storage/repository.h"
+#include "tests/seed.h"
 #include "txn/lock_manager.h"
 
 namespace concord {
 namespace {
+
+using test::ScopedSeedReporter;
+using test::SeedListFromEnv;
+using test::TestSeed;
 
 // --- Repository fuzz ---------------------------------------------------------
 
 class RepositoryFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RepositoryFuzz, MatchesReferenceModelThroughCrashes) {
+  ScopedSeedReporter reporter(GetParam());
   Rng rng(GetParam());
   SimClock clock;
   storage::Repository repo(&clock);
@@ -112,14 +118,18 @@ TEST_P(RepositoryFuzz, MatchesReferenceModelThroughCrashes) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RepositoryFuzz,
-                         ::testing::Values(1, 7, 42, 1234, 99999));
+// CONCORD_SEED=<n> collapses the sweep to the seed under investigation
+// (tests/seed.h).
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RepositoryFuzz,
+    ::testing::ValuesIn(SeedListFromEnv({1, 7, 42, 1234, 99999})));
 
 // --- Cooperation manager fuzz --------------------------------------------------
 
 class CmFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CmFuzz, InvariantsHoldUnderRandomProtocolTraffic) {
+  ScopedSeedReporter reporter(GetParam());
   Rng rng(GetParam());
   SimClock clock;
   storage::Repository repo(&clock);
@@ -259,12 +269,15 @@ TEST_P(CmFuzz, InvariantsHoldUnderRandomProtocolTraffic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CmFuzz,
-                         ::testing::Values(3, 17, 256, 4096));
+                         ::testing::ValuesIn(SeedListFromEnv({3, 17, 256,
+                                                              4096})));
 
 // --- Lock manager fuzz -----------------------------------------------------------
 
 TEST(LockFuzz, DerivationLockInvariants) {
-  Rng rng(77);
+  uint64_t seed = TestSeed(77);
+  ScopedSeedReporter reporter(seed);
+  Rng rng(seed);
   txn::LockManager locks;
   std::map<uint64_t, uint64_t> model;  // dov -> holder da
   for (int step = 0; step < 2000; ++step) {

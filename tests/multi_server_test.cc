@@ -355,6 +355,38 @@ TEST(MultiServerPlaneTest, ServerCrashWipesPreparedLedger) {
   EXPECT_FALSE(plane.shards[0].repo->Contains(*staged));
 }
 
+TEST(MultiServerPlaneTest, DecideDuringCrashWipeIsRefusedUntilRecovery) {
+  // Regression for a fabricated commit ack the chaos harness found: a
+  // Decide(commit) racing ServerTm::Crash could find the volatile
+  // ledger already wiped and answer the idempotent "nothing staged"
+  // OK — but the stage was PERSISTED, recovery re-stages it, and the
+  // coordinator (holding the ack) never re-sends the decision, so the
+  // staged checkin was lost forever. With a crash wipe pending, the
+  // nothing-staged path must refuse instead.
+  Plane plane(2);
+  DaId da(10);
+  ASSERT_TRUE(plane.placement.Assign(da, plane.shards[0].node).ok());
+  ServerTm& tm = *plane.shards[0].tm;
+  TxnId txn(993);
+  ASSERT_TRUE(tm.PrepareBeginDop(txn, DopId(503), da).ok());
+  auto staged =
+      tm.PrepareCheckin(txn, DopId(503), plane.MakeObject(9), {}, 0);
+  ASSERT_TRUE(staged.ok());
+  ASSERT_TRUE(tm.PersistPrepared(txn).ok());
+  plane.CrashNode(0);
+  // The wipe beat this decision to the ledger: no ack, no effects.
+  Status decide = tm.Decide(txn, /*commit=*/true);
+  EXPECT_FALSE(decide.ok());
+  EXPECT_FALSE(plane.shards[0].repo->Contains(*staged));
+  // Recovery re-stages the persisted entry; the retried decision
+  // applies it, and one more retry is the ordinary duplicate ack.
+  ASSERT_TRUE(tm.Recover().ok());
+  EXPECT_TRUE(tm.HasPrepared(txn));
+  EXPECT_TRUE(tm.Decide(txn, true).ok());
+  EXPECT_TRUE(plane.shards[0].repo->Contains(*staged));
+  EXPECT_TRUE(tm.Decide(txn, true).ok());
+}
+
 TEST(MultiServerPlaneTest, WrongShardCheckinIsTyped) {
   Plane plane(2, /*workstations=*/1);
   DaId da(10);

@@ -1,0 +1,81 @@
+#ifndef CONCORD_TESTS_SEED_H_
+#define CONCORD_TESTS_SEED_H_
+
+// Seed-replay discipline for every randomized suite. A failing run
+// must be reproducible with one command:
+//
+//   CONCORD_SEED=<n> ctest -R fuzz_test --output-on-failure
+//
+// Three pieces make that work:
+//   * TestSeed(default): the seed actually used — CONCORD_SEED when
+//     set and parseable, the suite's default otherwise.
+//   * SeedListFromEnv(defaults): for seed-parameterized suites
+//     (INSTANTIATE_TEST_SUITE_P over seeds); CONCORD_SEED collapses
+//     the sweep to the one seed under investigation.
+//   * ScopedSeedReporter: declared at the top of a randomized test
+//     body; on failure it prints the CONCORD_SEED=<n> replay line.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace concord::test {
+
+/// The seed a randomized test should run with: `CONCORD_SEED` from the
+/// environment when set and fully numeric, `default_seed` otherwise.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const char* env = std::getenv("CONCORD_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  char* end = nullptr;
+  uint64_t parsed = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "seed.h: ignoring unparseable CONCORD_SEED=%s\n",
+                 env);
+    return default_seed;
+  }
+  return parsed;
+}
+
+/// Seed list for a parameterized sweep: the defaults normally, or the
+/// single CONCORD_SEED override when replaying a failure. Safe to call
+/// at static-initialization time (INSTANTIATE_TEST_SUITE_P).
+inline std::vector<uint64_t> SeedListFromEnv(std::vector<uint64_t> defaults) {
+  const char* env = std::getenv("CONCORD_SEED");
+  if (env == nullptr || *env == '\0') return defaults;
+  char* end = nullptr;
+  uint64_t parsed = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') return defaults;
+  return {parsed};
+}
+
+/// Prints the replay line when the enclosing test fails. Declare it
+/// right after drawing the seed:
+///
+///   uint64_t seed = TestSeed(42);
+///   ScopedSeedReporter reporter(seed);
+///   Rng rng(seed);
+class ScopedSeedReporter {
+ public:
+  explicit ScopedSeedReporter(uint64_t seed) : seed_(seed) {}
+  ~ScopedSeedReporter() {
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[  SEED    ] test failed with seed %llu — replay with "
+                   "CONCORD_SEED=%llu\n",
+                   static_cast<unsigned long long>(seed_),
+                   static_cast<unsigned long long>(seed_));
+    }
+  }
+  ScopedSeedReporter(const ScopedSeedReporter&) = delete;
+  ScopedSeedReporter& operator=(const ScopedSeedReporter&) = delete;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace concord::test
+
+#endif  // CONCORD_TESTS_SEED_H_

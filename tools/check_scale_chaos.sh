@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Gate for the chaos harness: BENCH_scale_chaos.json must report zero
+# invariant violations (no lost acked commit, no resurrected version,
+# no half-applied 2PC decision, no cache-coherence breach, no reissued
+# DOV id, no unbounded WAL) and a plane of at least MIN_DOVS generated
+# versions — the ISSUE-10 short configuration is >= 10^5. A failing
+# run prints the seed; replay with CONCORD_SEED=<n>. Usage:
+#   tools/check_scale_chaos.sh [path-to-json] [min-dovs]
+set -eu
+
+JSON="${1:-BENCH_scale_chaos.json}"
+MIN_DOVS="${2:-100000}"
+
+if [ ! -f "$JSON" ]; then
+  echo "check_scale_chaos: $JSON not found (run bench_scale_chaos first)" >&2
+  exit 1
+fi
+
+# The bench emits one key per line: "violations_total": <n>
+VIOLATIONS=$(awk -F': ' '/"violations_total"/ { gsub(/[,"]/, "", $2); print $2 }' "$JSON")
+DOVS=$(awk -F': ' '/"dovs_generated"/ { gsub(/[,"]/, "", $2); print $2 }' "$JSON")
+SEED=$(awk -F': ' '/"seed"/ { gsub(/[,"]/, "", $2); print $2 }' "$JSON")
+
+if [ -z "$VIOLATIONS" ] || [ -z "$DOVS" ]; then
+  echo "check_scale_chaos: missing violations_total/dovs_generated in $JSON" >&2
+  exit 1
+fi
+
+echo "scale chaos: dovs_generated = $DOVS (required >= $MIN_DOVS), violations_total = $VIOLATIONS (required 0), seed = $SEED"
+
+awk -v d="$DOVS" -v m="$MIN_DOVS" 'BEGIN { exit (d + 0 >= m + 0) ? 0 : 1 }' || {
+  echo "check_scale_chaos: FAIL — plane too small ($DOVS DOVs < $MIN_DOVS); the run did not exercise the scale the gate claims" >&2
+  exit 1
+}
+
+awk -v v="$VIOLATIONS" 'BEGIN { exit (v + 0 == 0) ? 0 : 1 }' || {
+  echo "check_scale_chaos: FAIL — $VIOLATIONS invariant violation(s); replay with CONCORD_SEED=$SEED ./bench_scale_chaos" >&2
+  exit 1
+}
+echo "check_scale_chaos: OK"
